@@ -1,0 +1,95 @@
+// E11 -- Message passing with late binding (paper §3.1 point 6, §4.2).
+//
+// The paper requires run-time binding of messages to methods, and notes
+// (§4.2) that per-object overheads an order of magnitude above a memory
+// lookup are what CAx applications cannot tolerate. This benchmark
+// measures the dispatch path in isolation:
+//
+//   * Invoke with the method defined on the receiver's own class;
+//   * Invoke with the method inherited from an ancestor `depth` levels up
+//     (resolution walks the linearization);
+//   * Resolve once + direct call (what a compiled binding would do);
+//   * plain attribute access as the floor.
+//
+// Expected shape: dispatch cost grows mildly with hierarchy depth (the
+// linearization walk); caching the resolution removes the walk, leaving a
+// std::function call; attribute access is the cheapest.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/method_registry.h"
+#include "workloads/bench_env.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+struct E11Fixture {
+  std::unique_ptr<Env> env;
+  ClassId root;
+  ClassId leaf;
+  AttrId attr;
+  MethodRegistry registry;
+  Object receiver;
+
+  explicit E11Fixture(size_t depth) {
+    env = Env::Create(64);
+    root = *env->catalog->CreateClass("D0", {}, {{"X", Domain::Int()}},
+                                      {{"m", 0}});
+    attr = (*env->catalog->ResolveAttr(root, "X"))->id;
+    ClassId cur = root;
+    for (size_t i = 1; i <= depth; ++i) {
+      cur = *env->catalog->CreateClass("D" + std::to_string(i), {cur}, {});
+    }
+    leaf = cur;
+    BENCH_OK(registry.Register(*env->catalog, root, "m",
+                               [](MethodContext& ctx,
+                                  const std::vector<Value>&) {
+                                 return ctx.self->Get(1);
+                               }));
+    receiver = Object(Oid::Make(leaf, 1));
+    receiver.Set(attr, Value::Int(42));
+  }
+};
+
+void BM_LateBoundInvoke(benchmark::State& state) {
+  E11Fixture f(static_cast<size_t>(state.range(0)));
+  MethodContext ctx{&f.receiver, nullptr};
+  std::vector<Value> no_args;
+  for (auto _ : state) {
+    auto r = f.registry.Invoke(*f.env->catalog, ctx, "m", no_args);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+
+void BM_CachedResolveThenCall(benchmark::State& state) {
+  E11Fixture f(static_cast<size_t>(state.range(0)));
+  BENCH_ASSIGN(fn, f.registry.Resolve(*f.env->catalog, f.leaf, "m"));
+  MethodContext ctx{&f.receiver, nullptr};
+  std::vector<Value> no_args;
+  for (auto _ : state) {
+    auto r = (*fn)(ctx, no_args);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+
+void BM_DirectAttributeAccess(benchmark::State& state) {
+  E11Fixture f(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    const Value& v = f.receiver.Get(f.attr);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_LateBoundInvoke)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_CachedResolveThenCall)->Arg(0)->Arg(8);
+BENCHMARK(BM_DirectAttributeAccess)->Arg(0);
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
+
+BENCHMARK_MAIN();

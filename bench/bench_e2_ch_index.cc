@@ -1,0 +1,151 @@
+// E2 -- Class-hierarchy index vs one-index-per-class (paper §3.2
+// "Indexing", KIM89b).
+//
+// The paper argues that since an inherited attribute is common to every
+// class in the hierarchy rooted at the queried class, *one* index covering
+// the hierarchy beats maintaining one index per class. This benchmark
+// sweeps the number of subclasses and measures (a) hierarchy-scoped
+// equality lookups and (b) index maintenance (insert throughput).
+//
+// Expected shape: lookup cost with per-class indexes grows linearly with
+// the number of classes (one probe each); the CH index stays ~flat (one
+// probe, postings pre-partitioned by class). Maintenance is comparable
+// (each object maintains exactly one index in both designs).
+
+#include <benchmark/benchmark.h>
+
+#include "index/index_manager.h"
+#include "workloads/bench_env.h"
+#include "workloads/workloads.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+constexpr size_t kObjectsPerClass = 2000;
+constexpr int64_t kKeySpace = 1000;
+
+struct E2Fixture {
+  std::unique_ptr<Env> env;
+  WideHierarchy h;
+  std::unique_ptr<IndexManager> im;
+  std::vector<ClassId> all_classes;
+
+  E2Fixture(size_t n_subclasses, bool populate = true) {
+    env = Env::Create();
+    h = CreateWideHierarchy(env->catalog.get(), n_subclasses);
+    im = std::make_unique<IndexManager>(env->store.get());
+    all_classes.push_back(h.root);
+    for (ClassId c : h.subclasses) all_classes.push_back(c);
+    if (populate) Populate();
+  }
+
+  void Populate() {
+    Random rng(7);
+    for (ClassId cls : all_classes) {
+      for (size_t i = 0; i < kObjectsPerClass; ++i) {
+        Object obj;
+        obj.Set(h.key, Value::Int(static_cast<int64_t>(
+                           rng.Uniform(kKeySpace))));
+        BENCH_OK(env->store->Insert(0, cls, std::move(obj)).status());
+      }
+    }
+  }
+};
+
+void BM_Lookup_ClassHierarchyIndex(benchmark::State& state) {
+  E2Fixture f(static_cast<size_t>(state.range(0)));
+  BENCH_ASSIGN(id, f.im->CreateIndex(IndexKind::kClassHierarchy, f.h.root,
+                                     {"Key"}));
+  BENCH_ASSIGN(idx, f.im->GetIndex(id));
+  Random rng(13);
+  size_t results = 0;
+  for (auto _ : state) {
+    std::vector<Oid> out;
+    Value key = Value::Int(static_cast<int64_t>(rng.Uniform(kKeySpace)));
+    BENCH_OK(f.im->LookupEq(*idx, key, f.h.root, /*hierarchy=*/true, &out));
+    results += out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["classes"] = static_cast<double>(f.all_classes.size());
+  state.counters["avg_results"] =
+      static_cast<double>(results) / static_cast<double>(state.iterations());
+}
+
+void BM_Lookup_PerClassIndexes(benchmark::State& state) {
+  E2Fixture f(static_cast<size_t>(state.range(0)));
+  // One single-class index per class in the hierarchy (the relational
+  // technique transplanted, as the paper describes).
+  std::vector<const IndexInfo*> indexes;
+  for (ClassId cls : f.all_classes) {
+    BENCH_ASSIGN(id, f.im->CreateIndex(IndexKind::kSingleClass, cls,
+                                       {"Key"}));
+    BENCH_ASSIGN(info, f.im->GetIndex(id));
+    indexes.push_back(info);
+  }
+  Random rng(13);
+  size_t results = 0;
+  for (auto _ : state) {
+    std::vector<Oid> out;
+    Value key = Value::Int(static_cast<int64_t>(rng.Uniform(kKeySpace)));
+    // A hierarchy-scoped query must probe every class's index.
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      BENCH_OK(f.im->LookupEq(*indexes[i], key, f.all_classes[i],
+                              /*hierarchy=*/false, &out));
+    }
+    results += out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["classes"] = static_cast<double>(f.all_classes.size());
+  state.counters["avg_results"] =
+      static_cast<double>(results) / static_cast<double>(state.iterations());
+}
+
+void BM_Maintenance_ClassHierarchyIndex(benchmark::State& state) {
+  E2Fixture f(static_cast<size_t>(state.range(0)), /*populate=*/false);
+  BENCH_OK(f.im->CreateIndex(IndexKind::kClassHierarchy, f.h.root, {"Key"})
+               .status());
+  Random rng(17);
+  for (auto _ : state) {
+    Object obj;
+    obj.Set(f.h.key, Value::Int(static_cast<int64_t>(
+                         rng.Uniform(kKeySpace))));
+    ClassId cls = f.all_classes[rng.Uniform(f.all_classes.size())];
+    BENCH_OK(f.env->store->Insert(0, cls, std::move(obj)).status());
+  }
+  state.counters["classes"] = static_cast<double>(f.all_classes.size());
+}
+
+void BM_Maintenance_PerClassIndexes(benchmark::State& state) {
+  E2Fixture f(static_cast<size_t>(state.range(0)), /*populate=*/false);
+  for (ClassId cls : f.all_classes) {
+    BENCH_OK(f.im->CreateIndex(IndexKind::kSingleClass, cls, {"Key"})
+                 .status());
+  }
+  Random rng(17);
+  for (auto _ : state) {
+    Object obj;
+    obj.Set(f.h.key, Value::Int(static_cast<int64_t>(
+                         rng.Uniform(kKeySpace))));
+    ClassId cls = f.all_classes[rng.Uniform(f.all_classes.size())];
+    BENCH_OK(f.env->store->Insert(0, cls, std::move(obj)).status());
+  }
+  state.counters["classes"] = static_cast<double>(f.all_classes.size());
+}
+
+BENCHMARK(BM_Lookup_ClassHierarchyIndex)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Lookup_PerClassIndexes)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Maintenance_ClassHierarchyIndex)
+    ->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Maintenance_PerClassIndexes)
+    ->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+// E4 -- Memory-resident object management / pointer swizzling (paper §3.3).
+//
+// The paper: applications that traverse large object networks cannot
+// afford a database call per hop; "a much better solution is to store
+// logical object identifiers within the objects ... and convert them to
+// memory pointers" (LOOM/ORION). Three traversal engines over the *same*
+// OO1 parts graph:
+//
+//   1. swizzled     -- ObjectManager workspace; after first touch each hop
+//                      is a pointer dereference;
+//   2. oid-lookup   -- ObjectStore::Get per hop (directory hash + page
+//                      fetch + decode every time);
+//   3. rel-join     -- relational: probe the connection FK index per hop
+//                      and fetch the part tuple (the paper's "intolerably
+//                      expensive" strategy).
+//
+// Workload: OO1 traversal -- depth-7 DFS over connections from a random
+// root (~3^7 visits with revisits).
+//
+// Expected shape: swizzled >> oid-lookup >> rel-join on warm data; the
+// swizzled advantage grows with revisit rate.
+
+#include <benchmark/benchmark.h>
+
+#include "object/object_manager.h"
+#include "workloads/bench_env.h"
+#include "workloads/workloads.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+constexpr int kDepth = 7;
+
+struct E4Fixture {
+  std::unique_ptr<Env> env;
+  Oo1Schema schema;
+  Oo1Graph graph;
+  std::vector<Oid> oids;
+  Oo1Rel rel;
+
+  explicit E4Fixture(size_t n) {
+    env = Env::Create(32768);
+    schema = CreateOo1Schema(env->catalog.get());
+    graph = Oo1Graph::Generate(n, 2024);
+    BENCH_ASSIGN(loaded, LoadOo1(env->store.get(), schema, graph));
+    oids = std::move(loaded);
+    BENCH_ASSIGN(r, LoadOo1Rel(env->bp.get(), graph));
+    rel = std::move(r);
+  }
+};
+
+// DFS to depth `kDepth`, counting visited nodes (with revisits, as OO1
+// specifies). Returns visit count.
+size_t TraverseSwizzled(ObjectManager& om, const Oo1Schema& schema,
+                        ResidentObject* node, int depth) {
+  size_t visits = 1;
+  if (depth == 0) return visits;
+  Result<std::vector<ResidentObject*>> targets =
+      om.FollowAll(node, schema.connections);
+  if (!targets.ok()) return visits;
+  for (ResidentObject* t : *targets) {
+    visits += TraverseSwizzled(om, schema, t, depth - 1);
+  }
+  return visits;
+}
+
+size_t TraverseOidLookup(ObjectStore& store, const Oo1Schema& schema,
+                         Oid node, int depth) {
+  size_t visits = 1;
+  if (depth == 0) return visits;
+  Result<Object> obj = store.Get(node);
+  if (!obj.ok()) return visits;
+  const Value& conns = obj->Get(schema.connections);
+  if (!conns.is_collection()) return visits;
+  for (const Value& ref : conns.elements()) {
+    visits += TraverseOidLookup(store, schema, ref.as_ref(), depth - 1);
+  }
+  return visits;
+}
+
+size_t TraverseRelational(const Oo1Rel& rel, int64_t part_id, int depth) {
+  size_t visits = 1;
+  if (depth == 0) return visits;
+  rel::RelIndex* conn_idx = rel.connections->FindIndex("from_id");
+  rel::RelIndex* part_idx = rel.parts->FindIndex("id");
+  for (RecordId crid : conn_idx->LookupEq(Value::Int(part_id))) {
+    Result<rel::Tuple> conn = rel.connections->Get(crid);
+    if (!conn.ok()) continue;
+    int64_t to = (*conn)[1].as_int();
+    // Fetch the target part tuple (the application needs the object).
+    for (RecordId prid : part_idx->LookupEq(Value::Int(to))) {
+      Result<rel::Tuple> part = rel.parts->Get(prid);
+      benchmark::DoNotOptimize(part);
+      break;
+    }
+    visits += TraverseRelational(rel, to, depth - 1);
+  }
+  return visits;
+}
+
+void BM_Traversal_Swizzled(benchmark::State& state) {
+  E4Fixture f(static_cast<size_t>(state.range(0)));
+  ObjectManager om(f.env->store.get());
+  Random rng(5);
+  size_t visits = 0;
+  for (auto _ : state) {
+    Oid root = f.oids[rng.Uniform(f.oids.size())];
+    BENCH_ASSIGN(res, om.Load(root));
+    visits += TraverseSwizzled(om, f.schema, res, kDepth);
+  }
+  state.counters["visits_per_iter"] =
+      static_cast<double>(visits) / static_cast<double>(state.iterations());
+  state.counters["loads"] = static_cast<double>(om.stats().loads);
+  state.counters["ptr_follows"] =
+      static_cast<double>(om.stats().pointer_follows);
+}
+
+// Warm variant: the whole graph is resident and swizzled before timing --
+// the steady state of a CAx editor that loaded its design (the paper's
+// target scenario: "load all necessary objects in virtual memory first and
+// then perform necessary computations on them").
+void BM_Traversal_SwizzledWarm(benchmark::State& state) {
+  E4Fixture f(static_cast<size_t>(state.range(0)));
+  ObjectManager om(f.env->store.get());
+  for (Oid oid : f.oids) BENCH_OK(om.Load(oid).status());
+  Random rng(5);
+  size_t visits = 0;
+  for (auto _ : state) {
+    Oid root = f.oids[rng.Uniform(f.oids.size())];
+    BENCH_ASSIGN(res, om.Load(root));
+    visits += TraverseSwizzled(om, f.schema, res, kDepth);
+  }
+  state.counters["visits_per_iter"] =
+      static_cast<double>(visits) / static_cast<double>(state.iterations());
+  state.counters["resident"] = static_cast<double>(om.resident_count());
+}
+
+void BM_Traversal_OidLookup(benchmark::State& state) {
+  E4Fixture f(static_cast<size_t>(state.range(0)));
+  Random rng(5);
+  size_t visits = 0;
+  for (auto _ : state) {
+    Oid root = f.oids[rng.Uniform(f.oids.size())];
+    visits += TraverseOidLookup(*f.env->store, f.schema, root, kDepth);
+  }
+  state.counters["visits_per_iter"] =
+      static_cast<double>(visits) / static_cast<double>(state.iterations());
+}
+
+void BM_Traversal_RelationalJoin(benchmark::State& state) {
+  E4Fixture f(static_cast<size_t>(state.range(0)));
+  Random rng(5);
+  size_t visits = 0;
+  for (auto _ : state) {
+    int64_t root = static_cast<int64_t>(rng.Uniform(f.graph.n));
+    visits += TraverseRelational(f.rel, root, kDepth);
+  }
+  state.counters["visits_per_iter"] =
+      static_cast<double>(visits) / static_cast<double>(state.iterations());
+}
+
+BENCHMARK(BM_Traversal_Swizzled)->Arg(1000)->Arg(20000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Traversal_SwizzledWarm)->Arg(1000)->Arg(20000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Traversal_OidLookup)->Arg(1000)->Arg(20000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Traversal_RelationalJoin)->Arg(1000)->Arg(20000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
+
+BENCHMARK_MAIN();

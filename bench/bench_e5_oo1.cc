@@ -1,0 +1,210 @@
+// E5 -- The OO1/RUBE87 "simple database operations" benchmark the paper
+// calls for (§5.6), run against KIMDB and the relational baseline.
+//
+// Three operations, per the Cattell benchmark:
+//   Lookup    -- fetch 1000 random parts by part id;
+//   Traversal -- depth-7 closure over connections from a random part;
+//   Insert    -- add 100 parts with 3 connections each.
+//
+// Expected shape: the OODB and relational engines are comparable on
+// Lookup (both one index probe + one fetch); the OODB wins Traversal
+// (object navigation vs FK-index joins); Insert is comparable, with the
+// relational engine paying two relations + two index maintenances.
+
+#include <benchmark/benchmark.h>
+
+#include "index/index_manager.h"
+#include "object/object_manager.h"
+#include "workloads/bench_env.h"
+#include "workloads/workloads.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+constexpr size_t kParts = 20000;
+constexpr int kDepth = 7;
+
+struct E5Oodb {
+  std::unique_ptr<Env> env;
+  Oo1Schema schema;
+  Oo1Graph graph;
+  std::vector<Oid> oids;
+  std::unique_ptr<IndexManager> im;
+  const IndexInfo* by_id = nullptr;
+
+  E5Oodb() {
+    env = Env::Create(32768);
+    schema = CreateOo1Schema(env->catalog.get());
+    graph = Oo1Graph::Generate(kParts, 31337);
+    BENCH_ASSIGN(loaded, LoadOo1(env->store.get(), schema, graph));
+    oids = std::move(loaded);
+    im = std::make_unique<IndexManager>(env->store.get());
+    BENCH_ASSIGN(id, im->CreateIndex(IndexKind::kClassHierarchy,
+                                     schema.part, {"PartId"}));
+    BENCH_ASSIGN(info, im->GetIndex(id));
+    by_id = info;
+  }
+};
+
+struct E5Rel {
+  std::unique_ptr<Env> env;
+  Oo1Graph graph;
+  Oo1Rel rel;
+
+  E5Rel() {
+    env = Env::Create(32768);
+    graph = Oo1Graph::Generate(kParts, 31337);
+    BENCH_ASSIGN(r, LoadOo1Rel(env->bp.get(), graph));
+    rel = std::move(r);
+  }
+};
+
+// --- Lookup ---------------------------------------------------------------------
+
+void BM_Oo1Lookup_Kimdb(benchmark::State& state) {
+  E5Oodb f;
+  Random rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      std::vector<Oid> out;
+      BENCH_OK(f.im->LookupEq(
+          *f.by_id, Value::Int(static_cast<int64_t>(rng.Uniform(kParts))),
+          f.schema.part, true, &out));
+      for (Oid oid : out) {
+        BENCH_ASSIGN(obj, f.env->store->Get(oid));
+        benchmark::DoNotOptimize(obj);
+      }
+    }
+  }
+  state.counters["lookups"] = 1000;
+}
+
+void BM_Oo1Lookup_Relational(benchmark::State& state) {
+  E5Rel f;
+  rel::RelIndex* idx = f.rel.parts->FindIndex("id");
+  Random rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      for (RecordId rid : idx->LookupEq(Value::Int(
+               static_cast<int64_t>(rng.Uniform(kParts))))) {
+        BENCH_ASSIGN(tuple, f.rel.parts->Get(rid));
+        benchmark::DoNotOptimize(tuple);
+      }
+    }
+  }
+  state.counters["lookups"] = 1000;
+}
+
+// --- Traversal -------------------------------------------------------------------
+
+size_t Traverse(ObjectManager& om, const Oo1Schema& schema,
+                ResidentObject* node, int depth) {
+  size_t visits = 1;
+  if (depth == 0) return visits;
+  auto targets = om.FollowAll(node, schema.connections);
+  if (!targets.ok()) return visits;
+  for (ResidentObject* t : *targets) {
+    visits += Traverse(om, schema, t, depth - 1);
+  }
+  return visits;
+}
+
+size_t TraverseRel(const Oo1Rel& rel, int64_t part_id, int depth) {
+  size_t visits = 1;
+  if (depth == 0) return visits;
+  rel::RelIndex* conn_idx = rel.connections->FindIndex("from_id");
+  for (RecordId crid : conn_idx->LookupEq(Value::Int(part_id))) {
+    Result<rel::Tuple> conn = rel.connections->Get(crid);
+    if (!conn.ok()) continue;
+    visits += TraverseRel(rel, (*conn)[1].as_int(), depth - 1);
+  }
+  return visits;
+}
+
+void BM_Oo1Traversal_Kimdb(benchmark::State& state) {
+  E5Oodb f;
+  ObjectManager om(f.env->store.get());
+  // OO1 reports warm traversal: the application's working set is resident
+  // (paper §3.3: load objects into virtual memory, then compute).
+  for (Oid oid : f.oids) BENCH_OK(om.Load(oid).status());
+  Random rng(2);
+  size_t visits = 0;
+  for (auto _ : state) {
+    BENCH_ASSIGN(root, om.Load(f.oids[rng.Uniform(f.oids.size())]));
+    visits += Traverse(om, f.schema, root, kDepth);
+  }
+  state.counters["visits_per_iter"] =
+      static_cast<double>(visits) / static_cast<double>(state.iterations());
+}
+
+void BM_Oo1Traversal_Relational(benchmark::State& state) {
+  E5Rel f;
+  Random rng(2);
+  size_t visits = 0;
+  for (auto _ : state) {
+    visits += TraverseRel(f.rel,
+                          static_cast<int64_t>(rng.Uniform(f.graph.n)),
+                          kDepth);
+  }
+  state.counters["visits_per_iter"] =
+      static_cast<double>(visits) / static_cast<double>(state.iterations());
+}
+
+// --- Insert ----------------------------------------------------------------------
+
+void BM_Oo1Insert_Kimdb(benchmark::State& state) {
+  E5Oodb f;
+  Random rng(3);
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) {
+      Object obj;
+      obj.Set(f.schema.part_id,
+              Value::Int(static_cast<int64_t>(kParts + rng.Uniform(1 << 30))));
+      obj.Set(f.schema.x, Value::Int(1));
+      obj.Set(f.schema.y, Value::Int(2));
+      std::vector<Value> conns;
+      for (int c = 0; c < 3; ++c) {
+        conns.push_back(Value::Ref(f.oids[rng.Uniform(f.oids.size())]));
+      }
+      obj.Set(f.schema.connections, Value::List(std::move(conns)));
+      BENCH_OK(f.env->store->Insert(0, f.schema.part, std::move(obj))
+                   .status());
+    }
+  }
+  state.counters["inserts"] = 100;
+}
+
+void BM_Oo1Insert_Relational(benchmark::State& state) {
+  E5Rel f;
+  Random rng(3);
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) {
+      int64_t id = static_cast<int64_t>(kParts + rng.Uniform(1 << 30));
+      BENCH_OK(f.rel.parts
+                   ->Insert({Value::Int(id), Value::Int(1), Value::Int(2)})
+                   .status());
+      for (int c = 0; c < 3; ++c) {
+        BENCH_OK(f.rel.connections
+                     ->Insert({Value::Int(id),
+                               Value::Int(static_cast<int64_t>(
+                                   rng.Uniform(f.graph.n)))})
+                     .status());
+      }
+    }
+  }
+  state.counters["inserts"] = 100;
+}
+
+BENCHMARK(BM_Oo1Lookup_Kimdb)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Oo1Lookup_Relational)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Oo1Traversal_Kimdb)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Oo1Traversal_Relational)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Oo1Insert_Kimdb)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Oo1Insert_Relational)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// E6 -- Schema evolution cost (paper §5.1, BANE87): lazy vs eager
+// instance conversion.
+//
+// KIMDB serializes objects self-describing (attr-id, value), so AddAttr /
+// DropAttr are O(1) catalog edits; instances convert *lazily* on read
+// (defaults filled in, dropped values elided). The eager alternative
+// (RewriteExtent) converts the whole extent immediately -- the classic
+// trade-off the schema-evolution literature studies.
+//
+// Expected shape: the schema change itself is ~constant time lazily and
+// linear in extent size eagerly; the first full scan after a lazy change
+// pays a small per-object materialization premium, after which eager and
+// lazy reads converge (lazy stays marginally slower until rewritten).
+
+#include <benchmark/benchmark.h>
+
+#include "workloads/bench_env.h"
+#include "workloads/workloads.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+struct E6Fixture {
+  std::unique_ptr<Env> env;
+  ClassId cls;
+  AttrId base_attr;
+
+  explicit E6Fixture(size_t n_objects) {
+    env = Env::Create(32768);
+    static int uniq = 0;
+    std::string name = "Doc" + std::to_string(uniq++);
+    cls = *env->catalog->CreateClass(name, {},
+                                     {{"Title", Domain::String()}});
+    base_attr = (*env->catalog->ResolveAttr(cls, "Title"))->id;
+    BENCH_OK(env->store->EnsureExtent(cls));
+    Random rng(1);
+    for (size_t i = 0; i < n_objects; ++i) {
+      Object obj;
+      obj.Set(base_attr, Value::Str(rng.NextString(24)));
+      BENCH_OK(env->store->Insert(0, cls, std::move(obj)).status());
+    }
+  }
+};
+
+void BM_AddAttribute_Lazy(benchmark::State& state) {
+  E6Fixture f(static_cast<size_t>(state.range(0)));
+  int round = 0;
+  for (auto _ : state) {
+    // The schema change alone: catalog edit, no extent touch.
+    BENCH_OK(f.env->catalog->AddAttribute(
+        f.cls, {"Extra" + std::to_string(round++), Domain::Int(),
+                Value::Int(0)}));
+  }
+  state.counters["objects"] = static_cast<double>(state.range(0));
+}
+
+void BM_AddAttribute_Eager(benchmark::State& state) {
+  E6Fixture f(static_cast<size_t>(state.range(0)));
+  int round = 0;
+  for (auto _ : state) {
+    BENCH_OK(f.env->catalog->AddAttribute(
+        f.cls, {"Extra" + std::to_string(round++), Domain::Int(),
+                Value::Int(0)}));
+    BENCH_OK(f.env->store->RewriteExtent(f.cls));
+  }
+  state.counters["objects"] = static_cast<double>(state.range(0));
+}
+
+void BM_ScanAfterLazyChange(benchmark::State& state) {
+  E6Fixture f(static_cast<size_t>(state.range(0)));
+  // One lazy change; every read materializes the default.
+  BENCH_OK(f.env->catalog->AddAttribute(
+      f.cls, {"Extra", Domain::Int(), Value::Int(7)}));
+  for (auto _ : state) {
+    size_t n = 0;
+    BENCH_OK(f.env->store->ForEachInClass(f.cls, [&](const Object& obj) {
+      benchmark::DoNotOptimize(obj);
+      ++n;
+      return Status::OK();
+    }));
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["objects"] = static_cast<double>(state.range(0));
+}
+
+void BM_ScanAfterEagerRewrite(benchmark::State& state) {
+  E6Fixture f(static_cast<size_t>(state.range(0)));
+  BENCH_OK(f.env->catalog->AddAttribute(
+      f.cls, {"Extra", Domain::Int(), Value::Int(7)}));
+  BENCH_OK(f.env->store->RewriteExtent(f.cls));
+  for (auto _ : state) {
+    size_t n = 0;
+    BENCH_OK(f.env->store->ForEachInClass(f.cls, [&](const Object& obj) {
+      benchmark::DoNotOptimize(obj);
+      ++n;
+      return Status::OK();
+    }));
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["objects"] = static_cast<double>(state.range(0));
+}
+
+void BM_DropAttribute_Lazy(benchmark::State& state) {
+  E6Fixture f(static_cast<size_t>(state.range(0)));
+  // Alternate add/drop of the same attribute (each iteration pays one
+  // catalog edit; instances never rewritten).
+  bool present = false;
+  for (auto _ : state) {
+    if (present) {
+      BENCH_OK(f.env->catalog->DropAttribute(f.cls, "Flip"));
+    } else {
+      BENCH_OK(f.env->catalog->AddAttribute(
+          f.cls, {"Flip", Domain::Bool(), Value::Bool(false)}));
+    }
+    present = !present;
+  }
+  state.counters["objects"] = static_cast<double>(state.range(0));
+}
+
+// Iteration counts are pinned for the DDL benchmarks: every iteration
+// grows (or flips) the schema, and letting the harness pick millions of
+// iterations would measure a pathological thousand-attribute class.
+BENCHMARK(BM_AddAttribute_Lazy)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Iterations(50)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AddAttribute_Eager)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Iterations(50)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ScanAfterLazyChange)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ScanAfterEagerRewrite)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DropAttribute_Lazy)->Arg(100000)
+    ->Iterations(100)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// E7 -- Concurrency control granularity (paper §3.2/§4.2, GARZ88).
+//
+// The paper calls for concurrency control that accounts for the class
+// hierarchy. This benchmark contrasts two write-locking disciplines under
+// a multi-threaded read-modify-write mix:
+//
+//   object-granule -- IX on the class + X per touched object (fine);
+//   class-granule  -- X on the whole class per writing transaction
+//                     (coarse; what a system without intention locks on
+//                     class extents must do).
+//
+// Expected shape: with 1 thread the two are equal (coarse slightly
+// cheaper: fewer lock calls); as threads grow, object-granule throughput
+// scales while class-granule serializes all writers on one X lock.
+
+#include <benchmark/benchmark.h>
+
+#include "txn/transaction.h"
+#include "workloads/bench_env.h"
+#include "workloads/workloads.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+constexpr size_t kObjects = 4096;
+constexpr int kOpsPerTxn = 4;
+
+struct E7Fixture {
+  std::unique_ptr<Env> env;
+  ClassId cls;
+  AttrId counter;
+  std::vector<Oid> oids;
+  LockManager locks;
+  std::unique_ptr<TxnManager> txns;
+
+  E7Fixture() {
+    env = Env::Create(16384);
+    cls = *env->catalog->CreateClass("Counter", {},
+                                     {{"N", Domain::Int()}});
+    counter = (*env->catalog->ResolveAttr(cls, "N"))->id;
+    BENCH_OK(env->store->EnsureExtent(cls));
+    for (size_t i = 0; i < kObjects; ++i) {
+      Object obj;
+      obj.Set(counter, Value::Int(0));
+      BENCH_ASSIGN(oid, env->store->Insert(0, cls, std::move(obj)));
+      oids.push_back(oid);
+    }
+    txns = std::make_unique<TxnManager>(env->store.get(), &locks);
+  }
+};
+
+E7Fixture* g_fixture = nullptr;
+
+// One read-modify-write transaction touching kOpsPerTxn random objects.
+// Returns false if the transaction was a deadlock victim (retried by
+// caller).
+bool RunTxn(E7Fixture& f, Random& rng, bool coarse) {
+  Result<uint64_t> t = f.txns->Begin();
+  if (!t.ok()) return false;
+  Status st;
+  if (coarse) {
+    st = f.locks.Lock(*t, LockResource::Class(f.cls), LockMode::kX);
+  }
+  if (st.ok()) {
+    for (int i = 0; i < kOpsPerTxn && st.ok(); ++i) {
+      Oid oid = f.oids[rng.Uniform(f.oids.size())];
+      Result<Object> obj = f.txns->Get(*t, oid);
+      if (!obj.ok()) {
+        st = obj.status();
+        break;
+      }
+      obj->Set(f.counter, Value::Int(obj->Get(f.counter).as_int() + 1));
+      st = f.txns->Update(*t, *obj);
+    }
+  }
+  if (st.ok()) {
+    return f.txns->Commit(*t).ok();
+  }
+  (void)f.txns->Abort(*t);
+  return false;
+}
+
+void SetupFixture(const benchmark::State&) {
+  if (g_fixture == nullptr) g_fixture = new E7Fixture();
+}
+
+void TeardownFixture(const benchmark::State&) {
+  delete g_fixture;
+  g_fixture = nullptr;
+}
+
+void LockingBench(benchmark::State& state, bool coarse) {
+  Random rng(1000 + static_cast<uint64_t>(state.thread_index()));
+  int64_t committed = 0, retries = 0;
+  for (auto _ : state) {
+    while (!RunTxn(*g_fixture, rng, coarse)) ++retries;
+    ++committed;
+  }
+  state.counters["committed"] =
+      benchmark::Counter(static_cast<double>(committed),
+                         benchmark::Counter::kIsRate);
+  state.counters["retries"] = static_cast<double>(retries);
+  LockManagerStats ls = g_fixture->locks.stats();
+  state.counters["lock_waits"] = static_cast<double>(ls.waits);
+  state.counters["deadlocks"] = static_cast<double>(ls.deadlocks);
+  state.SetLabel(coarse ? "class-granule" : "object-granule");
+}
+
+void BM_ObjectGranuleLocking(benchmark::State& state) {
+  LockingBench(state, /*coarse=*/false);
+}
+
+void BM_ClassGranuleLocking(benchmark::State& state) {
+  LockingBench(state, /*coarse=*/true);
+}
+
+BENCHMARK(BM_ObjectGranuleLocking)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->Setup(SetupFixture)->Teardown(TeardownFixture)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClassGranuleLocking)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->Setup(SetupFixture)->Teardown(TeardownFixture)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// E9 -- Versions, change notification and composite operations overhead
+// (paper §3.3, §5.4/5.5; CHOU86/CHOU88, KIM89c).
+//
+// Quantifies what the CAx semantic extensions cost on the write path:
+//
+//   * DeriveVersion vs a plain Update (the version model copies the object
+//     and maintains the generic object's version set);
+//   * Update with 0 / 10 / 100 flag-based subscribers (change
+//     notification fan-out);
+//   * cascading composite delete vs deleting the same number of
+//     independent objects.
+//
+// Expected shape: deriving a version costs a few plain updates; per-
+// subscriber notification overhead is linear but tiny; cascading delete
+// tracks the flat delete with a small traversal premium.
+
+#include <benchmark/benchmark.h>
+
+#include "object/notification.h"
+#include "object/versions.h"
+#include "workloads/bench_env.h"
+#include "workloads/workloads.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+struct E9Fixture {
+  std::unique_ptr<Env> env;
+  CadSchema schema;
+
+  E9Fixture() {
+    env = Env::Create(32768);
+    schema = CreateCadSchema(env->catalog.get());
+    BENCH_OK(env->store->EnsureExtent(schema.part));
+  }
+
+  Oid MakePart(const std::string& name) {
+    Object obj;
+    obj.Set(schema.name, Value::Str(name));
+    obj.Set(schema.payload, Value::Str(std::string(64, 'p')));
+    BENCH_ASSIGN(oid, env->store->Insert(0, schema.part, std::move(obj)));
+    return oid;
+  }
+};
+
+void BM_PlainUpdate(benchmark::State& state) {
+  E9Fixture f;
+  Oid oid = f.MakePart("w");
+  int64_t i = 0;
+  for (auto _ : state) {
+    BENCH_OK(f.env->store->SetAttr(0, oid, "Name",
+                                   Value::Str("w" + std::to_string(i++))));
+  }
+}
+
+void BM_DeriveVersion(benchmark::State& state) {
+  E9Fixture f;
+  VersionManager vm(f.env->store.get());
+  Oid v1 = f.MakePart("design");
+  BENCH_OK(vm.MakeVersionable(0, v1).status());
+  Oid cur = v1;
+  for (auto _ : state) {
+    BENCH_ASSIGN(next, vm.DeriveVersion(0, cur));
+    cur = next;
+  }
+}
+
+void BM_UpdateWithSubscribers(benchmark::State& state) {
+  E9Fixture f;
+  ChangeNotifier notifier(f.env->store.get());
+  Oid oid = f.MakePart("watched");
+  std::vector<ChangeNotifier::SubscriptionId> subs;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    subs.push_back(notifier.SubscribeObject(oid));  // flag-based
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    BENCH_OK(f.env->store->SetAttr(0, oid, "Name",
+                                   Value::Str("n" + std::to_string(i++))));
+  }
+  // Drain so queues do not dominate memory.
+  for (auto s : subs) notifier.Drain(s);
+  state.counters["subscribers"] = static_cast<double>(state.range(0));
+}
+
+void BM_CascadingCompositeDelete(benchmark::State& state) {
+  size_t fanout = 4, depth = 3;  // 85 components
+  for (auto _ : state) {
+    state.PauseTiming();
+    E9Fixture f;
+    BENCH_ASSIGN(cm, CompositeManager::Attach(f.env->store.get()));
+    BENCH_ASSIGN(root, BuildAssembly(f.env->store.get(), cm.get(), f.schema,
+                                     fanout, depth, true, 3));
+    state.ResumeTiming();
+    BENCH_OK(cm->DeleteComposite(0, root));
+  }
+  state.counters["components"] = 85;
+}
+
+void BM_FlatDeleteSameCount(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    E9Fixture f;
+    std::vector<Oid> oids;
+    for (int i = 0; i < 85; ++i) {
+      oids.push_back(f.MakePart("p" + std::to_string(i)));
+    }
+    state.ResumeTiming();
+    for (Oid oid : oids) BENCH_OK(f.env->store->Delete(0, oid));
+  }
+  state.counters["components"] = 85;
+}
+
+BENCHMARK(BM_PlainUpdate)->Unit(benchmark::kMicrosecond);
+// Iterations pinned: each derivation grows the generic object's version
+// set, so unbounded iteration counts would measure a pathological
+// multi-thousand-version object instead of a realistic lineage.
+BENCHMARK(BM_DeriveVersion)->Iterations(200)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_UpdateWithSubscribers)->Arg(0)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CascadingCompositeDelete)->Iterations(50)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FlatDeleteSameCount)->Iterations(50)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
+
+BENCHMARK_MAIN();

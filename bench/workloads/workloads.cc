@@ -1,0 +1,249 @@
+#include "workloads/workloads.h"
+
+namespace kimdb {
+namespace bench {
+
+VehicleSchema CreateVehicleSchema(Catalog* catalog) {
+  VehicleSchema s;
+  s.company = *catalog->CreateClass(
+      "Company", {},
+      {{"Name", Domain::String()}, {"Location", Domain::String()}});
+  s.auto_company = *catalog->CreateClass("AutoCompany", {s.company}, {});
+  s.truck_company = *catalog->CreateClass("TruckCompany", {s.company}, {});
+  s.japanese_auto =
+      *catalog->CreateClass("JapaneseAutoCompany", {s.auto_company}, {});
+  s.vehicle = *catalog->CreateClass(
+      "Vehicle", {},
+      {{"Weight", Domain::Int()}, {"Manufacturer", Domain::Ref(s.company)}});
+  s.automobile = *catalog->CreateClass("Automobile", {s.vehicle}, {});
+  s.domestic_auto =
+      *catalog->CreateClass("DomesticAutomobile", {s.automobile}, {});
+  s.truck = *catalog->CreateClass("Truck", {s.vehicle},
+                                  {{"Payload", Domain::Int()}});
+  s.name = (*catalog->ResolveAttr(s.company, "Name"))->id;
+  s.location = (*catalog->ResolveAttr(s.company, "Location"))->id;
+  s.weight = (*catalog->ResolveAttr(s.vehicle, "Weight"))->id;
+  s.manufacturer = (*catalog->ResolveAttr(s.vehicle, "Manufacturer"))->id;
+  s.payload = (*catalog->ResolveAttr(s.truck, "Payload"))->id;
+  return s;
+}
+
+Result<VehicleData> PopulateVehicles(ObjectStore* store,
+                                     const VehicleSchema& schema,
+                                     size_t n_companies, size_t n_vehicles,
+                                     double detroit_fraction, uint64_t seed) {
+  Random rng(seed);
+  VehicleData data;
+  const ClassId company_classes[] = {schema.company, schema.auto_company,
+                                     schema.truck_company,
+                                     schema.japanese_auto};
+  for (size_t i = 0; i < n_companies; ++i) {
+    Object obj;
+    obj.Set(schema.name, Value::Str("company-" + std::to_string(i)));
+    bool detroit = rng.NextDouble() < detroit_fraction;
+    obj.Set(schema.location,
+            Value::Str(detroit ? "Detroit" : "City-" +
+                                                 std::to_string(rng.Uniform(
+                                                     100))));
+    KIMDB_ASSIGN_OR_RETURN(
+        Oid oid, store->Insert(0, company_classes[i % 4], std::move(obj)));
+    data.companies.push_back(oid);
+  }
+  const ClassId vehicle_classes[] = {schema.vehicle, schema.automobile,
+                                     schema.domestic_auto, schema.truck};
+  for (size_t i = 0; i < n_vehicles; ++i) {
+    ClassId cls = vehicle_classes[i % 4];
+    Object obj;
+    obj.Set(schema.weight, Value::Int(static_cast<int64_t>(rng.Uniform(10000))));
+    obj.Set(schema.manufacturer,
+            Value::Ref(data.companies[rng.Uniform(data.companies.size())]));
+    if (cls == schema.truck) {
+      obj.Set(schema.payload,
+              Value::Int(static_cast<int64_t>(rng.Uniform(5000))));
+    }
+    KIMDB_ASSIGN_OR_RETURN(Oid oid, store->Insert(0, cls, std::move(obj)));
+    data.vehicles.push_back(oid);
+  }
+  return data;
+}
+
+WideHierarchy CreateWideHierarchy(Catalog* catalog, size_t n_subclasses) {
+  WideHierarchy h;
+  static int unique = 0;
+  std::string root_name = "WideRoot" + std::to_string(unique++);
+  h.root = *catalog->CreateClass(root_name, {}, {{"Key", Domain::Int()}});
+  h.key = (*catalog->ResolveAttr(h.root, "Key"))->id;
+  for (size_t i = 0; i < n_subclasses; ++i) {
+    h.subclasses.push_back(*catalog->CreateClass(
+        root_name + "Sub" + std::to_string(i), {h.root}, {}));
+  }
+  return h;
+}
+
+Oo1Graph Oo1Graph::Generate(size_t n, uint64_t seed) {
+  Oo1Graph g;
+  g.n = n;
+  g.connections.resize(n);
+  g.x.resize(n);
+  g.y.resize(n);
+  Random rng(seed);
+  // OO1 locality: 90% of references target one of the nearest 1% of parts.
+  size_t zone = std::max<size_t>(1, n / 100);
+  for (size_t i = 0; i < n; ++i) {
+    g.x[i] = static_cast<int64_t>(rng.Uniform(100000));
+    g.y[i] = static_cast<int64_t>(rng.Uniform(100000));
+    for (int c = 0; c < 3; ++c) {
+      size_t target;
+      if (rng.NextDouble() < 0.9) {
+        int64_t offset =
+            rng.UniformRange(-static_cast<int64_t>(zone),
+                             static_cast<int64_t>(zone));
+        int64_t t = static_cast<int64_t>(i) + offset;
+        t = ((t % static_cast<int64_t>(n)) + static_cast<int64_t>(n)) %
+            static_cast<int64_t>(n);
+        target = static_cast<size_t>(t);
+      } else {
+        target = rng.Uniform(n);
+      }
+      g.connections[i][static_cast<size_t>(c)] =
+          static_cast<uint32_t>(target);
+    }
+  }
+  return g;
+}
+
+Oo1Schema CreateOo1Schema(Catalog* catalog) {
+  Oo1Schema s;
+  s.part = *catalog->CreateClass(
+      "Part", {},
+      {{"PartId", Domain::Int()},
+       {"X", Domain::Int()},
+       {"Y", Domain::Int()},
+       {"Connections", Domain::SetOf(Domain::Ref(kRootClassId))}});
+  s.part_id = (*catalog->ResolveAttr(s.part, "PartId"))->id;
+  s.x = (*catalog->ResolveAttr(s.part, "X"))->id;
+  s.y = (*catalog->ResolveAttr(s.part, "Y"))->id;
+  s.connections = (*catalog->ResolveAttr(s.part, "Connections"))->id;
+  return s;
+}
+
+Result<std::vector<Oid>> LoadOo1(ObjectStore* store, const Oo1Schema& schema,
+                                 const Oo1Graph& graph) {
+  // Two passes: create all parts, then wire connections (forward refs).
+  std::vector<Oid> oids;
+  oids.reserve(graph.n);
+  for (size_t i = 0; i < graph.n; ++i) {
+    Object obj;
+    obj.Set(schema.part_id, Value::Int(static_cast<int64_t>(i)));
+    obj.Set(schema.x, Value::Int(graph.x[i]));
+    obj.Set(schema.y, Value::Int(graph.y[i]));
+    KIMDB_ASSIGN_OR_RETURN(Oid oid,
+                           store->Insert(0, schema.part, std::move(obj)));
+    oids.push_back(oid);
+  }
+  for (size_t i = 0; i < graph.n; ++i) {
+    KIMDB_ASSIGN_OR_RETURN(Object obj, store->GetRaw(oids[i]));
+    std::vector<Value> refs;
+    for (uint32_t t : graph.connections[i]) {
+      refs.push_back(Value::Ref(oids[t]));
+    }
+    obj.Set(schema.connections, Value::List(std::move(refs)));
+    KIMDB_RETURN_IF_ERROR(store->Update(0, obj));
+  }
+  return oids;
+}
+
+Result<Oo1Rel> LoadOo1Rel(BufferPool* bp, const Oo1Graph& graph) {
+  Oo1Rel out;
+  KIMDB_ASSIGN_OR_RETURN(
+      out.parts, rel::Relation::Create(bp, "part",
+                                       {{"id", Value::Kind::kInt},
+                                        {"x", Value::Kind::kInt},
+                                        {"y", Value::Kind::kInt}}));
+  KIMDB_ASSIGN_OR_RETURN(
+      out.connections,
+      rel::Relation::Create(bp, "connection",
+                            {{"from_id", Value::Kind::kInt},
+                             {"to_id", Value::Kind::kInt}}));
+  for (size_t i = 0; i < graph.n; ++i) {
+    KIMDB_RETURN_IF_ERROR(
+        out.parts
+            ->Insert({Value::Int(static_cast<int64_t>(i)),
+                      Value::Int(graph.x[i]), Value::Int(graph.y[i])})
+            .status());
+    for (uint32_t t : graph.connections[i]) {
+      KIMDB_RETURN_IF_ERROR(
+          out.connections
+              ->Insert({Value::Int(static_cast<int64_t>(i)),
+                        Value::Int(static_cast<int64_t>(t))})
+              .status());
+    }
+  }
+  KIMDB_RETURN_IF_ERROR(out.parts->CreateIndex("id").status());
+  KIMDB_RETURN_IF_ERROR(out.connections->CreateIndex("from_id").status());
+  return out;
+}
+
+CadSchema CreateCadSchema(Catalog* catalog) {
+  CadSchema s;
+  s.part = *catalog->CreateClass("CadPart", {},
+                                 {{"Name", Domain::String()},
+                                  {"Payload", Domain::String()}});
+  s.name = (*catalog->ResolveAttr(s.part, "Name"))->id;
+  s.payload = (*catalog->ResolveAttr(s.part, "Payload"))->id;
+  return s;
+}
+
+Result<Oid> BuildAssembly(ObjectStore* store, CompositeManager* composites,
+                          const CadSchema& schema, size_t fanout,
+                          size_t depth, bool clustered, uint64_t seed) {
+  Random rng(seed);
+  auto make_part = [&](const std::string& name,
+                       Oid hint) -> Result<Oid> {
+    Object obj;
+    obj.Set(schema.name, Value::Str(name));
+    obj.Set(schema.payload, Value::Str(rng.NextString(128)));
+    return store->Insert(0, schema.part, std::move(obj),
+                         clustered ? hint : kNilOid);
+  };
+  auto scatter = [&]() -> Status {
+    // Interleave unrelated inserts so un-clustered components land on
+    // different pages (models a busy multi-user database).
+    if (clustered) return Status::OK();
+    for (int i = 0; i < 8; ++i) {
+      Object filler;
+      filler.Set(schema.name, Value::Str("filler"));
+      filler.Set(schema.payload, Value::Str(rng.NextString(256)));
+      KIMDB_RETURN_IF_ERROR(
+          store->Insert(0, schema.part, std::move(filler)).status());
+    }
+    return Status::OK();
+  };
+
+  KIMDB_ASSIGN_OR_RETURN(Oid root, make_part("asm-root", kNilOid));
+  struct Item {
+    Oid parent;
+    size_t level;
+  };
+  std::vector<Item> frontier{{root, 0}};
+  while (!frontier.empty()) {
+    Item item = frontier.back();
+    frontier.pop_back();
+    if (item.level >= depth) continue;
+    for (size_t c = 0; c < fanout; ++c) {
+      KIMDB_RETURN_IF_ERROR(scatter());
+      KIMDB_ASSIGN_OR_RETURN(
+          Oid child,
+          make_part("p" + std::to_string(item.level) + "-" +
+                        std::to_string(c),
+                    item.parent));
+      KIMDB_RETURN_IF_ERROR(
+          composites->AttachChild(0, child, item.parent));
+      frontier.push_back({child, item.level + 1});
+    }
+  }
+  return root;
+}
+
+}  // namespace bench
+}  // namespace kimdb

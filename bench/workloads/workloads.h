@@ -1,0 +1,113 @@
+#ifndef KIMDB_BENCH_WORKLOADS_WORKLOADS_H_
+#define KIMDB_BENCH_WORKLOADS_WORKLOADS_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "object/composite.h"
+#include "object/object_store.h"
+#include "rel/relation.h"
+#include "util/random.h"
+
+namespace kimdb {
+namespace bench {
+
+// ---------------------------------------------------------------------------
+// Figure-1 vehicle workload (experiments E1, E2, E3, E12)
+// ---------------------------------------------------------------------------
+
+struct VehicleSchema {
+  ClassId company, auto_company, truck_company, japanese_auto;
+  ClassId vehicle, automobile, domestic_auto, truck;
+  AttrId name, location;            // Company
+  AttrId weight, manufacturer;      // Vehicle (+ subclasses)
+  AttrId payload;                   // Truck
+};
+
+/// Creates the paper's Figure 1 classes in `catalog`.
+VehicleSchema CreateVehicleSchema(Catalog* catalog);
+
+struct VehicleData {
+  std::vector<Oid> companies;
+  std::vector<Oid> vehicles;  // mixed across the Vehicle subtree
+};
+
+/// `detroit_fraction` of companies are located in Detroit; vehicles get
+/// uniform weights in [0, 10000) and a uniformly random manufacturer, and
+/// are spread round-robin over {Vehicle, Automobile, DomesticAutomobile,
+/// Truck}.
+Result<VehicleData> PopulateVehicles(ObjectStore* store,
+                                     const VehicleSchema& schema,
+                                     size_t n_companies, size_t n_vehicles,
+                                     double detroit_fraction, uint64_t seed);
+
+/// A widened hierarchy for the E2 sweep: `n_subclasses` direct subclasses
+/// of a fresh root class, each with the root's indexed attribute.
+struct WideHierarchy {
+  ClassId root;
+  std::vector<ClassId> subclasses;
+  AttrId key;
+};
+WideHierarchy CreateWideHierarchy(Catalog* catalog, size_t n_subclasses);
+
+// ---------------------------------------------------------------------------
+// OO1 / RUBE87 "simple database operations" workload (E4, E5)
+// ---------------------------------------------------------------------------
+
+/// The part graph, generated independently of any engine so the object
+/// and relational stores load the *same* data (paper §5.6: the benchmark
+/// must allow "a meaningful comparison with conventional database
+/// systems").
+///
+/// OO1 shape: N parts; each part has exactly 3 outgoing connections; 90%
+/// of connections go to one of the nearest 1% of parts (locality), 10%
+/// uniform.
+struct Oo1Graph {
+  size_t n = 0;
+  std::vector<std::array<uint32_t, 3>> connections;  // by part index
+  std::vector<int64_t> x, y;                         // coordinates
+
+  static Oo1Graph Generate(size_t n, uint64_t seed);
+};
+
+struct Oo1Schema {
+  ClassId part;
+  AttrId part_id, x, y, connections;
+};
+Oo1Schema CreateOo1Schema(Catalog* catalog);
+
+/// Loads the graph; returns OIDs indexed by part index.
+Result<std::vector<Oid>> LoadOo1(ObjectStore* store, const Oo1Schema& schema,
+                                 const Oo1Graph& graph);
+
+/// Relational mirror: part(id, x, y) and connection(from_id, to_id),
+/// with indexes on part.id and connection.from_id.
+struct Oo1Rel {
+  std::unique_ptr<rel::Relation> parts;
+  std::unique_ptr<rel::Relation> connections;
+};
+Result<Oo1Rel> LoadOo1Rel(BufferPool* bp, const Oo1Graph& graph);
+
+// ---------------------------------------------------------------------------
+// CAD assembly workload (E8, E9)
+// ---------------------------------------------------------------------------
+
+struct CadSchema {
+  ClassId part;
+  AttrId name, payload;
+};
+CadSchema CreateCadSchema(Catalog* catalog);
+
+/// Builds a composite tree with the given fan-out and depth (depth 0 =
+/// just the root). `clustered` places children near their parents via the
+/// insert hint; otherwise placement interleaves with `scatter` dummy
+/// inserts to drive components apart (the un-clustered baseline of E8).
+Result<Oid> BuildAssembly(ObjectStore* store, CompositeManager* composites,
+                          const CadSchema& schema, size_t fanout,
+                          size_t depth, bool clustered, uint64_t seed);
+
+}  // namespace bench
+}  // namespace kimdb
+
+#endif  // KIMDB_BENCH_WORKLOADS_WORKLOADS_H_

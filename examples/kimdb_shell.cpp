@@ -1,0 +1,469 @@
+// kimdb_shell: an interactive shell over the KIMDB public API.
+//
+//   ./build/examples/kimdb_shell            # in-memory database
+//   ./build/examples/kimdb_shell /tmp/mydb  # durable database
+//
+// OQL queries are typed directly ("select Vehicle where Weight > 7500");
+// everything else is a dot-command -- type ".help".
+//
+// Example session:
+//   .create Company Name:string Location:string
+//   .create Vehicle Weight:int Manufacturer:ref(Company)
+//   .create Truck under Vehicle Payload:int
+//   .insert Company Name='GM' Location='Detroit'
+//   .insert Truck Weight=9000 Manufacturer=@1:1
+//   .index ch Vehicle Weight
+//   .explain select Vehicle where Weight > 7500
+//   select Vehicle where Weight > 7500
+//   .get @3:1
+//   .check
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/database.h"
+
+using namespace kimdb;
+
+namespace {
+
+std::vector<std::string> SplitWs(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+// Parses "@c:s" into an Oid.
+Result<Oid> ParseOid(const std::string& text) {
+  if (text.size() < 4 || text[0] != '@') {
+    return Status::InvalidArgument("expected @class:serial");
+  }
+  size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("expected @class:serial");
+  }
+  try {
+    ClassId cls = static_cast<ClassId>(
+        std::stoul(text.substr(1, colon - 1)));
+    uint64_t serial = std::stoull(text.substr(colon + 1));
+    return Oid::Make(cls, serial);
+  } catch (...) {
+    return Status::InvalidArgument("malformed OID");
+  }
+}
+
+// Parses a literal: int, real, true/false, null, 'string', @oid.
+Result<Value> ParseValue(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty value");
+  if (text == "null") return Value::Null();
+  if (text == "true") return Value::Bool(true);
+  if (text == "false") return Value::Bool(false);
+  if (text[0] == '@') {
+    KIMDB_ASSIGN_OR_RETURN(Oid oid, ParseOid(text));
+    return Value::Ref(oid);
+  }
+  if (text.front() == '\'') {
+    if (text.size() < 2 || text.back() != '\'') {
+      return Status::InvalidArgument("unterminated string");
+    }
+    return Value::Str(text.substr(1, text.size() - 2));
+  }
+  try {
+    if (text.find('.') != std::string::npos) {
+      return Value::Real(std::stod(text));
+    }
+    return Value::Int(std::stoll(text));
+  } catch (...) {
+    return Status::InvalidArgument("cannot parse value '" + text + "'");
+  }
+}
+
+// Parses "name:type" where type is int|real|bool|string|ref(Class)|set(...).
+Result<AttributeSpec> ParseAttrSpec(const Catalog& cat,
+                                    const std::string& spec) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("expected name:type in '" + spec + "'");
+  }
+  std::string name = spec.substr(0, colon);
+  std::string type = spec.substr(colon + 1);
+  bool is_set = false;
+  if (type.rfind("set(", 0) == 0 && type.back() == ')') {
+    is_set = true;
+    type = type.substr(4, type.size() - 5);
+  }
+  Domain d;
+  if (type == "int") {
+    d = Domain::Int();
+  } else if (type == "real") {
+    d = Domain::Real();
+  } else if (type == "bool") {
+    d = Domain::Bool();
+  } else if (type == "string") {
+    d = Domain::String();
+  } else if (type.rfind("ref(", 0) == 0 && type.back() == ')') {
+    std::string cls = type.substr(4, type.size() - 5);
+    KIMDB_ASSIGN_OR_RETURN(ClassId id, cat.FindClass(cls));
+    d = Domain::Ref(id);
+  } else {
+    return Status::InvalidArgument("unknown type '" + type + "'");
+  }
+  if (is_set) d = Domain::SetOf(d);
+  return AttributeSpec{name, d};
+}
+
+void PrintObject(const Database& db, const Object& obj) {
+  Result<const ClassDef*> def = db.catalog().GetClass(obj.class_id());
+  std::printf("%s (%s)\n", obj.oid().ToString().c_str(),
+              def.ok() ? (*def)->name.c_str() : "?");
+  for (const auto& [attr, value] : obj.attrs()) {
+    std::string attr_name;
+    if (attr >= kSysAttrBase) {
+      attr_name = "<sys:" + std::to_string(attr - kSysAttrBase) + ">";
+    } else {
+      Result<const AttributeDef*> a = db.catalog().GetAttrById(attr);
+      attr_name = a.ok() ? (*a)->name : "#" + std::to_string(attr);
+    }
+    std::printf("  %-16s = %s\n", attr_name.c_str(),
+                value.ToString().c_str());
+  }
+}
+
+constexpr const char* kHelp = R"(commands:
+  select ...                                  run an OQL query
+  .create <Class> [under <Super,...>] [n:type ...]   define a class
+       types: int real bool string ref(Class) set(type)
+  .classes                                    list classes
+  .insert <Class> [attr=value ...]            insert (values: 7, 1.5,
+                                              true, 'str', @c:s, null)
+  .get @c:s | .set @c:s attr value | .delete @c:s
+  .send @c:s method                           late-bound message (0 args)
+  .index <ch|single|nested> <Class> <attr[.attr...]>
+  .explain select ...                         show the chosen plan
+  .view <name> select ...                     define a view
+  .views | .query-view <name>                 list / run views
+  .begin | .commit | .abort                   explicit transaction
+  .check                                      consistency check (fsck)
+  .checkpoint | .stats | .help | .quit)";
+
+class Shell {
+ public:
+  explicit Shell(std::unique_ptr<Database> db) : db_(std::move(db)) {}
+
+  // Transaction used for a single statement when no explicit one is open.
+  Result<uint64_t> TxnForStatement() {
+    if (explicit_txn_ != 0) return explicit_txn_;
+    return db_->Begin();
+  }
+
+  Status FinishStatement(uint64_t txn, const Status& st) {
+    if (explicit_txn_ != 0) return st;  // user commits explicitly
+    if (st.ok()) return db_->Commit(txn);
+    Status abort = db_->Abort(txn);
+    (void)abort;
+    return st;
+  }
+
+  void RunQuery(const std::string& line) {
+    QueryStats stats;
+    Result<std::vector<Oid>> hits = db_->ExecuteOql(line, &stats);
+    if (!hits.ok()) {
+      std::printf("error: %s\n", hits.status().ToString().c_str());
+      return;
+    }
+    for (Oid oid : *hits) {
+      Result<Object> obj = db_->store().Get(oid);
+      if (obj.ok()) PrintObject(*db_, *obj);
+    }
+    std::printf("-- %zu object(s)%s\n", hits->size(),
+                stats.used_index ? " [index]" : " [scan]");
+  }
+
+  void Dispatch(const std::string& line);
+
+  bool done() const { return done_; }
+
+ private:
+  void CmdCreate(const std::vector<std::string>& args);
+  void CmdInsert(const std::vector<std::string>& args);
+
+  std::unique_ptr<Database> db_;
+  uint64_t explicit_txn_ = 0;
+  bool done_ = false;
+};
+
+void Shell::CmdCreate(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::printf("usage: .create <Class> [under Super,...] [name:type ...]\n");
+    return;
+  }
+  std::string name = args[1];
+  std::vector<std::string> supers;
+  size_t attr_start = 2;
+  if (args.size() > 3 && args[2] == "under") {
+    std::istringstream in(args[3]);
+    std::string s;
+    while (std::getline(in, s, ',')) supers.push_back(s);
+    attr_start = 4;
+  }
+  std::vector<AttributeSpec> attrs;
+  for (size_t i = attr_start; i < args.size(); ++i) {
+    Result<AttributeSpec> spec = ParseAttrSpec(db_->catalog(), args[i]);
+    if (!spec.ok()) {
+      std::printf("error: %s\n", spec.status().ToString().c_str());
+      return;
+    }
+    attrs.push_back(std::move(*spec));
+  }
+  Result<ClassId> id = db_->CreateClass(name, supers, attrs);
+  if (!id.ok()) {
+    std::printf("error: %s\n", id.status().ToString().c_str());
+    return;
+  }
+  std::printf("class %s = #%u\n", name.c_str(), *id);
+}
+
+void Shell::CmdInsert(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::printf("usage: .insert <Class> [attr=value ...]\n");
+    return;
+  }
+  std::vector<std::pair<std::string, Value>> attrs;
+  for (size_t i = 2; i < args.size(); ++i) {
+    size_t eq = args[i].find('=');
+    if (eq == std::string::npos) {
+      std::printf("error: expected attr=value in '%s'\n", args[i].c_str());
+      return;
+    }
+    Result<Value> v = ParseValue(args[i].substr(eq + 1));
+    if (!v.ok()) {
+      std::printf("error: %s\n", v.status().ToString().c_str());
+      return;
+    }
+    attrs.push_back({args[i].substr(0, eq), std::move(*v)});
+  }
+  Result<uint64_t> txn = TxnForStatement();
+  if (!txn.ok()) {
+    std::printf("error: %s\n", txn.status().ToString().c_str());
+    return;
+  }
+  Result<Oid> oid = db_->Insert(*txn, args[1], attrs);
+  Status st = FinishStatement(*txn, oid.status());
+  if (!oid.ok() || !st.ok()) {
+    std::printf("error: %s\n",
+                (!oid.ok() ? oid.status() : st).ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", oid->ToString().c_str());
+}
+
+void Shell::Dispatch(const std::string& line) {
+  if (line.empty()) return;
+  if (line[0] != '.') {
+    RunQuery(line);
+    return;
+  }
+  std::vector<std::string> args = SplitWs(line);
+  const std::string& cmd = args[0];
+
+  if (cmd == ".quit" || cmd == ".exit") {
+    done_ = true;
+  } else if (cmd == ".help") {
+    std::printf("%s\n", kHelp);
+  } else if (cmd == ".create") {
+    CmdCreate(args);
+  } else if (cmd == ".classes") {
+    for (ClassId cls : db_->catalog().AllClasses()) {
+      auto def = db_->catalog().GetClass(cls);
+      if (!def.ok()) continue;
+      std::printf("#%-4u %-24s", cls, (*def)->name.c_str());
+      auto attrs = db_->catalog().EffectiveAttrs(cls);
+      if (attrs.ok()) {
+        for (const AttributeDef* a : *attrs) {
+          std::printf(" %s:%s", a->name.c_str(),
+                      a->domain.ToString().c_str());
+        }
+      }
+      std::printf("\n");
+    }
+  } else if (cmd == ".insert") {
+    CmdInsert(args);
+  } else if (cmd == ".get" && args.size() == 2) {
+    Result<Oid> oid = ParseOid(args[1]);
+    if (oid.ok()) {
+      Result<Object> obj = db_->store().Get(*oid);
+      if (obj.ok()) {
+        PrintObject(*db_, *obj);
+      } else {
+        std::printf("error: %s\n", obj.status().ToString().c_str());
+      }
+    }
+  } else if (cmd == ".set" && args.size() == 4) {
+    Result<Oid> oid = ParseOid(args[1]);
+    Result<Value> v = ParseValue(args[3]);
+    if (oid.ok() && v.ok()) {
+      Result<uint64_t> txn = TxnForStatement();
+      if (txn.ok()) {
+        Status st = db_->Set(*txn, *oid, args[2], std::move(*v));
+        st = FinishStatement(*txn, st);
+        std::printf("%s\n", st.ToString().c_str());
+      }
+    }
+  } else if (cmd == ".delete" && args.size() == 2) {
+    Result<Oid> oid = ParseOid(args[1]);
+    if (oid.ok()) {
+      Result<uint64_t> txn = TxnForStatement();
+      if (txn.ok()) {
+        Status st = db_->Delete(*txn, *oid);
+        st = FinishStatement(*txn, st);
+        std::printf("%s\n", st.ToString().c_str());
+      }
+    }
+  } else if (cmd == ".send" && args.size() == 3) {
+    Result<Oid> oid = ParseOid(args[1]);
+    if (oid.ok()) {
+      Result<uint64_t> txn = TxnForStatement();
+      if (txn.ok()) {
+        Result<Value> reply = db_->Send(*txn, *oid, args[2]);
+        Status st = FinishStatement(*txn, reply.status());
+        (void)st;
+        if (reply.ok()) {
+          std::printf("=> %s\n", reply->ToString().c_str());
+        } else {
+          std::printf("error: %s\n", reply.status().ToString().c_str());
+        }
+      }
+    }
+  } else if (cmd == ".index" && args.size() == 4) {
+    IndexKind kind;
+    if (args[1] == "ch") {
+      kind = IndexKind::kClassHierarchy;
+    } else if (args[1] == "single") {
+      kind = IndexKind::kSingleClass;
+    } else if (args[1] == "nested") {
+      kind = IndexKind::kNested;
+    } else {
+      std::printf("usage: .index <ch|single|nested> <Class> <path>\n");
+      return;
+    }
+    Result<ClassId> cls = db_->catalog().FindClass(args[2]);
+    if (!cls.ok()) {
+      std::printf("error: %s\n", cls.status().ToString().c_str());
+      return;
+    }
+    std::vector<std::string> path;
+    std::istringstream in(args[3]);
+    std::string seg;
+    while (std::getline(in, seg, '.')) path.push_back(seg);
+    Result<IndexId> id = db_->indexes().CreateIndex(kind, *cls, path);
+    std::printf("%s\n", id.ok()
+                            ? ("index #" + std::to_string(*id)).c_str()
+                            : id.status().ToString().c_str());
+  } else if (cmd == ".explain") {
+    Result<QueryPlan> plan =
+        db_->ExplainOql(line.substr(std::string(".explain ").size()));
+    std::printf("%s\n", plan.ok() ? plan->ToString().c_str()
+                                  : plan.status().ToString().c_str());
+  } else if (cmd == ".view" && args.size() >= 3) {
+    size_t select_pos = line.find("select");
+    if (select_pos == std::string::npos) {
+      std::printf("usage: .view <name> select ...\n");
+      return;
+    }
+    Result<Query> q = db_->parser().ParseQuery(line.substr(select_pos));
+    if (q.ok()) {
+      Status st = db_->views().DefineView(args[1], std::move(*q));
+      std::printf("%s\n", st.ToString().c_str());
+    } else {
+      std::printf("error: %s\n", q.status().ToString().c_str());
+    }
+  } else if (cmd == ".views") {
+    for (const std::string& v : db_->views().ViewNames()) {
+      std::printf("%s\n", v.c_str());
+    }
+  } else if (cmd == ".query-view" && args.size() == 2) {
+    Result<std::vector<Oid>> hits = db_->views().QueryView(args[1]);
+    if (hits.ok()) {
+      for (Oid oid : *hits) std::printf("%s\n", oid.ToString().c_str());
+      std::printf("-- %zu object(s)\n", hits->size());
+    } else {
+      std::printf("error: %s\n", hits.status().ToString().c_str());
+    }
+  } else if (cmd == ".begin") {
+    if (explicit_txn_ != 0) {
+      std::printf("error: transaction already open\n");
+      return;
+    }
+    Result<uint64_t> txn = db_->Begin();
+    if (txn.ok()) {
+      explicit_txn_ = *txn;
+      std::printf("txn %llu\n",
+                  static_cast<unsigned long long>(explicit_txn_));
+    }
+  } else if (cmd == ".commit") {
+    Status st = explicit_txn_ == 0
+                    ? Status::FailedPrecondition("no open transaction")
+                    : db_->Commit(explicit_txn_);
+    explicit_txn_ = 0;
+    std::printf("%s\n", st.ToString().c_str());
+  } else if (cmd == ".abort") {
+    Status st = explicit_txn_ == 0
+                    ? Status::FailedPrecondition("no open transaction")
+                    : db_->Abort(explicit_txn_);
+    explicit_txn_ = 0;
+    std::printf("%s\n", st.ToString().c_str());
+  } else if (cmd == ".check") {
+    Result<ConsistencyReport> report =
+        ConsistencyChecker::Check(db_->store());
+    std::printf("%s\n", report.ok()
+                            ? report->Summary().c_str()
+                            : report.status().ToString().c_str());
+  } else if (cmd == ".checkpoint") {
+    std::printf("%s\n", db_->Checkpoint().ToString().c_str());
+  } else if (cmd == ".stats") {
+    const BufferPoolStats& s = db_->buffer_pool().stats();
+    std::printf("buffer pool: hits=%llu misses=%llu evictions=%llu "
+                "reads=%llu writes=%llu\n",
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.evictions),
+                static_cast<unsigned long long>(s.disk_reads),
+                static_cast<unsigned long long>(s.disk_writes));
+  } else {
+    std::printf("unknown command (try .help)\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DatabaseOptions opts;
+  if (argc > 1) {
+    opts.path = argv[1];
+  } else {
+    opts.in_memory = true;
+  }
+  auto db = Database::Open(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("KIMDB shell (%s). Type .help for commands.\n",
+              opts.in_memory ? "in-memory" : opts.path.c_str());
+  Shell shell(std::move(*db));
+  std::string line;
+  while (!shell.done()) {
+    std::printf("kimdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    shell.Dispatch(line);
+  }
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Vehicle design registry: the paper's Figure 1 schema in full, exercising
+//  * multiple inheritance and the class hierarchy DAG,
+//  * class-hierarchy vs single-class query scopes,
+//  * nested-attribute indexing and EXPLAIN,
+//  * late-bound methods in predicates,
+//  * schema evolution against live data,
+//  * views and content-based authorization.
+
+#include <cstdio>
+
+#include "core/database.h"
+
+using namespace kimdb;
+
+#define CHECK_OK(expr)                                                   \
+  do {                                                                   \
+    ::kimdb::Status _st = (expr);                                        \
+    if (!_st.ok()) {                                                     \
+      std::fprintf(stderr, "FATAL at %d: %s\n", __LINE__,                \
+                   _st.ToString().c_str());                              \
+      return 1;                                                          \
+    }                                                                    \
+  } while (0)
+
+#define CHECK_ASSIGN(var, expr)                                          \
+  auto var##_result = (expr);                                            \
+  if (!var##_result.ok()) {                                              \
+    std::fprintf(stderr, "FATAL at %d: %s\n", __LINE__,                  \
+                 var##_result.status().ToString().c_str());              \
+    return 1;                                                            \
+  }                                                                      \
+  auto var = std::move(*var##_result);
+
+int main() {
+  DatabaseOptions opts;
+  opts.in_memory = true;
+  CHECK_ASSIGN(db, Database::Open(opts));
+
+  // --- Figure 1: class hierarchy + aggregation hierarchy ---------------------
+  CHECK_ASSIGN(company, db->CreateClass("Company", {},
+                                        {{"Name", Domain::String()},
+                                         {"Location", Domain::String()}}));
+  CHECK_OK(db->CreateClass("AutoCompany", {"Company"}, {}).status());
+  CHECK_OK(db->CreateClass("TruckCompany", {"Company"}, {}).status());
+  CHECK_OK(db->CreateClass("JapaneseAutoCompany", {"AutoCompany"}, {})
+               .status());
+  CHECK_ASSIGN(engine_cls,
+               db->CreateClass("VehicleEngine", {},
+                               {{"Displacement", Domain::Int()},
+                                {"Cylinders", Domain::Int()}}));
+  CHECK_ASSIGN(vehicle,
+               db->CreateClass(
+                   "Vehicle", {},
+                   {{"Weight", Domain::Int()},
+                    {"Manufacturer", Domain::Ref(company)},
+                    {"Engine", Domain::Ref(engine_cls)},
+                    {"Drivetrain", Domain::String()}},
+                   {{"PowerToWeight", 0}}));
+  CHECK_OK(db->CreateClass("Automobile", {"Vehicle"}, {}).status());
+  CHECK_OK(db->CreateClass("DomesticAutomobile", {"Automobile"}, {})
+               .status());
+  CHECK_OK(db->CreateClass("Truck", {"Vehicle"},
+                           {{"Payload", Domain::Int()}})
+               .status());
+
+  // A late-bound method usable in declarative queries.
+  CHECK_OK(db->methods().Register(
+      db->catalog(), vehicle, "PowerToWeight",
+      [&db](MethodContext& ctx, const std::vector<Value>&) -> Result<Value> {
+        const Catalog& cat = db->catalog();
+        AttrId engine_attr =
+            (*cat.ResolveAttr(ctx.self->class_id(), "Engine"))->id;
+        AttrId weight_attr =
+            (*cat.ResolveAttr(ctx.self->class_id(), "Weight"))->id;
+        const Value& eng = ctx.self->Get(engine_attr);
+        const Value& w = ctx.self->Get(weight_attr);
+        if (eng.kind() != Value::Kind::kRef || w.is_null()) {
+          return Value::Real(0.0);
+        }
+        auto* database = static_cast<Database*>(ctx.env);
+        KIMDB_ASSIGN_OR_RETURN(Object engine,
+                               database->store().Get(eng.as_ref()));
+        AttrId disp =
+            (*cat.ResolveAttr(engine.class_id(), "Displacement"))->id;
+        if (engine.Get(disp).is_null()) return Value::Real(0.0);
+        return Value::Real(static_cast<double>(engine.Get(disp).as_int()) /
+                           static_cast<double>(w.as_int()));
+      }));
+
+  // --- populate ----------------------------------------------------------------
+  CHECK_ASSIGN(t, db->Begin());
+  CHECK_ASSIGN(gm, db->Insert(t, "Company",
+                              {{"Name", Value::Str("GM")},
+                               {"Location", Value::Str("Detroit")}}));
+  CHECK_ASSIGN(toyota, db->Insert(t, "JapaneseAutoCompany",
+                                  {{"Name", Value::Str("Toyota")},
+                                   {"Location", Value::Str("Nagoya")}}));
+  CHECK_ASSIGN(mack, db->Insert(t, "TruckCompany",
+                                {{"Name", Value::Str("Mack")},
+                                 {"Location", Value::Str("Detroit")}}));
+  CHECK_ASSIGN(v8, db->Insert(t, "VehicleEngine",
+                              {{"Displacement", Value::Int(5700)},
+                               {"Cylinders", Value::Int(8)}}));
+  CHECK_ASSIGN(i4, db->Insert(t, "VehicleEngine",
+                              {{"Displacement", Value::Int(1800)},
+                               {"Cylinders", Value::Int(4)}}));
+  CHECK_OK(db->Insert(t, "Truck",
+                      {{"Weight", Value::Int(12000)},
+                       {"Payload", Value::Int(8000)},
+                       {"Manufacturer", Value::Ref(mack)},
+                       {"Engine", Value::Ref(v8)}})
+               .status());
+  CHECK_OK(db->Insert(t, "DomesticAutomobile",
+                      {{"Weight", Value::Int(8000)},
+                       {"Manufacturer", Value::Ref(gm)},
+                       {"Engine", Value::Ref(v8)},
+                       {"Drivetrain", Value::Str("RWD")}})
+               .status());
+  CHECK_OK(db->Insert(t, "Automobile",
+                      {{"Weight", Value::Int(1100)},
+                       {"Manufacturer", Value::Ref(toyota)},
+                       {"Engine", Value::Ref(i4)}})
+               .status());
+  CHECK_OK(db->Commit(t));
+
+  // --- the §3.2 query, three ways ------------------------------------------------
+  const char* q1 =
+      "select Vehicle where Weight > 7500 and "
+      "Manufacturer.Location = 'Detroit'";
+  CHECK_ASSIGN(hits1, db->ExecuteOql(q1));
+  std::printf("[Q1 paper query]       %zu vehicles\n", hits1.size());
+
+  // Single-class scope: no Vehicle instances proper, so zero.
+  CHECK_ASSIGN(hits2, db->ExecuteOql(
+                          "select Vehicle only where Weight > 7500"));
+  std::printf("[Q2 'only' scope]      %zu vehicles\n", hits2.size());
+
+  // Method call predicate (late binding).
+  CHECK_ASSIGN(hits3, db->ExecuteOql(
+                          "select Vehicle where PowerToWeight() > 0.45"));
+  std::printf("[Q3 method predicate]  %zu vehicles\n", hits3.size());
+
+  // --- nested index flips the plan --------------------------------------------------
+  CHECK_ASSIGN(plan_before, db->ExplainOql(q1));
+  CHECK_OK(db->indexes()
+               .CreateIndex(IndexKind::kNested, vehicle,
+                            {"Manufacturer", "Location"})
+               .status());
+  CHECK_ASSIGN(plan_after, db->ExplainOql(q1));
+  std::printf("plan before index: %s\n", plan_before.ToString().c_str());
+  std::printf("plan after index:  %s\n", plan_after.ToString().c_str());
+  CHECK_ASSIGN(hits1b, db->ExecuteOql(q1));
+  if (hits1b.size() != hits1.size()) {
+    std::fprintf(stderr, "index changed the answer!\n");
+    return 1;
+  }
+
+  // --- schema evolution against live data -------------------------------------------
+  CHECK_OK(db->AddAttribute("Vehicle", {"Range", Domain::Int(),
+                                        Value::Int(400)}));
+  CHECK_ASSIGN(hits4, db->ExecuteOql("select Vehicle where Range = 400"));
+  std::printf("[Q4 evolved schema]    %zu vehicles (default materialized "
+              "lazily)\n",
+              hits4.size());
+
+  // --- views + content-based authorization --------------------------------------------
+  Query heavy;
+  heavy.target = vehicle;
+  heavy.predicate = Expr::Gt(Expr::Path({"Weight"}),
+                             Expr::Const(Value::Int(7500)));
+  CHECK_OK(db->views().DefineView("HeavyVehicles", heavy));
+  CHECK_ASSIGN(analyst, db->authz().CreateUser("analyst"));
+  CHECK_ASSIGN(role, db->authz().CreateRole("fleet-review"));
+  CHECK_OK(db->authz().GrantRoleToUser(role, analyst));
+  CHECK_OK(db->authz().GrantView(role, "HeavyVehicles"));
+
+  CHECK_ASSIGN(heavy_hits, db->views().QueryView("HeavyVehicles"));
+  int visible = 0, hidden = 0;
+  CHECK_OK(db->store().ForEachInHierarchy(
+      vehicle, [&](const Object& obj) -> Status {
+        Result<bool> ok = db->authz().CheckObject(
+            analyst, Privilege::kRead, obj, &db->views());
+        if (ok.ok() && *ok) {
+          ++visible;
+        } else {
+          ++hidden;
+        }
+        return Status::OK();
+      }));
+  std::printf("view 'HeavyVehicles' has %zu members; analyst sees %d "
+              "vehicles, %d hidden (content-based authorization)\n",
+              heavy_hits.size(), visible, hidden);
+
+  std::printf("vehicle_design OK\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "authz/authorization.h"
+
+#include <deque>
+
+namespace kimdb {
+
+Result<UserId> AuthorizationManager::CreateUser(std::string name) {
+  if (name.empty()) return Status::InvalidArgument("empty user name");
+  if (users_.count(name)) return Status::AlreadyExists("user exists");
+  UserId id = next_user_++;
+  users_[std::move(name)] = id;
+  return id;
+}
+
+Result<RoleId> AuthorizationManager::CreateRole(std::string name) {
+  if (name.empty()) return Status::InvalidArgument("empty role name");
+  if (roles_.count(name)) return Status::AlreadyExists("role exists");
+  RoleId id = next_role_++;
+  roles_[std::move(name)] = id;
+  return id;
+}
+
+Result<UserId> AuthorizationManager::FindUser(std::string_view name) const {
+  auto it = users_.find(std::string(name));
+  if (it == users_.end()) return Status::NotFound("no such user");
+  return it->second;
+}
+
+Result<RoleId> AuthorizationManager::FindRole(std::string_view name) const {
+  auto it = roles_.find(std::string(name));
+  if (it == roles_.end()) return Status::NotFound("no such role");
+  return it->second;
+}
+
+Status AuthorizationManager::GrantRoleToUser(RoleId role, UserId user) {
+  user_roles_[user].insert(role);
+  return Status::OK();
+}
+
+Status AuthorizationManager::RevokeRoleFromUser(RoleId role, UserId user) {
+  auto it = user_roles_.find(user);
+  if (it == user_roles_.end() || it->second.erase(role) == 0) {
+    return Status::NotFound("user does not hold the role");
+  }
+  return Status::OK();
+}
+
+Status AuthorizationManager::Grant(RoleId role, Privilege priv, ClassId cls) {
+  KIMDB_RETURN_IF_ERROR(catalog_->GetClass(cls).status());
+  auths_[AuthKey{role, cls, static_cast<uint8_t>(priv)}] = true;
+  return Status::OK();
+}
+
+Status AuthorizationManager::Deny(RoleId role, Privilege priv, ClassId cls) {
+  KIMDB_RETURN_IF_ERROR(catalog_->GetClass(cls).status());
+  auths_[AuthKey{role, cls, static_cast<uint8_t>(priv)}] = false;
+  return Status::OK();
+}
+
+Status AuthorizationManager::Revoke(RoleId role, Privilege priv,
+                                    ClassId cls) {
+  auths_.erase(AuthKey{role, cls, static_cast<uint8_t>(priv)});
+  return Status::OK();
+}
+
+Status AuthorizationManager::GrantView(RoleId role, std::string view_name) {
+  view_grants_[role].insert(std::move(view_name));
+  return Status::OK();
+}
+
+Status AuthorizationManager::RevokeView(RoleId role,
+                                        std::string_view view_name) {
+  auto it = view_grants_.find(role);
+  if (it == view_grants_.end() ||
+      it->second.erase(std::string(view_name)) == 0) {
+    return Status::NotFound("view grant not found");
+  }
+  return Status::OK();
+}
+
+std::optional<std::pair<int, bool>> AuthorizationManager::NearestAuth(
+    RoleId role, Privilege priv, ClassId cls) const {
+  // BFS upward through the superclass DAG: distance 0 is the class itself.
+  // At each distance, a denial beats a grant; kWrite authorizations also
+  // answer kRead checks.
+  std::deque<std::pair<ClassId, int>> queue{{cls, 0}};
+  std::unordered_set<ClassId> seen{cls};
+  std::optional<std::pair<int, bool>> found;
+  while (!queue.empty()) {
+    auto [cur, dist] = queue.front();
+    queue.pop_front();
+    if (found.has_value() && dist > found->first) break;
+
+    auto consider = [&](Privilege p) {
+      auto it = auths_.find(AuthKey{role, cur, static_cast<uint8_t>(p)});
+      if (it == auths_.end()) return;
+      if (!found.has_value() || dist < found->first ||
+          (dist == found->first && !it->second)) {
+        found = {dist, it->second};
+      }
+    };
+    consider(priv);
+    if (priv == Privilege::kRead) consider(Privilege::kWrite);
+
+    Result<const ClassDef*> def = catalog_->GetClass(cur);
+    if (def.ok()) {
+      for (ClassId s : (*def)->supers) {
+        if (seen.insert(s).second) queue.push_back({s, dist + 1});
+      }
+    }
+  }
+  return found;
+}
+
+Result<bool> AuthorizationManager::Check(UserId user, Privilege priv,
+                                         ClassId cls) const {
+  auto roles = user_roles_.find(user);
+  if (roles == user_roles_.end()) return false;
+  // The user is authorized if any of their roles resolves to a grant.
+  // (A denial on one role does not override a grant on another; denials
+  // scope within a role's own hierarchy resolution.)
+  for (RoleId role : roles->second) {
+    auto auth = NearestAuth(role, priv, cls);
+    if (auth.has_value() && auth->second) return true;
+  }
+  return false;
+}
+
+Result<bool> AuthorizationManager::CheckObject(
+    UserId user, Privilege priv, const Object& obj,
+    const ViewManager* views) const {
+  KIMDB_ASSIGN_OR_RETURN(bool class_level,
+                         Check(user, priv, obj.class_id()));
+  if (class_level) return true;
+  if (priv != Privilege::kRead || views == nullptr) return false;
+  // Content-based authorization: any granted view containing the object.
+  auto roles = user_roles_.find(user);
+  if (roles == user_roles_.end()) return false;
+  for (RoleId role : roles->second) {
+    auto vg = view_grants_.find(role);
+    if (vg == view_grants_.end()) continue;
+    for (const std::string& view : vg->second) {
+      Result<bool> inside = views->Contains(view, obj);
+      if (inside.ok() && *inside) return true;
+    }
+  }
+  return false;
+}
+
+Status AuthorizationManager::Require(UserId user, Privilege priv,
+                                     ClassId cls) const {
+  KIMDB_ASSIGN_OR_RETURN(bool ok, Check(user, priv, cls));
+  if (!ok) {
+    return Status::PermissionDenied("user lacks the required privilege on "
+                                    "the class");
+  }
+  return Status::OK();
+}
+
+}  // namespace kimdb

@@ -1,0 +1,110 @@
+#ifndef KIMDB_AUTHZ_AUTHORIZATION_H_
+#define KIMDB_AUTHZ_AUTHORIZATION_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "model/object.h"
+#include "query/views.h"
+#include "util/result.h"
+
+namespace kimdb {
+
+using UserId = uint32_t;
+using RoleId = uint32_t;
+
+enum class Privilege : uint8_t { kRead = 0, kWrite = 1, kCreate = 2,
+                                 kDelete = 3 };
+
+/// Authorization for an object-oriented database (paper §3.2/§5, RAB190
+/// direction). The model:
+///
+///  * subjects are roles; users hold roles;
+///  * authorization objects are classes; a grant on a class *implicitly*
+///    propagates to its entire subtree of subclasses (the class-hierarchy
+///    granule again) -- this is "implicit authorization";
+///  * both positive grants and negative authorizations (denials) exist;
+///    conflicts resolve by class-hierarchy distance from the checked
+///    class: the nearest explicit authorization wins, and at equal
+///    distance a denial beats a grant;
+///  * kWrite implies kRead; kRead implies nothing;
+///  * *content-based* authorization (§5.4) goes through views: granting a
+///    view lets the role read exactly the objects inside the view.
+class AuthorizationManager {
+ public:
+  explicit AuthorizationManager(const Catalog* catalog)
+      : catalog_(catalog) {}
+
+  // --- principals -----------------------------------------------------------
+
+  Result<UserId> CreateUser(std::string name);
+  Result<RoleId> CreateRole(std::string name);
+  Result<UserId> FindUser(std::string_view name) const;
+  Result<RoleId> FindRole(std::string_view name) const;
+  Status GrantRoleToUser(RoleId role, UserId user);
+  Status RevokeRoleFromUser(RoleId role, UserId user);
+
+  // --- class-level authorizations -------------------------------------------
+
+  Status Grant(RoleId role, Privilege priv, ClassId cls);
+  Status Deny(RoleId role, Privilege priv, ClassId cls);
+  Status Revoke(RoleId role, Privilege priv, ClassId cls);  // removes both
+
+  /// Content-based authorization: the role may read objects inside the
+  /// named view (checked by CheckObject).
+  Status GrantView(RoleId role, std::string view_name);
+  Status RevokeView(RoleId role, std::string_view view_name);
+
+  // --- checks ----------------------------------------------------------------
+
+  /// Class-level check with implicit propagation and conflict resolution.
+  Result<bool> Check(UserId user, Privilege priv, ClassId cls) const;
+
+  /// Object-level check: class-level first; if that denies and `views` is
+  /// given, a granted view containing the object authorizes kRead.
+  Result<bool> CheckObject(UserId user, Privilege priv, const Object& obj,
+                           const ViewManager* views = nullptr) const;
+
+  /// Convenience guard returning PermissionDenied instead of false.
+  Status Require(UserId user, Privilege priv, ClassId cls) const;
+
+ private:
+  struct AuthKey {
+    RoleId role;
+    ClassId cls;
+    uint8_t priv;
+    bool operator==(const AuthKey&) const = default;
+  };
+  struct AuthKeyHash {
+    size_t operator()(const AuthKey& k) const {
+      return std::hash<uint64_t>{}((static_cast<uint64_t>(k.role) << 34) ^
+                                   (static_cast<uint64_t>(k.cls) << 2) ^
+                                   k.priv);
+    }
+  };
+
+  /// Distance (in superclass steps) from `cls` to the nearest explicit
+  /// authorization of (role, priv'); nullopt if none on the path to root.
+  /// `priv_or_stronger` considers kWrite grants when checking kRead.
+  std::optional<std::pair<int, bool>> NearestAuth(RoleId role,
+                                                  Privilege priv,
+                                                  ClassId cls) const;
+
+  const Catalog* catalog_;
+  UserId next_user_ = 1;
+  RoleId next_role_ = 1;
+  std::unordered_map<std::string, UserId> users_;
+  std::unordered_map<std::string, RoleId> roles_;
+  std::unordered_map<UserId, std::unordered_set<RoleId>> user_roles_;
+  // (role, class, priv) -> granted(true) / denied(false)
+  std::unordered_map<AuthKey, bool, AuthKeyHash> auths_;
+  std::unordered_map<RoleId, std::unordered_set<std::string>> view_grants_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_AUTHZ_AUTHORIZATION_H_

@@ -1,0 +1,121 @@
+#include "catalog/class_def.h"
+
+namespace kimdb {
+
+void Domain::EncodeTo(std::string* dst) const {
+  PutFixed8(dst, static_cast<uint8_t>(kind));
+  PutFixed32(dst, ref_class);
+  PutFixed8(dst, is_set ? 1 : 0);
+}
+
+Result<Domain> Domain::DecodeFrom(Decoder* dec) {
+  Domain d;
+  KIMDB_ASSIGN_OR_RETURN(uint8_t kind, dec->ReadFixed8());
+  if (kind > static_cast<uint8_t>(Kind::kRef)) {
+    return Status::Corruption("bad domain kind");
+  }
+  d.kind = static_cast<Kind>(kind);
+  KIMDB_ASSIGN_OR_RETURN(d.ref_class, dec->ReadFixed32());
+  KIMDB_ASSIGN_OR_RETURN(uint8_t set, dec->ReadFixed8());
+  d.is_set = set != 0;
+  return d;
+}
+
+std::string Domain::ToString() const {
+  std::string base;
+  switch (kind) {
+    case Kind::kAny:
+      base = "any";
+      break;
+    case Kind::kInt:
+      base = "integer";
+      break;
+    case Kind::kReal:
+      base = "real";
+      break;
+    case Kind::kBool:
+      base = "boolean";
+      break;
+    case Kind::kString:
+      base = "string";
+      break;
+    case Kind::kRef:
+      base = "class#" + std::to_string(ref_class);
+      break;
+  }
+  return is_set ? "set-of " + base : base;
+}
+
+void AttributeDef::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, id);
+  PutLengthPrefixed(dst, name);
+  domain.EncodeTo(dst);
+  default_value.EncodeTo(dst);
+  PutFixed32(dst, defined_in);
+}
+
+Result<AttributeDef> AttributeDef::DecodeFrom(Decoder* dec) {
+  AttributeDef a;
+  KIMDB_ASSIGN_OR_RETURN(a.id, dec->ReadVarint32());
+  KIMDB_ASSIGN_OR_RETURN(std::string_view name, dec->ReadLengthPrefixed());
+  a.name = std::string(name);
+  KIMDB_ASSIGN_OR_RETURN(a.domain, Domain::DecodeFrom(dec));
+  KIMDB_ASSIGN_OR_RETURN(a.default_value, Value::DecodeFrom(dec));
+  KIMDB_ASSIGN_OR_RETURN(a.defined_in, dec->ReadFixed32());
+  return a;
+}
+
+void MethodDef::EncodeTo(std::string* dst) const {
+  PutLengthPrefixed(dst, name);
+  PutVarint32(dst, arity);
+  PutFixed32(dst, defined_in);
+}
+
+Result<MethodDef> MethodDef::DecodeFrom(Decoder* dec) {
+  MethodDef m;
+  KIMDB_ASSIGN_OR_RETURN(std::string_view name, dec->ReadLengthPrefixed());
+  m.name = std::string(name);
+  KIMDB_ASSIGN_OR_RETURN(m.arity, dec->ReadVarint32());
+  KIMDB_ASSIGN_OR_RETURN(m.defined_in, dec->ReadFixed32());
+  return m;
+}
+
+void ClassDef::EncodeTo(std::string* dst) const {
+  PutFixed32(dst, id);
+  PutLengthPrefixed(dst, name);
+  PutVarint32(dst, static_cast<uint32_t>(supers.size()));
+  for (ClassId s : supers) PutFixed32(dst, s);
+  PutVarint32(dst, static_cast<uint32_t>(own_attrs.size()));
+  for (const auto& a : own_attrs) a.EncodeTo(dst);
+  PutVarint32(dst, static_cast<uint32_t>(own_methods.size()));
+  for (const auto& m : own_methods) m.EncodeTo(dst);
+  PutFixed32(dst, extent_head);
+  PutVarint64(dst, next_serial);
+}
+
+Result<ClassDef> ClassDef::DecodeFrom(Decoder* dec) {
+  ClassDef c;
+  KIMDB_ASSIGN_OR_RETURN(c.id, dec->ReadFixed32());
+  KIMDB_ASSIGN_OR_RETURN(std::string_view name, dec->ReadLengthPrefixed());
+  c.name = std::string(name);
+  KIMDB_ASSIGN_OR_RETURN(uint32_t ns, dec->ReadVarint32());
+  for (uint32_t i = 0; i < ns; ++i) {
+    KIMDB_ASSIGN_OR_RETURN(ClassId s, dec->ReadFixed32());
+    c.supers.push_back(s);
+  }
+  KIMDB_ASSIGN_OR_RETURN(uint32_t na, dec->ReadVarint32());
+  for (uint32_t i = 0; i < na; ++i) {
+    KIMDB_ASSIGN_OR_RETURN(AttributeDef a, AttributeDef::DecodeFrom(dec));
+    c.own_attrs.push_back(std::move(a));
+  }
+  KIMDB_ASSIGN_OR_RETURN(uint32_t nm, dec->ReadVarint32());
+  for (uint32_t i = 0; i < nm; ++i) {
+    KIMDB_ASSIGN_OR_RETURN(MethodDef m, MethodDef::DecodeFrom(dec));
+    c.own_methods.push_back(std::move(m));
+  }
+  KIMDB_ASSIGN_OR_RETURN(c.extent_head, dec->ReadFixed32());
+  KIMDB_ASSIGN_OR_RETURN(c.next_serial, dec->ReadVarint64());
+  return c;
+}
+
+}  // namespace kimdb

@@ -1,0 +1,101 @@
+#ifndef KIMDB_CATALOG_CLASS_DEF_H_
+#define KIMDB_CATALOG_CLASS_DEF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/object.h"
+#include "model/oid.h"
+#include "model/value.h"
+#include "storage/page.h"
+#include "util/coding.h"
+#include "util/result.h"
+
+namespace kimdb {
+
+/// The domain (type) of an attribute (paper §3.1 point 4): a primitive
+/// class, or any general class (by reference), optionally set-valued.
+/// `kAny` is the root class used as a domain (accepts any value).
+struct Domain {
+  enum class Kind : uint8_t {
+    kAny = 0,
+    kInt = 1,
+    kReal = 2,
+    kBool = 3,
+    kString = 4,
+    kRef = 5,
+  };
+
+  Kind kind = Kind::kAny;
+  /// For kRef: the domain class. A value of this attribute may be an
+  /// instance of the domain class or any of its subclasses (paper §3.2:
+  /// "the attribute may take on as its values objects from the class
+  /// Company and any direct or indirect subclass").
+  ClassId ref_class = kInvalidClassId;
+  /// Set-valued attribute (paper §3.1 point 2).
+  bool is_set = false;
+
+  static Domain Any() { return Domain{}; }
+  static Domain Int() { return Domain{Kind::kInt, kInvalidClassId, false}; }
+  static Domain Real() { return Domain{Kind::kReal, kInvalidClassId, false}; }
+  static Domain Bool() { return Domain{Kind::kBool, kInvalidClassId, false}; }
+  static Domain String() {
+    return Domain{Kind::kString, kInvalidClassId, false};
+  }
+  static Domain Ref(ClassId cls) { return Domain{Kind::kRef, cls, false}; }
+  static Domain SetOf(Domain elem) {
+    elem.is_set = true;
+    return elem;
+  }
+
+  bool operator==(const Domain&) const = default;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<Domain> DecodeFrom(Decoder* dec);
+  std::string ToString() const;
+};
+
+/// An attribute as defined on (or inherited into) a class.
+struct AttributeDef {
+  AttrId id = kInvalidAttrId;   // stable, catalog-global
+  std::string name;
+  Domain domain;
+  Value default_value;          // used for lazily-added attributes
+  ClassId defined_in = kInvalidClassId;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<AttributeDef> DecodeFrom(Decoder* dec);
+};
+
+/// A method *signature*. Method bodies are native C++ functions registered
+/// at runtime in a MethodRegistry (the catalog persists only signatures, as
+/// ORION persisted Lisp entry points).
+struct MethodDef {
+  std::string name;
+  uint32_t arity = 0;
+  ClassId defined_in = kInvalidClassId;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<MethodDef> DecodeFrom(Decoder* dec);
+};
+
+/// One class: name, direct superclasses (ordered -- leftmost wins name
+/// conflicts, the ORION rule), locally-defined attributes and methods, and
+/// the storage handle of its extent.
+struct ClassDef {
+  ClassId id = kInvalidClassId;
+  std::string name;
+  std::vector<ClassId> supers;          // direct superclasses, precedence order
+  std::vector<AttributeDef> own_attrs;  // locally defined (incl. overrides)
+  std::vector<MethodDef> own_methods;
+  PageId extent_head = kInvalidPageId;  // heap file of instances
+  uint64_t next_serial = 1;             // OID serial allocator for this class
+
+  void EncodeTo(std::string* dst) const;
+  static Result<ClassDef> DecodeFrom(Decoder* dec);
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_CATALOG_CLASS_DEF_H_

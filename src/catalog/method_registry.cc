@@ -1,0 +1,61 @@
+#include "catalog/method_registry.h"
+
+namespace kimdb {
+
+Status MethodRegistry::Register(const Catalog& catalog, ClassId cls,
+                                std::string_view name, MethodFn fn) {
+  KIMDB_ASSIGN_OR_RETURN(const ClassDef* def, catalog.GetClass(cls));
+  bool declared = false;
+  for (const auto& m : def->own_methods) {
+    if (m.name == name) {
+      declared = true;
+      break;
+    }
+  }
+  if (!declared) {
+    return Status::FailedPrecondition(
+        "method '" + std::string(name) +
+        "' is not declared on the class; declare it in the catalog first");
+  }
+  bodies_[Key{cls, std::string(name)}] = std::move(fn);
+  return Status::OK();
+}
+
+Result<const MethodFn*> MethodRegistry::Resolve(const Catalog& catalog,
+                                                ClassId cls,
+                                                std::string_view name) const {
+  // Late binding: find the defining class along the receiver's
+  // linearization, then look up the body bound there.
+  KIMDB_ASSIGN_OR_RETURN(const MethodDef* def,
+                         catalog.ResolveMethod(cls, name));
+  auto it = bodies_.find(Key{def->defined_in, std::string(name)});
+  if (it == bodies_.end()) {
+    return Status::FailedPrecondition(
+        "method '" + std::string(name) +
+        "' declared but no body registered for its defining class");
+  }
+  return &it->second;
+}
+
+Result<Value> MethodRegistry::Invoke(const Catalog& catalog,
+                                     MethodContext& ctx,
+                                     std::string_view name,
+                                     const std::vector<Value>& args) const {
+  if (ctx.self == nullptr) {
+    return Status::InvalidArgument("method invocation without a receiver");
+  }
+  KIMDB_ASSIGN_OR_RETURN(const MethodDef* def,
+                         catalog.ResolveMethod(ctx.self->class_id(), name));
+  if (args.size() != def->arity) {
+    return Status::InvalidArgument(
+        "method '" + std::string(name) + "' expects " +
+        std::to_string(def->arity) + " arguments, got " +
+        std::to_string(args.size()));
+  }
+  KIMDB_ASSIGN_OR_RETURN(
+      const MethodFn* fn,
+      Resolve(catalog, ctx.self->class_id(), name));
+  return (*fn)(ctx, args);
+}
+
+}  // namespace kimdb

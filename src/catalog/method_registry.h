@@ -1,0 +1,69 @@
+#ifndef KIMDB_CATALOG_METHOD_REGISTRY_H_
+#define KIMDB_CATALOG_METHOD_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "model/object.h"
+#include "model/value.h"
+#include "util/result.h"
+
+namespace kimdb {
+
+/// Execution context passed to a method body. `env` is an opaque pointer to
+/// the owning Database so registered methods can navigate (the query layer
+/// sets it); methods that only touch `self` ignore it.
+struct MethodContext {
+  const Object* self = nullptr;
+  void* env = nullptr;
+};
+
+/// A method body: native C++ code bound to a (class, method-name) pair.
+using MethodFn =
+    std::function<Result<Value>(MethodContext&, const std::vector<Value>&)>;
+
+/// Runtime half of the behaviour model. The catalog stores method
+/// *signatures* (per class); this registry stores the *bodies*. Invocation
+/// is message passing with late binding (paper §3.1 point 6): the method is
+/// resolved against the receiver's class hierarchy at call time, so a body
+/// registered on a superclass runs for subclass instances unless the
+/// subclass overrides it.
+class MethodRegistry {
+ public:
+  /// Binds a body to `cls`'s method `name`. The signature must already be
+  /// declared in the catalog on exactly `cls`.
+  Status Register(const Catalog& catalog, ClassId cls, std::string_view name,
+                  MethodFn fn);
+
+  /// Sends message `name` to `receiver` (late-bound dispatch).
+  Result<Value> Invoke(const Catalog& catalog, MethodContext& ctx,
+                       std::string_view name,
+                       const std::vector<Value>& args) const;
+
+  /// Resolves without invoking (used by the optimizer and by E11).
+  Result<const MethodFn*> Resolve(const Catalog& catalog, ClassId cls,
+                                  std::string_view name) const;
+
+ private:
+  struct Key {
+    ClassId cls;
+    std::string name;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>{}(k.cls) ^
+             (std::hash<std::string>{}(k.name) << 1);
+    }
+  };
+
+  std::unordered_map<Key, MethodFn, KeyHash> bodies_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_CATALOG_METHOD_REGISTRY_H_

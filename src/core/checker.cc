@@ -1,0 +1,234 @@
+#include "core/checker.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kimdb {
+
+namespace {
+
+std::string_view KindName(ConsistencyIssue::Kind k) {
+  switch (k) {
+    case ConsistencyIssue::Kind::kDirectoryMissesRecord:
+      return "directory-misses-record";
+    case ConsistencyIssue::Kind::kDirectoryDanglingEntry:
+      return "directory-dangling-entry";
+    case ConsistencyIssue::Kind::kWrongExtent:
+      return "wrong-extent";
+    case ConsistencyIssue::Kind::kDanglingReference:
+      return "dangling-reference";
+    case ConsistencyIssue::Kind::kCompositeCycle:
+      return "composite-cycle";
+    case ConsistencyIssue::Kind::kCompositeBadParent:
+      return "composite-bad-parent";
+    case ConsistencyIssue::Kind::kVersionGraphBroken:
+      return "version-graph-broken";
+    case ConsistencyIssue::Kind::kSchemaViolation:
+      return "schema-violation";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ConsistencyIssue::ToString() const {
+  std::string out(KindName(kind));
+  out += " ";
+  out += oid.ToString();
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+std::string ConsistencyReport::Summary() const {
+  std::string out = "checked " + std::to_string(objects_checked) +
+                    " objects, " + std::to_string(references_checked) +
+                    " references: ";
+  if (issues.empty()) {
+    out += "consistent";
+    return out;
+  }
+  out += std::to_string(issues.size()) + " issue(s)";
+  for (const auto& i : issues) {
+    out += "\n  " + i.ToString();
+  }
+  return out;
+}
+
+Result<ConsistencyReport> ConsistencyChecker::Check(
+    const ObjectStore& store) {
+  ConsistencyReport report;
+  const Catalog& cat = *store.catalog();
+
+  auto add = [&report](ConsistencyIssue::Kind kind, Oid oid,
+                       std::string detail) {
+    report.issues.push_back(
+        ConsistencyIssue{kind, oid, std::move(detail)});
+  };
+
+  // Pass 1: scan every extent; verify directory agreement, extent
+  // membership, and collect the live OID set plus the links to verify.
+  std::unordered_set<Oid> live;
+  struct Link {
+    Oid from;
+    Oid to;
+    AttrId attr;
+  };
+  std::vector<Link> refs;
+  std::unordered_map<Oid, Oid> part_of;
+
+  for (ClassId cls : cat.AllClasses()) {
+    KIMDB_RETURN_IF_ERROR(store.ForEachRawInClass(
+        cls, [&](RecordId rid, const Object& obj) {
+          ++report.objects_checked;
+          live.insert(obj.oid());
+          if (obj.class_id() != cls) {
+            add(ConsistencyIssue::Kind::kWrongExtent, obj.oid(),
+                "stored in extent of class #" + std::to_string(cls));
+          }
+          Result<RecordId> dir = store.DirectoryLookup(obj.oid());
+          if (!dir.ok()) {
+            add(ConsistencyIssue::Kind::kDirectoryMissesRecord, obj.oid(),
+                "record exists but directory has no entry");
+          } else if (!(*dir == rid)) {
+            add(ConsistencyIssue::Kind::kDirectoryMissesRecord, obj.oid(),
+                "directory points at a different record");
+          }
+          // Collect references and composite links.
+          for (const auto& [attr, value] : obj.attrs()) {
+            auto note_ref = [&](const Value& v) {
+              if (v.kind() == Value::Kind::kRef && !v.as_ref().is_nil()) {
+                refs.push_back(Link{obj.oid(), v.as_ref(), attr});
+              }
+            };
+            note_ref(value);
+            if (value.is_collection()) {
+              for (const Value& e : value.elements()) note_ref(e);
+            }
+            if (attr == kAttrPartOf &&
+                value.kind() == Value::Kind::kRef) {
+              part_of[obj.oid()] = value.as_ref();
+            }
+          }
+          // Schema conformance of the stored image.
+          Result<std::vector<const AttributeDef*>> effective =
+              cat.EffectiveAttrs(obj.class_id());
+          if (effective.ok()) {
+            for (const auto& [attr, value] : obj.attrs()) {
+              if (attr >= kSysAttrBase) continue;
+              for (const AttributeDef* def : *effective) {
+                if (def->id == attr) {
+                  Status st = cat.CheckValue(def->domain, value);
+                  if (!st.ok()) {
+                    add(ConsistencyIssue::Kind::kSchemaViolation,
+                        obj.oid(),
+                        "attribute '" + def->name + "': " + st.message());
+                  }
+                  break;
+                }
+              }
+            }
+          }
+          return Status::OK();
+        }));
+  }
+
+  // Pass 2: directory entries with no record.
+  for (const auto& [oid, rid] : store.DirectorySnapshot()) {
+    if (!live.count(oid)) {
+      add(ConsistencyIssue::Kind::kDirectoryDanglingEntry, oid,
+          "directory entry without a stored record");
+    }
+  }
+
+  // Pass 3: referential integrity.
+  for (const Link& link : refs) {
+    ++report.references_checked;
+    if (!live.count(link.to)) {
+      ConsistencyIssue::Kind kind =
+          link.attr == kAttrPartOf
+              ? ConsistencyIssue::Kind::kCompositeBadParent
+              : ConsistencyIssue::Kind::kDanglingReference;
+      add(kind, link.from,
+          "attr " + std::to_string(link.attr) + " -> " +
+              link.to.ToString());
+    }
+  }
+
+  // Pass 4: part-of acyclicity (three-color walk with memoized roots).
+  std::unordered_set<Oid> verified;
+  for (const auto& [child, parent] : part_of) {
+    if (verified.count(child)) continue;
+    std::unordered_set<Oid> path;
+    Oid cur = child;
+    bool cyclic = false;
+    while (!cur.is_nil()) {
+      if (verified.count(cur)) break;
+      if (!path.insert(cur).second) {
+        cyclic = true;
+        break;
+      }
+      auto it = part_of.find(cur);
+      cur = it == part_of.end() ? kNilOid : it->second;
+      if (!cur.is_nil() && !live.count(cur)) break;  // reported above
+    }
+    if (cyclic) {
+      add(ConsistencyIssue::Kind::kCompositeCycle, child,
+          "part-of chain loops");
+    } else {
+      verified.insert(path.begin(), path.end());
+    }
+  }
+
+  // Pass 5: version graph well-formedness.
+  for (ClassId cls : cat.AllClasses()) {
+    KIMDB_RETURN_IF_ERROR(store.ForEachRawInClass(
+        cls, [&](RecordId, const Object& obj) {
+          // A version must point at a generic object listing it.
+          const Value& of = obj.Get(kAttrVersionOf);
+          if (of.kind() == Value::Kind::kRef && live.count(of.as_ref())) {
+            Result<Object> generic = store.GetRaw(of.as_ref());
+            if (generic.ok()) {
+              bool listed = false;
+              const Value& versions = generic->Get(kAttrVersions);
+              if (versions.is_collection()) {
+                for (const Value& v : versions.elements()) {
+                  if (v.kind() == Value::Kind::kRef &&
+                      v.as_ref() == obj.oid()) {
+                    listed = true;
+                    break;
+                  }
+                }
+              }
+              if (!listed) {
+                add(ConsistencyIssue::Kind::kVersionGraphBroken, obj.oid(),
+                    "generic object does not list this version");
+              }
+            }
+          }
+          // A generic's default version must be one of its versions.
+          const Value& def = obj.Get(kAttrDefaultVersion);
+          if (def.kind() == Value::Kind::kRef && obj.Has(kAttrVersions)) {
+            bool member = false;
+            for (const Value& v : obj.Get(kAttrVersions).elements()) {
+              if (v.kind() == Value::Kind::kRef &&
+                  v.as_ref() == def.as_ref()) {
+                member = true;
+                break;
+              }
+            }
+            if (!member) {
+              add(ConsistencyIssue::Kind::kVersionGraphBroken, obj.oid(),
+                  "default version is not in the version set");
+            }
+          }
+          return Status::OK();
+        }));
+  }
+
+  return report;
+}
+
+}  // namespace kimdb

@@ -1,0 +1,62 @@
+#ifndef KIMDB_CORE_CHECKER_H_
+#define KIMDB_CORE_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "object/object_store.h"
+
+namespace kimdb {
+
+/// One violation found by the consistency checker.
+struct ConsistencyIssue {
+  enum class Kind {
+    kDirectoryMissesRecord,   // record on disk not in the directory
+    kDirectoryDanglingEntry,  // directory entry with no record
+    kWrongExtent,             // object stored in another class's extent
+    kDanglingReference,       // ref attribute points at a missing object
+    kCompositeCycle,          // part-of chain loops
+    kCompositeBadParent,      // part-of points at a missing object
+    kVersionGraphBroken,      // version/generic bookkeeping inconsistent
+    kSchemaViolation,         // stored value violates the current domain
+  };
+  Kind kind;
+  Oid oid;          // the object the issue was found on (may be nil)
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct ConsistencyReport {
+  uint64_t objects_checked = 0;
+  uint64_t references_checked = 0;
+  std::vector<ConsistencyIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  std::string Summary() const;
+};
+
+/// Offline integrity verification (fsck for the object base). Checks:
+///
+///  1. directory/extent agreement: every stored object is in the object
+///     directory at its exact record address, and vice versa;
+///  2. extent membership: an object's OID class matches the extent it is
+///     stored in;
+///  3. referential integrity: every non-nil reference (including elements
+///     of set/list values and system attributes) resolves;
+///  4. composite well-formedness: part-of parents exist and the part-of
+///     graph is acyclic;
+///  5. version well-formedness: versions point at generic objects that
+///     list them; generics' default version is one of their versions;
+///  6. schema conformance: stored values satisfy their current attribute
+///     domains (surfaced by evolution bugs).
+///
+/// Purely read-only; safe to run on a live (quiesced) store.
+class ConsistencyChecker {
+ public:
+  static Result<ConsistencyReport> Check(const ObjectStore& store);
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_CORE_CHECKER_H_

@@ -1,0 +1,374 @@
+#include "core/database.h"
+
+#include <cstring>
+
+namespace kimdb {
+
+namespace {
+constexpr char kMagic[8] = {'K', 'I', 'M', 'D', 'B', '0', '0', '1'};
+
+// Renders a Query back to OQL-lite for persistence (views survive reopen
+// as text and are re-parsed against the recovered catalog).
+Result<std::string> QueryToOql(const Catalog& cat, const Query& q) {
+  KIMDB_ASSIGN_OR_RETURN(const ClassDef* def, cat.GetClass(q.target));
+  std::string out = "select " + def->name;
+  if (!q.hierarchy_scope) out += " only";
+  if (q.predicate) out += " where " + q.predicate->ToString();
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->opts_ = opts;
+
+  if (opts.in_memory) {
+    db->disk_ = DiskManager::OpenInMemory();
+  } else {
+    if (opts.path.empty()) {
+      return Status::InvalidArgument("a database path is required");
+    }
+    KIMDB_ASSIGN_OR_RETURN(db->disk_, DiskManager::OpenFile(opts.path + ".db"));
+  }
+  db->bp_ = std::make_unique<BufferPool>(db->disk_.get(),
+                                         std::max<size_t>(16,
+                                                          opts.buffer_pool_pages));
+  if (!opts.in_memory) {
+    KIMDB_ASSIGN_OR_RETURN(db->wal_, Wal::Open(opts.path + ".wal"));
+  }
+
+  std::vector<std::pair<IndexKind, std::pair<ClassId,
+                                             std::vector<std::string>>>>
+      index_defs;
+  std::vector<std::string> view_texts;
+
+  const bool fresh = db->disk_->num_pages() == 0;
+  if (fresh) {
+    // Page 0: the meta page.
+    PageId meta_pid;
+    {
+      Result<char*> page = db->bp_->NewPage(&meta_pid);
+      KIMDB_RETURN_IF_ERROR(page.status());
+      std::memcpy(*page, kMagic, sizeof(kMagic));
+      db->bp_->Unpin(meta_pid, /*dirty=*/true);
+    }
+    if (meta_pid != 0) return Status::Internal("meta page must be page 0");
+    db->catalog_ = std::make_unique<Catalog>();
+    KIMDB_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(db->bp_.get()));
+    db->meta_heap_ = heap;
+    KIMDB_ASSIGN_OR_RETURN(std::string meta, db->EncodeMeta());
+    KIMDB_ASSIGN_OR_RETURN(db->meta_rid_, db->meta_heap_->Insert(meta));
+  } else {
+    // Read the meta page.
+    Result<char*> page = db->bp_->FetchPage(0);
+    KIMDB_RETURN_IF_ERROR(page.status());
+    bool magic_ok = std::memcmp(*page, kMagic, sizeof(kMagic)) == 0;
+    PageId meta_head = DecodeFixed32(*page + 8);
+    PageId rid_page = DecodeFixed32(*page + 12);
+    uint16_t rid_slot = static_cast<uint16_t>(
+        static_cast<unsigned char>((*page)[16]) |
+        (static_cast<uint16_t>(static_cast<unsigned char>((*page)[17]))
+         << 8));
+    db->bp_->Unpin(0, false);
+    if (!magic_ok) return Status::Corruption("bad database magic");
+    KIMDB_ASSIGN_OR_RETURN(HeapFile heap,
+                           HeapFile::Open(db->bp_.get(), meta_head));
+    db->meta_heap_ = heap;
+    db->meta_rid_ = RecordId{rid_page, rid_slot};
+    KIMDB_ASSIGN_OR_RETURN(std::string meta,
+                           db->meta_heap_->Get(db->meta_rid_));
+    // DecodeMeta fills catalog_ and the deferred defs below.
+    {
+      Decoder dec(meta);
+      KIMDB_ASSIGN_OR_RETURN(std::string_view cat_bytes,
+                             dec.ReadLengthPrefixed());
+      KIMDB_ASSIGN_OR_RETURN(Catalog cat, Catalog::Decode(cat_bytes));
+      db->catalog_ = std::make_unique<Catalog>(std::move(cat));
+      KIMDB_ASSIGN_OR_RETURN(uint32_t n_idx, dec.ReadVarint32());
+      for (uint32_t i = 0; i < n_idx; ++i) {
+        KIMDB_ASSIGN_OR_RETURN(uint8_t kind, dec.ReadFixed8());
+        KIMDB_ASSIGN_OR_RETURN(ClassId cls, dec.ReadFixed32());
+        KIMDB_ASSIGN_OR_RETURN(uint32_t n_path, dec.ReadVarint32());
+        std::vector<std::string> path;
+        for (uint32_t j = 0; j < n_path; ++j) {
+          KIMDB_ASSIGN_OR_RETURN(std::string_view seg,
+                                 dec.ReadLengthPrefixed());
+          path.emplace_back(seg);
+        }
+        index_defs.push_back({static_cast<IndexKind>(kind),
+                              {cls, std::move(path)}});
+      }
+      KIMDB_ASSIGN_OR_RETURN(uint32_t n_views, dec.ReadVarint32());
+      for (uint32_t i = 0; i < n_views; ++i) {
+        KIMDB_ASSIGN_OR_RETURN(std::string_view text,
+                               dec.ReadLengthPrefixed());
+        view_texts.emplace_back(text);
+      }
+    }
+  }
+
+  KIMDB_ASSIGN_OR_RETURN(
+      db->store_,
+      ObjectStore::Open(db->bp_.get(), db->catalog_.get(), db->wal_.get()));
+  if (db->wal_ != nullptr) {
+    KIMDB_ASSIGN_OR_RETURN(db->recovery_stats_,
+                           RecoveryManager::Recover(db->store_.get(),
+                                                    db->wal_.get()));
+  }
+
+  db->indexes_ = std::make_unique<IndexManager>(db->store_.get());
+  for (auto& [kind, def] : index_defs) {
+    KIMDB_RETURN_IF_ERROR(
+        db->indexes_->CreateIndex(kind, def.first, def.second).status());
+  }
+  db->query_ = std::make_unique<QueryEngine>(db->store_.get(),
+                                             db->indexes_.get(),
+                                             &db->methods_, db.get());
+  db->views_ = std::make_unique<ViewManager>(db->query_.get());
+  db->parser_ = std::make_unique<lang::Parser>(db->catalog_.get());
+  for (const std::string& text : view_texts) {
+    // Stored as "name\n<oql>".
+    size_t nl = text.find('\n');
+    if (nl == std::string::npos) continue;
+    KIMDB_ASSIGN_OR_RETURN(Query q, db->parser_->ParseQuery(text.substr(nl + 1)));
+    KIMDB_RETURN_IF_ERROR(db->views_->DefineView(text.substr(0, nl),
+                                                 std::move(q)));
+  }
+  db->versions_ = std::make_unique<VersionManager>(db->store_.get());
+  KIMDB_ASSIGN_OR_RETURN(db->composites_,
+                         CompositeManager::Attach(db->store_.get()));
+  db->notifier_ = std::make_unique<ChangeNotifier>(db->store_.get());
+  db->txns_ = std::make_unique<TxnManager>(db->store_.get(), &db->locks_);
+  db->checkout_ = std::make_unique<CheckoutManager>(db->store_.get());
+  db->authz_ = std::make_unique<AuthorizationManager>(db->catalog_.get());
+  db->rules_ = std::make_unique<RuleEngine>(db->store_.get());
+
+  if (fresh) {
+    KIMDB_RETURN_IF_ERROR(db->PersistMeta());
+    KIMDB_RETURN_IF_ERROR(db->bp_->FlushAll());
+  }
+  return db;
+}
+
+Database::~Database() {
+  if (!closed_) {
+    Status st = Close();
+    (void)st;  // best-effort on destruction
+  }
+}
+
+Status Database::Close() {
+  if (closed_) return Status::OK();
+  Status st = Checkpoint();
+  if (st.IsFailedPrecondition()) {
+    // Active transactions: persist what we can without truncating the log.
+    KIMDB_RETURN_IF_ERROR(PersistMeta());
+    KIMDB_RETURN_IF_ERROR(bp_->FlushAll());
+  } else {
+    KIMDB_RETURN_IF_ERROR(st);
+  }
+  closed_ = true;
+  return Status::OK();
+}
+
+Result<std::string> Database::EncodeMeta() const {
+  std::string out;
+  std::string cat_bytes;
+  catalog_->EncodeTo(&cat_bytes);
+  PutLengthPrefixed(&out, cat_bytes);
+
+  std::vector<const IndexInfo*> idx =
+      indexes_ ? indexes_->AllIndexes() : std::vector<const IndexInfo*>{};
+  PutVarint32(&out, static_cast<uint32_t>(idx.size()));
+  for (const IndexInfo* info : idx) {
+    PutFixed8(&out, static_cast<uint8_t>(info->kind));
+    PutFixed32(&out, info->target_class);
+    PutVarint32(&out, static_cast<uint32_t>(info->path.size()));
+    for (const std::string& seg : info->path) PutLengthPrefixed(&out, seg);
+  }
+
+  std::vector<std::string> view_names =
+      views_ ? views_->ViewNames() : std::vector<std::string>{};
+  std::vector<std::string> encoded_views;
+  for (const std::string& name : view_names) {
+    Result<const ViewDef*> def = views_->Find(name);
+    if (!def.ok()) continue;
+    Result<std::string> oql = QueryToOql(*catalog_, (*def)->query);
+    if (!oql.ok()) continue;  // unserializable view: session-only
+    encoded_views.push_back(name + "\n" + *oql);
+  }
+  PutVarint32(&out, static_cast<uint32_t>(encoded_views.size()));
+  for (const std::string& v : encoded_views) PutLengthPrefixed(&out, v);
+  return out;
+}
+
+Status Database::PersistMeta() {
+  KIMDB_ASSIGN_OR_RETURN(std::string meta, EncodeMeta());
+  KIMDB_ASSIGN_OR_RETURN(RecordId rid,
+                         meta_heap_->Update(meta_rid_, meta));
+  meta_rid_ = rid;
+  // Refresh the meta page pointer.
+  Result<char*> page = bp_->FetchPage(0);
+  KIMDB_RETURN_IF_ERROR(page.status());
+  std::memcpy(*page, kMagic, sizeof(kMagic));
+  EncodeFixed32(*page + 8, meta_heap_->head());
+  EncodeFixed32(*page + 12, meta_rid_.page_id);
+  (*page)[16] = static_cast<char>(meta_rid_.slot & 0xff);
+  (*page)[17] = static_cast<char>((meta_rid_.slot >> 8) & 0xff);
+  bp_->Unpin(0, /*dirty=*/true);
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (txns_ && txns_->active_count() > 0) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint with active transactions");
+  }
+  KIMDB_RETURN_IF_ERROR(PersistMeta());
+  KIMDB_RETURN_IF_ERROR(bp_->FlushAll());
+  if (wal_ != nullptr) {
+    KIMDB_RETURN_IF_ERROR(wal_->Truncate());
+  }
+  return Status::OK();
+}
+
+// --- DDL ------------------------------------------------------------------
+
+Result<ClassId> Database::CreateClass(
+    std::string_view name, const std::vector<std::string>& superclasses,
+    const std::vector<AttributeSpec>& attrs,
+    const std::vector<MethodSpec>& methods) {
+  std::vector<ClassId> supers;
+  for (const std::string& s : superclasses) {
+    KIMDB_ASSIGN_OR_RETURN(ClassId id, catalog_->FindClass(s));
+    supers.push_back(id);
+  }
+  KIMDB_ASSIGN_OR_RETURN(ClassId cls,
+                         catalog_->CreateClass(name, supers, attrs, methods));
+  KIMDB_RETURN_IF_ERROR(store_->EnsureExtent(cls));
+  KIMDB_RETURN_IF_ERROR(PersistMeta());
+  KIMDB_RETURN_IF_ERROR(bp_->FlushAll());
+  return cls;
+}
+
+namespace {
+template <typename Fn>
+Status DdlOn(Catalog* catalog, std::string_view cls, Fn&& fn) {
+  KIMDB_ASSIGN_OR_RETURN(ClassId id, catalog->FindClass(cls));
+  return fn(id);
+}
+}  // namespace
+
+Status Database::AddAttribute(std::string_view cls,
+                              const AttributeSpec& spec) {
+  KIMDB_RETURN_IF_ERROR(DdlOn(catalog_.get(), cls, [&](ClassId id) {
+    return catalog_->AddAttribute(id, spec);
+  }));
+  KIMDB_RETURN_IF_ERROR(PersistMeta());
+  return bp_->FlushAll();
+}
+
+Status Database::DropAttribute(std::string_view cls, std::string_view attr) {
+  KIMDB_RETURN_IF_ERROR(DdlOn(catalog_.get(), cls, [&](ClassId id) {
+    return catalog_->DropAttribute(id, attr);
+  }));
+  KIMDB_RETURN_IF_ERROR(PersistMeta());
+  return bp_->FlushAll();
+}
+
+Status Database::RenameAttribute(std::string_view cls, std::string_view from,
+                                 std::string_view to) {
+  KIMDB_RETURN_IF_ERROR(DdlOn(catalog_.get(), cls, [&](ClassId id) {
+    return catalog_->RenameAttribute(id, from, to);
+  }));
+  KIMDB_RETURN_IF_ERROR(PersistMeta());
+  return bp_->FlushAll();
+}
+
+Status Database::AddSuperclass(std::string_view cls, std::string_view super) {
+  KIMDB_ASSIGN_OR_RETURN(ClassId super_id, catalog_->FindClass(super));
+  KIMDB_RETURN_IF_ERROR(DdlOn(catalog_.get(), cls, [&](ClassId id) {
+    return catalog_->AddSuperclass(id, super_id);
+  }));
+  KIMDB_RETURN_IF_ERROR(PersistMeta());
+  return bp_->FlushAll();
+}
+
+Status Database::RemoveSuperclass(std::string_view cls,
+                                  std::string_view super) {
+  KIMDB_ASSIGN_OR_RETURN(ClassId super_id, catalog_->FindClass(super));
+  KIMDB_RETURN_IF_ERROR(DdlOn(catalog_.get(), cls, [&](ClassId id) {
+    return catalog_->RemoveSuperclass(id, super_id);
+  }));
+  KIMDB_RETURN_IF_ERROR(PersistMeta());
+  return bp_->FlushAll();
+}
+
+Status Database::DropClass(std::string_view cls) {
+  KIMDB_ASSIGN_OR_RETURN(ClassId id, catalog_->FindClass(cls));
+  KIMDB_ASSIGN_OR_RETURN(uint64_t count, store_->CountClass(id));
+  if (count > 0) {
+    return Status::FailedPrecondition(
+        "class extent is not empty; delete the instances first");
+  }
+  KIMDB_RETURN_IF_ERROR(catalog_->DropClass(id));
+  KIMDB_RETURN_IF_ERROR(PersistMeta());
+  return bp_->FlushAll();
+}
+
+// --- objects ------------------------------------------------------------------
+
+Result<Oid> Database::Insert(
+    uint64_t txn, std::string_view class_name,
+    const std::vector<std::pair<std::string, Value>>& attrs,
+    Oid cluster_hint) {
+  KIMDB_ASSIGN_OR_RETURN(ClassId cls, catalog_->FindClass(class_name));
+  KIMDB_ASSIGN_OR_RETURN(Object contents, BuildObject(*catalog_, cls, attrs));
+  return txns_->Insert(txn, cls, std::move(contents), cluster_hint);
+}
+
+Status Database::Set(uint64_t txn, Oid oid, std::string_view attr,
+                     Value value) {
+  KIMDB_RETURN_IF_ERROR(versions_->CheckMutable(oid));
+  KIMDB_RETURN_IF_ERROR(checkout_->CheckWritable(oid));
+  return txns_->SetAttr(txn, oid, attr, std::move(value));
+}
+
+Status Database::Update(uint64_t txn, const Object& obj) {
+  KIMDB_RETURN_IF_ERROR(versions_->CheckMutable(obj.oid()));
+  KIMDB_RETURN_IF_ERROR(checkout_->CheckWritable(obj.oid()));
+  return txns_->Update(txn, obj);
+}
+
+Status Database::Delete(uint64_t txn, Oid oid) {
+  KIMDB_RETURN_IF_ERROR(checkout_->CheckWritable(oid));
+  return txns_->Delete(txn, oid);
+}
+
+Result<Value> Database::Send(uint64_t txn, Oid oid, std::string_view method,
+                             const std::vector<Value>& args) {
+  KIMDB_ASSIGN_OR_RETURN(Object obj, txns_->Get(txn, oid));
+  MethodContext ctx{&obj, this};
+  return methods_.Invoke(*catalog_, ctx, method, args);
+}
+
+// --- queries --------------------------------------------------------------------
+
+Result<std::vector<Oid>> Database::ExecuteQuery(const Query& q,
+                                                QueryStats* stats) {
+  return query_->Execute(q, stats);
+}
+
+Result<std::vector<Oid>> Database::ExecuteOql(std::string_view oql,
+                                              QueryStats* stats) {
+  KIMDB_ASSIGN_OR_RETURN(Query q, parser_->ParseQuery(oql));
+  return query_->Execute(q, stats);
+}
+
+Result<QueryPlan> Database::ExplainOql(std::string_view oql) {
+  KIMDB_ASSIGN_OR_RETURN(Query q, parser_->ParseQuery(oql));
+  return query_->Plan(q);
+}
+
+}  // namespace kimdb

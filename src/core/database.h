@@ -1,0 +1,174 @@
+#ifndef KIMDB_CORE_DATABASE_H_
+#define KIMDB_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authz/authorization.h"
+#include "catalog/catalog.h"
+#include "catalog/method_registry.h"
+#include "index/index_manager.h"
+#include "lang/parser.h"
+#include "object/composite.h"
+#include "object/notification.h"
+#include "object/object_manager.h"
+#include "object/object_store.h"
+#include "object/recovery.h"
+#include "object/versions.h"
+#include "query/query_engine.h"
+#include "query/views.h"
+#include "rules/datalog.h"
+#include "txn/checkout.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace kimdb {
+
+struct DatabaseOptions {
+  /// Base path: the store lives at `<path>.db`, the log at `<path>.wal`.
+  /// Ignored when `in_memory` is true.
+  std::string path;
+  bool in_memory = false;
+  size_t buffer_pool_pages = 1024;
+};
+
+/// The KIMDB public facade: one object binds the whole system the paper
+/// describes --
+///
+///   core object model + class hierarchy + schema evolution   (catalog)
+///   extents, object directory, clustering, long data         (storage)
+///   WAL + recovery, transactions, hierarchical locking       (txn/wal)
+///   single-class / class-hierarchy / nested indexes          (index)
+///   declarative queries over nested definitions + OQL-lite   (query/lang)
+///   views, authorization (implicit + content-based)          (query/authz)
+///   versions, composites, change notification, swizzling     (object)
+///   checkout/checkin private databases                       (txn)
+///   deductive rules                                          (rules)
+///
+/// Mutating entry points enforce the cross-cutting guards (released
+/// versions are immutable; checked-out objects are not writable in place).
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& opts);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Checkpoints and flushes; further use is invalid.
+  Status Close();
+
+  // --- schema (DDL persists the catalog immediately) ------------------------
+
+  Result<ClassId> CreateClass(
+      std::string_view name, const std::vector<std::string>& superclasses,
+      const std::vector<AttributeSpec>& attrs,
+      const std::vector<MethodSpec>& methods = {});
+  Status AddAttribute(std::string_view cls, const AttributeSpec& spec);
+  Status DropAttribute(std::string_view cls, std::string_view attr);
+  Status RenameAttribute(std::string_view cls, std::string_view from,
+                         std::string_view to);
+  Status AddSuperclass(std::string_view cls, std::string_view super);
+  Status RemoveSuperclass(std::string_view cls, std::string_view super);
+  Status DropClass(std::string_view cls);
+  Result<ClassId> FindClass(std::string_view name) const {
+    return catalog_->FindClass(name);
+  }
+
+  // --- transactions -----------------------------------------------------------
+
+  Result<uint64_t> Begin() { return txns_->Begin(); }
+  Status Commit(uint64_t txn) { return txns_->Commit(txn); }
+  Status Abort(uint64_t txn) { return txns_->Abort(txn); }
+
+  // --- objects -----------------------------------------------------------------
+
+  Result<Oid> Insert(uint64_t txn, std::string_view class_name,
+                     const std::vector<std::pair<std::string, Value>>& attrs,
+                     Oid cluster_hint = kNilOid);
+  Result<Object> Get(uint64_t txn, Oid oid) { return txns_->Get(txn, oid); }
+  Status Set(uint64_t txn, Oid oid, std::string_view attr, Value value);
+  Status Update(uint64_t txn, const Object& obj);
+  Status Delete(uint64_t txn, Oid oid);
+
+  /// Message passing: sends `method` to the object (late binding).
+  Result<Value> Send(uint64_t txn, Oid oid, std::string_view method,
+                     const std::vector<Value>& args = {});
+
+  // --- queries ------------------------------------------------------------------
+
+  Result<std::vector<Oid>> ExecuteQuery(const Query& q,
+                                        QueryStats* stats = nullptr);
+  Result<std::vector<Oid>> ExecuteOql(std::string_view oql,
+                                      QueryStats* stats = nullptr);
+  Result<QueryPlan> ExplainOql(std::string_view oql);
+
+  // --- subsystem access -----------------------------------------------------------
+
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  ObjectStore& store() { return *store_; }
+  IndexManager& indexes() { return *indexes_; }
+  QueryEngine& query_engine() { return *query_; }
+  ViewManager& views() { return *views_; }
+  MethodRegistry& methods() { return methods_; }
+  VersionManager& versions() { return *versions_; }
+  CompositeManager& composites() { return *composites_; }
+  ChangeNotifier& notifier() { return *notifier_; }
+  TxnManager& txns() { return *txns_; }
+  LockManager& locks() { return locks_; }
+  CheckoutManager& checkout() { return *checkout_; }
+  AuthorizationManager& authz() { return *authz_; }
+  RuleEngine& rules() { return *rules_; }
+  lang::Parser& parser() { return *parser_; }
+  BufferPool& buffer_pool() { return *bp_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// A fresh memory-resident workspace (pointer swizzling, §3.3).
+  std::unique_ptr<ObjectManager> NewWorkspace() {
+    return std::make_unique<ObjectManager>(store_.get());
+  }
+
+  /// Flushes dirty pages, persists the catalog/metadata and truncates the
+  /// WAL. Refuses while transactions are active.
+  Status Checkpoint();
+
+ private:
+  Database() = default;
+
+  Status PersistMeta();
+  Result<std::string> EncodeMeta() const;
+  Status DecodeMeta(std::string_view bytes);
+
+  DatabaseOptions opts_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> bp_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<IndexManager> indexes_;
+  MethodRegistry methods_;
+  std::unique_ptr<QueryEngine> query_;
+  std::unique_ptr<ViewManager> views_;
+  std::unique_ptr<VersionManager> versions_;
+  std::unique_ptr<CompositeManager> composites_;
+  std::unique_ptr<ChangeNotifier> notifier_;
+  LockManager locks_;
+  std::unique_ptr<TxnManager> txns_;
+  std::unique_ptr<CheckoutManager> checkout_;
+  std::unique_ptr<AuthorizationManager> authz_;
+  std::unique_ptr<RuleEngine> rules_;
+  std::unique_ptr<lang::Parser> parser_;
+
+  // Meta storage: page 0 holds [magic][meta heap head][meta rid]; the meta
+  // heap's single record carries the encoded catalog + index + view defs.
+  std::optional<HeapFile> meta_heap_;
+  RecordId meta_rid_{};
+  RecoveryStats recovery_stats_;
+  bool closed_ = false;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_CORE_DATABASE_H_

@@ -1,0 +1,335 @@
+#include "index/index_manager.h"
+
+#include <algorithm>
+
+namespace kimdb {
+
+bool IndexInfo::CoversTargetClass(ClassId cls) const {
+  const auto& l0 = level_classes[0];
+  return std::find(l0.begin(), l0.end(), cls) != l0.end();
+}
+
+Result<IndexId> IndexManager::CreateIndex(IndexKind kind, ClassId target_class,
+                                          std::vector<std::string> path) {
+  if (path.empty()) return Status::InvalidArgument("empty index path");
+  if (kind != IndexKind::kNested && path.size() != 1) {
+    return Status::InvalidArgument(
+        "multi-step paths require a nested index");
+  }
+  const Catalog& cat = *store_->catalog();
+  KIMDB_RETURN_IF_ERROR(cat.GetClass(target_class).status());
+
+  auto info = std::make_unique<IndexInfo>();
+  info->kind = kind;
+  info->target_class = target_class;
+  info->path = std::move(path);
+
+  // Resolve the path and compute per-level class sets.
+  ClassId level_cls = target_class;
+  for (size_t i = 0; i < info->path.size(); ++i) {
+    KIMDB_ASSIGN_OR_RETURN(const AttributeDef* attr,
+                           cat.ResolveAttr(level_cls, info->path[i]));
+    info->path_ids.push_back(attr->id);
+    bool is_last = i + 1 == info->path.size();
+    if (!is_last) {
+      if (attr->domain.kind != Domain::Kind::kRef) {
+        return Status::InvalidArgument(
+            "path step '" + info->path[i] +
+            "' is not a reference attribute with a declared domain class");
+      }
+      level_cls = attr->domain.ref_class;
+    }
+  }
+  // Level 0 classes: the target class (single-class) or its subtree.
+  if (kind == IndexKind::kSingleClass) {
+    info->level_classes.push_back({target_class});
+  } else {
+    info->level_classes.push_back(cat.Subtree(target_class));
+  }
+  // Levels 1..n-1: subtree of each step's domain class.
+  {
+    ClassId cur = target_class;
+    for (size_t i = 0; i + 1 < info->path.size(); ++i) {
+      KIMDB_ASSIGN_OR_RETURN(const AttributeDef* attr,
+                             cat.ResolveAttr(cur, info->path[i]));
+      cur = attr->domain.ref_class;
+      info->level_classes.push_back(cat.Subtree(cur));
+    }
+  }
+  info->rev.resize(info->path.size() > 0 ? info->path.size() - 1 : 0);
+
+  // Initial build: first the backward chains (levels 0..n-2), then the
+  // keys of every target.
+  IndexInfo* raw = info.get();
+  for (size_t level = 0; level + 1 < raw->path.size(); ++level) {
+    for (ClassId cls : raw->level_classes[level]) {
+      KIMDB_RETURN_IF_ERROR(
+          store_->ForEachInClass(cls, [&](const Object& obj) {
+            AddRevEdges(raw, level, obj);
+            return Status::OK();
+          }));
+    }
+  }
+  for (ClassId cls : raw->level_classes[0]) {
+    KIMDB_RETURN_IF_ERROR(store_->ForEachInClass(cls, [&](const Object& obj) {
+      RefreshTarget(raw, obj.oid());
+      return Status::OK();
+    }));
+  }
+
+  IndexId id = next_id_++;
+  raw->id = id;
+  indexes_[id] = std::move(info);
+  return id;
+}
+
+Status IndexManager::DropIndex(IndexId id) {
+  if (indexes_.erase(id) == 0) return Status::NotFound("no such index");
+  return Status::OK();
+}
+
+Result<const IndexInfo*> IndexManager::GetIndex(IndexId id) const {
+  auto it = indexes_.find(id);
+  if (it == indexes_.end()) return Status::NotFound("no such index");
+  return it->second.get();
+}
+
+std::vector<const IndexInfo*> IndexManager::AllIndexes() const {
+  std::vector<const IndexInfo*> out;
+  for (const auto& [id, info] : indexes_) out.push_back(info.get());
+  return out;
+}
+
+const IndexInfo* IndexManager::FindIndexFor(
+    ClassId target, const std::vector<std::string>& path,
+    bool hierarchy_scope) const {
+  const Catalog& cat = *store_->catalog();
+  const IndexInfo* best = nullptr;
+  for (const auto& [id, info] : indexes_) {
+    if (info->path != path) continue;
+    if (info->kind == IndexKind::kSingleClass) {
+      if (!hierarchy_scope && info->target_class == target) {
+        // Exact single-class match beats a wider hierarchy index.
+        return info.get();
+      }
+      // A single-class index also suffices for hierarchy scope when the
+      // target has no subclasses.
+      if (hierarchy_scope && info->target_class == target &&
+          cat.Subtree(target).size() == 1) {
+        best = info.get();
+      }
+      continue;
+    }
+    // Hierarchy/nested index rooted at an ancestor covers both scopes.
+    if (cat.IsSubclassOf(target, info->target_class)) {
+      if (best == nullptr) best = info.get();
+    }
+  }
+  return best;
+}
+
+std::vector<ClassId> IndexManager::ScopeClasses(ClassId scope_class,
+                                                bool hierarchy) const {
+  if (!hierarchy) return {scope_class};
+  return store_->catalog()->Subtree(scope_class);
+}
+
+Status IndexManager::LookupEq(const IndexInfo& info, const Value& key,
+                              ClassId scope_class, bool hierarchy,
+                              std::vector<Oid>* out) const {
+  const Posting* p = info.tree.Find(key);
+  if (p == nullptr) return Status::OK();
+  std::vector<ClassId> scope = ScopeClasses(scope_class, hierarchy);
+  p->CollectInto(&scope, out);
+  return Status::OK();
+}
+
+Status IndexManager::LookupRange(const IndexInfo& info,
+                                 const std::optional<Value>& lo,
+                                 bool lo_inclusive,
+                                 const std::optional<Value>& hi,
+                                 bool hi_inclusive, ClassId scope_class,
+                                 bool hierarchy,
+                                 std::vector<Oid>* out) const {
+  std::vector<ClassId> scope = ScopeClasses(scope_class, hierarchy);
+  return info.tree.Scan(lo, lo_inclusive, hi, hi_inclusive,
+                        [&](const Value&, const Posting& p) {
+                          p.CollectInto(&scope, out);
+                          return Status::OK();
+                        });
+}
+
+bool IndexManager::ClassAtLevel(const IndexInfo& info, size_t level,
+                                ClassId cls) const {
+  const auto& v = info.level_classes[level];
+  return std::find(v.begin(), v.end(), cls) != v.end();
+}
+
+std::vector<Oid> IndexManager::RefsThrough(const Object& obj, AttrId attr) {
+  std::vector<Oid> out;
+  const Value& v = obj.Get(attr);
+  if (v.kind() == Value::Kind::kRef) {
+    if (!v.as_ref().is_nil()) out.push_back(v.as_ref());
+  } else if (v.is_collection()) {
+    for (const Value& e : v.elements()) {
+      if (e.kind() == Value::Kind::kRef && !e.as_ref().is_nil()) {
+        out.push_back(e.as_ref());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Value> IndexManager::DeriveKeys(const IndexInfo& info,
+                                            const Object& target) const {
+  ++const_cast<IndexManagerStats&>(stats_).key_recomputations;
+  // Breadth-first fan-out along the path.
+  std::vector<Object> frontier{target};
+  for (size_t step = 0; step + 1 < info.path_ids.size(); ++step) {
+    std::vector<Object> next;
+    for (const Object& obj : frontier) {
+      for (Oid ref : RefsThrough(obj, info.path_ids[step])) {
+        Result<Object> child = store_->Get(ref);
+        if (child.ok()) next.push_back(std::move(*child));
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<Value> keys;
+  AttrId terminal = info.path_ids.back();
+  for (const Object& obj : frontier) {
+    const Value& v = obj.Get(terminal);
+    if (v.is_null()) continue;
+    if (v.is_collection()) {
+      for (const Value& e : v.elements()) {
+        if (!e.is_null()) keys.push_back(e);
+      }
+    } else {
+      keys.push_back(v);
+    }
+  }
+  return keys;
+}
+
+void IndexManager::RefreshTarget(IndexInfo* info, Oid target) {
+  ++stats_.maintenance_ops;
+  auto it = info->stored_keys.find(target);
+  if (it != info->stored_keys.end()) {
+    for (const Value& k : it->second) info->tree.Remove(k, target);
+    info->stored_keys.erase(it);
+  }
+  Result<Object> obj = store_->Get(target);
+  if (!obj.ok()) return;  // deleted: nothing to re-add
+  std::vector<Value> keys = DeriveKeys(*info, *obj);
+  for (const Value& k : keys) info->tree.Insert(k, target);
+  if (!keys.empty()) info->stored_keys[target] = std::move(keys);
+}
+
+void IndexManager::AddRevEdges(IndexInfo* info, size_t level,
+                               const Object& obj) {
+  for (Oid ref : RefsThrough(obj, info->path_ids[level])) {
+    info->rev[level][ref].push_back(obj.oid());
+  }
+}
+
+void IndexManager::RemoveRevEdges(IndexInfo* info, size_t level,
+                                  const Object& obj) {
+  for (Oid ref : RefsThrough(obj, info->path_ids[level])) {
+    auto it = info->rev[level].find(ref);
+    if (it == info->rev[level].end()) continue;
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), obj.oid()), v.end());
+    if (v.empty()) info->rev[level].erase(it);
+  }
+}
+
+std::vector<Oid> IndexManager::AffectedTargets(const IndexInfo& info,
+                                               size_t level, Oid oid) const {
+  // Walk the backward chains from `level` up to the targets at level 0.
+  std::vector<Oid> frontier{oid};
+  for (size_t l = level; l > 0; --l) {
+    std::vector<Oid> prev;
+    for (Oid o : frontier) {
+      auto it = info.rev[l - 1].find(o);
+      if (it != info.rev[l - 1].end()) {
+        prev.insert(prev.end(), it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(prev.begin(), prev.end());
+    prev.erase(std::unique(prev.begin(), prev.end()), prev.end());
+    frontier = std::move(prev);
+  }
+  return frontier;
+}
+
+void IndexManager::OnInsert(const Object& obj) {
+  for (auto& [id, info] : indexes_) {
+    // Maintain backward chains for intermediate levels.
+    for (size_t level = 0; level + 1 < info->path_ids.size(); ++level) {
+      if (ClassAtLevel(*info, level, obj.class_id())) {
+        AddRevEdges(info.get(), level, obj);
+      }
+    }
+    if (info->CoversTargetClass(obj.class_id())) {
+      RefreshTarget(info.get(), obj.oid());
+    }
+  }
+}
+
+void IndexManager::OnUpdate(const Object& before, const Object& after) {
+  for (auto& [id, info] : indexes_) {
+    size_t n = info->path_ids.size();
+    // Update backward chains where this object is an intermediate node.
+    for (size_t level = 0; level + 1 < n; ++level) {
+      if (ClassAtLevel(*info, level, after.class_id())) {
+        RemoveRevEdges(info.get(), level, before);
+        AddRevEdges(info.get(), level, after);
+      }
+    }
+    // Refresh targets whose paths pass through this object (any level).
+    for (size_t level = 0; level < n; ++level) {
+      if (!ClassAtLevel(*info, level, after.class_id())) continue;
+      if (level == 0) {
+        RefreshTarget(info.get(), after.oid());
+      } else {
+        for (Oid t : AffectedTargets(*info, level, after.oid())) {
+          RefreshTarget(info.get(), t);
+        }
+      }
+    }
+  }
+}
+
+void IndexManager::OnDelete(const Object& before) {
+  for (auto& [id, info] : indexes_) {
+    size_t n = info->path_ids.size();
+    // Targets whose paths passed through the deleted object must be
+    // recomputed *after* the reverse edges still exist -- collect first.
+    std::vector<Oid> affected;
+    for (size_t level = 1; level < n; ++level) {
+      if (ClassAtLevel(*info, level, before.class_id())) {
+        auto t = AffectedTargets(*info, level, before.oid());
+        affected.insert(affected.end(), t.begin(), t.end());
+      }
+    }
+    for (size_t level = 0; level + 1 < n; ++level) {
+      if (ClassAtLevel(*info, level, before.class_id())) {
+        RemoveRevEdges(info.get(), level, before);
+      }
+    }
+    // Drop in-edges: references *to* the deleted object are now dangling.
+    for (size_t level = 1; level < n; ++level) {
+      if (ClassAtLevel(*info, level, before.class_id())) {
+        info->rev[level - 1].erase(before.oid());
+      }
+    }
+    if (info->CoversTargetClass(before.class_id())) {
+      RefreshTarget(info.get(), before.oid());  // removes its entries
+    }
+    for (Oid t : affected) {
+      if (t != before.oid()) RefreshTarget(info.get(), t);
+    }
+  }
+}
+
+}  // namespace kimdb

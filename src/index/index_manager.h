@@ -1,0 +1,142 @@
+#ifndef KIMDB_INDEX_INDEX_MANAGER_H_
+#define KIMDB_INDEX_INDEX_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "index/btree.h"
+#include "object/object_store.h"
+
+namespace kimdb {
+
+using IndexId = uint32_t;
+
+/// The three index shapes of paper §3.2:
+///
+///  * kSingleClass      -- the relational technique applied per class: one
+///                         index covering exactly one class's extent;
+///  * kClassHierarchy   -- one index covering a class *and all its
+///                         subclasses* (KIM89b), postings partitioned by
+///                         class so narrower scopes filter cheaply;
+///  * kNested           -- an index on a *nested attribute* reached through
+///                         a path of reference attributes (BERT89): keys
+///                         are terminal values, postings are the OIDs of
+///                         the *target-class* objects whose path reaches
+///                         that value.
+enum class IndexKind { kSingleClass, kClassHierarchy, kNested };
+
+struct IndexInfo {
+  IndexId id = 0;
+  IndexKind kind = IndexKind::kSingleClass;
+  ClassId target_class = kInvalidClassId;
+  std::vector<std::string> path;   // attribute names; size 1 unless kNested
+  std::vector<AttrId> path_ids;    // resolved at creation time
+
+  BPlusTree tree;
+
+  // -- nested-index maintenance state (empty for path length 1) --
+  // rev[k] maps a level-(k+1) object to the level-k objects that reference
+  // it through path attribute k (the backward chains BERT89 uses to find
+  // the targets affected by an update deep in the path).
+  std::vector<std::unordered_map<Oid, std::vector<Oid>>> rev;
+  // Keys currently in the tree for each target object (so an update can
+  // remove the stale entries without re-deriving the old path state).
+  std::unordered_map<Oid, std::vector<Value>> stored_keys;
+  // Classes participating at each path level (level 0 = targets).
+  std::vector<std::vector<ClassId>> level_classes;
+
+  /// True if objects of `cls` are indexed at level 0.
+  bool CoversTargetClass(ClassId cls) const;
+};
+
+struct IndexManagerStats {
+  uint64_t maintenance_ops = 0;    // listener-driven index mutations
+  uint64_t key_recomputations = 0; // nested-path key re-derivations
+};
+
+/// Owns all indexes and keeps them consistent with the object store by
+/// listening to committed mutations. Provides the lookup entry points the
+/// query evaluator and the planner use.
+class IndexManager : public ObjectStoreListener {
+ public:
+  explicit IndexManager(ObjectStore* store) : store_(store) {
+    store->AddListener(this);
+  }
+  ~IndexManager() override { store_->RemoveListener(this); }
+
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Creates an index and builds it from existing data. For kNested the
+  /// path must be a chain of single- or set-valued reference attributes
+  /// with declared (non-Any) domain classes, ending in any attribute.
+  Result<IndexId> CreateIndex(IndexKind kind, ClassId target_class,
+                              std::vector<std::string> path);
+  Status DropIndex(IndexId id);
+  Result<const IndexInfo*> GetIndex(IndexId id) const;
+  std::vector<const IndexInfo*> AllIndexes() const;
+
+  /// Planner hook: an index usable for a predicate on `path` against
+  /// `target` with the given scope, or nullptr. A class-hierarchy (or
+  /// nested) index rooted at an ancestor of `target` qualifies for both
+  /// scopes; a single-class index qualifies only for single-class scope on
+  /// exactly its class.
+  const IndexInfo* FindIndexFor(ClassId target,
+                                const std::vector<std::string>& path,
+                                bool hierarchy_scope) const;
+
+  /// Exact-match lookup restricted to `scope_class` (+subtree if
+  /// `hierarchy`). Appends matching OIDs to `out`.
+  Status LookupEq(const IndexInfo& info, const Value& key, ClassId scope_class,
+                  bool hierarchy, std::vector<Oid>* out) const;
+
+  /// Range lookup [lo, hi] with open ends via nullopt.
+  Status LookupRange(const IndexInfo& info, const std::optional<Value>& lo,
+                     bool lo_inclusive, const std::optional<Value>& hi,
+                     bool hi_inclusive, ClassId scope_class, bool hierarchy,
+                     std::vector<Oid>* out) const;
+
+  const IndexManagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IndexManagerStats{}; }
+
+  // ObjectStoreListener
+  void OnInsert(const Object& obj) override;
+  void OnUpdate(const Object& before, const Object& after) override;
+  void OnDelete(const Object& before) override;
+
+ private:
+  /// Scope classes of the posting filter for a lookup.
+  std::vector<ClassId> ScopeClasses(ClassId scope_class, bool hierarchy) const;
+
+  bool ClassAtLevel(const IndexInfo& info, size_t level, ClassId cls) const;
+
+  /// Derives the index keys of a target object by forward path traversal
+  /// (multi-valued steps fan out; broken/nil links contribute no key).
+  std::vector<Value> DeriveKeys(const IndexInfo& info,
+                                const Object& target) const;
+
+  /// Replaces the tree entries of one target with freshly derived keys.
+  void RefreshTarget(IndexInfo* info, Oid target);
+
+  /// Collects the reference targets of `obj` through attribute `attr`.
+  static std::vector<Oid> RefsThrough(const Object& obj, AttrId attr);
+
+  void AddRevEdges(IndexInfo* info, size_t level, const Object& obj);
+  void RemoveRevEdges(IndexInfo* info, size_t level, const Object& obj);
+
+  /// Level-0 targets whose paths pass through `obj` at `level`.
+  std::vector<Oid> AffectedTargets(const IndexInfo& info, size_t level,
+                                   Oid oid) const;
+
+  ObjectStore* store_;
+  IndexId next_id_ = 1;
+  std::unordered_map<IndexId, std::unique_ptr<IndexInfo>> indexes_;
+  IndexManagerStats stats_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_INDEX_INDEX_MANAGER_H_

@@ -1,0 +1,228 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace kimdb {
+namespace lang {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::tolower(c)));
+  return out;
+}
+
+const std::unordered_map<std::string, TokenType>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenType>{
+      {"select", TokenType::kSelect}, {"where", TokenType::kWhere},
+      {"only", TokenType::kOnly},     {"and", TokenType::kAnd},
+      {"or", TokenType::kOr},         {"not", TokenType::kNot},
+      {"contains", TokenType::kContains},
+      {"true", TokenType::kTrue},     {"false", TokenType::kFalse},
+      {"null", TokenType::kNull},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+std::string_view TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kReal:
+      return "real";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kSelect:
+      return "'select'";
+    case TokenType::kWhere:
+      return "'where'";
+    case TokenType::kOnly:
+      return "'only'";
+    case TokenType::kAnd:
+      return "'and'";
+    case TokenType::kOr:
+      return "'or'";
+    case TokenType::kNot:
+      return "'not'";
+    case TokenType::kContains:
+      return "'contains'";
+    case TokenType::kTrue:
+      return "'true'";
+    case TokenType::kFalse:
+      return "'false'";
+    case TokenType::kNull:
+      return "'null'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'!='";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokenType t, std::string text, size_t off) {
+    out.push_back(Token{t, std::move(text), off});
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_')) {
+        ++j;
+      }
+      std::string word(input.substr(i, j - i));
+      auto kw = Keywords().find(ToLower(word));
+      if (kw != Keywords().end()) {
+        push(kw->second, std::move(word), start);
+      } else {
+        push(TokenType::kIdent, std::move(word), start);
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      bool is_real = false;
+      while (j < input.size()) {
+        if (std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        } else if (input[j] == '.' && !is_real && j + 1 < input.size() &&
+                   std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+          is_real = true;
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(is_real ? TokenType::kReal : TokenType::kInt,
+           std::string(input.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < input.size()) {
+        if (input[j] == quote) {
+          if (j + 1 < input.size() && input[j + 1] == quote) {
+            text.push_back(quote);  // doubled-quote escape
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      push(TokenType::kString, std::move(text), start);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '=':
+        push(TokenType::kEq, "=", start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kNe, "!=", start);
+          i += 2;
+        } else {
+          return Status::InvalidArgument("unexpected '!' at offset " +
+                                         std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < input.size() && input[i + 1] == '>') {
+          push(TokenType::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenType::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">", start);
+          ++i;
+        }
+        break;
+      case '.':
+        push(TokenType::kDot, ".", start);
+        ++i;
+        break;
+      case ',':
+        push(TokenType::kComma, ",", start);
+        ++i;
+        break;
+      case '(':
+        push(TokenType::kLParen, "(", start);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, ")", start);
+        ++i;
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(start));
+    }
+  }
+  out.push_back(Token{TokenType::kEnd, "", input.size()});
+  return out;
+}
+
+}  // namespace lang
+}  // namespace kimdb

@@ -1,0 +1,59 @@
+#ifndef KIMDB_LANG_LEXER_H_
+#define KIMDB_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace kimdb {
+namespace lang {
+
+enum class TokenType {
+  kIdent,
+  kInt,
+  kReal,
+  kString,
+  // keywords (case-insensitive)
+  kSelect,
+  kWhere,
+  kOnly,
+  kAnd,
+  kOr,
+  kNot,
+  kContains,
+  kTrue,
+  kFalse,
+  kNull,
+  // punctuation / operators
+  kEq,      // =
+  kNe,      // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kDot,
+  kComma,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // identifier / literal spelling
+  size_t offset = 0;  // byte offset in the input (for error messages)
+};
+
+/// Tokenizes OQL-lite. Strings use single quotes ('Detroit') with ''
+/// escaping; keywords are case-insensitive; identifiers are
+/// [A-Za-z_][A-Za-z0-9_]*.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+std::string_view TokenTypeName(TokenType t);
+
+}  // namespace lang
+}  // namespace kimdb
+
+#endif  // KIMDB_LANG_LEXER_H_

@@ -1,0 +1,187 @@
+#include "lang/parser.h"
+
+namespace kimdb {
+namespace lang {
+
+class Parser::Impl {
+ public:
+  Impl(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Accept(TokenType t) {
+    if (Check(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType t) {
+    if (Accept(t)) return Status::OK();
+    return Status::InvalidArgument(
+        "expected " + std::string(TokenTypeName(t)) + " but found " +
+        std::string(TokenTypeName(Peek().type)) + " at offset " +
+        std::to_string(Peek().offset));
+  }
+
+  Result<ExprPtr> ParseOr() {
+    KIMDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Accept(TokenType::kOr)) {
+      KIMDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    KIMDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Accept(TokenType::kAnd)) {
+      KIMDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Accept(TokenType::kNot)) {
+      KIMDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return Expr::Not(std::move(inner));
+    }
+    return ParseCmp();
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    KIMDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOperand());
+    Expr::Op op;
+    switch (Peek().type) {
+      case TokenType::kEq:
+        op = Expr::Op::kEq;
+        break;
+      case TokenType::kNe:
+        op = Expr::Op::kNe;
+        break;
+      case TokenType::kLt:
+        op = Expr::Op::kLt;
+        break;
+      case TokenType::kLe:
+        op = Expr::Op::kLe;
+        break;
+      case TokenType::kGt:
+        op = Expr::Op::kGt;
+        break;
+      case TokenType::kGe:
+        op = Expr::Op::kGe;
+        break;
+      case TokenType::kContains:
+        op = Expr::Op::kContains;
+        break;
+      default:
+        return lhs;  // bare operand (boolean path/method/const)
+    }
+    Next();
+    KIMDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOperand());
+    return Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseOperand() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt:
+        Next();
+        return Expr::Const(Value::Int(std::stoll(t.text)));
+      case TokenType::kReal:
+        Next();
+        return Expr::Const(Value::Real(std::stod(t.text)));
+      case TokenType::kString:
+        Next();
+        return Expr::Const(Value::Str(t.text));
+      case TokenType::kTrue:
+        Next();
+        return Expr::Const(Value::Bool(true));
+      case TokenType::kFalse:
+        Next();
+        return Expr::Const(Value::Bool(false));
+      case TokenType::kNull:
+        Next();
+        return Expr::Const(Value::Null());
+      case TokenType::kLParen: {
+        Next();
+        KIMDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        KIMDB_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+        return inner;
+      }
+      case TokenType::kIdent:
+        return ParsePathOrCall();
+      default:
+        return Status::InvalidArgument(
+            "expected an operand but found " +
+            std::string(TokenTypeName(t.type)) + " at offset " +
+            std::to_string(t.offset));
+    }
+  }
+
+  Result<ExprPtr> ParsePathOrCall() {
+    std::vector<std::string> path;
+    path.push_back(Next().text);
+    while (Accept(TokenType::kDot)) {
+      if (!Check(TokenType::kIdent)) {
+        return Status::InvalidArgument("expected attribute name after '.'");
+      }
+      path.push_back(Next().text);
+    }
+    if (Accept(TokenType::kLParen)) {
+      // Method call; the call applies to the candidate object, so only a
+      // single-segment name is allowed ('area()', not 'a.b()').
+      if (path.size() != 1) {
+        return Status::NotSupported(
+            "method calls on path targets are not supported; call methods "
+            "on the candidate object directly");
+      }
+      std::vector<ExprPtr> args;
+      if (!Check(TokenType::kRParen)) {
+        do {
+          KIMDB_ASSIGN_OR_RETURN(ExprPtr arg, ParseOperand());
+          args.push_back(std::move(arg));
+        } while (Accept(TokenType::kComma));
+      }
+      KIMDB_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return Expr::Method(path[0], std::move(args));
+    }
+    return Expr::Path(std::move(path));
+  }
+
+  size_t pos_ = 0;
+  std::vector<Token> tokens_;
+};
+
+Result<Query> Parser::ParseQuery(std::string_view text) const {
+  KIMDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Impl p(std::move(tokens));
+  KIMDB_RETURN_IF_ERROR(p.Expect(TokenType::kSelect));
+  if (!p.Check(TokenType::kIdent)) {
+    return Status::InvalidArgument("expected a class name after 'select'");
+  }
+  std::string class_name = p.Next().text;
+  KIMDB_ASSIGN_OR_RETURN(ClassId target, catalog_->FindClass(class_name));
+
+  Query q;
+  q.target = target;
+  q.hierarchy_scope = !p.Accept(TokenType::kOnly);
+  if (p.Accept(TokenType::kWhere)) {
+    KIMDB_ASSIGN_OR_RETURN(q.predicate, p.ParseOr());
+  }
+  KIMDB_RETURN_IF_ERROR(p.Expect(TokenType::kEnd));
+  return q;
+}
+
+Result<ExprPtr> Parser::ParseExpression(std::string_view text) const {
+  KIMDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Impl p(std::move(tokens));
+  KIMDB_ASSIGN_OR_RETURN(ExprPtr e, p.ParseOr());
+  KIMDB_RETURN_IF_ERROR(p.Expect(TokenType::kEnd));
+  return e;
+}
+
+}  // namespace lang
+}  // namespace kimdb

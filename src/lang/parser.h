@@ -1,0 +1,49 @@
+#ifndef KIMDB_LANG_PARSER_H_
+#define KIMDB_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "lang/lexer.h"
+#include "query/query_engine.h"
+
+namespace kimdb {
+namespace lang {
+
+/// OQL-lite: the declarative surface of the unified database programming
+/// language direction (paper §3.3 / §5.2). Grammar:
+///
+///   query   := SELECT Class [ONLY] [WHERE expr]
+///   expr    := or ; or := and (OR and)* ; and := not (AND not)*
+///   not     := NOT not | cmp
+///   cmp     := operand [(= | != | < | <= | > | >= | CONTAINS) operand]
+///   operand := literal | path | path '(' [args] ')' | '(' expr ')'
+///   path    := Ident ('.' Ident)*           -- nested-attribute access
+///   literal := Int | Real | String | TRUE | FALSE | NULL
+///
+/// ONLY restricts the scope to the target class alone; the default is the
+/// class-hierarchy scope (the paper's generalization reading, §3.2). A
+/// trailing '(...)' on a single-segment path is a late-bound method call.
+///
+/// Example (the paper's §3.2 query):
+///   select Vehicle where Weight > 7500
+///                    and Manufacturer.Location = 'Detroit'
+class Parser {
+ public:
+  explicit Parser(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Parses a full query; resolves the target class against the catalog.
+  Result<Query> ParseQuery(std::string_view text) const;
+
+  /// Parses just a predicate (used for view filters and rule conditions).
+  Result<ExprPtr> ParseExpression(std::string_view text) const;
+
+ private:
+  class Impl;
+  const Catalog* catalog_;
+};
+
+}  // namespace lang
+}  // namespace kimdb
+
+#endif  // KIMDB_LANG_PARSER_H_

@@ -1,0 +1,80 @@
+#include "model/object.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace kimdb {
+
+namespace {
+const Value kNullValue;
+}  // namespace
+
+std::string Oid::ToString() const {
+  if (is_nil()) return "nil";
+  return "@" + std::to_string(class_id()) + ":" + std::to_string(serial());
+}
+
+const Value& Object::Get(AttrId attr) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const auto& p, AttrId a) { return p.first < a; });
+  if (it != attrs_.end() && it->first == attr) return it->second;
+  return kNullValue;
+}
+
+bool Object::Has(AttrId attr) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const auto& p, AttrId a) { return p.first < a; });
+  return it != attrs_.end() && it->first == attr;
+}
+
+void Object::Set(AttrId attr, Value value) {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const auto& p, AttrId a) { return p.first < a; });
+  if (it != attrs_.end() && it->first == attr) {
+    it->second = std::move(value);
+  } else {
+    attrs_.insert(it, {attr, std::move(value)});
+  }
+}
+
+void Object::Unset(AttrId attr) {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const auto& p, AttrId a) { return p.first < a; });
+  if (it != attrs_.end() && it->first == attr) attrs_.erase(it);
+}
+
+void Object::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, oid_.raw());
+  PutVarint32(dst, static_cast<uint32_t>(attrs_.size()));
+  for (const auto& [attr, value] : attrs_) {
+    PutVarint32(dst, attr);
+    value.EncodeTo(dst);
+  }
+}
+
+Result<Object> Object::Decode(std::string_view bytes) {
+  Decoder dec(bytes);
+  KIMDB_ASSIGN_OR_RETURN(uint64_t raw, dec.ReadVarint64());
+  Object obj{Oid(raw)};
+  KIMDB_ASSIGN_OR_RETURN(uint32_t n, dec.ReadVarint32());
+  AttrId prev = 0;
+  bool first = true;
+  for (uint32_t i = 0; i < n; ++i) {
+    KIMDB_ASSIGN_OR_RETURN(AttrId attr, dec.ReadVarint32());
+    if (!first && attr <= prev) {
+      return Status::Corruption("object attributes not sorted");
+    }
+    first = false;
+    prev = attr;
+    KIMDB_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(&dec));
+    obj.attrs_.push_back({attr, std::move(v)});
+  }
+  return obj;
+}
+
+}  // namespace kimdb

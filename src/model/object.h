@@ -1,0 +1,81 @@
+#ifndef KIMDB_MODEL_OBJECT_H_
+#define KIMDB_MODEL_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/oid.h"
+#include "model/value.h"
+#include "util/result.h"
+
+namespace kimdb {
+
+/// Catalog-assigned, globally unique, *stable* attribute identifier.
+/// Objects are serialized self-describing as (attr id, value) pairs, so a
+/// schema change never forces an eager rewrite of an extent: on read, values
+/// for dropped attributes are skipped and added attributes take their
+/// default (lazy schema evolution; the eager path exists too, see
+/// SchemaManager::CompactExtent and experiment E6).
+using AttrId = uint32_t;
+inline constexpr AttrId kInvalidAttrId = 0xFFFFFFFFu;
+
+// Reserved system attribute ids (top of the id space). These implement the
+// semantic extensions of §3.3/§5.4 without special object layouts.
+inline constexpr AttrId kSysAttrBase = 0xF0000000u;
+/// Composite-object support: OID of the exclusive composite parent.
+inline constexpr AttrId kAttrPartOf = kSysAttrBase + 0;
+/// Versioning: OID of the generic object this object is a version of.
+inline constexpr AttrId kAttrVersionOf = kSysAttrBase + 1;
+/// Versioning: OID of the version this version was derived from.
+inline constexpr AttrId kAttrDerivedFrom = kSysAttrBase + 2;
+/// Versioning: int version number.
+inline constexpr AttrId kAttrVersionNumber = kSysAttrBase + 3;
+/// Versioning: bool, true once the version is released (immutable).
+inline constexpr AttrId kAttrReleased = kSysAttrBase + 4;
+/// Versioning (generic object): OID of the current default version.
+inline constexpr AttrId kAttrDefaultVersion = kSysAttrBase + 5;
+/// Versioning (generic object): set of OIDs of all versions.
+inline constexpr AttrId kAttrVersions = kSysAttrBase + 6;
+/// Long-transaction support: id of the private database holding a checkout.
+inline constexpr AttrId kAttrCheckedOutBy = kSysAttrBase + 7;
+/// Versioning (generic object): int, next version number to assign.
+inline constexpr AttrId kAttrNextVersionNumber = kSysAttrBase + 8;
+
+/// An in-memory object: identity plus a sparse attribute map. This is the
+/// unit the object store serializes, the WAL images, and queries evaluate
+/// over. Attribute entries are kept sorted by id.
+class Object {
+ public:
+  Object() = default;
+  explicit Object(Oid oid) : oid_(oid) {}
+
+  Oid oid() const { return oid_; }
+  void set_oid(Oid oid) { oid_ = oid; }
+  ClassId class_id() const { return oid_.class_id(); }
+
+  /// Returns the value of `attr`, or Null if unset.
+  const Value& Get(AttrId attr) const;
+  bool Has(AttrId attr) const;
+  void Set(AttrId attr, Value value);
+  /// Removes the entry entirely (distinct from setting Null).
+  void Unset(AttrId attr);
+
+  const std::vector<std::pair<AttrId, Value>>& attrs() const {
+    return attrs_;
+  }
+
+  void EncodeTo(std::string* dst) const;
+  static Result<Object> Decode(std::string_view bytes);
+
+  bool operator==(const Object& other) const = default;
+
+ private:
+  Oid oid_;
+  std::vector<std::pair<AttrId, Value>> attrs_;  // sorted by AttrId
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_MODEL_OBJECT_H_

@@ -1,0 +1,60 @@
+#ifndef KIMDB_MODEL_OID_H_
+#define KIMDB_MODEL_OID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace kimdb {
+
+using ClassId = uint32_t;
+inline constexpr ClassId kInvalidClassId = 0xFFFFFFFFu;
+/// The implicit root of the class hierarchy ("Object", paper §3.1 point 5:
+/// all classes are organized as a rooted DAG).
+inline constexpr ClassId kRootClassId = 0;
+
+/// Logical, immutable object identifier (paper §3.1 point 1: every entity is
+/// an object with a unique identifier).
+///
+/// ORION-style OIDs embed the class: the high 24 bits are the class id, the
+/// low 40 bits a per-class serial. Embedding the class lets the object
+/// directory route a dereference to the right extent without a lookup, and
+/// lets queries filter OID sets by class for free.
+class Oid {
+ public:
+  constexpr Oid() : raw_(0) {}
+  constexpr explicit Oid(uint64_t raw) : raw_(raw) {}
+
+  static constexpr Oid Make(ClassId cls, uint64_t serial) {
+    return Oid((static_cast<uint64_t>(cls) << 40) | (serial & 0xFFFFFFFFFFull));
+  }
+
+  constexpr uint64_t raw() const { return raw_; }
+  constexpr ClassId class_id() const {
+    return static_cast<ClassId>(raw_ >> 40);
+  }
+  constexpr uint64_t serial() const { return raw_ & 0xFFFFFFFFFFull; }
+  constexpr bool is_nil() const { return raw_ == 0; }
+
+  constexpr bool operator==(const Oid&) const = default;
+  constexpr auto operator<=>(const Oid&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  uint64_t raw_;
+};
+
+/// The nil reference (no object).
+inline constexpr Oid kNilOid{};
+
+}  // namespace kimdb
+
+template <>
+struct std::hash<kimdb::Oid> {
+  size_t operator()(const kimdb::Oid& oid) const noexcept {
+    return std::hash<uint64_t>{}(oid.raw());
+  }
+};
+
+#endif  // KIMDB_MODEL_OID_H_

@@ -1,0 +1,186 @@
+#include "model/value.h"
+
+#include <cmath>
+
+namespace kimdb {
+namespace {
+
+int KindRank(Value::Kind k) {
+  // Ints and reals share a rank so they compare numerically.
+  switch (k) {
+    case Value::Kind::kNull:
+      return 0;
+    case Value::Kind::kBool:
+      return 1;
+    case Value::Kind::kInt:
+    case Value::Kind::kReal:
+      return 2;
+    case Value::Kind::kString:
+      return 3;
+    case Value::Kind::kRef:
+      return 4;
+    case Value::Kind::kSet:
+      return 5;
+    case Value::Kind::kList:
+      return 6;
+  }
+  return 7;
+}
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = KindRank(kind_);
+  int rb = KindRank(other.kind_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (kind_) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kBool:
+      return Cmp(as_bool(), other.as_bool());
+    case Kind::kInt:
+    case Kind::kReal: {
+      double a = kind_ == Kind::kInt ? static_cast<double>(as_int())
+                                     : as_real();
+      double b = other.kind_ == Kind::kInt
+                     ? static_cast<double>(other.as_int())
+                     : other.as_real();
+      // Exact integer comparison when both are ints (avoids precision loss).
+      if (kind_ == Kind::kInt && other.kind_ == Kind::kInt) {
+        return Cmp(as_int(), other.as_int());
+      }
+      return Cmp(a, b);
+    }
+    case Kind::kString:
+      return Cmp(as_string(), other.as_string());
+    case Kind::kRef:
+      return Cmp(as_ref().raw(), other.as_ref().raw());
+    case Kind::kSet:
+    case Kind::kList: {
+      const auto& a = elements();
+      const auto& b = other.elements();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      return Cmp(a.size(), b.size());
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return as_bool() ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(as_int());
+    case Kind::kReal: {
+      std::string s = std::to_string(as_real());
+      return s;
+    }
+    case Kind::kString:
+      return "\"" + as_string() + "\"";
+    case Kind::kRef:
+      return as_ref().ToString();
+    case Kind::kSet:
+    case Kind::kList: {
+      std::string out = kind_ == Kind::kSet ? "{" : "[";
+      for (size_t i = 0; i < elements().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += elements()[i].ToString();
+      }
+      out += kind_ == Kind::kSet ? "}" : "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+void Value::EncodeTo(std::string* dst) const {
+  PutFixed8(dst, static_cast<uint8_t>(kind_));
+  switch (kind_) {
+    case Kind::kNull:
+      break;
+    case Kind::kBool:
+      PutFixed8(dst, as_bool() ? 1 : 0);
+      break;
+    case Kind::kInt:
+      PutVarint64(dst, ZigZagEncode(as_int()));
+      break;
+    case Kind::kReal:
+      PutDouble(dst, as_real());
+      break;
+    case Kind::kString:
+      PutLengthPrefixed(dst, as_string());
+      break;
+    case Kind::kRef:
+      PutVarint64(dst, as_ref().raw());
+      break;
+    case Kind::kSet:
+    case Kind::kList:
+      PutVarint32(dst, static_cast<uint32_t>(elements().size()));
+      for (const Value& e : elements()) e.EncodeTo(dst);
+      break;
+  }
+}
+
+Result<Value> Value::DecodeFrom(Decoder* dec) {
+  KIMDB_ASSIGN_OR_RETURN(uint8_t tag, dec->ReadFixed8());
+  if (tag > static_cast<uint8_t>(Kind::kList)) {
+    return Status::Corruption("bad value tag");
+  }
+  Kind kind = static_cast<Kind>(tag);
+  switch (kind) {
+    case Kind::kNull:
+      return Value::Null();
+    case Kind::kBool: {
+      KIMDB_ASSIGN_OR_RETURN(uint8_t b, dec->ReadFixed8());
+      return Value::Bool(b != 0);
+    }
+    case Kind::kInt: {
+      KIMDB_ASSIGN_OR_RETURN(uint64_t z, dec->ReadVarint64());
+      return Value::Int(ZigZagDecode(z));
+    }
+    case Kind::kReal: {
+      KIMDB_ASSIGN_OR_RETURN(double d, dec->ReadDouble());
+      return Value::Real(d);
+    }
+    case Kind::kString: {
+      KIMDB_ASSIGN_OR_RETURN(std::string_view s, dec->ReadLengthPrefixed());
+      return Value::Str(std::string(s));
+    }
+    case Kind::kRef: {
+      KIMDB_ASSIGN_OR_RETURN(uint64_t raw, dec->ReadVarint64());
+      return Value::Ref(Oid(raw));
+    }
+    case Kind::kSet:
+    case Kind::kList: {
+      KIMDB_ASSIGN_OR_RETURN(uint32_t n, dec->ReadVarint32());
+      if (n > 16 * 1024 * 1024) {
+        return Status::Corruption("collection too large");
+      }
+      std::vector<Value> elems;
+      elems.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        KIMDB_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(dec));
+        elems.push_back(std::move(v));
+      }
+      return kind == Kind::kSet ? Value::Set(std::move(elems))
+                                : Value::List(std::move(elems));
+    }
+  }
+  return Status::Corruption("unreachable value kind");
+}
+
+}  // namespace kimdb

@@ -1,0 +1,95 @@
+#ifndef KIMDB_MODEL_VALUE_H_
+#define KIMDB_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "model/oid.h"
+#include "util/coding.h"
+#include "util/result.h"
+
+namespace kimdb {
+
+/// A typed attribute value. Per the core model (paper §3.1 point 2) the
+/// value of an attribute is itself an object: primitives are instances of
+/// primitive classes, references are OIDs of general objects, and an
+/// attribute may be set-valued (point 2: "single value or a set of values").
+/// Lists are the ordered variant (needed by composite assemblies).
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kInt = 1,
+    kReal = 2,
+    kBool = 3,
+    kString = 4,
+    kRef = 5,
+    kSet = 6,
+    kList = 7,
+  };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Kind::kInt, v); }
+  static Value Real(double v) { return Value(Kind::kReal, v); }
+  static Value Bool(bool v) { return Value(Kind::kBool, v); }
+  static Value Str(std::string v) { return Value(Kind::kString, std::move(v)); }
+  static Value Ref(Oid oid) { return Value(Kind::kRef, oid); }
+  static Value Set(std::vector<Value> elems) {
+    return Value(Kind::kSet, std::move(elems));
+  }
+  static Value List(std::vector<Value> elems) {
+    return Value(Kind::kList, std::move(elems));
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_collection() const {
+    return kind_ == Kind::kSet || kind_ == Kind::kList;
+  }
+
+  // Accessors assert the kind in debug builds (programming errors, not
+  // runtime conditions; type errors are caught at schema-check time).
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_real() const { return std::get<double>(v_); }
+  bool as_bool() const { return std::get<bool>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  Oid as_ref() const { return std::get<Oid>(v_); }
+  const std::vector<Value>& elements() const {
+    return std::get<std::vector<Value>>(v_);
+  }
+  std::vector<Value>& mutable_elements() {
+    return std::get<std::vector<Value>>(v_);
+  }
+
+  /// Numeric cross-kind coercion: an int compares equal to the same real.
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+  /// Total order across kinds (kind rank first, then value); ints and reals
+  /// compare numerically with each other. Used by B+-tree index keys and
+  /// ORDER-style operations.
+  int Compare(const Value& other) const;
+
+  std::string ToString() const;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<Value> DecodeFrom(Decoder* dec);
+
+ private:
+  using Storage =
+      std::variant<std::monostate, int64_t, double, bool, std::string, Oid,
+                   std::vector<Value>>;
+
+  template <typename T>
+  Value(Kind kind, T&& v) : kind_(kind), v_(std::forward<T>(v)) {}
+
+  Kind kind_;
+  Storage v_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_MODEL_VALUE_H_

@@ -1,0 +1,211 @@
+#include "object/composite.h"
+
+#include <algorithm>
+
+namespace kimdb {
+
+Result<std::unique_ptr<CompositeManager>> CompositeManager::Attach(
+    ObjectStore* store) {
+  auto mgr = std::unique_ptr<CompositeManager>(new CompositeManager(store));
+  // Build the inverse map from existing part-of links.
+  for (ClassId cls : store->catalog()->AllClasses()) {
+    KIMDB_RETURN_IF_ERROR(store->ForEachInClass(cls, [&](const Object& obj) {
+      const Value& p = obj.Get(kAttrPartOf);
+      if (p.kind() == Value::Kind::kRef && !p.as_ref().is_nil()) {
+        mgr->Link(obj.oid(), p.as_ref());
+      }
+      return Status::OK();
+    }));
+  }
+  store->AddListener(mgr.get());
+  return mgr;
+}
+
+CompositeManager::~CompositeManager() { store_->RemoveListener(this); }
+
+void CompositeManager::Link(Oid child, Oid parent) {
+  children_[parent].push_back(child);
+}
+
+void CompositeManager::Unlink(Oid child, Oid parent) {
+  auto it = children_.find(parent);
+  if (it == children_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), child), v.end());
+  if (v.empty()) children_.erase(it);
+}
+
+Oid CompositeManager::ParentOf(Oid oid) const {
+  Result<Object> obj = store_->GetRaw(oid);
+  if (!obj.ok()) return kNilOid;
+  const Value& p = obj->Get(kAttrPartOf);
+  if (p.kind() != Value::Kind::kRef) return kNilOid;
+  return p.as_ref();
+}
+
+std::vector<Oid> CompositeManager::ChildrenOf(Oid oid) const {
+  auto it = children_.find(oid);
+  return it == children_.end() ? std::vector<Oid>{} : it->second;
+}
+
+Status CompositeManager::AttachChild(uint64_t txn, Oid child, Oid parent) {
+  if (child == parent) {
+    return Status::InvalidArgument("object cannot be part of itself");
+  }
+  if (!store_->Exists(child) || !store_->Exists(parent)) {
+    return Status::NotFound("child or parent does not exist");
+  }
+  if (!ParentOf(child).is_nil()) {
+    return Status::FailedPrecondition(
+        "component already belongs to a composite (exclusive ownership)");
+  }
+  // Cycle check: walk up from `parent`; if we reach `child` the link would
+  // close a part-of cycle.
+  Oid cur = parent;
+  while (!cur.is_nil()) {
+    if (cur == child) {
+      return Status::InvalidArgument("part-of link would create a cycle");
+    }
+    cur = ParentOf(cur);
+  }
+  return store_->SetAttrSystem(txn, child, kAttrPartOf, Value::Ref(parent));
+}
+
+Status CompositeManager::DetachChild(uint64_t txn, Oid child) {
+  Oid parent = ParentOf(child);
+  if (parent.is_nil()) {
+    return Status::FailedPrecondition("object is not a component");
+  }
+  return store_->SetAttrSystem(txn, child, kAttrPartOf, Value::Null());
+}
+
+Status CompositeManager::ForEachComponent(
+    Oid root, const std::function<Status(Oid)>& fn) const {
+  KIMDB_RETURN_IF_ERROR(fn(root));
+  for (Oid c : ChildrenOf(root)) {
+    KIMDB_RETURN_IF_ERROR(ForEachComponent(c, fn));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> CompositeManager::ComponentCount(Oid root) const {
+  uint64_t n = 0;
+  KIMDB_RETURN_IF_ERROR(ForEachComponent(root, [&](Oid) {
+    ++n;
+    return Status::OK();
+  }));
+  return n;
+}
+
+Status CompositeManager::DeleteComposite(uint64_t txn, Oid root) {
+  // Existential dependency: children are deleted before their parent.
+  std::vector<Oid> postorder;
+  Status st = ForEachComponent(root, [&](Oid oid) {
+    postorder.push_back(oid);
+    return Status::OK();
+  });
+  KIMDB_RETURN_IF_ERROR(st);
+  for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
+    KIMDB_RETURN_IF_ERROR(store_->Delete(txn, *it));
+  }
+  return Status::OK();
+}
+
+Result<Oid> CompositeManager::DeepCopy(uint64_t txn, Oid root) {
+  // Pass 1: copy every component top-down (so children cluster near their
+  // new parents), remembering the old->new OID mapping.
+  std::unordered_map<Oid, Oid> remap;
+  struct Item {
+    Oid old_oid;
+    Oid new_parent;
+  };
+  std::vector<Item> stack{{root, kNilOid}};
+  Oid new_root = kNilOid;
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    KIMDB_ASSIGN_OR_RETURN(Object obj, store_->GetRaw(item.old_oid));
+    Object copy = obj;
+    copy.set_oid(kNilOid);
+    copy.Unset(kAttrPartOf);
+    if (!item.new_parent.is_nil()) {
+      copy.Set(kAttrPartOf, Value::Ref(item.new_parent));
+    }
+    KIMDB_ASSIGN_OR_RETURN(
+        Oid new_oid,
+        store_->Insert(txn, obj.class_id(), std::move(copy),
+                       item.new_parent));
+    remap[item.old_oid] = new_oid;
+    if (item.new_parent.is_nil()) new_root = new_oid;
+    for (Oid c : ChildrenOf(item.old_oid)) {
+      stack.push_back({c, new_oid});
+    }
+  }
+  // Pass 2: remap composite-internal references onto the copies.
+  for (const auto& [old_oid, new_oid] : remap) {
+    KIMDB_ASSIGN_OR_RETURN(Object obj, store_->GetRaw(new_oid));
+    bool changed = false;
+    Object updated = obj;
+    for (const auto& [attr, value] : obj.attrs()) {
+      if (attr == kAttrPartOf) continue;
+      if (value.kind() == Value::Kind::kRef) {
+        auto it = remap.find(value.as_ref());
+        if (it != remap.end()) {
+          updated.Set(attr, Value::Ref(it->second));
+          changed = true;
+        }
+      } else if (value.is_collection()) {
+        std::vector<Value> elems = value.elements();
+        bool coll_changed = false;
+        for (Value& e : elems) {
+          if (e.kind() == Value::Kind::kRef) {
+            auto it = remap.find(e.as_ref());
+            if (it != remap.end()) {
+              e = Value::Ref(it->second);
+              coll_changed = true;
+            }
+          }
+        }
+        if (coll_changed) {
+          updated.Set(attr, value.kind() == Value::Kind::kSet
+                                ? Value::Set(std::move(elems))
+                                : Value::List(std::move(elems)));
+          changed = true;
+        }
+      }
+    }
+    if (changed) {
+      KIMDB_RETURN_IF_ERROR(store_->Update(txn, updated));
+    }
+  }
+  return new_root;
+}
+
+void CompositeManager::OnInsert(const Object& obj) {
+  const Value& p = obj.Get(kAttrPartOf);
+  if (p.kind() == Value::Kind::kRef && !p.as_ref().is_nil()) {
+    Link(obj.oid(), p.as_ref());
+  }
+}
+
+void CompositeManager::OnUpdate(const Object& before, const Object& after) {
+  const Value& pb = before.Get(kAttrPartOf);
+  const Value& pa = after.Get(kAttrPartOf);
+  Oid old_parent =
+      pb.kind() == Value::Kind::kRef ? pb.as_ref() : kNilOid;
+  Oid new_parent =
+      pa.kind() == Value::Kind::kRef ? pa.as_ref() : kNilOid;
+  if (old_parent == new_parent) return;
+  if (!old_parent.is_nil()) Unlink(before.oid(), old_parent);
+  if (!new_parent.is_nil()) Link(after.oid(), new_parent);
+}
+
+void CompositeManager::OnDelete(const Object& before) {
+  const Value& p = before.Get(kAttrPartOf);
+  if (p.kind() == Value::Kind::kRef && !p.as_ref().is_nil()) {
+    Unlink(before.oid(), p.as_ref());
+  }
+  children_.erase(before.oid());
+}
+
+}  // namespace kimdb

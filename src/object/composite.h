@@ -1,0 +1,73 @@
+#ifndef KIMDB_OBJECT_COMPOSITE_H_
+#define KIMDB_OBJECT_COMPOSITE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "object/object_store.h"
+
+namespace kimdb {
+
+/// Composite objects (paper §3.3, KIM89c): the IS-PART-OF relationship.
+/// A component belongs to at most one composite parent (exclusive
+/// ownership) and is existentially dependent on it -- deleting the root
+/// cascades through the whole composite. The part-of link is stored on the
+/// child in the reserved system attribute kAttrPartOf; this manager
+/// maintains the inverse (parent -> children) map by listening to the
+/// store, and implements the composite operations.
+class CompositeManager : public ObjectStoreListener {
+ public:
+  /// Registers as a listener and builds the child map from existing data.
+  static Result<std::unique_ptr<CompositeManager>> Attach(ObjectStore* store);
+  ~CompositeManager() override;
+
+  CompositeManager(const CompositeManager&) = delete;
+  CompositeManager& operator=(const CompositeManager&) = delete;
+
+  /// Makes `child` an exclusive component of `parent`. Fails if the child
+  /// already has a parent or if the link would create a part-of cycle.
+  Status AttachChild(uint64_t txn, Oid child, Oid parent);
+
+  /// Severs the part-of link (the child becomes independent).
+  Status DetachChild(uint64_t txn, Oid child);
+
+  /// kNilOid if the object is not part of any composite.
+  Oid ParentOf(Oid oid) const;
+  std::vector<Oid> ChildrenOf(Oid oid) const;
+
+  /// Visits the composite rooted at `root` (root first, depth-first).
+  Status ForEachComponent(Oid root,
+                          const std::function<Status(Oid)>& fn) const;
+
+  /// Number of objects in the composite including the root.
+  Result<uint64_t> ComponentCount(Oid root) const;
+
+  /// Cascading delete: removes every component, leaves first.
+  Status DeleteComposite(uint64_t txn, Oid root);
+
+  /// Deep copy of the composite. Component-internal references (refs from
+  /// one member to another member of the same composite) are remapped onto
+  /// the copies; external references are shared. Copies are clustered near
+  /// their new parents. Returns the new root's OID.
+  Result<Oid> DeepCopy(uint64_t txn, Oid root);
+
+  // ObjectStoreListener -- keeps the inverse map in sync.
+  void OnInsert(const Object& obj) override;
+  void OnUpdate(const Object& before, const Object& after) override;
+  void OnDelete(const Object& before) override;
+
+ private:
+  explicit CompositeManager(ObjectStore* store) : store_(store) {}
+
+  void Link(Oid child, Oid parent);
+  void Unlink(Oid child, Oid parent);
+
+  ObjectStore* store_;
+  std::unordered_map<Oid, std::vector<Oid>> children_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_OBJECT_COMPOSITE_H_

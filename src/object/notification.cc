@@ -1,0 +1,67 @@
+#include "object/notification.h"
+
+namespace kimdb {
+
+ChangeNotifier::SubscriptionId ChangeNotifier::SubscribeObject(Oid oid,
+                                                               Callback cb) {
+  Subscription s;
+  s.by_class = false;
+  s.oid = oid;
+  s.cb = std::move(cb);
+  SubscriptionId id = next_id_++;
+  subs_[id] = std::move(s);
+  return id;
+}
+
+ChangeNotifier::SubscriptionId ChangeNotifier::SubscribeClass(ClassId cls,
+                                                              Callback cb) {
+  Subscription s;
+  s.by_class = true;
+  s.cls = cls;
+  s.cb = std::move(cb);
+  SubscriptionId id = next_id_++;
+  subs_[id] = std::move(s);
+  return id;
+}
+
+void ChangeNotifier::Unsubscribe(SubscriptionId id) { subs_.erase(id); }
+
+std::vector<ChangeEvent> ChangeNotifier::Drain(SubscriptionId id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return {};
+  std::vector<ChangeEvent> out = std::move(it->second.pending);
+  it->second.pending.clear();
+  return out;
+}
+
+bool ChangeNotifier::HasPending(SubscriptionId id) const {
+  auto it = subs_.find(id);
+  return it != subs_.end() && !it->second.pending.empty();
+}
+
+void ChangeNotifier::Dispatch(const ChangeEvent& ev) {
+  for (auto& [id, sub] : subs_) {
+    bool match = sub.by_class ? sub.cls == ev.oid.class_id()
+                              : sub.oid == ev.oid;
+    if (!match) continue;
+    if (sub.cb) {
+      sub.cb(ev);
+    } else {
+      sub.pending.push_back(ev);
+    }
+  }
+}
+
+void ChangeNotifier::OnInsert(const Object& obj) {
+  Dispatch(ChangeEvent{ChangeEvent::Kind::kInsert, obj.oid()});
+}
+
+void ChangeNotifier::OnUpdate(const Object& /*before*/, const Object& after) {
+  Dispatch(ChangeEvent{ChangeEvent::Kind::kUpdate, after.oid()});
+}
+
+void ChangeNotifier::OnDelete(const Object& before) {
+  Dispatch(ChangeEvent{ChangeEvent::Kind::kDelete, before.oid()});
+}
+
+}  // namespace kimdb

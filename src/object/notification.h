@@ -1,0 +1,74 @@
+#ifndef KIMDB_OBJECT_NOTIFICATION_H_
+#define KIMDB_OBJECT_NOTIFICATION_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "object/object_store.h"
+
+namespace kimdb {
+
+/// A change observed on a subscribed object or class.
+struct ChangeEvent {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind;
+  Oid oid;
+};
+
+/// Change notification (paper §3.3, CHOU88): both modes the literature
+/// distinguishes are supported --
+///
+///  * *message-based* notification: a callback fires immediately when a
+///    subscribed object/class changes;
+///  * *flag-based* notification: events queue per subscription and are
+///    collected later with Drain() (the CAx pattern: a designer checks
+///    whether anything they depend on changed since they last looked).
+class ChangeNotifier : public ObjectStoreListener {
+ public:
+  using Callback = std::function<void(const ChangeEvent&)>;
+  using SubscriptionId = uint64_t;
+
+  explicit ChangeNotifier(ObjectStore* store) : store_(store) {
+    store->AddListener(this);
+  }
+  ~ChangeNotifier() override { store_->RemoveListener(this); }
+
+  ChangeNotifier(const ChangeNotifier&) = delete;
+  ChangeNotifier& operator=(const ChangeNotifier&) = delete;
+
+  /// Subscribes to changes of one object. Null callback = flag-based only.
+  SubscriptionId SubscribeObject(Oid oid, Callback cb = nullptr);
+  /// Subscribes to changes of any instance of a class (exact class, not
+  /// the hierarchy; subscribe per subclass for hierarchy scope).
+  SubscriptionId SubscribeClass(ClassId cls, Callback cb = nullptr);
+  void Unsubscribe(SubscriptionId id);
+
+  /// Returns and clears the queued events of a subscription.
+  std::vector<ChangeEvent> Drain(SubscriptionId id);
+  bool HasPending(SubscriptionId id) const;
+
+  // ObjectStoreListener
+  void OnInsert(const Object& obj) override;
+  void OnUpdate(const Object& before, const Object& after) override;
+  void OnDelete(const Object& before) override;
+
+ private:
+  struct Subscription {
+    bool by_class = false;
+    Oid oid;
+    ClassId cls = kInvalidClassId;
+    Callback cb;
+    std::vector<ChangeEvent> pending;
+  };
+
+  void Dispatch(const ChangeEvent& ev);
+
+  ObjectStore* store_;
+  SubscriptionId next_id_ = 1;
+  std::unordered_map<SubscriptionId, Subscription> subs_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_OBJECT_NOTIFICATION_H_

@@ -1,0 +1,86 @@
+#ifndef KIMDB_OBJECT_OBJECT_MANAGER_H_
+#define KIMDB_OBJECT_OBJECT_MANAGER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "object/object_store.h"
+
+namespace kimdb {
+
+/// An in-memory descriptor for a (possibly not-yet-loaded) object in the
+/// workspace, in the style of LOOM "leaves" / ORION resident objects
+/// (paper §3.3): when an object is loaded, the OIDs embedded in it are
+/// converted into direct pointers to descriptors, so traversals do not go
+/// through the object directory again.
+struct ResidentObject {
+  Oid oid;
+  bool loaded = false;
+  Object obj;  // valid iff loaded
+  bool dirty = false;
+  /// Swizzled reference attributes: attr id -> descriptor pointers (one
+  /// entry for single-valued refs; element order preserved for sets/lists).
+  std::unordered_map<AttrId, std::vector<ResidentObject*>> refs;
+};
+
+struct ObjectManagerStats {
+  uint64_t loads = 0;           // objects materialized from the store
+  uint64_t pointer_follows = 0; // traversals served by a swizzled pointer
+};
+
+/// Memory-resident object management (paper §3.3): a workspace that caches
+/// objects, swizzles inter-object references into memory pointers, and
+/// writes modified objects back through the transactional store. This is
+/// what the paper argues CAx applications need ("a much better solution is
+/// to store logical object identifiers within the objects ... and convert
+/// them to memory pointers"); experiment E4 quantifies it.
+class ObjectManager {
+ public:
+  explicit ObjectManager(ObjectStore* store) : store_(store) {}
+
+  ObjectManager(const ObjectManager&) = delete;
+  ObjectManager& operator=(const ObjectManager&) = delete;
+
+  /// Returns the descriptor for `oid`, creating an unloaded one if needed.
+  ResidentObject* Pin(Oid oid);
+
+  /// Ensures the object is materialized in the workspace with its
+  /// references swizzled; loads it from the store on first touch.
+  Result<ResidentObject*> Load(Oid oid);
+
+  /// Follows a single-valued reference attribute through its swizzled
+  /// pointer, loading the target lazily. NotFound if the attribute is nil.
+  Result<ResidentObject*> Follow(ResidentObject* from, AttrId attr);
+
+  /// Follows a set-valued reference attribute; targets are loaded lazily.
+  Result<std::vector<ResidentObject*>> FollowAll(ResidentObject* from,
+                                                 AttrId attr);
+
+  /// Marks the resident copy modified; WriteBack persists it.
+  void MarkDirty(ResidentObject* obj) { obj->dirty = true; }
+
+  /// Writes one dirty object back through the store (logged under `txn`).
+  Status WriteBack(uint64_t txn, ResidentObject* obj);
+
+  /// Writes back every dirty resident object.
+  Status WriteBackAll(uint64_t txn);
+
+  /// Empties the workspace (descriptor pointers become invalid).
+  void Clear();
+
+  size_t resident_count() const { return table_.size(); }
+  const ObjectManagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ObjectManagerStats{}; }
+
+ private:
+  Status Swizzle(ResidentObject* obj);
+
+  ObjectStore* store_;
+  std::unordered_map<Oid, std::unique_ptr<ResidentObject>> table_;
+  ObjectManagerStats stats_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_OBJECT_OBJECT_MANAGER_H_

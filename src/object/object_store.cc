@@ -1,0 +1,395 @@
+#include "object/object_store.h"
+
+#include <algorithm>
+
+namespace kimdb {
+
+Result<Object> BuildObject(
+    const Catalog& catalog, ClassId cls,
+    const std::vector<std::pair<std::string, Value>>& attrs) {
+  Object obj;
+  for (const auto& [name, value] : attrs) {
+    KIMDB_ASSIGN_OR_RETURN(const AttributeDef* def,
+                           catalog.ResolveAttr(cls, name));
+    KIMDB_RETURN_IF_ERROR(catalog.CheckValue(def->domain, value));
+    obj.Set(def->id, value);
+  }
+  return obj;
+}
+
+Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(BufferPool* bp,
+                                                       Catalog* catalog,
+                                                       Wal* wal,
+                                                       bool attach_to_catalog) {
+  auto store = std::unique_ptr<ObjectStore>(
+      new ObjectStore(bp, catalog, wal, attach_to_catalog));
+  // Create extents for classes that lack one; rebuild the directory and the
+  // per-class serial high-water marks from the extents that exist.
+  for (ClassId cls : catalog->AllClasses()) {
+    KIMDB_RETURN_IF_ERROR(store->EnsureExtent(cls));
+    KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, store->ExtentOf(cls));
+    uint64_t max_serial = 0;
+    Status st = heap->ForEach([&](RecordId rid, std::string_view bytes) {
+      Result<Object> obj = Object::Decode(bytes);
+      if (!obj.ok()) return obj.status();
+      store->directory_[obj->oid()] = rid;
+      max_serial = std::max(max_serial, obj->oid().serial());
+      return Status::OK();
+    });
+    KIMDB_RETURN_IF_ERROR(st);
+    KIMDB_ASSIGN_OR_RETURN(ClassDef * def, catalog->GetClassMutable(cls));
+    def->next_serial = std::max(def->next_serial, max_serial + 1);
+  }
+  return store;
+}
+
+Result<PageId> ObjectStore::ExtentHeadOf(ClassId cls) const {
+  if (attach_to_catalog_) {
+    KIMDB_ASSIGN_OR_RETURN(const ClassDef* def, catalog_->GetClass(cls));
+    return def->extent_head;
+  }
+  auto it = local_extent_heads_.find(cls);
+  return it == local_extent_heads_.end() ? kInvalidPageId : it->second;
+}
+
+Status ObjectStore::EnsureExtent(ClassId cls) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(PageId head, ExtentHeadOf(cls));
+  if (head != kInvalidPageId) return Status::OK();
+  KIMDB_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(bp_));
+  if (attach_to_catalog_) {
+    KIMDB_ASSIGN_OR_RETURN(ClassDef * def, catalog_->GetClassMutable(cls));
+    def->extent_head = heap.head();
+  } else {
+    local_extent_heads_[cls] = heap.head();
+  }
+  extents_.emplace(cls, std::move(heap));
+  return Status::OK();
+}
+
+Result<HeapFile*> ObjectStore::ExtentOf(ClassId cls) const {
+  auto it = extents_.find(cls);
+  if (it != extents_.end()) return &it->second;
+  KIMDB_ASSIGN_OR_RETURN(PageId head, ExtentHeadOf(cls));
+  if (head == kInvalidPageId) {
+    return Status::FailedPrecondition("class has no extent (EnsureExtent)");
+  }
+  KIMDB_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Open(bp_, head));
+  return &extents_.emplace(cls, std::move(heap)).first->second;
+}
+
+Status ObjectStore::ValidateContents(ClassId cls,
+                                     const Object& contents) const {
+  KIMDB_ASSIGN_OR_RETURN(auto effective, catalog_->EffectiveAttrs(cls));
+  for (const auto& [attr, value] : contents.attrs()) {
+    if (attr >= kSysAttrBase) continue;  // system attributes are untyped
+    const AttributeDef* def = nullptr;
+    for (const AttributeDef* a : effective) {
+      if (a->id == attr) {
+        def = a;
+        break;
+      }
+    }
+    if (def == nullptr) {
+      return Status::InvalidArgument(
+          "attribute id " + std::to_string(attr) +
+          " is not in the class's effective schema");
+    }
+    KIMDB_RETURN_IF_ERROR(catalog_->CheckValue(def->domain, value));
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::LogOp(uint64_t txn, WalRecordType type, Oid oid,
+                          const Object* before, const Object* after) {
+  if (wal_ == nullptr) return Status::OK();
+  WalRecord rec;
+  rec.txn_id = txn;
+  rec.type = type;
+  rec.key = oid.raw();
+  if (before != nullptr) before->EncodeTo(&rec.before);
+  if (after != nullptr) after->EncodeTo(&rec.after);
+  return wal_->Append(std::move(rec)).ok()
+             ? Status::OK()
+             : Status::IOError("wal append failed");
+}
+
+Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
+                                Oid cluster_hint) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  KIMDB_RETURN_IF_ERROR(ValidateContents(cls, contents));
+  KIMDB_ASSIGN_OR_RETURN(ClassDef * def, catalog_->GetClassMutable(cls));
+  Oid oid = Oid::Make(cls, def->next_serial++);
+  contents.set_oid(oid);
+
+  KIMDB_RETURN_IF_ERROR(LogOp(txn, WalRecordType::kInsert, oid, nullptr,
+                              &contents));
+
+  PageId hint = kInvalidPageId;
+  // A placement hint is honored only within the same class: extents are
+  // per-class page chains, so clustering across classes would store the
+  // record in a foreign extent and hide it from its own class scans
+  // (cross-class hints degrade to normal placement).
+  if (!cluster_hint.is_nil() && cluster_hint.class_id() == cls) {
+    Result<RecordId> rid = DirectoryLookup(cluster_hint);
+    if (rid.ok()) hint = rid->page_id;
+  }
+
+  std::string bytes;
+  contents.EncodeTo(&bytes);
+  // Classes defined after Open get their extent lazily on first insert.
+  KIMDB_RETURN_IF_ERROR(EnsureExtent(cls));
+  KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(cls));
+  KIMDB_ASSIGN_OR_RETURN(RecordId rid, heap->Insert(bytes, hint));
+  directory_[oid] = rid;
+
+  for (auto* l : listeners_) l->OnInsert(contents);
+  return oid;
+}
+
+Status ObjectStore::Update(uint64_t txn, const Object& obj) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(Object before, GetRaw(obj.oid()));
+  KIMDB_RETURN_IF_ERROR(ValidateContents(obj.class_id(), obj));
+  KIMDB_RETURN_IF_ERROR(
+      LogOp(txn, WalRecordType::kUpdate, obj.oid(), &before, &obj));
+
+  std::string bytes;
+  obj.EncodeTo(&bytes);
+  KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(obj.class_id()));
+  RecordId rid = directory_.at(obj.oid());
+  KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(rid, bytes));
+  directory_[obj.oid()] = new_rid;
+
+  for (auto* l : listeners_) l->OnUpdate(before, obj);
+  return Status::OK();
+}
+
+Status ObjectStore::SetAttr(uint64_t txn, Oid oid, std::string_view attr_name,
+                            Value value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(const AttributeDef* def,
+                         catalog_->ResolveAttr(oid.class_id(), attr_name));
+  KIMDB_RETURN_IF_ERROR(catalog_->CheckValue(def->domain, value));
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRaw(oid));
+  obj.Set(def->id, std::move(value));
+  return Update(txn, obj);
+}
+
+Status ObjectStore::SetAttrSystem(uint64_t txn, Oid oid, AttrId attr,
+                                  Value value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (attr < kSysAttrBase) {
+    return Status::InvalidArgument("not a system attribute");
+  }
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRaw(oid));
+  if (value.is_null()) {
+    obj.Unset(attr);
+  } else {
+    obj.Set(attr, std::move(value));
+  }
+  return Update(txn, obj);
+}
+
+Status ObjectStore::Delete(uint64_t txn, Oid oid) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(Object before, GetRaw(oid));
+  KIMDB_RETURN_IF_ERROR(
+      LogOp(txn, WalRecordType::kDelete, oid, &before, nullptr));
+  KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
+  KIMDB_RETURN_IF_ERROR(heap->Delete(directory_.at(oid)));
+  directory_.erase(oid);
+  for (auto* l : listeners_) l->OnDelete(before);
+  return Status::OK();
+}
+
+bool ObjectStore::Exists(Oid oid) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_); return directory_.count(oid) > 0; }
+
+Result<RecordId> ObjectStore::DirectoryLookup(Oid oid) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = directory_.find(oid);
+  if (it == directory_.end()) {
+    return Status::NotFound("object " + oid.ToString() + " not found");
+  }
+  return it->second;
+}
+
+Result<Object> ObjectStore::GetRaw(Oid oid) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(RecordId rid, DirectoryLookup(oid));
+  KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
+  KIMDB_ASSIGN_OR_RETURN(std::string bytes, heap->Get(rid));
+  return Object::Decode(bytes);
+}
+
+Status ObjectStore::MaterializeInPlace(Object* obj) const {
+  KIMDB_ASSIGN_OR_RETURN(auto effective,
+                         catalog_->EffectiveAttrs(obj->class_id()));
+  // Fill defaults for attributes the stored image lacks.
+  for (const AttributeDef* a : effective) {
+    if (!obj->Has(a->id) && !a->default_value.is_null()) {
+      obj->Set(a->id, a->default_value);
+    }
+  }
+  // Elide values of attributes no longer in the schema.
+  std::vector<AttrId> drop;
+  for (const auto& [attr, value] : obj->attrs()) {
+    if (attr >= kSysAttrBase) continue;
+    bool known = std::any_of(
+        effective.begin(), effective.end(),
+        [&, attr = attr](const AttributeDef* a) { return a->id == attr; });
+    if (!known) drop.push_back(attr);
+  }
+  for (AttrId a : drop) obj->Unset(a);
+  return Status::OK();
+}
+
+Result<Object> ObjectStore::Get(Oid oid) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRaw(oid));
+  KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
+  return obj;
+}
+
+Status ObjectStore::ForEachInClass(
+    ClassId cls, const std::function<Status(const Object&)>& fn) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Result<HeapFile*> heap_r = ExtentOf(cls);
+  if (!heap_r.ok()) {
+    // A class whose extent was never created has an empty extent.
+    if (heap_r.status().IsFailedPrecondition()) return Status::OK();
+    return heap_r.status();
+  }
+  HeapFile* heap = *heap_r;
+  return heap->ForEach([&](RecordId, std::string_view bytes) {
+    KIMDB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
+    KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
+    return fn(obj);
+  });
+}
+
+Status ObjectStore::ForEachRawInClass(
+    ClassId cls,
+    const std::function<Status(RecordId, const Object&)>& fn) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Result<HeapFile*> heap_r = ExtentOf(cls);
+  if (!heap_r.ok()) {
+    if (heap_r.status().IsFailedPrecondition()) return Status::OK();
+    return heap_r.status();
+  }
+  return (*heap_r)->ForEach([&](RecordId rid, std::string_view bytes) {
+    KIMDB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
+    return fn(rid, obj);
+  });
+}
+
+std::vector<std::pair<Oid, RecordId>> ObjectStore::DirectorySnapshot()
+    const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<std::pair<Oid, RecordId>> out;
+  out.reserve(directory_.size());
+  for (const auto& [oid, rid] : directory_) out.push_back({oid, rid});
+  return out;
+}
+
+Status ObjectStore::ForEachInHierarchy(
+    ClassId cls, const std::function<Status(const Object&)>& fn) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  for (ClassId c : catalog_->Subtree(cls)) {
+    KIMDB_RETURN_IF_ERROR(ForEachInClass(c, fn));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> ObjectStore::CountClass(ClassId cls) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  uint64_t n = 0;
+  KIMDB_RETURN_IF_ERROR(ForEachInClass(cls, [&](const Object&) {
+    ++n;
+    return Status::OK();
+  }));
+  return n;
+}
+
+Status ObjectStore::ApplyInsert(const Object& obj) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (directory_.count(obj.oid())) {
+    // Idempotent redo: overwrite the existing image.
+    return ApplyUpdate(obj);
+  }
+  std::string bytes;
+  obj.EncodeTo(&bytes);
+  KIMDB_RETURN_IF_ERROR(EnsureExtent(obj.class_id()));
+  KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(obj.class_id()));
+  KIMDB_ASSIGN_OR_RETURN(RecordId rid, heap->Insert(bytes));
+  directory_[obj.oid()] = rid;
+  // Keep the serial allocator ahead of replayed OIDs.
+  KIMDB_ASSIGN_OR_RETURN(ClassDef * def,
+                         catalog_->GetClassMutable(obj.class_id()));
+  def->next_serial = std::max(def->next_serial, obj.oid().serial() + 1);
+  for (auto* l : listeners_) l->OnInsert(obj);
+  return Status::OK();
+}
+
+Status ObjectStore::ApplyUpdate(const Object& obj) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = directory_.find(obj.oid());
+  if (it == directory_.end()) return ApplyInsert(obj);
+  Result<Object> before = GetRaw(obj.oid());
+  std::string bytes;
+  obj.EncodeTo(&bytes);
+  KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(obj.class_id()));
+  KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(it->second, bytes));
+  it->second = new_rid;
+  if (before.ok()) {
+    for (auto* l : listeners_) l->OnUpdate(*before, obj);
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::ApplyDelete(Oid oid) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = directory_.find(oid);
+  if (it == directory_.end()) return Status::OK();  // idempotent
+  Result<Object> before = GetRaw(oid);
+  KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
+  KIMDB_RETURN_IF_ERROR(heap->Delete(it->second));
+  directory_.erase(it);
+  if (before.ok()) {
+    for (auto* l : listeners_) l->OnDelete(*before);
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::RewriteExtent(ClassId cls) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<Object> materialized;
+  KIMDB_RETURN_IF_ERROR(ForEachInClass(cls, [&](const Object& obj) {
+    materialized.push_back(obj);
+    return Status::OK();
+  }));
+  KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(cls));
+  for (const Object& obj : materialized) {
+    std::string bytes;
+    obj.EncodeTo(&bytes);
+    RecordId rid = directory_.at(obj.oid());
+    KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(rid, bytes));
+    directory_[obj.oid()] = new_rid;
+  }
+  return Status::OK();
+}
+
+void ObjectStore::AddListener(ObjectStoreListener* listener) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  listeners_.push_back(listener);
+}
+
+void ObjectStore::RemoveListener(ObjectStoreListener* listener) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+}  // namespace kimdb

@@ -1,0 +1,170 @@
+#ifndef KIMDB_OBJECT_OBJECT_STORE_H_
+#define KIMDB_OBJECT_OBJECT_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "model/object.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/wal.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace kimdb {
+
+/// Observer of committed-path object mutations. Index maintenance, change
+/// notification and the composite-object child map all hang off this.
+class ObjectStoreListener {
+ public:
+  virtual ~ObjectStoreListener() = default;
+  virtual void OnInsert(const Object& obj) = 0;
+  virtual void OnUpdate(const Object& before, const Object& after) = 0;
+  virtual void OnDelete(const Object& before) = 0;
+};
+
+/// Builds an Object's attribute map from (name, value) pairs, resolving
+/// names against `cls`'s effective schema and type-checking each value.
+Result<Object> BuildObject(
+    const Catalog& catalog, ClassId cls,
+    const std::vector<std::pair<std::string, Value>>& attrs);
+
+/// The persistent object repository: one heap-file extent per class, a
+/// logical object directory (OID -> RecordId), and WAL logging of logical
+/// before/after images.
+///
+/// Responsibilities the paper assigns to the storage architecture (§3.2,
+/// §4.2): object directory management, per-class extents enabling
+/// single-class and class-hierarchy scans, physical clustering hints, and
+/// lazy schema evolution on read (missing attributes materialize as their
+/// declared defaults; values of dropped attributes are skipped).
+class ObjectStore {
+ public:
+  /// Opens the store: creates missing extents and rebuilds the object
+  /// directory (and per-class OID serial high-water marks) by scanning.
+  /// `wal` may be null for non-durable stores (private databases, tests).
+  ///
+  /// `attach_to_catalog` selects where extent heads live: the shared store
+  /// records them in the catalog (persisted with it); a *private database*
+  /// (checkout workspace, §3.3) passes false and keeps a volatile local
+  /// map, so several stores can share one catalog without clashing.
+  static Result<std::unique_ptr<ObjectStore>> Open(
+      BufferPool* bp, Catalog* catalog, Wal* wal,
+      bool attach_to_catalog = true);
+
+  // --- transactional operations (logged) -----------------------------------
+
+  /// Validates `contents` (attribute ids must be in the class's effective
+  /// schema or system attributes; values must satisfy their domains),
+  /// assigns an OID and stores the object. `cluster_hint`, if non-nil,
+  /// requests placement on/near that object's page (composite clustering).
+  Result<Oid> Insert(uint64_t txn, ClassId cls, Object contents,
+                     Oid cluster_hint = kNilOid);
+
+  /// Replaces the object's full image (the object is identified by
+  /// `obj.oid()`).
+  Status Update(uint64_t txn, const Object& obj);
+
+  /// Reads, modifies one attribute, validates and updates.
+  Status SetAttr(uint64_t txn, Oid oid, std::string_view attr_name,
+                 Value value);
+
+  /// Sets (or, for Null, clears) a reserved system attribute directly by
+  /// id. System attributes bypass schema validation; they implement
+  /// composites, versions and checkout bookkeeping.
+  Status SetAttrSystem(uint64_t txn, Oid oid, AttrId attr, Value value);
+
+  Status Delete(uint64_t txn, Oid oid);
+
+  // --- reads ----------------------------------------------------------------
+
+  bool Exists(Oid oid) const;
+  /// Materializes the object against the *current* schema: defaults filled
+  /// in for attributes added since the object was written; dropped
+  /// attributes elided (system attributes always kept).
+  Result<Object> Get(Oid oid) const;
+  /// The stored image, no schema adjustment.
+  Result<Object> GetRaw(Oid oid) const;
+
+  /// Scans the extent of exactly `cls` (single-class scope).
+  Status ForEachInClass(
+      ClassId cls, const std::function<Status(const Object&)>& fn) const;
+  /// Scans `cls` and all its subclasses (class-hierarchy scope, §3.2).
+  Status ForEachInHierarchy(
+      ClassId cls, const std::function<Status(const Object&)>& fn) const;
+
+  Result<uint64_t> CountClass(ClassId cls) const;
+
+  /// Raw extent scan: stored images with their physical addresses (used by
+  /// the consistency checker and physical tooling). No schema
+  /// materialization is applied.
+  Status ForEachRawInClass(
+      ClassId cls,
+      const std::function<Status(RecordId, const Object&)>& fn) const;
+
+  /// Copy of the object directory (OID -> record address).
+  std::vector<std::pair<Oid, RecordId>> DirectorySnapshot() const;
+
+  /// Physical address of an object (clustering experiments, swizzling).
+  Result<RecordId> DirectoryLookup(Oid oid) const;
+
+  // --- raw (unlogged) operations: recovery and rollback ---------------------
+
+  Status ApplyInsert(const Object& obj);
+  Status ApplyUpdate(const Object& obj);
+  Status ApplyDelete(Oid oid);
+
+  // --- schema evolution support ---------------------------------------------
+
+  /// Eagerly rewrites every instance of `cls` (only) to the current schema
+  /// (experiment E6 contrasts this with the default lazy conversion).
+  Status RewriteExtent(ClassId cls);
+
+  // --- plumbing ---------------------------------------------------------------
+
+  void AddListener(ObjectStoreListener* listener);
+  void RemoveListener(ObjectStoreListener* listener);
+  Wal* wal() const { return wal_; }
+  Catalog* catalog() const { return catalog_; }
+  BufferPool* buffer_pool() const { return bp_; }
+  /// Creates the extent for a class added after Open.
+  Status EnsureExtent(ClassId cls);
+
+ private:
+  ObjectStore(BufferPool* bp, Catalog* catalog, Wal* wal, bool attach)
+      : bp_(bp), catalog_(catalog), wal_(wal), attach_to_catalog_(attach) {}
+
+  Result<PageId> ExtentHeadOf(ClassId cls) const;
+
+  Result<HeapFile*> ExtentOf(ClassId cls) const;
+  Status ValidateContents(ClassId cls, const Object& contents) const;
+  /// Applies schema materialization to a decoded object.
+  Status MaterializeInPlace(Object* obj) const;
+  Status LogOp(uint64_t txn, WalRecordType type, Oid oid,
+               const Object* before, const Object* after);
+
+  // Serializes store operations. Recursive because mutations synchronously
+  // notify listeners (index maintenance, composites) which read back
+  // through the store. Fine-grained concurrency is the lock manager's job
+  // (logical locks); this mutex only protects physical structures.
+  mutable std::recursive_mutex mu_;
+  BufferPool* bp_;
+  Catalog* catalog_;
+  Wal* wal_;
+  bool attach_to_catalog_;
+  // Extent heads for detached (private) stores.
+  std::unordered_map<ClassId, PageId> local_extent_heads_;
+  mutable std::unordered_map<ClassId, HeapFile> extents_;
+  std::unordered_map<Oid, RecordId> directory_;
+  std::vector<ObjectStoreListener*> listeners_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_OBJECT_OBJECT_STORE_H_

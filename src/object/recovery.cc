@@ -1,0 +1,68 @@
+#include "object/recovery.h"
+
+#include <unordered_set>
+
+namespace kimdb {
+
+Result<RecoveryStats> RecoveryManager::Recover(ObjectStore* store, Wal* wal) {
+  RecoveryStats stats;
+  KIMDB_ASSIGN_OR_RETURN(std::vector<WalRecord> log, wal->ReadAll());
+
+  // Analysis.
+  std::unordered_set<uint64_t> committed;
+  std::unordered_set<uint64_t> seen;
+  for (const WalRecord& rec : log) {
+    seen.insert(rec.txn_id);
+    if (rec.type == WalRecordType::kCommit) committed.insert(rec.txn_id);
+  }
+  stats.committed_txns = committed.size();
+  for (uint64_t t : seen) {
+    if (!committed.count(t)) ++stats.losing_txns;
+  }
+
+  // Redo committed work in LSN order.
+  for (const WalRecord& rec : log) {
+    if (!committed.count(rec.txn_id)) continue;
+    switch (rec.type) {
+      case WalRecordType::kInsert:
+      case WalRecordType::kUpdate: {
+        KIMDB_ASSIGN_OR_RETURN(Object after, Object::Decode(rec.after));
+        KIMDB_RETURN_IF_ERROR(rec.type == WalRecordType::kInsert
+                                  ? store->ApplyInsert(after)
+                                  : store->ApplyUpdate(after));
+        ++stats.redone;
+        break;
+      }
+      case WalRecordType::kDelete:
+        KIMDB_RETURN_IF_ERROR(store->ApplyDelete(Oid(rec.key)));
+        ++stats.redone;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Undo losing work in reverse LSN order.
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    const WalRecord& rec = *it;
+    if (committed.count(rec.txn_id)) continue;
+    switch (rec.type) {
+      case WalRecordType::kInsert:
+        KIMDB_RETURN_IF_ERROR(store->ApplyDelete(Oid(rec.key)));
+        ++stats.undone;
+        break;
+      case WalRecordType::kUpdate:
+      case WalRecordType::kDelete: {
+        KIMDB_ASSIGN_OR_RETURN(Object before, Object::Decode(rec.before));
+        KIMDB_RETURN_IF_ERROR(store->ApplyUpdate(before));
+        ++stats.undone;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace kimdb

@@ -1,0 +1,41 @@
+#ifndef KIMDB_OBJECT_RECOVERY_H_
+#define KIMDB_OBJECT_RECOVERY_H_
+
+#include "object/object_store.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace kimdb {
+
+struct RecoveryStats {
+  uint64_t committed_txns = 0;
+  uint64_t losing_txns = 0;  // uncommitted or explicitly aborted
+  uint64_t redone = 0;
+  uint64_t undone = 0;
+};
+
+/// Crash recovery over the logical (object-level) WAL.
+///
+/// The engine uses a steal/no-force page policy: heap pages reach disk only
+/// via buffer-pool eviction or checkpoints, so after a crash the extents
+/// hold an arbitrary mix of logged operations' effects. Because log records
+/// carry *full before/after images keyed by OID*, replay is idempotent:
+///
+///   1. analysis: classify each transaction as committed (a kCommit record
+///      exists) or losing (no commit, or an explicit kAbort);
+///   2. redo: apply every committed operation in LSN order
+///      (insert/update -> ApplyInsert/ApplyUpdate with the after image;
+///      delete -> ApplyDelete);
+///   3. undo: apply losing operations' inverses in reverse LSN order
+///      (insert -> delete; update/delete -> restore the before image).
+///
+/// Run Recover() after ObjectStore::Open and *before* registering listeners
+/// (indexes are rebuilt afterwards from the recovered state).
+class RecoveryManager {
+ public:
+  static Result<RecoveryStats> Recover(ObjectStore* store, Wal* wal);
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_OBJECT_RECOVERY_H_

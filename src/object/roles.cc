@@ -1,0 +1,83 @@
+#include "object/roles.h"
+
+namespace kimdb {
+
+Result<Oid> RoleManager::AcquireRole(uint64_t txn, Oid player,
+                                     ClassId role_class, Object attrs) {
+  if (!store_->Exists(player)) {
+    return Status::NotFound("player does not exist");
+  }
+  if (HasRole(player, role_class)) {
+    return Status::AlreadyExists(
+        "player already holds a role of this class");
+  }
+  attrs.Set(kAttrRoleOf, Value::Ref(player));
+  KIMDB_ASSIGN_OR_RETURN(
+      Oid role, store_->Insert(txn, role_class, std::move(attrs), player));
+
+  KIMDB_ASSIGN_OR_RETURN(Object p, store_->GetRaw(player));
+  std::vector<Value> roles;
+  if (p.Get(kAttrRoles).is_collection()) {
+    roles = p.Get(kAttrRoles).elements();
+  }
+  roles.push_back(Value::Ref(role));
+  p.Set(kAttrRoles, Value::Set(std::move(roles)));
+  KIMDB_RETURN_IF_ERROR(store_->Update(txn, p));
+  return role;
+}
+
+Status RoleManager::AbandonRole(uint64_t txn, Oid player,
+                                ClassId role_class) {
+  KIMDB_ASSIGN_OR_RETURN(Oid role, RoleAs(player, role_class));
+  KIMDB_ASSIGN_OR_RETURN(Object p, store_->GetRaw(player));
+  std::vector<Value> kept;
+  for (const Value& v : p.Get(kAttrRoles).elements()) {
+    if (!(v.kind() == Value::Kind::kRef && v.as_ref() == role)) {
+      kept.push_back(v);
+    }
+  }
+  if (kept.empty()) {
+    p.Unset(kAttrRoles);
+  } else {
+    p.Set(kAttrRoles, Value::Set(std::move(kept)));
+  }
+  KIMDB_RETURN_IF_ERROR(store_->Update(txn, p));
+  return store_->Delete(txn, role);
+}
+
+Result<std::vector<Oid>> RoleManager::RolesOf(Oid player) const {
+  KIMDB_ASSIGN_OR_RETURN(Object p, store_->GetRaw(player));
+  std::vector<Oid> out;
+  const Value& roles = p.Get(kAttrRoles);
+  if (roles.is_collection()) {
+    for (const Value& v : roles.elements()) {
+      if (v.kind() == Value::Kind::kRef) out.push_back(v.as_ref());
+    }
+  }
+  return out;
+}
+
+Result<Oid> RoleManager::RoleAs(Oid player, ClassId role_class) const {
+  KIMDB_ASSIGN_OR_RETURN(std::vector<Oid> roles, RolesOf(player));
+  const Catalog& cat = *store_->catalog();
+  for (Oid role : roles) {
+    // A role of a subclass of `role_class` counts (IS-A applies to roles).
+    if (cat.IsSubclassOf(role.class_id(), role_class)) return role;
+  }
+  return Status::NotFound("player holds no role of this class");
+}
+
+bool RoleManager::HasRole(Oid player, ClassId role_class) const {
+  return RoleAs(player, role_class).ok();
+}
+
+Result<Oid> RoleManager::PlayerOf(Oid role) const {
+  KIMDB_ASSIGN_OR_RETURN(Object r, store_->GetRaw(role));
+  const Value& of = r.Get(kAttrRoleOf);
+  if (of.kind() != Value::Kind::kRef) {
+    return Status::NotFound("object is not a role");
+  }
+  return of.as_ref();
+}
+
+}  // namespace kimdb

@@ -1,0 +1,60 @@
+#ifndef KIMDB_OBJECT_ROLES_H_
+#define KIMDB_OBJECT_ROLES_H_
+
+#include <vector>
+
+#include "object/object_store.h"
+
+namespace kimdb {
+
+// Reserved system attributes for the role mechanism (extending the block
+// in model/object.h).
+/// On a player object: set of refs to its role objects.
+inline constexpr AttrId kAttrRoles = kSysAttrBase + 16;
+/// On a role object: ref to the player it extends.
+inline constexpr AttrId kAttrRoleOf = kSysAttrBase + 17;
+
+/// Objects with roles (paper §5.4 "Semantic Modeling", PERN90).
+///
+/// A role lets an entity *temporarily* carry the state of another class
+/// without migrating between classes (which the core model forbids: an
+/// object belongs to exactly one class). A Person may acquire an Employee
+/// role and later a Pilot role, abandon them independently, and hold
+/// several roles at once; the roles are objects of ordinary classes,
+/// linked bidirectionally to their player through system attributes.
+///
+/// This is the layered-architecture approach §5.5 recommends: the core
+/// model is untouched; roles are a semantic extension built from objects,
+/// references and two reserved attributes. Queries can target role classes
+/// directly (role extents are class extents) and navigate to players via
+/// the RoleOf link.
+class RoleManager {
+ public:
+  explicit RoleManager(ObjectStore* store) : store_(store) {}
+
+  /// Creates an instance of `role_class` with `attrs` and attaches it to
+  /// `player`. A player may hold many roles, but at most one of a given
+  /// class (acquire twice = AlreadyExists). Returns the role object's OID.
+  Result<Oid> AcquireRole(uint64_t txn, Oid player, ClassId role_class,
+                          Object attrs);
+
+  /// Detaches and deletes the player's role of class `role_class`.
+  Status AbandonRole(uint64_t txn, Oid player, ClassId role_class);
+
+  /// All role objects currently attached to `player`.
+  Result<std::vector<Oid>> RolesOf(Oid player) const;
+
+  /// The player's role of exactly `role_class`; NotFound if absent.
+  Result<Oid> RoleAs(Oid player, ClassId role_class) const;
+  bool HasRole(Oid player, ClassId role_class) const;
+
+  /// The player of a role object; NotFound if `role` is not a role.
+  Result<Oid> PlayerOf(Oid role) const;
+
+ private:
+  ObjectStore* store_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_OBJECT_ROLES_H_

@@ -1,0 +1,174 @@
+#include "object/versions.h"
+
+namespace kimdb {
+
+Result<Oid> VersionManager::MakeVersionable(uint64_t txn, Oid first) {
+  KIMDB_ASSIGN_OR_RETURN(Object obj, store_->GetRaw(first));
+  if (IsVersion(first) || IsGeneric(first)) {
+    return Status::FailedPrecondition("object is already versioned");
+  }
+  // The generic object is an (empty) instance of the same class carrying
+  // only version bookkeeping.
+  Object generic;
+  generic.Set(kAttrVersions, Value::Set({Value::Ref(first)}));
+  generic.Set(kAttrDefaultVersion, Value::Ref(first));
+  generic.Set(kAttrNextVersionNumber, Value::Int(2));
+  KIMDB_ASSIGN_OR_RETURN(
+      Oid generic_oid,
+      store_->Insert(txn, first.class_id(), std::move(generic), first));
+
+  obj.Set(kAttrVersionOf, Value::Ref(generic_oid));
+  obj.Set(kAttrVersionNumber, Value::Int(1));
+  KIMDB_RETURN_IF_ERROR(store_->Update(txn, obj));
+  return generic_oid;
+}
+
+Result<Oid> VersionManager::DeriveVersion(uint64_t txn, Oid from) {
+  KIMDB_ASSIGN_OR_RETURN(Object src, store_->GetRaw(from));
+  if (!IsVersion(from)) {
+    return Status::FailedPrecondition(
+        "can only derive from a version (MakeVersionable first)");
+  }
+  Oid generic_oid = src.Get(kAttrVersionOf).as_ref();
+  KIMDB_ASSIGN_OR_RETURN(Object generic, store_->GetRaw(generic_oid));
+
+  // Next version number: O(1) counter on the generic object; fall back to
+  // a max-scan for generic objects written before the counter existed.
+  int64_t next_num;
+  if (generic.Get(kAttrNextVersionNumber).kind() == Value::Kind::kInt) {
+    next_num = generic.Get(kAttrNextVersionNumber).as_int();
+  } else {
+    next_num = 1;
+    for (const Value& v : generic.Get(kAttrVersions).elements()) {
+      Result<Object> ver = store_->GetRaw(v.as_ref());
+      if (ver.ok() &&
+          ver->Get(kAttrVersionNumber).kind() == Value::Kind::kInt) {
+        next_num = std::max(next_num,
+                            ver->Get(kAttrVersionNumber).as_int() + 1);
+      }
+    }
+  }
+
+  Object copy = src;
+  copy.set_oid(kNilOid);
+  copy.Set(kAttrDerivedFrom, Value::Ref(from));
+  copy.Set(kAttrVersionNumber, Value::Int(next_num));
+  copy.Unset(kAttrReleased);
+  // A new version starts life outside any composite and unchecked-out;
+  // composite membership and checkout state are per-object, not versioned.
+  copy.Unset(kAttrPartOf);
+  copy.Unset(kAttrCheckedOutBy);
+  KIMDB_ASSIGN_OR_RETURN(
+      Oid new_oid,
+      store_->Insert(txn, from.class_id(), std::move(copy), from));
+
+  std::vector<Value> versions = generic.Get(kAttrVersions).elements();
+  versions.push_back(Value::Ref(new_oid));
+  generic.Set(kAttrVersions, Value::Set(std::move(versions)));
+  generic.Set(kAttrNextVersionNumber, Value::Int(next_num + 1));
+  KIMDB_RETURN_IF_ERROR(store_->Update(txn, generic));
+  return new_oid;
+}
+
+Status VersionManager::Release(uint64_t txn, Oid version) {
+  if (!IsVersion(version)) {
+    return Status::FailedPrecondition("not a version");
+  }
+  return store_->SetAttrSystem(txn, version, kAttrReleased,
+                               Value::Bool(true));
+}
+
+Status VersionManager::SetDefault(uint64_t txn, Oid generic, Oid version) {
+  KIMDB_ASSIGN_OR_RETURN(Object g, store_->GetRaw(generic));
+  if (!IsGeneric(generic)) {
+    return Status::FailedPrecondition("not a generic object");
+  }
+  bool member = false;
+  for (const Value& v : g.Get(kAttrVersions).elements()) {
+    if (v.as_ref() == version) {
+      member = true;
+      break;
+    }
+  }
+  if (!member) {
+    return Status::InvalidArgument(
+        "version is not a version of this generic object");
+  }
+  return store_->SetAttrSystem(txn, generic, kAttrDefaultVersion,
+                               Value::Ref(version));
+}
+
+Result<Oid> VersionManager::Resolve(Oid oid) const {
+  if (!IsGeneric(oid)) return oid;
+  KIMDB_ASSIGN_OR_RETURN(Object g, store_->GetRaw(oid));
+  const Value& def = g.Get(kAttrDefaultVersion);
+  if (def.kind() != Value::Kind::kRef) {
+    return Status::FailedPrecondition("generic object has no default version");
+  }
+  return def.as_ref();
+}
+
+Result<Oid> VersionManager::GenericOf(Oid version) const {
+  KIMDB_ASSIGN_OR_RETURN(Object obj, store_->GetRaw(version));
+  const Value& g = obj.Get(kAttrVersionOf);
+  if (g.kind() != Value::Kind::kRef) {
+    return Status::NotFound("object is not a version");
+  }
+  return g.as_ref();
+}
+
+Result<std::vector<Oid>> VersionManager::VersionsOf(Oid generic) const {
+  KIMDB_ASSIGN_OR_RETURN(Object g, store_->GetRaw(generic));
+  if (!g.Has(kAttrVersions)) {
+    return Status::NotFound("object is not a generic object");
+  }
+  std::vector<Oid> out;
+  for (const Value& v : g.Get(kAttrVersions).elements()) {
+    out.push_back(v.as_ref());
+  }
+  return out;
+}
+
+Result<Oid> VersionManager::DerivedFrom(Oid version) const {
+  KIMDB_ASSIGN_OR_RETURN(Object obj, store_->GetRaw(version));
+  const Value& d = obj.Get(kAttrDerivedFrom);
+  if (d.kind() != Value::Kind::kRef) {
+    return Status::NotFound("version has no predecessor");
+  }
+  return d.as_ref();
+}
+
+Result<int64_t> VersionManager::VersionNumberOf(Oid version) const {
+  KIMDB_ASSIGN_OR_RETURN(Object obj, store_->GetRaw(version));
+  const Value& n = obj.Get(kAttrVersionNumber);
+  if (n.kind() != Value::Kind::kInt) {
+    return Status::NotFound("object is not a version");
+  }
+  return n.as_int();
+}
+
+bool VersionManager::IsGeneric(Oid oid) const {
+  Result<Object> obj = store_->GetRaw(oid);
+  return obj.ok() && obj->Has(kAttrVersions);
+}
+
+bool VersionManager::IsVersion(Oid oid) const {
+  Result<Object> obj = store_->GetRaw(oid);
+  return obj.ok() && obj->Has(kAttrVersionOf);
+}
+
+bool VersionManager::IsReleased(Oid oid) const {
+  Result<Object> obj = store_->GetRaw(oid);
+  return obj.ok() && obj->Get(kAttrReleased).kind() == Value::Kind::kBool &&
+         obj->Get(kAttrReleased).as_bool();
+}
+
+Status VersionManager::CheckMutable(Oid oid) const {
+  if (IsReleased(oid)) {
+    return Status::FailedPrecondition(
+        "released versions are immutable; derive a new version");
+  }
+  return Status::OK();
+}
+
+}  // namespace kimdb

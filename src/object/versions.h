@@ -1,0 +1,63 @@
+#ifndef KIMDB_OBJECT_VERSIONS_H_
+#define KIMDB_OBJECT_VERSIONS_H_
+
+#include <vector>
+
+#include "object/object_store.h"
+
+namespace kimdb {
+
+/// Version management (paper §3.3 and §5.5, following CHOU86/CHOU88):
+///
+///  * a *generic object* stands for the versioned design object; it holds
+///    the set of versions and designates a *default version*;
+///  * references may point at the generic object and are *dynamically
+///    bound*: Resolve() maps them to the current default version, so
+///    changing the default retargets every such reference at once;
+///  * versions form a derivation hierarchy (kAttrDerivedFrom);
+///  * a *released* version is immutable (updates must derive a new
+///    version) -- the layered-architecture point of §5.5: this class is the
+///    low-level mechanism; installation-specific policies go on top.
+class VersionManager {
+ public:
+  explicit VersionManager(ObjectStore* store) : store_(store) {}
+
+  /// Turns an existing object into version 1 of a new versioned object.
+  /// Returns the OID of the generic object.
+  Result<Oid> MakeVersionable(uint64_t txn, Oid first);
+
+  /// Derives a new (working) version from an existing version: the new
+  /// version starts as a copy, gets the next version number, and is added
+  /// to the generic object's version set.
+  Result<Oid> DeriveVersion(uint64_t txn, Oid from);
+
+  /// Marks a version released (immutable). Idempotent.
+  Status Release(uint64_t txn, Oid version);
+
+  /// Changes the generic object's default version.
+  Status SetDefault(uint64_t txn, Oid generic, Oid version);
+
+  /// Dynamic binding: a generic OID resolves to its default version; any
+  /// other OID resolves to itself.
+  Result<Oid> Resolve(Oid oid) const;
+
+  Result<Oid> GenericOf(Oid version) const;
+  Result<std::vector<Oid>> VersionsOf(Oid generic) const;
+  Result<Oid> DerivedFrom(Oid version) const;
+  Result<int64_t> VersionNumberOf(Oid version) const;
+
+  bool IsGeneric(Oid oid) const;
+  bool IsVersion(Oid oid) const;
+  bool IsReleased(Oid oid) const;
+
+  /// OK unless the object is a released version (callers gate updates on
+  /// this to enforce immutability).
+  Status CheckMutable(Oid oid) const;
+
+ private:
+  ObjectStore* store_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_OBJECT_VERSIONS_H_

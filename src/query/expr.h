@@ -1,0 +1,114 @@
+#ifndef KIMDB_QUERY_EXPR_H_
+#define KIMDB_QUERY_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/value.h"
+
+namespace kimdb {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Predicate / expression AST of the query model (paper §3.2, KIM89d).
+///
+/// The distinctive OODB elements:
+///  * kPath -- a *path expression* over the aggregation hierarchy
+///    ("Manufacturer.Location"): evaluating it yields the *set* of terminal
+///    values reachable through the (possibly set-valued) reference chain;
+///  * comparisons against a path use existential semantics: the predicate
+///    holds if *some* reachable value satisfies it (this is the natural
+///    reading of "vehicles manufactured by a company located in Detroit");
+///  * kMethod -- a method invoked on the candidate object via late-bound
+///    message passing, usable anywhere a value is.
+struct Expr {
+  enum class Op {
+    kConst,     // literal
+    kPath,      // path expression rooted at the candidate object
+    kMethod,    // method call on the candidate object (children = args)
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kContains,  // children[0] (collection/path) contains children[1]
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  Op op;
+  Value literal;                  // kConst
+  std::vector<std::string> path;  // kPath
+  std::string method;             // kMethod
+  std::vector<ExprPtr> children;
+
+  static ExprPtr Const(Value v) {
+    auto e = std::make_shared<Expr>();
+    e->op = Op::kConst;
+    e->literal = std::move(v);
+    return e;
+  }
+  static ExprPtr Path(std::vector<std::string> p) {
+    auto e = std::make_shared<Expr>();
+    e->op = Op::kPath;
+    e->path = std::move(p);
+    return e;
+  }
+  static ExprPtr Method(std::string name, std::vector<ExprPtr> args = {}) {
+    auto e = std::make_shared<Expr>();
+    e->op = Op::kMethod;
+    e->method = std::move(name);
+    e->children = std::move(args);
+    return e;
+  }
+  static ExprPtr Binary(Op op, ExprPtr a, ExprPtr b) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    e->children = {std::move(a), std::move(b)};
+    return e;
+  }
+  static ExprPtr Eq(ExprPtr a, ExprPtr b) {
+    return Binary(Op::kEq, std::move(a), std::move(b));
+  }
+  static ExprPtr Ne(ExprPtr a, ExprPtr b) {
+    return Binary(Op::kNe, std::move(a), std::move(b));
+  }
+  static ExprPtr Lt(ExprPtr a, ExprPtr b) {
+    return Binary(Op::kLt, std::move(a), std::move(b));
+  }
+  static ExprPtr Le(ExprPtr a, ExprPtr b) {
+    return Binary(Op::kLe, std::move(a), std::move(b));
+  }
+  static ExprPtr Gt(ExprPtr a, ExprPtr b) {
+    return Binary(Op::kGt, std::move(a), std::move(b));
+  }
+  static ExprPtr Ge(ExprPtr a, ExprPtr b) {
+    return Binary(Op::kGe, std::move(a), std::move(b));
+  }
+  static ExprPtr Contains(ExprPtr coll, ExprPtr item) {
+    return Binary(Op::kContains, std::move(coll), std::move(item));
+  }
+  static ExprPtr And(ExprPtr a, ExprPtr b) {
+    return Binary(Op::kAnd, std::move(a), std::move(b));
+  }
+  static ExprPtr Or(ExprPtr a, ExprPtr b) {
+    return Binary(Op::kOr, std::move(a), std::move(b));
+  }
+  static ExprPtr Not(ExprPtr a) {
+    auto e = std::make_shared<Expr>();
+    e->op = Op::kNot;
+    e->children = {std::move(a)};
+    return e;
+  }
+
+  /// Human-readable form ("Manufacturer.Location = \"Detroit\"").
+  std::string ToString() const;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_QUERY_EXPR_H_

@@ -1,0 +1,473 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+
+namespace kimdb {
+
+namespace {
+
+const char* OpName(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kEq:
+      return "=";
+    case Expr::Op::kNe:
+      return "!=";
+    case Expr::Op::kLt:
+      return "<";
+    case Expr::Op::kLe:
+      return "<=";
+    case Expr::Op::kGt:
+      return ">";
+    case Expr::Op::kGe:
+      return ">=";
+    case Expr::Op::kContains:
+      return "contains";
+    case Expr::Op::kAnd:
+      return "and";
+    case Expr::Op::kOr:
+      return "or";
+    default:
+      return "?";
+  }
+}
+
+std::string JoinPath(const std::vector<std::string>& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += ".";
+    out += path[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (op) {
+    case Op::kConst:
+      return literal.ToString();
+    case Op::kPath:
+      return JoinPath(path);
+    case Op::kMethod: {
+      std::string out = method + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Op::kNot:
+      return "not (" + children[0]->ToString() + ")";
+    default:
+      return "(" + children[0]->ToString() + " " + OpName(op) + " " +
+             children[1]->ToString() + ")";
+  }
+}
+
+std::string QueryPlan::ToString() const {
+  if (!index_scan) {
+    return "ExtentScan" +
+           std::string(residual ? " filter=" + residual->ToString() : "");
+  }
+  std::string out = "IndexScan(path=" + JoinPath(index_path);
+  if (eq_key.has_value()) {
+    out += ", key=" + eq_key->ToString();
+  } else {
+    out += ", range=";
+    out += lo.has_value() ? (lo_inclusive ? "[" : "(") + lo->ToString()
+                          : "(-inf";
+    out += ", ";
+    out += hi.has_value() ? hi->ToString() + (hi_inclusive ? "]" : ")")
+                          : "+inf)";
+  }
+  out += ")";
+  if (residual) out += " residual=" + residual->ToString();
+  return out;
+}
+
+namespace {
+
+// A conjunct of the form  path <cmp> const  (normalized so the path is on
+// the left), usable for index selection.
+struct Sargable {
+  std::vector<std::string> path;
+  Expr::Op op;
+  Value key;
+};
+
+std::optional<Sargable> MatchSargable(const Expr& e) {
+  auto flip = [](Expr::Op op) {
+    switch (op) {
+      case Expr::Op::kLt:
+        return Expr::Op::kGt;
+      case Expr::Op::kLe:
+        return Expr::Op::kGe;
+      case Expr::Op::kGt:
+        return Expr::Op::kLt;
+      case Expr::Op::kGe:
+        return Expr::Op::kLe;
+      default:
+        return op;
+    }
+  };
+  switch (e.op) {
+    case Expr::Op::kEq:
+    case Expr::Op::kLt:
+    case Expr::Op::kLe:
+    case Expr::Op::kGt:
+    case Expr::Op::kGe:
+      break;
+    default:
+      return std::nullopt;
+  }
+  const Expr& a = *e.children[0];
+  const Expr& b = *e.children[1];
+  if (a.op == Expr::Op::kPath && b.op == Expr::Op::kConst) {
+    return Sargable{a.path, e.op, b.literal};
+  }
+  if (a.op == Expr::Op::kConst && b.op == Expr::Op::kPath) {
+    return Sargable{b.path, flip(e.op), a.literal};
+  }
+  return std::nullopt;
+}
+
+void FlattenConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (!e) return;
+  if (e->op == Expr::Op::kAnd) {
+    FlattenConjuncts(e->children[0], out);
+    FlattenConjuncts(e->children[1], out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc;
+  for (const ExprPtr& c : conjuncts) {
+    acc = acc ? Expr::And(acc, c) : c;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<QueryPlan> QueryEngine::Plan(const Query& q) const {
+  KIMDB_RETURN_IF_ERROR(store_->catalog()->GetClass(q.target).status());
+  QueryPlan plan;
+  plan.residual = q.predicate;
+  if (!q.predicate || indexes_ == nullptr) return plan;
+
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(q.predicate, &conjuncts);
+
+  // Choose the first sargable conjunct with a usable index, preferring
+  // equality matches over ranges.
+  const IndexInfo* chosen = nullptr;
+  std::vector<std::string> chosen_path;
+  bool chosen_is_eq = false;
+  for (const ExprPtr& c : conjuncts) {
+    auto s = MatchSargable(*c);
+    if (!s) continue;
+    const IndexInfo* idx =
+        indexes_->FindIndexFor(q.target, s->path, q.hierarchy_scope);
+    if (idx == nullptr) continue;
+    bool is_eq = s->op == Expr::Op::kEq;
+    if (chosen == nullptr || (is_eq && !chosen_is_eq)) {
+      chosen = idx;
+      chosen_path = s->path;
+      chosen_is_eq = is_eq;
+    }
+  }
+  if (chosen == nullptr) return plan;
+
+  // Consume every conjunct on the chosen path; merge ranges.
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& c : conjuncts) {
+    auto s = MatchSargable(*c);
+    if (!s || s->path != chosen_path) {
+      residual.push_back(c);
+      continue;
+    }
+    switch (s->op) {
+      case Expr::Op::kEq:
+        if (plan.eq_key.has_value() &&
+            plan.eq_key->Compare(s->key) != 0) {
+          // Contradictory equalities: keep as residual (yields empty).
+          residual.push_back(c);
+        } else {
+          plan.eq_key = s->key;
+        }
+        break;
+      case Expr::Op::kLt:
+      case Expr::Op::kLe: {
+        bool incl = s->op == Expr::Op::kLe;
+        if (!plan.hi.has_value() || s->key.Compare(*plan.hi) < 0 ||
+            (s->key.Compare(*plan.hi) == 0 && !incl)) {
+          plan.hi = s->key;
+          plan.hi_inclusive = incl;
+        }
+        break;
+      }
+      case Expr::Op::kGt:
+      case Expr::Op::kGe: {
+        bool incl = s->op == Expr::Op::kGe;
+        if (!plan.lo.has_value() || s->key.Compare(*plan.lo) > 0 ||
+            (s->key.Compare(*plan.lo) == 0 && !incl)) {
+          plan.lo = s->key;
+          plan.lo_inclusive = incl;
+        }
+        break;
+      }
+      default:
+        residual.push_back(c);
+    }
+  }
+  // NOTE on multi-valued paths: index consumption of *multiple* conjuncts
+  // on one set-valued path can widen results (each conjunct is existential
+  // over possibly different elements); re-checking them as residual keeps
+  // the result exact, so range conjuncts stay in the residual when the
+  // bounds came from more than one conjunct. For simplicity and safety we
+  // always re-check consumed range conjuncts.
+  for (const ExprPtr& c : conjuncts) {
+    auto s = MatchSargable(*c);
+    if (s && s->path == chosen_path && s->op != Expr::Op::kEq) {
+      residual.push_back(c);
+    }
+  }
+  // Deduplicate: conjuncts may have been added twice above.
+  std::sort(residual.begin(), residual.end());
+  residual.erase(std::unique(residual.begin(), residual.end()),
+                 residual.end());
+
+  plan.index_scan = true;
+  plan.index_id = chosen->id;
+  plan.index_path = chosen_path;
+  plan.residual = AndAll(residual);
+  return plan;
+}
+
+Result<std::vector<Oid>> QueryEngine::Execute(const Query& q,
+                                              QueryStats* stats) const {
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  KIMDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(q));
+
+  std::vector<Oid> result;
+  if (plan.index_scan) {
+    stats->used_index = true;
+    KIMDB_ASSIGN_OR_RETURN(const IndexInfo* idx,
+                           indexes_->GetIndex(plan.index_id));
+    std::vector<Oid> candidates;
+    if (plan.eq_key.has_value()) {
+      KIMDB_RETURN_IF_ERROR(indexes_->LookupEq(
+          *idx, *plan.eq_key, q.target, q.hierarchy_scope, &candidates));
+    } else {
+      KIMDB_RETURN_IF_ERROR(indexes_->LookupRange(
+          *idx, plan.lo, plan.lo_inclusive, plan.hi, plan.hi_inclusive,
+          q.target, q.hierarchy_scope, &candidates));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    stats->index_candidates = candidates.size();
+    if (!plan.residual) {
+      // Covered query: index maintenance guarantees candidates are live
+      // and satisfy the consumed predicate; no object fetch needed.
+      return candidates;
+    }
+    for (Oid oid : candidates) {
+      Result<Object> obj = store_->Get(oid);
+      if (!obj.ok()) continue;
+      KIMDB_ASSIGN_OR_RETURN(bool match, Matches(*obj, plan.residual, stats));
+      if (match) result.push_back(oid);
+    }
+    return result;
+  }
+
+  Status st = (q.hierarchy_scope
+                   ? store_->ForEachInHierarchy(
+                         q.target,
+                         [&](const Object& obj) {
+                           ++stats->objects_scanned;
+                           KIMDB_ASSIGN_OR_RETURN(
+                               bool match, Matches(obj, q.predicate, stats));
+                           if (match) result.push_back(obj.oid());
+                           return Status::OK();
+                         })
+                   : store_->ForEachInClass(
+                         q.target, [&](const Object& obj) {
+                           ++stats->objects_scanned;
+                           KIMDB_ASSIGN_OR_RETURN(
+                               bool match, Matches(obj, q.predicate, stats));
+                           if (match) result.push_back(obj.oid());
+                           return Status::OK();
+                         }));
+  KIMDB_RETURN_IF_ERROR(st);
+  return result;
+}
+
+Result<bool> QueryEngine::Matches(const Object& obj, const ExprPtr& pred,
+                                  QueryStats* stats) const {
+  if (!pred) return true;
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  ++stats->predicates_evaluated;
+  return EvalBool(obj, *pred, stats);
+}
+
+Status QueryEngine::EvalPath(const Object& obj,
+                             const std::vector<std::string>& path,
+                             std::vector<Value>* out,
+                             QueryStats* stats) const {
+  const Catalog& cat = *store_->catalog();
+  std::vector<Object> frontier{obj};
+  for (size_t step = 0; step < path.size(); ++step) {
+    bool last = step + 1 == path.size();
+    std::vector<Object> next;
+    for (const Object& cur : frontier) {
+      Result<const AttributeDef*> attr =
+          cat.ResolveAttr(cur.class_id(), path[step]);
+      if (!attr.ok()) continue;  // attribute absent on this class: no value
+      const Value& v = cur.Get((*attr)->id);
+      if (v.is_null()) continue;
+      if (last) {
+        if (v.is_collection()) {
+          for (const Value& e : v.elements()) {
+            if (!e.is_null()) out->push_back(e);
+          }
+        } else {
+          out->push_back(v);
+        }
+        continue;
+      }
+      // Intermediate step: dereference (fan out over set values).
+      auto deref = [&](const Value& ref) {
+        if (ref.kind() != Value::Kind::kRef || ref.as_ref().is_nil()) return;
+        ++stats->ref_fetches;
+        Result<Object> child = store_->Get(ref.as_ref());
+        if (child.ok()) next.push_back(std::move(*child));
+      };
+      if (v.is_collection()) {
+        for (const Value& e : v.elements()) deref(e);
+      } else {
+        deref(v);
+      }
+    }
+    if (last) break;
+    frontier = std::move(next);
+  }
+  return Status::OK();
+}
+
+bool QueryEngine::CompareExists(Expr::Op op, const Value& lhs,
+                                const Value& rhs) {
+  auto expand = [](const Value& v) -> std::vector<Value> {
+    if (v.is_collection()) return v.elements();
+    return {v};
+  };
+  auto satisfies = [op](const Value& a, const Value& b) {
+    if (a.is_null() || b.is_null()) return false;
+    int c = a.Compare(b);
+    switch (op) {
+      case Expr::Op::kEq:
+        return c == 0;
+      case Expr::Op::kNe:
+        return c != 0;
+      case Expr::Op::kLt:
+        return c < 0;
+      case Expr::Op::kLe:
+        return c <= 0;
+      case Expr::Op::kGt:
+        return c > 0;
+      case Expr::Op::kGe:
+        return c >= 0;
+      default:
+        return false;
+    }
+  };
+  for (const Value& a : expand(lhs)) {
+    for (const Value& b : expand(rhs)) {
+      if (satisfies(a, b)) return true;
+    }
+  }
+  return false;
+}
+
+Result<Value> QueryEngine::Eval(const Object& obj, const Expr& e,
+                                QueryStats* stats) const {
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  switch (e.op) {
+    case Expr::Op::kConst:
+      return e.literal;
+    case Expr::Op::kPath: {
+      std::vector<Value> vals;
+      KIMDB_RETURN_IF_ERROR(EvalPath(obj, e.path, &vals, stats));
+      if (vals.size() == 1) return vals[0];
+      return Value::Set(std::move(vals));
+    }
+    case Expr::Op::kMethod: {
+      if (methods_ == nullptr) {
+        return Status::FailedPrecondition("no method registry attached");
+      }
+      std::vector<Value> args;
+      for (const ExprPtr& c : e.children) {
+        KIMDB_ASSIGN_OR_RETURN(Value v, Eval(obj, *c, stats));
+        args.push_back(std::move(v));
+      }
+      MethodContext ctx{&obj, env_};
+      return methods_->Invoke(*store_->catalog(), ctx, e.method, args);
+    }
+    default: {
+      KIMDB_ASSIGN_OR_RETURN(bool b, EvalBool(obj, e, stats));
+      return Value::Bool(b);
+    }
+  }
+}
+
+Result<bool> QueryEngine::EvalBool(const Object& obj, const Expr& e,
+                                   QueryStats* stats) const {
+  switch (e.op) {
+    case Expr::Op::kAnd: {
+      KIMDB_ASSIGN_OR_RETURN(bool a, EvalBool(obj, *e.children[0], stats));
+      if (!a) return false;
+      return EvalBool(obj, *e.children[1], stats);
+    }
+    case Expr::Op::kOr: {
+      KIMDB_ASSIGN_OR_RETURN(bool a, EvalBool(obj, *e.children[0], stats));
+      if (a) return true;
+      return EvalBool(obj, *e.children[1], stats);
+    }
+    case Expr::Op::kNot: {
+      KIMDB_ASSIGN_OR_RETURN(bool a, EvalBool(obj, *e.children[0], stats));
+      return !a;
+    }
+    case Expr::Op::kEq:
+    case Expr::Op::kNe:
+    case Expr::Op::kLt:
+    case Expr::Op::kLe:
+    case Expr::Op::kGt:
+    case Expr::Op::kGe:
+    case Expr::Op::kContains: {
+      KIMDB_ASSIGN_OR_RETURN(Value lhs, Eval(obj, *e.children[0], stats));
+      KIMDB_ASSIGN_OR_RETURN(Value rhs, Eval(obj, *e.children[1], stats));
+      if (e.op == Expr::Op::kContains) {
+        return CompareExists(Expr::Op::kEq, lhs, rhs);
+      }
+      return CompareExists(e.op, lhs, rhs);
+    }
+    case Expr::Op::kConst:
+      return !e.literal.is_null() &&
+             e.literal.kind() == Value::Kind::kBool && e.literal.as_bool();
+    case Expr::Op::kPath:
+    case Expr::Op::kMethod: {
+      KIMDB_ASSIGN_OR_RETURN(Value v, Eval(obj, e, stats));
+      if (v.kind() == Value::Kind::kBool) return v.as_bool();
+      if (v.is_collection()) return !v.elements().empty();
+      return !v.is_null();
+    }
+  }
+  return Status::Internal("unreachable expression op");
+}
+
+}  // namespace kimdb

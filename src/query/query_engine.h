@@ -1,0 +1,92 @@
+#ifndef KIMDB_QUERY_QUERY_ENGINE_H_
+#define KIMDB_QUERY_QUERY_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/method_registry.h"
+#include "index/index_manager.h"
+#include "object/object_store.h"
+#include "query/expr.h"
+
+namespace kimdb {
+
+/// A declarative query against the object base (paper §3.2 query model):
+/// a target class, a scope (the class alone, or the class hierarchy rooted
+/// at it -- the paper's two "meaningful interpretations"), and a predicate
+/// over the target's nested definition.
+struct Query {
+  ClassId target = kInvalidClassId;
+  /// true: instances of target and all subclasses; false: target only.
+  bool hierarchy_scope = true;
+  ExprPtr predicate;  // null = all instances in scope
+};
+
+/// Execution counters; benchmarks and plan tests assert on these.
+struct QueryStats {
+  uint64_t objects_scanned = 0;    // extent-scan candidates fetched
+  uint64_t index_candidates = 0;   // candidates produced by an index
+  uint64_t predicates_evaluated = 0;
+  uint64_t ref_fetches = 0;        // object fetches during path evaluation
+  bool used_index = false;
+};
+
+/// What the optimizer decided (exposed for tests, EXPLAIN, benches).
+struct QueryPlan {
+  bool index_scan = false;
+  IndexId index_id = 0;
+  std::vector<std::string> index_path;
+  std::optional<Value> eq_key;
+  std::optional<Value> lo, hi;
+  bool lo_inclusive = true, hi_inclusive = true;
+  ExprPtr residual;  // predicate still checked per candidate
+  std::string ToString() const;
+};
+
+/// Evaluates queries: plans (index selection over single-class /
+/// class-hierarchy / nested indexes), scans, and applies the predicate
+/// with existential path semantics and late-bound method calls.
+class QueryEngine {
+ public:
+  QueryEngine(ObjectStore* store, IndexManager* indexes,
+              const MethodRegistry* methods = nullptr, void* env = nullptr)
+      : store_(store), indexes_(indexes), methods_(methods), env_(env) {}
+
+  /// Plans without executing (EXPLAIN).
+  Result<QueryPlan> Plan(const Query& q) const;
+
+  /// Runs the query; returns matching OIDs.
+  Result<std::vector<Oid>> Execute(const Query& q,
+                                   QueryStats* stats = nullptr) const;
+
+  /// Evaluates a predicate against one object (exposed for the rules
+  /// engine and view system).
+  Result<bool> Matches(const Object& obj, const ExprPtr& pred,
+                       QueryStats* stats = nullptr) const;
+
+  /// Evaluates an expression on an object. Path expressions return the
+  /// kSet of reachable terminal values (possibly empty).
+  Result<Value> Eval(const Object& obj, const Expr& e,
+                     QueryStats* stats = nullptr) const;
+
+  ObjectStore* store() const { return store_; }
+
+ private:
+  Result<bool> EvalBool(const Object& obj, const Expr& e,
+                        QueryStats* stats) const;
+  /// Collects terminal values of a path from `obj`.
+  Status EvalPath(const Object& obj, const std::vector<std::string>& path,
+                  std::vector<Value>* out, QueryStats* stats) const;
+  /// Existential comparison between two evaluated operands.
+  static bool CompareExists(Expr::Op op, const Value& lhs, const Value& rhs);
+
+  ObjectStore* store_;
+  IndexManager* indexes_;
+  const MethodRegistry* methods_;
+  void* env_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_QUERY_QUERY_ENGINE_H_

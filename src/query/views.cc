@@ -1,0 +1,58 @@
+#include "query/views.h"
+
+namespace kimdb {
+
+Status ViewManager::DefineView(std::string name, Query query) {
+  if (name.empty()) return Status::InvalidArgument("empty view name");
+  if (views_.count(name)) {
+    return Status::AlreadyExists("view '" + name + "' exists");
+  }
+  views_.emplace(name, ViewDef{name, std::move(query)});
+  return Status::OK();
+}
+
+Status ViewManager::DropView(std::string_view name) {
+  if (views_.erase(std::string(name)) == 0) {
+    return Status::NotFound("no such view");
+  }
+  return Status::OK();
+}
+
+Result<const ViewDef*> ViewManager::Find(std::string_view name) const {
+  auto it = views_.find(std::string(name));
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + std::string(name) + "' not found");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ViewManager::ViewNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, def] : views_) out.push_back(name);
+  return out;
+}
+
+Result<std::vector<Oid>> ViewManager::QueryView(std::string_view name,
+                                                const ExprPtr& extra,
+                                                QueryStats* stats) const {
+  KIMDB_ASSIGN_OR_RETURN(const ViewDef* def, Find(name));
+  Query q = def->query;
+  if (extra) {
+    q.predicate = q.predicate ? Expr::And(q.predicate, extra) : extra;
+  }
+  return engine_->Execute(q, stats);
+}
+
+Result<bool> ViewManager::Contains(std::string_view name,
+                                   const Object& obj) const {
+  KIMDB_ASSIGN_OR_RETURN(const ViewDef* def, Find(name));
+  const Query& q = def->query;
+  const Catalog& cat = *engine_->store()->catalog();
+  bool in_scope = q.hierarchy_scope
+                      ? cat.IsSubclassOf(obj.class_id(), q.target)
+                      : obj.class_id() == q.target;
+  if (!in_scope) return false;
+  return engine_->Matches(obj, q.predicate);
+}
+
+}  // namespace kimdb

@@ -1,0 +1,49 @@
+#ifndef KIMDB_QUERY_VIEWS_H_
+#define KIMDB_QUERY_VIEWS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query_engine.h"
+
+namespace kimdb {
+
+/// A view: a named, stored query (paper §5.4). Views provide
+///  * logical partitioning of a class's instances,
+///  * a shorthand usable as a query target (querying a view conjoins the
+///    view's predicate with the caller's),
+///  * the content-based authorization unit the authorization module
+///    grants on (only objects satisfying the view predicate are visible).
+struct ViewDef {
+  std::string name;
+  Query query;
+};
+
+class ViewManager {
+ public:
+  explicit ViewManager(QueryEngine* engine) : engine_(engine) {}
+
+  Status DefineView(std::string name, Query query);
+  Status DropView(std::string_view name);
+  Result<const ViewDef*> Find(std::string_view name) const;
+  std::vector<std::string> ViewNames() const;
+
+  /// Runs `extra` against the view: the effective query targets the view's
+  /// class/scope with (view-predicate AND extra).
+  Result<std::vector<Oid>> QueryView(std::string_view name,
+                                     const ExprPtr& extra = nullptr,
+                                     QueryStats* stats = nullptr) const;
+
+  /// Membership test used by content-based authorization: does the object
+  /// fall inside the view?
+  Result<bool> Contains(std::string_view name, const Object& obj) const;
+
+ private:
+  QueryEngine* engine_;
+  std::unordered_map<std::string, ViewDef> views_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_QUERY_VIEWS_H_

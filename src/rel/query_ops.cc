@@ -1,0 +1,113 @@
+#include "rel/query_ops.h"
+
+#include <map>
+
+namespace kimdb {
+namespace rel {
+
+Status Select(const Relation& rel, const TuplePredicate& pred,
+              const std::function<Status(const Tuple&)>& fn) {
+  return rel.ForEach([&](RecordId, const Tuple& t) {
+    if (pred(t)) return fn(t);
+    return Status::OK();
+  });
+}
+
+Status SelectEq(const Relation& rel, std::string_view column,
+                const Value& key,
+                const std::function<Status(const Tuple&)>& fn) {
+  int col = rel.ColumnIndex(column);
+  if (col < 0) return Status::NotFound("no such column");
+  if (RelIndex* idx = rel.FindIndex(column)) {
+    for (RecordId rid : idx->LookupEq(key)) {
+      KIMDB_ASSIGN_OR_RETURN(Tuple t, rel.Get(rid));
+      KIMDB_RETURN_IF_ERROR(fn(t));
+    }
+    return Status::OK();
+  }
+  return Select(
+      rel,
+      [&](const Tuple& t) {
+        return t[static_cast<size_t>(col)].Compare(key) == 0;
+      },
+      fn);
+}
+
+Status NestedLoopJoin(const Relation& left, const Relation& right,
+                      std::string_view left_col, std::string_view right_col,
+                      const JoinConsumer& fn) {
+  int lc = left.ColumnIndex(left_col);
+  int rc = right.ColumnIndex(right_col);
+  if (lc < 0 || rc < 0) return Status::NotFound("join column missing");
+  return left.ForEach([&](RecordId, const Tuple& lt) {
+    return right.ForEach([&](RecordId, const Tuple& rt) {
+      if (!lt[static_cast<size_t>(lc)].is_null() &&
+          lt[static_cast<size_t>(lc)].Compare(
+              rt[static_cast<size_t>(rc)]) == 0) {
+        return fn(lt, rt);
+      }
+      return Status::OK();
+    });
+  });
+}
+
+namespace {
+
+// Hash-join build key: encode the value to bytes for map lookup.
+std::string KeyBytes(const Value& v) {
+  std::string s;
+  v.EncodeTo(&s);
+  return s;
+}
+
+}  // namespace
+
+Status HashJoin(const Relation& left, const Relation& right,
+                std::string_view left_col, std::string_view right_col,
+                const JoinConsumer& fn) {
+  int lc = left.ColumnIndex(left_col);
+  int rc = right.ColumnIndex(right_col);
+  if (lc < 0 || rc < 0) return Status::NotFound("join column missing");
+
+  // Build on the right relation.
+  std::unordered_map<std::string, std::vector<Tuple>> table;
+  KIMDB_RETURN_IF_ERROR(right.ForEach([&](RecordId, const Tuple& rt) {
+    if (!rt[static_cast<size_t>(rc)].is_null()) {
+      table[KeyBytes(rt[static_cast<size_t>(rc)])].push_back(rt);
+    }
+    return Status::OK();
+  }));
+  // Probe with the left relation.
+  return left.ForEach([&](RecordId, const Tuple& lt) {
+    if (lt[static_cast<size_t>(lc)].is_null()) return Status::OK();
+    auto it = table.find(KeyBytes(lt[static_cast<size_t>(lc)]));
+    if (it == table.end()) return Status::OK();
+    for (const Tuple& rt : it->second) {
+      KIMDB_RETURN_IF_ERROR(fn(lt, rt));
+    }
+    return Status::OK();
+  });
+}
+
+Status IndexJoin(const Relation& left, const Relation& right,
+                 std::string_view left_col, std::string_view right_col,
+                 const JoinConsumer& fn) {
+  int lc = left.ColumnIndex(left_col);
+  if (lc < 0) return Status::NotFound("join column missing");
+  RelIndex* idx = right.FindIndex(right_col);
+  if (idx == nullptr) {
+    return Status::FailedPrecondition("no index on right join column");
+  }
+  return left.ForEach([&](RecordId, const Tuple& lt) {
+    const Value& key = lt[static_cast<size_t>(lc)];
+    if (key.is_null()) return Status::OK();
+    for (RecordId rid : idx->LookupEq(key)) {
+      KIMDB_ASSIGN_OR_RETURN(Tuple rt, right.Get(rid));
+      KIMDB_RETURN_IF_ERROR(fn(lt, rt));
+    }
+    return Status::OK();
+  });
+}
+
+}  // namespace rel
+}  // namespace kimdb

@@ -1,0 +1,48 @@
+#ifndef KIMDB_REL_QUERY_OPS_H_
+#define KIMDB_REL_QUERY_OPS_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "rel/relation.h"
+
+namespace kimdb {
+namespace rel {
+
+/// A predicate on a tuple.
+using TuplePredicate = std::function<bool(const Tuple&)>;
+/// Consumer of joined rows: (left tuple, right tuple).
+using JoinConsumer =
+    std::function<Status(const Tuple& left, const Tuple& right)>;
+
+/// Filter scan: emits tuples satisfying `pred`.
+Status Select(const Relation& rel, const TuplePredicate& pred,
+              const std::function<Status(const Tuple&)>& fn);
+
+/// Equality select using an index when one exists on `column`, falling
+/// back to a full scan.
+Status SelectEq(const Relation& rel, std::string_view column,
+                const Value& key,
+                const std::function<Status(const Tuple&)>& fn);
+
+/// Canonical O(|L|*|R|) join on equality of two columns.
+Status NestedLoopJoin(const Relation& left, const Relation& right,
+                      std::string_view left_col, std::string_view right_col,
+                      const JoinConsumer& fn);
+
+/// Classic build/probe hash join (build side = right).
+Status HashJoin(const Relation& left, const Relation& right,
+                std::string_view left_col, std::string_view right_col,
+                const JoinConsumer& fn);
+
+/// Index nested-loop join: probes a pre-built index on the right column.
+/// Returns FailedPrecondition if no index exists on `right_col`.
+Status IndexJoin(const Relation& left, const Relation& right,
+                 std::string_view left_col, std::string_view right_col,
+                 const JoinConsumer& fn);
+
+}  // namespace rel
+}  // namespace kimdb
+
+#endif  // KIMDB_REL_QUERY_OPS_H_

@@ -1,0 +1,117 @@
+#ifndef KIMDB_REL_RELATION_H_
+#define KIMDB_REL_RELATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/btree.h"
+#include "model/value.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "util/result.h"
+
+namespace kimdb {
+namespace rel {
+
+/// A column of a relation. Types reuse the Value kinds; kRef columns hold
+/// foreign keys as integers (the relational model has no object identity --
+/// that asymmetry is exactly what experiments E3/E4/E12 measure).
+struct ColumnDef {
+  std::string name;
+  Value::Kind type = Value::Kind::kInt;
+};
+
+using Tuple = std::vector<Value>;
+
+class RelIndex;
+
+/// A minimal relational table: schema + heap file of encoded tuples +
+/// attached secondary indexes. This is the baseline engine the paper's
+/// arguments compare against ("applications have to use joins to express
+/// the traversal from one object to other objects", §3.3); it shares the
+/// same buffer pool and page format as the object store so measured
+/// differences come from the data model, not the substrate.
+class Relation {
+ public:
+  static Result<std::unique_ptr<Relation>> Create(
+      BufferPool* bp, std::string name, std::vector<ColumnDef> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  /// -1 if absent.
+  int ColumnIndex(std::string_view column) const;
+
+  /// Inserts a tuple (must match the schema arity; types checked).
+  Result<RecordId> Insert(const Tuple& tuple);
+  Result<Tuple> Get(const RecordId& rid) const;
+  Status Update(const RecordId& rid, const Tuple& tuple);
+  Status Delete(const RecordId& rid);
+
+  Status ForEach(
+      const std::function<Status(RecordId, const Tuple&)>& fn) const;
+
+  uint64_t num_tuples() const { return num_tuples_; }
+
+  /// Creates (and builds) a secondary index on one column. The relation
+  /// owns it and keeps it maintained.
+  Result<RelIndex*> CreateIndex(std::string_view column);
+  RelIndex* FindIndex(std::string_view column) const;
+
+  static void EncodeTuple(const Tuple& t, std::string* dst);
+  static Result<Tuple> DecodeTuple(std::string_view bytes);
+
+ private:
+  Relation(BufferPool* bp, std::string name, std::vector<ColumnDef> columns,
+           HeapFile heap)
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        bp_(bp),
+        heap_(std::move(heap)) {}
+
+  Status CheckTuple(const Tuple& tuple) const;
+
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  BufferPool* bp_;
+  HeapFile heap_;
+  uint64_t num_tuples_ = 0;
+  std::vector<std::unique_ptr<RelIndex>> indexes_;
+};
+
+/// A secondary index on one column: Value key -> RecordIds (packed into the
+/// shared B+-tree's Oid payload slots).
+class RelIndex {
+ public:
+  RelIndex(Relation* rel, int column) : rel_(rel), column_(column) {}
+
+  int column() const { return column_; }
+
+  void Insert(const Value& key, RecordId rid);
+  void Remove(const Value& key, RecordId rid);
+  std::vector<RecordId> LookupEq(const Value& key) const;
+  std::vector<RecordId> LookupRange(const std::optional<Value>& lo,
+                                    bool lo_inclusive,
+                                    const std::optional<Value>& hi,
+                                    bool hi_inclusive) const;
+  size_t num_entries() const { return tree_.num_entries(); }
+
+  static Oid Pack(RecordId rid) {
+    return Oid((static_cast<uint64_t>(rid.page_id) << 16) | rid.slot);
+  }
+  static RecordId Unpack(Oid oid) {
+    return RecordId{static_cast<PageId>(oid.raw() >> 16),
+                    static_cast<uint16_t>(oid.raw() & 0xFFFF)};
+  }
+
+ private:
+  Relation* rel_;
+  int column_;
+  BPlusTree tree_;
+};
+
+}  // namespace rel
+}  // namespace kimdb
+
+#endif  // KIMDB_REL_RELATION_H_

@@ -1,0 +1,464 @@
+#include "rules/datalog.h"
+
+#include <algorithm>
+
+namespace kimdb {
+
+std::string RuleEngine::EncodeTuple(const std::vector<Value>& t) {
+  std::string s;
+  for (const Value& v : t) v.EncodeTo(&s);
+  return s;
+}
+
+bool RuleEngine::FactSet::Add(const std::vector<Value>& t) {
+  if (!keys.insert(EncodeTuple(t)).second) return false;
+  tuples.push_back(t);
+  if (!t.empty()) {
+    std::string first;
+    t[0].EncodeTo(&first);
+    by_first_arg[first].push_back(tuples.size() - 1);
+  }
+  return true;
+}
+
+bool RuleEngine::FactSet::Contains(const std::vector<Value>& t) const {
+  return keys.count(EncodeTuple(t)) > 0;
+}
+
+const std::vector<size_t>* RuleEngine::FactSet::WithFirstArg(
+    const Value& v) const {
+  std::string key;
+  v.EncodeTo(&key);
+  auto it = by_first_arg.find(key);
+  return it == by_first_arg.end() ? nullptr : &it->second;
+}
+
+Status RuleEngine::AddFact(const std::string& pred,
+                           std::vector<Value> tuple) {
+  if (pred.empty()) return Status::InvalidArgument("empty predicate name");
+  facts_[pred].Add(tuple);
+  return Status::OK();
+}
+
+Status RuleEngine::AddRule(Rule rule) {
+  if (rule.head.negated) {
+    return Status::InvalidArgument("rule heads cannot be negated");
+  }
+  if (rule.body.empty()) {
+    return Status::InvalidArgument("rules need a body (use AddFact)");
+  }
+  // Range restriction: every head variable and every variable in a negated
+  // atom must occur in some positive body atom.
+  std::unordered_set<std::string> positive_vars;
+  for (const RAtom& a : rule.body) {
+    if (a.negated) continue;
+    for (const RTerm& t : a.args) {
+      if (t.is_var) positive_vars.insert(t.var);
+    }
+  }
+  auto check_bound = [&](const RAtom& a, const char* what) -> Status {
+    for (const RTerm& t : a.args) {
+      if (t.is_var && !positive_vars.count(t.var)) {
+        return Status::InvalidArgument(
+            std::string("variable '") + t.var + "' in " + what +
+            " does not occur in a positive body atom");
+      }
+    }
+    return Status::OK();
+  };
+  KIMDB_RETURN_IF_ERROR(check_bound(rule.head, "the head"));
+  for (const RAtom& a : rule.body) {
+    if (a.negated) KIMDB_RETURN_IF_ERROR(check_bound(a, "a negated atom"));
+  }
+  // Evaluate negated atoms after the positive atoms that bind their
+  // variables (safe ordering for both bottom-up and top-down evaluation).
+  std::stable_partition(rule.body.begin(), rule.body.end(),
+                        [](const RAtom& a) { return !a.negated; });
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Status RuleEngine::ImportExtent(const std::string& pred, ClassId cls,
+                                const std::vector<std::string>& attrs,
+                                bool hierarchy) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition("no object store attached");
+  }
+  const Catalog& cat = *store_->catalog();
+  auto visit = [&](const Object& obj) -> Status {
+    // Cartesian fan-out over set-valued attributes. A set-valued (or
+    // set-domained) attribute with no elements contributes *no* facts for
+    // this object -- the nested-relational reading of an empty set --
+    // while a null scalar attribute contributes Null (missing data).
+    std::vector<std::vector<Value>> rows{{Value::Ref(obj.oid())}};
+    for (const std::string& name : attrs) {
+      Result<const AttributeDef*> attr =
+          cat.ResolveAttr(obj.class_id(), name);
+      std::vector<Value> vals;
+      if (attr.ok()) {
+        const Value& v = obj.Get((*attr)->id);
+        if (v.is_collection()) {
+          vals = v.elements();
+        } else if ((*attr)->domain.is_set) {
+          // declared set-valued but unset: empty set, no facts
+        } else {
+          vals.push_back(v);
+        }
+      } else {
+        vals.push_back(Value::Null());
+      }
+      std::vector<std::vector<Value>> next;
+      for (const auto& row : rows) {
+        for (const Value& v : vals) {
+          auto extended = row;
+          extended.push_back(v);
+          next.push_back(std::move(extended));
+        }
+      }
+      rows = std::move(next);
+    }
+    for (auto& row : rows) facts_[pred].Add(row);
+    return Status::OK();
+  };
+  return hierarchy ? store_->ForEachInHierarchy(cls, visit)
+                   : store_->ForEachInClass(cls, visit);
+}
+
+bool RuleEngine::Unify(const RAtom& atom, const std::vector<Value>& tuple,
+                       Bindings* b) {
+  if (atom.args.size() != tuple.size()) return false;
+  Bindings local = *b;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const RTerm& t = atom.args[i];
+    if (t.is_var) {
+      auto it = local.find(t.var);
+      if (it == local.end()) {
+        local[t.var] = tuple[i];
+      } else if (it->second.Compare(tuple[i]) != 0) {
+        return false;
+      }
+    } else if (t.constant.Compare(tuple[i]) != 0) {
+      return false;
+    }
+  }
+  *b = std::move(local);
+  return true;
+}
+
+Result<std::map<std::string, int>> RuleEngine::ComputeStrata() const {
+  // Ullman's algorithm: stratum[p] >= stratum[q] for positive deps,
+  // stratum[p] > stratum[q] for negative deps; iterate to fixpoint, fail
+  // if any stratum exceeds the number of predicates (negative cycle).
+  std::map<std::string, int> stratum;
+  for (const Rule& r : rules_) {
+    stratum[r.head.pred] = 0;
+    for (const RAtom& a : r.body) stratum.emplace(a.pred, 0);
+  }
+  size_t n = stratum.size();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : rules_) {
+      int& h = stratum[r.head.pred];
+      for (const RAtom& a : r.body) {
+        int need = stratum[a.pred] + (a.negated ? 1 : 0);
+        if (h < need) {
+          h = need;
+          if (static_cast<size_t>(h) > n) {
+            return Status::InvalidArgument(
+                "rules are not stratified (negation through recursion)");
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  return stratum;
+}
+
+Status RuleEngine::CheckStratified() const {
+  return ComputeStrata().status();
+}
+
+void RuleEngine::MatchBody(
+    const Rule& rule, size_t idx, Bindings b,
+    const std::unordered_map<std::string, FactSet>& delta, bool used_delta,
+    std::vector<std::pair<std::string, std::vector<Value>>>* out) const {
+  if (idx == rule.body.size()) {
+    // Semi-naive: require at least one positive atom matched from delta
+    // (when a delta is in play at all).
+    if (!delta.empty() && !used_delta) return;
+    std::vector<Value> head;
+    for (const RTerm& t : rule.head.args) {
+      head.push_back(t.is_var ? b.at(t.var) : t.constant);
+    }
+    out->push_back({rule.head.pred, std::move(head)});
+    return;
+  }
+  const RAtom& atom = rule.body[idx];
+  if (atom.negated) {
+    // Ground the atom under current bindings; fail if present.
+    std::vector<Value> probe;
+    for (const RTerm& t : atom.args) {
+      probe.push_back(t.is_var ? b.at(t.var) : t.constant);
+    }
+    auto it = facts_.find(atom.pred);
+    if (it != facts_.end() && it->second.Contains(probe)) return;
+    MatchBody(rule, idx + 1, std::move(b), delta, used_delta, out);
+    return;
+  }
+  auto it = facts_.find(atom.pred);
+  if (it == facts_.end()) return;
+  auto dit = delta.find(atom.pred);
+  auto try_tuple = [&](const std::vector<Value>& tuple) {
+    Bindings next = b;
+    if (!Unify(atom, tuple, &next)) return;
+    bool in_delta = dit != delta.end() && dit->second.Contains(tuple);
+    MatchBody(rule, idx + 1, std::move(next), delta,
+              used_delta || in_delta, out);
+  };
+  // Bound-first-argument join: restrict the scan via the fact index.
+  if (!atom.args.empty()) {
+    const RTerm& first = atom.args[0];
+    const Value* bound = nullptr;
+    if (!first.is_var) {
+      bound = &first.constant;
+    } else {
+      auto bit = b.find(first.var);
+      if (bit != b.end()) bound = &bit->second;
+    }
+    if (bound != nullptr) {
+      const std::vector<size_t>* hits = it->second.WithFirstArg(*bound);
+      if (hits != nullptr) {
+        for (size_t i : *hits) try_tuple(it->second.tuples[i]);
+      }
+      return;
+    }
+  }
+  for (const auto& tuple : it->second.tuples) try_tuple(tuple);
+}
+
+uint64_t RuleEngine::EvalRule(
+    const Rule& rule, const std::unordered_map<std::string, FactSet>& delta,
+    std::vector<std::pair<std::string, std::vector<Value>>>* out) const {
+  size_t before = out->size();
+  MatchBody(rule, 0, Bindings{}, delta, /*used_delta=*/false, out);
+  return out->size() - before;
+}
+
+Result<uint64_t> RuleEngine::ForwardChain() {
+  KIMDB_ASSIGN_OR_RETURN(auto strata, ComputeStrata());
+  int max_stratum = 0;
+  for (const auto& [pred, s] : strata) max_stratum = std::max(max_stratum, s);
+
+  uint64_t derived_total = 0;
+  for (int stratum = 0; stratum <= max_stratum; ++stratum) {
+    std::vector<const Rule*> active;
+    for (const Rule& r : rules_) {
+      if (strata.at(r.head.pred) == stratum) active.push_back(&r);
+    }
+    if (active.empty()) continue;
+
+    // Naive first round (delta empty means "no delta restriction"), then
+    // semi-naive iterations driven by the per-round delta.
+    std::unordered_map<std::string, FactSet> delta;
+    bool first = true;
+    while (true) {
+      std::vector<std::pair<std::string, std::vector<Value>>> produced;
+      for (const Rule* r : active) {
+        EvalRule(*r, first ? std::unordered_map<std::string, FactSet>{}
+                           : delta,
+                 &produced);
+      }
+      first = false;
+      std::unordered_map<std::string, FactSet> next_delta;
+      uint64_t fresh = 0;
+      for (auto& [pred, tuple] : produced) {
+        if (facts_[pred].Add(tuple)) {
+          next_delta[pred].Add(tuple);
+          ++fresh;
+        }
+      }
+      derived_total += fresh;
+      if (fresh == 0) break;
+      delta = std::move(next_delta);
+    }
+  }
+  return derived_total;
+}
+
+Result<std::vector<Bindings>> RuleEngine::Match(const RAtom& goal) const {
+  std::vector<Bindings> out;
+  auto it = facts_.find(goal.pred);
+  if (it == facts_.end()) return out;
+  for (const auto& tuple : it->second.tuples) {
+    Bindings b;
+    if (Unify(goal, tuple, &b)) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+Result<std::vector<Bindings>> RuleEngine::Prove(const RAtom& goal,
+                                                size_t max_depth) const {
+  std::vector<std::string> wanted;
+  for (const RTerm& t : goal.args) {
+    if (t.is_var) wanted.push_back(t.var);
+  }
+  std::vector<Bindings> out;
+  ProveGoals({goal}, Bindings{}, max_depth, &out, wanted);
+  // Deduplicate results.
+  std::vector<Bindings> uniq;
+  std::unordered_set<std::string> seen;
+  for (const Bindings& b : out) {
+    std::vector<Value> key_vals;
+    for (const std::string& v : wanted) {
+      auto it = b.find(v);
+      key_vals.push_back(it == b.end() ? Value::Null() : it->second);
+    }
+    if (seen.insert(EncodeTuple(key_vals)).second) {
+      Bindings projected;
+      for (const std::string& v : wanted) {
+        auto it = b.find(v);
+        if (it != b.end()) projected[v] = it->second;
+      }
+      uniq.push_back(std::move(projected));
+    }
+  }
+  return uniq;
+}
+
+bool RuleEngine::ProveGoals(std::vector<RAtom> goals, Bindings b,
+                            size_t depth, std::vector<Bindings>* out,
+                            const std::vector<std::string>& wanted) const {
+  if (goals.empty()) {
+    out->push_back(b);
+    return true;
+  }
+  if (depth == 0) return false;
+  RAtom goal = goals.back();
+  goals.pop_back();
+
+  // Apply current bindings to the goal.
+  for (RTerm& t : goal.args) {
+    if (t.is_var) {
+      auto it = b.find(t.var);
+      if (it != b.end()) t = RTerm::Const(it->second);
+    }
+  }
+
+  if (goal.negated) {
+    // Negation as failure on the (now ground) goal.
+    for (const RTerm& t : goal.args) {
+      if (t.is_var) return false;  // unsafe: should be prevented upstream
+    }
+    RAtom positive = goal;
+    positive.negated = false;
+    std::vector<Bindings> sub;
+    ProveGoals({positive}, Bindings{}, depth - 1, &sub, {});
+    if (!sub.empty()) return false;
+    return ProveGoals(std::move(goals), std::move(b), depth, out, wanted);
+  }
+
+  bool any = false;
+  // Base facts (via the first-argument index when the goal's first
+  // argument is ground -- bindings were substituted in above).
+  auto fit = facts_.find(goal.pred);
+  if (fit != facts_.end()) {
+    auto try_tuple = [&](const std::vector<Value>& tuple) {
+      Bindings next = b;
+      if (!Unify(goal, tuple, &next)) return;
+      any |= ProveGoals(goals, std::move(next), depth, out, wanted);
+    };
+    if (!goal.args.empty() && !goal.args[0].is_var) {
+      const std::vector<size_t>* hits =
+          fit->second.WithFirstArg(goal.args[0].constant);
+      if (hits != nullptr) {
+        for (size_t i : *hits) try_tuple(fit->second.tuples[i]);
+      }
+    } else {
+      for (const auto& tuple : fit->second.tuples) try_tuple(tuple);
+    }
+  }
+  // Rules (with variable renaming).
+  for (const Rule& r : rules_) {
+    if (r.head.pred != goal.pred) continue;
+    uint64_t rename = ++rename_counter_;
+    auto renamed = [&](const RTerm& t) {
+      if (!t.is_var) return t;
+      return RTerm::Var(t.var + "#" + std::to_string(rename));
+    };
+    // Unify goal args with (renamed) head args.
+    Bindings next = b;
+    bool ok = true;
+    std::unordered_map<std::string, RTerm> head_subst;
+    for (size_t i = 0; i < goal.args.size() && ok; ++i) {
+      if (i >= r.head.args.size()) {
+        ok = false;
+        break;
+      }
+      RTerm h = renamed(r.head.args[i]);
+      const RTerm& g = goal.args[i];
+      if (!h.is_var && !g.is_var) {
+        ok = h.constant.Compare(g.constant) == 0;
+      } else if (h.is_var && !g.is_var) {
+        auto it = next.find(h.var);
+        if (it == next.end()) {
+          next[h.var] = g.constant;
+        } else {
+          ok = it->second.Compare(g.constant) == 0;
+        }
+      } else if (!h.is_var && g.is_var) {
+        auto it = next.find(g.var);
+        if (it == next.end()) {
+          next[g.var] = h.constant;
+        } else {
+          ok = it->second.Compare(h.constant) == 0;
+        }
+      } else {
+        // var-var: alias the head var to the goal var via a chain --
+        // handled by binding the head var lazily when the body grounds it.
+        // We record goal-var <- head-var aliasing by deferring: bind head
+        // var when known; to keep the machinery simple we bind goal var
+        // after body proof via head var lookup, implemented by pushing an
+        // equality through a shared fresh name: rename goal var into the
+        // head var.
+        auto it = next.find(g.var);
+        if (it != next.end()) {
+          next[h.var] = it->second;
+        } else {
+          // Remember alias: when the body binds h.var, g.var follows.
+          // Implemented by a sentinel binding pass below.
+          head_subst[g.var] = RTerm::Var(h.var);
+        }
+      }
+    }
+    if (!ok || goal.args.size() != r.head.args.size()) continue;
+
+    std::vector<RAtom> subgoals = goals;
+    // Push body atoms (renamed) -- reverse so they prove left-to-right.
+    for (auto it = r.body.rbegin(); it != r.body.rend(); ++it) {
+      RAtom a = *it;
+      for (RTerm& t : a.args) t = renamed(t);
+      subgoals.push_back(std::move(a));
+    }
+    std::vector<Bindings> sub;
+    ProveGoals(std::move(subgoals), next, depth - 1, &sub, wanted);
+    for (Bindings& sb : sub) {
+      // Resolve goal-var aliases through the proved head vars.
+      for (const auto& [gvar, hterm] : head_subst) {
+        auto hit = sb.find(hterm.var);
+        if (hit != sb.end()) sb[gvar] = hit->second;
+      }
+      out->push_back(std::move(sb));
+      any = true;
+    }
+  }
+  return any;
+}
+
+uint64_t RuleEngine::FactCount(const std::string& pred) const {
+  auto it = facts_.find(pred);
+  return it == facts_.end() ? 0 : it->second.tuples.size();
+}
+
+}  // namespace kimdb

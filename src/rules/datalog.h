@@ -1,0 +1,141 @@
+#ifndef KIMDB_RULES_DATALOG_H_
+#define KIMDB_RULES_DATALOG_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "object/object_store.h"
+
+namespace kimdb {
+
+/// A term of a rule atom: a variable ("X") or a constant value.
+struct RTerm {
+  bool is_var = false;
+  std::string var;
+  Value constant;
+
+  static RTerm Var(std::string name) {
+    RTerm t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static RTerm Const(Value v) {
+    RTerm t;
+    t.constant = std::move(v);
+    return t;
+  }
+};
+
+/// predicate(args...), possibly negated in a rule body.
+struct RAtom {
+  std::string pred;
+  std::vector<RTerm> args;
+  bool negated = false;
+};
+
+/// head :- body. Heads must be positive; every head variable must occur in
+/// a positive body atom (range restriction); negation must be stratified.
+struct Rule {
+  RAtom head;
+  std::vector<RAtom> body;
+};
+
+/// Variable bindings produced by a proof.
+using Bindings = std::unordered_map<std::string, Value>;
+
+/// The deductive capability of §5.4: a Datalog engine whose extensional
+/// database is drawn from class extents (ImportExtent maps objects of a
+/// class -- or its hierarchy -- to facts), supporting
+///
+///  * semi-naive *forward chaining* to fixpoint (bottom-up),
+///  * SLD *backward chaining* (top-down, goal-directed) with
+///    negation-as-failure on ground subgoals,
+///  * stratified negation (rules are rejected at AddRule/chain time if the
+///    negative dependency graph has a cycle).
+class RuleEngine {
+ public:
+  explicit RuleEngine(ObjectStore* store = nullptr) : store_(store) {}
+
+  Status AddFact(const std::string& pred, std::vector<Value> tuple);
+  Status AddRule(Rule rule);
+
+  /// Imports each object of `cls` (and subclasses when `hierarchy`) as a
+  /// fact  pred(oid-ref, attr1, attr2, ...). Set-valued attributes fan out
+  /// into one fact per element.
+  Status ImportExtent(const std::string& pred, ClassId cls,
+                      const std::vector<std::string>& attrs,
+                      bool hierarchy = true);
+
+  /// Runs stratified semi-naive evaluation to fixpoint.
+  /// Returns the number of newly derived facts.
+  Result<uint64_t> ForwardChain();
+
+  /// Matches `goal` against the *materialized* facts (run ForwardChain
+  /// first to see derived facts). Returns one Bindings per match.
+  Result<std::vector<Bindings>> Match(const RAtom& goal) const;
+
+  /// Top-down proof of `goal` without materializing the IDB.
+  Result<std::vector<Bindings>> Prove(const RAtom& goal,
+                                      size_t max_depth = 128) const;
+
+  uint64_t FactCount(const std::string& pred) const;
+
+  /// Verifies the rule set is stratified (no negative cycles).
+  Status CheckStratified() const;
+
+ private:
+  struct FactSet {
+    // Encoded-tuple keys for O(1) dedup; decoded tuples for iteration;
+    // an index on the first argument so joins with a bound first argument
+    // (the overwhelmingly common case in linear-recursive rules) touch
+    // only matching tuples instead of the whole relation.
+    std::unordered_set<std::string> keys;
+    std::vector<std::vector<Value>> tuples;
+    std::unordered_map<std::string, std::vector<size_t>> by_first_arg;
+
+    bool Add(const std::vector<Value>& t);
+    bool Contains(const std::vector<Value>& t) const;
+    /// Indices of tuples whose first argument equals `v`.
+    const std::vector<size_t>* WithFirstArg(const Value& v) const;
+  };
+
+  static std::string EncodeTuple(const std::vector<Value>& t);
+
+  /// Unifies an atom's args with a ground tuple under `b`; extends `b` on
+  /// success.
+  static bool Unify(const RAtom& atom, const std::vector<Value>& tuple,
+                    Bindings* b);
+
+  /// Evaluates one rule given current facts; appends new head tuples.
+  uint64_t EvalRule(const Rule& rule,
+                    const std::unordered_map<std::string, FactSet>& delta,
+                    std::vector<std::pair<std::string, std::vector<Value>>>*
+                        out) const;
+
+  /// Recursive body matcher.
+  void MatchBody(const Rule& rule, size_t idx, Bindings b,
+                 const std::unordered_map<std::string, FactSet>& delta,
+                 bool used_delta,
+                 std::vector<std::pair<std::string, std::vector<Value>>>* out)
+      const;
+
+  /// Computes strata (pred -> stratum). Fails on unstratifiable negation.
+  Result<std::map<std::string, int>> ComputeStrata() const;
+
+  bool ProveGoals(std::vector<RAtom> goals, Bindings b, size_t depth,
+                  std::vector<Bindings>* out,
+                  const std::vector<std::string>& wanted) const;
+
+  ObjectStore* store_;
+  std::unordered_map<std::string, FactSet> facts_;
+  std::vector<Rule> rules_;
+  mutable uint64_t rename_counter_ = 0;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_RULES_DATALOG_H_

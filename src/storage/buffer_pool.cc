@@ -1,0 +1,112 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace kimdb {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
+  frames_.resize(capacity);
+  for (auto& f : frames_) {
+    f.data = std::make_unique<char[]>(kPageSize);
+  }
+}
+
+Result<size_t> BufferPool::Evict() {
+  // CLOCK: sweep at most 2 full rotations looking for an unpinned,
+  // unreferenced frame; clear reference bits as we pass.
+  size_t n = frames_.size();
+  for (size_t sweep = 0; sweep < 2 * n; ++sweep) {
+    Frame& f = frames_[clock_hand_];
+    size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f.page_id == kInvalidPageId) return idx;  // free frame
+    if (f.pin_count > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (f.dirty) {
+      KIMDB_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.get()));
+      ++stats_.disk_writes;
+      f.dirty = false;
+    }
+    page_table_.erase(f.page_id);
+    f.page_id = kInvalidPageId;
+    ++stats_.evictions;
+    return idx;
+  }
+  return Status::ResourceExhausted("all buffer frames pinned");
+}
+
+Result<char*> BufferPool::FetchPage(PageId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(pid);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.referenced = true;
+    ++stats_.hits;
+    return f.data.get();
+  }
+  ++stats_.misses;
+  KIMDB_ASSIGN_OR_RETURN(size_t idx, Evict());
+  Frame& f = frames_[idx];
+  KIMDB_RETURN_IF_ERROR(disk_->ReadPage(pid, f.data.get()));
+  ++stats_.disk_reads;
+  f.page_id = pid;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.referenced = true;
+  page_table_[pid] = idx;
+  return f.data.get();
+}
+
+Result<char*> BufferPool::NewPage(PageId* out_pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(size_t idx, Evict());
+  KIMDB_ASSIGN_OR_RETURN(PageId pid, disk_->AllocatePage());
+  Frame& f = frames_[idx];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.page_id = pid;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.referenced = true;
+  page_table_[pid] = idx;
+  *out_pid = pid;
+  return f.data.get();
+}
+
+void BufferPool::Unpin(PageId pid, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(pid);
+  if (it == page_table_.end()) return;
+  Frame& f = frames_[it->second];
+  if (f.pin_count > 0) --f.pin_count;
+  f.dirty = f.dirty || dirty;
+}
+
+Status BufferPool::FlushPage(PageId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(pid);
+  if (it == page_table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (!f.dirty) return Status::OK();
+  KIMDB_RETURN_IF_ERROR(disk_->WritePage(pid, f.data.get()));
+  ++stats_.disk_writes;
+  f.dirty = false;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      KIMDB_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.get()));
+      ++stats_.disk_writes;
+      f.dirty = false;
+    }
+  }
+  return disk_->Sync();
+}
+
+}  // namespace kimdb

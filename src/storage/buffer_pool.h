@@ -1,0 +1,149 @@
+#ifndef KIMDB_STORAGE_BUFFER_POOL_H_
+#define KIMDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace kimdb {
+
+/// A pinned buffer-pool frame. `data` points at kPageSize bytes.
+struct Frame {
+  PageId page_id = kInvalidPageId;
+  int pin_count = 0;
+  bool dirty = false;
+  bool referenced = false;  // clock bit
+  std::unique_ptr<char[]> data;
+};
+
+/// Counters exposed so benchmarks can report physical behaviour
+/// (experiment E8 measures clustering through miss/IO counts).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+};
+
+/// Fixed-capacity page cache over a DiskManager with CLOCK replacement.
+/// All public methods are thread-safe (single internal mutex).
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches and pins a page. Callers must Unpin exactly once per fetch.
+  Result<char*> FetchPage(PageId pid);
+
+  /// Allocates a new page on disk, pins a zeroed frame for it.
+  Result<char*> NewPage(PageId* out_pid);
+
+  /// Drops a pin; `dirty` marks the frame as modified.
+  void Unpin(PageId pid, bool dirty);
+
+  /// Writes a (cached) page back to disk; no-op if not cached or clean.
+  Status FlushPage(PageId pid);
+
+  /// Writes all dirty cached pages back and syncs the device.
+  Status FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  size_t capacity() const { return frames_.size(); }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  /// Picks a victim frame via CLOCK; writes it back if dirty.
+  /// Requires mu_ held. Returns ResourceExhausted if all frames are pinned.
+  Result<size_t> Evict();
+
+  mutable std::mutex mu_;
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard: fetches on construction, unpins on destruction.
+///
+///   PageGuard g(bp, pid);
+///   KIMDB_RETURN_IF_ERROR(g.status());
+///   SlottedPage page(g.data());
+///   ... g.MarkDirty();
+class PageGuard {
+ public:
+  PageGuard(BufferPool* bp, PageId pid) : bp_(bp), pid_(pid) {
+    Result<char*> r = bp->FetchPage(pid);
+    if (r.ok()) {
+      data_ = *r;
+    } else {
+      status_ = r.status();
+    }
+  }
+
+  /// Creates a new page (allocating from disk).
+  static PageGuard NewPage(BufferPool* bp) {
+    PageGuard g;
+    g.bp_ = bp;
+    Result<char*> r = bp->NewPage(&g.pid_);
+    if (r.ok()) {
+      g.data_ = *r;
+    } else {
+      g.status_ = r.status();
+    }
+    return g;
+  }
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    Release();
+    bp_ = other.bp_;
+    pid_ = other.pid_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    status_ = std::move(other.status_);
+    other.data_ = nullptr;
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  ~PageGuard() { Release(); }
+
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+  char* data() const { return data_; }
+  PageId page_id() const { return pid_; }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (data_ != nullptr) {
+      bp_->Unpin(pid_, dirty_);
+      data_ = nullptr;
+    }
+  }
+
+ private:
+  PageGuard() = default;
+
+  BufferPool* bp_ = nullptr;
+  PageId pid_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+  Status status_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_STORAGE_BUFFER_POOL_H_

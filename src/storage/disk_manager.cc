@@ -1,0 +1,143 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kimdb {
+namespace {
+
+class FileDiskManager final : public DiskManager {
+ public:
+  FileDiskManager(int fd, uint32_t num_pages) : fd_(fd), num_pages_(num_pages) {}
+
+  ~FileDiskManager() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status ReadPage(PageId pid, char* buf) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pid >= num_pages_) {
+      return Status::InvalidArgument("read past end of file");
+    }
+    ssize_t n = ::pread(fd_, buf, kPageSize,
+                        static_cast<off_t>(pid) * kPageSize);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError("pread failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  Status WritePage(PageId pid, const char* buf) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pid >= num_pages_) {
+      return Status::InvalidArgument("write past end of file");
+    }
+    ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                         static_cast<off_t>(pid) * kPageSize);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError("pwrite failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  Result<PageId> AllocatePage() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    PageId pid = num_pages_;
+    char zeros[kPageSize] = {0};
+    ssize_t n = ::pwrite(fd_, zeros, kPageSize,
+                         static_cast<off_t>(pid) * kPageSize);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError("extend failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    ++num_pages_;
+    return pid;
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError("fdatasync failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  uint32_t num_pages() const override { return num_pages_; }
+
+ private:
+  mutable std::mutex mu_;
+  int fd_;
+  uint32_t num_pages_;
+};
+
+class MemDiskManager final : public DiskManager {
+ public:
+  Status ReadPage(PageId pid, char* buf) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pid >= pages_.size()) {
+      return Status::InvalidArgument("read past end of store");
+    }
+    std::memcpy(buf, pages_[pid].data(), kPageSize);
+    return Status::OK();
+  }
+
+  Status WritePage(PageId pid, const char* buf) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pid >= pages_.size()) {
+      return Status::InvalidArgument("write past end of store");
+    }
+    std::memcpy(pages_[pid].data(), buf, kPageSize);
+    return Status::OK();
+  }
+
+  Result<PageId> AllocatePage() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    pages_.emplace_back();
+    pages_.back().resize(kPageSize, 0);
+    return static_cast<PageId>(pages_.size() - 1);
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  uint32_t num_pages() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint32_t>(pages_.size());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> pages_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<DiskManager>> DiskManager::OpenFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path +
+                           ") failed: " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError("lseek failed");
+  }
+  if (size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("file size not a multiple of page size");
+  }
+  return std::unique_ptr<DiskManager>(new FileDiskManager(
+      fd, static_cast<uint32_t>(size / kPageSize)));
+}
+
+std::unique_ptr<DiskManager> DiskManager::OpenInMemory() {
+  return std::make_unique<MemDiskManager>();
+}
+
+}  // namespace kimdb

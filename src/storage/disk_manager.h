@@ -1,0 +1,41 @@
+#ifndef KIMDB_STORAGE_DISK_MANAGER_H_
+#define KIMDB_STORAGE_DISK_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace kimdb {
+
+/// Page-granular storage device. Two implementations: a POSIX file (the
+/// durable database file) and an in-memory vector (tests, private
+/// checkout databases, scratch stores).
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Reads page `pid` into `buf` (kPageSize bytes).
+  virtual Status ReadPage(PageId pid, char* buf) = 0;
+  /// Writes `buf` (kPageSize bytes) to page `pid`.
+  virtual Status WritePage(PageId pid, const char* buf) = 0;
+  /// Extends the store by one zeroed page and returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+  /// Durably flushes all written pages.
+  virtual Status Sync() = 0;
+  virtual uint32_t num_pages() const = 0;
+
+  /// Opens (creating if absent) a file-backed store.
+  static Result<std::unique_ptr<DiskManager>> OpenFile(
+      const std::string& path);
+  /// Creates a volatile in-memory store.
+  static std::unique_ptr<DiskManager> OpenInMemory();
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_STORAGE_DISK_MANAGER_H_

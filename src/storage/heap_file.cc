@@ -1,0 +1,244 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace kimdb {
+
+Result<HeapFile> HeapFile::Create(BufferPool* bp) {
+  PageGuard g = PageGuard::NewPage(bp);
+  KIMDB_RETURN_IF_ERROR(g.status());
+  SlottedPage page(g.data());
+  page.Init();
+  g.MarkDirty();
+  return HeapFile(bp, g.page_id());
+}
+
+Result<HeapFile> HeapFile::Open(BufferPool* bp, PageId head) {
+  return HeapFile(bp, head);
+}
+
+Result<RecordId> HeapFile::InsertRaw(std::string_view raw, PageId hint) {
+  // Candidate pages in order: hint, cursor, head. If all are full we
+  // allocate a fresh page and link it immediately after the last candidate
+  // tried (preserving locality with the hint when one was given).
+  PageId candidates[3] = {hint, cursor_, head_};
+  for (PageId pid : candidates) {
+    if (pid == kInvalidPageId) continue;
+    PageGuard g(bp_, pid);
+    KIMDB_RETURN_IF_ERROR(g.status());
+    SlottedPage page(g.data());
+    if (!page.initialized()) page.Init();  // heal crash-zeroed pages
+    Result<uint16_t> slot = page.Insert(raw);
+    if (slot.ok()) {
+      g.MarkDirty();
+      if (hint == kInvalidPageId) cursor_ = pid;
+      return RecordId{pid, *slot};
+    }
+    if (slot.status().code() != StatusCode::kResourceExhausted) {
+      return slot.status();
+    }
+  }
+  // All candidates full: allocate a new page, link it after the preferred
+  // anchor (hint if given, else cursor, else head).
+  PageId anchor = hint != kInvalidPageId
+                      ? hint
+                      : (cursor_ != kInvalidPageId ? cursor_ : head_);
+  PageGuard fresh = PageGuard::NewPage(bp_);
+  KIMDB_RETURN_IF_ERROR(fresh.status());
+  SlottedPage fresh_page(fresh.data());
+  fresh_page.Init();
+
+  {
+    PageGuard ag(bp_, anchor);
+    KIMDB_RETURN_IF_ERROR(ag.status());
+    SlottedPage anchor_page(ag.data());
+    if (!anchor_page.initialized()) anchor_page.Init();
+    fresh_page.set_next_page(anchor_page.next_page());
+    anchor_page.set_next_page(fresh.page_id());
+    ag.MarkDirty();
+  }
+
+  KIMDB_ASSIGN_OR_RETURN(uint16_t slot, fresh_page.Insert(raw));
+  fresh.MarkDirty();
+  if (hint == kInvalidPageId) cursor_ = fresh.page_id();
+  return RecordId{fresh.page_id(), slot};
+}
+
+Result<RecordId> HeapFile::Insert(std::string_view data, PageId hint) {
+  if (data.size() <= kMaxInlinePayload) {
+    std::string raw;
+    raw.reserve(data.size() + 1);
+    raw.push_back(kInlineTag);
+    raw.append(data);
+    return InsertRaw(raw, hint);
+  }
+  KIMDB_ASSIGN_OR_RETURN(std::string stub, WriteOverflow(data));
+  return InsertRaw(stub, hint);
+}
+
+Result<std::string> HeapFile::Get(const RecordId& rid) const {
+  PageGuard g(bp_, rid.page_id);
+  KIMDB_RETURN_IF_ERROR(g.status());
+  SlottedPage page(g.data());
+  KIMDB_ASSIGN_OR_RETURN(std::string_view raw, page.Get(rid.slot));
+  if (raw.empty()) return Status::Corruption("empty record");
+  if (raw[0] == kInlineTag) return std::string(raw.substr(1));
+  return ReadOverflow(raw);
+}
+
+Result<RecordId> HeapFile::Update(const RecordId& rid,
+                                  std::string_view data) {
+  PageGuard g(bp_, rid.page_id);
+  KIMDB_RETURN_IF_ERROR(g.status());
+  SlottedPage page(g.data());
+  KIMDB_ASSIGN_OR_RETURN(std::string_view old_raw, page.Get(rid.slot));
+  std::string old_copy(old_raw);
+
+  std::string raw;
+  if (data.size() <= kMaxInlinePayload) {
+    raw.push_back(kInlineTag);
+    raw.append(data);
+  } else {
+    KIMDB_ASSIGN_OR_RETURN(raw, WriteOverflow(data));
+  }
+
+  Status st = page.Update(rid.slot, raw);
+  if (st.ok()) {
+    g.MarkDirty();
+    if (old_copy[0] == kOverflowTag) {
+      KIMDB_RETURN_IF_ERROR(FreeOverflow(old_copy));
+    }
+    return rid;
+  }
+  if (st.code() != StatusCode::kResourceExhausted) return st;
+
+  // Record no longer fits on its page: delete here, re-insert near the old
+  // location to preserve clustering.
+  KIMDB_RETURN_IF_ERROR(page.Delete(rid.slot));
+  g.MarkDirty();
+  g.Release();
+  if (old_copy[0] == kOverflowTag) {
+    KIMDB_RETURN_IF_ERROR(FreeOverflow(old_copy));
+  }
+  return InsertRaw(raw, rid.page_id);
+}
+
+Status HeapFile::Delete(const RecordId& rid) {
+  PageGuard g(bp_, rid.page_id);
+  KIMDB_RETURN_IF_ERROR(g.status());
+  SlottedPage page(g.data());
+  KIMDB_ASSIGN_OR_RETURN(std::string_view raw, page.Get(rid.slot));
+  std::string copy(raw);
+  KIMDB_RETURN_IF_ERROR(page.Delete(rid.slot));
+  g.MarkDirty();
+  if (!copy.empty() && copy[0] == kOverflowTag) {
+    KIMDB_RETURN_IF_ERROR(FreeOverflow(copy));
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ForEach(
+    const std::function<Status(RecordId, std::string_view)>& fn) const {
+  PageId pid = head_;
+  while (pid != kInvalidPageId) {
+    PageGuard g(bp_, pid);
+    KIMDB_RETURN_IF_ERROR(g.status());
+    SlottedPage page(g.data());
+    if (!page.initialized()) break;  // crash-zeroed page: chain ends here
+    for (uint16_t s = 0; s < page.num_slots(); ++s) {
+      Result<std::string_view> raw = page.Get(s);
+      if (!raw.ok()) continue;  // deleted slot
+      if (raw->empty()) return Status::Corruption("empty record");
+      if ((*raw)[0] == kInlineTag) {
+        KIMDB_RETURN_IF_ERROR(fn(RecordId{pid, s}, raw->substr(1)));
+      } else {
+        KIMDB_ASSIGN_OR_RETURN(std::string full, ReadOverflow(*raw));
+        KIMDB_RETURN_IF_ERROR(fn(RecordId{pid, s}, full));
+      }
+    }
+    pid = page.next_page();
+  }
+  return Status::OK();
+}
+
+Result<size_t> HeapFile::CountPages() const {
+  size_t n = 0;
+  PageId pid = head_;
+  while (pid != kInvalidPageId) {
+    ++n;
+    PageGuard g(bp_, pid);
+    KIMDB_RETURN_IF_ERROR(g.status());
+    SlottedPage page(g.data());
+    if (!page.initialized()) break;
+    pid = page.next_page();
+  }
+  return n;
+}
+
+// Overflow page layout: [next fixed32][len fixed16][bytes ...].
+namespace {
+constexpr size_t kOverflowHeader = 6;
+constexpr size_t kOverflowCapacity = kPageSize - kOverflowHeader;
+}  // namespace
+
+Result<std::string> HeapFile::WriteOverflow(std::string_view data) {
+  // Write segments back-to-front so each page can point at the next.
+  size_t num_segments = (data.size() + kOverflowCapacity - 1) /
+                        kOverflowCapacity;
+  PageId next = kInvalidPageId;
+  for (size_t i = num_segments; i-- > 0;) {
+    size_t begin = i * kOverflowCapacity;
+    size_t len = std::min(kOverflowCapacity, data.size() - begin);
+    PageGuard g = PageGuard::NewPage(bp_);
+    KIMDB_RETURN_IF_ERROR(g.status());
+    char* p = g.data();
+    EncodeFixed32(p, next);
+    p[4] = static_cast<char>(len & 0xff);
+    p[5] = static_cast<char>((len >> 8) & 0xff);
+    std::memcpy(p + kOverflowHeader, data.data() + begin, len);
+    g.MarkDirty();
+    next = g.page_id();
+  }
+  std::string stub;
+  stub.push_back(kOverflowTag);
+  PutVarint64(&stub, data.size());
+  PutFixed32(&stub, next);
+  return stub;
+}
+
+Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
+  Decoder dec(stub.substr(1));
+  KIMDB_ASSIGN_OR_RETURN(uint64_t total, dec.ReadVarint64());
+  KIMDB_ASSIGN_OR_RETURN(uint32_t first, dec.ReadFixed32());
+  std::string out;
+  out.reserve(total);
+  PageId pid = first;
+  while (pid != kInvalidPageId) {
+    PageGuard g(bp_, pid);
+    KIMDB_RETURN_IF_ERROR(g.status());
+    const char* p = g.data();
+    PageId next = DecodeFixed32(p);
+    size_t len = static_cast<size_t>(static_cast<unsigned char>(p[4])) |
+                 (static_cast<size_t>(static_cast<unsigned char>(p[5])) << 8);
+    if (len > kOverflowCapacity) {
+      return Status::Corruption("overflow segment length out of range");
+    }
+    out.append(p + kOverflowHeader, len);
+    pid = next;
+  }
+  if (out.size() != total) {
+    return Status::Corruption("overflow chain size mismatch");
+  }
+  return out;
+}
+
+Status HeapFile::FreeOverflow(std::string_view stub) {
+  // Overflow pages are not reclaimed (no persistent free list); they are
+  // simply unlinked. Space reuse is a documented non-goal of this engine.
+  (void)stub;
+  return Status::OK();
+}
+
+}  // namespace kimdb

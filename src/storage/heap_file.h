@@ -1,0 +1,85 @@
+#ifndef KIMDB_STORAGE_HEAP_FILE_H_
+#define KIMDB_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace kimdb {
+
+/// Unordered record file: a chain of slotted pages. One heap file backs one
+/// class extent (and the catalog itself).
+///
+/// Records larger than an inline threshold are transparently spilled to a
+/// chain of overflow pages ("long data" support, paper §2.2: images, audio,
+/// text documents). Records keep a 1-byte tag distinguishing inline from
+/// overflow storage.
+///
+/// Clustering (paper §4.2): Insert takes an optional placement hint; the
+/// record is placed on (or chained adjacent to) the hinted page so that
+/// composite objects can be co-located and scanned with few page faults.
+class HeapFile {
+ public:
+  /// Creates a new, empty heap file; its head page id is the handle that
+  /// must be persisted (the catalog stores it per class).
+  static Result<HeapFile> Create(BufferPool* bp);
+
+  /// Opens an existing heap file rooted at `head`.
+  static Result<HeapFile> Open(BufferPool* bp, PageId head);
+
+  PageId head() const { return head_; }
+
+  /// Inserts a record; `hint` (if valid) requests placement on/near that
+  /// page. Returns the record's physical address.
+  Result<RecordId> Insert(std::string_view data,
+                          PageId hint = kInvalidPageId);
+
+  /// Copies a record out (reassembling overflow chains).
+  Result<std::string> Get(const RecordId& rid) const;
+
+  /// Updates a record; the record may move, so the (possibly new) RecordId
+  /// is returned and the caller must refresh any directory entry.
+  Result<RecordId> Update(const RecordId& rid, std::string_view data);
+
+  Status Delete(const RecordId& rid);
+
+  /// Visits every record in physical order. The callback may return a
+  /// non-OK status to stop iteration (that status is returned).
+  Status ForEach(
+      const std::function<Status(RecordId, std::string_view)>& fn) const;
+
+  /// Number of data pages in the chain (walks the chain).
+  Result<size_t> CountPages() const;
+
+ private:
+  HeapFile(BufferPool* bp, PageId head) : bp_(bp), head_(head) {}
+
+  // Record tags.
+  static constexpr char kInlineTag = 0;
+  static constexpr char kOverflowTag = 1;
+  // Records at or below this payload size are stored inline.
+  static constexpr size_t kMaxInlinePayload = kPageSize / 4;
+
+  /// Writes `data` into a fresh overflow chain; returns the stub record
+  /// bytes to store inline.
+  Result<std::string> WriteOverflow(std::string_view data);
+  Result<std::string> ReadOverflow(std::string_view stub) const;
+  Status FreeOverflow(std::string_view stub);
+
+  /// Inserts pre-encoded record bytes (tag already applied).
+  Result<RecordId> InsertRaw(std::string_view raw, PageId hint);
+
+  BufferPool* bp_;
+  PageId head_;
+  // Last page an untargeted insert landed on; new pages are linked after it.
+  PageId cursor_ = kInvalidPageId;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,201 @@
+#include "storage/page.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace kimdb {
+
+void SlottedPage::Init() {
+  std::memset(data_, 0, kPageSize);
+  set_lsn(0);
+  set_next_page(kInvalidPageId);
+  set_num_slots(0);
+  set_data_start(static_cast<uint16_t>(kPageSize));
+}
+
+uint64_t SlottedPage::lsn() const { return DecodeFixed64(data_ + kLsnOff); }
+void SlottedPage::set_lsn(uint64_t lsn) { EncodeFixed64(data_ + kLsnOff, lsn); }
+
+PageId SlottedPage::next_page() const {
+  return DecodeFixed32(data_ + kNextOff);
+}
+void SlottedPage::set_next_page(PageId pid) {
+  EncodeFixed32(data_ + kNextOff, pid);
+}
+
+uint16_t SlottedPage::GetU16(size_t off) const {
+  return static_cast<uint16_t>(
+      static_cast<unsigned char>(data_[off]) |
+      (static_cast<uint16_t>(static_cast<unsigned char>(data_[off + 1]))
+       << 8));
+}
+
+void SlottedPage::SetU16(size_t off, uint16_t v) {
+  data_[off] = static_cast<char>(v & 0xff);
+  data_[off + 1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+uint16_t SlottedPage::num_slots() const { return GetU16(kNumSlotsOff); }
+
+uint16_t SlottedPage::SlotOffset(uint16_t slot) const {
+  return GetU16(kSlotArrayOff + 4 * static_cast<size_t>(slot));
+}
+uint16_t SlottedPage::SlotSize(uint16_t slot) const {
+  return GetU16(kSlotArrayOff + 4 * static_cast<size_t>(slot) + 2);
+}
+void SlottedPage::SetSlot(uint16_t slot, uint16_t offset, uint16_t size) {
+  SetU16(kSlotArrayOff + 4 * static_cast<size_t>(slot), offset);
+  SetU16(kSlotArrayOff + 4 * static_cast<size_t>(slot) + 2, size);
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t slot_end = kSlotArrayOff + 4 * static_cast<size_t>(num_slots());
+  size_t ds = data_start();
+  return ds > slot_end ? ds - slot_end : 0;
+}
+
+size_t SlottedPage::FragmentedBytes() const {
+  // Live bytes vs span of the data region.
+  size_t live = 0;
+  for (uint16_t s = 0; s < num_slots(); ++s) {
+    if (SlotOffset(s) != kDeletedOffset) live += SlotSize(s);
+  }
+  size_t span = kPageSize - data_start();
+  return span - live;
+}
+
+void SlottedPage::Compact() {
+  uint16_t n = num_slots();
+  std::vector<std::pair<uint16_t, std::string>> live;  // slot, bytes
+  live.reserve(n);
+  for (uint16_t s = 0; s < n; ++s) {
+    if (SlotOffset(s) != kDeletedOffset) {
+      live.emplace_back(
+          s, std::string(data_ + SlotOffset(s), SlotSize(s)));
+    }
+  }
+  uint16_t write_pos = static_cast<uint16_t>(kPageSize);
+  for (auto& [slot, bytes] : live) {
+    write_pos = static_cast<uint16_t>(write_pos - bytes.size());
+    std::memcpy(data_ + write_pos, bytes.data(), bytes.size());
+    SetSlot(slot, write_pos, static_cast<uint16_t>(bytes.size()));
+  }
+  set_data_start(write_pos);
+}
+
+uint16_t SlottedPage::AllocateSpace(size_t size, size_t extra_slot_bytes) {
+  size_t slot_end =
+      kSlotArrayOff + 4 * static_cast<size_t>(num_slots()) + extra_slot_bytes;
+  if (data_start() >= slot_end && data_start() - slot_end >= size) {
+    uint16_t off = static_cast<uint16_t>(data_start() - size);
+    set_data_start(off);
+    return off;
+  }
+  // Try compaction: recompute what would be free after defragmentation.
+  size_t live = 0;
+  for (uint16_t s = 0; s < num_slots(); ++s) {
+    if (SlotOffset(s) != kDeletedOffset) live += SlotSize(s);
+  }
+  if (kPageSize - live >= slot_end + size) {
+    Compact();
+    uint16_t off = static_cast<uint16_t>(data_start() - size);
+    set_data_start(off);
+    return off;
+  }
+  return 0;
+}
+
+Result<uint16_t> SlottedPage::Insert(std::string_view data) {
+  if (data.size() > kPageSize - kSlotArrayOff - 4) {
+    return Status::InvalidArgument("record too large for a page");
+  }
+  // Reuse a deleted slot if available.
+  uint16_t n = num_slots();
+  uint16_t target = n;
+  size_t extra_slot_bytes = 4;
+  for (uint16_t s = 0; s < n; ++s) {
+    if (SlotOffset(s) == kDeletedOffset) {
+      target = s;
+      extra_slot_bytes = 0;
+      break;
+    }
+  }
+  uint16_t off = AllocateSpace(data.size(), extra_slot_bytes);
+  if (off == 0) return Status::ResourceExhausted("page full");
+  if (target == n) set_num_slots(static_cast<uint16_t>(n + 1));
+  std::memcpy(data_ + off, data.data(), data.size());
+  SetSlot(target, off, static_cast<uint16_t>(data.size()));
+  return target;
+}
+
+Status SlottedPage::InsertAt(uint16_t slot, std::string_view data) {
+  uint16_t n = num_slots();
+  if (slot < n && SlotOffset(slot) != kDeletedOffset) {
+    return Status::AlreadyExists("slot occupied");
+  }
+  size_t extra_slot_bytes =
+      slot >= n ? 4 * (static_cast<size_t>(slot) - n + 1) : 0;
+  uint16_t off = AllocateSpace(data.size(), extra_slot_bytes);
+  if (off == 0) return Status::ResourceExhausted("page full");
+  if (slot >= n) {
+    for (uint16_t s = n; s <= slot; ++s) SetSlot(s, kDeletedOffset, 0);
+    set_num_slots(static_cast<uint16_t>(slot + 1));
+  }
+  std::memcpy(data_ + off, data.data(), data.size());
+  SetSlot(slot, off, static_cast<uint16_t>(data.size()));
+  return Status::OK();
+}
+
+Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= num_slots() || SlotOffset(slot) == kDeletedOffset) {
+    return Status::NotFound("no record at slot");
+  }
+  return std::string_view(data_ + SlotOffset(slot), SlotSize(slot));
+}
+
+Status SlottedPage::Update(uint16_t slot, std::string_view data) {
+  if (slot >= num_slots() || SlotOffset(slot) == kDeletedOffset) {
+    return Status::NotFound("no record at slot");
+  }
+  uint16_t old_size = SlotSize(slot);
+  if (data.size() <= old_size) {
+    std::memmove(data_ + SlotOffset(slot), data.data(), data.size());
+    SetSlot(slot, SlotOffset(slot), static_cast<uint16_t>(data.size()));
+    return Status::OK();
+  }
+  // Growing update: free the old space, then allocate anew (compaction
+  // inside AllocateSpace can reclaim the old bytes). Copies are taken
+  // because Compact() relocates data and `data` may alias this page.
+  std::string old_bytes(data_ + SlotOffset(slot), old_size);
+  std::string new_bytes(data);
+  SetSlot(slot, kDeletedOffset, 0);
+  uint16_t off = AllocateSpace(new_bytes.size(), 0);
+  if (off == 0) {
+    // Roll back: the old record always fits again since we just freed it.
+    uint16_t back = AllocateSpace(old_bytes.size(), 0);
+    std::memcpy(data_ + back, old_bytes.data(), old_bytes.size());
+    SetSlot(slot, back, old_size);
+    return Status::ResourceExhausted("page full");
+  }
+  std::memcpy(data_ + off, new_bytes.data(), new_bytes.size());
+  SetSlot(slot, off, static_cast<uint16_t>(new_bytes.size()));
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= num_slots() || SlotOffset(slot) == kDeletedOffset) {
+    return Status::NotFound("no record at slot");
+  }
+  SetSlot(slot, kDeletedOffset, 0);
+  // Shrink the slot array if trailing slots are deleted.
+  uint16_t n = num_slots();
+  while (n > 0 && SlotOffset(static_cast<uint16_t>(n - 1)) == kDeletedOffset) {
+    --n;
+  }
+  set_num_slots(n);
+  return Status::OK();
+}
+
+}  // namespace kimdb

@@ -1,0 +1,148 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace kimdb {
+namespace {
+
+// On-disk framing: [len fixed32][crc fixed64][payload: len bytes].
+// crc = Hash64(payload). A record is "complete" iff its framing and
+// checksum verify; parsing stops at the first incomplete record.
+Result<WalRecord> DecodePayload(std::string_view payload) {
+  Decoder dec(payload);
+  WalRecord rec;
+  KIMDB_ASSIGN_OR_RETURN(rec.lsn, dec.ReadVarint64());
+  KIMDB_ASSIGN_OR_RETURN(rec.txn_id, dec.ReadVarint64());
+  KIMDB_ASSIGN_OR_RETURN(uint8_t type, dec.ReadFixed8());
+  if (type < 1 || type > 7) return Status::Corruption("bad wal record type");
+  rec.type = static_cast<WalRecordType>(type);
+  KIMDB_ASSIGN_OR_RETURN(rec.key, dec.ReadVarint64());
+  KIMDB_ASSIGN_OR_RETURN(std::string_view before, dec.ReadLengthPrefixed());
+  KIMDB_ASSIGN_OR_RETURN(std::string_view after, dec.ReadLengthPrefixed());
+  rec.before = std::string(before);
+  rec.after = std::string(after);
+  return rec;
+}
+
+}  // namespace
+
+std::string Wal::EncodeRecord(const WalRecord& rec) {
+  std::string payload;
+  PutVarint64(&payload, rec.lsn);
+  PutVarint64(&payload, rec.txn_id);
+  PutFixed8(&payload, static_cast<uint8_t>(rec.type));
+  PutVarint64(&payload, rec.key);
+  PutLengthPrefixed(&payload, rec.before);
+  PutLengthPrefixed(&payload, rec.after);
+
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  PutFixed64(&out, Hash64(payload));
+  out += payload;
+  return out;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  // Scan existing records to find the last complete one and the max LSN.
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  std::string buf;
+  buf.resize(static_cast<size_t>(size));
+  if (size > 0) {
+    ssize_t n = ::pread(fd, buf.data(), buf.size(), 0);
+    if (n != size) {
+      ::close(fd);
+      return Status::IOError("pread wal failed");
+    }
+  }
+  uint64_t next_lsn = 1;
+  size_t pos = 0;
+  while (pos + 12 <= buf.size()) {
+    uint32_t len = DecodeFixed32(buf.data() + pos);
+    if (pos + 12 + len > buf.size()) break;  // torn tail
+    uint64_t crc = DecodeFixed64(buf.data() + pos + 4);
+    std::string_view payload(buf.data() + pos + 12, len);
+    if (Hash64(payload) != crc) break;  // corrupt tail
+    Result<WalRecord> rec = DecodePayload(payload);
+    if (!rec.ok()) break;
+    next_lsn = std::max(next_lsn, rec->lsn + 1);
+    pos += 12 + len;
+  }
+  return std::unique_ptr<Wal>(new Wal(fd, path, next_lsn, pos));
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> Wal::Append(WalRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.lsn = next_lsn_++;
+  std::string bytes = EncodeRecord(rec);
+  ssize_t n = ::pwrite(fd_, bytes.data(), bytes.size(),
+                       static_cast<off_t>(file_end_));
+  if (n != static_cast<ssize_t>(bytes.size())) {
+    return Status::IOError("wal append failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  file_end_ += bytes.size();
+  ++appended_;
+  return rec.lsn;
+}
+
+Status Wal::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("wal fdatasync failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> Wal::ReadAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string buf;
+  buf.resize(file_end_);
+  if (file_end_ > 0) {
+    ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
+    if (n != static_cast<ssize_t>(file_end_)) {
+      return Status::IOError("pread wal failed");
+    }
+  }
+  std::vector<WalRecord> out;
+  size_t pos = 0;
+  while (pos + 12 <= buf.size()) {
+    uint32_t len = DecodeFixed32(buf.data() + pos);
+    if (pos + 12 + len > buf.size()) break;
+    uint64_t crc = DecodeFixed64(buf.data() + pos + 4);
+    std::string_view payload(buf.data() + pos + 12, len);
+    if (Hash64(payload) != crc) break;
+    Result<WalRecord> rec = DecodePayload(payload);
+    if (!rec.ok()) break;
+    out.push_back(std::move(*rec));
+    pos += 12 + len;
+  }
+  return out;
+}
+
+Status Wal::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("wal truncate failed");
+  }
+  file_end_ = 0;
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("wal fdatasync failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace kimdb

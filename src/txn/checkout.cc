@@ -1,0 +1,74 @@
+#include "txn/checkout.h"
+
+namespace kimdb {
+
+Result<std::unique_ptr<PrivateDb>> PrivateDb::Create(std::string name,
+                                                     Catalog* catalog) {
+  auto db = std::unique_ptr<PrivateDb>(new PrivateDb());
+  db->name_ = std::move(name);
+  db->disk_ = DiskManager::OpenInMemory();
+  db->bp_ = std::make_unique<BufferPool>(db->disk_.get(), 512);
+  KIMDB_ASSIGN_OR_RETURN(
+      db->store_,
+      ObjectStore::Open(db->bp_.get(), catalog, /*wal=*/nullptr,
+                        /*attach_to_catalog=*/false));
+  return db;
+}
+
+Result<std::string> CheckoutManager::CheckedOutBy(Oid oid) const {
+  KIMDB_ASSIGN_OR_RETURN(Object obj, shared_->GetRaw(oid));
+  const Value& v = obj.Get(kAttrCheckedOutBy);
+  if (v.kind() != Value::Kind::kString) return std::string();
+  return v.as_string();
+}
+
+bool CheckoutManager::IsCheckedOut(Oid oid) const {
+  Result<std::string> holder = CheckedOutBy(oid);
+  return holder.ok() && !holder->empty();
+}
+
+Status CheckoutManager::CheckWritable(Oid oid) const {
+  if (IsCheckedOut(oid)) {
+    return Status::Busy("object is checked out to a private database");
+  }
+  return Status::OK();
+}
+
+Status CheckoutManager::Checkout(uint64_t txn, PrivateDb* priv, Oid oid) {
+  KIMDB_ASSIGN_OR_RETURN(std::string holder, CheckedOutBy(oid));
+  if (!holder.empty()) {
+    return Status::Busy("object already checked out by '" + holder + "'");
+  }
+  KIMDB_ASSIGN_OR_RETURN(Object obj, shared_->GetRaw(oid));
+  // The private copy keeps its OID and drops the bookkeeping mark.
+  Object copy = obj;
+  copy.Unset(kAttrCheckedOutBy);
+  KIMDB_RETURN_IF_ERROR(priv->store()->ApplyInsert(copy));
+  return shared_->SetAttrSystem(txn, oid, kAttrCheckedOutBy,
+                                Value::Str(priv->name()));
+}
+
+Status CheckoutManager::Checkin(uint64_t txn, PrivateDb* priv, Oid oid) {
+  KIMDB_ASSIGN_OR_RETURN(std::string holder, CheckedOutBy(oid));
+  if (holder != priv->name()) {
+    return Status::FailedPrecondition(
+        "object is not checked out to this private database");
+  }
+  KIMDB_ASSIGN_OR_RETURN(Object modified, priv->store()->GetRaw(oid));
+  modified.Unset(kAttrCheckedOutBy);
+  KIMDB_RETURN_IF_ERROR(shared_->Update(txn, modified));
+  return priv->store()->ApplyDelete(oid);
+}
+
+Status CheckoutManager::CancelCheckout(uint64_t txn, PrivateDb* priv,
+                                       Oid oid) {
+  KIMDB_ASSIGN_OR_RETURN(std::string holder, CheckedOutBy(oid));
+  if (holder != priv->name()) {
+    return Status::FailedPrecondition(
+        "object is not checked out to this private database");
+  }
+  KIMDB_RETURN_IF_ERROR(priv->store()->ApplyDelete(oid));
+  return shared_->SetAttrSystem(txn, oid, kAttrCheckedOutBy, Value::Null());
+}
+
+}  // namespace kimdb

@@ -1,0 +1,71 @@
+#ifndef KIMDB_TXN_CHECKOUT_H_
+#define KIMDB_TXN_CHECKOUT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "object/object_store.h"
+
+namespace kimdb {
+
+/// A private database: an engineer's workspace holding checked-out objects
+/// (paper §3.3: "checkout and checkin of objects between a shared database
+/// and private databases"). It is an in-memory object store sharing the
+/// shared database's catalog, so checked-out objects keep their OIDs and
+/// schema.
+class PrivateDb {
+ public:
+  static Result<std::unique_ptr<PrivateDb>> Create(std::string name,
+                                                   Catalog* catalog);
+
+  const std::string& name() const { return name_; }
+  ObjectStore* store() { return store_.get(); }
+
+ private:
+  PrivateDb() = default;
+
+  std::string name_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> bp_;
+  std::unique_ptr<ObjectStore> store_;
+};
+
+/// Long-duration design transactions via checkout/checkin. A checkout
+/// copies an object into a private database and marks it in the shared
+/// database (kAttrCheckedOutBy); the mark functions as a persistent write
+/// lock that survives process restarts -- exactly the semantics a
+/// multi-session engineering change needs, which short 2PL transactions
+/// cannot provide (paper §2.2 "long-duration, interactive, and cooperative
+/// transactions").
+class CheckoutManager {
+ public:
+  explicit CheckoutManager(ObjectStore* shared) : shared_(shared) {}
+
+  /// Copies the object into `priv` and marks it checked out. Fails if
+  /// already checked out (by anyone).
+  Status Checkout(uint64_t txn, PrivateDb* priv, Oid oid);
+
+  /// Copies the (possibly modified) private object back into the shared
+  /// database and clears the mark. Fails unless `priv` holds the checkout.
+  Status Checkin(uint64_t txn, PrivateDb* priv, Oid oid);
+
+  /// Abandons the private changes and clears the mark.
+  Status CancelCheckout(uint64_t txn, PrivateDb* priv, Oid oid);
+
+  /// Who holds the object ("" if nobody).
+  Result<std::string> CheckedOutBy(Oid oid) const;
+  bool IsCheckedOut(Oid oid) const;
+
+  /// Guard used by the update path of the shared database: an object that
+  /// is checked out may not be modified in place.
+  Status CheckWritable(Oid oid) const;
+
+ private:
+  ObjectStore* shared_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_TXN_CHECKOUT_H_

@@ -1,0 +1,153 @@
+#include "txn/lock_manager.h"
+
+namespace kimdb {
+
+std::string_view LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+bool LockManager::Compatible(LockMode a, LockMode b) {
+  // Standard granularity-locking compatibility matrix.
+  static constexpr bool kCompat[4][4] = {
+      //        IS     IX     S      X
+      /*IS*/ {true, true, true, false},
+      /*IX*/ {true, true, false, false},
+      /*S */ {true, false, true, false},
+      /*X */ {false, false, false, false},
+  };
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+LockMode LockManager::Join(LockMode a, LockMode b) {
+  if (a == b) return a;
+  // IS is the bottom of the lattice; X the top; IX and S are incomparable
+  // (their join is X, a conservative stand-in for SIX).
+  if (a == LockMode::kIS) return b;
+  if (b == LockMode::kIS) return a;
+  if (a == LockMode::kX || b == LockMode::kX) return LockMode::kX;
+  // {IX, S} in some order:
+  return LockMode::kX;
+}
+
+bool LockManager::Grantable(const ResourceState& state, uint64_t txn,
+                            LockMode mode) const {
+  for (const auto& [other, held] : state.holders) {
+    if (other == txn) continue;
+    if (!Compatible(held, mode)) return false;
+  }
+  return true;
+}
+
+bool LockManager::WouldDeadlock(
+    uint64_t txn, const std::vector<uint64_t>& blockers) const {
+  // DFS over waits_for_ starting from the blockers; a path back to `txn`
+  // means adding txn->blocker edges closes a cycle.
+  std::vector<uint64_t> stack(blockers);
+  std::unordered_set<uint64_t> seen;
+  while (!stack.empty()) {
+    uint64_t cur = stack.back();
+    stack.pop_back();
+    if (cur == txn) return true;
+    if (!seen.insert(cur).second) continue;
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) continue;
+    for (uint64_t next : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+Status LockManager::LockInternal(uint64_t txn, const LockResource& res,
+                                 LockMode mode, bool wait) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // NOTE: ReleaseAll may erase table_ entries while we sleep on cv_, so the
+  // resource state must be re-fetched after every wait -- never held by
+  // reference across a wait.
+  LockMode needed = mode;
+  {
+    ResourceState& state = table_[res];
+    auto mine = state.holders.find(txn);
+    if (mine != state.holders.end()) {
+      needed = Join(mine->second, mode);
+      if (needed == mine->second) return Status::OK();  // already covered
+      ++stats_.upgrades;
+    }
+  }
+
+  while (true) {
+    ResourceState& state = table_[res];
+    if (Grantable(state, txn, needed)) break;
+    if (!wait) return Status::Busy("lock conflict");
+    std::vector<uint64_t> blockers;
+    for (const auto& [other, held] : state.holders) {
+      if (other != txn && !Compatible(held, needed)) blockers.push_back(other);
+    }
+    if (WouldDeadlock(txn, blockers)) {
+      ++stats_.deadlocks;
+      return Status::Aborted("deadlock detected; transaction chosen as "
+                             "victim");
+    }
+    waits_for_[txn] = {blockers.begin(), blockers.end()};
+    ++stats_.waits;
+    cv_.wait(lock);
+    waits_for_.erase(txn);
+  }
+  table_[res].holders[txn] = needed;
+  ++stats_.acquired;
+  return Status::OK();
+}
+
+Status LockManager::Lock(uint64_t txn, const LockResource& res,
+                         LockMode mode) {
+  return LockInternal(txn, res, mode, /*wait=*/true);
+}
+
+Status LockManager::TryLock(uint64_t txn, const LockResource& res,
+                            LockMode mode) {
+  return LockInternal(txn, res, mode, /*wait=*/false);
+}
+
+void LockManager::ReleaseAll(uint64_t txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = table_.begin(); it != table_.end();) {
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  waits_for_.erase(txn);
+  cv_.notify_all();
+}
+
+std::optional<LockMode> LockManager::HeldMode(
+    uint64_t txn, const LockResource& res) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(res);
+  if (it == table_.end()) return std::nullopt;
+  auto h = it->second.holders.find(txn);
+  if (h == it->second.holders.end()) return std::nullopt;
+  return h->second;
+}
+
+LockManagerStats LockManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void LockManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = LockManagerStats{};
+}
+
+}  // namespace kimdb

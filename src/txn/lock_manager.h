@@ -1,0 +1,115 @@
+#ifndef KIMDB_TXN_LOCK_MANAGER_H_
+#define KIMDB_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "model/oid.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace kimdb {
+
+/// Granularity-locking modes (Gray). KIMDB locks at two granules -- class
+/// (covering the whole extent) and object -- with intention modes on the
+/// class level, per the paper's demand that concurrency control account
+/// for the class hierarchy and aggregation structure (§3.2, GARZ88).
+enum class LockMode : uint8_t { kIS = 0, kIX = 1, kS = 2, kX = 3 };
+
+std::string_view LockModeName(LockMode m);
+
+/// A lockable resource: a class (by id) or an object (by OID).
+struct LockResource {
+  enum class Kind : uint8_t { kClass, kObject };
+  Kind kind;
+  uint64_t id;
+
+  static LockResource Class(ClassId cls) {
+    return LockResource{Kind::kClass, cls};
+  }
+  static LockResource Object(Oid oid) {
+    return LockResource{Kind::kObject, oid.raw()};
+  }
+  bool operator==(const LockResource&) const = default;
+};
+
+struct LockResourceHash {
+  size_t operator()(const LockResource& r) const {
+    return std::hash<uint64_t>{}(r.id * 2 +
+                                 (r.kind == LockResource::Kind::kClass ? 0
+                                                                       : 1));
+  }
+};
+
+struct LockManagerStats {
+  uint64_t acquired = 0;
+  uint64_t waits = 0;      // requests that had to block
+  uint64_t deadlocks = 0;  // aborted victims
+  uint64_t upgrades = 0;
+};
+
+/// Blocking lock manager with strict 2PL support, lock upgrades, and
+/// waits-for-graph deadlock detection (the requester aborts with kAborted
+/// when its wait would close a cycle).
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires (or upgrades to) `mode` on `res` for `txn`. Blocks while
+  /// incompatible locks are held; returns Aborted if waiting would
+  /// deadlock. Re-acquiring an equal/weaker mode is a no-op.
+  Status Lock(uint64_t txn, const LockResource& res, LockMode mode);
+
+  /// Non-blocking variant: returns Busy instead of waiting.
+  Status TryLock(uint64_t txn, const LockResource& res, LockMode mode);
+
+  /// Releases everything `txn` holds (commit/abort time -- strict 2PL).
+  void ReleaseAll(uint64_t txn);
+
+  /// Modes currently held by `txn` on `res` (testing/introspection).
+  std::optional<LockMode> HeldMode(uint64_t txn,
+                                   const LockResource& res) const;
+
+  LockManagerStats stats() const;
+  void ResetStats();
+
+ private:
+  struct ResourceState {
+    // txn -> granted mode.
+    std::unordered_map<uint64_t, LockMode> holders;
+  };
+
+  static bool Compatible(LockMode a, LockMode b);
+  /// Least mode covering both (lattice join; IX vs S joins to X).
+  static LockMode Join(LockMode a, LockMode b);
+
+  /// True if `txn` can be granted `mode` on `state` right now.
+  bool Grantable(const ResourceState& state, uint64_t txn,
+                 LockMode mode) const;
+
+  /// Deadlock check: would txn waiting on `blockers` close a cycle?
+  bool WouldDeadlock(uint64_t txn,
+                     const std::vector<uint64_t>& blockers) const;
+
+  Status LockInternal(uint64_t txn, const LockResource& res, LockMode mode,
+                      bool wait);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<LockResource, ResourceState, LockResourceHash> table_;
+  // waits-for edges of currently blocked transactions.
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> waits_for_;
+  LockManagerStats stats_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_TXN_LOCK_MANAGER_H_

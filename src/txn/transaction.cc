@@ -1,0 +1,186 @@
+#include "txn/transaction.h"
+
+namespace kimdb {
+
+Result<uint64_t> TxnManager::Begin() {
+  uint64_t txn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    txn = next_txn_++;
+    active_[txn] = TxnState{};
+    ++stats_.begun;
+  }
+  KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kBegin));
+  return txn;
+}
+
+Status TxnManager::CheckActive(uint64_t txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.count(txn)) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  return Status::OK();
+}
+
+Status TxnManager::LogControl(uint64_t txn, WalRecordType type) {
+  if (store_->wal() == nullptr) return Status::OK();
+  WalRecord rec;
+  rec.txn_id = txn;
+  rec.type = type;
+  KIMDB_RETURN_IF_ERROR(store_->wal()->Append(std::move(rec)).status());
+  return Status::OK();
+}
+
+Status TxnManager::Commit(uint64_t txn) {
+  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
+  KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kCommit));
+  if (store_->wal() != nullptr) {
+    KIMDB_RETURN_IF_ERROR(store_->wal()->Sync());  // force the log
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(txn);
+    ++stats_.committed;
+  }
+  locks_->ReleaseAll(txn);
+  return Status::OK();
+}
+
+Status TxnManager::Abort(uint64_t txn) {
+  std::vector<UndoRecord> undo;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::FailedPrecondition("transaction is not active");
+    }
+    undo = std::move(it->second.undo);
+    active_.erase(it);
+    ++stats_.aborted;
+  }
+  // Roll back in reverse order through the unlogged apply path (recovery
+  // would redo the same inverses from the WAL if we crash mid-abort).
+  Status first_error;
+  for (auto rit = undo.rbegin(); rit != undo.rend(); ++rit) {
+    Status st;
+    switch (rit->kind) {
+      case UndoKind::kInsert:
+        st = store_->ApplyDelete(rit->oid);
+        break;
+      case UndoKind::kUpdate:
+      case UndoKind::kDelete:
+        st = store_->ApplyUpdate(rit->before);
+        break;
+    }
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kAbort));
+  locks_->ReleaseAll(txn);
+  return first_error;
+}
+
+bool TxnManager::IsActive(uint64_t txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.count(txn) > 0;
+}
+
+size_t TxnManager::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+Result<Oid> TxnManager::Insert(uint64_t txn, ClassId cls, Object contents,
+                               Oid cluster_hint) {
+  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
+  KIMDB_RETURN_IF_ERROR(
+      locks_->Lock(txn, LockResource::Class(cls), LockMode::kIX));
+  KIMDB_ASSIGN_OR_RETURN(Oid oid,
+                         store_->Insert(txn, cls, std::move(contents),
+                                        cluster_hint));
+  // The fresh object is implicitly X-locked (no one else can see it before
+  // commit under 2PL, but taking the lock keeps the protocol uniform).
+  KIMDB_RETURN_IF_ERROR(
+      locks_->Lock(txn, LockResource::Object(oid), LockMode::kX));
+  std::lock_guard<std::mutex> lock(mu_);
+  active_[txn].undo.push_back(UndoRecord{UndoKind::kInsert, oid, Object{}});
+  return oid;
+}
+
+Result<Object> TxnManager::Get(uint64_t txn, Oid oid) {
+  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
+  KIMDB_RETURN_IF_ERROR(locks_->Lock(
+      txn, LockResource::Class(oid.class_id()), LockMode::kIS));
+  KIMDB_RETURN_IF_ERROR(
+      locks_->Lock(txn, LockResource::Object(oid), LockMode::kS));
+  return store_->Get(oid);
+}
+
+Status TxnManager::Update(uint64_t txn, const Object& obj) {
+  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
+  KIMDB_RETURN_IF_ERROR(locks_->Lock(
+      txn, LockResource::Class(obj.class_id()), LockMode::kIX));
+  KIMDB_RETURN_IF_ERROR(
+      locks_->Lock(txn, LockResource::Object(obj.oid()), LockMode::kX));
+  KIMDB_ASSIGN_OR_RETURN(Object before, store_->GetRaw(obj.oid()));
+  KIMDB_RETURN_IF_ERROR(store_->Update(txn, obj));
+  std::lock_guard<std::mutex> lock(mu_);
+  active_[txn].undo.push_back(
+      UndoRecord{UndoKind::kUpdate, obj.oid(), std::move(before)});
+  return Status::OK();
+}
+
+Status TxnManager::SetAttr(uint64_t txn, Oid oid, std::string_view attr,
+                           Value value) {
+  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
+  KIMDB_RETURN_IF_ERROR(locks_->Lock(
+      txn, LockResource::Class(oid.class_id()), LockMode::kIX));
+  KIMDB_RETURN_IF_ERROR(
+      locks_->Lock(txn, LockResource::Object(oid), LockMode::kX));
+  KIMDB_ASSIGN_OR_RETURN(Object before, store_->GetRaw(oid));
+  KIMDB_RETURN_IF_ERROR(store_->SetAttr(txn, oid, attr, std::move(value)));
+  std::lock_guard<std::mutex> lock(mu_);
+  active_[txn].undo.push_back(
+      UndoRecord{UndoKind::kUpdate, oid, std::move(before)});
+  return Status::OK();
+}
+
+Status TxnManager::Delete(uint64_t txn, Oid oid) {
+  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
+  KIMDB_RETURN_IF_ERROR(locks_->Lock(
+      txn, LockResource::Class(oid.class_id()), LockMode::kIX));
+  KIMDB_RETURN_IF_ERROR(
+      locks_->Lock(txn, LockResource::Object(oid), LockMode::kX));
+  KIMDB_ASSIGN_OR_RETURN(Object before, store_->GetRaw(oid));
+  KIMDB_RETURN_IF_ERROR(store_->Delete(txn, oid));
+  std::lock_guard<std::mutex> lock(mu_);
+  active_[txn].undo.push_back(
+      UndoRecord{UndoKind::kDelete, oid, std::move(before)});
+  return Status::OK();
+}
+
+Status TxnManager::LockScan(uint64_t txn, ClassId cls, bool hierarchy) {
+  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
+  if (!hierarchy) {
+    return locks_->Lock(txn, LockResource::Class(cls), LockMode::kS);
+  }
+  // Class-hierarchy granule: the whole subtree is read-locked.
+  for (ClassId c : store_->catalog()->Subtree(cls)) {
+    KIMDB_RETURN_IF_ERROR(
+        locks_->Lock(txn, LockResource::Class(c), LockMode::kS));
+  }
+  return Status::OK();
+}
+
+Status TxnManager::LockSchemaChange(uint64_t txn, ClassId cls) {
+  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
+  // A schema change on a class affects its whole subtree (inherited
+  // attributes): X-lock every class beneath it.
+  for (ClassId c : store_->catalog()->Subtree(cls)) {
+    KIMDB_RETURN_IF_ERROR(
+        locks_->Lock(txn, LockResource::Class(c), LockMode::kX));
+  }
+  return Status::OK();
+}
+
+}  // namespace kimdb

@@ -1,0 +1,88 @@
+#ifndef KIMDB_TXN_TRANSACTION_H_
+#define KIMDB_TXN_TRANSACTION_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "object/object_store.h"
+#include "txn/lock_manager.h"
+
+namespace kimdb {
+
+struct TxnStats {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+};
+
+/// Transaction manager: strict two-phase locking over the hierarchical
+/// lock manager, WAL begin/commit/abort records, and in-memory undo for
+/// rollback. All object mutations in a transactional application go
+/// through these wrappers so that
+///
+///  * reads take IS(class) + S(object), writes IX(class) + X(object),
+///  * extent scans take S(class) -- and hierarchy-scope scans lock the
+///    whole subtree of classes (GARZ88's class-hierarchy granule),
+///  * schema changes take X on every affected class,
+///  * abort rolls back via the inverse operations in reverse order,
+///  * commit forces the log (WAL commit record + fdatasync).
+class TxnManager {
+ public:
+  TxnManager(ObjectStore* store, LockManager* locks)
+      : store_(store), locks_(locks) {}
+
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  Result<uint64_t> Begin();
+  Status Commit(uint64_t txn);
+  Status Abort(uint64_t txn);
+  bool IsActive(uint64_t txn) const;
+  size_t active_count() const;
+
+  // --- lock-guarded object operations --------------------------------------
+
+  Result<Oid> Insert(uint64_t txn, ClassId cls, Object contents,
+                     Oid cluster_hint = kNilOid);
+  Result<Object> Get(uint64_t txn, Oid oid);
+  Status Update(uint64_t txn, const Object& obj);
+  Status SetAttr(uint64_t txn, Oid oid, std::string_view attr, Value value);
+  Status Delete(uint64_t txn, Oid oid);
+
+  /// Lock an extent for scanning (S on the class; with `hierarchy`, S on
+  /// every class of the subtree). Queries call this before evaluating.
+  Status LockScan(uint64_t txn, ClassId cls, bool hierarchy);
+
+  /// Lock classes exclusively (schema evolution).
+  Status LockSchemaChange(uint64_t txn, ClassId cls);
+
+  const TxnStats& stats() const { return stats_; }
+  LockManager* lock_manager() const { return locks_; }
+
+ private:
+  enum class UndoKind { kInsert, kUpdate, kDelete };
+  struct UndoRecord {
+    UndoKind kind;
+    Oid oid;
+    Object before;  // valid for kUpdate/kDelete
+  };
+  struct TxnState {
+    std::vector<UndoRecord> undo;
+  };
+
+  Status CheckActive(uint64_t txn) const;
+  Status LogControl(uint64_t txn, WalRecordType type);
+
+  ObjectStore* store_;
+  LockManager* locks_;
+  mutable std::mutex mu_;
+  uint64_t next_txn_ = 1;
+  std::unordered_map<uint64_t, TxnState> active_;
+  TxnStats stats_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_TXN_TRANSACTION_H_

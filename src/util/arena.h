@@ -1,0 +1,55 @@
+#ifndef KIMDB_UTIL_ARENA_H_
+#define KIMDB_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kimdb {
+
+/// Bump-pointer allocator for short-lived, same-lifetime allocations
+/// (query plan nodes, parser AST nodes). All memory is released when the
+/// arena is destroyed; individual frees are not supported.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 4096) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes) {
+    bytes = (bytes + 7) & ~size_t{7};  // 8-byte alignment
+    if (bytes > remaining_) {
+      size_t alloc = bytes > block_size_ ? bytes : block_size_;
+      blocks_.push_back(std::make_unique<char[]>(alloc));
+      ptr_ = blocks_.back().get();
+      remaining_ = alloc;
+      total_ += alloc;
+    }
+    char* out = ptr_;
+    ptr_ += bytes;
+    remaining_ -= bytes;
+    return out;
+  }
+
+  /// Constructs a T inside the arena. T's destructor is never run; only use
+  /// for trivially-destructible or arena-lifetime types.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    return new (Allocate(sizeof(T))) T(std::forward<Args>(args)...);
+  }
+
+  size_t bytes_allocated() const { return total_; }
+
+ private:
+  size_t block_size_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_UTIL_ARENA_H_

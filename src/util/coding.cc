@@ -1,0 +1,148 @@
+#include "util/coding.h"
+
+namespace kimdb {
+
+void PutFixed8(std::string* dst, uint8_t value) {
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[2];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  dst->append(buf, 2);
+}
+
+void EncodeFixed32(char* dst, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+void EncodeFixed64(char* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeFixed32(const char* src) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(src[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t DecodeFixed64(const char* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(src[i])) << (8 * i);
+  }
+  return v;
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+void PutDouble(std::string* dst, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+Result<uint8_t> Decoder::ReadFixed8() {
+  if (data_.size() < 1) return Status::Corruption("truncated fixed8");
+  uint8_t v = static_cast<unsigned char>(data_[0]);
+  data_.remove_prefix(1);
+  return v;
+}
+
+Result<uint16_t> Decoder::ReadFixed16() {
+  if (data_.size() < 2) return Status::Corruption("truncated fixed16");
+  uint16_t v = static_cast<uint16_t>(
+      static_cast<unsigned char>(data_[0]) |
+      (static_cast<uint16_t>(static_cast<unsigned char>(data_[1])) << 8));
+  data_.remove_prefix(2);
+  return v;
+}
+
+Result<uint32_t> Decoder::ReadFixed32() {
+  if (data_.size() < 4) return Status::Corruption("truncated fixed32");
+  uint32_t v = DecodeFixed32(data_.data());
+  data_.remove_prefix(4);
+  return v;
+}
+
+Result<uint64_t> Decoder::ReadFixed64() {
+  if (data_.size() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t v = DecodeFixed64(data_.data());
+  data_.remove_prefix(8);
+  return v;
+}
+
+Result<uint32_t> Decoder::ReadVarint32() {
+  KIMDB_ASSIGN_OR_RETURN(uint64_t v, ReadVarint64());
+  if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  return static_cast<uint32_t>(v);
+}
+
+Result<uint64_t> Decoder::ReadVarint64() {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !data_.empty(); shift += 7) {
+    uint8_t byte = static_cast<unsigned char>(data_[0]);
+    data_.remove_prefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return result;
+  }
+  return Status::Corruption("truncated or overlong varint64");
+}
+
+Result<std::string_view> Decoder::ReadLengthPrefixed() {
+  KIMDB_ASSIGN_OR_RETURN(uint32_t len, ReadVarint32());
+  if (data_.size() < len) {
+    return Status::Corruption("truncated length-prefixed string");
+  }
+  std::string_view out = data_.substr(0, len);
+  data_.remove_prefix(len);
+  return out;
+}
+
+Result<double> Decoder::ReadDouble() {
+  KIMDB_ASSIGN_OR_RETURN(uint64_t bits, ReadFixed64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace kimdb

@@ -1,0 +1,65 @@
+#ifndef KIMDB_UTIL_CODING_H_
+#define KIMDB_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace kimdb {
+
+// Little-endian fixed-width and varint encoding into std::string buffers.
+// Used by object serialization, the WAL, catalog persistence and index
+// pages so that on-disk formats are platform independent.
+
+void PutFixed8(std::string* dst, uint8_t value);
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Length-prefixed (varint32) byte string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+void PutDouble(std::string* dst, double value);
+
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+uint32_t DecodeFixed32(const char* src);
+uint64_t DecodeFixed64(const char* src);
+
+/// Sequential decoder over a byte span. Each Read* consumes bytes and
+/// returns Corruption if the input is exhausted or malformed.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadFixed8();
+  Result<uint16_t> ReadFixed16();
+  Result<uint32_t> ReadFixed32();
+  Result<uint64_t> ReadFixed64();
+  Result<uint32_t> ReadVarint32();
+  Result<uint64_t> ReadVarint64();
+  Result<std::string_view> ReadLengthPrefixed();
+  Result<double> ReadDouble();
+
+  bool empty() const { return data_.empty(); }
+  size_t remaining() const { return data_.size(); }
+
+ private:
+  std::string_view data_;
+};
+
+/// ZigZag transform so signed values varint-encode compactly.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace kimdb
+
+#endif  // KIMDB_UTIL_CODING_H_

@@ -1,0 +1,26 @@
+#ifndef KIMDB_UTIL_HASH_H_
+#define KIMDB_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace kimdb {
+
+/// FNV-1a 64-bit hash; used for hash joins, hash indexes and checksums of
+/// WAL records (not cryptographic).
+inline uint64_t Hash64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ull) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4));
+}
+
+}  // namespace kimdb
+
+#endif  // KIMDB_UTIL_HASH_H_

@@ -1,0 +1,98 @@
+#ifndef KIMDB_UTIL_RANDOM_H_
+#define KIMDB_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kimdb {
+
+/// Small, fast, deterministic PRNG (xorshift64*). Deterministic seeding keeps
+/// tests and benchmark workloads reproducible across runs.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Random lowercase ASCII string of length `len`.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipfian item generator over [0, n): benchmark workloads use this to model
+/// skewed access (hot classes / hot objects).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    zeta_n_ = Zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - Zeta(2, theta) / zeta_n_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zeta_n_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_UTIL_RANDOM_H_

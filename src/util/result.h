@@ -1,0 +1,88 @@
+#ifndef KIMDB_UTIL_RESULT_H_
+#define KIMDB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace kimdb {
+
+/// A value-or-error type: either holds a `T` or a non-OK Status.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success) and from Status (failure), mirroring
+  /// arrow::Result. A Status used to construct a Result must not be OK.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression. RocksDB/Arrow idiom.
+#define KIMDB_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::kimdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define KIMDB_CONCAT_IMPL(a, b) a##b
+#define KIMDB_CONCAT(a, b) KIMDB_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+/// value to `lhs` (which may include a type declaration).
+#define KIMDB_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  KIMDB_ASSIGN_OR_RETURN_IMPL(KIMDB_CONCAT(_res_, __LINE__), lhs, \
+                              rexpr)
+
+#define KIMDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+}  // namespace kimdb
+
+#endif  // KIMDB_UTIL_RESULT_H_

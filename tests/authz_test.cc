@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "authz/authorization.h"
+#include "index/index_manager.h"
+#include "query/query_engine.h"
+#include "query/views.h"
+#include "storage/disk_manager.h"
+
+namespace kimdb {
+namespace {
+
+class AuthzTest : public ::testing::Test {
+ protected:
+  AuthzTest() : authz_(&cat_) {
+    vehicle_ = *cat_.CreateClass("Vehicle", {}, {{"Weight", Domain::Int()}});
+    automobile_ = *cat_.CreateClass("Automobile", {vehicle_}, {});
+    truck_ = *cat_.CreateClass("Truck", {vehicle_}, {});
+    company_ = *cat_.CreateClass("Company", {}, {});
+    user_ = *authz_.CreateUser("alice");
+    role_ = *authz_.CreateRole("engineer");
+    EXPECT_TRUE(authz_.GrantRoleToUser(role_, user_).ok());
+  }
+
+  bool Can(Privilege p, ClassId c) { return *authz_.Check(user_, p, c); }
+
+  Catalog cat_;
+  AuthorizationManager authz_;
+  ClassId vehicle_, automobile_, truck_, company_;
+  UserId user_;
+  RoleId role_;
+};
+
+TEST_F(AuthzTest, NoGrantsMeansNoAccess) {
+  EXPECT_FALSE(Can(Privilege::kRead, vehicle_));
+  EXPECT_FALSE(Can(Privilege::kWrite, vehicle_));
+}
+
+TEST_F(AuthzTest, GrantPropagatesToSubclasses) {
+  ASSERT_TRUE(authz_.Grant(role_, Privilege::kRead, vehicle_).ok());
+  EXPECT_TRUE(Can(Privilege::kRead, vehicle_));
+  EXPECT_TRUE(Can(Privilege::kRead, automobile_));  // implicit
+  EXPECT_TRUE(Can(Privilege::kRead, truck_));
+  EXPECT_FALSE(Can(Privilege::kRead, company_));    // unrelated class
+  EXPECT_FALSE(Can(Privilege::kWrite, truck_));     // different privilege
+}
+
+TEST_F(AuthzTest, WriteImpliesRead) {
+  ASSERT_TRUE(authz_.Grant(role_, Privilege::kWrite, vehicle_).ok());
+  EXPECT_TRUE(Can(Privilege::kWrite, truck_));
+  EXPECT_TRUE(Can(Privilege::kRead, truck_));
+}
+
+TEST_F(AuthzTest, NearestExplicitAuthorizationWins) {
+  // Grant broadly, deny on one subclass: the nearer denial wins there.
+  ASSERT_TRUE(authz_.Grant(role_, Privilege::kRead, vehicle_).ok());
+  ASSERT_TRUE(authz_.Deny(role_, Privilege::kRead, truck_).ok());
+  EXPECT_TRUE(Can(Privilege::kRead, vehicle_));
+  EXPECT_TRUE(Can(Privilege::kRead, automobile_));
+  EXPECT_FALSE(Can(Privilege::kRead, truck_));
+  // Deny broadly, grant on a subclass: the nearer grant wins there.
+  ASSERT_TRUE(authz_.Revoke(role_, Privilege::kRead, vehicle_).ok());
+  ASSERT_TRUE(authz_.Revoke(role_, Privilege::kRead, truck_).ok());
+  ASSERT_TRUE(authz_.Deny(role_, Privilege::kRead, vehicle_).ok());
+  ASSERT_TRUE(authz_.Grant(role_, Privilege::kRead, automobile_).ok());
+  EXPECT_FALSE(Can(Privilege::kRead, vehicle_));
+  EXPECT_TRUE(Can(Privilege::kRead, automobile_));
+  EXPECT_FALSE(Can(Privilege::kRead, truck_));
+}
+
+TEST_F(AuthzTest, DenyBeatsGrantAtEqualDistance) {
+  ASSERT_TRUE(authz_.Grant(role_, Privilege::kRead, truck_).ok());
+  ASSERT_TRUE(authz_.Deny(role_, Privilege::kRead, truck_).ok());
+  // The map stores one entry per (role, class, priv); Deny overwrote it.
+  EXPECT_FALSE(Can(Privilege::kRead, truck_));
+}
+
+TEST_F(AuthzTest, RolesCompose) {
+  RoleId second = *authz_.CreateRole("auditor");
+  ASSERT_TRUE(authz_.Grant(second, Privilege::kRead, company_).ok());
+  EXPECT_FALSE(Can(Privilege::kRead, company_));
+  ASSERT_TRUE(authz_.GrantRoleToUser(second, user_).ok());
+  EXPECT_TRUE(Can(Privilege::kRead, company_));
+  ASSERT_TRUE(authz_.RevokeRoleFromUser(second, user_).ok());
+  EXPECT_FALSE(Can(Privilege::kRead, company_));
+}
+
+TEST_F(AuthzTest, RequireReturnsPermissionDenied) {
+  EXPECT_TRUE(authz_.Require(user_, Privilege::kRead, vehicle_)
+                  .IsPermissionDenied());
+  ASSERT_TRUE(authz_.Grant(role_, Privilege::kRead, vehicle_).ok());
+  EXPECT_TRUE(authz_.Require(user_, Privilege::kRead, vehicle_).ok());
+}
+
+TEST_F(AuthzTest, DuplicatePrincipalsRejected) {
+  EXPECT_TRUE(authz_.CreateUser("alice").status().IsAlreadyExists());
+  EXPECT_TRUE(authz_.CreateRole("engineer").status().IsAlreadyExists());
+  EXPECT_TRUE(authz_.FindUser("alice").ok());
+  EXPECT_TRUE(authz_.FindUser("nobody").status().IsNotFound());
+}
+
+// Content-based authorization through views needs live objects.
+class ContentAuthzTest : public ::testing::Test {
+ protected:
+  ContentAuthzTest()
+      : disk_(DiskManager::OpenInMemory()),
+        bp_(disk_.get(), 128),
+        authz_(&cat_) {
+    vehicle_ = *cat_.CreateClass("Vehicle", {}, {{"Weight", Domain::Int()}});
+    auto store = ObjectStore::Open(&bp_, &cat_, nullptr);
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+    engine_ = std::make_unique<QueryEngine>(store_.get(), nullptr);
+    views_ = std::make_unique<ViewManager>(engine_.get());
+
+    Query light;
+    light.target = vehicle_;
+    light.predicate = Expr::Lt(Expr::Path({"Weight"}),
+                               Expr::Const(Value::Int(3000)));
+    EXPECT_TRUE(views_->DefineView("LightVehicles", light).ok());
+
+    user_ = *authz_.CreateUser("bob");
+    role_ = *authz_.CreateRole("viewer");
+    EXPECT_TRUE(authz_.GrantRoleToUser(role_, user_).ok());
+    EXPECT_TRUE(authz_.GrantView(role_, "LightVehicles").ok());
+  }
+
+  Oid Put(int weight) {
+    auto obj = BuildObject(cat_, vehicle_, {{"Weight", Value::Int(weight)}});
+    EXPECT_TRUE(obj.ok());
+    auto oid = store_->Insert(1, vehicle_, std::move(*obj));
+    EXPECT_TRUE(oid.ok());
+    return *oid;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  BufferPool bp_;
+  Catalog cat_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<ViewManager> views_;
+  AuthorizationManager authz_;
+  ClassId vehicle_;
+  UserId user_;
+  RoleId role_;
+};
+
+TEST_F(ContentAuthzTest, ViewGrantAuthorizesOnlyMatchingObjects) {
+  Oid light = Put(1500);
+  Oid heavy = Put(9000);
+  // No class-level grant: class check fails for both.
+  EXPECT_FALSE(*authz_.Check(user_, Privilege::kRead, vehicle_));
+  // Object-level: the view admits only the light vehicle.
+  EXPECT_TRUE(*authz_.CheckObject(user_, Privilege::kRead,
+                                  *store_->Get(light), views_.get()));
+  EXPECT_FALSE(*authz_.CheckObject(user_, Privilege::kRead,
+                                   *store_->Get(heavy), views_.get()));
+  // Views never authorize writes.
+  EXPECT_FALSE(*authz_.CheckObject(user_, Privilege::kWrite,
+                                   *store_->Get(light), views_.get()));
+}
+
+TEST_F(ContentAuthzTest, RevokeViewRemovesAccess) {
+  Oid light = Put(1000);
+  ASSERT_TRUE(authz_.RevokeView(role_, "LightVehicles").ok());
+  EXPECT_FALSE(*authz_.CheckObject(user_, Privilege::kRead,
+                                   *store_->Get(light), views_.get()));
+}
+
+TEST_F(ContentAuthzTest, ClassGrantShortCircuitsViewCheck) {
+  Oid heavy = Put(9000);
+  ASSERT_TRUE(authz_.Grant(role_, Privilege::kRead, vehicle_).ok());
+  EXPECT_TRUE(*authz_.CheckObject(user_, Privilege::kRead,
+                                  *store_->Get(heavy), views_.get()));
+}
+
+}  // namespace
+}  // namespace kimdb

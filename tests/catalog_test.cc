@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/method_registry.h"
+
+namespace kimdb {
+namespace {
+
+// Builds the paper's Figure 1 schema (Vehicle / Company hierarchy).
+struct Fig1 {
+  Catalog cat;
+  ClassId vehicle, automobile, domestic_auto, truck;
+  ClassId company, auto_company, truck_company, japanese_auto_company;
+  ClassId vehicle_engine;
+
+  Fig1() {
+    company = *cat.CreateClass(
+        "Company", {},
+        {{"Name", Domain::String()}, {"Location", Domain::String()}});
+    auto_company = *cat.CreateClass("AutoCompany", {company}, {});
+    truck_company = *cat.CreateClass("TruckCompany", {company}, {});
+    japanese_auto_company =
+        *cat.CreateClass("JapaneseAutoCompany", {auto_company}, {});
+    vehicle_engine = *cat.CreateClass(
+        "VehicleEngine", {}, {{"Displacement", Domain::Int()}});
+    vehicle = *cat.CreateClass(
+        "Vehicle", {},
+        {{"Weight", Domain::Int()},
+         {"Manufacturer", Domain::Ref(company)},
+         {"Engine", Domain::Ref(vehicle_engine)},
+         {"Drivetrain", Domain::String()}});
+    automobile = *cat.CreateClass("Automobile", {vehicle}, {});
+    domestic_auto = *cat.CreateClass("DomesticAutomobile", {automobile}, {});
+    truck = *cat.CreateClass("Truck", {vehicle},
+                             {{"Payload", Domain::Int()}});
+  }
+};
+
+TEST(CatalogTest, RootClassExists) {
+  Catalog cat;
+  auto root = cat.FindClass("Object");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, kRootClassId);
+}
+
+TEST(CatalogTest, CreateAndFindClass) {
+  Catalog cat;
+  auto id = cat.CreateClass("Shape", {}, {{"Center", Domain::String()}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*cat.FindClass("Shape"), *id);
+  auto def = cat.GetClass(*id);
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ((*def)->name, "Shape");
+  EXPECT_EQ((*def)->supers, std::vector<ClassId>{kRootClassId});
+}
+
+TEST(CatalogTest, DuplicateClassNameRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateClass("A", {}, {}).ok());
+  EXPECT_TRUE(cat.CreateClass("A", {}, {}).status().IsAlreadyExists());
+}
+
+TEST(CatalogTest, UnknownSuperclassRejected) {
+  Catalog cat;
+  EXPECT_TRUE(cat.CreateClass("A", {999}, {}).status().IsNotFound());
+}
+
+TEST(CatalogTest, DuplicateAttributeRejected) {
+  Catalog cat;
+  auto r = cat.CreateClass(
+      "A", {}, {{"x", Domain::Int()}, {"x", Domain::String()}});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, AttributesInheritDownTheHierarchy) {
+  Fig1 f;
+  // Truck inherits Weight/Manufacturer/Engine/Drivetrain and adds Payload.
+  auto attrs = f.cat.EffectiveAttrs(f.truck);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 5u);
+  auto weight = f.cat.ResolveAttr(f.truck, "Weight");
+  ASSERT_TRUE(weight.ok());
+  EXPECT_EQ((*weight)->defined_in, f.vehicle);
+  auto payload = f.cat.ResolveAttr(f.truck, "Payload");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ((*payload)->defined_in, f.truck);
+  // Vehicle itself does not see Payload.
+  EXPECT_TRUE(f.cat.ResolveAttr(f.vehicle, "Payload").status().IsNotFound());
+}
+
+TEST(CatalogTest, IsSubclassOfIsReflexiveTransitive) {
+  Fig1 f;
+  EXPECT_TRUE(f.cat.IsSubclassOf(f.truck, f.truck));
+  EXPECT_TRUE(f.cat.IsSubclassOf(f.domestic_auto, f.vehicle));
+  EXPECT_TRUE(f.cat.IsSubclassOf(f.japanese_auto_company, f.company));
+  EXPECT_FALSE(f.cat.IsSubclassOf(f.vehicle, f.truck));
+  EXPECT_FALSE(f.cat.IsSubclassOf(f.truck, f.company));
+  // Everything is a subclass of the root.
+  EXPECT_TRUE(f.cat.IsSubclassOf(f.truck, kRootClassId));
+}
+
+TEST(CatalogTest, SubtreeReturnsClassHierarchyScope) {
+  Fig1 f;
+  std::vector<ClassId> sub = f.cat.Subtree(f.vehicle);
+  EXPECT_EQ(sub.size(), 4u);  // Vehicle, Automobile, DomesticAutomobile, Truck
+  EXPECT_EQ(sub.front(), f.vehicle);
+  std::vector<ClassId> leaf = f.cat.Subtree(f.domestic_auto);
+  EXPECT_EQ(leaf.size(), 1u);
+}
+
+TEST(CatalogTest, MultipleInheritanceLeftmostWinsConflicts) {
+  Catalog cat;
+  ClassId a = *cat.CreateClass("A", {}, {{"x", Domain::Int()}});
+  ClassId b = *cat.CreateClass("B", {}, {{"x", Domain::String()}});
+  ClassId c = *cat.CreateClass("C", {a, b}, {});
+  auto attr = cat.ResolveAttr(c, "x");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ((*attr)->defined_in, a);  // leftmost superclass wins
+  EXPECT_EQ((*attr)->domain.kind, Domain::Kind::kInt);
+  // Effective attrs contain exactly one 'x'.
+  auto attrs = cat.EffectiveAttrs(c);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 1u);
+}
+
+TEST(CatalogTest, OwnAttributeShadowsInherited) {
+  Catalog cat;
+  ClassId a = *cat.CreateClass("A", {}, {{"x", Domain::Int()}});
+  ClassId b = *cat.CreateClass("B", {a}, {{"x", Domain::String()}});
+  auto attr = cat.ResolveAttr(b, "x");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ((*attr)->defined_in, b);
+  EXPECT_EQ((*attr)->domain.kind, Domain::Kind::kString);
+}
+
+TEST(CatalogTest, DiamondInheritanceVisitsSharedAncestorOnce) {
+  Catalog cat;
+  ClassId top = *cat.CreateClass("Top", {}, {{"t", Domain::Int()}});
+  ClassId l = *cat.CreateClass("L", {top}, {});
+  ClassId r = *cat.CreateClass("R", {top}, {});
+  ClassId bottom = *cat.CreateClass("Bottom", {l, r}, {});
+  auto attrs = cat.EffectiveAttrs(bottom);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 1u);
+  std::vector<ClassId> lin = cat.Linearize(bottom);
+  // Bottom, L, Top, R, Object -- each exactly once.
+  EXPECT_EQ(lin.size(), 5u);
+  EXPECT_EQ(lin[0], bottom);
+}
+
+TEST(CatalogTest, CheckValueEnforcesDomains) {
+  Fig1 f;
+  auto weight = f.cat.ResolveAttr(f.vehicle, "Weight");
+  ASSERT_TRUE(weight.ok());
+  EXPECT_TRUE(f.cat.CheckValue((*weight)->domain, Value::Int(7500)).ok());
+  EXPECT_FALSE(f.cat.CheckValue((*weight)->domain, Value::Str("heavy")).ok());
+  EXPECT_TRUE(f.cat.CheckValue((*weight)->domain, Value::Null()).ok());
+
+  auto manu = f.cat.ResolveAttr(f.vehicle, "Manufacturer");
+  ASSERT_TRUE(manu.ok());
+  // Instance of a subclass of Company is accepted (paper §3.2).
+  EXPECT_TRUE(f.cat.CheckValue((*manu)->domain,
+                               Value::Ref(Oid::Make(f.japanese_auto_company, 1)))
+                  .ok());
+  // Instance of an unrelated class is rejected.
+  EXPECT_FALSE(f.cat.CheckValue((*manu)->domain,
+                                Value::Ref(Oid::Make(f.vehicle, 1)))
+                   .ok());
+}
+
+TEST(CatalogTest, SetDomainChecksElements) {
+  Catalog cat;
+  Domain d = Domain::SetOf(Domain::Int());
+  EXPECT_TRUE(cat.CheckValue(d, Value::Set({Value::Int(1), Value::Int(2)})).ok());
+  EXPECT_FALSE(cat.CheckValue(d, Value::Set({Value::Str("x")})).ok());
+  EXPECT_FALSE(cat.CheckValue(d, Value::Int(1)).ok());
+}
+
+// --- schema evolution -------------------------------------------------------
+
+TEST(SchemaEvolutionTest, AddAttributeVisibleInSubclasses) {
+  Fig1 f;
+  uint64_t v0 = f.cat.schema_version();
+  ASSERT_TRUE(f.cat.AddAttribute(
+                    f.vehicle, {"Color", Domain::String(),
+                                Value::Str("unpainted")})
+                  .ok());
+  EXPECT_GT(f.cat.schema_version(), v0);
+  auto attr = f.cat.ResolveAttr(f.domestic_auto, "Color");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ((*attr)->default_value.as_string(), "unpainted");
+}
+
+TEST(SchemaEvolutionTest, AddDuplicateOwnAttributeRejected) {
+  Fig1 f;
+  EXPECT_TRUE(f.cat.AddAttribute(f.vehicle, {"Weight", Domain::Int()})
+                  .IsAlreadyExists());
+}
+
+TEST(SchemaEvolutionTest, DropAttributeOnlyOnDefiningClass) {
+  Fig1 f;
+  // Inherited attribute cannot be dropped from the subclass.
+  EXPECT_TRUE(
+      f.cat.DropAttribute(f.truck, "Weight").IsInvalidArgument());
+  ASSERT_TRUE(f.cat.DropAttribute(f.vehicle, "Drivetrain").ok());
+  EXPECT_TRUE(
+      f.cat.ResolveAttr(f.truck, "Drivetrain").status().IsNotFound());
+}
+
+TEST(SchemaEvolutionTest, RenameAttribute) {
+  Fig1 f;
+  ASSERT_TRUE(f.cat.RenameAttribute(f.vehicle, "Weight", "GrossWeight").ok());
+  EXPECT_TRUE(f.cat.ResolveAttr(f.truck, "Weight").status().IsNotFound());
+  auto attr = f.cat.ResolveAttr(f.truck, "GrossWeight");
+  ASSERT_TRUE(attr.ok());
+}
+
+TEST(SchemaEvolutionTest, AttrIdStableAcrossRename) {
+  Fig1 f;
+  AttrId before = (*f.cat.ResolveAttr(f.vehicle, "Weight"))->id;
+  ASSERT_TRUE(f.cat.RenameAttribute(f.vehicle, "Weight", "W").ok());
+  EXPECT_EQ((*f.cat.ResolveAttr(f.vehicle, "W"))->id, before);
+}
+
+TEST(SchemaEvolutionTest, AddSuperclassRejectsCycles) {
+  Catalog cat;
+  ClassId a = *cat.CreateClass("A", {}, {});
+  ClassId b = *cat.CreateClass("B", {a}, {});
+  ClassId c = *cat.CreateClass("C", {b}, {});
+  EXPECT_TRUE(cat.AddSuperclass(a, c).IsInvalidArgument());  // cycle
+  EXPECT_TRUE(cat.AddSuperclass(a, a).IsInvalidArgument());  // self
+  // A redundant (already transitive) edge is allowed -- the DAG permits it.
+  EXPECT_TRUE(cat.AddSuperclass(c, a).ok());
+  EXPECT_TRUE(cat.AddSuperclass(c, a).IsAlreadyExists());
+}
+
+TEST(SchemaEvolutionTest, AddSuperclassBringsAttributes) {
+  Catalog cat;
+  ClassId mixin = *cat.CreateClass("Mixin", {}, {{"m", Domain::Int()}});
+  ClassId a = *cat.CreateClass("A", {}, {{"a", Domain::Int()}});
+  ASSERT_TRUE(cat.AddSuperclass(a, mixin).ok());
+  EXPECT_TRUE(cat.ResolveAttr(a, "m").ok());
+}
+
+TEST(SchemaEvolutionTest, RemoveLastSuperclassFallsBackToRoot) {
+  Catalog cat;
+  ClassId a = *cat.CreateClass("A", {}, {});
+  ClassId b = *cat.CreateClass("B", {a}, {});
+  ASSERT_TRUE(cat.RemoveSuperclass(b, a).ok());
+  auto def = cat.GetClass(b);
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ((*def)->supers, std::vector<ClassId>{kRootClassId});
+}
+
+TEST(SchemaEvolutionTest, DropClassReparentsSubclasses) {
+  Fig1 f;
+  // Drop Automobile: DomesticAutomobile should re-parent to Vehicle.
+  ASSERT_TRUE(f.cat.DropClass(f.automobile).ok());
+  auto def = f.cat.GetClass(f.domestic_auto);
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ((*def)->supers, std::vector<ClassId>{f.vehicle});
+  // Attributes still flow from Vehicle.
+  EXPECT_TRUE(f.cat.ResolveAttr(f.domestic_auto, "Weight").ok());
+  EXPECT_TRUE(f.cat.FindClass("Automobile").status().IsNotFound());
+}
+
+TEST(SchemaEvolutionTest, DropClassRetargetsRefDomainsToRoot) {
+  Fig1 f;
+  ASSERT_TRUE(f.cat.DropClass(f.vehicle_engine).ok());
+  auto attr = f.cat.ResolveAttr(f.vehicle, "Engine");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ((*attr)->domain.ref_class, kRootClassId);
+}
+
+TEST(SchemaEvolutionTest, DropRootRejected) {
+  Catalog cat;
+  EXPECT_TRUE(cat.DropClass(kRootClassId).IsInvalidArgument());
+}
+
+TEST(SchemaEvolutionTest, RenameClass) {
+  Fig1 f;
+  ASSERT_TRUE(f.cat.RenameClass(f.truck, "Lorry").ok());
+  EXPECT_TRUE(f.cat.FindClass("Truck").status().IsNotFound());
+  EXPECT_EQ(*f.cat.FindClass("Lorry"), f.truck);
+}
+
+// --- persistence -------------------------------------------------------------
+
+TEST(CatalogPersistenceTest, EncodeDecodeRoundTrip) {
+  Fig1 f;
+  ASSERT_TRUE(f.cat.AddAttribute(
+                    f.vehicle, {"Color", Domain::String(),
+                                Value::Str("red")})
+                  .ok());
+  std::string buf;
+  f.cat.EncodeTo(&buf);
+  Result<Catalog> back = Catalog::Decode(buf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back->FindClass("Truck"), f.truck);
+  auto attr = back->ResolveAttr(f.domestic_auto, "Color");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ((*attr)->default_value.as_string(), "red");
+  // Counters restored: new classes get fresh ids.
+  auto next = back->CreateClass("New", {}, {});
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(*next, f.truck);
+}
+
+TEST(CatalogPersistenceTest, DecodeGarbageFails) {
+  EXPECT_FALSE(Catalog::Decode("garbage").ok());
+}
+
+// --- methods & late binding ---------------------------------------------------
+
+TEST(MethodTest, LateBindingDispatchesToMostSpecific) {
+  Catalog cat;
+  ClassId shape = *cat.CreateClass("Shape", {}, {}, {{"area", 0}});
+  ClassId circle = *cat.CreateClass("Circle", {shape},
+                                    {{"r", Domain::Real()}}, {{"area", 0}});
+  ClassId square =
+      *cat.CreateClass("Square", {shape}, {{"s", Domain::Real()}});
+
+  MethodRegistry reg;
+  ASSERT_TRUE(reg.Register(cat, shape, "area",
+                           [](MethodContext&, const std::vector<Value>&) {
+                             return Value::Real(0.0);
+                           })
+                  .ok());
+  ASSERT_TRUE(reg.Register(cat, circle, "area",
+                           [](MethodContext& ctx, const std::vector<Value>&) {
+                             double r = ctx.self->Get(1).as_real();
+                             return Value::Real(3.14159 * r * r);
+                           })
+                  .ok());
+
+  Object c(Oid::Make(circle, 1));
+  AttrId r_id = (*cat.ResolveAttr(circle, "r"))->id;
+  c.Set(r_id, Value::Real(2.0));
+  MethodContext ctx{&c, nullptr};
+  auto area = reg.Invoke(cat, ctx, "area", {});
+  ASSERT_TRUE(area.ok());
+  EXPECT_NEAR(area->as_real(), 12.566, 0.01);
+
+  // Square has no override: the Shape body runs (inherited behaviour).
+  Object s(Oid::Make(square, 1));
+  MethodContext ctx2{&s, nullptr};
+  auto area2 = reg.Invoke(cat, ctx2, "area", {});
+  ASSERT_TRUE(area2.ok());
+  EXPECT_EQ(area2->as_real(), 0.0);
+}
+
+TEST(MethodTest, UndeclaredMethodFails) {
+  Catalog cat;
+  ClassId a = *cat.CreateClass("A", {}, {});
+  MethodRegistry reg;
+  EXPECT_TRUE(reg.Register(cat, a, "nope",
+                           [](MethodContext&, const std::vector<Value>&) {
+                             return Value::Null();
+                           })
+                  .IsFailedPrecondition());
+  Object obj(Oid::Make(a, 1));
+  MethodContext ctx{&obj, nullptr};
+  EXPECT_TRUE(reg.Invoke(cat, ctx, "nope", {}).status().IsNotFound());
+}
+
+TEST(MethodTest, ArityChecked) {
+  Catalog cat;
+  ClassId a = *cat.CreateClass("A", {}, {}, {{"f", 2}});
+  MethodRegistry reg;
+  ASSERT_TRUE(reg.Register(cat, a, "f",
+                           [](MethodContext&, const std::vector<Value>& args) {
+                             return Value::Int(args[0].as_int() +
+                                               args[1].as_int());
+                           })
+                  .ok());
+  Object obj(Oid::Make(a, 1));
+  MethodContext ctx{&obj, nullptr};
+  EXPECT_TRUE(reg.Invoke(cat, ctx, "f", {Value::Int(1)})
+                  .status()
+                  .IsInvalidArgument());
+  auto r = reg.Invoke(cat, ctx, "f", {Value::Int(1), Value::Int(2)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->as_int(), 3);
+}
+
+}  // namespace
+}  // namespace kimdb

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "object/composite.h"
+#include "object/versions.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace kimdb {
+namespace {
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  CheckerTest() : disk_(DiskManager::OpenInMemory()), bp_(disk_.get(), 256) {
+    part_ = *cat_.CreateClass(
+        "Part", {},
+        {{"Name", Domain::String()},
+         {"Link", Domain::Ref(kRootClassId)}});
+    auto store = ObjectStore::Open(&bp_, &cat_, nullptr);
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+    name_ = (*cat_.ResolveAttr(part_, "Name"))->id;
+    link_ = (*cat_.ResolveAttr(part_, "Link"))->id;
+  }
+
+  Oid Put(const std::string& name) {
+    Object obj;
+    obj.Set(name_, Value::Str(name));
+    auto oid = store_->Insert(0, part_, std::move(obj));
+    EXPECT_TRUE(oid.ok());
+    return *oid;
+  }
+
+  ConsistencyReport Check() {
+    auto r = ConsistencyChecker::Check(*store_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  bool HasIssue(const ConsistencyReport& r, ConsistencyIssue::Kind kind) {
+    for (const auto& i : r.issues) {
+      if (i.kind == kind) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  BufferPool bp_;
+  Catalog cat_;
+  std::unique_ptr<ObjectStore> store_;
+  ClassId part_;
+  AttrId name_, link_;
+};
+
+TEST_F(CheckerTest, CleanDatabaseIsConsistent) {
+  Oid a = Put("a");
+  Oid b = Put("b");
+  ASSERT_TRUE(store_->SetAttr(0, a, "Link", Value::Ref(b)).ok());
+  auto cm = CompositeManager::Attach(store_.get());
+  ASSERT_TRUE(cm.ok());
+  ASSERT_TRUE((*cm)->AttachChild(0, b, a).ok());
+  VersionManager vm(store_.get());
+  Oid v = Put("design");
+  ASSERT_TRUE(vm.MakeVersionable(0, v).ok());
+  ASSERT_TRUE(vm.DeriveVersion(0, v).ok());
+
+  ConsistencyReport report = Check();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.objects_checked, 5u);
+  EXPECT_GE(report.references_checked, 2u);
+}
+
+TEST_F(CheckerTest, DanglingReferenceDetected) {
+  Oid a = Put("a");
+  Oid b = Put("victim");
+  ASSERT_TRUE(store_->SetAttr(0, a, "Link", Value::Ref(b)).ok());
+  // Delete b out from under the reference (the store does not enforce
+  // referential integrity on delete; the checker finds the damage).
+  ASSERT_TRUE(store_->Delete(0, b).ok());
+  ConsistencyReport report = Check();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasIssue(report, ConsistencyIssue::Kind::kDanglingReference));
+}
+
+TEST_F(CheckerTest, CompositeBadParentDetected) {
+  Oid child = Put("child");
+  Oid parent = Put("parent");
+  ASSERT_TRUE(store_->SetAttrSystem(0, child, kAttrPartOf,
+                                    Value::Ref(parent))
+                  .ok());
+  ASSERT_TRUE(store_->Delete(0, parent).ok());
+  ConsistencyReport report = Check();
+  EXPECT_TRUE(HasIssue(report, ConsistencyIssue::Kind::kCompositeBadParent));
+}
+
+TEST_F(CheckerTest, CompositeCycleDetected) {
+  Oid a = Put("a");
+  Oid b = Put("b");
+  // Forge a cycle directly through system attributes (AttachChild would
+  // refuse).
+  ASSERT_TRUE(store_->SetAttrSystem(0, a, kAttrPartOf, Value::Ref(b)).ok());
+  ASSERT_TRUE(store_->SetAttrSystem(0, b, kAttrPartOf, Value::Ref(a)).ok());
+  ConsistencyReport report = Check();
+  EXPECT_TRUE(HasIssue(report, ConsistencyIssue::Kind::kCompositeCycle));
+}
+
+TEST_F(CheckerTest, VersionGraphBreakDetected) {
+  VersionManager vm(store_.get());
+  Oid v = Put("design");
+  auto generic = vm.MakeVersionable(0, v);
+  ASSERT_TRUE(generic.ok());
+  // Forge: point the generic's default at a non-member version.
+  Oid stranger = Put("stranger");
+  ASSERT_TRUE(store_->SetAttrSystem(0, *generic, kAttrDefaultVersion,
+                                    Value::Ref(stranger))
+                  .ok());
+  ConsistencyReport report = Check();
+  EXPECT_TRUE(HasIssue(report, ConsistencyIssue::Kind::kVersionGraphBroken));
+}
+
+TEST_F(CheckerTest, VersionNotListedDetected) {
+  VersionManager vm(store_.get());
+  Oid v = Put("design");
+  auto generic = vm.MakeVersionable(0, v);
+  ASSERT_TRUE(generic.ok());
+  // Forge: empty the generic's version set while v still points at it.
+  ASSERT_TRUE(store_->SetAttrSystem(0, *generic, kAttrVersions,
+                                    Value::Set({}))
+                  .ok());
+  ConsistencyReport report = Check();
+  EXPECT_TRUE(HasIssue(report, ConsistencyIssue::Kind::kVersionGraphBroken));
+}
+
+TEST_F(CheckerTest, SchemaViolationDetected) {
+  // Store a valid object, then evolve the schema so the stored value no
+  // longer conforms (drop + re-add the attribute with a different domain;
+  // the stale value keeps the old attr id only if ids collide -- instead
+  // we forge via ApplyUpdate which skips validation).
+  Oid a = Put("a");
+  Object forged = *store_->GetRaw(a);
+  forged.Set(name_, Value::Int(42));  // Name declared as string
+  ASSERT_TRUE(store_->ApplyUpdate(forged).ok());
+  ConsistencyReport report = Check();
+  EXPECT_TRUE(HasIssue(report, ConsistencyIssue::Kind::kSchemaViolation));
+}
+
+TEST_F(CheckerTest, ReportSummaryReadable) {
+  Oid a = Put("a");
+  Oid b = Put("b");
+  ASSERT_TRUE(store_->SetAttr(0, a, "Link", Value::Ref(b)).ok());
+  ASSERT_TRUE(store_->Delete(0, b).ok());
+  ConsistencyReport report = Check();
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("issue"), std::string::npos);
+  EXPECT_NE(summary.find("dangling-reference"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kimdb

@@ -1,0 +1,147 @@
+// Edge cases pinned after review: lazy B+-tree deletion leaving hollow
+// leaves, concurrent WAL appenders, buffer-pool thrash with concurrent
+// readers, and empty-database behaviours.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "index/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/wal.h"
+#include "util/random.h"
+
+namespace kimdb {
+namespace {
+
+TEST(BTreeEdgeTest, ScanSkipsFullyEmptiedLeaves) {
+  BPlusTree tree(4);  // small fanout: many leaves
+  for (int i = 0; i < 300; ++i) tree.Insert(Value::Int(i), Oid::Make(1, i));
+  // Empty out a contiguous band of keys (whole leaves become hollow).
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(tree.Remove(Value::Int(i), Oid::Make(1, i)));
+  }
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(tree.Scan(Value::Int(90), true, Value::Int(210), true,
+                        [&](const Value& k, const Posting&) {
+                          seen.push_back(k.as_int());
+                          return Status::OK();
+                        })
+                  .ok());
+  std::vector<int64_t> expect;
+  for (int i = 90; i < 100; ++i) expect.push_back(i);
+  for (int i = 200; i <= 210; ++i) expect.push_back(i);
+  EXPECT_EQ(seen, expect);
+  // Inserting into the hollow region works (lazy deletion reuses leaves).
+  tree.Insert(Value::Int(150), Oid::Make(1, 9999));
+  ASSERT_NE(tree.Find(Value::Int(150)), nullptr);
+}
+
+TEST(BTreeEdgeTest, EmptyTreeOperations) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.Find(Value::Int(1)), nullptr);
+  EXPECT_FALSE(tree.Remove(Value::Int(1), Oid::Make(1, 1)));
+  int visits = 0;
+  ASSERT_TRUE(tree.Scan(std::nullopt, true, std::nullopt, true,
+                        [&](const Value&, const Posting&) {
+                          ++visits;
+                          return Status::OK();
+                        })
+                  .ok());
+  EXPECT_EQ(visits, 0);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(BTreeEdgeTest, ScanCallbackErrorPropagates) {
+  BPlusTree tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(Value::Int(i), Oid::Make(1, i));
+  int visits = 0;
+  Status st = tree.Scan(std::nullopt, true, std::nullopt, true,
+                        [&](const Value& k, const Posting&) {
+                          ++visits;
+                          if (k.as_int() == 4) {
+                            return Status::Aborted("stop here");
+                          }
+                          return Status::OK();
+                        });
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(WalEdgeTest, ConcurrentAppendersProduceValidLog) {
+  std::string path = ::testing::TempDir() + "/kimdb_wal_conc.log";
+  ::remove(path.c_str());
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        WalRecord rec;
+        rec.txn_id = static_cast<uint64_t>(t);
+        rec.type = WalRecordType::kUpdate;
+        rec.key = static_cast<uint64_t>(i);
+        rec.before = "b";
+        rec.after = "a";
+        ASSERT_TRUE((*wal)->Append(std::move(rec)).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE((*wal)->Sync().ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(),
+            static_cast<size_t>(kThreads * kPerThread));
+  // LSNs are unique and strictly increasing in file order.
+  uint64_t prev = 0;
+  for (const WalRecord& r : *records) {
+    EXPECT_GT(r.lsn, prev);
+    prev = r.lsn;
+  }
+  ::remove(path.c_str());
+}
+
+TEST(BufferPoolEdgeTest, ConcurrentReadersThrashSafely) {
+  auto disk = DiskManager::OpenInMemory();
+  BufferPool bp(disk.get(), 8);
+  constexpr int kPages = 64;
+  std::vector<PageId> pids;
+  for (int i = 0; i < kPages; ++i) {
+    PageId pid;
+    auto d = bp.NewPage(&pid);
+    ASSERT_TRUE(d.ok());
+    (*d)[0] = static_cast<char>(i);
+    bp.Unpin(pid, true);
+    pids.push_back(pid);
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 500; ++i) {
+        size_t idx = rng.Uniform(pids.size());
+        auto d = bp.FetchPage(pids[idx]);
+        if (!d.ok()) {
+          // All-pinned transient exhaustion is legal under contention,
+          // anything else is not.
+          if (d.status().code() != StatusCode::kResourceExhausted) {
+            ++errors;
+          }
+          continue;
+        }
+        if ((*d)[0] != static_cast<char>(idx)) ++errors;
+        bp.Unpin(pids[idx], false);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace kimdb

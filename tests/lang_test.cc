@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace kimdb {
+namespace lang {
+namespace {
+
+std::vector<TokenType> Types(const std::vector<Token>& toks) {
+  std::vector<TokenType> out;
+  for (const Token& t : toks) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto toks = Tokenize("SELECT Select sElEcT where AND or NOT");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(Types(*toks),
+            (std::vector<TokenType>{
+                TokenType::kSelect, TokenType::kSelect, TokenType::kSelect,
+                TokenType::kWhere, TokenType::kAnd, TokenType::kOr,
+                TokenType::kNot, TokenType::kEnd}));
+}
+
+TEST(LexerTest, IdentifiersAreCaseSensitive) {
+  auto toks = Tokenize("Vehicle vehicle _under score9");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 5u);
+  EXPECT_EQ((*toks)[0].text, "Vehicle");
+  EXPECT_EQ((*toks)[1].text, "vehicle");
+  EXPECT_EQ((*toks)[2].text, "_under");
+  EXPECT_EQ((*toks)[3].text, "score9");
+}
+
+TEST(LexerTest, NumbersIntAndReal) {
+  auto toks = Tokenize("42 -7 3.14 -0.5 10.");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kInt);
+  EXPECT_EQ((*toks)[1].type, TokenType::kInt);
+  EXPECT_EQ((*toks)[1].text, "-7");
+  EXPECT_EQ((*toks)[2].type, TokenType::kReal);
+  EXPECT_EQ((*toks)[3].type, TokenType::kReal);
+  // "10." lexes as the int 10 followed by a dot (paths use dots).
+  EXPECT_EQ((*toks)[4].type, TokenType::kInt);
+  EXPECT_EQ((*toks)[5].type, TokenType::kDot);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto toks = Tokenize("'it''s' \"she said \"\"hi\"\"\"");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kString);
+  EXPECT_EQ((*toks)[0].text, "it's");
+  EXPECT_EQ((*toks)[1].text, "she said \"hi\"");
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  auto toks = Tokenize("= != <> < <= > >= . , ( )");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(Types(*toks),
+            (std::vector<TokenType>{
+                TokenType::kEq, TokenType::kNe, TokenType::kNe,
+                TokenType::kLt, TokenType::kLe, TokenType::kGt,
+                TokenType::kGe, TokenType::kDot, TokenType::kComma,
+                TokenType::kLParen, TokenType::kRParen, TokenType::kEnd}));
+}
+
+TEST(LexerTest, OffsetsPointAtTokens) {
+  auto toks = Tokenize("ab  cd");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].offset, 0u);
+  EXPECT_EQ((*toks)[1].offset, 4u);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("a ! b").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("a # b").status().IsInvalidArgument());
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : parser_(&cat_) {
+    vehicle_ = *cat_.CreateClass("Vehicle", {},
+                                 {{"Weight", Domain::Int()}});
+  }
+  Catalog cat_;
+  Parser parser_;
+  ClassId vehicle_;
+};
+
+TEST_F(ParserTest, PrecedenceNotBindsTighterThanAndThanOr) {
+  auto e = parser_.ParseExpression("not a and b or c");
+  ASSERT_TRUE(e.ok());
+  // ((not a) and b) or c
+  EXPECT_EQ((*e)->op, Expr::Op::kOr);
+  EXPECT_EQ((*e)->children[0]->op, Expr::Op::kAnd);
+  EXPECT_EQ((*e)->children[0]->children[0]->op, Expr::Op::kNot);
+}
+
+TEST_F(ParserTest, ParenthesesOverridePrecedence) {
+  auto e = parser_.ParseExpression("a and (b or c)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->op, Expr::Op::kAnd);
+  EXPECT_EQ((*e)->children[1]->op, Expr::Op::kOr);
+}
+
+TEST_F(ParserTest, PathsAndLiterals) {
+  auto e = parser_.ParseExpression("Manufacturer.Location = 'Detroit'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->op, Expr::Op::kEq);
+  EXPECT_EQ((*e)->children[0]->path,
+            (std::vector<std::string>{"Manufacturer", "Location"}));
+  EXPECT_EQ((*e)->children[1]->literal.as_string(), "Detroit");
+}
+
+TEST_F(ParserTest, MethodsWithArguments) {
+  auto e = parser_.ParseExpression("Dist(3, 'x') > 1.5");
+  ASSERT_TRUE(e.ok());
+  const Expr& call = *(*e)->children[0];
+  EXPECT_EQ(call.op, Expr::Op::kMethod);
+  EXPECT_EQ(call.method, "Dist");
+  ASSERT_EQ(call.children.size(), 2u);
+  EXPECT_EQ(call.children[0]->literal.as_int(), 3);
+  // Method call on a multi-segment path is rejected.
+  EXPECT_TRUE(parser_.ParseExpression("a.b()").status().code() ==
+              StatusCode::kNotSupported);
+}
+
+TEST_F(ParserTest, QueryTargetAndScope) {
+  auto q = parser_.ParseQuery("select Vehicle");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->target, vehicle_);
+  EXPECT_TRUE(q->hierarchy_scope);
+  EXPECT_EQ(q->predicate, nullptr);
+
+  q = parser_.ParseQuery("select Vehicle only where Weight > 1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->hierarchy_scope);
+  ASSERT_NE(q->predicate, nullptr);
+}
+
+TEST_F(ParserTest, NullAndBooleans) {
+  auto e = parser_.ParseExpression("x != null and y = true or z = false");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->op, Expr::Op::kOr);
+}
+
+TEST_F(ParserTest, ContainsOperator) {
+  auto e = parser_.ParseExpression("Tags contains 'red'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->op, Expr::Op::kContains);
+}
+
+TEST_F(ParserTest, ChainedComparisonIsRejected) {
+  // cmp is non-associative: "a < b < c" leaves a dangling "< c".
+  EXPECT_TRUE(parser_.ParseExpression("a < b < c").status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lang
+}  // namespace kimdb

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "model/object.h"
+#include "model/oid.h"
+#include "model/value.h"
+#include "util/random.h"
+
+namespace kimdb {
+namespace {
+
+TEST(OidTest, PacksClassAndSerial) {
+  Oid oid = Oid::Make(42, 123456789);
+  EXPECT_EQ(oid.class_id(), 42u);
+  EXPECT_EQ(oid.serial(), 123456789u);
+  EXPECT_FALSE(oid.is_nil());
+  EXPECT_TRUE(kNilOid.is_nil());
+}
+
+TEST(OidTest, LargeSerialAndClassDoNotCollide) {
+  Oid a = Oid::Make(1, 0xFFFFFFFFFFull);
+  Oid b = Oid::Make(2, 0);
+  EXPECT_EQ(a.class_id(), 1u);
+  EXPECT_EQ(a.serial(), 0xFFFFFFFFFFull);
+  EXPECT_EQ(b.class_id(), 2u);
+  EXPECT_NE(a, b);
+}
+
+TEST(OidTest, ToStringIsReadable) {
+  EXPECT_EQ(Oid::Make(3, 7).ToString(), "@3:7");
+  EXPECT_EQ(kNilOid.ToString(), "nil");
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(-5).as_int(), -5);
+  EXPECT_EQ(Value::Real(2.5).as_real(), 2.5);
+  EXPECT_TRUE(Value::Bool(true).as_bool());
+  EXPECT_EQ(Value::Str("hi").as_string(), "hi");
+  EXPECT_EQ(Value::Ref(Oid::Make(1, 2)).as_ref(), Oid::Make(1, 2));
+  Value s = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(s.is_collection());
+  EXPECT_EQ(s.elements().size(), 2u);
+}
+
+TEST(ValueTest, IntRealCompareNumerically) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+  EXPECT_GT(Value::Real(4.0).Compare(Value::Int(3)), 0);
+  EXPECT_TRUE(Value::Int(3) == Value::Real(3.0));
+}
+
+TEST(ValueTest, CrossKindOrderingIsTotal) {
+  std::vector<Value> ordered = {
+      Value::Null(), Value::Bool(false), Value::Int(0), Value::Str("a"),
+      Value::Ref(Oid::Make(1, 1)), Value::Set({}), Value::List({})};
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    for (size_t j = 0; j < ordered.size(); ++j) {
+      int c = ordered[i].Compare(ordered[j]);
+      if (i < j) {
+        EXPECT_LT(c, 0) << i << " vs " << j;
+      } else if (i == j) {
+        EXPECT_EQ(c, 0);
+      } else {
+        EXPECT_GT(c, 0);
+      }
+    }
+  }
+}
+
+TEST(ValueTest, CollectionsCompareLexicographically) {
+  Value a = Value::List({Value::Int(1), Value::Int(2)});
+  Value b = Value::List({Value::Int(1), Value::Int(3)});
+  Value c = Value::List({Value::Int(1)});
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_LT(c.Compare(a), 0);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value::Set({Value::Int(1), Value::Int(2)}).ToString(), "{1, 2}");
+  EXPECT_EQ(Value::List({Value::Bool(true)}).ToString(), "[true]");
+}
+
+Value RandomValue(Random& rng, int depth) {
+  switch (rng.Uniform(depth > 0 ? 7 : 5)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Int(static_cast<int64_t>(rng.Next()));
+    case 2:
+      return Value::Real(rng.NextDouble() * 1e6 - 5e5);
+    case 3:
+      return Value::Bool(rng.OneIn(2));
+    case 4:
+      return Value::Str(rng.NextString(rng.Uniform(40)));
+    default: {
+      std::vector<Value> elems;
+      size_t n = rng.Uniform(5);
+      for (size_t i = 0; i < n; ++i) {
+        elems.push_back(RandomValue(rng, depth - 1));
+      }
+      return rng.OneIn(2) ? Value::Set(std::move(elems))
+                          : Value::List(std::move(elems));
+    }
+  }
+}
+
+class ValueCodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueCodecPropertyTest, EncodeDecodeIdentity) {
+  Random rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    Value v = RandomValue(rng, 3);
+    std::string buf;
+    v.EncodeTo(&buf);
+    Decoder dec(buf);
+    Result<Value> back = Value::DecodeFrom(&dec);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(v.Compare(*back), 0) << v.ToString();
+    ASSERT_EQ(v.kind(), back->kind());
+    ASSERT_TRUE(dec.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueCodecPropertyTest,
+                         ::testing::Values(3, 5, 8, 21));
+
+TEST(ValueTest, DecodeRejectsBadTag) {
+  std::string buf = "\xFF";
+  Decoder dec(buf);
+  EXPECT_TRUE(Value::DecodeFrom(&dec).status().IsCorruption());
+}
+
+TEST(ObjectTest, GetOfUnsetAttrIsNull) {
+  Object obj(Oid::Make(1, 1));
+  EXPECT_TRUE(obj.Get(5).is_null());
+  EXPECT_FALSE(obj.Has(5));
+}
+
+TEST(ObjectTest, SetGetUnset) {
+  Object obj(Oid::Make(1, 1));
+  obj.Set(10, Value::Int(7));
+  obj.Set(3, Value::Str("x"));
+  obj.Set(10, Value::Int(8));  // overwrite
+  EXPECT_EQ(obj.Get(10).as_int(), 8);
+  EXPECT_EQ(obj.Get(3).as_string(), "x");
+  EXPECT_EQ(obj.attrs().size(), 2u);
+  // Attrs stay sorted by id.
+  EXPECT_EQ(obj.attrs()[0].first, 3u);
+  EXPECT_EQ(obj.attrs()[1].first, 10u);
+  obj.Unset(3);
+  EXPECT_FALSE(obj.Has(3));
+  EXPECT_EQ(obj.attrs().size(), 1u);
+}
+
+TEST(ObjectTest, EncodeDecodeRoundTrip) {
+  Object obj(Oid::Make(7, 99));
+  obj.Set(1, Value::Int(-42));
+  obj.Set(2, Value::Str("vehicle"));
+  obj.Set(9, Value::Set({Value::Ref(Oid::Make(2, 5)), Value::Int(3)}));
+  obj.Set(kAttrPartOf, Value::Ref(Oid::Make(7, 1)));
+
+  std::string buf;
+  obj.EncodeTo(&buf);
+  Result<Object> back = Object::Decode(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, obj);
+  EXPECT_EQ(back->oid(), Oid::Make(7, 99));
+  EXPECT_EQ(back->Get(kAttrPartOf).as_ref(), Oid::Make(7, 1));
+}
+
+TEST(ObjectTest, DecodeRejectsUnsortedAttrs) {
+  // Hand-craft: oid, count=2, attr 5 then attr 3 (out of order).
+  std::string buf;
+  PutVarint64(&buf, Oid::Make(1, 1).raw());
+  PutVarint32(&buf, 2);
+  PutVarint32(&buf, 5);
+  Value::Int(1).EncodeTo(&buf);
+  PutVarint32(&buf, 3);
+  Value::Int(2).EncodeTo(&buf);
+  EXPECT_TRUE(Object::Decode(buf).status().IsCorruption());
+}
+
+TEST(ObjectTest, DecodeRejectsTruncation) {
+  Object obj(Oid::Make(1, 1));
+  obj.Set(1, Value::Str("hello world"));
+  std::string buf;
+  obj.EncodeTo(&buf);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    Result<Object> r = Object::Decode(buf.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace kimdb

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "object/composite.h"
+#include "object/notification.h"
+#include "object/object_manager.h"
+#include "object/object_store.h"
+#include "object/versions.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace kimdb {
+namespace {
+
+class ObjectFeaturesTest : public ::testing::Test {
+ protected:
+  ObjectFeaturesTest()
+      : disk_(DiskManager::OpenInMemory()), bp_(disk_.get(), 256) {
+    part_ = *cat_.CreateClass(
+        "Part", {},
+        {{"Name", Domain::String()},
+         {"Connections", Domain::SetOf(Domain::Ref(kRootClassId))},
+         {"Next", Domain::Ref(kRootClassId)}});
+    auto store = ObjectStore::Open(&bp_, &cat_, nullptr);
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+    name_ = (*cat_.ResolveAttr(part_, "Name"))->id;
+    conns_ = (*cat_.ResolveAttr(part_, "Connections"))->id;
+    next_ = (*cat_.ResolveAttr(part_, "Next"))->id;
+  }
+
+  Oid MakePart(const std::string& name, Oid hint = kNilOid) {
+    Object obj;
+    obj.Set(name_, Value::Str(name));
+    Result<Oid> oid = store_->Insert(1, part_, std::move(obj), hint);
+    EXPECT_TRUE(oid.ok()) << oid.status().ToString();
+    return *oid;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  BufferPool bp_;
+  Catalog cat_;
+  std::unique_ptr<ObjectStore> store_;
+  ClassId part_;
+  AttrId name_, conns_, next_;
+};
+
+// --- ObjectManager (pointer swizzling, §3.3) --------------------------------
+
+TEST_F(ObjectFeaturesTest, SwizzledTraversalFollowsChain) {
+  Oid a = MakePart("a"), b = MakePart("b"), c = MakePart("c");
+  ASSERT_TRUE(store_->SetAttr(1, a, "Next", Value::Ref(b)).ok());
+  ASSERT_TRUE(store_->SetAttr(1, b, "Next", Value::Ref(c)).ok());
+
+  ObjectManager om(store_.get());
+  auto ra = om.Load(a);
+  ASSERT_TRUE(ra.ok());
+  auto rb = om.Follow(*ra, next_);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ((*rb)->oid, b);
+  auto rc = om.Follow(*rb, next_);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ((*rc)->obj.Get(name_).as_string(), "c");
+  EXPECT_EQ(om.stats().pointer_follows, 2u);
+  EXPECT_EQ(om.stats().loads, 3u);
+}
+
+TEST_F(ObjectFeaturesTest, SwizzleSharesDescriptors) {
+  Oid shared = MakePart("shared");
+  Oid a = MakePart("a"), b = MakePart("b");
+  ASSERT_TRUE(store_->SetAttr(1, a, "Next", Value::Ref(shared)).ok());
+  ASSERT_TRUE(store_->SetAttr(1, b, "Next", Value::Ref(shared)).ok());
+  ObjectManager om(store_.get());
+  auto ra = om.Load(a);
+  auto rb = om.Load(b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  auto ta = om.Follow(*ra, next_);
+  auto tb = om.Follow(*rb, next_);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_EQ(*ta, *tb);                 // same descriptor pointer
+  EXPECT_EQ(om.stats().loads, 3u);     // shared target loaded once
+}
+
+TEST_F(ObjectFeaturesTest, FollowAllOverSetAttribute) {
+  Oid hub = MakePart("hub");
+  Oid s1 = MakePart("s1"), s2 = MakePart("s2"), s3 = MakePart("s3");
+  ASSERT_TRUE(store_->SetAttr(1, hub, "Connections",
+                              Value::Set({Value::Ref(s1), Value::Ref(s2),
+                                          Value::Ref(s3)}))
+                  .ok());
+  ObjectManager om(store_.get());
+  auto rh = om.Load(hub);
+  ASSERT_TRUE(rh.ok());
+  auto targets = om.FollowAll(*rh, conns_);
+  ASSERT_TRUE(targets.ok());
+  EXPECT_EQ(targets->size(), 3u);
+  for (auto* t : *targets) EXPECT_TRUE(t->loaded);
+}
+
+TEST_F(ObjectFeaturesTest, WriteBackPersistsDirtyObject) {
+  Oid a = MakePart("before");
+  ObjectManager om(store_.get());
+  auto ra = om.Load(a);
+  ASSERT_TRUE(ra.ok());
+  (*ra)->obj.Set(name_, Value::Str("after"));
+  om.MarkDirty(*ra);
+  ASSERT_TRUE(om.WriteBackAll(1).ok());
+  auto obj = store_->Get(a);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->Get(name_).as_string(), "after");
+}
+
+TEST_F(ObjectFeaturesTest, FollowNilReferenceIsNotFound) {
+  Oid a = MakePart("lonely");
+  ObjectManager om(store_.get());
+  auto ra = om.Load(a);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_TRUE(om.Follow(*ra, next_).status().IsNotFound());
+}
+
+// --- Composite objects (§3.3, KIM89c) ----------------------------------------
+
+TEST_F(ObjectFeaturesTest, AttachDetachChild) {
+  auto cm = CompositeManager::Attach(store_.get());
+  ASSERT_TRUE(cm.ok());
+  Oid root = MakePart("assembly"), wheel = MakePart("wheel");
+  ASSERT_TRUE((*cm)->AttachChild(1, wheel, root).ok());
+  EXPECT_EQ((*cm)->ParentOf(wheel), root);
+  EXPECT_EQ((*cm)->ChildrenOf(root), std::vector<Oid>{wheel});
+  ASSERT_TRUE((*cm)->DetachChild(1, wheel).ok());
+  EXPECT_TRUE((*cm)->ParentOf(wheel).is_nil());
+  EXPECT_TRUE((*cm)->ChildrenOf(root).empty());
+}
+
+TEST_F(ObjectFeaturesTest, ExclusiveOwnershipEnforced) {
+  auto cm = CompositeManager::Attach(store_.get());
+  ASSERT_TRUE(cm.ok());
+  Oid p1 = MakePart("p1"), p2 = MakePart("p2"), child = MakePart("child");
+  ASSERT_TRUE((*cm)->AttachChild(1, child, p1).ok());
+  EXPECT_TRUE((*cm)->AttachChild(1, child, p2).IsFailedPrecondition());
+}
+
+TEST_F(ObjectFeaturesTest, PartOfCycleRejected) {
+  auto cm = CompositeManager::Attach(store_.get());
+  ASSERT_TRUE(cm.ok());
+  Oid a = MakePart("a"), b = MakePart("b"), c = MakePart("c");
+  ASSERT_TRUE((*cm)->AttachChild(1, b, a).ok());
+  ASSERT_TRUE((*cm)->AttachChild(1, c, b).ok());
+  EXPECT_TRUE((*cm)->AttachChild(1, a, c).IsInvalidArgument());
+  EXPECT_TRUE((*cm)->AttachChild(1, a, a).IsInvalidArgument());
+}
+
+TEST_F(ObjectFeaturesTest, CascadingDeleteRemovesWholeComposite) {
+  auto cm = CompositeManager::Attach(store_.get());
+  ASSERT_TRUE(cm.ok());
+  Oid root = MakePart("root");
+  Oid c1 = MakePart("c1"), c2 = MakePart("c2"), gc = MakePart("gc");
+  ASSERT_TRUE((*cm)->AttachChild(1, c1, root).ok());
+  ASSERT_TRUE((*cm)->AttachChild(1, c2, root).ok());
+  ASSERT_TRUE((*cm)->AttachChild(1, gc, c1).ok());
+  EXPECT_EQ(*(*cm)->ComponentCount(root), 4u);
+
+  ASSERT_TRUE((*cm)->DeleteComposite(1, root).ok());
+  EXPECT_FALSE(store_->Exists(root));
+  EXPECT_FALSE(store_->Exists(c1));
+  EXPECT_FALSE(store_->Exists(c2));
+  EXPECT_FALSE(store_->Exists(gc));
+}
+
+TEST_F(ObjectFeaturesTest, DeepCopyRemapsInternalReferences) {
+  auto cm = CompositeManager::Attach(store_.get());
+  ASSERT_TRUE(cm.ok());
+  Oid root = MakePart("root");
+  Oid c1 = MakePart("c1"), c2 = MakePart("c2");
+  Oid external = MakePart("external");
+  ASSERT_TRUE((*cm)->AttachChild(1, c1, root).ok());
+  ASSERT_TRUE((*cm)->AttachChild(1, c2, root).ok());
+  // c1 -> c2 (internal), c1 -> external (external).
+  ASSERT_TRUE(store_->SetAttr(1, c1, "Next", Value::Ref(c2)).ok());
+  ASSERT_TRUE(store_->SetAttr(1, c1, "Connections",
+                              Value::Set({Value::Ref(external)}))
+                  .ok());
+
+  auto copy_root = (*cm)->DeepCopy(1, root);
+  ASSERT_TRUE(copy_root.ok()) << copy_root.status().ToString();
+  EXPECT_NE(*copy_root, root);
+  auto copies = (*cm)->ChildrenOf(*copy_root);
+  ASSERT_EQ(copies.size(), 2u);
+  // Find the copy of c1 (its Name is "c1").
+  Oid c1_copy = kNilOid, c2_copy = kNilOid;
+  for (Oid c : copies) {
+    auto obj = store_->Get(c);
+    ASSERT_TRUE(obj.ok());
+    if (obj->Get(name_).as_string() == "c1") c1_copy = c;
+    if (obj->Get(name_).as_string() == "c2") c2_copy = c;
+  }
+  ASSERT_FALSE(c1_copy.is_nil());
+  ASSERT_FALSE(c2_copy.is_nil());
+  auto c1c = store_->Get(c1_copy);
+  ASSERT_TRUE(c1c.ok());
+  // Internal ref remapped to the copy; external ref shared.
+  EXPECT_EQ(c1c->Get(next_).as_ref(), c2_copy);
+  EXPECT_EQ(c1c->Get(conns_).elements()[0].as_ref(), external);
+  // Original untouched.
+  auto orig = store_->Get(c1);
+  ASSERT_TRUE(orig.ok());
+  EXPECT_EQ(orig->Get(next_).as_ref(), c2);
+}
+
+TEST_F(ObjectFeaturesTest, CompositeMapRebuiltOnAttach) {
+  {
+    auto cm = CompositeManager::Attach(store_.get());
+    ASSERT_TRUE(cm.ok());
+    Oid root = MakePart("root");
+    Oid child = MakePart("child");
+    ASSERT_TRUE((*cm)->AttachChild(1, child, root).ok());
+  }  // manager destroyed
+  // A fresh manager reconstructs parent->children from stored part-of links.
+  auto cm2 = CompositeManager::Attach(store_.get());
+  ASSERT_TRUE(cm2.ok());
+  Oid root = kNilOid;
+  ASSERT_TRUE(store_->ForEachInClass(part_, [&](const Object& o) {
+                      if (o.Get(name_).as_string() == "root") root = o.oid();
+                      return Status::OK();
+                    }).ok());
+  ASSERT_FALSE(root.is_nil());
+  EXPECT_EQ((*cm2)->ChildrenOf(root).size(), 1u);
+}
+
+// --- Versions (§3.3/§5.5, CHOU86) ---------------------------------------------
+
+TEST_F(ObjectFeaturesTest, MakeVersionableAndDerive) {
+  VersionManager vm(store_.get());
+  Oid v1 = MakePart("design");
+  auto generic = vm.MakeVersionable(1, v1);
+  ASSERT_TRUE(generic.ok()) << generic.status().ToString();
+  EXPECT_TRUE(vm.IsGeneric(*generic));
+  EXPECT_TRUE(vm.IsVersion(v1));
+  EXPECT_EQ(*vm.VersionNumberOf(v1), 1);
+  EXPECT_EQ(*vm.Resolve(*generic), v1);
+
+  auto v2 = vm.DeriveVersion(1, v1);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*vm.VersionNumberOf(*v2), 2);
+  EXPECT_EQ(*vm.DerivedFrom(*v2), v1);
+  EXPECT_EQ(*vm.GenericOf(*v2), *generic);
+  auto versions = vm.VersionsOf(*generic);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), 2u);
+  // Default still v1 until changed.
+  EXPECT_EQ(*vm.Resolve(*generic), v1);
+  ASSERT_TRUE(vm.SetDefault(1, *generic, *v2).ok());
+  EXPECT_EQ(*vm.Resolve(*generic), *v2);
+}
+
+TEST_F(ObjectFeaturesTest, DerivedVersionCopiesState) {
+  VersionManager vm(store_.get());
+  Oid v1 = MakePart("widget");
+  ASSERT_TRUE(vm.MakeVersionable(1, v1).ok());
+  auto v2 = vm.DeriveVersion(1, v1);
+  ASSERT_TRUE(v2.ok());
+  auto obj = store_->Get(*v2);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->Get(name_).as_string(), "widget");
+  // Changing the copy does not touch the original.
+  ASSERT_TRUE(store_->SetAttr(1, *v2, "Name", Value::Str("widget-v2")).ok());
+  EXPECT_EQ(store_->Get(v1)->Get(name_).as_string(), "widget");
+}
+
+TEST_F(ObjectFeaturesTest, ReleasedVersionIsImmutable) {
+  VersionManager vm(store_.get());
+  Oid v1 = MakePart("d");
+  ASSERT_TRUE(vm.MakeVersionable(1, v1).ok());
+  ASSERT_TRUE(vm.Release(1, v1).ok());
+  EXPECT_TRUE(vm.IsReleased(v1));
+  EXPECT_TRUE(vm.CheckMutable(v1).IsFailedPrecondition());
+  // A derived version of a released one is mutable again.
+  auto v2 = vm.DeriveVersion(1, v1);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE(vm.CheckMutable(*v2).ok());
+  EXPECT_FALSE(vm.IsReleased(*v2));
+}
+
+TEST_F(ObjectFeaturesTest, SetDefaultRejectsForeignVersion) {
+  VersionManager vm(store_.get());
+  Oid a = MakePart("a"), b = MakePart("b");
+  auto ga = vm.MakeVersionable(1, a);
+  auto gb = vm.MakeVersionable(1, b);
+  ASSERT_TRUE(ga.ok() && gb.ok());
+  EXPECT_TRUE(vm.SetDefault(1, *ga, b).IsInvalidArgument());
+}
+
+TEST_F(ObjectFeaturesTest, MakeVersionableTwiceRejected) {
+  VersionManager vm(store_.get());
+  Oid a = MakePart("a");
+  ASSERT_TRUE(vm.MakeVersionable(1, a).ok());
+  EXPECT_TRUE(vm.MakeVersionable(1, a).status().IsFailedPrecondition());
+}
+
+// --- Change notification (§3.3, CHOU88) ----------------------------------------
+
+TEST_F(ObjectFeaturesTest, FlagBasedNotificationQueuesEvents) {
+  ChangeNotifier notifier(store_.get());
+  Oid a = MakePart("watched");
+  auto sub = notifier.SubscribeObject(a);
+  EXPECT_FALSE(notifier.HasPending(sub));
+  ASSERT_TRUE(store_->SetAttr(1, a, "Name", Value::Str("changed")).ok());
+  ASSERT_TRUE(store_->Delete(1, a).ok());
+  ASSERT_TRUE(notifier.HasPending(sub));
+  auto events = notifier.Drain(sub);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, ChangeEvent::Kind::kUpdate);
+  EXPECT_EQ(events[1].kind, ChangeEvent::Kind::kDelete);
+  EXPECT_FALSE(notifier.HasPending(sub));
+}
+
+TEST_F(ObjectFeaturesTest, MessageBasedNotificationFiresImmediately) {
+  ChangeNotifier notifier(store_.get());
+  int fired = 0;
+  notifier.SubscribeClass(part_, [&](const ChangeEvent& ev) {
+    ++fired;
+    EXPECT_EQ(ev.kind, ChangeEvent::Kind::kInsert);
+  });
+  MakePart("x");
+  MakePart("y");
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(ObjectFeaturesTest, UnsubscribeStopsEvents) {
+  ChangeNotifier notifier(store_.get());
+  Oid a = MakePart("a");
+  auto sub = notifier.SubscribeObject(a);
+  notifier.Unsubscribe(sub);
+  ASSERT_TRUE(store_->SetAttr(1, a, "Name", Value::Str("b")).ok());
+  EXPECT_FALSE(notifier.HasPending(sub));
+  EXPECT_TRUE(notifier.Drain(sub).empty());
+}
+
+TEST_F(ObjectFeaturesTest, ClassSubscriptionIgnoresOtherClasses) {
+  ClassId other = *cat_.CreateClass("Other", {}, {});
+  ASSERT_TRUE(store_->EnsureExtent(other).ok());
+  ChangeNotifier notifier(store_.get());
+  auto sub = notifier.SubscribeClass(other);
+  MakePart("not-other");
+  EXPECT_FALSE(notifier.HasPending(sub));
+}
+
+}  // namespace
+}  // namespace kimdb

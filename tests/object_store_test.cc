@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "object/object_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace kimdb {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStoreTest()
+      : disk_(DiskManager::OpenInMemory()), bp_(disk_.get(), 256) {
+    company_ = *cat_.CreateClass(
+        "Company", {},
+        {{"Name", Domain::String()}, {"Location", Domain::String()}});
+    vehicle_ = *cat_.CreateClass(
+        "Vehicle", {},
+        {{"Weight", Domain::Int()}, {"Manufacturer", Domain::Ref(company_)}});
+    truck_ = *cat_.CreateClass("Truck", {vehicle_},
+                               {{"Payload", Domain::Int()}});
+    auto store = ObjectStore::Open(&bp_, &cat_, nullptr);
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+  }
+
+  Oid MustInsert(ClassId cls,
+                 std::vector<std::pair<std::string, Value>> attrs,
+                 Oid hint = kNilOid) {
+    Result<Object> obj = BuildObject(cat_, cls, attrs);
+    EXPECT_TRUE(obj.ok()) << obj.status().ToString();
+    Result<Oid> oid = store_->Insert(1, cls, std::move(*obj), hint);
+    EXPECT_TRUE(oid.ok()) << oid.status().ToString();
+    return *oid;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  BufferPool bp_;
+  Catalog cat_;
+  std::unique_ptr<ObjectStore> store_;
+  ClassId company_, vehicle_, truck_;
+};
+
+TEST_F(ObjectStoreTest, InsertAssignsClassTaggedOid) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")},
+                                  {"Location", Value::Str("Detroit")}});
+  EXPECT_EQ(oid.class_id(), company_);
+  EXPECT_TRUE(store_->Exists(oid));
+  auto obj = store_->Get(oid);
+  ASSERT_TRUE(obj.ok());
+  AttrId name = (*cat_.ResolveAttr(company_, "Name"))->id;
+  EXPECT_EQ(obj->Get(name).as_string(), "GM");
+}
+
+TEST_F(ObjectStoreTest, OidsAreUnique) {
+  std::set<uint64_t> oids;
+  for (int i = 0; i < 100; ++i) {
+    Oid oid = MustInsert(company_, {{"Name", Value::Str("c")}});
+    EXPECT_TRUE(oids.insert(oid.raw()).second);
+  }
+}
+
+TEST_F(ObjectStoreTest, BuildObjectRejectsUnknownAttribute) {
+  auto r = BuildObject(cat_, company_, {{"Nope", Value::Int(1)}});
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, InsertRejectsWrongType) {
+  Object obj;
+  AttrId weight = (*cat_.ResolveAttr(vehicle_, "Weight"))->id;
+  obj.Set(weight, Value::Str("not an int"));
+  EXPECT_TRUE(store_->Insert(1, vehicle_, std::move(obj))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ObjectStoreTest, InsertRejectsRefToWrongClass) {
+  Oid truck_oid = MustInsert(truck_, {{"Weight", Value::Int(1)}});
+  Object obj;
+  AttrId manu = (*cat_.ResolveAttr(vehicle_, "Manufacturer"))->id;
+  obj.Set(manu, Value::Ref(truck_oid));  // Truck is not a Company
+  EXPECT_TRUE(store_->Insert(1, vehicle_, std::move(obj))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ObjectStoreTest, InheritedAttributesUsableOnSubclass) {
+  Oid gm = MustInsert(company_, {{"Name", Value::Str("GM")}});
+  Oid t = MustInsert(truck_, {{"Weight", Value::Int(8000)},
+                              {"Payload", Value::Int(3000)},
+                              {"Manufacturer", Value::Ref(gm)}});
+  auto obj = store_->Get(t);
+  ASSERT_TRUE(obj.ok());
+  AttrId weight = (*cat_.ResolveAttr(truck_, "Weight"))->id;
+  EXPECT_EQ(obj->Get(weight).as_int(), 8000);
+}
+
+TEST_F(ObjectStoreTest, UpdateAndSetAttr) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("Ford")},
+                                  {"Location", Value::Str("Detroit")}});
+  ASSERT_TRUE(store_->SetAttr(1, oid, "Location", Value::Str("Dearborn")).ok());
+  auto obj = store_->Get(oid);
+  ASSERT_TRUE(obj.ok());
+  AttrId loc = (*cat_.ResolveAttr(company_, "Location"))->id;
+  EXPECT_EQ(obj->Get(loc).as_string(), "Dearborn");
+  AttrId name = (*cat_.ResolveAttr(company_, "Name"))->id;
+  EXPECT_EQ(obj->Get(name).as_string(), "Ford");
+}
+
+TEST_F(ObjectStoreTest, DeleteRemovesObject) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("DeLorean")}});
+  ASSERT_TRUE(store_->Delete(1, oid).ok());
+  EXPECT_FALSE(store_->Exists(oid));
+  EXPECT_TRUE(store_->Get(oid).status().IsNotFound());
+  EXPECT_TRUE(store_->Delete(1, oid).IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, SingleClassScanExcludesSubclasses) {
+  MustInsert(vehicle_, {{"Weight", Value::Int(1000)}});
+  MustInsert(truck_, {{"Weight", Value::Int(9000)}});
+  int vehicles = 0;
+  ASSERT_TRUE(store_->ForEachInClass(vehicle_, [&](const Object&) {
+                       ++vehicles;
+                       return Status::OK();
+                     }).ok());
+  EXPECT_EQ(vehicles, 1);
+}
+
+TEST_F(ObjectStoreTest, HierarchyScanIncludesSubclasses) {
+  MustInsert(vehicle_, {{"Weight", Value::Int(1000)}});
+  MustInsert(truck_, {{"Weight", Value::Int(9000)}});
+  MustInsert(company_, {{"Name", Value::Str("GM")}});
+  int n = 0;
+  ASSERT_TRUE(store_->ForEachInHierarchy(vehicle_, [&](const Object&) {
+                       ++n;
+                       return Status::OK();
+                     }).ok());
+  EXPECT_EQ(n, 2);  // vehicle + truck, not company
+}
+
+TEST_F(ObjectStoreTest, LazySchemaEvolutionFillsDefaults) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")}});
+  // Evolve the schema after the object exists.
+  ASSERT_TRUE(cat_.AddAttribute(company_, {"Employees", Domain::Int(),
+                                           Value::Int(0)})
+                  .ok());
+  auto obj = store_->Get(oid);
+  ASSERT_TRUE(obj.ok());
+  AttrId emp = (*cat_.ResolveAttr(company_, "Employees"))->id;
+  EXPECT_EQ(obj->Get(emp).as_int(), 0);  // default materialized on read
+  // The stored image was not rewritten.
+  auto raw = store_->GetRaw(oid);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_FALSE(raw->Has(emp));
+}
+
+TEST_F(ObjectStoreTest, LazySchemaEvolutionElidesDroppedAttrs) {
+  AttrId loc = (*cat_.ResolveAttr(company_, "Location"))->id;
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")},
+                                  {"Location", Value::Str("Detroit")}});
+  ASSERT_TRUE(cat_.DropAttribute(company_, "Location").ok());
+  auto obj = store_->Get(oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_FALSE(obj->Has(loc));
+  // Raw image still carries the old value (lazy).
+  auto raw = store_->GetRaw(oid);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_TRUE(raw->Has(loc));
+}
+
+TEST_F(ObjectStoreTest, RewriteExtentMakesEvolutionEager) {
+  AttrId loc = (*cat_.ResolveAttr(company_, "Location"))->id;
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")},
+                                  {"Location", Value::Str("Detroit")}});
+  ASSERT_TRUE(cat_.DropAttribute(company_, "Location").ok());
+  ASSERT_TRUE(cat_.AddAttribute(company_, {"Ticker", Domain::String(),
+                                           Value::Str("N/A")})
+                  .ok());
+  ASSERT_TRUE(store_->RewriteExtent(company_).ok());
+  auto raw = store_->GetRaw(oid);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_FALSE(raw->Has(loc));  // physically gone
+  AttrId ticker = (*cat_.ResolveAttr(company_, "Ticker"))->id;
+  EXPECT_EQ(raw->Get(ticker).as_string(), "N/A");  // physically present
+}
+
+TEST_F(ObjectStoreTest, DirectoryRebuiltOnReopen) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")}});
+  ASSERT_TRUE(bp_.FlushAll().ok());
+  // Reopen a fresh store over the same pages/catalog.
+  auto store2 = ObjectStore::Open(&bp_, &cat_, nullptr);
+  ASSERT_TRUE(store2.ok());
+  EXPECT_TRUE((*store2)->Exists(oid));
+  auto obj = (*store2)->Get(oid);
+  ASSERT_TRUE(obj.ok());
+  // Serial allocation continues past recovered objects.
+  Object fresh;
+  auto oid2 = (*store2)->Insert(1, company_, std::move(fresh));
+  ASSERT_TRUE(oid2.ok());
+  EXPECT_GT(oid2->serial(), oid.serial());
+}
+
+TEST_F(ObjectStoreTest, ClusterHintCoLocatesObjects) {
+  Oid parent = MustInsert(company_, {{"Name", Value::Str("parent")}});
+  Oid child = MustInsert(company_, {{"Name", Value::Str("child")}}, parent);
+  auto rid_p = store_->DirectoryLookup(parent);
+  auto rid_c = store_->DirectoryLookup(child);
+  ASSERT_TRUE(rid_p.ok() && rid_c.ok());
+  EXPECT_EQ(rid_p->page_id, rid_c->page_id);
+}
+
+TEST_F(ObjectStoreTest, ListenerSeesMutations) {
+  struct Counter : ObjectStoreListener {
+    int inserts = 0, updates = 0, deletes = 0;
+    void OnInsert(const Object&) override { ++inserts; }
+    void OnUpdate(const Object&, const Object&) override { ++updates; }
+    void OnDelete(const Object&) override { ++deletes; }
+  } counter;
+  store_->AddListener(&counter);
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("X")}});
+  ASSERT_TRUE(store_->SetAttr(1, oid, "Name", Value::Str("Y")).ok());
+  ASSERT_TRUE(store_->Delete(1, oid).ok());
+  store_->RemoveListener(&counter);
+  MustInsert(company_, {{"Name", Value::Str("Z")}});
+  EXPECT_EQ(counter.inserts, 1);
+  EXPECT_EQ(counter.updates, 1);
+  EXPECT_EQ(counter.deletes, 1);
+}
+
+TEST_F(ObjectStoreTest, CountClass) {
+  for (int i = 0; i < 7; ++i) MustInsert(company_, {});
+  auto n = store_->CountClass(company_);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 7u);
+}
+
+TEST_F(ObjectStoreTest, ManyObjectsSurviveChurn) {
+  std::vector<Oid> oids;
+  for (int i = 0; i < 300; ++i) {
+    oids.push_back(MustInsert(
+        company_, {{"Name", Value::Str("c" + std::to_string(i))}}));
+  }
+  for (size_t i = 0; i < oids.size(); i += 3) {
+    ASSERT_TRUE(store_->Delete(1, oids[i]).ok());
+  }
+  for (size_t i = 1; i < oids.size(); i += 3) {
+    ASSERT_TRUE(store_->SetAttr(1, oids[i], "Name",
+                                Value::Str("updated" + std::to_string(i)))
+                    .ok());
+  }
+  AttrId name = (*cat_.ResolveAttr(company_, "Name"))->id;
+  for (size_t i = 0; i < oids.size(); ++i) {
+    auto obj = store_->Get(oids[i]);
+    if (i % 3 == 0) {
+      EXPECT_FALSE(obj.ok());
+    } else if (i % 3 == 1) {
+      ASSERT_TRUE(obj.ok());
+      EXPECT_EQ(obj->Get(name).as_string(), "updated" + std::to_string(i));
+    } else {
+      ASSERT_TRUE(obj.ok());
+      EXPECT_EQ(obj->Get(name).as_string(), "c" + std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kimdb

@@ -1,0 +1,303 @@
+// Property tests for the query stack:
+//
+//  * plan equivalence -- for randomly generated data and random conjunctive
+//    range/equality predicates, an index-assisted execution returns exactly
+//    the same OIDs as a full extent scan, across every index kind;
+//  * OQL round trip -- randomly generated expression trees survive
+//    ToString -> parse -> ToString unchanged;
+//  * index consistency under churn -- after random insert/update/delete
+//    interleavings, index answers equal scan answers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/index_manager.h"
+#include "lang/parser.h"
+#include "object/object_store.h"
+#include "query/query_engine.h"
+#include "storage/disk_manager.h"
+#include "util/random.h"
+
+namespace kimdb {
+namespace {
+
+struct PropEnv {
+  std::unique_ptr<DiskManager> disk;
+  BufferPool bp;
+  Catalog cat;
+  ClassId maker, thing, special;
+  std::unique_ptr<ObjectStore> store;
+  std::unique_ptr<IndexManager> im;
+  std::unique_ptr<QueryEngine> indexed_engine;
+  std::unique_ptr<QueryEngine> scan_engine;
+
+  PropEnv() : disk(DiskManager::OpenInMemory()), bp(disk.get(), 1024) {
+    maker = *cat.CreateClass("Maker", {}, {{"City", Domain::String()}});
+    thing = *cat.CreateClass(
+        "Thing", {},
+        {{"A", Domain::Int()},
+         {"B", Domain::Int()},
+         {"MadeBy", Domain::Ref(maker)}});
+    special = *cat.CreateClass("Special", {thing}, {});
+    auto s = ObjectStore::Open(&bp, &cat, nullptr);
+    EXPECT_TRUE(s.ok());
+    store = std::move(*s);
+    im = std::make_unique<IndexManager>(store.get());
+    indexed_engine = std::make_unique<QueryEngine>(store.get(), im.get());
+    scan_engine = std::make_unique<QueryEngine>(store.get(), nullptr);
+  }
+};
+
+class PlanEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlanEquivalenceTest, IndexAndScanAgree) {
+  PropEnv env;
+  Random rng(GetParam());
+
+  // Indexes of all three kinds.
+  ASSERT_TRUE(env.im->CreateIndex(IndexKind::kClassHierarchy, env.thing,
+                                  {"A"})
+                  .ok());
+  ASSERT_TRUE(env.im->CreateIndex(IndexKind::kSingleClass, env.special,
+                                  {"B"})
+                  .ok());
+  ASSERT_TRUE(env.im->CreateIndex(IndexKind::kNested, env.thing,
+                                  {"MadeBy", "City"})
+                  .ok());
+
+  // Random data.
+  std::vector<Oid> makers;
+  const char* cities[] = {"Austin", "Detroit", "Nagoya", "Berlin"};
+  for (int i = 0; i < 10; ++i) {
+    Object m;
+    m.Set((*env.cat.ResolveAttr(env.maker, "City"))->id,
+          Value::Str(cities[rng.Uniform(4)]));
+    auto oid = env.store->Insert(0, env.maker, std::move(m));
+    ASSERT_TRUE(oid.ok());
+    makers.push_back(*oid);
+  }
+  AttrId a = (*env.cat.ResolveAttr(env.thing, "A"))->id;
+  AttrId b = (*env.cat.ResolveAttr(env.thing, "B"))->id;
+  AttrId made_by = (*env.cat.ResolveAttr(env.thing, "MadeBy"))->id;
+  for (int i = 0; i < 400; ++i) {
+    Object o;
+    if (!rng.OneIn(10)) o.Set(a, Value::Int(rng.UniformRange(0, 50)));
+    if (!rng.OneIn(10)) o.Set(b, Value::Int(rng.UniformRange(0, 50)));
+    if (!rng.OneIn(5)) {
+      o.Set(made_by, Value::Ref(makers[rng.Uniform(makers.size())]));
+    }
+    ASSERT_TRUE(env.store
+                    ->Insert(0, rng.OneIn(2) ? env.thing : env.special,
+                             std::move(o))
+                    .ok());
+  }
+
+  // Random conjunctive predicates over indexed and unindexed paths.
+  auto random_conjunct = [&]() -> ExprPtr {
+    switch (rng.Uniform(5)) {
+      case 0:
+        return Expr::Eq(Expr::Path({"A"}),
+                        Expr::Const(Value::Int(rng.UniformRange(0, 50))));
+      case 1:
+        return Expr::Ge(Expr::Path({"A"}),
+                        Expr::Const(Value::Int(rng.UniformRange(0, 50))));
+      case 2:
+        return Expr::Lt(Expr::Path({"B"}),
+                        Expr::Const(Value::Int(rng.UniformRange(0, 50))));
+      case 3:
+        return Expr::Eq(Expr::Path({"MadeBy", "City"}),
+                        Expr::Const(Value::Str(cities[rng.Uniform(4)])));
+      default:
+        return Expr::Ne(Expr::Path({"B"}),
+                        Expr::Const(Value::Int(rng.UniformRange(0, 50))));
+    }
+  };
+
+  for (int trial = 0; trial < 60; ++trial) {
+    Query q;
+    q.target = rng.OneIn(3) ? env.special : env.thing;
+    q.hierarchy_scope = !rng.OneIn(3);
+    ExprPtr pred = random_conjunct();
+    size_t extra = rng.Uniform(3);
+    for (size_t i = 0; i < extra; ++i) {
+      pred = Expr::And(pred, random_conjunct());
+    }
+    q.predicate = pred;
+
+    auto with_index = env.indexed_engine->Execute(q);
+    auto with_scan = env.scan_engine->Execute(q);
+    ASSERT_TRUE(with_index.ok()) << with_index.status().ToString();
+    ASSERT_TRUE(with_scan.ok());
+    std::sort(with_index->begin(), with_index->end());
+    std::sort(with_scan->begin(), with_scan->end());
+    ASSERT_EQ(*with_index, *with_scan)
+        << "trial " << trial << " predicate " << pred->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+class IndexChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexChurnTest, IndexTracksStoreThroughChurn) {
+  PropEnv env;
+  Random rng(GetParam());
+  ASSERT_TRUE(env.im->CreateIndex(IndexKind::kClassHierarchy, env.thing,
+                                  {"A"})
+                  .ok());
+  ASSERT_TRUE(env.im->CreateIndex(IndexKind::kNested, env.thing,
+                                  {"MadeBy", "City"})
+                  .ok());
+  AttrId a = (*env.cat.ResolveAttr(env.thing, "A"))->id;
+  AttrId made_by = (*env.cat.ResolveAttr(env.thing, "MadeBy"))->id;
+  AttrId city = (*env.cat.ResolveAttr(env.maker, "City"))->id;
+
+  std::vector<Oid> makers, things;
+  for (int i = 0; i < 6; ++i) {
+    Object m;
+    m.Set(city, Value::Str("c" + std::to_string(rng.Uniform(3))));
+    auto oid = env.store->Insert(0, env.maker, std::move(m));
+    ASSERT_TRUE(oid.ok());
+    makers.push_back(*oid);
+  }
+
+  for (int step = 0; step < 500; ++step) {
+    switch (rng.Uniform(5)) {
+      case 0:
+      case 1: {  // insert thing
+        Object o;
+        o.Set(a, Value::Int(rng.UniformRange(0, 20)));
+        o.Set(made_by, Value::Ref(makers[rng.Uniform(makers.size())]));
+        auto oid = env.store->Insert(
+            0, rng.OneIn(2) ? env.thing : env.special, std::move(o));
+        ASSERT_TRUE(oid.ok());
+        things.push_back(*oid);
+        break;
+      }
+      case 2: {  // mutate a thing
+        if (things.empty()) break;
+        Oid oid = things[rng.Uniform(things.size())];
+        if (!env.store->Exists(oid)) break;
+        auto obj = env.store->GetRaw(oid);
+        ASSERT_TRUE(obj.ok());
+        obj->Set(a, Value::Int(rng.UniformRange(0, 20)));
+        if (rng.OneIn(3)) {
+          obj->Set(made_by,
+                   Value::Ref(makers[rng.Uniform(makers.size())]));
+        }
+        ASSERT_TRUE(env.store->Update(0, *obj).ok());
+        break;
+      }
+      case 3: {  // move a maker (fans out to all its things)
+        Oid oid = makers[rng.Uniform(makers.size())];
+        ASSERT_TRUE(env.store
+                        ->SetAttr(0, oid, "City",
+                                  Value::Str("c" + std::to_string(
+                                                       rng.Uniform(3))))
+                        .ok());
+        break;
+      }
+      default: {  // delete a thing
+        if (things.empty()) break;
+        size_t i = rng.Uniform(things.size());
+        if (env.store->Exists(things[i])) {
+          ASSERT_TRUE(env.store->Delete(0, things[i]).ok());
+        }
+        things.erase(things.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    if (step % 50 != 0) continue;
+    // Check index answers equal scan answers for several probes.
+    for (int probe = 0; probe < 5; ++probe) {
+      Query q;
+      q.target = env.thing;
+      q.predicate =
+          probe % 2 == 0
+              ? Expr::Eq(Expr::Path({"A"}),
+                         Expr::Const(Value::Int(rng.UniformRange(0, 20))))
+              : Expr::Eq(Expr::Path({"MadeBy", "City"}),
+                         Expr::Const(Value::Str(
+                             "c" + std::to_string(rng.Uniform(3)))));
+      auto w_index = env.indexed_engine->Execute(q);
+      auto w_scan = env.scan_engine->Execute(q);
+      ASSERT_TRUE(w_index.ok() && w_scan.ok());
+      std::sort(w_index->begin(), w_index->end());
+      std::sort(w_scan->begin(), w_scan->end());
+      ASSERT_EQ(*w_index, *w_scan) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexChurnTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// --- OQL round-trip property -----------------------------------------------------
+
+ExprPtr RandomExpr(Random& rng, int depth) {
+  if (depth == 0 || rng.OneIn(3)) {
+    // Leaf comparison.
+    ExprPtr lhs = Expr::Path({rng.OneIn(2)
+                                  ? "Weight"
+                                  : std::string("attr") +
+                                        std::to_string(rng.Uniform(5))});
+    ExprPtr rhs;
+    switch (rng.Uniform(3)) {
+      case 0:
+        rhs = Expr::Const(Value::Int(rng.UniformRange(-100, 100)));
+        break;
+      case 1:
+        rhs = Expr::Const(Value::Str(rng.NextString(5)));
+        break;
+      default:
+        rhs = Expr::Const(Value::Bool(rng.OneIn(2)));
+        break;
+    }
+    switch (rng.Uniform(6)) {
+      case 0:
+        return Expr::Eq(lhs, rhs);
+      case 1:
+        return Expr::Ne(lhs, rhs);
+      case 2:
+        return Expr::Lt(lhs, rhs);
+      case 3:
+        return Expr::Le(lhs, rhs);
+      case 4:
+        return Expr::Gt(lhs, rhs);
+      default:
+        return Expr::Ge(lhs, rhs);
+    }
+  }
+  switch (rng.Uniform(3)) {
+    case 0:
+      return Expr::And(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 1:
+      return Expr::Or(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    default:
+      return Expr::Not(RandomExpr(rng, depth - 1));
+  }
+}
+
+class OqlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OqlRoundTripTest, ToStringParsesBackIdentically) {
+  Catalog cat;
+  lang::Parser parser(&cat);
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    ExprPtr e = RandomExpr(rng, 3);
+    std::string text = e->ToString();
+    auto parsed = parser.ParseExpression(text);
+    ASSERT_TRUE(parsed.ok())
+        << text << " -> " << parsed.status().ToString();
+    ASSERT_EQ((*parsed)->ToString(), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OqlRoundTripTest,
+                         ::testing::Values(7, 14, 21));
+
+}  // namespace
+}  // namespace kimdb

@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/index_manager.h"
+#include "lang/parser.h"
+#include "object/object_store.h"
+#include "query/query_engine.h"
+#include "query/views.h"
+#include "storage/disk_manager.h"
+
+namespace kimdb {
+namespace {
+
+// Figure 1 of the paper, populated: the fixture builds the Vehicle /
+// Company schema and a small fleet so the §3.2 example query ("vehicles
+// over 7500 lbs manufactured by a company located in Detroit") is directly
+// expressible.
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : disk_(DiskManager::OpenInMemory()), bp_(disk_.get(), 512) {
+    company_ = *cat_.CreateClass(
+        "Company", {},
+        {{"Name", Domain::String()}, {"Location", Domain::String()}});
+    auto_company_ = *cat_.CreateClass("AutoCompany", {company_}, {});
+    vehicle_ = *cat_.CreateClass(
+        "Vehicle", {},
+        {{"Weight", Domain::Int()},
+         {"Manufacturer", Domain::Ref(company_)},
+         {"Tags", Domain::SetOf(Domain::String())}},
+        {{"IsHeavy", 0}});
+    automobile_ = *cat_.CreateClass("Automobile", {vehicle_}, {});
+    truck_ = *cat_.CreateClass("Truck", {vehicle_},
+                               {{"Payload", Domain::Int()}});
+
+    auto store = ObjectStore::Open(&bp_, &cat_, nullptr);
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+    im_ = std::make_unique<IndexManager>(store_.get());
+
+    EXPECT_TRUE(methods_
+                    .Register(cat_, vehicle_, "IsHeavy",
+                              [this](MethodContext& ctx,
+                                     const std::vector<Value>&) {
+                                AttrId w =
+                                    (*cat_.ResolveAttr(vehicle_, "Weight"))
+                                        ->id;
+                                return Value::Bool(
+                                    ctx.self->Get(w).kind() ==
+                                        Value::Kind::kInt &&
+                                    ctx.self->Get(w).as_int() > 7500);
+                              })
+                    .ok());
+    engine_ = std::make_unique<QueryEngine>(store_.get(), im_.get(),
+                                            &methods_);
+
+    gm_ = Put(company_, {{"Name", Value::Str("GM")},
+                         {"Location", Value::Str("Detroit")}});
+    toyota_ = Put(auto_company_, {{"Name", Value::Str("Toyota")},
+                                  {"Location", Value::Str("Nagoya")}});
+    ford_ = Put(auto_company_, {{"Name", Value::Str("Ford")},
+                                {"Location", Value::Str("Detroit")}});
+
+    heavy_gm_truck_ = Put(truck_, {{"Weight", Value::Int(9000)},
+                                   {"Payload", Value::Int(4000)},
+                                   {"Manufacturer", Value::Ref(gm_)}});
+    light_gm_vehicle_ = Put(vehicle_, {{"Weight", Value::Int(2000)},
+                                       {"Manufacturer", Value::Ref(gm_)}});
+    heavy_toyota_truck_ = Put(truck_, {{"Weight", Value::Int(8000)},
+                                       {"Manufacturer", Value::Ref(toyota_)}});
+    ford_auto_ = Put(automobile_, {{"Weight", Value::Int(1500)},
+                                   {"Manufacturer", Value::Ref(ford_)},
+                                   {"Tags", Value::Set({Value::Str("sedan"),
+                                                        Value::Str("red")})}});
+  }
+
+  Oid Put(ClassId cls, std::vector<std::pair<std::string, Value>> attrs) {
+    auto obj = BuildObject(cat_, cls, attrs);
+    EXPECT_TRUE(obj.ok()) << obj.status().ToString();
+    auto oid = store_->Insert(1, cls, std::move(*obj));
+    EXPECT_TRUE(oid.ok());
+    return *oid;
+  }
+
+  std::vector<Oid> Run(const Query& q, QueryStats* stats = nullptr) {
+    auto r = engine_->Execute(q, stats);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<Oid> out = r.ok() ? *r : std::vector<Oid>{};
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<Oid> Sorted(std::vector<Oid> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  BufferPool bp_;
+  Catalog cat_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<IndexManager> im_;
+  MethodRegistry methods_;
+  std::unique_ptr<QueryEngine> engine_;
+  ClassId company_, auto_company_, vehicle_, automobile_, truck_;
+  Oid gm_, toyota_, ford_;
+  Oid heavy_gm_truck_, light_gm_vehicle_, heavy_toyota_truck_, ford_auto_;
+};
+
+TEST_F(QueryTest, NoPredicateReturnsScope) {
+  Query q;
+  q.target = vehicle_;
+  q.hierarchy_scope = true;
+  EXPECT_EQ(Run(q).size(), 4u);
+  q.hierarchy_scope = false;
+  EXPECT_EQ(Run(q), std::vector<Oid>{light_gm_vehicle_});
+}
+
+TEST_F(QueryTest, PaperSectionThreeTwoQuery) {
+  // "Find all vehicles that weigh more than 7500 lbs, manufactured by a
+  // company located in Detroit."
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::And(
+      Expr::Gt(Expr::Path({"Weight"}), Expr::Const(Value::Int(7500))),
+      Expr::Eq(Expr::Path({"Manufacturer", "Location"}),
+               Expr::Const(Value::Str("Detroit"))));
+  EXPECT_EQ(Run(q), std::vector<Oid>{heavy_gm_truck_});
+}
+
+TEST_F(QueryTest, HierarchyVsSingleClassScope) {
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::Gt(Expr::Path({"Weight"}),
+                         Expr::Const(Value::Int(7500)));
+  EXPECT_EQ(Run(q), Sorted({heavy_gm_truck_, heavy_toyota_truck_}));
+  q.hierarchy_scope = false;  // Vehicle instances only: none are heavy
+  EXPECT_TRUE(Run(q).empty());
+}
+
+TEST_F(QueryTest, DomainIncludesSubclassInstances) {
+  // Manufacturer declared as Company accepts AutoCompany instances; the
+  // nested predicate reaches them (paper §3.2 attribute-domain reading).
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::Eq(Expr::Path({"Manufacturer", "Name"}),
+                         Expr::Const(Value::Str("Toyota")));
+  EXPECT_EQ(Run(q), std::vector<Oid>{heavy_toyota_truck_});
+}
+
+TEST_F(QueryTest, SetValuedPathHasExistentialSemantics) {
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::Eq(Expr::Path({"Tags"}),
+                         Expr::Const(Value::Str("red")));
+  EXPECT_EQ(Run(q), std::vector<Oid>{ford_auto_});
+  q.predicate = Expr::Contains(Expr::Path({"Tags"}),
+                               Expr::Const(Value::Str("sedan")));
+  EXPECT_EQ(Run(q), std::vector<Oid>{ford_auto_});
+}
+
+TEST_F(QueryTest, MethodPredicateLateBinds) {
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::Method("IsHeavy");
+  EXPECT_EQ(Run(q), Sorted({heavy_gm_truck_, heavy_toyota_truck_}));
+}
+
+TEST_F(QueryTest, NotAndOrCompose) {
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::Or(
+      Expr::Eq(Expr::Path({"Manufacturer", "Name"}),
+               Expr::Const(Value::Str("Ford"))),
+      Expr::Not(Expr::Gt(Expr::Path({"Weight"}),
+                         Expr::Const(Value::Int(2500)))));
+  EXPECT_EQ(Run(q), Sorted({ford_auto_, light_gm_vehicle_}));
+}
+
+TEST_F(QueryTest, MissingAttributeOnSubclassIsVacuouslyFalse) {
+  // Payload exists only on Truck; hierarchy query from Vehicle must not
+  // error on non-trucks.
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::Ge(Expr::Path({"Payload"}),
+                         Expr::Const(Value::Int(1000)));
+  EXPECT_EQ(Run(q), std::vector<Oid>{heavy_gm_truck_});
+}
+
+TEST_F(QueryTest, PlannerPicksEqualityIndex) {
+  ASSERT_TRUE(im_->CreateIndex(IndexKind::kClassHierarchy, vehicle_,
+                               {"Weight"})
+                  .ok());
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::Eq(Expr::Path({"Weight"}),
+                         Expr::Const(Value::Int(9000)));
+  auto plan = engine_->Plan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->index_scan);
+  ASSERT_TRUE(plan->eq_key.has_value());
+  EXPECT_EQ(plan->eq_key->as_int(), 9000);
+  EXPECT_EQ(plan->residual, nullptr);
+
+  QueryStats stats;
+  EXPECT_EQ(Run(q, &stats), std::vector<Oid>{heavy_gm_truck_});
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(stats.objects_scanned, 0u);
+}
+
+TEST_F(QueryTest, PlannerMergesRangeConjuncts) {
+  ASSERT_TRUE(im_->CreateIndex(IndexKind::kClassHierarchy, vehicle_,
+                               {"Weight"})
+                  .ok());
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::And(
+      Expr::Ge(Expr::Path({"Weight"}), Expr::Const(Value::Int(1000))),
+      Expr::Lt(Expr::Path({"Weight"}), Expr::Const(Value::Int(8500))));
+  auto plan = engine_->Plan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->index_scan);
+  ASSERT_TRUE(plan->lo.has_value());
+  ASSERT_TRUE(plan->hi.has_value());
+  EXPECT_EQ(plan->lo->as_int(), 1000);
+  EXPECT_EQ(plan->hi->as_int(), 8500);
+  EXPECT_FALSE(plan->hi_inclusive);
+  EXPECT_EQ(Run(q),
+            Sorted({light_gm_vehicle_, heavy_toyota_truck_, ford_auto_}));
+}
+
+TEST_F(QueryTest, PlannerUsesNestedIndexAndKeepsResidual) {
+  ASSERT_TRUE(im_->CreateIndex(IndexKind::kNested, vehicle_,
+                               {"Manufacturer", "Location"})
+                  .ok());
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::And(
+      Expr::Eq(Expr::Path({"Manufacturer", "Location"}),
+               Expr::Const(Value::Str("Detroit"))),
+      Expr::Gt(Expr::Path({"Weight"}), Expr::Const(Value::Int(7500))));
+  auto plan = engine_->Plan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->index_scan);
+  ASSERT_NE(plan->residual, nullptr);  // the Weight conjunct remains
+  QueryStats stats;
+  EXPECT_EQ(Run(q, &stats), std::vector<Oid>{heavy_gm_truck_});
+  EXPECT_TRUE(stats.used_index);
+  EXPECT_EQ(stats.index_candidates, 3u);  // 3 Detroit-made vehicles
+}
+
+TEST_F(QueryTest, IndexAndScanAgreeUnderChurn) {
+  ASSERT_TRUE(im_->CreateIndex(IndexKind::kClassHierarchy, vehicle_,
+                               {"Weight"})
+                  .ok());
+  for (int i = 0; i < 100; ++i) {
+    Put(i % 3 == 0 ? truck_ : vehicle_,
+        {{"Weight", Value::Int(i * 37 % 1000)}});
+  }
+  Query q;
+  q.target = vehicle_;
+  q.predicate = Expr::And(
+      Expr::Ge(Expr::Path({"Weight"}), Expr::Const(Value::Int(200))),
+      Expr::Le(Expr::Path({"Weight"}), Expr::Const(Value::Int(600))));
+  QueryStats s1;
+  auto with_index = Run(q, &s1);
+  EXPECT_TRUE(s1.used_index);
+  // Same query evaluated by full scan through a second engine with no
+  // index manager.
+  QueryEngine scan_engine(store_.get(), nullptr, &methods_);
+  auto r2 = scan_engine.Execute(q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(with_index, Sorted(*r2));
+}
+
+// --- views -----------------------------------------------------------------
+
+TEST_F(QueryTest, ViewFiltersAndComposes) {
+  ViewManager views(engine_.get());
+  Query heavy;
+  heavy.target = vehicle_;
+  heavy.predicate = Expr::Gt(Expr::Path({"Weight"}),
+                             Expr::Const(Value::Int(7500)));
+  ASSERT_TRUE(views.DefineView("HeavyVehicles", heavy).ok());
+
+  auto all = views.QueryView("HeavyVehicles");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(Sorted(*all), Sorted({heavy_gm_truck_, heavy_toyota_truck_}));
+
+  // Extra predicate conjoins with the view's.
+  auto detroit = views.QueryView(
+      "HeavyVehicles", Expr::Eq(Expr::Path({"Manufacturer", "Location"}),
+                                Expr::Const(Value::Str("Detroit"))));
+  ASSERT_TRUE(detroit.ok());
+  EXPECT_EQ(*detroit, std::vector<Oid>{heavy_gm_truck_});
+}
+
+TEST_F(QueryTest, ViewContainsChecksScopeAndPredicate) {
+  ViewManager views(engine_.get());
+  Query heavy;
+  heavy.target = vehicle_;
+  heavy.predicate = Expr::Gt(Expr::Path({"Weight"}),
+                             Expr::Const(Value::Int(7500)));
+  ASSERT_TRUE(views.DefineView("Heavy", heavy).ok());
+  auto in = views.Contains("Heavy", *store_->Get(heavy_gm_truck_));
+  ASSERT_TRUE(in.ok());
+  EXPECT_TRUE(*in);
+  in = views.Contains("Heavy", *store_->Get(light_gm_vehicle_));
+  ASSERT_TRUE(in.ok());
+  EXPECT_FALSE(*in);
+  // Out-of-scope class.
+  in = views.Contains("Heavy", *store_->Get(gm_));
+  ASSERT_TRUE(in.ok());
+  EXPECT_FALSE(*in);
+  EXPECT_TRUE(views.QueryView("NoSuch").status().IsNotFound());
+}
+
+TEST_F(QueryTest, DuplicateViewRejected) {
+  ViewManager views(engine_.get());
+  Query q;
+  q.target = vehicle_;
+  ASSERT_TRUE(views.DefineView("V", q).ok());
+  EXPECT_TRUE(views.DefineView("V", q).IsAlreadyExists());
+  ASSERT_TRUE(views.DropView("V").ok());
+  EXPECT_TRUE(views.DropView("V").IsNotFound());
+}
+
+// --- OQL-lite ------------------------------------------------------------------
+
+class OqlTest : public QueryTest {
+ protected:
+  OqlTest() : parser_(&cat_) {}
+
+  std::vector<Oid> RunOql(std::string_view text) {
+    auto q = parser_.ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    if (!q.ok()) return {};
+    return Run(*q);
+  }
+
+  lang::Parser parser_;
+};
+
+TEST_F(OqlTest, PaperQueryInOql) {
+  EXPECT_EQ(RunOql("select Vehicle where Weight > 7500 and "
+                   "Manufacturer.Location = 'Detroit'"),
+            std::vector<Oid>{heavy_gm_truck_});
+}
+
+TEST_F(OqlTest, OnlyRestrictsScope) {
+  EXPECT_EQ(RunOql("select Vehicle only").size(), 1u);
+  EXPECT_EQ(RunOql("select Vehicle").size(), 4u);
+}
+
+TEST_F(OqlTest, OperatorsAndLiterals) {
+  EXPECT_EQ(RunOql("select Truck where Payload >= 4000"),
+            std::vector<Oid>{heavy_gm_truck_});
+  EXPECT_EQ(RunOql("select Vehicle where Weight <= 1500 or Weight = 2000")
+                .size(),
+            2u);
+  EXPECT_EQ(RunOql("select Vehicle where not (Weight < 8500)"),
+            std::vector<Oid>{heavy_gm_truck_});
+  EXPECT_EQ(RunOql("select Vehicle where Tags contains 'sedan'"),
+            std::vector<Oid>{ford_auto_});
+  EXPECT_EQ(RunOql("select Vehicle where Manufacturer.Name != 'GM' "
+                   "and Weight > 5000"),
+            std::vector<Oid>{heavy_toyota_truck_});
+}
+
+TEST_F(OqlTest, MethodCallSyntax) {
+  EXPECT_EQ(RunOql("select Vehicle where IsHeavy()"),
+            Sorted({heavy_gm_truck_, heavy_toyota_truck_}));
+}
+
+TEST_F(OqlTest, DoubleQuotedStringsAccepted) {
+  EXPECT_EQ(RunOql("select Vehicle where Manufacturer.Location = "
+                   "\"Detroit\" and Weight > 7500"),
+            std::vector<Oid>{heavy_gm_truck_});
+}
+
+TEST_F(OqlTest, ParseErrors) {
+  lang::Parser p(&cat_);
+  EXPECT_TRUE(p.ParseQuery("select NoSuchClass").status().IsNotFound());
+  EXPECT_TRUE(p.ParseQuery("Vehicle where x = 1").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(p.ParseQuery("select Vehicle where Weight >")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(p.ParseQuery("select Vehicle where Weight = 'unterminated")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(p.ParseQuery("select Vehicle trailing").status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(OqlTest, ExpressionRoundTripThroughToString) {
+  lang::Parser p(&cat_);
+  auto e = p.ParseExpression(
+      "Weight > 7500 and Manufacturer.Location = 'Detroit'");
+  ASSERT_TRUE(e.ok());
+  // ToString re-parses to an equivalent expression.
+  auto e2 = p.ParseExpression((*e)->ToString());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ((*e)->ToString(), (*e2)->ToString());
+}
+
+}  // namespace
+}  // namespace kimdb

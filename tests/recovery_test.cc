@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "object/object_store.h"
+#include "object/recovery.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/wal.h"
+
+namespace kimdb {
+namespace {
+
+// Simulates the full crash-recovery cycle: a "crash" drops the buffer pool
+// without flushing (and optionally flushes some pages first to model
+// partially-propagated state), then a fresh store + RecoveryManager must
+// reconstruct exactly the committed state.
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string base =
+        ::testing::TempDir() + "/kimdb_rec_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    db_path_ = base + ".db";
+    wal_path_ = base + ".wal";
+    ::remove(db_path_.c_str());
+    ::remove(wal_path_.c_str());
+    BuildCatalog();
+    OpenStore();
+  }
+
+  void TearDown() override {
+    store_.reset();
+    bp_.reset();
+    disk_.reset();
+    wal_.reset();
+    ::remove(db_path_.c_str());
+    ::remove(wal_path_.c_str());
+  }
+
+  void BuildCatalog() {
+    cat_ = std::make_unique<Catalog>();
+    part_ = *cat_->CreateClass("Part", {}, {{"Name", Domain::String()}});
+    name_ = (*cat_->ResolveAttr(part_, "Name"))->id;
+  }
+
+  void OpenStore() {
+    auto disk = DiskManager::OpenFile(db_path_);
+    ASSERT_TRUE(disk.ok());
+    disk_ = std::move(*disk);
+    bp_ = std::make_unique<BufferPool>(disk_.get(), 64);
+    auto wal = Wal::Open(wal_path_);
+    ASSERT_TRUE(wal.ok());
+    wal_ = std::move(*wal);
+    auto store = ObjectStore::Open(bp_.get(), cat_.get(), wal_.get());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(*store);
+  }
+
+  // Crash: discard all unflushed pages, reopen everything, run recovery.
+  // The catalog survives (DDL checkpoints it in the real Database facade);
+  // we model that by rebuilding an identical catalog but keeping extent
+  // heads, which requires flushing the catalog's view -- here we simply
+  // reuse the same catalog object and reset its in-memory extent info by
+  // reopening the store over the same disk file.
+  RecoveryStats CrashAndRecover(bool flush_some_pages) {
+    if (flush_some_pages) {
+      // Model a partially-propagated buffer pool: flush everything (the
+      // interesting asymmetry is exercised by the no-flush variant).
+      EXPECT_TRUE(bp_->FlushAll().ok());
+    }
+    store_.reset();
+    bp_.reset();
+    disk_.reset();  // unflushed pages are lost with the pool
+
+    auto disk = DiskManager::OpenFile(db_path_);
+    EXPECT_TRUE(disk.ok());
+    disk_ = std::move(*disk);
+    bp_ = std::make_unique<BufferPool>(disk_.get(), 64);
+    auto store = ObjectStore::Open(bp_.get(), cat_.get(), wal_.get());
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+    auto stats = RecoveryManager::Recover(store_.get(), wal_.get());
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  }
+
+  void LogTxnControl(uint64_t txn, WalRecordType type) {
+    WalRecord rec;
+    rec.txn_id = txn;
+    rec.type = type;
+    ASSERT_TRUE(wal_->Append(std::move(rec)).ok());
+    ASSERT_TRUE(wal_->Sync().ok());
+  }
+
+  std::string db_path_, wal_path_;
+  std::unique_ptr<Catalog> cat_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> bp_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<ObjectStore> store_;
+  ClassId part_;
+  AttrId name_;
+};
+
+TEST_F(RecoveryTest, CommittedInsertSurvivesCrashWithoutPageFlush) {
+  Object obj;
+  obj.Set(name_, Value::Str("durable"));
+  auto oid = store_->Insert(7, part_, std::move(obj));
+  ASSERT_TRUE(oid.ok());
+  LogTxnControl(7, WalRecordType::kCommit);
+
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/false);
+  EXPECT_EQ(stats.committed_txns, 1u);
+  EXPECT_GE(stats.redone, 1u);
+  ASSERT_TRUE(store_->Exists(*oid));
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "durable");
+}
+
+TEST_F(RecoveryTest, UncommittedInsertRolledBackEvenIfPagesFlushed) {
+  Object obj;
+  obj.Set(name_, Value::Str("ghost"));
+  auto oid = store_->Insert(8, part_, std::move(obj));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(wal_->Sync().ok());
+  // No commit record. Pages flushed: the dirty insert reached disk.
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/true);
+  EXPECT_EQ(stats.losing_txns, 1u);
+  EXPECT_GE(stats.undone, 1u);
+  EXPECT_FALSE(store_->Exists(*oid));
+}
+
+TEST_F(RecoveryTest, UncommittedUpdateRestoresBeforeImage) {
+  Object obj;
+  obj.Set(name_, Value::Str("v0"));
+  auto oid = store_->Insert(1, part_, std::move(obj));
+  ASSERT_TRUE(oid.ok());
+  LogTxnControl(1, WalRecordType::kCommit);
+
+  ASSERT_TRUE(store_->SetAttr(2, *oid, "Name", Value::Str("v1")).ok());
+  ASSERT_TRUE(wal_->Sync().ok());
+  // Txn 2 never commits; its update hit the flushed pages.
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/true);
+  EXPECT_GE(stats.undone, 1u);
+  ASSERT_TRUE(store_->Exists(*oid));
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "v0");
+}
+
+TEST_F(RecoveryTest, UncommittedDeleteResurrectsObject) {
+  Object obj;
+  obj.Set(name_, Value::Str("lazarus"));
+  auto oid = store_->Insert(1, part_, std::move(obj));
+  ASSERT_TRUE(oid.ok());
+  LogTxnControl(1, WalRecordType::kCommit);
+
+  ASSERT_TRUE(store_->Delete(2, *oid).ok());
+  ASSERT_TRUE(wal_->Sync().ok());
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/true);
+  EXPECT_GE(stats.undone, 1u);
+  ASSERT_TRUE(store_->Exists(*oid));
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "lazarus");
+}
+
+TEST_F(RecoveryTest, InterleavedCommittedAndUncommittedTxns) {
+  // T1 (commits): insert A, update A. T2 (loses): insert B, update A.
+  Object a;
+  a.Set(name_, Value::Str("a0"));
+  auto oid_a = store_->Insert(1, part_, std::move(a));
+  ASSERT_TRUE(oid_a.ok());
+  ASSERT_TRUE(store_->SetAttr(1, *oid_a, "Name", Value::Str("a1")).ok());
+
+  Object b;
+  b.Set(name_, Value::Str("b0"));
+  auto oid_b = store_->Insert(2, part_, std::move(b));
+  ASSERT_TRUE(oid_b.ok());
+
+  LogTxnControl(1, WalRecordType::kCommit);
+  // T2 updates A *after* T1 committed, then loses.
+  ASSERT_TRUE(store_->SetAttr(2, *oid_a, "Name", Value::Str("a2")).ok());
+  ASSERT_TRUE(wal_->Sync().ok());
+
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/true);
+  EXPECT_EQ(stats.committed_txns, 1u);
+  EXPECT_EQ(stats.losing_txns, 1u);
+  ASSERT_TRUE(store_->Exists(*oid_a));
+  EXPECT_EQ(store_->Get(*oid_a)->Get(name_).as_string(), "a1");
+  EXPECT_FALSE(store_->Exists(*oid_b));
+}
+
+TEST_F(RecoveryTest, RecoveryIsIdempotent) {
+  Object obj;
+  obj.Set(name_, Value::Str("once"));
+  auto oid = store_->Insert(1, part_, std::move(obj));
+  ASSERT_TRUE(oid.ok());
+  LogTxnControl(1, WalRecordType::kCommit);
+
+  CrashAndRecover(false);
+  // Run recovery again over the same log: state must not change.
+  auto stats2 = RecoveryManager::Recover(store_.get(), wal_.get());
+  ASSERT_TRUE(stats2.ok());
+  auto n = store_->CountClass(part_);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "once");
+}
+
+TEST_F(RecoveryTest, ExplicitAbortTreatedAsLosing) {
+  Object obj;
+  obj.Set(name_, Value::Str("aborted"));
+  auto oid = store_->Insert(3, part_, std::move(obj));
+  ASSERT_TRUE(oid.ok());
+  LogTxnControl(3, WalRecordType::kAbort);
+
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/true);
+  EXPECT_EQ(stats.losing_txns, 1u);
+  EXPECT_FALSE(store_->Exists(*oid));
+}
+
+TEST_F(RecoveryTest, ManyTxnsMixedOutcome) {
+  std::vector<Oid> committed, lost;
+  for (uint64_t t = 1; t <= 20; ++t) {
+    Object obj;
+    obj.Set(name_, Value::Str("t" + std::to_string(t)));
+    auto oid = store_->Insert(t, part_, std::move(obj));
+    ASSERT_TRUE(oid.ok());
+    if (t % 2 == 0) {
+      LogTxnControl(t, WalRecordType::kCommit);
+      committed.push_back(*oid);
+    } else {
+      lost.push_back(*oid);
+    }
+  }
+  ASSERT_TRUE(wal_->Sync().ok());
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/true);
+  EXPECT_EQ(stats.committed_txns, 10u);
+  EXPECT_EQ(stats.losing_txns, 10u);
+  for (Oid o : committed) EXPECT_TRUE(store_->Exists(o));
+  for (Oid o : lost) EXPECT_FALSE(store_->Exists(o));
+  auto n = store_->CountClass(part_);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 10u);
+}
+
+}  // namespace
+}  // namespace kimdb

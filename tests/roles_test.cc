@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "object/roles.h"
+#include "query/query_engine.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace kimdb {
+namespace {
+
+class RolesTest : public ::testing::Test {
+ protected:
+  RolesTest()
+      : disk_(DiskManager::OpenInMemory()), bp_(disk_.get(), 128) {
+    person_ = *cat_.CreateClass("Person", {},
+                                {{"Name", Domain::String()}});
+    employee_ = *cat_.CreateClass(
+        "EmployeeRole", {},
+        {{"Employer", Domain::String()}, {"Salary", Domain::Int()}});
+    manager_ = *cat_.CreateClass("ManagerRole", {employee_},
+                                 {{"Reports", Domain::Int()}});
+    pilot_ = *cat_.CreateClass("PilotRole", {},
+                               {{"License", Domain::String()}});
+    auto store = ObjectStore::Open(&bp_, &cat_, nullptr);
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+    roles_ = std::make_unique<RoleManager>(store_.get());
+  }
+
+  Oid MakePerson(const std::string& name) {
+    Object obj;
+    obj.Set((*cat_.ResolveAttr(person_, "Name"))->id, Value::Str(name));
+    auto oid = store_->Insert(0, person_, std::move(obj));
+    EXPECT_TRUE(oid.ok());
+    return *oid;
+  }
+
+  Object EmployeeAttrs(const std::string& employer, int64_t salary) {
+    Object obj;
+    obj.Set((*cat_.ResolveAttr(employee_, "Employer"))->id,
+            Value::Str(employer));
+    obj.Set((*cat_.ResolveAttr(employee_, "Salary"))->id,
+            Value::Int(salary));
+    return obj;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  BufferPool bp_;
+  Catalog cat_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<RoleManager> roles_;
+  ClassId person_, employee_, manager_, pilot_;
+};
+
+TEST_F(RolesTest, AcquireAndNavigateBothWays) {
+  Oid alice = MakePerson("alice");
+  auto role = roles_->AcquireRole(0, alice, employee_,
+                                  EmployeeAttrs("MCC", 90000));
+  ASSERT_TRUE(role.ok()) << role.status().ToString();
+  EXPECT_EQ(role->class_id(), employee_);
+  EXPECT_TRUE(roles_->HasRole(alice, employee_));
+  EXPECT_EQ(*roles_->PlayerOf(*role), alice);
+  EXPECT_EQ(*roles_->RoleAs(alice, employee_), *role);
+  auto all = roles_->RolesOf(alice);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, std::vector<Oid>{*role});
+}
+
+TEST_F(RolesTest, MultipleRolesCoexist) {
+  Oid bob = MakePerson("bob");
+  ASSERT_TRUE(roles_->AcquireRole(0, bob, employee_,
+                                  EmployeeAttrs("MCC", 80000))
+                  .ok());
+  Object pilot_attrs;
+  pilot_attrs.Set((*cat_.ResolveAttr(pilot_, "License"))->id,
+                  Value::Str("ATP"));
+  ASSERT_TRUE(roles_->AcquireRole(0, bob, pilot_, std::move(pilot_attrs))
+                  .ok());
+  auto all = roles_->RolesOf(bob);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  EXPECT_TRUE(roles_->HasRole(bob, employee_));
+  EXPECT_TRUE(roles_->HasRole(bob, pilot_));
+}
+
+TEST_F(RolesTest, DuplicateRoleClassRejected) {
+  Oid carol = MakePerson("carol");
+  ASSERT_TRUE(roles_->AcquireRole(0, carol, employee_,
+                                  EmployeeAttrs("A", 1))
+                  .ok());
+  EXPECT_TRUE(roles_->AcquireRole(0, carol, employee_,
+                                  EmployeeAttrs("B", 2))
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(RolesTest, RoleSubclassCountsAsRole) {
+  Oid dan = MakePerson("dan");
+  Object mgr = EmployeeAttrs("MCC", 120000);
+  mgr.Set((*cat_.ResolveAttr(manager_, "Reports"))->id, Value::Int(7));
+  auto role = roles_->AcquireRole(0, dan, manager_, std::move(mgr));
+  ASSERT_TRUE(role.ok());
+  // A ManagerRole IS-A EmployeeRole: queries for the employee role find it.
+  EXPECT_TRUE(roles_->HasRole(dan, employee_));
+  EXPECT_EQ(*roles_->RoleAs(dan, employee_), *role);
+  // And acquiring a plain EmployeeRole on top is rejected (already
+  // employed via the manager role).
+  EXPECT_TRUE(roles_->AcquireRole(0, dan, employee_,
+                                  EmployeeAttrs("X", 1))
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(RolesTest, AbandonRoleDeletesRoleObject) {
+  Oid erin = MakePerson("erin");
+  auto role = roles_->AcquireRole(0, erin, employee_,
+                                  EmployeeAttrs("MCC", 70000));
+  ASSERT_TRUE(role.ok());
+  ASSERT_TRUE(roles_->AbandonRole(0, erin, employee_).ok());
+  EXPECT_FALSE(roles_->HasRole(erin, employee_));
+  EXPECT_FALSE(store_->Exists(*role));
+  EXPECT_TRUE(roles_->RolesOf(erin)->empty());
+  // Abandoning again fails cleanly.
+  EXPECT_TRUE(roles_->AbandonRole(0, erin, employee_).IsNotFound());
+}
+
+TEST_F(RolesTest, RoleExtentsAreQueryable) {
+  Oid a = MakePerson("a");
+  Oid b = MakePerson("b");
+  ASSERT_TRUE(roles_->AcquireRole(0, a, employee_,
+                                  EmployeeAttrs("MCC", 90000))
+                  .ok());
+  ASSERT_TRUE(roles_->AcquireRole(0, b, employee_,
+                                  EmployeeAttrs("IBM", 50000))
+                  .ok());
+  // Declarative query over the role extent, then navigate to players.
+  QueryEngine engine(store_.get(), nullptr);
+  Query q;
+  q.target = employee_;
+  q.predicate = Expr::Gt(Expr::Path({"Salary"}),
+                         Expr::Const(Value::Int(60000)));
+  auto hits = engine.Execute(q);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(*roles_->PlayerOf((*hits)[0]), a);
+}
+
+TEST_F(RolesTest, CrossClassClusterHintDoesNotCorruptExtents) {
+  // The role lives in a different class than its player: the placement
+  // hint must NOT land the role record inside the Person extent chain
+  // (regression: cross-class hints used to do exactly that).
+  Oid f = MakePerson("frank");
+  auto role = roles_->AcquireRole(0, f, employee_,
+                                  EmployeeAttrs("MCC", 1));
+  ASSERT_TRUE(role.ok());
+  int persons = 0, employees = 0;
+  ASSERT_TRUE(store_->ForEachInClass(person_, [&](const Object&) {
+                      ++persons;
+                      return Status::OK();
+                    }).ok());
+  ASSERT_TRUE(store_->ForEachInClass(employee_, [&](const Object&) {
+                      ++employees;
+                      return Status::OK();
+                    }).ok());
+  EXPECT_EQ(persons, 1);
+  EXPECT_EQ(employees, 1);
+}
+
+TEST_F(RolesTest, NonRoleQueriesFailCleanly) {
+  Oid g = MakePerson("gail");
+  EXPECT_TRUE(roles_->PlayerOf(g).status().IsNotFound());
+  EXPECT_TRUE(roles_->RoleAs(g, employee_).status().IsNotFound());
+  EXPECT_TRUE(roles_->AcquireRole(0, Oid::Make(person_, 999), employee_,
+                                  EmployeeAttrs("x", 1))
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace kimdb

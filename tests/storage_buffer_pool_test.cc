@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace kimdb {
+namespace {
+
+TEST(DiskManagerTest, InMemoryReadWriteRoundTrip) {
+  auto disk = DiskManager::OpenInMemory();
+  auto pid = disk->AllocatePage();
+  ASSERT_TRUE(pid.ok());
+  char out[kPageSize];
+  std::memset(out, 0x5A, kPageSize);
+  ASSERT_TRUE(disk->WritePage(*pid, out).ok());
+  char in[kPageSize] = {0};
+  ASSERT_TRUE(disk->ReadPage(*pid, in).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST(DiskManagerTest, ReadPastEndFails) {
+  auto disk = DiskManager::OpenInMemory();
+  char buf[kPageSize];
+  EXPECT_TRUE(disk->ReadPage(5, buf).IsInvalidArgument());
+}
+
+TEST(DiskManagerTest, FileBackedPersistsAcrossReopen) {
+  std::string path = ::testing::TempDir() + "/kimdb_dm_test.db";
+  ::remove(path.c_str());
+  PageId pid;
+  {
+    auto disk = DiskManager::OpenFile(path);
+    ASSERT_TRUE(disk.ok());
+    auto p = (*disk)->AllocatePage();
+    ASSERT_TRUE(p.ok());
+    pid = *p;
+    char buf[kPageSize];
+    std::memset(buf, 0x7F, kPageSize);
+    ASSERT_TRUE((*disk)->WritePage(pid, buf).ok());
+    ASSERT_TRUE((*disk)->Sync().ok());
+  }
+  auto disk = DiskManager::OpenFile(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->num_pages(), 1u);
+  char buf[kPageSize];
+  ASSERT_TRUE((*disk)->ReadPage(pid, buf).ok());
+  EXPECT_EQ(buf[100], 0x7F);
+  ::remove(path.c_str());
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : disk_(DiskManager::OpenInMemory()) {}
+  std::unique_ptr<DiskManager> disk_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsZeroedAndPinned) {
+  BufferPool bp(disk_.get(), 4);
+  PageId pid;
+  auto data = bp.NewPage(&pid);
+  ASSERT_TRUE(data.ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ((*data)[i], 0);
+  bp.Unpin(pid, false);
+}
+
+TEST_F(BufferPoolTest, FetchHitDoesNotTouchDisk) {
+  BufferPool bp(disk_.get(), 4);
+  PageId pid;
+  auto d = bp.NewPage(&pid);
+  ASSERT_TRUE(d.ok());
+  bp.Unpin(pid, false);
+  bp.ResetStats();
+  auto d2 = bp.FetchPage(pid);
+  ASSERT_TRUE(d2.ok());
+  bp.Unpin(pid, false);
+  EXPECT_EQ(bp.stats().hits, 1u);
+  EXPECT_EQ(bp.stats().disk_reads, 0u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesDirtyPageBack) {
+  BufferPool bp(disk_.get(), 2);
+  PageId pid;
+  auto d = bp.NewPage(&pid);
+  ASSERT_TRUE(d.ok());
+  (*d)[0] = 'X';
+  bp.Unpin(pid, /*dirty=*/true);
+  // Fill the pool to force eviction of pid.
+  for (int i = 0; i < 4; ++i) {
+    PageId other;
+    auto p = bp.NewPage(&other);
+    ASSERT_TRUE(p.ok());
+    bp.Unpin(other, false);
+  }
+  // Re-fetch: data must have survived the eviction round trip.
+  auto back = bp.FetchPage(pid);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0], 'X');
+  bp.Unpin(pid, false);
+  EXPECT_GT(bp.stats().evictions, 0u);
+  EXPECT_GT(bp.stats().disk_writes, 0u);
+}
+
+TEST_F(BufferPoolTest, AllFramesPinnedIsResourceExhausted) {
+  BufferPool bp(disk_.get(), 2);
+  PageId p1, p2, p3;
+  ASSERT_TRUE(bp.NewPage(&p1).ok());
+  ASSERT_TRUE(bp.NewPage(&p2).ok());
+  auto r = bp.NewPage(&p3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  bp.Unpin(p1, false);
+  EXPECT_TRUE(bp.NewPage(&p3).ok());
+}
+
+TEST_F(BufferPoolTest, PinCountPreventsEviction) {
+  BufferPool bp(disk_.get(), 2);
+  PageId pinned;
+  auto d = bp.NewPage(&pinned);
+  ASSERT_TRUE(d.ok());
+  (*d)[7] = 'P';
+  // Churn through other pages; the pinned page must stay resident.
+  for (int i = 0; i < 6; ++i) {
+    PageId other;
+    auto p = bp.NewPage(&other);
+    ASSERT_TRUE(p.ok());
+    bp.Unpin(other, false);
+  }
+  bp.ResetStats();
+  auto again = bp.FetchPage(pinned);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(bp.stats().hits, 1u);  // still cached
+  EXPECT_EQ((*again)[7], 'P');
+  bp.Unpin(pinned, false);
+  bp.Unpin(pinned, false);
+}
+
+TEST_F(BufferPoolTest, FlushAllMakesPagesDurable) {
+  BufferPool bp(disk_.get(), 4);
+  PageId pid;
+  auto d = bp.NewPage(&pid);
+  ASSERT_TRUE(d.ok());
+  (*d)[10] = 'D';
+  bp.Unpin(pid, true);
+  ASSERT_TRUE(bp.FlushAll().ok());
+  char raw[kPageSize];
+  ASSERT_TRUE(disk_->ReadPage(pid, raw).ok());
+  EXPECT_EQ(raw[10], 'D');
+}
+
+TEST_F(BufferPoolTest, PageGuardUnpinsOnScopeExit) {
+  BufferPool bp(disk_.get(), 2);
+  PageId pid;
+  {
+    auto d = bp.NewPage(&pid);
+    ASSERT_TRUE(d.ok());
+    bp.Unpin(pid, false);
+  }
+  {
+    PageGuard g(&bp, pid);
+    ASSERT_TRUE(g.ok());
+    g.data()[0] = 'G';
+    g.MarkDirty();
+  }  // guard released here
+  // Frame is evictable again: churn must succeed.
+  for (int i = 0; i < 4; ++i) {
+    PageId other;
+    ASSERT_TRUE(bp.NewPage(&other).ok());
+    bp.Unpin(other, false);
+  }
+  PageGuard g(&bp, pid);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.data()[0], 'G');  // dirty flag was honored
+}
+
+TEST_F(BufferPoolTest, StressManyPagesSmallPool) {
+  BufferPool bp(disk_.get(), 8);
+  constexpr int kPages = 200;
+  std::vector<PageId> pids;
+  for (int i = 0; i < kPages; ++i) {
+    PageId pid;
+    auto d = bp.NewPage(&pid);
+    ASSERT_TRUE(d.ok());
+    std::memset(*d, i % 251, kPageSize);
+    bp.Unpin(pid, true);
+    pids.push_back(pid);
+  }
+  for (int i = 0; i < kPages; ++i) {
+    auto d = bp.FetchPage(pids[i]);
+    ASSERT_TRUE(d.ok());
+    ASSERT_EQ(static_cast<unsigned char>((*d)[123]), i % 251);
+    bp.Unpin(pids[i], false);
+  }
+}
+
+}  // namespace
+}  // namespace kimdb

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "util/random.h"
+
+namespace kimdb {
+namespace {
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest()
+      : disk_(DiskManager::OpenInMemory()), bp_(disk_.get(), 64) {}
+
+  HeapFile MakeHeap() {
+    Result<HeapFile> h = HeapFile::Create(&bp_);
+    EXPECT_TRUE(h.ok()) << h.status().ToString();
+    return *h;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  BufferPool bp_;
+};
+
+TEST_F(HeapFileTest, InsertGetRoundTrip) {
+  HeapFile heap = MakeHeap();
+  auto rid = heap.Insert("record one");
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(*heap.Get(*rid), "record one");
+}
+
+TEST_F(HeapFileTest, GetMissingRecordFails) {
+  HeapFile heap = MakeHeap();
+  EXPECT_FALSE(heap.Get(RecordId{heap.head(), 3}).ok());
+}
+
+TEST_F(HeapFileTest, ManyInsertsSpanPagesAndScanSeesAll) {
+  HeapFile heap = MakeHeap();
+  std::set<std::string> expected;
+  for (int i = 0; i < 500; ++i) {
+    std::string rec = "record-" + std::to_string(i) + std::string(50, 'p');
+    ASSERT_TRUE(heap.Insert(rec).ok());
+    expected.insert(rec);
+  }
+  ASSERT_GT(*heap.CountPages(), 5u);
+
+  std::set<std::string> seen;
+  ASSERT_TRUE(heap.ForEach([&](RecordId, std::string_view r) {
+                    seen.insert(std::string(r));
+                    return Status::OK();
+                  }).ok());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_F(HeapFileTest, DeleteRemovesFromScan) {
+  HeapFile heap = MakeHeap();
+  auto r1 = heap.Insert("keep");
+  auto r2 = heap.Insert("drop");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_TRUE(heap.Delete(*r2).ok());
+  int count = 0;
+  ASSERT_TRUE(heap.ForEach([&](RecordId, std::string_view r) {
+                    EXPECT_EQ(r, "keep");
+                    ++count;
+                    return Status::OK();
+                  }).ok());
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(heap.Get(*r2).ok());
+}
+
+TEST_F(HeapFileTest, UpdateInPlaceKeepsRecordId) {
+  HeapFile heap = MakeHeap();
+  auto rid = heap.Insert("0123456789");
+  ASSERT_TRUE(rid.ok());
+  auto new_rid = heap.Update(*rid, "01234");
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_EQ(*new_rid, *rid);
+  EXPECT_EQ(*heap.Get(*new_rid), "01234");
+}
+
+TEST_F(HeapFileTest, UpdateThatOverflowsPageMovesRecord) {
+  HeapFile heap = MakeHeap();
+  // Fill the head page nearly full.
+  std::string filler(700, 'f');
+  RecordId victim{};
+  for (int i = 0; i < 5; ++i) {
+    auto r = heap.Insert(filler);
+    ASSERT_TRUE(r.ok());
+    victim = *r;
+  }
+  std::string big(1000, 'b');
+  auto moved = heap.Update(victim, big);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  EXPECT_EQ(*heap.Get(*moved), big);
+}
+
+TEST_F(HeapFileTest, LongRecordsUseOverflowChains) {
+  HeapFile heap = MakeHeap();
+  // Way beyond a page: must round-trip through overflow pages.
+  std::string huge;
+  Random rng(3);
+  for (int i = 0; i < 40000; ++i) {
+    huge.push_back(static_cast<char>('a' + rng.Uniform(26)));
+  }
+  auto rid = heap.Insert(huge);
+  ASSERT_TRUE(rid.ok()) << rid.status().ToString();
+  auto got = heap.Get(*rid);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, huge);
+
+  // Long records appear in scans too.
+  bool found = false;
+  ASSERT_TRUE(heap.ForEach([&](RecordId, std::string_view r) {
+                    if (r == huge) found = true;
+                    return Status::OK();
+                  }).ok());
+  EXPECT_TRUE(found);
+}
+
+TEST_F(HeapFileTest, LongRecordUpdateAndDelete) {
+  HeapFile heap = MakeHeap();
+  std::string huge(20000, 'h');
+  auto rid = heap.Insert(huge);
+  ASSERT_TRUE(rid.ok());
+  // Shrink to inline.
+  auto rid2 = heap.Update(*rid, "now small");
+  ASSERT_TRUE(rid2.ok());
+  EXPECT_EQ(*heap.Get(*rid2), "now small");
+  // Grow back to overflow.
+  std::string huge2(30000, 'i');
+  auto rid3 = heap.Update(*rid2, huge2);
+  ASSERT_TRUE(rid3.ok());
+  EXPECT_EQ(*heap.Get(*rid3), huge2);
+  ASSERT_TRUE(heap.Delete(*rid3).ok());
+  EXPECT_FALSE(heap.Get(*rid3).ok());
+}
+
+TEST_F(HeapFileTest, ClusteringHintPlacesRecordOnHintPage) {
+  HeapFile heap = MakeHeap();
+  // Create several pages.
+  std::string filler(500, 'f');
+  RecordId anchor{};
+  for (int i = 0; i < 30; ++i) {
+    auto r = heap.Insert(filler);
+    ASSERT_TRUE(r.ok());
+    if (i == 0) anchor = *r;
+  }
+  ASSERT_GT(*heap.CountPages(), 2u);
+  // Free space on the anchor page, then insert with the hint.
+  ASSERT_TRUE(heap.Delete(RecordId{anchor.page_id, anchor.slot}).ok());
+  auto hinted = heap.Insert("near-anchor", anchor.page_id);
+  ASSERT_TRUE(hinted.ok());
+  EXPECT_EQ(hinted->page_id, anchor.page_id);
+}
+
+TEST_F(HeapFileTest, ClusteringHintFullPageLinksAdjacent) {
+  HeapFile heap = MakeHeap();
+  // Inline records (below the overflow threshold) that fill the head page.
+  std::string filler(990, 'f');
+  auto a = heap.Insert(filler);
+  ASSERT_TRUE(a.ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(heap.Insert(filler).ok());
+  // Hinted insert that cannot fit on the (full) hint page: a new page is
+  // chained immediately after the hint page.
+  std::string big(1000, 'g');
+  auto hinted = heap.Insert(big, a->page_id);
+  ASSERT_TRUE(hinted.ok());
+  EXPECT_NE(hinted->page_id, a->page_id);
+  PageGuard g(&bp_, a->page_id);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(SlottedPage(g.data()).next_page(), hinted->page_id);
+}
+
+TEST_F(HeapFileTest, OpenExistingHeapSeesData) {
+  PageId head;
+  {
+    HeapFile heap = MakeHeap();
+    head = heap.head();
+    ASSERT_TRUE(heap.Insert("persisted").ok());
+  }
+  ASSERT_TRUE(bp_.FlushAll().ok());
+  Result<HeapFile> reopened = HeapFile::Open(&bp_, head);
+  ASSERT_TRUE(reopened.ok());
+  int n = 0;
+  ASSERT_TRUE(reopened->ForEach([&](RecordId, std::string_view r) {
+                       EXPECT_EQ(r, "persisted");
+                       ++n;
+                       return Status::OK();
+                     }).ok());
+  EXPECT_EQ(n, 1);
+}
+
+class HeapChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: heap file contents track a shadow map under random churn,
+// including records that cross the inline/overflow threshold.
+TEST_P(HeapChurnTest, ShadowMapEquivalence) {
+  auto disk = DiskManager::OpenInMemory();
+  BufferPool bp(disk.get(), 32);
+  auto heap_r = HeapFile::Create(&bp);
+  ASSERT_TRUE(heap_r.ok());
+  HeapFile heap = *heap_r;
+
+  Random rng(GetParam());
+  std::unordered_map<uint64_t, std::pair<RecordId, std::string>> shadow;
+  uint64_t next_key = 0;
+
+  auto pack = [](RecordId r) {
+    return (static_cast<uint64_t>(r.page_id) << 16) | r.slot;
+  };
+  (void)pack;
+
+  for (int step = 0; step < 600; ++step) {
+    int op = static_cast<int>(rng.Uniform(4));
+    if (op <= 1) {  // insert (2x weight)
+      size_t len = rng.OneIn(10) ? 2000 + rng.Uniform(4000)
+                                 : 1 + rng.Uniform(300);
+      std::string rec = rng.NextString(len);
+      auto rid = heap.Insert(rec);
+      ASSERT_TRUE(rid.ok());
+      shadow[next_key++] = {*rid, rec};
+    } else if (op == 2 && !shadow.empty()) {  // update
+      auto it = std::next(shadow.begin(),
+                          static_cast<long>(rng.Uniform(shadow.size())));
+      size_t len = rng.OneIn(10) ? 2000 + rng.Uniform(4000)
+                                 : 1 + rng.Uniform(300);
+      std::string rec = rng.NextString(len);
+      auto rid = heap.Update(it->second.first, rec);
+      ASSERT_TRUE(rid.ok());
+      it->second = {*rid, rec};
+    } else if (!shadow.empty()) {  // delete
+      auto it = std::next(shadow.begin(),
+                          static_cast<long>(rng.Uniform(shadow.size())));
+      ASSERT_TRUE(heap.Delete(it->second.first).ok());
+      shadow.erase(it);
+    }
+  }
+  for (const auto& [key, entry] : shadow) {
+    auto got = heap.Get(entry.first);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, entry.second);
+  }
+  // Scan count matches.
+  size_t n = 0;
+  ASSERT_TRUE(heap.ForEach([&](RecordId, std::string_view) {
+                    ++n;
+                    return Status::OK();
+                  }).ok());
+  EXPECT_EQ(n, shadow.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapChurnTest,
+                         ::testing::Values(2, 11, 23, 47));
+
+}  // namespace
+}  // namespace kimdb

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/random.h"
+
+namespace kimdb {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : buf_{}, page_(buf_) { page_.Init(); }
+
+  char buf_[kPageSize];
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, InitEmptyPage) {
+  EXPECT_EQ(page_.num_slots(), 0);
+  EXPECT_EQ(page_.lsn(), 0u);
+  EXPECT_EQ(page_.next_page(), kInvalidPageId);
+  EXPECT_GT(page_.FreeSpace(), kPageSize - 64);
+}
+
+TEST_F(SlottedPageTest, InsertAndGet) {
+  Result<uint16_t> slot = page_.Insert("hello");
+  ASSERT_TRUE(slot.ok());
+  Result<std::string_view> got = page_.Get(*slot);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello");
+}
+
+TEST_F(SlottedPageTest, LsnAndNextPagePersistInBuffer) {
+  page_.set_lsn(9988);
+  page_.set_next_page(42);
+  SlottedPage view(buf_);
+  EXPECT_EQ(view.lsn(), 9988u);
+  EXPECT_EQ(view.next_page(), 42u);
+}
+
+TEST_F(SlottedPageTest, MultipleInsertsGetDistinctSlots) {
+  auto s1 = page_.Insert("one");
+  auto s2 = page_.Insert("two");
+  auto s3 = page_.Insert("three");
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  EXPECT_NE(*s1, *s2);
+  EXPECT_NE(*s2, *s3);
+  EXPECT_EQ(*page_.Get(*s1), "one");
+  EXPECT_EQ(*page_.Get(*s2), "two");
+  EXPECT_EQ(*page_.Get(*s3), "three");
+}
+
+TEST_F(SlottedPageTest, DeleteThenGetIsNotFound) {
+  auto slot = page_.Insert("gone");
+  ASSERT_TRUE(slot.ok());
+  EXPECT_TRUE(page_.Delete(*slot).ok());
+  EXPECT_TRUE(page_.Get(*slot).status().IsNotFound());
+  EXPECT_TRUE(page_.Delete(*slot).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, DeletedSlotIsReused) {
+  auto s1 = page_.Insert("aaa");
+  auto s2 = page_.Insert("bbb");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_TRUE(page_.Delete(*s1).ok());
+  auto s3 = page_.Insert("ccc");
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(*s3, *s1);  // reuse
+  EXPECT_EQ(*page_.Get(*s2), "bbb");
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceShrink) {
+  auto slot = page_.Insert("a long initial value");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Update(*slot, "tiny").ok());
+  EXPECT_EQ(*page_.Get(*slot), "tiny");
+}
+
+TEST_F(SlottedPageTest, UpdateGrowRelocatesWithinPage) {
+  auto slot = page_.Insert("small");
+  auto other = page_.Insert("other");
+  ASSERT_TRUE(slot.ok() && other.ok());
+  std::string big(200, 'z');
+  ASSERT_TRUE(page_.Update(*slot, big).ok());
+  EXPECT_EQ(*page_.Get(*slot), big);
+  EXPECT_EQ(*page_.Get(*other), "other");
+}
+
+TEST_F(SlottedPageTest, UpdateFailurePreservesOldValue) {
+  // Nearly fill the page so a growing update cannot fit.
+  std::string filler(1000, 'f');
+  while (page_.Insert(filler).ok()) {
+  }
+  auto slot = page_.Insert("keep-me");
+  if (!slot.ok()) {
+    // Make room for one small record deterministically.
+    GTEST_SKIP() << "page layout left no room for the probe record";
+  }
+  std::string big(3000, 'b');
+  Status st = page_.Update(*slot, big);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(*page_.Get(*slot), "keep-me");
+}
+
+TEST_F(SlottedPageTest, InsertFailsWhenFull) {
+  std::string rec(500, 'x');
+  int inserted = 0;
+  while (page_.Insert(rec).ok()) ++inserted;
+  EXPECT_GT(inserted, 5);
+  EXPECT_LT(inserted, 9);
+  // Record larger than a page is InvalidArgument, not ResourceExhausted.
+  std::string huge(kPageSize, 'y');
+  EXPECT_TRUE(page_.Insert(huge).status().IsInvalidArgument());
+}
+
+TEST_F(SlottedPageTest, CompactionReclaimsDeletedSpace) {
+  std::string rec(500, 'x');
+  std::vector<uint16_t> slots;
+  while (true) {
+    auto s = page_.Insert(rec);
+    if (!s.ok()) break;
+    slots.push_back(*s);
+  }
+  ASSERT_GE(slots.size(), 4u);
+  // Delete every other record; the free space is fragmented.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page_.Delete(slots[i]).ok());
+  }
+  // A record bigger than any single hole still fits via compaction.
+  std::string big(900, 'b');
+  auto s = page_.Insert(big);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*page_.Get(*s), big);
+  // Survivors intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(*page_.Get(slots[i]), rec);
+  }
+}
+
+TEST_F(SlottedPageTest, InsertAtSpecificSlot) {
+  ASSERT_TRUE(page_.InsertAt(5, "at-five").ok());
+  EXPECT_EQ(page_.num_slots(), 6);
+  EXPECT_EQ(*page_.Get(5), "at-five");
+  EXPECT_TRUE(page_.Get(3).status().IsNotFound());
+  // Occupied slot rejected.
+  EXPECT_TRUE(page_.InsertAt(5, "again").IsAlreadyExists());
+  // Intermediate slots usable afterwards.
+  ASSERT_TRUE(page_.InsertAt(2, "at-two").ok());
+  EXPECT_EQ(*page_.Get(2), "at-two");
+}
+
+TEST_F(SlottedPageTest, FragmentedBytesTracksDeletes) {
+  auto s1 = page_.Insert(std::string(100, 'a'));
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(page_.FragmentedBytes(), 0u);
+  ASSERT_TRUE(page_.Delete(*s1).ok());
+  EXPECT_EQ(page_.FragmentedBytes(), 100u);
+  page_.Compact();
+  EXPECT_EQ(page_.FragmentedBytes(), 0u);
+}
+
+class PageChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: under random insert/update/delete churn the page never loses or
+// corrupts a live record (shadow-map equivalence).
+TEST_P(PageChurnTest, ShadowMapEquivalence) {
+  char buf[kPageSize];
+  SlottedPage page(buf);
+  page.Init();
+  Random rng(GetParam());
+  std::vector<std::pair<uint16_t, std::string>> shadow;
+
+  for (int step = 0; step < 2000; ++step) {
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {  // insert
+      std::string rec = rng.NextString(1 + rng.Uniform(120));
+      auto s = page.Insert(rec);
+      if (s.ok()) shadow.emplace_back(*s, rec);
+    } else if (op == 1 && !shadow.empty()) {  // update
+      size_t i = rng.Uniform(shadow.size());
+      std::string rec = rng.NextString(1 + rng.Uniform(200));
+      Status st = page.Update(shadow[i].first, rec);
+      if (st.ok()) shadow[i].second = rec;
+    } else if (!shadow.empty()) {  // delete
+      size_t i = rng.Uniform(shadow.size());
+      ASSERT_TRUE(page.Delete(shadow[i].first).ok());
+      shadow.erase(shadow.begin() + i);
+    }
+    if (step % 100 == 0) {
+      for (const auto& [slot, rec] : shadow) {
+        auto got = page.Get(slot);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(*got, rec);
+      }
+    }
+  }
+  for (const auto& [slot, rec] : shadow) {
+    ASSERT_EQ(*page.Get(slot), rec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageChurnTest,
+                         ::testing::Values(1, 7, 13, 29, 101));
+
+}  // namespace
+}  // namespace kimdb

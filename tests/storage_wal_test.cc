@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "storage/wal.h"
+
+namespace kimdb {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/kimdb_wal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
+    ::remove(path_.c_str());
+  }
+  void TearDown() override { ::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+WalRecord MakeUpdate(uint64_t txn, uint64_t key, std::string before,
+                     std::string after) {
+  WalRecord r;
+  r.txn_id = txn;
+  r.type = WalRecordType::kUpdate;
+  r.key = key;
+  r.before = std::move(before);
+  r.after = std::move(after);
+  return r;
+}
+
+TEST_F(WalTest, AppendAssignsMonotonicLsns) {
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  auto l1 = (*wal)->Append(MakeUpdate(1, 10, "a", "b"));
+  auto l2 = (*wal)->Append(MakeUpdate(1, 11, "c", "d"));
+  ASSERT_TRUE(l1.ok() && l2.ok());
+  EXPECT_LT(*l1, *l2);
+}
+
+TEST_F(WalTest, RoundTripAllRecordTypes) {
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  WalRecord begin;
+  begin.txn_id = 9;
+  begin.type = WalRecordType::kBegin;
+  ASSERT_TRUE((*wal)->Append(begin).ok());
+  ASSERT_TRUE((*wal)->Append(MakeUpdate(9, 77, "old", "new")).ok());
+  WalRecord commit;
+  commit.txn_id = 9;
+  commit.type = WalRecordType::kCommit;
+  ASSERT_TRUE((*wal)->Append(commit).ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].type, WalRecordType::kBegin);
+  EXPECT_EQ((*records)[1].type, WalRecordType::kUpdate);
+  EXPECT_EQ((*records)[1].key, 77u);
+  EXPECT_EQ((*records)[1].before, "old");
+  EXPECT_EQ((*records)[1].after, "new");
+  EXPECT_EQ((*records)[2].type, WalRecordType::kCommit);
+}
+
+TEST_F(WalTest, ReopenContinuesLsnSequence) {
+  uint64_t last_lsn;
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    auto l = (*wal)->Append(MakeUpdate(1, 1, "", "x"));
+    ASSERT_TRUE(l.ok());
+    last_lsn = *l;
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_GT((*wal)->next_lsn(), last_lsn);
+  auto l2 = (*wal)->Append(MakeUpdate(2, 2, "", "y"));
+  ASSERT_TRUE(l2.ok());
+  EXPECT_GT(*l2, last_lsn);
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+}
+
+TEST_F(WalTest, TornTailIsIgnored) {
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(MakeUpdate(1, 1, "a", "b")).ok());
+    ASSERT_TRUE((*wal)->Append(MakeUpdate(1, 2, "c", "d")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Chop bytes off the end to simulate a crash mid-append.
+  int fd = ::open(path_.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  ASSERT_EQ(::ftruncate(fd, size - 3), 0);
+  ::close(fd);
+
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);  // only the first record survives
+  EXPECT_EQ((*records)[0].key, 1u);
+  // New appends after the torn tail still work and are visible.
+  ASSERT_TRUE((*wal)->Append(MakeUpdate(2, 3, "e", "f")).ok());
+  records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+}
+
+TEST_F(WalTest, CorruptMiddleByteStopsParseAtThatRecord) {
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(MakeUpdate(1, 1, "aaaa", "bbbb")).ok());
+    ASSERT_TRUE((*wal)->Append(MakeUpdate(1, 2, "cccc", "dddd")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Flip a byte inside the second record's payload.
+  int fd = ::open(path_.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  char b = 0x55;
+  ASSERT_EQ(::pwrite(fd, &b, 1, size - 2), 1);
+  ::close(fd);
+
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST_F(WalTest, TruncateEmptiesLog) {
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(MakeUpdate(1, 1, "a", "b")).ok());
+  ASSERT_TRUE((*wal)->Truncate().ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  // Appends still work after truncation.
+  ASSERT_TRUE((*wal)->Append(MakeUpdate(2, 2, "c", "d")).ok());
+  records = (*wal)->ReadAll();
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST_F(WalTest, LargeImagesRoundTrip) {
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  std::string big(100000, 'B');
+  ASSERT_TRUE((*wal)->Append(MakeUpdate(1, 5, big, big + big)).ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].before.size(), big.size());
+  EXPECT_EQ((*records)[0].after.size(), 2 * big.size());
+}
+
+}  // namespace
+}  // namespace kimdb

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "storage/disk_manager.h"
+#include "txn/checkout.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace kimdb {
+namespace {
+
+// --- LockManager ------------------------------------------------------------
+
+TEST(LockManagerTest, CompatibleModesCoexist) {
+  LockManager lm;
+  auto res = LockResource::Class(1);
+  EXPECT_TRUE(lm.Lock(1, res, LockMode::kIS).ok());
+  EXPECT_TRUE(lm.Lock(2, res, LockMode::kIX).ok());
+  EXPECT_TRUE(lm.Lock(3, res, LockMode::kIS).ok());
+  EXPECT_TRUE(lm.TryLock(4, res, LockMode::kS).IsBusy());  // vs IX
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(lm.TryLock(4, res, LockMode::kS).ok());  // IX gone
+}
+
+TEST(LockManagerTest, ExclusiveBlocksEveryone) {
+  LockManager lm;
+  auto res = LockResource::Object(Oid::Make(1, 1));
+  EXPECT_TRUE(lm.Lock(1, res, LockMode::kX).ok());
+  EXPECT_TRUE(lm.TryLock(2, res, LockMode::kS).IsBusy());
+  EXPECT_TRUE(lm.TryLock(2, res, LockMode::kIS).IsBusy());
+  EXPECT_TRUE(lm.TryLock(2, res, LockMode::kX).IsBusy());
+}
+
+TEST(LockManagerTest, ReacquireAndUpgrade) {
+  LockManager lm;
+  auto res = LockResource::Object(Oid::Make(1, 1));
+  EXPECT_TRUE(lm.Lock(1, res, LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(1, res, LockMode::kS).ok());  // idempotent
+  EXPECT_TRUE(lm.Lock(1, res, LockMode::kX).ok());  // upgrade, no conflict
+  EXPECT_EQ(*lm.HeldMode(1, res), LockMode::kX);
+  // Upgrade blocked by another reader.
+  LockManager lm2;
+  EXPECT_TRUE(lm2.Lock(1, res, LockMode::kS).ok());
+  EXPECT_TRUE(lm2.Lock(2, res, LockMode::kS).ok());
+  EXPECT_TRUE(lm2.TryLock(1, res, LockMode::kX).IsBusy());
+}
+
+TEST(LockManagerTest, BlockedWaiterWakesOnRelease) {
+  LockManager lm;
+  auto res = LockResource::Object(Oid::Make(1, 1));
+  ASSERT_TRUE(lm.Lock(1, res, LockMode::kX).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    Status st = lm.Lock(2, res, LockMode::kX);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GT(lm.stats().waits, 0u);
+}
+
+TEST(LockManagerTest, DeadlockDetectedAndVictimAborted) {
+  LockManager lm;
+  auto r1 = LockResource::Object(Oid::Make(1, 1));
+  auto r2 = LockResource::Object(Oid::Make(1, 2));
+  ASSERT_TRUE(lm.Lock(1, r1, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(2, r2, LockMode::kX).ok());
+
+  std::atomic<int> aborted{0};
+  std::thread t1([&] {
+    Status st = lm.Lock(1, r2, LockMode::kX);  // waits on txn 2
+    if (st.IsAborted()) {
+      ++aborted;
+      lm.ReleaseAll(1);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // txn 2 requests r1 -> closes the cycle; one of the two must abort.
+  Status st = lm.Lock(2, r1, LockMode::kX);
+  if (st.IsAborted()) {
+    ++aborted;
+    lm.ReleaseAll(2);
+  }
+  t1.join();
+  EXPECT_EQ(aborted.load(), 1);
+  EXPECT_EQ(lm.stats().deadlocks, 1u);
+}
+
+// --- TxnManager ---------------------------------------------------------------
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest() : disk_(DiskManager::OpenInMemory()), bp_(disk_.get(), 256) {
+    part_ = *cat_.CreateClass("Part", {}, {{"Name", Domain::String()}});
+    sub_ = *cat_.CreateClass("SubPart", {part_}, {});
+    auto store = ObjectStore::Open(&bp_, &cat_, nullptr);
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+    txns_ = std::make_unique<TxnManager>(store_.get(), &locks_);
+    name_ = (*cat_.ResolveAttr(part_, "Name"))->id;
+  }
+
+  Object Named(const std::string& n) {
+    Object o;
+    o.Set(name_, Value::Str(n));
+    return o;
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  BufferPool bp_;
+  Catalog cat_;
+  std::unique_ptr<ObjectStore> store_;
+  LockManager locks_;
+  std::unique_ptr<TxnManager> txns_;
+  ClassId part_, sub_;
+  AttrId name_;
+};
+
+TEST_F(TxnTest, CommitMakesChangesVisible) {
+  auto t = txns_->Begin();
+  ASSERT_TRUE(t.ok());
+  auto oid = txns_->Insert(*t, part_, Named("widget"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_->Commit(*t).ok());
+  EXPECT_FALSE(txns_->IsActive(*t));
+  EXPECT_TRUE(store_->Exists(*oid));
+  EXPECT_EQ(txns_->stats().committed, 1u);
+}
+
+TEST_F(TxnTest, AbortRollsBackInsertUpdateDelete) {
+  // Committed baseline.
+  auto t0 = txns_->Begin();
+  ASSERT_TRUE(t0.ok());
+  auto keep = txns_->Insert(*t0, part_, Named("keep"));
+  auto doomed = txns_->Insert(*t0, part_, Named("doomed"));
+  ASSERT_TRUE(keep.ok() && doomed.ok());
+  ASSERT_TRUE(txns_->Commit(*t0).ok());
+
+  auto t = txns_->Begin();
+  ASSERT_TRUE(t.ok());
+  auto fresh = txns_->Insert(*t, part_, Named("fresh"));
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(txns_->SetAttr(*t, *keep, "Name", Value::Str("mutated")).ok());
+  ASSERT_TRUE(txns_->Delete(*t, *doomed).ok());
+  ASSERT_TRUE(txns_->Abort(*t).ok());
+
+  EXPECT_FALSE(store_->Exists(*fresh));                     // insert undone
+  EXPECT_EQ(store_->Get(*keep)->Get(name_).as_string(), "keep");  // restored
+  ASSERT_TRUE(store_->Exists(*doomed));                     // resurrected
+  EXPECT_EQ(store_->Get(*doomed)->Get(name_).as_string(), "doomed");
+  EXPECT_EQ(txns_->stats().aborted, 1u);
+}
+
+TEST_F(TxnTest, AbortUndoesMultipleUpdatesInReverse) {
+  auto t0 = txns_->Begin();
+  auto oid = txns_->Insert(*t0, part_, Named("v0"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_->Commit(*t0).ok());
+
+  auto t = txns_->Begin();
+  ASSERT_TRUE(txns_->SetAttr(*t, *oid, "Name", Value::Str("v1")).ok());
+  ASSERT_TRUE(txns_->SetAttr(*t, *oid, "Name", Value::Str("v2")).ok());
+  ASSERT_TRUE(txns_->Abort(*t).ok());
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "v0");
+}
+
+TEST_F(TxnTest, OperationsOnInactiveTxnFail) {
+  EXPECT_TRUE(txns_->Insert(99, part_, Named("x")).status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(txns_->Commit(99).IsFailedPrecondition());
+  EXPECT_TRUE(txns_->Abort(99).IsFailedPrecondition());
+}
+
+TEST_F(TxnTest, WriterBlocksWriterOnSameObject) {
+  auto t1 = txns_->Begin();
+  auto oid = txns_->Insert(*t1, part_, Named("shared"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_->Commit(*t1).ok());
+
+  auto t2 = txns_->Begin();
+  auto t3 = txns_->Begin();
+  ASSERT_TRUE(txns_->SetAttr(*t2, *oid, "Name", Value::Str("t2")).ok());
+  // t3 cannot even read the X-locked object without blocking: TryLock via
+  // the raw lock manager shows the conflict.
+  EXPECT_TRUE(locks_.TryLock(*t3, LockResource::Object(*oid), LockMode::kS)
+                  .IsBusy());
+  ASSERT_TRUE(txns_->Commit(*t2).ok());
+  // After commit the lock is free.
+  auto got = txns_->Get(*t3, *oid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->Get(name_).as_string(), "t2");
+  ASSERT_TRUE(txns_->Commit(*t3).ok());
+}
+
+TEST_F(TxnTest, HierarchyScanLocksSubtree) {
+  auto t = txns_->Begin();
+  ASSERT_TRUE(txns_->LockScan(*t, part_, /*hierarchy=*/true).ok());
+  EXPECT_EQ(*locks_.HeldMode(*t, LockResource::Class(part_)), LockMode::kS);
+  EXPECT_EQ(*locks_.HeldMode(*t, LockResource::Class(sub_)), LockMode::kS);
+  // A writer on the subclass is blocked while the scan lock is held.
+  auto t2 = txns_->Begin();
+  EXPECT_TRUE(locks_.TryLock(*t2, LockResource::Class(sub_), LockMode::kIX)
+                  .IsBusy());
+  ASSERT_TRUE(txns_->Commit(*t).ok());
+  EXPECT_TRUE(locks_.TryLock(*t2, LockResource::Class(sub_), LockMode::kIX)
+                  .ok());
+  ASSERT_TRUE(txns_->Commit(*t2).ok());
+}
+
+TEST_F(TxnTest, SchemaChangeLockExcludesReaders) {
+  auto t = txns_->Begin();
+  ASSERT_TRUE(txns_->LockSchemaChange(*t, part_).ok());
+  auto t2 = txns_->Begin();
+  EXPECT_TRUE(locks_.TryLock(*t2, LockResource::Class(part_), LockMode::kIS)
+                  .IsBusy());
+  ASSERT_TRUE(txns_->Commit(*t).ok());
+  ASSERT_TRUE(txns_->Commit(*t2).ok());
+}
+
+TEST_F(TxnTest, ConcurrentDisjointWritersMakeProgress) {
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> committed{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int j = 0; j < kOpsPerThread; ++j) {
+        auto t = txns_->Begin();
+        if (!t.ok()) continue;
+        auto oid = txns_->Insert(
+            *t, part_, Named("t" + std::to_string(i) + "_" +
+                             std::to_string(j)));
+        if (oid.ok() && txns_->Commit(*t).ok()) {
+          ++committed;
+        } else {
+          (void)txns_->Abort(*t);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(committed.load(), kThreads * kOpsPerThread);
+  auto n = store_->CountClass(part_);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, static_cast<uint64_t>(kThreads * kOpsPerThread));
+}
+
+// --- checkout / private databases ------------------------------------------------
+
+class CheckoutTest : public TxnTest {};
+
+TEST_F(CheckoutTest, CheckoutModifyCheckin) {
+  auto t = txns_->Begin();
+  auto oid = txns_->Insert(*t, part_, Named("design-v0"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_->Commit(*t).ok());
+
+  auto priv = PrivateDb::Create("alice", &cat_);
+  ASSERT_TRUE(priv.ok());
+  CheckoutManager cm(store_.get());
+
+  auto t2 = txns_->Begin();
+  ASSERT_TRUE(cm.Checkout(*t2, priv->get(), *oid).ok());
+  ASSERT_TRUE(txns_->Commit(*t2).ok());
+  EXPECT_TRUE(cm.IsCheckedOut(*oid));
+  EXPECT_EQ(*cm.CheckedOutBy(*oid), "alice");
+  EXPECT_TRUE(cm.CheckWritable(*oid).IsBusy());
+
+  // Work in the private database (long-duration, unlogged).
+  auto copy = (*priv)->store()->GetRaw(*oid);
+  ASSERT_TRUE(copy.ok());
+  copy->Set(name_, Value::Str("design-v1"));
+  ASSERT_TRUE((*priv)->store()->ApplyUpdate(*copy).ok());
+  // The shared database still sees v0.
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "design-v0");
+
+  auto t3 = txns_->Begin();
+  ASSERT_TRUE(cm.Checkin(*t3, priv->get(), *oid).ok());
+  ASSERT_TRUE(txns_->Commit(*t3).ok());
+  EXPECT_FALSE(cm.IsCheckedOut(*oid));
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "design-v1");
+  EXPECT_FALSE((*priv)->store()->Exists(*oid));
+}
+
+TEST_F(CheckoutTest, DoubleCheckoutRejected) {
+  auto t = txns_->Begin();
+  auto oid = txns_->Insert(*t, part_, Named("contested"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_->Commit(*t).ok());
+
+  auto alice = PrivateDb::Create("alice", &cat_);
+  auto bob = PrivateDb::Create("bob", &cat_);
+  ASSERT_TRUE(alice.ok() && bob.ok());
+  CheckoutManager cm(store_.get());
+  auto t2 = txns_->Begin();
+  ASSERT_TRUE(cm.Checkout(*t2, alice->get(), *oid).ok());
+  EXPECT_TRUE(cm.Checkout(*t2, bob->get(), *oid).IsBusy());
+  // Bob cannot check in either.
+  EXPECT_TRUE(cm.Checkin(*t2, bob->get(), *oid).IsFailedPrecondition());
+  ASSERT_TRUE(txns_->Commit(*t2).ok());
+}
+
+TEST_F(CheckoutTest, CancelCheckoutDiscardsPrivateWork) {
+  auto t = txns_->Begin();
+  auto oid = txns_->Insert(*t, part_, Named("original"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_->Commit(*t).ok());
+
+  auto priv = PrivateDb::Create("alice", &cat_);
+  ASSERT_TRUE(priv.ok());
+  CheckoutManager cm(store_.get());
+  auto t2 = txns_->Begin();
+  ASSERT_TRUE(cm.Checkout(*t2, priv->get(), *oid).ok());
+  auto copy = (*priv)->store()->GetRaw(*oid);
+  ASSERT_TRUE(copy.ok());
+  copy->Set(name_, Value::Str("scrapped"));
+  ASSERT_TRUE((*priv)->store()->ApplyUpdate(*copy).ok());
+  ASSERT_TRUE(cm.CancelCheckout(*t2, priv->get(), *oid).ok());
+  ASSERT_TRUE(txns_->Commit(*t2).ok());
+  EXPECT_FALSE(cm.IsCheckedOut(*oid));
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "original");
+}
+
+}  // namespace
+}  // namespace kimdb

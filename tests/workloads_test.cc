@@ -1,0 +1,157 @@
+// The benchmark workload generators are part of the deliverable: these
+// tests pin their determinism and their structural properties so the
+// experiments measure what EXPERIMENTS.md says they measure.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/bench_env.h"
+#include "workloads/workloads.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+TEST(Oo1GraphTest, DeterministicForSeed) {
+  Oo1Graph a = Oo1Graph::Generate(500, 42);
+  Oo1Graph b = Oo1Graph::Generate(500, 42);
+  EXPECT_EQ(a.connections, b.connections);
+  EXPECT_EQ(a.x, b.x);
+  Oo1Graph c = Oo1Graph::Generate(500, 43);
+  EXPECT_NE(a.connections, c.connections);
+}
+
+TEST(Oo1GraphTest, EveryPartHasThreeValidConnections) {
+  Oo1Graph g = Oo1Graph::Generate(1000, 7);
+  ASSERT_EQ(g.connections.size(), 1000u);
+  for (const auto& conns : g.connections) {
+    for (uint32_t t : conns) ASSERT_LT(t, 1000u);
+  }
+}
+
+TEST(Oo1GraphTest, LocalityHoldsApproximately) {
+  const size_t n = 10000;
+  Oo1Graph g = Oo1Graph::Generate(n, 13);
+  size_t zone = n / 100;
+  size_t local = 0, total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t t : g.connections[i]) {
+      size_t dist = static_cast<size_t>(
+          std::min((t + n - i) % n, (i + n - t) % n));
+      if (dist <= zone) ++local;
+      ++total;
+    }
+  }
+  double frac = static_cast<double>(local) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.85);  // 90% by construction, +uniform hits in zone
+  EXPECT_LT(frac, 0.97);
+}
+
+TEST(Oo1LoadTest, ObjectAndRelationalMirrorsAgree) {
+  auto env = Env::Create();
+  Oo1Schema schema = CreateOo1Schema(env->catalog.get());
+  Oo1Graph graph = Oo1Graph::Generate(200, 5);
+  auto oids = LoadOo1(env->store.get(), schema, graph);
+  ASSERT_TRUE(oids.ok());
+  ASSERT_EQ(oids->size(), 200u);
+  auto rel = LoadOo1Rel(env->bp.get(), graph);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->parts->num_tuples(), 200u);
+  EXPECT_EQ(rel->connections->num_tuples(), 600u);
+
+  // Pick a part; its object connections match its relational connections.
+  size_t probe = 123;
+  auto obj = env->store->Get((*oids)[probe]);
+  ASSERT_TRUE(obj.ok());
+  std::multiset<uint64_t> obj_targets;
+  for (const Value& v : obj->Get(schema.connections).elements()) {
+    obj_targets.insert(v.as_ref().raw());
+  }
+  std::multiset<uint64_t> rel_targets;
+  for (uint32_t t : graph.connections[probe]) {
+    rel_targets.insert((*oids)[t].raw());
+  }
+  EXPECT_EQ(obj_targets, rel_targets);
+}
+
+TEST(VehicleWorkloadTest, PopulationShape) {
+  auto env = Env::Create();
+  VehicleSchema schema = CreateVehicleSchema(env->catalog.get());
+  auto data = PopulateVehicles(env->store.get(), schema, 100, 400, 0.5, 3);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->companies.size(), 100u);
+  EXPECT_EQ(data->vehicles.size(), 400u);
+  // Vehicles spread across the hierarchy: each of the 4 classes has some.
+  std::set<ClassId> classes;
+  for (Oid v : data->vehicles) classes.insert(v.class_id());
+  EXPECT_EQ(classes.size(), 4u);
+  // Roughly half the companies in Detroit.
+  int detroit = 0;
+  for (Oid c : data->companies) {
+    auto obj = env->store->Get(c);
+    ASSERT_TRUE(obj.ok());
+    if (obj->Get(schema.location).as_string() == "Detroit") ++detroit;
+  }
+  EXPECT_GT(detroit, 30);
+  EXPECT_LT(detroit, 70);
+  // Every vehicle's manufacturer resolves.
+  for (Oid v : data->vehicles) {
+    auto obj = env->store->Get(v);
+    ASSERT_TRUE(obj.ok());
+    ASSERT_TRUE(env->store->Exists(obj->Get(schema.manufacturer).as_ref()));
+  }
+}
+
+TEST(WideHierarchyTest, SubclassesInheritKey) {
+  auto env = Env::Create();
+  WideHierarchy h = CreateWideHierarchy(env->catalog.get(), 5);
+  EXPECT_EQ(h.subclasses.size(), 5u);
+  for (ClassId c : h.subclasses) {
+    EXPECT_TRUE(env->catalog->IsSubclassOf(c, h.root));
+    auto attr = env->catalog->ResolveAttr(c, "Key");
+    ASSERT_TRUE(attr.ok());
+    EXPECT_EQ((*attr)->id, h.key);
+  }
+}
+
+TEST(CadWorkloadTest, AssemblySizeAndClustering) {
+  auto env = Env::Create();
+  CadSchema schema = CreateCadSchema(env->catalog.get());
+  auto cm = CompositeManager::Attach(env->store.get());
+  ASSERT_TRUE(cm.ok());
+  auto root = BuildAssembly(env->store.get(), cm->get(), schema,
+                            /*fanout=*/3, /*depth=*/3, /*clustered=*/true,
+                            9);
+  ASSERT_TRUE(root.ok());
+  auto count = (*cm)->ComponentCount(*root);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u + 3 + 9 + 27);  // 1 + f + f^2 + f^3
+}
+
+TEST(CadWorkloadTest, ScatteredLayoutTouchesMorePages) {
+  auto count_pages = [](bool clustered) {
+    auto env = Env::Create();
+    CadSchema schema = CreateCadSchema(env->catalog.get());
+    auto cm = CompositeManager::Attach(env->store.get());
+    EXPECT_TRUE(cm.ok());
+    auto root = BuildAssembly(env->store.get(), cm->get(), schema, 3, 3,
+                              clustered, 9);
+    EXPECT_TRUE(root.ok());
+    std::set<PageId> pages;
+    EXPECT_TRUE((*cm)->ForEachComponent(*root, [&](Oid oid) {
+                       auto rid = env->store->DirectoryLookup(oid);
+                       EXPECT_TRUE(rid.ok());
+                       pages.insert(rid->page_id);
+                       return Status::OK();
+                     }).ok());
+    return pages.size();
+  };
+  size_t clustered = count_pages(true);
+  size_t scattered = count_pages(false);
+  EXPECT_LT(clustered, scattered);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
