@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "exec/exec_context.h"
 #include "query/query_engine.h"
 #include "workloads/bench_env.h"
 #include "workloads/workloads.h"
@@ -25,8 +26,8 @@ struct E1Fixture {
   VehicleSchema schema;
   std::unique_ptr<QueryEngine> engine;
 
-  explicit E1Fixture(size_t n_vehicles) {
-    env = Env::Create();
+  explicit E1Fixture(size_t n_vehicles, size_t pool_pages = 8192) {
+    env = Env::Create(pool_pages);
     schema = CreateVehicleSchema(env->catalog.get());
     BENCH_ASSIGN(data, PopulateVehicles(env->store.get(), schema,
                                         /*n_companies=*/200, n_vehicles,
@@ -114,6 +115,29 @@ void BM_SingleClassScope_NestedPredicate(benchmark::State& state) {
   state.counters["results"] = static_cast<double>(results);
 }
 
+// Parallel extent scan vs the serial pipeline on the paper query, with a
+// pool far smaller than the extents so every iteration is a cold scan
+// (pages re-read through the CLOCK cache, predicate evaluated per object).
+// range(0) = fleet size, range(1) = scan workers.
+void BM_ParallelScan_PaperQuery(benchmark::State& state) {
+  E1Fixture f(static_cast<size_t>(state.range(0)), /*pool_pages=*/512);
+  Query q = f.PaperQuery(true);
+  size_t workers = static_cast<size_t>(state.range(1));
+  size_t results = 0;
+  uint64_t scanned = 0;
+  for (auto _ : state) {
+    exec::ExecContext ctx(f.env->bp.get());
+    ctx.set_scan_parallelism(workers);
+    BENCH_ASSIGN(hits, f.engine->Execute(q, &ctx));
+    results = hits.size();
+    scanned = ctx.objects_scanned.load();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["scanned"] = static_cast<double>(scanned);
+  state.counters["workers"] = static_cast<double>(workers);
+}
+
 BENCHMARK(BM_SingleClassScope_Simple)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_HierarchyScope_Simple)->Arg(1000)->Arg(10000)
@@ -122,6 +146,11 @@ BENCHMARK(BM_SingleClassScope_NestedPredicate)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_HierarchyScope_NestedPredicate)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ParallelScan_PaperQuery)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bench

@@ -137,6 +137,7 @@ void PrintObject(const Database& db, const Object& obj) {
 
 constexpr const char* kHelp = R"(commands:
   select ...                                  run an OQL query
+  explain select ...                          print the lowered operator tree
   .create <Class> [under <Super,...>] [n:type ...]   define a class
        types: int real bool string ref(Class) set(type)
   .classes                                    list classes
@@ -171,6 +172,15 @@ class Shell {
   }
 
   void RunQuery(const std::string& line) {
+    // `explain select ...` prints the lowered operator tree instead of rows.
+    Result<lang::Statement> stmt = db_->parser().ParseStatement(line);
+    if (stmt.ok() && stmt->explain) {
+      Result<std::string> tree =
+          db_->query_engine().Explain(stmt->query);
+      std::printf("%s\n", tree.ok() ? tree->c_str()
+                                    : tree.status().ToString().c_str());
+      return;
+    }
     QueryStats stats;
     Result<std::vector<Oid>> hits = db_->ExecuteOql(line, &stats);
     if (!hits.ok()) {

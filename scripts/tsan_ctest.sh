@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# TSan job variant: builds the tree with -fsanitize=thread (CMake option
+# KIMDB_SANITIZE=thread) and runs the multi-threaded tests -- the lock
+# manager / transaction suite and the parallel extent-scan operator tests --
+# so the concurrent read path is race-checked on every build.
+#
+# Usage: scripts/tsan_ctest.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DKIMDB_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target concurrency_test exec_operator_test
+(cd "$BUILD_DIR" && ctest --output-on-failure -R 'ConcurrencyTest|ExecOperatorTest')

@@ -14,12 +14,22 @@
 
 namespace kimdb {
 
-/// Execution context passed to a method body. `env` is an opaque pointer to
-/// the owning Database so registered methods can navigate (the query layer
-/// sets it); methods that only touch `self` ignore it.
+/// Marker base for the host environment a method body may navigate (the
+/// Database facade derives from it). Typed replacement for the old
+/// `void* env` plumbing: method bodies that need the full facade downcast
+/// with static_cast<Database*> at the registration site, where the
+/// concrete type is known.
+class MethodEnv {
+ public:
+  virtual ~MethodEnv() = default;
+};
+
+/// Execution context passed to a method body. `env` points at the owning
+/// environment so registered methods can navigate (the query layer sets
+/// it); methods that only touch `self` ignore it.
 struct MethodContext {
   const Object* self = nullptr;
-  void* env = nullptr;
+  MethodEnv* env = nullptr;
 };
 
 /// A method body: native C++ code bound to a (class, method-name) pair.

@@ -362,13 +362,18 @@ Result<std::vector<Oid>> Database::ExecuteQuery(const Query& q,
 
 Result<std::vector<Oid>> Database::ExecuteOql(std::string_view oql,
                                               QueryStats* stats) {
-  KIMDB_ASSIGN_OR_RETURN(Query q, parser_->ParseQuery(oql));
-  return query_->Execute(q, stats);
+  KIMDB_ASSIGN_OR_RETURN(lang::Statement stmt, parser_->ParseStatement(oql));
+  if (stmt.explain) {
+    return Status::InvalidArgument(
+        "EXPLAIN statements produce a plan, not rows; use ExplainOql");
+  }
+  return query_->Execute(stmt.query, stats);
 }
 
 Result<QueryPlan> Database::ExplainOql(std::string_view oql) {
-  KIMDB_ASSIGN_OR_RETURN(Query q, parser_->ParseQuery(oql));
-  return query_->Plan(q);
+  // Accepts both `select ...` and `explain select ...`.
+  KIMDB_ASSIGN_OR_RETURN(lang::Statement stmt, parser_->ParseStatement(oql));
+  return query_->Plan(stmt.query);
 }
 
 }  // namespace kimdb

@@ -48,7 +48,10 @@ struct DatabaseOptions {
 ///
 /// Mutating entry points enforce the cross-cutting guards (released
 /// versions are immutable; checked-out objects are not writable in place).
-class Database {
+///
+/// Derives from MethodEnv so registered method bodies receive a typed
+/// pointer back to the facade (MethodContext::env).
+class Database : public MethodEnv {
  public:
   static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& opts);
   ~Database();

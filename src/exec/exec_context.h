@@ -1,0 +1,145 @@
+#ifndef KIMDB_EXEC_EXEC_CONTEXT_H_
+#define KIMDB_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace kimdb {
+namespace exec {
+
+/// Per-query execution state shared by every operator in a plan tree -- and
+/// by every worker thread of a parallel operator, which is why all counters
+/// are atomics. One ExecContext unifies what used to be three disjoint
+/// stats surfaces (QueryStats, BufferPoolStats deltas, ad-hoc bench
+/// counters), so the OODB engine, the relational comparator and the
+/// benchmarks all report physical and logical work the same way.
+///
+/// Also carries the cross-cutting execution controls: a wall-clock budget /
+/// cancellation flag that long scans poll, and an optional trace buffer
+/// operators append lifecycle events to (the raw material of EXPLAIN
+/// ANALYZE-style output).
+class ExecContext {
+ public:
+  ExecContext() = default;
+  /// Attaching a buffer pool snapshots its counters so pages_hit() /
+  /// pages_missed() report the physical work of *this* query only.
+  explicit ExecContext(BufferPool* bp) : bp_(bp) {
+    if (bp_ != nullptr) baseline_ = bp_->stats();
+  }
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // --- unified counters (logical work) -------------------------------------
+
+  std::atomic<uint64_t> objects_scanned{0};      // extent-scan candidates
+  std::atomic<uint64_t> objects_fetched{0};      // directory point fetches
+  std::atomic<uint64_t> index_candidates{0};     // OIDs produced by indexes
+  std::atomic<uint64_t> index_probes{0};         // index lookups issued
+  std::atomic<uint64_t> predicates_evaluated{0}; // top-level Matches calls
+  std::atomic<uint64_t> ref_fetches{0};          // path-expression derefs
+  std::atomic<uint64_t> tuples_scanned{0};       // relational rows read
+  std::atomic<bool> used_index{false};
+
+  /// Adds this context's logical counters into `dst`. Parallel workers
+  /// accumulate on a private shadow context and flush once on exit --
+  /// per-object fetch_adds on the shared context from several threads
+  /// ping-pong the counter cache lines hard enough to erase the scan
+  /// speedup.
+  void FlushCountersInto(ExecContext* dst) const {
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    dst->objects_scanned.fetch_add(objects_scanned.load(kRelaxed), kRelaxed);
+    dst->objects_fetched.fetch_add(objects_fetched.load(kRelaxed), kRelaxed);
+    dst->index_candidates.fetch_add(index_candidates.load(kRelaxed), kRelaxed);
+    dst->index_probes.fetch_add(index_probes.load(kRelaxed), kRelaxed);
+    dst->predicates_evaluated.fetch_add(predicates_evaluated.load(kRelaxed),
+                                        kRelaxed);
+    dst->ref_fetches.fetch_add(ref_fetches.load(kRelaxed), kRelaxed);
+    dst->tuples_scanned.fetch_add(tuples_scanned.load(kRelaxed), kRelaxed);
+    if (used_index.load(kRelaxed)) dst->used_index.store(true, kRelaxed);
+  }
+
+  // --- physical counters (buffer-pool delta) -------------------------------
+
+  uint64_t pages_hit() const {
+    return bp_ == nullptr ? 0 : bp_->stats().hits - baseline_.hits;
+  }
+  uint64_t pages_missed() const {
+    return bp_ == nullptr ? 0 : bp_->stats().misses - baseline_.misses;
+  }
+
+  // --- budget / cancellation ----------------------------------------------
+
+  /// Arms a wall-clock budget measured from now. A zero duration makes the
+  /// very next CheckBudget() fail (useful for cancellation tests).
+  void set_budget(std::chrono::nanoseconds budget) {
+    deadline_ = std::chrono::steady_clock::now() + budget;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Cooperative cancellation (e.g. a client disconnect).
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Operators poll this at page/batch granularity. Cheap when no budget
+  /// is armed (two relaxed atomic loads, no clock read).
+  Status CheckBudget() const {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      return Status::DeadlineExceeded("query cancelled");
+    }
+    if (has_deadline_.load(std::memory_order_acquire) &&
+        std::chrono::steady_clock::now() > deadline_) {
+      return Status::DeadlineExceeded("query budget exceeded");
+    }
+    return Status::OK();
+  }
+
+  // --- scan parallelism knob ----------------------------------------------
+
+  /// Worker count the lowering uses for extent scans; 1 (default) lowers
+  /// to the serial ExtentScan/HierarchyScan operators.
+  void set_scan_parallelism(size_t n) { scan_parallelism_ = n == 0 ? 1 : n; }
+  size_t scan_parallelism() const { return scan_parallelism_; }
+
+  // --- per-query trace buffer ---------------------------------------------
+
+  void EnableTrace() { trace_enabled_.store(true, std::memory_order_release); }
+  bool trace_enabled() const {
+    return trace_enabled_.load(std::memory_order_acquire);
+  }
+  /// Appends one event line; no-op unless tracing is enabled.
+  void Trace(std::string line) {
+    if (!trace_enabled()) return;
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_.push_back(std::move(line));
+  }
+  std::vector<std::string> TraceLines() const {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    return trace_;
+  }
+
+ private:
+  BufferPool* bp_ = nullptr;
+  BufferPoolStats baseline_{};
+  size_t scan_parallelism_ = 1;
+  std::atomic<bool> has_deadline_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> trace_enabled_{false};
+  mutable std::mutex trace_mu_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace exec
+}  // namespace kimdb
+
+#endif  // KIMDB_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,56 @@
+#include "exec/operator.h"
+
+namespace kimdb {
+namespace exec {
+
+namespace {
+
+void RenderTree(const Operator& op, size_t depth, std::string* out) {
+  out->append(depth * 2, ' ');
+  out->append(op.Describe());
+  out->push_back('\n');
+  for (const Operator* child : op.children()) {
+    RenderTree(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainTree(const Operator& root) {
+  std::string out;
+  RenderTree(root, 0, &out);
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+Status ForEachRow(Operator& root, ExecContext* ctx,
+                  const std::function<Status(Row&)>& fn) {
+  Status st = root.Open(ctx);
+  if (st.ok()) {
+    Row row;
+    while (true) {
+      Result<bool> more = root.Next(ctx, &row);
+      if (!more.ok()) {
+        st = more.status();
+        break;
+      }
+      if (!*more) break;
+      st = fn(row);
+      if (!st.ok()) break;
+    }
+  }
+  root.Close(ctx);
+  return st;
+}
+
+Result<std::vector<Oid>> CollectOids(Operator& root, ExecContext* ctx) {
+  std::vector<Oid> out;
+  KIMDB_RETURN_IF_ERROR(ForEachRow(root, ctx, [&](Row& row) {
+    out.push_back(row.oid);
+    return Status::OK();
+  }));
+  return out;
+}
+
+}  // namespace exec
+}  // namespace kimdb

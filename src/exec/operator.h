@@ -1,0 +1,72 @@
+#ifndef KIMDB_EXEC_OPERATOR_H_
+#define KIMDB_EXEC_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "model/object.h"
+#include "model/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace kimdb {
+namespace exec {
+
+/// One row flowing through an operator tree. Object-model operators fill
+/// `oid` (and `obj` when the producer already materialized the object, so
+/// consumers never re-fetch what a scan just decoded); relational operators
+/// fill `tuple`. A Row is cheap to move, never to copy implicitly.
+struct Row {
+  Oid oid = kNilOid;
+  std::optional<Object> obj;        // set by extent scans, not index scans
+  std::vector<Value> tuple;         // set by relational operators
+};
+
+/// Pull-based (Volcano) operator: Open prepares state, Next produces rows
+/// one at a time until it returns false, Close releases resources. The
+/// same ExecContext is threaded through all three calls and shared by the
+/// whole tree; operators account their work on its counters.
+///
+/// Lifecycle contract: Open exactly once, Next until false/error, Close
+/// exactly once (also after an error -- drivers must always Close so
+/// parallel operators can join their workers).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// Fills *row and returns true, or returns false at end of stream.
+  virtual Result<bool> Next(ExecContext* ctx, Row* row) = 0;
+  virtual void Close(ExecContext* ctx) = 0;
+
+  /// One-line self-description for EXPLAIN ("ExtentScan(Vehicle)").
+  virtual std::string Describe() const = 0;
+  /// Child operators, for EXPLAIN tree rendering.
+  virtual std::vector<const Operator*> children() const { return {}; }
+};
+
+/// Renders the operator tree rooted at `root` with two-space indentation:
+///
+///   Filter(Weight > 7500)
+///     HierarchyScan(Vehicle)
+///       ExtentScan(Vehicle)
+///       ExtentScan(Truck)
+std::string ExplainTree(const Operator& root);
+
+/// Drives a tree to completion, handing every row to `fn`. Always Closes,
+/// including on error paths.
+Status ForEachRow(Operator& root, ExecContext* ctx,
+                  const std::function<Status(Row&)>& fn);
+
+/// Drives a tree to completion collecting the OIDs it produces (the
+/// object-model result shape).
+Result<std::vector<Oid>> CollectOids(Operator& root, ExecContext* ctx);
+
+}  // namespace exec
+}  // namespace kimdb
+
+#endif  // KIMDB_EXEC_OPERATOR_H_

@@ -1,0 +1,301 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+namespace kimdb {
+namespace exec {
+
+// --- ExtentScan -------------------------------------------------------------
+
+Status ExtentScan::Open(ExecContext* ctx) {
+  KIMDB_ASSIGN_OR_RETURN(pages_, store_->ExtentPages(cls_));
+  page_idx_ = 0;
+  buf_.clear();
+  buf_pos_ = 0;
+  ctx->Trace("ExtentScan(" + name_ + "): open, " +
+             std::to_string(pages_.size()) + " page(s)");
+  return Status::OK();
+}
+
+Result<bool> ExtentScan::Next(ExecContext* ctx, Row* row) {
+  while (buf_pos_ >= buf_.size()) {
+    if (page_idx_ >= pages_.size()) return false;
+    KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
+    buf_.clear();
+    buf_pos_ = 0;
+    KIMDB_RETURN_IF_ERROR(store_->ForEachInClassOnPage(
+        cls_, pages_[page_idx_++], [&](Object& obj) {
+          buf_.push_back(std::move(obj));
+          return Status::OK();
+        }));
+    ctx->objects_scanned.fetch_add(buf_.size(), std::memory_order_relaxed);
+  }
+  Object& obj = buf_[buf_pos_++];
+  row->oid = obj.oid();
+  row->obj = std::move(obj);
+  row->tuple.clear();
+  return true;
+}
+
+void ExtentScan::Close(ExecContext*) {
+  pages_.clear();
+  buf_.clear();
+}
+
+// --- HierarchyScan ----------------------------------------------------------
+
+Status HierarchyScan::Open(ExecContext* ctx) {
+  cur_ = 0;
+  for (auto& scan : extents_) {
+    KIMDB_RETURN_IF_ERROR(scan->Open(ctx));
+  }
+  return Status::OK();
+}
+
+Result<bool> HierarchyScan::Next(ExecContext* ctx, Row* row) {
+  while (cur_ < extents_.size()) {
+    KIMDB_ASSIGN_OR_RETURN(bool more, extents_[cur_]->Next(ctx, row));
+    if (more) return true;
+    ++cur_;
+  }
+  return false;
+}
+
+void HierarchyScan::Close(ExecContext* ctx) {
+  for (auto& scan : extents_) scan->Close(ctx);
+}
+
+std::vector<const Operator*> HierarchyScan::children() const {
+  std::vector<const Operator*> out;
+  out.reserve(extents_.size());
+  for (const auto& scan : extents_) out.push_back(scan.get());
+  return out;
+}
+
+// --- IndexScan --------------------------------------------------------------
+
+Status IndexScan::Open(ExecContext* ctx) {
+  candidates_.clear();
+  pos_ = 0;
+  KIMDB_ASSIGN_OR_RETURN(const IndexInfo* info,
+                         indexes_->GetIndex(spec_.index_id));
+  ctx->used_index.store(true, std::memory_order_relaxed);
+  ctx->index_probes.fetch_add(1, std::memory_order_relaxed);
+  if (spec_.eq_key.has_value()) {
+    KIMDB_RETURN_IF_ERROR(indexes_->LookupEq(*info, *spec_.eq_key,
+                                             spec_.scope_class,
+                                             spec_.hierarchy_scope,
+                                             &candidates_));
+  } else {
+    KIMDB_RETURN_IF_ERROR(indexes_->LookupRange(
+        *info, spec_.lo, spec_.lo_inclusive, spec_.hi, spec_.hi_inclusive,
+        spec_.scope_class, spec_.hierarchy_scope, &candidates_));
+  }
+  // A nested index can report one object once per satisfying path.
+  std::sort(candidates_.begin(), candidates_.end());
+  candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
+                    candidates_.end());
+  ctx->index_candidates.fetch_add(candidates_.size(),
+                                  std::memory_order_relaxed);
+  ctx->Trace(Describe() + ": " + std::to_string(candidates_.size()) +
+             " candidate(s)");
+  return Status::OK();
+}
+
+Result<bool> IndexScan::Next(ExecContext* ctx, Row* row) {
+  if (pos_ >= candidates_.size()) return false;
+  KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
+  row->oid = candidates_[pos_++];
+  row->obj.reset();
+  row->tuple.clear();
+  return true;
+}
+
+void IndexScan::Close(ExecContext*) { candidates_.clear(); }
+
+std::string IndexScan::Describe() const {
+  std::string path;
+  for (size_t i = 0; i < spec_.path.size(); ++i) {
+    if (i > 0) path += ".";
+    path += spec_.path[i];
+  }
+  std::string out = "IndexScan(path=" + path;
+  if (spec_.eq_key.has_value()) {
+    out += ", key=" + spec_.eq_key->ToString();
+  } else {
+    out += ", range=";
+    out += spec_.lo.has_value()
+               ? (spec_.lo_inclusive ? "[" : "(") + spec_.lo->ToString()
+               : "(-inf";
+    out += ", ";
+    out += spec_.hi.has_value()
+               ? spec_.hi->ToString() + (spec_.hi_inclusive ? "]" : ")")
+               : "+inf)";
+  }
+  out += spec_.hierarchy_scope ? ", scope=hierarchy" : ", scope=class";
+  return out + ")";
+}
+
+// --- Filter -----------------------------------------------------------------
+
+Status Filter::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+Result<bool> Filter::Next(ExecContext* ctx, Row* row) {
+  while (true) {
+    KIMDB_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, row));
+    if (!more) return false;
+    if (!row->obj.has_value()) {
+      ctx->objects_fetched.fetch_add(1, std::memory_order_relaxed);
+      Result<Object> obj = store_->Get(row->oid);
+      if (!obj.ok()) continue;  // vanished candidate: skip
+      row->obj = std::move(*obj);
+    }
+    KIMDB_ASSIGN_OR_RETURN(bool match, pred_(*row->obj, ctx));
+    if (match) return true;
+  }
+}
+
+void Filter::Close(ExecContext* ctx) { child_->Close(ctx); }
+
+// --- ParallelExtentScan -----------------------------------------------------
+
+Status ParallelExtentScan::Open(ExecContext* ctx) {
+  Shutdown();  // re-open support: tear down any previous run
+  units_.clear();
+  queue_.clear();
+  out_buf_.clear();
+  out_pos_ = 0;
+  worker_error_ = Status::OK();
+  stop_.store(false, std::memory_order_release);
+
+  for (const auto& [cls, name] : classes_) {
+    KIMDB_ASSIGN_OR_RETURN(std::vector<PageId> pages,
+                           store_->ExtentPages(cls));
+    for (PageId p : pages) units_.push_back(Unit{cls, p});
+  }
+  size_t n = std::min(n_workers_, std::max<size_t>(1, units_.size()));
+  ctx->Trace(Describe() + ": open, " + std::to_string(units_.size()) +
+             " page(s) across " + std::to_string(n) + " worker(s)");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_workers_ = n;
+  }
+  size_t chunk = (units_.size() + n - 1) / n;
+  for (size_t w = 0; w < n; ++w) {
+    size_t begin = std::min(units_.size(), w * chunk);
+    size_t end = std::min(units_.size(), begin + chunk);
+    threads_.emplace_back(&ParallelExtentScan::WorkerLoop, this, ctx, begin,
+                          end);
+  }
+  return Status::OK();
+}
+
+void ParallelExtentScan::WorkerLoop(ExecContext* ctx, size_t begin,
+                                    size_t end) {
+  // Counters accumulate on a worker-private shadow context and flush once
+  // at exit: with several workers doing per-object fetch_adds, the shared
+  // counter cache lines ping-pong between cores and eat the scan speedup.
+  // Budget / cancellation state stays on the real context.
+  ExecContext shadow;
+  std::vector<Oid> batch;
+  Status st;
+  for (size_t i = begin; i < end && st.ok(); ++i) {
+    const Unit& unit = units_[i];
+    st = ctx->CheckBudget();
+    if (!st.ok()) break;
+    batch.clear();
+    st = store_->ForEachInClassOnPage(
+        unit.cls, unit.page, [&](const Object& obj) -> Status {
+          if (stop_.load(std::memory_order_acquire)) {
+            return Status::Aborted("scan closed");
+          }
+          shadow.objects_scanned.fetch_add(1, std::memory_order_relaxed);
+          bool match = true;
+          if (pred_) {
+            KIMDB_ASSIGN_OR_RETURN(match, pred_(obj, &shadow));
+          }
+          if (match) batch.push_back(obj.oid());
+          return Status::OK();
+        });
+    if (st.ok() && !batch.empty() && !PushBatch(&batch)) {
+      st = Status::Aborted("scan closed");
+    }
+  }
+  shadow.FlushCountersInto(ctx);
+  std::lock_guard<std::mutex> lock(mu_);
+  // An Aborted status only reflects Close() racing the scan, not a fault.
+  if (!st.ok() && !st.IsAborted() && worker_error_.ok()) {
+    worker_error_ = st;
+  }
+  --active_workers_;
+  cv_rows_.notify_all();
+}
+
+bool ParallelExtentScan::PushBatch(std::vector<Oid>* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // A batch (one page's matches) may overshoot the capacity; the bound is
+  // on when a worker may *start* appending, which is all a backpressure
+  // limit needs.
+  cv_space_.wait(lock, [&] {
+    return queue_.size() < kQueueCapacity ||
+           stop_.load(std::memory_order_acquire);
+  });
+  if (stop_.load(std::memory_order_acquire)) return false;
+  queue_.insert(queue_.end(), batch->begin(), batch->end());
+  cv_rows_.notify_one();
+  return true;
+}
+
+Result<bool> ParallelExtentScan::Next(ExecContext*, Row* row) {
+  if (out_pos_ >= out_buf_.size()) {
+    // Drain everything queued in one lock acquisition; the consumer then
+    // serves rows lock-free until the buffer runs dry.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_rows_.wait(lock, [&] {
+      return !queue_.empty() || active_workers_ == 0 || !worker_error_.ok();
+    });
+    if (!worker_error_.ok()) return worker_error_;
+    out_buf_.assign(queue_.begin(), queue_.end());
+    out_pos_ = 0;
+    queue_.clear();
+    lock.unlock();
+    cv_space_.notify_all();
+    if (out_buf_.empty()) return false;  // workers drained, queue empty
+  }
+  row->oid = out_buf_[out_pos_++];
+  row->obj.reset();
+  row->tuple.clear();
+  return true;
+}
+
+void ParallelExtentScan::Close(ExecContext* ctx) {
+  Shutdown();
+  ctx->Trace(Describe() + ": close");
+}
+
+void ParallelExtentScan::Shutdown() {
+  stop_.store(true, std::memory_order_release);
+  cv_space_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  queue_.clear();
+  out_buf_.clear();
+  out_pos_ = 0;
+}
+
+std::string ParallelExtentScan::Describe() const {
+  std::string names;
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (i > 0) names += ", ";
+    names += classes_[i].second;
+  }
+  std::string out =
+      "ParallelExtentScan(" + names + ", workers=" + std::to_string(n_workers_);
+  if (pred_) out += ", pred=" + pred_text_;
+  return out + ")";
+}
+
+}  // namespace exec
+}  // namespace kimdb

@@ -1,0 +1,200 @@
+#ifndef KIMDB_EXEC_OPERATORS_H_
+#define KIMDB_EXEC_OPERATORS_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+#include "index/index_manager.h"
+#include "object/object_store.h"
+
+namespace kimdb {
+namespace exec {
+
+/// Predicate hook the query layer injects into Filter / ParallelExtentScan.
+/// Implemented by QueryEngine::Matches (path semantics, late-bound method
+/// calls); kept as a std::function so the exec layer does not depend on
+/// the query layer. Must be thread-safe: parallel scans evaluate it from
+/// several workers at once, each accounting on a private shadow
+/// ExecContext that is flushed into the query's context when the worker
+/// finishes (see ExecContext::FlushCountersInto).
+using MatchFn = std::function<Result<bool>(const Object&, ExecContext*)>;
+
+/// Scans the extent of exactly one class, page by page, producing
+/// materialized objects. Polls the budget at page granularity.
+class ExtentScan : public Operator {
+ public:
+  ExtentScan(const ObjectStore* store, ClassId cls, std::string class_name)
+      : store_(store), cls_(cls), name_(std::move(class_name)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close(ExecContext* ctx) override;
+  std::string Describe() const override { return "ExtentScan(" + name_ + ")"; }
+
+ private:
+  const ObjectStore* store_;
+  ClassId cls_;
+  std::string name_;
+  std::vector<PageId> pages_;
+  size_t page_idx_ = 0;
+  std::vector<Object> buf_;  // decoded objects of the current page
+  size_t buf_pos_ = 0;
+};
+
+/// Union of the extents of a class and its subclasses (the paper's
+/// class-hierarchy scope, §3.2): children are scanned in catalog Subtree
+/// order, preserving the serial engine's result order.
+class HierarchyScan : public Operator {
+ public:
+  HierarchyScan(std::string root_name,
+                std::vector<std::unique_ptr<ExtentScan>> extents)
+      : root_name_(std::move(root_name)), extents_(std::move(extents)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close(ExecContext* ctx) override;
+  std::string Describe() const override {
+    return "HierarchyScan(" + root_name_ + ")";
+  }
+  std::vector<const Operator*> children() const override;
+
+ private:
+  std::string root_name_;
+  std::vector<std::unique_ptr<ExtentScan>> extents_;
+  size_t cur_ = 0;
+};
+
+/// Produces the (deduplicated, sorted) candidate OIDs of one index lookup:
+/// equality or range, over a single-class / class-hierarchy / nested index.
+/// Candidates carry no object; a Filter above fetches when it must.
+class IndexScan : public Operator {
+ public:
+  struct Spec {
+    IndexId index_id = 0;
+    std::vector<std::string> path;
+    std::optional<Value> eq_key;
+    std::optional<Value> lo, hi;
+    bool lo_inclusive = true, hi_inclusive = true;
+    ClassId scope_class = kInvalidClassId;
+    bool hierarchy_scope = true;
+  };
+
+  IndexScan(const IndexManager* indexes, Spec spec)
+      : indexes_(indexes), spec_(std::move(spec)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+
+ private:
+  const IndexManager* indexes_;
+  Spec spec_;
+  std::vector<Oid> candidates_;
+  size_t pos_ = 0;
+};
+
+/// Applies a residual predicate. Rows that arrive without a materialized
+/// object (index candidates) are point-fetched first; rows a scan already
+/// decoded are evaluated in place. OIDs whose objects vanished between
+/// index read and fetch are skipped, matching the serial engine.
+class Filter : public Operator {
+ public:
+  Filter(std::unique_ptr<Operator> child, const ObjectStore* store,
+         MatchFn pred, std::string pred_text)
+      : child_(std::move(child)),
+        store_(store),
+        pred_(std::move(pred)),
+        pred_text_(std::move(pred_text)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close(ExecContext* ctx) override;
+  std::string Describe() const override {
+    return "Filter(" + pred_text_ + ")";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  const ObjectStore* store_;
+  MatchFn pred_;
+  std::string pred_text_;
+};
+
+/// Partitions the extent pages of the classes in scope into contiguous
+/// ranges and scans them from a small worker pool, evaluating the pushed-
+/// down predicate inside the workers (so matching -- the expensive part of
+/// a cold scan -- parallelizes too). Matching OIDs flow to the consumer
+/// through a bounded queue; row order is therefore nondeterministic, but
+/// the produced *set* equals the serial scan's. Workers poll the budget at
+/// page granularity and the first real worker error is surfaced by Next.
+class ParallelExtentScan : public Operator {
+ public:
+  /// `classes` are (id, name) pairs in scope order; `pred` may be null for
+  /// an unfiltered scan.
+  ParallelExtentScan(const ObjectStore* store,
+                     std::vector<std::pair<ClassId, std::string>> classes,
+                     size_t n_workers, MatchFn pred, std::string pred_text)
+      : store_(store),
+        classes_(std::move(classes)),
+        n_workers_(n_workers == 0 ? 1 : n_workers),
+        pred_(std::move(pred)),
+        pred_text_(std::move(pred_text)) {}
+
+  ~ParallelExtentScan() override { Shutdown(); }
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* row) override;
+  void Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+
+ private:
+  struct Unit {
+    ClassId cls;
+    PageId page;
+  };
+
+  void WorkerLoop(ExecContext* ctx, size_t begin, size_t end);
+  /// Appends one page's matches under a single lock (per-OID handoff costs
+  /// a mutex + condvar round-trip per row, which dominates a fast scan).
+  /// Blocks while the queue is full; false once the scan is shutting down.
+  bool PushBatch(std::vector<Oid>* batch);
+  void Shutdown();
+
+  static constexpr size_t kQueueCapacity = 4096;
+
+  const ObjectStore* store_;
+  std::vector<std::pair<ClassId, std::string>> classes_;
+  size_t n_workers_;
+  MatchFn pred_;
+  std::string pred_text_;
+
+  std::vector<Unit> units_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_rows_;   // consumer waits for rows/finish
+  std::condition_variable cv_space_;  // workers wait for queue space
+  std::deque<Oid> queue_;
+  size_t active_workers_ = 0;
+  Status worker_error_;
+  std::vector<Oid> out_buf_;  // consumer-side drain buffer (no lock needed)
+  size_t out_pos_ = 0;
+};
+
+}  // namespace exec
+}  // namespace kimdb
+
+#endif  // KIMDB_EXEC_OPERATORS_H_

@@ -17,6 +17,7 @@ std::string ToLower(std::string_view s) {
 
 const std::unordered_map<std::string, TokenType>& Keywords() {
   static const auto* kMap = new std::unordered_map<std::string, TokenType>{
+      {"explain", TokenType::kExplain},
       {"select", TokenType::kSelect}, {"where", TokenType::kWhere},
       {"only", TokenType::kOnly},     {"and", TokenType::kAnd},
       {"or", TokenType::kOr},         {"not", TokenType::kNot},
@@ -39,6 +40,8 @@ std::string_view TokenTypeName(TokenType t) {
       return "real";
     case TokenType::kString:
       return "string";
+    case TokenType::kExplain:
+      return "'explain'";
     case TokenType::kSelect:
       return "'select'";
     case TokenType::kWhere:

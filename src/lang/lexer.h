@@ -16,6 +16,7 @@ enum class TokenType {
   kReal,
   kString,
   // keywords (case-insensitive)
+  kExplain,
   kSelect,
   kWhere,
   kOnly,

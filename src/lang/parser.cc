@@ -158,6 +158,19 @@ class Parser::Impl {
 Result<Query> Parser::ParseQuery(std::string_view text) const {
   KIMDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   Impl p(std::move(tokens));
+  return ParseQueryImpl(p);
+}
+
+Result<Statement> Parser::ParseStatement(std::string_view text) const {
+  KIMDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Impl p(std::move(tokens));
+  Statement stmt;
+  stmt.explain = p.Accept(TokenType::kExplain);
+  KIMDB_ASSIGN_OR_RETURN(stmt.query, ParseQueryImpl(p));
+  return stmt;
+}
+
+Result<Query> Parser::ParseQueryImpl(Impl& p) const {
   KIMDB_RETURN_IF_ERROR(p.Expect(TokenType::kSelect));
   if (!p.Check(TokenType::kIdent)) {
     return Status::InvalidArgument("expected a class name after 'select'");

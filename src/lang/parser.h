@@ -28,6 +28,14 @@ namespace lang {
 /// Example (the paper's §3.2 query):
 ///   select Vehicle where Weight > 7500
 ///                    and Manufacturer.Location = 'Detroit'
+/// A parsed top-level statement: a query, optionally prefixed with EXPLAIN
+/// (`explain select ...`), which asks for the lowered operator tree instead
+/// of results.
+struct Statement {
+  bool explain = false;
+  Query query;
+};
+
 class Parser {
  public:
   explicit Parser(const Catalog* catalog) : catalog_(catalog) {}
@@ -35,11 +43,15 @@ class Parser {
   /// Parses a full query; resolves the target class against the catalog.
   Result<Query> ParseQuery(std::string_view text) const;
 
+  /// Parses `[EXPLAIN] SELECT ...`.
+  Result<Statement> ParseStatement(std::string_view text) const;
+
   /// Parses just a predicate (used for view filters and rule conditions).
   Result<ExprPtr> ParseExpression(std::string_view text) const;
 
  private:
   class Impl;
+  Result<Query> ParseQueryImpl(Impl& p) const;
   const Catalog* catalog_;
 };
 

@@ -293,6 +293,64 @@ std::vector<std::pair<Oid, RecordId>> ObjectStore::DirectorySnapshot()
   return out;
 }
 
+Result<std::vector<PageId>> ObjectStore::ExtentPages(ClassId cls) const {
+  HeapFile* heap = nullptr;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    Result<HeapFile*> heap_r = ExtentOf(cls);
+    if (!heap_r.ok()) {
+      if (heap_r.status().IsFailedPrecondition()) {
+        return std::vector<PageId>{};  // never-created extent: empty
+      }
+      return heap_r.status();
+    }
+    heap = *heap_r;
+  }
+  return heap->Pages();
+}
+
+Status ObjectStore::ForEachInClassOnPage(
+    ClassId cls, PageId page,
+    const std::function<Status(Object&)>& fn) const {
+  HeapFile* heap = nullptr;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    Result<HeapFile*> heap_r = ExtentOf(cls);
+    if (!heap_r.ok()) {
+      if (heap_r.status().IsFailedPrecondition()) return Status::OK();
+      return heap_r.status();
+    }
+    heap = *heap_r;
+  }
+  // Deliberately scans without mu_: page reads go through the thread-safe
+  // buffer pool, MaterializeInPlace only reads the catalog, and the
+  // HeapFile slot in extents_ is node-stable. Isolation against concurrent
+  // writers is the lock manager's job, exactly as for ForEachInClass.
+  return heap->ForEachOnPage(page, [&](RecordId, std::string_view bytes) {
+    KIMDB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
+    KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
+    return fn(obj);
+  });
+}
+
+Status ObjectStore::ForEachInClassPartitioned(
+    ClassId cls, size_t n_partitions, size_t partition,
+    const std::function<Status(const Object&)>& fn) const {
+  if (n_partitions == 0 || partition >= n_partitions) {
+    return Status::InvalidArgument("bad scan partition index");
+  }
+  KIMDB_ASSIGN_OR_RETURN(std::vector<PageId> pages, ExtentPages(cls));
+  // Contiguous ranges keep each worker's page reads physically local.
+  size_t chunk = (pages.size() + n_partitions - 1) / n_partitions;
+  size_t begin = partition * chunk;
+  size_t end = std::min(pages.size(), begin + chunk);
+  auto call = [&fn](Object& obj) -> Status { return fn(obj); };
+  for (size_t i = begin; i < end; ++i) {
+    KIMDB_RETURN_IF_ERROR(ForEachInClassOnPage(cls, pages[i], call));
+  }
+  return Status::OK();
+}
+
 Status ObjectStore::ForEachInHierarchy(
     ClassId cls, const std::function<Status(const Object&)>& fn) const {
   std::lock_guard<std::recursive_mutex> lock(mu_);

@@ -101,6 +101,26 @@ class ObjectStore {
 
   Result<uint64_t> CountClass(ClassId cls) const;
 
+  /// Page ids of `cls`'s extent in chain order (empty if the extent was
+  /// never created). The page list is the unit of scan partitioning.
+  Result<std::vector<PageId>> ExtentPages(ClassId cls) const;
+
+  /// Scans the records of `cls` stored on one extent page, with schema
+  /// materialization. Unlike ForEachInClass this does NOT hold the store
+  /// mutex across user callbacks, so disjoint partitions can be scanned
+  /// from several threads concurrently (ParallelExtentScan). The callback
+  /// receives a mutable reference to a freshly decoded Object it may move
+  /// from -- the decoded image is per-call scratch, not shared state.
+  Status ForEachInClassOnPage(ClassId cls, PageId page,
+                              const std::function<Status(Object&)>& fn) const;
+
+  /// Scans partition `partition` of `n_partitions` of `cls`'s extent.
+  /// Partitions are contiguous page ranges; they are disjoint and their
+  /// union is the whole extent as of the call.
+  Status ForEachInClassPartitioned(
+      ClassId cls, size_t n_partitions, size_t partition,
+      const std::function<Status(const Object&)>& fn) const;
+
   /// Raw extent scan: stored images with their physical addresses (used by
   /// the consistency checker and physical tooling). No schema
   /// materialization is applied.

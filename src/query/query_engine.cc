@@ -64,24 +64,50 @@ std::string Expr::ToString() const {
   }
 }
 
+namespace {
+
+/// Indents every line of `tree` by one level and appends it to `out`.
+void AppendIndented(const std::string& tree, std::string* out) {
+  size_t start = 0;
+  while (start <= tree.size()) {
+    size_t end = tree.find('\n', start);
+    if (end == std::string::npos) end = tree.size();
+    out->append("\n  ");
+    out->append(tree, start, end - start);
+    start = end + 1;
+    if (end == tree.size()) break;
+  }
+}
+
+}  // namespace
+
 std::string QueryPlan::ToString() const {
-  if (!index_scan) {
-    return "ExtentScan" +
-           std::string(residual ? " filter=" + residual->ToString() : "");
-  }
-  std::string out = "IndexScan(path=" + JoinPath(index_path);
-  if (eq_key.has_value()) {
-    out += ", key=" + eq_key->ToString();
+  // Renders the same tree Lower() builds (operator Describe format), so
+  // EXPLAIN output is the executed pipeline shape.
+  std::string leaf;
+  if (index_scan) {
+    exec::IndexScan::Spec spec;
+    spec.index_id = index_id;
+    spec.path = index_path;
+    spec.eq_key = eq_key;
+    spec.lo = lo;
+    spec.hi = hi;
+    spec.lo_inclusive = lo_inclusive;
+    spec.hi_inclusive = hi_inclusive;
+    spec.scope_class = target;
+    spec.hierarchy_scope = hierarchy_scope;
+    leaf = exec::IndexScan(nullptr, std::move(spec)).Describe();
+  } else if (hierarchy_scope) {
+    leaf = "HierarchyScan(" + target_name + ")";
+    for (const std::string& name : scope_class_names) {
+      leaf += "\n  ExtentScan(" + name + ")";
+    }
   } else {
-    out += ", range=";
-    out += lo.has_value() ? (lo_inclusive ? "[" : "(") + lo->ToString()
-                          : "(-inf";
-    out += ", ";
-    out += hi.has_value() ? hi->ToString() + (hi_inclusive ? "]" : ")")
-                          : "+inf)";
+    leaf = "ExtentScan(" + target_name + ")";
   }
-  out += ")";
-  if (residual) out += " residual=" + residual->ToString();
+  if (!residual) return leaf;
+  std::string out = "Filter(" + residual->ToString() + ")";
+  AppendIndented(leaf, &out);
   return out;
 }
 
@@ -152,8 +178,21 @@ ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
 }  // namespace
 
 Result<QueryPlan> QueryEngine::Plan(const Query& q) const {
-  KIMDB_RETURN_IF_ERROR(store_->catalog()->GetClass(q.target).status());
+  const Catalog& cat = *store_->catalog();
+  KIMDB_ASSIGN_OR_RETURN(const ClassDef* target_def, cat.GetClass(q.target));
   QueryPlan plan;
+  plan.target = q.target;
+  plan.hierarchy_scope = q.hierarchy_scope;
+  plan.target_name = target_def->name;
+  if (q.hierarchy_scope) {
+    for (ClassId c : cat.Subtree(q.target)) {
+      Result<const ClassDef*> def = cat.GetClass(c);
+      plan.scope_class_names.push_back(def.ok() ? (*def)->name
+                                                : std::to_string(c));
+    }
+  } else {
+    plan.scope_class_names.push_back(target_def->name);
+  }
   plan.residual = q.predicate;
   if (!q.predicate || indexes_ == nullptr) return plan;
 
@@ -246,64 +285,113 @@ Result<QueryPlan> QueryEngine::Plan(const Query& q) const {
   return plan;
 }
 
-Result<std::vector<Oid>> QueryEngine::Execute(const Query& q,
-                                              QueryStats* stats) const {
-  QueryStats local;
-  if (stats == nullptr) stats = &local;
-  KIMDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(q));
+QueryStats StatsFromExecContext(const exec::ExecContext& ctx) {
+  QueryStats s;
+  s.objects_scanned = ctx.objects_scanned.load(std::memory_order_relaxed);
+  s.index_candidates = ctx.index_candidates.load(std::memory_order_relaxed);
+  s.predicates_evaluated =
+      ctx.predicates_evaluated.load(std::memory_order_relaxed);
+  s.ref_fetches = ctx.ref_fetches.load(std::memory_order_relaxed);
+  s.used_index = ctx.used_index.load(std::memory_order_relaxed);
+  return s;
+}
 
-  std::vector<Oid> result;
+exec::MatchFn QueryEngine::MatchFnFor(ExprPtr pred) const {
+  if (!pred) return nullptr;
+  return [this, pred = std::move(pred)](
+             const Object& obj, exec::ExecContext* ctx) -> Result<bool> {
+    // Matches accumulates into a thread-local QueryStats, flushed to the
+    // shared atomics afterwards, so parallel workers never contend on a
+    // plain struct.
+    QueryStats local;
+    Result<bool> match = Matches(obj, pred, &local);
+    ctx->predicates_evaluated.fetch_add(local.predicates_evaluated,
+                                        std::memory_order_relaxed);
+    ctx->ref_fetches.fetch_add(local.ref_fetches, std::memory_order_relaxed);
+    return match;
+  };
+}
+
+Result<std::unique_ptr<exec::Operator>> QueryEngine::Lower(
+    const Query& q, const QueryPlan& plan, size_t parallelism) const {
   if (plan.index_scan) {
-    stats->used_index = true;
-    KIMDB_ASSIGN_OR_RETURN(const IndexInfo* idx,
-                           indexes_->GetIndex(plan.index_id));
-    std::vector<Oid> candidates;
-    if (plan.eq_key.has_value()) {
-      KIMDB_RETURN_IF_ERROR(indexes_->LookupEq(
-          *idx, *plan.eq_key, q.target, q.hierarchy_scope, &candidates));
-    } else {
-      KIMDB_RETURN_IF_ERROR(indexes_->LookupRange(
-          *idx, plan.lo, plan.lo_inclusive, plan.hi, plan.hi_inclusive,
-          q.target, q.hierarchy_scope, &candidates));
-    }
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-    stats->index_candidates = candidates.size();
-    if (!plan.residual) {
-      // Covered query: index maintenance guarantees candidates are live
-      // and satisfy the consumed predicate; no object fetch needed.
-      return candidates;
-    }
-    for (Oid oid : candidates) {
-      Result<Object> obj = store_->Get(oid);
-      if (!obj.ok()) continue;
-      KIMDB_ASSIGN_OR_RETURN(bool match, Matches(*obj, plan.residual, stats));
-      if (match) result.push_back(oid);
-    }
-    return result;
+    exec::IndexScan::Spec spec;
+    spec.index_id = plan.index_id;
+    spec.path = plan.index_path;
+    spec.eq_key = plan.eq_key;
+    spec.lo = plan.lo;
+    spec.hi = plan.hi;
+    spec.lo_inclusive = plan.lo_inclusive;
+    spec.hi_inclusive = plan.hi_inclusive;
+    spec.scope_class = q.target;
+    spec.hierarchy_scope = q.hierarchy_scope;
+    std::unique_ptr<exec::Operator> scan =
+        std::make_unique<exec::IndexScan>(indexes_, std::move(spec));
+    if (!plan.residual) return scan;  // covered query: no fetch, no filter
+    return std::unique_ptr<exec::Operator>(std::make_unique<exec::Filter>(
+        std::move(scan), store_, MatchFnFor(plan.residual),
+        plan.residual->ToString()));
   }
 
-  Status st = (q.hierarchy_scope
-                   ? store_->ForEachInHierarchy(
-                         q.target,
-                         [&](const Object& obj) {
-                           ++stats->objects_scanned;
-                           KIMDB_ASSIGN_OR_RETURN(
-                               bool match, Matches(obj, q.predicate, stats));
-                           if (match) result.push_back(obj.oid());
-                           return Status::OK();
-                         })
-                   : store_->ForEachInClass(
-                         q.target, [&](const Object& obj) {
-                           ++stats->objects_scanned;
-                           KIMDB_ASSIGN_OR_RETURN(
-                               bool match, Matches(obj, q.predicate, stats));
-                           if (match) result.push_back(obj.oid());
-                           return Status::OK();
-                         }));
-  KIMDB_RETURN_IF_ERROR(st);
+  const Catalog& cat = *store_->catalog();
+  auto name_of = [&](ClassId c) -> std::string {
+    Result<const ClassDef*> def = cat.GetClass(c);
+    return def.ok() ? (*def)->name : std::to_string(c);
+  };
+  std::vector<ClassId> scope = q.hierarchy_scope
+                                   ? cat.Subtree(q.target)
+                                   : std::vector<ClassId>{q.target};
+  if (parallelism > 1) {
+    // Predicate pushdown: matching runs inside the scan workers, so result
+    // order is nondeterministic (the set is unchanged).
+    std::vector<std::pair<ClassId, std::string>> classes;
+    classes.reserve(scope.size());
+    for (ClassId c : scope) classes.emplace_back(c, name_of(c));
+    return std::unique_ptr<exec::Operator>(
+        std::make_unique<exec::ParallelExtentScan>(
+            store_, std::move(classes), parallelism, MatchFnFor(q.predicate),
+            q.predicate ? q.predicate->ToString() : ""));
+  }
+  std::unique_ptr<exec::Operator> scan;
+  if (q.hierarchy_scope) {
+    std::vector<std::unique_ptr<exec::ExtentScan>> extents;
+    extents.reserve(scope.size());
+    for (ClassId c : scope) {
+      extents.push_back(
+          std::make_unique<exec::ExtentScan>(store_, c, name_of(c)));
+    }
+    scan = std::make_unique<exec::HierarchyScan>(name_of(q.target),
+                                                 std::move(extents));
+  } else {
+    scan = std::make_unique<exec::ExtentScan>(store_, q.target,
+                                              name_of(q.target));
+  }
+  if (!q.predicate) return scan;
+  return std::unique_ptr<exec::Operator>(std::make_unique<exec::Filter>(
+      std::move(scan), store_, MatchFnFor(q.predicate),
+      q.predicate->ToString()));
+}
+
+Result<std::vector<Oid>> QueryEngine::Execute(const Query& q,
+                                              QueryStats* stats) const {
+  exec::ExecContext ctx(store_->buffer_pool());
+  KIMDB_ASSIGN_OR_RETURN(std::vector<Oid> result, Execute(q, &ctx));
+  if (stats != nullptr) *stats = StatsFromExecContext(ctx);
   return result;
+}
+
+Result<std::vector<Oid>> QueryEngine::Execute(const Query& q,
+                                              exec::ExecContext* ctx) const {
+  KIMDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(q));
+  KIMDB_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> root,
+                         Lower(q, plan, ctx->scan_parallelism()));
+  return exec::CollectOids(*root, ctx);
+}
+
+Result<std::string> QueryEngine::Explain(const Query& q) const {
+  KIMDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(q));
+  KIMDB_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> root, Lower(q, plan));
+  return exec::ExplainTree(*root);
 }
 
 Result<bool> QueryEngine::Matches(const Object& obj, const ExprPtr& pred,
@@ -320,11 +408,16 @@ Status QueryEngine::EvalPath(const Object& obj,
                              std::vector<Value>* out,
                              QueryStats* stats) const {
   const Catalog& cat = *store_->catalog();
-  std::vector<Object> frontier{obj};
+  // The frontier borrows the root and owns fetched children: copying the
+  // root object here would charge every scanned object one deep copy per
+  // predicate evaluation, which dominates extent-scan queries.
+  std::vector<Object> owned;
+  std::vector<const Object*> frontier{&obj};
   for (size_t step = 0; step < path.size(); ++step) {
     bool last = step + 1 == path.size();
     std::vector<Object> next;
-    for (const Object& cur : frontier) {
+    for (const Object* cur_p : frontier) {
+      const Object& cur = *cur_p;
       Result<const AttributeDef*> attr =
           cat.ResolveAttr(cur.class_id(), path[step]);
       if (!attr.ok()) continue;  // attribute absent on this class: no value
@@ -354,7 +447,10 @@ Status QueryEngine::EvalPath(const Object& obj,
       }
     }
     if (last) break;
-    frontier = std::move(next);
+    owned = std::move(next);
+    frontier.clear();
+    frontier.reserve(owned.size());
+    for (const Object& o : owned) frontier.push_back(&o);
   }
   return Status::OK();
 }

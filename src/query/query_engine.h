@@ -1,11 +1,14 @@
 #ifndef KIMDB_QUERY_QUERY_ENGINE_H_
 #define KIMDB_QUERY_QUERY_ENGINE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "catalog/method_registry.h"
+#include "exec/exec_context.h"
+#include "exec/operators.h"
 #include "index/index_manager.h"
 #include "object/object_store.h"
 #include "query/expr.h"
@@ -23,7 +26,10 @@ struct Query {
   ExprPtr predicate;  // null = all instances in scope
 };
 
-/// Execution counters; benchmarks and plan tests assert on these.
+/// Execution counters; benchmarks and plan tests assert on these. Kept for
+/// backward compatibility: since the operator-pipeline refactor these are
+/// reconstructed from the exec::ExecContext the query ran under (see
+/// StatsFromExecContext) rather than accumulated directly.
 struct QueryStats {
   uint64_t objects_scanned = 0;    // extent-scan candidates fetched
   uint64_t index_candidates = 0;   // candidates produced by an index
@@ -32,7 +38,12 @@ struct QueryStats {
   bool used_index = false;
 };
 
+/// Projects the legacy QueryStats view out of the unified counters.
+QueryStats StatsFromExecContext(const exec::ExecContext& ctx);
+
 /// What the optimizer decided (exposed for tests, EXPLAIN, benches).
+/// ToString() renders the operator tree the plan lowers to -- the same
+/// shape Execute runs -- so EXPLAIN output is the executed pipeline.
 struct QueryPlan {
   bool index_scan = false;
   IndexId index_id = 0;
@@ -41,24 +52,50 @@ struct QueryPlan {
   std::optional<Value> lo, hi;
   bool lo_inclusive = true, hi_inclusive = true;
   ExprPtr residual;  // predicate still checked per candidate
+
+  // Scope description, filled by Plan() for lowering and EXPLAIN.
+  ClassId target = kInvalidClassId;
+  bool hierarchy_scope = true;
+  std::string target_name;
+  std::vector<std::string> scope_class_names;  // extents in Subtree order
+
   std::string ToString() const;
 };
 
-/// Evaluates queries: plans (index selection over single-class /
-/// class-hierarchy / nested indexes), scans, and applies the predicate
-/// with existential path semantics and late-bound method calls.
+/// Plans and runs queries by lowering plans onto the pull-based operator
+/// pipeline in src/exec: index selection (single-class / class-hierarchy /
+/// nested indexes) becomes an IndexScan, scope scans become
+/// ExtentScan/HierarchyScan (or ParallelExtentScan when the ExecContext
+/// asks for scan parallelism), and predicates -- existential path
+/// semantics, late-bound method calls -- run inside Filter or are pushed
+/// into scan workers.
 class QueryEngine {
  public:
   QueryEngine(ObjectStore* store, IndexManager* indexes,
-              const MethodRegistry* methods = nullptr, void* env = nullptr)
+              const MethodRegistry* methods = nullptr,
+              MethodEnv* env = nullptr)
       : store_(store), indexes_(indexes), methods_(methods), env_(env) {}
 
   /// Plans without executing (EXPLAIN).
   Result<QueryPlan> Plan(const Query& q) const;
 
+  /// Lowers a plan to its operator tree. `parallelism` > 1 lowers
+  /// non-index scans to ParallelExtentScan with that many workers.
+  Result<std::unique_ptr<exec::Operator>> Lower(const Query& q,
+                                                const QueryPlan& plan,
+                                                size_t parallelism = 1) const;
+
   /// Runs the query; returns matching OIDs.
   Result<std::vector<Oid>> Execute(const Query& q,
                                    QueryStats* stats = nullptr) const;
+
+  /// Runs the query under a caller-provided context (budget, trace,
+  /// scan-parallelism knob, unified counters).
+  Result<std::vector<Oid>> Execute(const Query& q,
+                                   exec::ExecContext* ctx) const;
+
+  /// Plans, lowers, and renders the operator tree (EXPLAIN).
+  Result<std::string> Explain(const Query& q) const;
 
   /// Evaluates a predicate against one object (exposed for the rules
   /// engine and view system).
@@ -73,6 +110,10 @@ class QueryEngine {
   ObjectStore* store() const { return store_; }
 
  private:
+  /// Wraps Matches as the thread-safe predicate hook operators take,
+  /// flushing the per-call counters into the shared context atomics.
+  exec::MatchFn MatchFnFor(ExprPtr pred) const;
+
   Result<bool> EvalBool(const Object& obj, const Expr& e,
                         QueryStats* stats) const;
   /// Collects terminal values of a path from `obj`.
@@ -84,7 +125,7 @@ class QueryEngine {
   ObjectStore* store_;
   IndexManager* indexes_;
   const MethodRegistry* methods_;
-  void* env_;
+  MethodEnv* env_;
 };
 
 }  // namespace kimdb

@@ -1,112 +1,106 @@
 #include "rel/query_ops.h"
 
-#include <map>
+#include <memory>
+#include <utility>
 
 namespace kimdb {
 namespace rel {
 
+// Each entry point lowers to a small operator tree (rel_operators.h) and
+// drives it with exec::ForEachRow, so the relational surface keeps its
+// callback-style API while the execution itself is the shared Volcano
+// substrate. `ctx` is optional for callers that only want results.
+
+namespace {
+
+/// Runs `root` to completion, splitting every emitted row at `split`
+/// columns into the (left, right) pair the JoinConsumer expects.
+Status DriveJoin(exec::Operator& root, exec::ExecContext* ctx, size_t split,
+                 const JoinConsumer& fn) {
+  exec::ExecContext local;
+  if (ctx == nullptr) ctx = &local;
+  return exec::ForEachRow(root, ctx, [&](exec::Row& row) {
+    Tuple lt(row.tuple.begin(),
+             row.tuple.begin() + static_cast<ptrdiff_t>(split));
+    Tuple rt(row.tuple.begin() + static_cast<ptrdiff_t>(split),
+             row.tuple.end());
+    return fn(lt, rt);
+  });
+}
+
+}  // namespace
+
 Status Select(const Relation& rel, const TuplePredicate& pred,
-              const std::function<Status(const Tuple&)>& fn) {
-  return rel.ForEach([&](RecordId, const Tuple& t) {
-    if (pred(t)) return fn(t);
-    return Status::OK();
+              const std::function<Status(const Tuple&)>& fn,
+              exec::ExecContext* ctx) {
+  exec::ExecContext local;
+  if (ctx == nullptr) ctx = &local;
+  RelScan scan(&rel, &pred);
+  return exec::ForEachRow(scan, ctx, [&](exec::Row& row) {
+    return fn(row.tuple);
   });
 }
 
 Status SelectEq(const Relation& rel, std::string_view column,
                 const Value& key,
-                const std::function<Status(const Tuple&)>& fn) {
+                const std::function<Status(const Tuple&)>& fn,
+                exec::ExecContext* ctx) {
   int col = rel.ColumnIndex(column);
   if (col < 0) return Status::NotFound("no such column");
+  exec::ExecContext local;
+  if (ctx == nullptr) ctx = &local;
   if (RelIndex* idx = rel.FindIndex(column)) {
-    for (RecordId rid : idx->LookupEq(key)) {
-      KIMDB_ASSIGN_OR_RETURN(Tuple t, rel.Get(rid));
-      KIMDB_RETURN_IF_ERROR(fn(t));
-    }
-    return Status::OK();
+    RelIndexLookup lookup(&rel, idx, key, std::string(column));
+    return exec::ForEachRow(lookup, ctx, [&](exec::Row& row) {
+      return fn(row.tuple);
+    });
   }
-  return Select(
-      rel,
-      [&](const Tuple& t) {
-        return t[static_cast<size_t>(col)].Compare(key) == 0;
-      },
-      fn);
+  TuplePredicate pred = [&](const Tuple& t) {
+    return t[static_cast<size_t>(col)].Compare(key) == 0;
+  };
+  return Select(rel, pred, fn, ctx);
 }
 
 Status NestedLoopJoin(const Relation& left, const Relation& right,
                       std::string_view left_col, std::string_view right_col,
-                      const JoinConsumer& fn) {
+                      const JoinConsumer& fn, exec::ExecContext* ctx) {
   int lc = left.ColumnIndex(left_col);
   int rc = right.ColumnIndex(right_col);
   if (lc < 0 || rc < 0) return Status::NotFound("join column missing");
-  return left.ForEach([&](RecordId, const Tuple& lt) {
-    return right.ForEach([&](RecordId, const Tuple& rt) {
-      if (!lt[static_cast<size_t>(lc)].is_null() &&
-          lt[static_cast<size_t>(lc)].Compare(
-              rt[static_cast<size_t>(rc)]) == 0) {
-        return fn(lt, rt);
-      }
-      return Status::OK();
-    });
-  });
+  std::string label = left.name() + "." + std::string(left_col) + " = " +
+                      right.name() + "." + std::string(right_col);
+  NestedLoopJoinOp join(std::make_unique<RelScan>(&left, nullptr), &right, lc,
+                        rc, std::move(label));
+  return DriveJoin(join, ctx, left.columns().size(), fn);
 }
-
-namespace {
-
-// Hash-join build key: encode the value to bytes for map lookup.
-std::string KeyBytes(const Value& v) {
-  std::string s;
-  v.EncodeTo(&s);
-  return s;
-}
-
-}  // namespace
 
 Status HashJoin(const Relation& left, const Relation& right,
                 std::string_view left_col, std::string_view right_col,
-                const JoinConsumer& fn) {
+                const JoinConsumer& fn, exec::ExecContext* ctx) {
   int lc = left.ColumnIndex(left_col);
   int rc = right.ColumnIndex(right_col);
   if (lc < 0 || rc < 0) return Status::NotFound("join column missing");
-
-  // Build on the right relation.
-  std::unordered_map<std::string, std::vector<Tuple>> table;
-  KIMDB_RETURN_IF_ERROR(right.ForEach([&](RecordId, const Tuple& rt) {
-    if (!rt[static_cast<size_t>(rc)].is_null()) {
-      table[KeyBytes(rt[static_cast<size_t>(rc)])].push_back(rt);
-    }
-    return Status::OK();
-  }));
-  // Probe with the left relation.
-  return left.ForEach([&](RecordId, const Tuple& lt) {
-    if (lt[static_cast<size_t>(lc)].is_null()) return Status::OK();
-    auto it = table.find(KeyBytes(lt[static_cast<size_t>(lc)]));
-    if (it == table.end()) return Status::OK();
-    for (const Tuple& rt : it->second) {
-      KIMDB_RETURN_IF_ERROR(fn(lt, rt));
-    }
-    return Status::OK();
-  });
+  std::string label = left.name() + "." + std::string(left_col) + " = " +
+                      right.name() + "." + std::string(right_col);
+  HashJoinOp join(std::make_unique<RelScan>(&left, nullptr), &right, lc, rc,
+                  std::move(label));
+  return DriveJoin(join, ctx, left.columns().size(), fn);
 }
 
 Status IndexJoin(const Relation& left, const Relation& right,
                  std::string_view left_col, std::string_view right_col,
-                 const JoinConsumer& fn) {
+                 const JoinConsumer& fn, exec::ExecContext* ctx) {
   int lc = left.ColumnIndex(left_col);
   if (lc < 0) return Status::NotFound("join column missing");
   RelIndex* idx = right.FindIndex(right_col);
   if (idx == nullptr) {
     return Status::FailedPrecondition("no index on right join column");
   }
-  return left.ForEach([&](RecordId, const Tuple& lt) {
-    const Value& key = lt[static_cast<size_t>(lc)];
-    if (key.is_null()) return Status::OK();
-    for (RecordId rid : idx->LookupEq(key)) {
-      KIMDB_ASSIGN_OR_RETURN(Tuple rt, right.Get(rid));
-      KIMDB_RETURN_IF_ERROR(fn(lt, rt));
-    }
-    return Status::OK();
-  });
+  std::string label = left.name() + "." + std::string(left_col) + " -> " +
+                      right.name() + "." + std::string(right_col) + " (index)";
+  IndexJoinOp join(std::make_unique<RelScan>(&left, nullptr), &right, idx, lc,
+                   std::move(label));
+  return DriveJoin(join, ctx, left.columns().size(), fn);
 }
 
 }  // namespace rel

@@ -2,45 +2,54 @@
 #define KIMDB_REL_QUERY_OPS_H_
 
 #include <functional>
-#include <unordered_map>
-#include <vector>
+#include <string_view>
 
+#include "exec/exec_context.h"
+#include "rel/rel_operators.h"
 #include "rel/relation.h"
 
 namespace kimdb {
 namespace rel {
 
-/// A predicate on a tuple.
-using TuplePredicate = std::function<bool(const Tuple&)>;
 /// Consumer of joined rows: (left tuple, right tuple).
 using JoinConsumer =
     std::function<Status(const Tuple& left, const Tuple& right)>;
 
+/// The relational query entry points. Each lowers to an operator tree over
+/// the shared exec substrate (rel_operators.h) and drives it to completion,
+/// so relational and object queries account their work on the same
+/// ExecContext counters and honor the same budget / cancellation protocol.
+/// Pass `ctx` to observe counters or arm a budget; when null a throwaway
+/// context is used.
+
 /// Filter scan: emits tuples satisfying `pred`.
 Status Select(const Relation& rel, const TuplePredicate& pred,
-              const std::function<Status(const Tuple&)>& fn);
+              const std::function<Status(const Tuple&)>& fn,
+              exec::ExecContext* ctx = nullptr);
 
 /// Equality select using an index when one exists on `column`, falling
 /// back to a full scan.
 Status SelectEq(const Relation& rel, std::string_view column,
                 const Value& key,
-                const std::function<Status(const Tuple&)>& fn);
+                const std::function<Status(const Tuple&)>& fn,
+                exec::ExecContext* ctx = nullptr);
 
 /// Canonical O(|L|*|R|) join on equality of two columns.
 Status NestedLoopJoin(const Relation& left, const Relation& right,
                       std::string_view left_col, std::string_view right_col,
-                      const JoinConsumer& fn);
+                      const JoinConsumer& fn,
+                      exec::ExecContext* ctx = nullptr);
 
 /// Classic build/probe hash join (build side = right).
 Status HashJoin(const Relation& left, const Relation& right,
                 std::string_view left_col, std::string_view right_col,
-                const JoinConsumer& fn);
+                const JoinConsumer& fn, exec::ExecContext* ctx = nullptr);
 
 /// Index nested-loop join: probes a pre-built index on the right column.
 /// Returns FailedPrecondition if no index exists on `right_col`.
 Status IndexJoin(const Relation& left, const Relation& right,
                  std::string_view left_col, std::string_view right_col,
-                 const JoinConsumer& fn);
+                 const JoinConsumer& fn, exec::ExecContext* ctx = nullptr);
 
 }  // namespace rel
 }  // namespace kimdb

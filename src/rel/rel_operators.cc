@@ -1,0 +1,252 @@
+#include "rel/rel_operators.h"
+
+#include <utility>
+
+namespace kimdb {
+namespace rel {
+
+namespace {
+
+// Hash-join build key: encode the value to bytes for map lookup.
+std::string KeyBytes(const Value& v) {
+  std::string s;
+  v.EncodeTo(&s);
+  return s;
+}
+
+void Concat(const Tuple& left, const Tuple& right, Tuple* out) {
+  out->clear();
+  out->reserve(left.size() + right.size());
+  out->insert(out->end(), left.begin(), left.end());
+  out->insert(out->end(), right.begin(), right.end());
+}
+
+}  // namespace
+
+// --- RelScan ---------------------------------------------------------------
+
+Status RelScan::Open(exec::ExecContext* ctx) {
+  KIMDB_ASSIGN_OR_RETURN(pages_, rel_->Pages());
+  page_idx_ = 0;
+  buf_.clear();
+  buf_pos_ = 0;
+  if (ctx->trace_enabled()) {
+    ctx->Trace("RelScan open " + rel_->name() + ": " +
+               std::to_string(pages_.size()) + " pages");
+  }
+  return Status::OK();
+}
+
+Result<bool> RelScan::Next(exec::ExecContext* ctx, exec::Row* row) {
+  while (buf_pos_ >= buf_.size()) {
+    if (page_idx_ >= pages_.size()) return false;
+    KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
+    buf_.clear();
+    buf_pos_ = 0;
+    uint64_t scanned = 0;
+    uint64_t evaluated = 0;
+    KIMDB_RETURN_IF_ERROR(rel_->ForEachOnPage(
+        pages_[page_idx_], [&](RecordId, const Tuple& t) {
+          ++scanned;
+          if (pred_ != nullptr && *pred_ != nullptr) {
+            ++evaluated;
+            if (!(*pred_)(t)) return Status::OK();
+          }
+          buf_.push_back(t);
+          return Status::OK();
+        }));
+    ++page_idx_;
+    ctx->tuples_scanned.fetch_add(scanned, std::memory_order_relaxed);
+    ctx->predicates_evaluated.fetch_add(evaluated, std::memory_order_relaxed);
+  }
+  row->oid = kNilOid;
+  row->obj.reset();
+  row->tuple = std::move(buf_[buf_pos_++]);
+  return true;
+}
+
+void RelScan::Close(exec::ExecContext*) {
+  pages_.clear();
+  buf_.clear();
+  page_idx_ = 0;
+  buf_pos_ = 0;
+}
+
+std::string RelScan::Describe() const {
+  std::string s = "RelScan(" + rel_->name();
+  if (pred_ != nullptr && *pred_ != nullptr) s += ", pred";
+  return s + ")";
+}
+
+// --- RelIndexLookup --------------------------------------------------------
+
+Status RelIndexLookup::Open(exec::ExecContext* ctx) {
+  ctx->used_index.store(true, std::memory_order_relaxed);
+  ctx->index_probes.fetch_add(1, std::memory_order_relaxed);
+  rids_ = index_->LookupEq(key_);
+  ctx->index_candidates.fetch_add(rids_.size(), std::memory_order_relaxed);
+  pos_ = 0;
+  if (ctx->trace_enabled()) {
+    ctx->Trace(Describe() + ": " + std::to_string(rids_.size()) +
+               " candidates");
+  }
+  return Status::OK();
+}
+
+Result<bool> RelIndexLookup::Next(exec::ExecContext* ctx, exec::Row* row) {
+  if (pos_ >= rids_.size()) return false;
+  KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
+  KIMDB_ASSIGN_OR_RETURN(Tuple t, rel_->Get(rids_[pos_++]));
+  ctx->objects_fetched.fetch_add(1, std::memory_order_relaxed);
+  row->oid = kNilOid;
+  row->obj.reset();
+  row->tuple = std::move(t);
+  return true;
+}
+
+void RelIndexLookup::Close(exec::ExecContext*) {
+  rids_.clear();
+  pos_ = 0;
+}
+
+// --- NestedLoopJoinOp --------------------------------------------------------
+
+Status NestedLoopJoinOp::Open(exec::ExecContext* ctx) {
+  matches_.clear();
+  match_pos_ = 0;
+  left_done_ = false;
+  return left_->Open(ctx);
+}
+
+Result<bool> NestedLoopJoinOp::Next(exec::ExecContext* ctx, exec::Row* row) {
+  for (;;) {
+    if (match_pos_ < matches_.size()) {
+      Concat(left_row_, matches_[match_pos_++], &row->tuple);
+      row->oid = kNilOid;
+      row->obj.reset();
+      return true;
+    }
+    if (left_done_) return false;
+    exec::Row left;
+    KIMDB_ASSIGN_OR_RETURN(bool ok, left_->Next(ctx, &left));
+    if (!ok) {
+      left_done_ = true;
+      return false;
+    }
+    KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
+    left_row_ = std::move(left.tuple);
+    const Value& key = left_row_[static_cast<size_t>(left_col_)];
+    // The whole point of the naive plan: re-scan the right table for every
+    // left row, even when the key is null (faithful to the textbook loop).
+    matches_.clear();
+    match_pos_ = 0;
+    uint64_t scanned = 0;
+    KIMDB_RETURN_IF_ERROR(right_->ForEach([&](RecordId, const Tuple& rt) {
+      ++scanned;
+      if (!key.is_null() &&
+          key.Compare(rt[static_cast<size_t>(right_col_)]) == 0) {
+        matches_.push_back(rt);
+      }
+      return Status::OK();
+    }));
+    ctx->tuples_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  }
+}
+
+void NestedLoopJoinOp::Close(exec::ExecContext* ctx) {
+  left_->Close(ctx);
+  matches_.clear();
+  match_pos_ = 0;
+}
+
+// --- HashJoinOp --------------------------------------------------------------
+
+Status HashJoinOp::Open(exec::ExecContext* ctx) {
+  table_.clear();
+  matches_ = nullptr;
+  match_pos_ = 0;
+  uint64_t scanned = 0;
+  KIMDB_RETURN_IF_ERROR(right_->ForEach([&](RecordId, const Tuple& rt) {
+    ++scanned;
+    const Value& key = rt[static_cast<size_t>(right_col_)];
+    if (!key.is_null()) table_[KeyBytes(key)].push_back(rt);
+    return Status::OK();
+  }));
+  ctx->tuples_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  if (ctx->trace_enabled()) {
+    ctx->Trace(Describe() + ": built " + std::to_string(table_.size()) +
+               " buckets");
+  }
+  return left_->Open(ctx);
+}
+
+Result<bool> HashJoinOp::Next(exec::ExecContext* ctx, exec::Row* row) {
+  for (;;) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      Concat(left_row_, (*matches_)[match_pos_++], &row->tuple);
+      row->oid = kNilOid;
+      row->obj.reset();
+      return true;
+    }
+    matches_ = nullptr;
+    exec::Row left;
+    KIMDB_ASSIGN_OR_RETURN(bool ok, left_->Next(ctx, &left));
+    if (!ok) return false;
+    left_row_ = std::move(left.tuple);
+    const Value& key = left_row_[static_cast<size_t>(left_col_)];
+    if (key.is_null()) continue;
+    auto it = table_.find(KeyBytes(key));
+    if (it == table_.end()) continue;
+    matches_ = &it->second;
+    match_pos_ = 0;
+  }
+}
+
+void HashJoinOp::Close(exec::ExecContext* ctx) {
+  left_->Close(ctx);
+  table_.clear();
+  matches_ = nullptr;
+  match_pos_ = 0;
+}
+
+// --- IndexJoinOp -------------------------------------------------------------
+
+Status IndexJoinOp::Open(exec::ExecContext* ctx) {
+  ctx->used_index.store(true, std::memory_order_relaxed);
+  rids_.clear();
+  rid_pos_ = 0;
+  return left_->Open(ctx);
+}
+
+Result<bool> IndexJoinOp::Next(exec::ExecContext* ctx, exec::Row* row) {
+  for (;;) {
+    if (rid_pos_ < rids_.size()) {
+      KIMDB_ASSIGN_OR_RETURN(Tuple rt, right_->Get(rids_[rid_pos_++]));
+      ctx->objects_fetched.fetch_add(1, std::memory_order_relaxed);
+      Concat(left_row_, rt, &row->tuple);
+      row->oid = kNilOid;
+      row->obj.reset();
+      return true;
+    }
+    exec::Row left;
+    KIMDB_ASSIGN_OR_RETURN(bool ok, left_->Next(ctx, &left));
+    if (!ok) return false;
+    KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
+    left_row_ = std::move(left.tuple);
+    const Value& key = left_row_[static_cast<size_t>(left_col_)];
+    if (key.is_null()) continue;
+    ctx->index_probes.fetch_add(1, std::memory_order_relaxed);
+    rids_ = index_->LookupEq(key);
+    ctx->index_candidates.fetch_add(rids_.size(), std::memory_order_relaxed);
+    rid_pos_ = 0;
+  }
+}
+
+void IndexJoinOp::Close(exec::ExecContext* ctx) {
+  left_->Close(ctx);
+  rids_.clear();
+  rid_pos_ = 0;
+}
+
+}  // namespace rel
+}  // namespace kimdb

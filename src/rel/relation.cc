@@ -111,6 +111,17 @@ Status Relation::ForEach(
   });
 }
 
+Result<std::vector<PageId>> Relation::Pages() const { return heap_.Pages(); }
+
+Status Relation::ForEachOnPage(
+    PageId page,
+    const std::function<Status(RecordId, const Tuple&)>& fn) const {
+  return heap_.ForEachOnPage(page, [&](RecordId rid, std::string_view bytes) {
+    KIMDB_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(bytes));
+    return fn(rid, t);
+  });
+}
+
 Result<RelIndex*> Relation::CreateIndex(std::string_view column) {
   int col = ColumnIndex(column);
   if (col < 0) return Status::NotFound("no such column");

@@ -52,6 +52,15 @@ class Relation {
   Status ForEach(
       const std::function<Status(RecordId, const Tuple&)>& fn) const;
 
+  /// Heap-page ids of the table in chain order (the unit of streamed /
+  /// partitioned scans; see rel_operators.h).
+  Result<std::vector<PageId>> Pages() const;
+
+  /// Visits every tuple stored on one heap page.
+  Status ForEachOnPage(
+      PageId page,
+      const std::function<Status(RecordId, const Tuple&)>& fn) const;
+
   uint64_t num_tuples() const { return num_tuples_; }
 
   /// Creates (and builds) a secondary index on one column. The relation

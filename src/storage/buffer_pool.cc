@@ -27,12 +27,12 @@ Result<size_t> BufferPool::Evict() {
     }
     if (f.dirty) {
       KIMDB_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.get()));
-      ++stats_.disk_writes;
+      disk_writes_.fetch_add(1, std::memory_order_relaxed);
       f.dirty = false;
     }
     page_table_.erase(f.page_id);
     f.page_id = kInvalidPageId;
-    ++stats_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     return idx;
   }
   return Status::ResourceExhausted("all buffer frames pinned");
@@ -45,14 +45,14 @@ Result<char*> BufferPool::FetchPage(PageId pid) {
     Frame& f = frames_[it->second];
     ++f.pin_count;
     f.referenced = true;
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return f.data.get();
   }
-  ++stats_.misses;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   KIMDB_ASSIGN_OR_RETURN(size_t idx, Evict());
   Frame& f = frames_[idx];
   KIMDB_RETURN_IF_ERROR(disk_->ReadPage(pid, f.data.get()));
-  ++stats_.disk_reads;
+  disk_reads_.fetch_add(1, std::memory_order_relaxed);
   f.page_id = pid;
   f.pin_count = 1;
   f.dirty = false;
@@ -92,7 +92,7 @@ Status BufferPool::FlushPage(PageId pid) {
   Frame& f = frames_[it->second];
   if (!f.dirty) return Status::OK();
   KIMDB_RETURN_IF_ERROR(disk_->WritePage(pid, f.data.get()));
-  ++stats_.disk_writes;
+  disk_writes_.fetch_add(1, std::memory_order_relaxed);
   f.dirty = false;
   return Status::OK();
 }
@@ -102,7 +102,7 @@ Status BufferPool::FlushAll() {
   for (Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {
       KIMDB_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.get()));
-      ++stats_.disk_writes;
+      disk_writes_.fetch_add(1, std::memory_order_relaxed);
       f.dirty = false;
     }
   }

@@ -1,6 +1,7 @@
 #ifndef KIMDB_STORAGE_BUFFER_POOL_H_
 #define KIMDB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -24,7 +25,10 @@ struct Frame {
 };
 
 /// Counters exposed so benchmarks can report physical behaviour
-/// (experiment E8 measures clustering through miss/IO counts).
+/// (experiment E8 measures clustering through miss/IO counts). This is a
+/// plain snapshot struct; the pool keeps the live counters in atomics so
+/// concurrent readers (parallel scans, ExecContext deltas) never race
+/// writers.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -57,8 +61,24 @@ class BufferPool {
   /// Writes all dirty cached pages back and syncs the device.
   Status FlushAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// Consistent-enough snapshot of the counters. Safe to call while other
+  /// threads fetch/flush pages (each counter is read atomically).
+  BufferPoolStats stats() const {
+    BufferPoolStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.disk_reads = disk_reads_.load(std::memory_order_relaxed);
+    out.disk_writes = disk_writes_.load(std::memory_order_relaxed);
+    return out;
+  }
+  void ResetStats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    disk_reads_.store(0, std::memory_order_relaxed);
+    disk_writes_.store(0, std::memory_order_relaxed);
+  }
   size_t capacity() const { return frames_.size(); }
   DiskManager* disk() const { return disk_; }
 
@@ -72,7 +92,11 @@ class BufferPool {
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   size_t clock_hand_ = 0;
-  BufferPoolStats stats_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> disk_reads_{0};
+  std::atomic<uint64_t> disk_writes_{0};
 };
 
 /// RAII pin guard: fetches on construction, unpins on destruction.

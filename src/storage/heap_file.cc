@@ -139,6 +139,27 @@ Status HeapFile::Delete(const RecordId& rid) {
   return Status::OK();
 }
 
+Status HeapFile::ForEachOnPage(
+    PageId pid,
+    const std::function<Status(RecordId, std::string_view)>& fn) const {
+  PageGuard g(bp_, pid);
+  KIMDB_RETURN_IF_ERROR(g.status());
+  SlottedPage page(g.data());
+  if (!page.initialized()) return Status::OK();  // crash-zeroed: empty
+  for (uint16_t s = 0; s < page.num_slots(); ++s) {
+    Result<std::string_view> raw = page.Get(s);
+    if (!raw.ok()) continue;  // deleted slot
+    if (raw->empty()) return Status::Corruption("empty record");
+    if ((*raw)[0] == kInlineTag) {
+      KIMDB_RETURN_IF_ERROR(fn(RecordId{pid, s}, raw->substr(1)));
+    } else {
+      KIMDB_ASSIGN_OR_RETURN(std::string full, ReadOverflow(*raw));
+      KIMDB_RETURN_IF_ERROR(fn(RecordId{pid, s}, full));
+    }
+  }
+  return Status::OK();
+}
+
 Status HeapFile::ForEach(
     const std::function<Status(RecordId, std::string_view)>& fn) const {
   PageId pid = head_;
@@ -161,6 +182,20 @@ Status HeapFile::ForEach(
     pid = page.next_page();
   }
   return Status::OK();
+}
+
+Result<std::vector<PageId>> HeapFile::Pages() const {
+  std::vector<PageId> out;
+  PageId pid = head_;
+  while (pid != kInvalidPageId) {
+    PageGuard g(bp_, pid);
+    KIMDB_RETURN_IF_ERROR(g.status());
+    SlottedPage page(g.data());
+    if (!page.initialized()) break;
+    out.push_back(pid);
+    pid = page.next_page();
+  }
+  return out;
 }
 
 Result<size_t> HeapFile::CountPages() const {

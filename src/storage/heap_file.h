@@ -4,6 +4,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
@@ -52,6 +53,18 @@ class HeapFile {
   /// non-OK status to stop iteration (that status is returned).
   Status ForEach(
       const std::function<Status(RecordId, std::string_view)>& fn) const;
+
+  /// Visits every record stored on one page of the chain, without
+  /// following the chain. Overflow records are reassembled exactly as in
+  /// ForEach. An uninitialized (crash-zeroed) page is treated as empty.
+  /// Partitioned scans (exec layer) are built on this.
+  Status ForEachOnPage(
+      PageId pid,
+      const std::function<Status(RecordId, std::string_view)>& fn) const;
+
+  /// All data-page ids in chain order (stops at a crash-zeroed page, same
+  /// rule as ForEach). The page list is the unit of scan partitioning.
+  Result<std::vector<PageId>> Pages() const;
 
   /// Number of data pages in the chain (walks the chain).
   Result<size_t> CountPages() const;

@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Busy";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kAborted,          // transaction aborted (e.g. deadlock victim)
   kBusy,             // lock conflict under no-wait policies
   kResourceExhausted,
+  kDeadlineExceeded,  // query budget / cancellation (ExecContext)
   kInternal,
 };
 
@@ -77,6 +78,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -99,6 +103,9 @@ class Status {
   }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<Code>: <message>".

@@ -12,8 +12,24 @@
 #include "txn/transaction.h"
 #include "util/random.h"
 
+// TSan serializes synchronization so heavily that deadlock-retry storms
+// take minutes instead of milliseconds; the sanitizer needs the code paths
+// interleaved, not high iteration counts, so scale the workloads down.
+#if defined(__SANITIZE_THREAD__)
+#define KIMDB_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define KIMDB_TSAN 1
+#endif
+#endif
+#ifndef KIMDB_TSAN
+#define KIMDB_TSAN 0
+#endif
+
 namespace kimdb {
 namespace {
+
+constexpr int kIterScale = KIMDB_TSAN ? 10 : 1;
 
 class ConcurrencyTest : public ::testing::Test {
  protected:
@@ -87,7 +103,7 @@ TEST_F(ConcurrencyTest, TransfersPreserveTotalBalance) {
   constexpr int kAccounts = 32;
   constexpr int64_t kInitial = 1000;
   constexpr int kThreads = 4;
-  constexpr int kTransfersPerThread = 200;
+  constexpr int kTransfersPerThread = 200 / kIterScale;
   std::vector<Oid> accounts = MakeAccounts(kAccounts, kInitial);
 
   std::atomic<int> committed{0};
@@ -144,7 +160,7 @@ TEST_F(ConcurrencyTest, AbortingWritersNeverLeakPartialState) {
   for (int i = 0; i < 3; ++i) {
     writers.emplace_back([&, i] {
       Random rng(100 + static_cast<uint64_t>(i));
-      for (int j = 0; j < 150; ++j) {
+      for (int j = 0; j < 150 / kIterScale; ++j) {
         auto t = txns_->Begin();
         if (!t.ok()) continue;
         Oid a = accounts[rng.Uniform(accounts.size())];
@@ -169,7 +185,7 @@ TEST_F(ConcurrencyTest, AbortingWritersNeverLeakPartialState) {
 TEST_F(ConcurrencyTest, HighContentionSingleObjectCounter) {
   std::vector<Oid> accounts = MakeAccounts(1, 0);
   constexpr int kThreads = 8;
-  constexpr int kIncrementsPerThread = 100;
+  constexpr int kIncrementsPerThread = 100 / kIterScale;
   std::vector<std::thread> threads;
   for (int i = 0; i < kThreads; ++i) {
     threads.emplace_back([&] {
