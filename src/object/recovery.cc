@@ -1,66 +1,98 @@
 #include "object/recovery.h"
 
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace kimdb {
+namespace {
+
+// Applies the inverse of one logged operation (full-image undo).
+Result<bool> ApplyInverse(ObjectStore* store, const WalRecord& rec) {
+  switch (rec.type) {
+    case WalRecordType::kInsert:
+      KIMDB_RETURN_IF_ERROR(store->ApplyDelete(Oid(rec.key)));
+      return true;
+    case WalRecordType::kUpdate:
+    case WalRecordType::kDelete: {
+      KIMDB_ASSIGN_OR_RETURN(Object before, Object::Decode(rec.before));
+      KIMDB_RETURN_IF_ERROR(store->ApplyUpdate(before));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 Result<RecoveryStats> RecoveryManager::Recover(ObjectStore* store, Wal* wal) {
   RecoveryStats stats;
   KIMDB_ASSIGN_OR_RETURN(std::vector<WalRecord> log, wal->ReadAll());
 
-  // Analysis.
+  // Analysis: committed / aborted / in-flight per transaction.
   std::unordered_set<uint64_t> committed;
+  std::unordered_set<uint64_t> aborted;
   std::unordered_set<uint64_t> seen;
   for (const WalRecord& rec : log) {
     seen.insert(rec.txn_id);
     if (rec.type == WalRecordType::kCommit) committed.insert(rec.txn_id);
+    if (rec.type == WalRecordType::kAbort) aborted.insert(rec.txn_id);
   }
   stats.committed_txns = committed.size();
   for (uint64_t t : seen) {
-    if (!committed.count(t)) ++stats.losing_txns;
+    if (committed.count(t)) continue;
+    ++stats.losing_txns;
+    if (aborted.count(t)) ++stats.aborted_txns;
   }
 
-  // Redo committed work in LSN order.
+  // History replay in LSN order. Committed work is redone where it sits in
+  // the log; an aborted transaction's pending operations are inverted at
+  // its kAbort record, i.e. exactly where its pre-crash rollback happened
+  // relative to every other transaction's writes.
+  std::unordered_map<uint64_t, std::vector<const WalRecord*>> pending;
   for (const WalRecord& rec : log) {
-    if (!committed.count(rec.txn_id)) continue;
-    switch (rec.type) {
-      case WalRecordType::kInsert:
-      case WalRecordType::kUpdate: {
-        KIMDB_ASSIGN_OR_RETURN(Object after, Object::Decode(rec.after));
-        KIMDB_RETURN_IF_ERROR(rec.type == WalRecordType::kInsert
-                                  ? store->ApplyInsert(after)
-                                  : store->ApplyUpdate(after));
-        ++stats.redone;
-        break;
+    if (committed.count(rec.txn_id)) {
+      switch (rec.type) {
+        case WalRecordType::kInsert:
+        case WalRecordType::kUpdate: {
+          KIMDB_ASSIGN_OR_RETURN(Object after, Object::Decode(rec.after));
+          KIMDB_RETURN_IF_ERROR(rec.type == WalRecordType::kInsert
+                                    ? store->ApplyInsert(after)
+                                    : store->ApplyUpdate(after));
+          ++stats.redone;
+          break;
+        }
+        case WalRecordType::kDelete:
+          KIMDB_RETURN_IF_ERROR(store->ApplyDelete(Oid(rec.key)));
+          ++stats.redone;
+          break;
+        default:
+          break;
       }
-      case WalRecordType::kDelete:
-        KIMDB_RETURN_IF_ERROR(store->ApplyDelete(Oid(rec.key)));
-        ++stats.redone;
-        break;
-      default:
-        break;
+      continue;
     }
+    if (rec.type == WalRecordType::kAbort) {
+      auto it = pending.find(rec.txn_id);
+      if (it == pending.end()) continue;
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        KIMDB_ASSIGN_OR_RETURN(bool applied, ApplyInverse(store, **rit));
+        if (applied) ++stats.undone;
+      }
+      pending.erase(it);
+      continue;
+    }
+    // Aborted-before-its-kAbort or in-flight: buffer for undo.
+    pending[rec.txn_id].push_back(&rec);
   }
 
-  // Undo losing work in reverse LSN order.
+  // Undo in-flight transactions in reverse LSN order across the whole log.
   for (auto it = log.rbegin(); it != log.rend(); ++it) {
     const WalRecord& rec = *it;
-    if (committed.count(rec.txn_id)) continue;
-    switch (rec.type) {
-      case WalRecordType::kInsert:
-        KIMDB_RETURN_IF_ERROR(store->ApplyDelete(Oid(rec.key)));
-        ++stats.undone;
-        break;
-      case WalRecordType::kUpdate:
-      case WalRecordType::kDelete: {
-        KIMDB_ASSIGN_OR_RETURN(Object before, Object::Decode(rec.before));
-        KIMDB_RETURN_IF_ERROR(store->ApplyUpdate(before));
-        ++stats.undone;
-        break;
-      }
-      default:
-        break;
-    }
+    auto p = pending.find(rec.txn_id);
+    if (p == pending.end()) continue;
+    KIMDB_ASSIGN_OR_RETURN(bool applied, ApplyInverse(store, rec));
+    if (applied) ++stats.undone;
   }
   return stats;
 }

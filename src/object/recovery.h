@@ -9,7 +9,8 @@ namespace kimdb {
 
 struct RecoveryStats {
   uint64_t committed_txns = 0;
-  uint64_t losing_txns = 0;  // uncommitted or explicitly aborted
+  uint64_t aborted_txns = 0;  // explicit kAbort record in the log
+  uint64_t losing_txns = 0;   // aborted + in-flight at the crash
   uint64_t redone = 0;
   uint64_t undone = 0;
 };
@@ -19,15 +20,29 @@ struct RecoveryStats {
 /// The engine uses a steal/no-force page policy: heap pages reach disk only
 /// via buffer-pool eviction or checkpoints, so after a crash the extents
 /// hold an arbitrary mix of logged operations' effects. Because log records
-/// carry *full before/after images keyed by OID*, replay is idempotent:
+/// carry *full before/after images keyed by OID*, replay is idempotent
+/// (re-inserting an existing OID degrades to an update; deleting a missing
+/// OID is a no-op):
 ///
-///   1. analysis: classify each transaction as committed (a kCommit record
-///      exists) or losing (no commit, or an explicit kAbort);
-///   2. redo: apply every committed operation in LSN order
-///      (insert/update -> ApplyInsert/ApplyUpdate with the after image;
-///      delete -> ApplyDelete);
-///   3. undo: apply losing operations' inverses in reverse LSN order
+///   1. analysis: classify each transaction as committed (kCommit),
+///      aborted (kAbort), or in-flight (neither);
+///   2. history replay, one forward pass in LSN order:
+///        - committed operations are redone from their after images;
+///        - an aborted transaction's inverses are applied *at its kAbort
+///          record's position*, because its rollback ran through the
+///          unlogged apply path before the crash and may or may not have
+///          reached disk. Replaying the rollback where the abort sits in
+///          the log keeps it ordered before later committed writes to the
+///          same objects (2PL releases the aborter's locks only after the
+///          kAbort record is appended), so it can never clobber them;
+///        - in-flight operations are skipped;
+///   3. undo: in-flight transactions' inverses in reverse LSN order
 ///      (insert -> delete; update/delete -> restore the before image).
+///      Their X locks were still held at the crash, so nothing committed
+///      after their images and end-of-log undo is safe.
+///
+/// Running Recover twice is a no-op: every step is expressed as an
+/// idempotent full-image apply and the pass order is deterministic.
 ///
 /// Run Recover() after ObjectStore::Open and *before* registering listeners
 /// (indexes are rebuilt afterwards from the recovered state).

@@ -51,7 +51,17 @@ Result<char*> BufferPool::FetchPage(PageId pid) {
   misses_.fetch_add(1, std::memory_order_relaxed);
   KIMDB_ASSIGN_OR_RETURN(size_t idx, Evict());
   Frame& f = frames_[idx];
-  KIMDB_RETURN_IF_ERROR(disk_->ReadPage(pid, f.data.get()));
+  Status read = disk_->ReadPage(pid, f.data.get());
+  if (!read.ok()) {
+    // The victim was already evicted (written back if dirty); leave the
+    // frame explicitly free and clean so a failed read can never strand a
+    // half-claimed frame (pinned, stale-dirty, or mapped to `pid`).
+    f.page_id = kInvalidPageId;
+    f.pin_count = 0;
+    f.dirty = false;
+    f.referenced = false;
+    return read;
+  }
   disk_reads_.fetch_add(1, std::memory_order_relaxed);
   f.page_id = pid;
   f.pin_count = 1;

@@ -1,0 +1,127 @@
+#include "storage/fault.h"
+
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace kimdb {
+
+void FaultInjector::Arm(FaultOp op, FaultMode mode, uint64_t fire_at,
+                        uint32_t torn_seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  armed_op_ = op;
+  mode_ = mode;
+  fire_at_ = counters_[static_cast<size_t>(op)] + fire_at;
+  seed_ = torn_seed ? torn_seed : 1;
+  crashed_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  crashed_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  crashed_.store(false, std::memory_order_release);
+  for (uint64_t& c : counters_) c = 0;
+}
+
+uint64_t FaultInjector::ops(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[static_cast<size_t>(op)];
+}
+
+FaultInjector::Decision FaultInjector::Observe(FaultOp op, size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = ++counters_[static_cast<size_t>(op)];
+  Decision d;
+  if (crashed_.load(std::memory_order_relaxed)) {
+    d.fail = true;  // dead processes perform no further I/O
+    return d;
+  }
+  if (!armed_ || op != armed_op_ || n != fire_at_) return d;
+  switch (mode_) {
+    case FaultMode::kFail:
+      d.fail = true;
+      crashed_.store(true, std::memory_order_release);
+      break;
+    case FaultMode::kShortWrite:
+    case FaultMode::kTornWrite: {
+      // A strict prefix: at least 1 byte short, possibly everything short.
+      Random rng(seed_);
+      d.torn_prefix = size > 1 ? rng.Uniform(size) : 0;
+      if (mode_ == FaultMode::kShortWrite) {
+        d.short_io = true;
+        armed_ = false;  // transient: one short count, then healthy again
+      } else {
+        d.fail = true;
+        d.corrupt_seed = seed_;
+        crashed_.store(true, std::memory_order_release);
+      }
+      break;
+    }
+  }
+  return d;
+}
+
+Status FaultInjector::Error(FaultOp op) {
+  switch (op) {
+    case FaultOp::kWalAppend:
+      return Status::IOError("injected fault: wal append");
+    case FaultOp::kWalSync:
+      return Status::IOError("injected fault: wal sync");
+    case FaultOp::kPageWrite:
+      return Status::IOError("injected fault: page write");
+    case FaultOp::kPageRead:
+      return Status::IOError("injected fault: page read");
+    case FaultOp::kDiskSync:
+      return Status::IOError("injected fault: disk sync");
+  }
+  return Status::IOError("injected fault");
+}
+
+Status FaultInjectingDiskManager::ReadPage(PageId pid, char* buf) {
+  FaultInjector::Decision d = fi_->Observe(FaultOp::kPageRead, kPageSize);
+  if (d.fail || d.short_io) return FaultInjector::Error(FaultOp::kPageRead);
+  return inner_->ReadPage(pid, buf);
+}
+
+Status FaultInjectingDiskManager::WritePage(PageId pid, const char* buf) {
+  FaultInjector::Decision d = fi_->Observe(FaultOp::kPageWrite, kPageSize);
+  if (d.fail || d.short_io) {
+    if (d.torn_prefix > 0) {
+      // Torn page: the new image's prefix lands over the old tail (read-
+      // modify-write keeps the semantics identical over any inner device).
+      char page[kPageSize];
+      if (inner_->ReadPage(pid, page).ok()) {
+        std::memcpy(page, buf, d.torn_prefix);
+        if (d.corrupt_seed != 0) {
+          Random rng(d.corrupt_seed);
+          page[d.torn_prefix - 1] ^= static_cast<char>(1 + rng.Uniform(255));
+        }
+        (void)inner_->WritePage(pid, page);
+      }
+    }
+    return FaultInjector::Error(FaultOp::kPageWrite);
+  }
+  return inner_->WritePage(pid, buf);
+}
+
+Result<PageId> FaultInjectingDiskManager::AllocatePage() {
+  // Allocations extend the device, i.e. they are writes.
+  FaultInjector::Decision d = fi_->Observe(FaultOp::kPageWrite, kPageSize);
+  if (d.fail || d.short_io) return FaultInjector::Error(FaultOp::kPageWrite);
+  return inner_->AllocatePage();
+}
+
+Status FaultInjectingDiskManager::Sync() {
+  FaultInjector::Decision d = fi_->Observe(FaultOp::kDiskSync, 0);
+  if (d.fail || d.short_io) return FaultInjector::Error(FaultOp::kDiskSync);
+  return inner_->Sync();
+}
+
+}  // namespace kimdb

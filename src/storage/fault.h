@@ -1,0 +1,121 @@
+#ifndef KIMDB_STORAGE_FAULT_H_
+#define KIMDB_STORAGE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "storage/disk_manager.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace kimdb {
+
+/// I/O categories a failpoint can be armed against. Counters are kept per
+/// category so a crash matrix can enumerate "the Nth WAL append" and "the
+/// Nth page flush" independently.
+enum class FaultOp : uint8_t {
+  kWalAppend = 0,
+  kWalSync,
+  kPageWrite,
+  kPageRead,
+  kDiskSync,
+};
+inline constexpr size_t kNumFaultOps = 5;
+
+/// What an armed failpoint does when it fires.
+enum class FaultMode : uint8_t {
+  /// The I/O fails cleanly: no bytes reach the device, an IOError is
+  /// reported, and the injector enters the crashed state (every later
+  /// guarded I/O also fails) -- fail-stop crash simulation.
+  kFail,
+  /// The I/O is cut short exactly once: only `prefix_len` bytes (or, for a
+  /// page, the page prefix) reach the device and a short count / IOError is
+  /// reported, but the injector does NOT crash -- transient-short-write
+  /// simulation (exercises retry paths).
+  kShortWrite,
+  /// A strict prefix of the bytes reaches the device with its tail bytes
+  /// corrupted by a seeded PRNG, the I/O is reported failed, and the
+  /// injector crashes -- torn-write crash simulation.
+  kTornWrite,
+};
+
+/// Deterministic failpoint controller shared by the fault-injecting disk
+/// manager and the WAL write hook.
+///
+/// Arm() schedules one fault at the Nth (1-based) I/O of one category.
+/// After a kFail or kTornWrite fires, the injector is "crashed": every
+/// subsequent guarded I/O in every category fails, modelling a process
+/// that died mid-I/O (a real crash never performs further I/O). Counters
+/// keep counting in all states so a golden (disarmed) run can size the
+/// crash matrix.
+///
+/// Thread-safe; decisions are serialized under an internal mutex.
+class FaultInjector {
+ public:
+  struct Decision {
+    bool fail = false;      // report IOError; `torn_prefix` bytes were written
+    bool short_io = false;  // transient: only `torn_prefix` bytes this call
+    size_t torn_prefix = 0;
+    uint32_t corrupt_seed = 0;  // non-zero: XOR-corrupt the prefix tail
+  };
+
+  /// Fires at the `fire_at`th (1-based) future I/O of category `op`.
+  /// `torn_seed` selects the corruption pattern (and, via the PRNG, the
+  /// prefix length) for kShortWrite/kTornWrite.
+  void Arm(FaultOp op, FaultMode mode, uint64_t fire_at,
+           uint32_t torn_seed = 1);
+
+  /// Clears any armed fault and the crashed state; counters are kept.
+  void Disarm();
+
+  /// Resets counters as well (fresh golden run).
+  void Reset();
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  uint64_t ops(FaultOp op) const;
+
+  /// Reports an imminent I/O of `size` bytes and returns its fate.
+  Decision Observe(FaultOp op, size_t size);
+
+  /// Convenience for hooks: turns a Decision into the error the device
+  /// reports (callers perform partial writes themselves first).
+  static Status Error(FaultOp op);
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> crashed_{false};
+  bool armed_ = false;
+  FaultOp armed_op_ = FaultOp::kWalAppend;
+  FaultMode mode_ = FaultMode::kFail;
+  uint64_t fire_at_ = 0;  // fires when counter reaches this value
+  uint32_t seed_ = 1;
+  uint64_t counters_[kNumFaultOps] = {0, 0, 0, 0, 0};
+};
+
+/// DiskManager decorator that routes every page I/O through a
+/// FaultInjector. A fired page-write fault leaves the on-device page
+/// either untouched (kFail) or with a corrupted prefix of the new image
+/// over the old tail (kTornWrite), exactly like a kernel-level torn page.
+/// The wrapper owns neither the injector nor the inner manager.
+class FaultInjectingDiskManager final : public DiskManager {
+ public:
+  FaultInjectingDiskManager(DiskManager* inner, FaultInjector* fi)
+      : inner_(inner), fi_(fi) {}
+
+  Status ReadPage(PageId pid, char* buf) override;
+  Status WritePage(PageId pid, const char* buf) override;
+  Result<PageId> AllocatePage() override;
+  Status Sync() override;
+  uint32_t num_pages() const override { return inner_->num_pages(); }
+
+ private:
+  DiskManager* inner_;
+  FaultInjector* fi_;
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_STORAGE_FAULT_H_

@@ -6,8 +6,10 @@
 #include <cerrno>
 #include <cstring>
 
+#include "storage/fault.h"
 #include "util/coding.h"
 #include "util/hash.h"
+#include "util/random.h"
 
 namespace kimdb {
 namespace {
@@ -78,6 +80,18 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
     next_lsn = std::max(next_lsn, rec->lsn + 1);
     pos += 12 + len;
   }
+  // Discard the torn/corrupt tail from the file, not just from the parse:
+  // if stale bytes stayed beyond `pos`, a later, shorter run of appends
+  // could leave a dead generation's record aligned after the new tail,
+  // where a subsequent Open would resurrect it as a ghost.
+  if (static_cast<off_t>(pos) < size) {
+    if (::ftruncate(fd, static_cast<off_t>(pos)) != 0 ||
+        ::fdatasync(fd) != 0) {
+      ::close(fd);
+      return Status::IOError("wal tail truncate failed: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
   return std::unique_ptr<Wal>(new Wal(fd, path, next_lsn, pos));
 }
 
@@ -87,33 +101,97 @@ Wal::~Wal() {
 
 Result<uint64_t> Wal::Append(WalRecord rec) {
   std::lock_guard<std::mutex> lock(mu_);
-  rec.lsn = next_lsn_++;
+  rec.lsn = next_lsn_;  // consumed only if the append fully succeeds
   std::string bytes = EncodeRecord(rec);
-  ssize_t n = ::pwrite(fd_, bytes.data(), bytes.size(),
-                       static_cast<off_t>(file_end_));
-  if (n != static_cast<ssize_t>(bytes.size())) {
-    return Status::IOError("wal append failed: " +
-                           std::string(std::strerror(errno)));
+  const uint64_t base = file_end_.load(std::memory_order_relaxed);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    size_t want = bytes.size() - written;
+    if (fault_ != nullptr) {
+      FaultInjector::Decision d =
+          fault_->Observe(FaultOp::kWalAppend, want);
+      if (d.fail) {
+        if (d.torn_prefix > 0) {
+          // Torn append: a corrupted prefix of the record reaches the file
+          // beyond file_end_, exactly what a crash mid-pwrite leaves.
+          std::string torn = bytes.substr(written, d.torn_prefix);
+          if (d.corrupt_seed != 0) {
+            Random rng(d.corrupt_seed);
+            torn.back() ^= static_cast<char>(1 + rng.Uniform(255));
+          }
+          (void)::pwrite(fd_, torn.data(), torn.size(),
+                         static_cast<off_t>(base + written));
+        }
+        return FaultInjector::Error(FaultOp::kWalAppend);
+      }
+      if (d.short_io) {
+        if (d.torn_prefix == 0) continue;  // zero-byte short write: retry
+        want = d.torn_prefix;
+      }
+    }
+    ssize_t n = ::pwrite(fd_, bytes.data() + written, want,
+                         static_cast<off_t>(base + written));
+    if (n < 0) {
+      // errno is from this pwrite, not a stale value; file_end_ and
+      // next_lsn_ are untouched, so no LSN gap or phantom bytes remain.
+      return Status::IOError("wal append failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError("wal append failed: pwrite wrote no bytes");
+    }
+    written += static_cast<size_t>(n);  // short write: retry the remainder
   }
-  file_end_ += bytes.size();
+  file_end_.store(base + bytes.size(), std::memory_order_release);
+  next_lsn_ = rec.lsn + 1;
   ++appended_;
   return rec.lsn;
 }
 
 Status Wal::Sync() {
-  if (::fdatasync(fd_) != 0) {
-    return Status::IOError("wal fdatasync failed");
+  const uint64_t target = file_end_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  for (;;) {
+    if (durable_end_ >= target) return Status::OK();  // coalesced: no I/O
+    if (!sync_active_) break;
+    // A leader's fdatasync is in flight; it may or may not cover our
+    // records -- re-check when it finishes.
+    sync_cv_.wait(lock);
   }
-  return Status::OK();
+  sync_active_ = true;
+  // Group commit: the leader's fdatasync covers every record appended
+  // before this point, including followers that arrived after `target`.
+  const uint64_t cover = file_end_.load(std::memory_order_acquire);
+  lock.unlock();
+
+  Status st;
+  if (fault_ != nullptr) {
+    FaultInjector::Decision d = fault_->Observe(FaultOp::kWalSync, 0);
+    if (d.fail || d.short_io) st = FaultInjector::Error(FaultOp::kWalSync);
+  }
+  if (st.ok()) {
+    fdatasyncs_.fetch_add(1, std::memory_order_relaxed);
+    if (::fdatasync(fd_) != 0) {
+      st = Status::IOError("wal fdatasync failed: " +
+                           std::string(std::strerror(errno)));
+    }
+  }
+
+  lock.lock();
+  sync_active_ = false;
+  if (st.ok()) durable_end_ = std::max(durable_end_, cover);
+  sync_cv_.notify_all();
+  return st;
 }
 
 Result<std::vector<WalRecord>> Wal::ReadAll() const {
   std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t end = file_end_.load(std::memory_order_acquire);
   std::string buf;
-  buf.resize(file_end_);
-  if (file_end_ > 0) {
+  buf.resize(end);
+  if (end > 0) {
     ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
-    if (n != static_cast<ssize_t>(file_end_)) {
+    if (n != static_cast<ssize_t>(end)) {
       return Status::IOError("pread wal failed");
     }
   }
@@ -134,14 +212,18 @@ Result<std::vector<WalRecord>> Wal::ReadAll() const {
 }
 
 Status Wal::Truncate() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (::ftruncate(fd_, 0) != 0) {
-    return Status::IOError("wal truncate failed");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (::ftruncate(fd_, 0) != 0) {
+      return Status::IOError("wal truncate failed");
+    }
+    file_end_.store(0, std::memory_order_release);
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError("wal fdatasync failed");
+    }
   }
-  file_end_ = 0;
-  if (::fdatasync(fd_) != 0) {
-    return Status::IOError("wal fdatasync failed");
-  }
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  durable_end_ = 0;
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #ifndef KIMDB_STORAGE_WAL_H_
 #define KIMDB_STORAGE_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -11,6 +13,8 @@
 #include "util/status.h"
 
 namespace kimdb {
+
+class FaultInjector;
 
 /// Kinds of log record. KIMDB logs logical (object-level) before/after
 /// images keyed by OID; recovery replays them through the object store.
@@ -33,9 +37,15 @@ struct WalRecord {
   std::string after;
 };
 
-/// Append-only write-ahead log with per-record checksums. ReadAll tolerates
-/// a torn tail (a partially-written final record is ignored), which is what
-/// the failure-injection recovery tests exercise.
+/// Append-only write-ahead log with per-record checksums.
+///
+/// Open() scans to the last complete record and truncates any torn or
+/// corrupt tail off the file, so bytes of a dead generation can never
+/// reparse as valid records after later, shorter appends. Append() retries
+/// transient short writes and leaves no LSN gap on failure (the LSN
+/// counter only advances when the record is fully in the OS buffer).
+/// Sync() is a group commit: concurrent callers coalesce onto one
+/// fdatasync that covers every record appended before the leader syncs.
 class Wal {
  public:
   ~Wal();
@@ -43,43 +53,77 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Opens (creating if absent) the log at `path`, positioned to append
-  /// after the last complete record.
+  /// Opens (creating if absent) the log at `path`, truncated to and
+  /// positioned after the last complete record.
   static Result<std::unique_ptr<Wal>> Open(const std::string& path);
 
   /// Assigns the record an LSN, appends it (buffered in the OS), and
-  /// returns the LSN. Call Sync() to make appended records durable.
+  /// returns the LSN. Call Sync() to make appended records durable. On
+  /// failure no LSN is consumed and the file end is not advanced, so the
+  /// next append transparently overwrites any partial bytes.
   Result<uint64_t> Append(WalRecord rec);
 
-  /// Durably flushes all appended records (fdatasync).
+  /// Durably flushes all records appended so far (group commit: one
+  /// fdatasync may cover many concurrent callers; a call whose records are
+  /// already durable performs no I/O).
   Status Sync();
 
   /// Parses all complete records currently in the log.
   Result<std::vector<WalRecord>> ReadAll() const;
 
   /// Empties the log (after a checkpoint has made its effects durable).
+  /// Must not race Sync(): checkpoints exclude active transactions.
   Status Truncate();
 
   uint64_t next_lsn() const { return next_lsn_; }
 
-  /// Number of Append calls since open (test/bench introspection).
+  /// Number of successful Append calls since open (test/bench
+  /// introspection).
   uint64_t appended_records() const { return appended_; }
+
+  /// Number of fdatasync calls issued (group-commit coalescing shows up as
+  /// fdatasync_count() < number of Sync() calls).
+  uint64_t fdatasync_count() const {
+    return fdatasyncs_.load(std::memory_order_relaxed);
+  }
+
+  /// Byte size of the complete-record prefix (tests).
+  uint64_t file_bytes() const {
+    return file_end_.load(std::memory_order_relaxed);
+  }
+
+  /// Routes append/sync I/O through `fi` (crash injection; nullptr to
+  /// detach). Not thread-safe against in-flight operations.
+  void set_fault_injector(FaultInjector* fi) { fault_ = fi; }
 
  private:
   Wal(int fd, std::string path, uint64_t next_lsn, uint64_t file_end)
       : fd_(fd),
         path_(std::move(path)),
         next_lsn_(next_lsn),
-        file_end_(file_end) {}
+        file_end_(file_end),
+        durable_end_(file_end) {}
 
   static std::string EncodeRecord(const WalRecord& rec);
 
+  // mu_ serializes appends and fd-repositioning ops; sync_mu_ coordinates
+  // the group-commit leader/followers. Neither is ever held while taking
+  // the other except Truncate (mu_ released first).
   mutable std::mutex mu_;
   int fd_;
   std::string path_;
   uint64_t next_lsn_;
-  uint64_t file_end_;  // byte offset of the first incomplete/absent record
+  // Byte offset of the first incomplete/absent record. Atomic so Sync can
+  // sample it without mu_.
+  std::atomic<uint64_t> file_end_;
   uint64_t appended_ = 0;
+  FaultInjector* fault_ = nullptr;
+
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool sync_active_ = false;   // a leader's fdatasync is in flight
+  uint64_t durable_end_ = 0;   // bytes known durable (under sync_mu_)
+  std::atomic<uint64_t> fdatasyncs_{0};
 };
 
 }  // namespace kimdb

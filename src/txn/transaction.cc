@@ -90,6 +90,36 @@ size_t TxnManager::active_count() const {
   return active_.size();
 }
 
+Status TxnManager::PushUndo(uint64_t txn, UndoRecord rec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(txn);
+    if (it != active_.end()) {
+      it->second.undo.push_back(std::move(rec));
+      return Status::OK();
+    }
+  }
+  // The transaction committed or aborted between CheckActive and here
+  // (concurrent misuse of the handle). operator[] would silently re-create
+  // an entry that no Commit/Abort will ever erase -- a phantom "active"
+  // transaction leaked forever. Instead, roll the orphaned store effect
+  // back through the unlogged apply path, drop any locks taken under the
+  // dead id (ReleaseAll already ran at commit/abort), and fail the call.
+  switch (rec.kind) {
+    case UndoKind::kInsert:
+      (void)store_->ApplyDelete(rec.oid);
+      break;
+    case UndoKind::kUpdate:
+    case UndoKind::kDelete:
+      (void)store_->ApplyUpdate(rec.before);
+      break;
+  }
+  locks_->ReleaseAll(txn);
+  return Status::FailedPrecondition(
+      "transaction " + std::to_string(txn) +
+      " completed concurrently; operation rolled back");
+}
+
 Result<Oid> TxnManager::Insert(uint64_t txn, ClassId cls, Object contents,
                                Oid cluster_hint) {
   KIMDB_RETURN_IF_ERROR(CheckActive(txn));
@@ -102,8 +132,8 @@ Result<Oid> TxnManager::Insert(uint64_t txn, ClassId cls, Object contents,
   // commit under 2PL, but taking the lock keeps the protocol uniform).
   KIMDB_RETURN_IF_ERROR(
       locks_->Lock(txn, LockResource::Object(oid), LockMode::kX));
-  std::lock_guard<std::mutex> lock(mu_);
-  active_[txn].undo.push_back(UndoRecord{UndoKind::kInsert, oid, Object{}});
+  KIMDB_RETURN_IF_ERROR(
+      PushUndo(txn, UndoRecord{UndoKind::kInsert, oid, Object{}}));
   return oid;
 }
 
@@ -124,10 +154,8 @@ Status TxnManager::Update(uint64_t txn, const Object& obj) {
       locks_->Lock(txn, LockResource::Object(obj.oid()), LockMode::kX));
   KIMDB_ASSIGN_OR_RETURN(Object before, store_->GetRaw(obj.oid()));
   KIMDB_RETURN_IF_ERROR(store_->Update(txn, obj));
-  std::lock_guard<std::mutex> lock(mu_);
-  active_[txn].undo.push_back(
-      UndoRecord{UndoKind::kUpdate, obj.oid(), std::move(before)});
-  return Status::OK();
+  return PushUndo(txn,
+                  UndoRecord{UndoKind::kUpdate, obj.oid(), std::move(before)});
 }
 
 Status TxnManager::SetAttr(uint64_t txn, Oid oid, std::string_view attr,
@@ -139,10 +167,7 @@ Status TxnManager::SetAttr(uint64_t txn, Oid oid, std::string_view attr,
       locks_->Lock(txn, LockResource::Object(oid), LockMode::kX));
   KIMDB_ASSIGN_OR_RETURN(Object before, store_->GetRaw(oid));
   KIMDB_RETURN_IF_ERROR(store_->SetAttr(txn, oid, attr, std::move(value)));
-  std::lock_guard<std::mutex> lock(mu_);
-  active_[txn].undo.push_back(
-      UndoRecord{UndoKind::kUpdate, oid, std::move(before)});
-  return Status::OK();
+  return PushUndo(txn, UndoRecord{UndoKind::kUpdate, oid, std::move(before)});
 }
 
 Status TxnManager::Delete(uint64_t txn, Oid oid) {
@@ -153,10 +178,7 @@ Status TxnManager::Delete(uint64_t txn, Oid oid) {
       locks_->Lock(txn, LockResource::Object(oid), LockMode::kX));
   KIMDB_ASSIGN_OR_RETURN(Object before, store_->GetRaw(oid));
   KIMDB_RETURN_IF_ERROR(store_->Delete(txn, oid));
-  std::lock_guard<std::mutex> lock(mu_);
-  active_[txn].undo.push_back(
-      UndoRecord{UndoKind::kDelete, oid, std::move(before)});
-  return Status::OK();
+  return PushUndo(txn, UndoRecord{UndoKind::kDelete, oid, std::move(before)});
 }
 
 Status TxnManager::LockScan(uint64_t txn, ClassId cls, bool hierarchy) {

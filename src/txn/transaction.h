@@ -74,6 +74,10 @@ class TxnManager {
 
   Status CheckActive(uint64_t txn) const;
   Status LogControl(uint64_t txn, WalRecordType type);
+  /// Records an undo entry for `txn`, or -- if the transaction completed
+  /// concurrently -- rolls the orphaned store effect back and fails
+  /// instead of resurrecting a phantom active-table entry.
+  Status PushUndo(uint64_t txn, UndoRecord rec);
 
   ObjectStore* store_;
   LockManager* locks_;

@@ -1,0 +1,358 @@
+// Crash-injection durability harness (the "crash matrix").
+//
+// A deterministic OO1-style mixed workload (inserts, updates, deletes,
+// explicit aborts; ~100 transactions) runs against the full durable stack
+// (FaultInjectingDiskManager -> BufferPool -> HeapFile extents, Wal with a
+// fault hook, ObjectStore, LockManager, TxnManager). A FaultInjector
+// "crashes" the process at an exact I/O: the Nth WAL append (clean-fail and
+// torn-write variants) or the Nth page write (buffer-pool eviction /
+// allocation reaching the device). After the crash, everything volatile is
+// discarded, the store is reopened over the surviving files, and
+// RecoveryManager::Recover must re-establish the durability invariants:
+//
+//   * every acknowledged (Commit returned OK) transaction's effects are
+//     present, byte-for-byte per attribute;
+//   * no uncommitted or aborted transaction's effects are visible;
+//   * recovery is idempotent (a second Recover changes nothing);
+//   * a freshly built index agrees exactly with the extents.
+//
+// The golden (fault-free) run sizes the matrix; every I/O index in
+// [1, golden count] is then crashed in turn. KIMDB_CRASH_MATRIX_STRIDE
+// thins the matrix for slow builds (TSan CI sets it); default is 1 (every
+// crash point).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index_manager.h"
+#include "object/object_store.h"
+#include "object/recovery.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/fault.h"
+#include "storage/wal.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace kimdb {
+namespace {
+
+constexpr int kTxns = 100;
+// Pad makes objects ~10x larger so the workload spans enough heap pages to
+// evict against a small pool (page-flush crash points need evictions).
+constexpr size_t kPadBytes = 700;
+constexpr size_t kPoolFrames = 4;
+
+// Expected committed state: OID -> Name value. Mutated only after a Commit
+// is acknowledged, so it is exactly the set recovery must reproduce.
+using Model = std::map<uint64_t, std::string>;
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string base =
+        ::testing::TempDir() + "/kimdb_crash_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    db_path_ = base + ".db";
+    wal_path_ = base + ".wal";
+  }
+
+  void TearDown() override {
+    CloseAll();
+    ::remove(db_path_.c_str());
+    ::remove(wal_path_.c_str());
+  }
+
+  // Fresh database files + fresh catalog: every matrix iteration replays
+  // the identical history (ClassIds, OIDs, page layout are deterministic).
+  void FreshFiles() {
+    CloseAll();
+    ::remove(db_path_.c_str());
+    ::remove(wal_path_.c_str());
+    cat_ = std::make_unique<Catalog>();
+    auto part = cat_->CreateClass(
+        "Part", {}, {{"Name", Domain::String()}, {"Pad", Domain::String()}});
+    ASSERT_TRUE(part.ok());
+    part_ = *part;
+    name_ = (*cat_->ResolveAttr(part_, "Name"))->id;
+    pad_ = (*cat_->ResolveAttr(part_, "Pad"))->id;
+  }
+
+  // Opens the stack; page and WAL I/O run through `fi` when non-null.
+  Status OpenStack(FaultInjector* fi) {
+    KIMDB_ASSIGN_OR_RETURN(real_disk_, DiskManager::OpenFile(db_path_));
+    disk_ = real_disk_.get();
+    if (fi != nullptr) {
+      faulty_disk_ = std::make_unique<FaultInjectingDiskManager>(
+          real_disk_.get(), fi);
+      disk_ = faulty_disk_.get();
+    }
+    bp_ = std::make_unique<BufferPool>(disk_, kPoolFrames);
+    KIMDB_ASSIGN_OR_RETURN(wal_, Wal::Open(wal_path_));
+    wal_->set_fault_injector(fi);
+    KIMDB_ASSIGN_OR_RETURN(store_,
+                           ObjectStore::Open(bp_.get(), cat_.get(),
+                                             wal_.get()));
+    locks_ = std::make_unique<LockManager>();
+    txns_ = std::make_unique<TxnManager>(store_.get(), locks_.get());
+    return Status::OK();
+  }
+
+  // Crash: volatile state (buffer pool, store, txn table) dies with the
+  // process; the .db/.wal files keep whatever I/O succeeded.
+  void CloseAll() {
+    txns_.reset();
+    locks_.reset();
+    store_.reset();
+    bp_.reset();
+    faulty_disk_.reset();
+    real_disk_.reset();
+    wal_.reset();
+  }
+
+  // The deterministic mixed workload. Stops at the first error (the
+  // injected crash); `model` only ever reflects acknowledged commits.
+  Status RunWorkload(Model* model) {
+    std::vector<Oid> live;
+    std::map<uint64_t, std::string> live_name;  // runtime mirror of `model`
+    for (const auto& [raw, nm] : *model) {
+      live.push_back(Oid(raw));
+      live_name[raw] = nm;
+    }
+    for (int i = 1; i <= kTxns; ++i) {
+      KIMDB_ASSIGN_OR_RETURN(uint64_t t, txns_->Begin());
+      switch (i % 5) {
+        case 0:
+        case 1: {  // insert two objects
+          std::vector<std::pair<uint64_t, std::string>> added;
+          for (const char* suffix : {".a", ".b"}) {
+            Object obj;
+            std::string nm = "t" + std::to_string(i) + suffix;
+            obj.Set(name_, Value::Str(nm));
+            obj.Set(pad_, Value::Str(std::string(kPadBytes, 'p')));
+            KIMDB_ASSIGN_OR_RETURN(Oid oid, txns_->Insert(t, part_, obj));
+            added.push_back({oid.raw(), nm});
+          }
+          KIMDB_RETURN_IF_ERROR(txns_->Commit(t));
+          for (auto& [raw, nm] : added) {
+            (*model)[raw] = nm;
+            live.push_back(Oid(raw));
+          }
+          break;
+        }
+        case 2: {  // update one object
+          if (live.empty()) {
+            KIMDB_RETURN_IF_ERROR(txns_->Commit(t));
+            break;
+          }
+          Oid target = live[static_cast<size_t>(i * 7) % live.size()];
+          std::string nm = "u" + std::to_string(i);
+          KIMDB_RETURN_IF_ERROR(
+              txns_->SetAttr(t, target, "Name", Value::Str(nm)));
+          KIMDB_RETURN_IF_ERROR(txns_->Commit(t));
+          (*model)[target.raw()] = nm;
+          break;
+        }
+        case 3: {  // delete one object
+          if (live.empty()) {
+            KIMDB_RETURN_IF_ERROR(txns_->Commit(t));
+            break;
+          }
+          size_t k = static_cast<size_t>(i * 13) % live.size();
+          Oid target = live[k];
+          KIMDB_RETURN_IF_ERROR(txns_->Delete(t, target));
+          KIMDB_RETURN_IF_ERROR(txns_->Commit(t));
+          model->erase(target.raw());
+          live.erase(live.begin() + static_cast<ptrdiff_t>(k));
+          break;
+        }
+        default: {  // insert + update, then abort: effects must vanish
+          Object obj;
+          obj.Set(name_, Value::Str("never" + std::to_string(i)));
+          obj.Set(pad_, Value::Str(std::string(kPadBytes, 'q')));
+          KIMDB_RETURN_IF_ERROR(txns_->Insert(t, part_, obj).status());
+          if (!live.empty()) {
+            Oid target = live[static_cast<size_t>(i * 3) % live.size()];
+            KIMDB_RETURN_IF_ERROR(txns_->SetAttr(
+                t, target, "Name", Value::Str("shadow" + std::to_string(i))));
+          }
+          KIMDB_RETURN_IF_ERROR(txns_->Abort(t));
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // The durability invariants, checked against the acknowledged model.
+  void VerifyModel(const Model& model) {
+    Model actual;
+    Status st = store_->ForEachInClass(part_, [&](const Object& obj) {
+      EXPECT_EQ(actual.count(obj.oid().raw()), 0u) << "duplicate OID";
+      actual[obj.oid().raw()] = obj.Get(name_).as_string();
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(actual, model);
+
+    // Index consistency: a freshly built index must agree with the extent.
+    IndexManager im(store_.get());
+    auto idx = im.CreateIndex(IndexKind::kSingleClass, part_, {"Name"});
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    auto info = im.GetIndex(*idx);
+    ASSERT_TRUE(info.ok());
+    for (const auto& [raw, nm] : model) {
+      std::vector<Oid> out;
+      ASSERT_TRUE(im.LookupEq(**info, Value::Str(nm), part_, false, &out)
+                      .ok());
+      bool found = false;
+      for (Oid o : out) found = found || o.raw() == raw;
+      EXPECT_TRUE(found) << "index lost oid " << raw << " (" << nm << ")";
+    }
+  }
+
+  // One matrix cell: run the workload with a fault armed at the `fire_at`th
+  // I/O of `op`, crash, reopen, recover, verify, recover again, verify.
+  void RunOne(FaultOp op, FaultMode mode, uint64_t fire_at) {
+    SCOPED_TRACE("crash at " + std::to_string(static_cast<int>(op)) + "/" +
+                 std::to_string(static_cast<int>(mode)) + " #" +
+                 std::to_string(fire_at));
+    FreshFiles();
+    FaultInjector fi;
+    fi.Arm(op, mode, fire_at, /*torn_seed=*/static_cast<uint32_t>(fire_at));
+    Model model;
+    Status st = OpenStack(&fi);
+    if (st.ok()) st = RunWorkload(&model);
+    // Either the fault surfaced as an error (the common case) or the armed
+    // point was never reached (workload completed).
+    CloseAll();
+
+    ASSERT_TRUE(OpenStack(nullptr).ok());
+    auto stats = RecoveryManager::Recover(store_.get(), wal_.get());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    VerifyModel(model);
+    auto stats2 = RecoveryManager::Recover(store_.get(), wal_.get());
+    ASSERT_TRUE(stats2.ok()) << stats2.status().ToString();
+    VerifyModel(model);
+  }
+
+  static uint64_t MatrixStride() {
+    const char* env = std::getenv("KIMDB_CRASH_MATRIX_STRIDE");
+    if (env == nullptr) return 1;
+    long v = std::atol(env);
+    return v > 0 ? static_cast<uint64_t>(v) : 1;
+  }
+
+  std::string db_path_, wal_path_;
+  std::unique_ptr<Catalog> cat_;
+  std::unique_ptr<DiskManager> real_disk_;
+  std::unique_ptr<FaultInjectingDiskManager> faulty_disk_;
+  DiskManager* disk_ = nullptr;
+  std::unique_ptr<BufferPool> bp_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TxnManager> txns_;
+  ClassId part_ = kInvalidClassId;
+  AttrId name_ = 0;
+  AttrId pad_ = 0;
+};
+
+// The fault-free golden run: the workload completes, the model matches,
+// and both crash-point categories actually occur (the matrix is non-empty).
+TEST_F(CrashRecoveryTest, GoldenRunCompletes) {
+  FreshFiles();
+  FaultInjector fi;  // disarmed: pure I/O counter
+  ASSERT_TRUE(OpenStack(&fi).ok());
+  Model model;
+  Status st = RunWorkload(&model);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(model.size(), 20u);
+  EXPECT_GT(fi.ops(FaultOp::kWalAppend), 100u);
+  EXPECT_GT(fi.ops(FaultOp::kPageWrite), 10u) << "no page-flush crash "
+      "points: enlarge kPadBytes or shrink the pool";
+  VerifyModel(model);
+}
+
+TEST_F(CrashRecoveryTest, MatrixEveryWalAppendFailStop) {
+  FreshFiles();
+  FaultInjector fi;
+  ASSERT_TRUE(OpenStack(&fi).ok());
+  Model model;
+  ASSERT_TRUE(RunWorkload(&model).ok());
+  const uint64_t appends = fi.ops(FaultOp::kWalAppend);
+  for (uint64_t i = 1; i <= appends; i += MatrixStride()) {
+    RunOne(FaultOp::kWalAppend, FaultMode::kFail, i);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(CrashRecoveryTest, MatrixEveryWalAppendTorn) {
+  FreshFiles();
+  FaultInjector fi;
+  ASSERT_TRUE(OpenStack(&fi).ok());
+  Model model;
+  ASSERT_TRUE(RunWorkload(&model).ok());
+  const uint64_t appends = fi.ops(FaultOp::kWalAppend);
+  for (uint64_t i = 1; i <= appends; i += MatrixStride()) {
+    RunOne(FaultOp::kWalAppend, FaultMode::kTornWrite, i);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(CrashRecoveryTest, MatrixEveryPageWriteFailStop) {
+  FreshFiles();
+  FaultInjector fi;
+  ASSERT_TRUE(OpenStack(&fi).ok());
+  Model model;
+  ASSERT_TRUE(RunWorkload(&model).ok());
+  const uint64_t writes = fi.ops(FaultOp::kPageWrite);
+  for (uint64_t i = 1; i <= writes; i += MatrixStride()) {
+    RunOne(FaultOp::kPageWrite, FaultMode::kFail, i);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// A crash mid-abort (the kAbort record never makes it) must leave the
+// transaction in-flight from the log's point of view and still invisible.
+TEST_F(CrashRecoveryTest, CrashDuringAbortRollsBackFromLog) {
+  FreshFiles();
+  ASSERT_TRUE(OpenStack(nullptr).ok());
+  auto t1 = txns_->Begin();
+  ASSERT_TRUE(t1.ok());
+  Object obj;
+  obj.Set(name_, Value::Str("keep"));
+  obj.Set(pad_, Value::Str("x"));
+  auto kept = txns_->Insert(*t1, part_, obj);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(txns_->Commit(*t1).ok());
+
+  FaultInjector fi;
+  wal_->set_fault_injector(&fi);
+  auto t2 = txns_->Begin();
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(
+      txns_->SetAttr(*t2, *kept, "Name", Value::Str("dirty")).ok());
+  // Fail the very next WAL append: that is Abort's kAbort record.
+  fi.Arm(FaultOp::kWalAppend, FaultMode::kFail, 1);
+  Status abort_st = txns_->Abort(*t2);
+  EXPECT_FALSE(abort_st.ok());
+  CloseAll();
+
+  ASSERT_TRUE(OpenStack(nullptr).ok());
+  auto stats = RecoveryManager::Recover(store_.get(), wal_.get());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->aborted_txns, 0u);  // kAbort never reached the log
+  EXPECT_GE(stats->undone, 1u);
+  auto got = store_->Get(*kept);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->Get(name_).as_string(), "keep");
+}
+
+}  // namespace
+}  // namespace kimdb

@@ -217,6 +217,88 @@ TEST_F(RecoveryTest, ExplicitAbortTreatedAsLosing) {
   EXPECT_FALSE(store_->Exists(*oid));
 }
 
+TEST_F(RecoveryTest, AbortedTxnUndoneAtAbortPointNotAtLogEnd) {
+  // T1 commits A = "v0". T2 updates A, rolls back (unlogged apply, as
+  // TxnManager::Abort does) and logs kAbort. T3 THEN updates A = "v1" and
+  // commits. WAL order: [T2's update ... T2 kAbort ... T3's update,
+  // T3 commit] -- exactly what strict 2PL produces, since T2's X-lock on A
+  // is only released after its kAbort is appended. Recovery that undoes
+  // aborted transactions at the END of the log would clobber T3's
+  // committed "v1" with T2's stale before-image "v0".
+  Object a;
+  a.Set(name_, Value::Str("v0"));
+  auto oid = store_->Insert(1, part_, std::move(a));
+  ASSERT_TRUE(oid.ok());
+  LogTxnControl(1, WalRecordType::kCommit);
+
+  ASSERT_TRUE(store_->SetAttr(2, *oid, "Name", Value::Str("shadow")).ok());
+  // T2's rollback: restore the before-image through the unlogged path.
+  Object before(*oid);
+  before.Set(name_, Value::Str("v0"));
+  ASSERT_TRUE(store_->ApplyUpdate(before).ok());
+  LogTxnControl(2, WalRecordType::kAbort);
+
+  ASSERT_TRUE(store_->SetAttr(3, *oid, "Name", Value::Str("v1")).ok());
+  LogTxnControl(3, WalRecordType::kCommit);
+
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/false);
+  EXPECT_EQ(stats.committed_txns, 2u);
+  EXPECT_EQ(stats.aborted_txns, 1u);
+  EXPECT_EQ(stats.losing_txns, 1u);
+  ASSERT_TRUE(store_->Exists(*oid));
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "v1");
+
+  // And recovery over the same log again must not disturb it.
+  auto stats2 = RecoveryManager::Recover(store_.get(), wal_.get());
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "v1");
+}
+
+TEST_F(RecoveryTest, AbortedTxnWhoseRollbackNeverReachedDiskIsUndone) {
+  // T2 aborts cleanly before the crash, but its unlogged rollback lived
+  // only in the buffer pool; the flushed pages still hold T2's update.
+  // The kAbort record alone must be enough to re-run the rollback.
+  Object a;
+  a.Set(name_, Value::Str("v0"));
+  auto oid = store_->Insert(1, part_, std::move(a));
+  ASSERT_TRUE(oid.ok());
+  LogTxnControl(1, WalRecordType::kCommit);
+
+  ASSERT_TRUE(store_->SetAttr(2, *oid, "Name", Value::Str("shadow")).ok());
+  ASSERT_TRUE(bp_->FlushAll().ok());  // the dirty update reaches disk...
+  LogTxnControl(2, WalRecordType::kAbort);
+  // ...but the rollback (never performed here) does not.
+
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/false);
+  EXPECT_EQ(stats.aborted_txns, 1u);
+  EXPECT_GE(stats.undone, 1u);
+  ASSERT_TRUE(store_->Exists(*oid));
+  EXPECT_EQ(store_->Get(*oid)->Get(name_).as_string(), "v0");
+}
+
+TEST_F(RecoveryTest, CleanlyAbortedInsertRecoversTwiceWithoutError) {
+  // The aborted transaction's rollback already removed the object before
+  // the crash; recovery's inverse (ApplyDelete of a missing OID) must be
+  // a no-op both times, not an error.
+  Object obj;
+  obj.Set(name_, Value::Str("gone"));
+  auto oid = store_->Insert(4, part_, std::move(obj));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store_->ApplyDelete(*oid).ok());  // txn's own rollback
+  LogTxnControl(4, WalRecordType::kAbort);
+  ASSERT_TRUE(bp_->FlushAll().ok());
+
+  RecoveryStats stats = CrashAndRecover(/*flush_some_pages=*/false);
+  EXPECT_EQ(stats.aborted_txns, 1u);
+  EXPECT_FALSE(store_->Exists(*oid));
+  auto stats2 = RecoveryManager::Recover(store_.get(), wal_.get());
+  ASSERT_TRUE(stats2.ok()) << stats2.status().ToString();
+  EXPECT_FALSE(store_->Exists(*oid));
+  auto n = store_->CountClass(part_);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
 TEST_F(RecoveryTest, ManyTxnsMixedOutcome) {
   std::vector<Oid> committed, lost;
   for (uint64_t t = 1; t <= 20; ++t) {

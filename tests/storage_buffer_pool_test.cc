@@ -5,6 +5,7 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/fault.h"
 
 namespace kimdb {
 namespace {
@@ -173,6 +174,50 @@ TEST_F(BufferPoolTest, PageGuardUnpinsOnScopeExit) {
   PageGuard g(&bp, pid);
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g.data()[0], 'G');  // dirty flag was honored
+}
+
+TEST_F(BufferPoolTest, FailedReadDuringFetchLeavesFrameUsable) {
+  FaultInjector fi;
+  FaultInjectingDiskManager faulty(disk_.get(), &fi);
+  // One frame: every fetch of a non-resident page must evict + read.
+  BufferPool bp(&faulty, 1);
+  PageId a, b;
+  {
+    auto d = bp.NewPage(&a);
+    ASSERT_TRUE(d.ok());
+    (*d)[0] = 'A';
+    bp.Unpin(a, true);
+    d = bp.NewPage(&b);
+    ASSERT_TRUE(d.ok());
+    (*d)[0] = 'B';
+    bp.Unpin(b, true);
+    ASSERT_TRUE(bp.FlushAll().ok());
+  }
+  // Repeatedly fail the read that follows a (possibly dirty) eviction.
+  // Each failure must fully release the victim frame: no stuck pin, no
+  // stale page-table entry, no leftover dirty bit.
+  for (int i = 0; i < 6; ++i) {
+    PageId victim = (i % 2 == 0) ? a : b;
+    ASSERT_TRUE(bp.FetchPage(victim).ok());  // make it resident + dirty
+    bp.Unpin(victim, /*dirty=*/true);
+    PageId other = (i % 2 == 0) ? b : a;
+    fi.Arm(FaultOp::kPageRead, FaultMode::kFail, 1);
+    auto r = bp.FetchPage(other);
+    // The armed fault may hit `other`'s read directly, or a dirty
+    // write-back may have fired first (kFail latches: the read fails too).
+    ASSERT_FALSE(r.ok());
+    fi.Disarm();
+  }
+  // After all those failures both pages are still fetchable and intact,
+  // proving no frame was stranded pinned or mismapped.
+  auto ra = bp.FetchPage(a);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ((*ra)[0], 'A');
+  bp.Unpin(a, false);
+  auto rb = bp.FetchPage(b);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ((*rb)[0], 'B');
+  bp.Unpin(b, false);
 }
 
 TEST_F(BufferPoolTest, StressManyPagesSmallPool) {

@@ -4,7 +4,10 @@
 #include <unistd.h>
 
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "storage/fault.h"
 #include "storage/wal.h"
 
 namespace kimdb {
@@ -152,6 +155,144 @@ TEST_F(WalTest, TruncateEmptiesLog) {
   ASSERT_TRUE((*wal)->Append(MakeUpdate(2, 2, "c", "d")).ok());
   records = (*wal)->ReadAll();
   EXPECT_EQ(records->size(), 1u);
+}
+
+TEST_F(WalTest, OpenTruncatesTornTailSoGhostBytesCannotResurrect) {
+  uint64_t good_end;
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(MakeUpdate(1, 1, "first", "record")).ok());
+    good_end = (*wal)->file_bytes();
+    // A second, LARGE record whose tail will be torn off.
+    std::string big(5000, 'Z');
+    ASSERT_TRUE((*wal)->Append(MakeUpdate(2, 2, big, big)).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Tear the big record: keep its header + most of the payload.
+  int fd = ::open(path_.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  ASSERT_EQ(::ftruncate(fd, size - 100), 0);
+  ::close(fd);
+
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    // The torn bytes must be physically gone, not merely skipped: if Open
+    // only remembered the logical end, a shorter future append would leave
+    // ghost bytes of record 2 beyond it, and a later crash + reopen could
+    // reparse a frankenstein record.
+    EXPECT_EQ((*wal)->file_bytes(), good_end);
+    int check = ::open(path_.c_str(), O_RDONLY);
+    ASSERT_GE(check, 0);
+    EXPECT_EQ(::lseek(check, 0, SEEK_END),
+              static_cast<off_t>(good_end));
+    ::close(check);
+    // Append a much smaller record over where the torn one sat.
+    ASSERT_TRUE((*wal)->Append(MakeUpdate(3, 3, "s", "t")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // A second reopen must see exactly [record 1, record 3] -- never any
+  // resurrected piece of the torn record 2.
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].key, 1u);
+  EXPECT_EQ((*records)[1].key, 3u);
+  EXPECT_EQ((*records)[1].before, "s");
+}
+
+TEST_F(WalTest, ShortWriteIsRetriedToCompletion) {
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  FaultInjector fi;
+  (*wal)->set_fault_injector(&fi);
+  // The very next append's first pwrite is cut short; the retry loop must
+  // finish the record transparently.
+  fi.Arm(FaultOp::kWalAppend, FaultMode::kShortWrite, 1, /*torn_seed=*/42);
+  std::string payload(3000, 'R');
+  auto lsn = (*wal)->Append(MakeUpdate(1, 1, payload, payload));
+  ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+  EXPECT_FALSE(fi.crashed());
+  EXPECT_GE(fi.ops(FaultOp::kWalAppend), 2u);  // original + >=1 retry
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].before, payload);  // no byte lost or doubled
+}
+
+TEST_F(WalTest, FailedAppendConsumesNoLsnAndLeavesNoGap) {
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  auto l1 = (*wal)->Append(MakeUpdate(1, 1, "a", "b"));
+  ASSERT_TRUE(l1.ok());
+  FaultInjector fi;
+  (*wal)->set_fault_injector(&fi);
+  uint64_t next_before = (*wal)->next_lsn();
+
+  // Torn-write failure: some corrupted bytes land past the record end.
+  fi.Arm(FaultOp::kWalAppend, FaultMode::kTornWrite, 1, /*torn_seed=*/7);
+  std::string big(2000, 'T');
+  auto bad = (*wal)->Append(MakeUpdate(2, 2, big, big));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ((*wal)->next_lsn(), next_before);  // LSN not consumed
+
+  // The surviving process (transient-error interpretation) retries: the
+  // new record must overwrite the partial bytes and get the SAME LSN the
+  // failed attempt would have used -- no gap, no ghost record between.
+  fi.Disarm();
+  auto l2 = (*wal)->Append(MakeUpdate(2, 2, "c", "d"));
+  ASSERT_TRUE(l2.ok());
+  EXPECT_EQ(*l2, next_before);
+  auto records = (*wal)->ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1].before, "c");
+}
+
+TEST_F(WalTest, SyncFastPathSkipsRedundantFdatasync) {
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(MakeUpdate(1, 1, "a", "b")).ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  uint64_t after_first = (*wal)->fdatasync_count();
+  EXPECT_GE(after_first, 1u);
+  // Nothing new appended: these syncs are already covered and must issue
+  // no device flush at all.
+  ASSERT_TRUE((*wal)->Sync().ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  EXPECT_EQ((*wal)->fdatasync_count(), after_first);
+}
+
+TEST_F(WalTest, GroupCommitCoalescesConcurrentSyncs) {
+  auto wal_or = Wal::Open(path_);
+  ASSERT_TRUE(wal_or.ok());
+  Wal* wal = wal_or->get();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([wal, i] {
+      for (int j = 0; j < 5; ++j) {
+        auto lsn = wal->Append(MakeUpdate(
+            static_cast<uint64_t>(i + 1), static_cast<uint64_t>(j), "x", "y"));
+        ASSERT_TRUE(lsn.ok());
+        ASSERT_TRUE(wal->Sync().ok());  // "commit": must be durable on return
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  // Every record made it, exactly once.
+  auto records = wal->ReadAll();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), static_cast<size_t>(kThreads * 5));
+  // Coalescing: never more flushes than Sync calls; any leader that
+  // covered a follower shows up as strictly fewer.
+  EXPECT_LE(wal->fdatasync_count(), static_cast<uint64_t>(kThreads * 5));
+  EXPECT_GE(wal->fdatasync_count(), 1u);
 }
 
 TEST_F(WalTest, LargeImagesRoundTrip) {
