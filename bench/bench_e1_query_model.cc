@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "exec/exec_context.h"
+#include "obs/metrics.h"
 #include "query/query_engine.h"
 #include "workloads/bench_env.h"
 #include "workloads/workloads.h"
@@ -125,17 +126,41 @@ void BM_ParallelScan_PaperQuery(benchmark::State& state) {
   size_t workers = static_cast<size_t>(state.range(1));
   size_t results = 0;
   uint64_t scanned = 0;
+  uint64_t total_scanned = 0;
+
+  // Registry diff across the whole run: physical I/O per logical object
+  // scanned. Collectors read the pool's own counters at snapshot time, so
+  // the measured loop pays nothing for this.
+  obs::MetricsRegistry reg;
+  BufferPool* bp = f.env->bp.get();
+  reg.RegisterCollector("bufferpool.hits", [bp] { return bp->stats().hits; });
+  reg.RegisterCollector("bufferpool.misses",
+                        [bp] { return bp->stats().misses; });
+  reg.RegisterCollector("bufferpool.disk_reads",
+                        [bp] { return bp->stats().disk_reads; });
+  obs::MetricsSnapshot before = reg.TakeSnapshot();
+
   for (auto _ : state) {
     exec::ExecContext ctx(f.env->bp.get());
     ctx.set_scan_parallelism(workers);
     BENCH_ASSIGN(hits, f.engine->Execute(q, &ctx));
     results = hits.size();
     scanned = ctx.objects_scanned.load();
+    total_scanned += scanned;
     benchmark::DoNotOptimize(hits);
   }
+
+  obs::MetricsSnapshot diff =
+      obs::MetricsRegistry::Diff(before, reg.TakeSnapshot());
+  double pages = static_cast<double>(diff.Value("bufferpool.hits") +
+                                     diff.Value("bufferpool.misses"));
   state.counters["results"] = static_cast<double>(results);
   state.counters["scanned"] = static_cast<double>(scanned);
   state.counters["workers"] = static_cast<double>(workers);
+  state.counters["pages_per_object"] =
+      total_scanned > 0 ? pages / static_cast<double>(total_scanned) : 0.0;
+  state.counters["disk_reads"] =
+      static_cast<double>(diff.Value("bufferpool.disk_reads"));
 }
 
 BENCHMARK(BM_SingleClassScope_Simple)->Arg(1000)->Arg(10000)

@@ -138,6 +138,7 @@ void PrintObject(const Database& db, const Object& obj) {
 constexpr const char* kHelp = R"(commands:
   select ...                                  run an OQL query
   explain select ...                          print the lowered operator tree
+  explain analyze select ...                  execute + per-operator spans
   .create <Class> [under <Super,...>] [n:type ...]   define a class
        types: int real bool string ref(Class) set(type)
   .classes                                    list classes
@@ -151,7 +152,7 @@ constexpr const char* kHelp = R"(commands:
   .views | .query-view <name>                 list / run views
   .begin | .commit | .abort                   explicit transaction
   .check                                      consistency check (fsck)
-  .checkpoint | .stats | .help | .quit)";
+  .checkpoint | .stats | .metrics [json] | .help | .quit)";
 
 class Shell {
  public:
@@ -175,8 +176,11 @@ class Shell {
     // `explain select ...` prints the lowered operator tree instead of rows.
     Result<lang::Statement> stmt = db_->parser().ParseStatement(line);
     if (stmt.ok() && stmt->explain) {
+      // `explain analyze` executes the query and annotates each operator
+      // with its span (rows / loops / time / buffer-pool pages).
       Result<std::string> tree =
-          db_->query_engine().Explain(stmt->query);
+          stmt->analyze ? db_->ExplainAnalyzeOql(line)
+                        : db_->query_engine().Explain(stmt->query);
       std::printf("%s\n", tree.ok() ? tree->c_str()
                                     : tree.status().ToString().c_str());
       return;
@@ -445,6 +449,11 @@ void Shell::Dispatch(const std::string& line) {
                 static_cast<unsigned long long>(s.evictions),
                 static_cast<unsigned long long>(s.disk_reads),
                 static_cast<unsigned long long>(s.disk_writes));
+  } else if (cmd == ".metrics") {
+    // Full registry snapshot; `.metrics json` emits the machine shape.
+    bool json = line.find("json") != std::string::npos;
+    std::string out = json ? db_->MetricsJson() : db_->MetricsText();
+    std::printf("%s\n", out.c_str());
   } else {
     std::printf("unknown command (try .help)\n");
   }

@@ -96,6 +96,19 @@ int main() {
   std::printf("plan with class-hierarchy index: %s\n",
               plan.ToString().c_str());
 
+  // --- observability: EXPLAIN ANALYZE + the metrics registry ------------------
+  // Per-operator spans of the executed tree (rows / loops / time / pages).
+  CHECK_ASSIGN(analyzed,
+               db->ExplainAnalyzeOql(std::string("explain analyze ") + oql));
+  std::printf("explain analyze:\n%s\n", analyzed.c_str());
+
+  // Two registry snapshots around one more execution; scripts/
+  // metrics_smoke.sh parses these lines and asserts every registered
+  // metric is present and counters stay monotonic.
+  std::printf("METRICS1 %s\n", db->MetricsJson().c_str());
+  CHECK_OK(db->ExecuteOql(oql).status());
+  std::printf("METRICS2 %s\n", db->MetricsJson().c_str());
+
   std::printf("quickstart OK\n");
   return 0;
 }

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Metrics smoke test: runs the quickstart example (which dumps the
+# registry as METRICS1/METRICS2 JSON lines around a query execution) and
+# asserts that (a) every subsystem's metrics are present, (b) counters
+# are monotonic across the two snapshots, and (c) the extra execution
+# actually moved the query counters. The quickstart database is
+# in-memory, so wal.* metrics are intentionally absent here (covered by
+# ObsMetricsDbTest against a durable database instead).
+#
+# Usage: scripts/metrics_smoke.sh <path-to-quickstart-binary>
+set -euo pipefail
+QUICKSTART="${1:?usage: metrics_smoke.sh <quickstart-binary>}"
+
+OUT="$("$QUICKSTART")"
+echo "$OUT" | grep -q "quickstart OK"
+
+python3 - "$OUT" <<'EOF'
+import json
+import sys
+
+out = sys.argv[1]
+snaps = {}
+for line in out.splitlines():
+    for tag in ("METRICS1", "METRICS2"):
+        if line.startswith(tag + " "):
+            snaps[tag] = json.loads(line[len(tag) + 1:])
+assert set(snaps) == {"METRICS1", "METRICS2"}, "missing METRICS lines"
+m1, m2 = snaps["METRICS1"], snaps["METRICS2"]
+
+# Every subsystem must be represented (quickstart is in-memory: no wal.*).
+required = [
+    "bufferpool.hits", "bufferpool.misses", "bufferpool.evictions",
+    "bufferpool.disk_reads", "bufferpool.disk_writes",
+    "lock.acquired", "lock.waits", "lock.deadlocks", "lock.wait_ns",
+    "txn.begun", "txn.committed", "txn.aborted",
+    "txn.commit_ns", "txn.abort_ns",
+    "index.maintenance_ops", "index.key_recomputations",
+    "query.executed", "query.objects_scanned", "query.index_probes",
+    "query.predicates_evaluated", "query.pages_hit", "query.trace_dropped",
+    "query.exec_ns",
+    "recovery.analysis_ns", "recovery.redo_ns", "recovery.undo_ns",
+]
+for name in required:
+    assert name in m1, f"metric {name} missing from METRICS1"
+    assert name in m2, f"metric {name} missing from METRICS2"
+
+# Counters (and histogram counts) are monotonic between the snapshots;
+# recovery.* are gauges of the last recovery run and exempt.
+for name, v1 in m1.items():
+    if name.startswith("recovery."):
+        continue
+    v2 = m2[name]
+    if isinstance(v1, dict):
+        assert v2["count"] >= v1["count"], f"{name} count went backwards"
+        assert v2["sum"] >= v1["sum"], f"{name} sum went backwards"
+    else:
+        assert v2 >= v1, f"{name} went backwards: {v1} -> {v2}"
+
+# The execution between the snapshots must be visible in the registry.
+assert m2["query.executed"] == m1["query.executed"] + 1
+assert m2["query.exec_ns"]["count"] == m1["query.exec_ns"]["count"] + 1
+assert m2["query.index_probes"] > m1["query.index_probes"]
+
+print("metrics_smoke OK "
+      f"({len(m1)} metrics, query.executed {m1['query.executed']} -> "
+      f"{m2['query.executed']})")
+EOF

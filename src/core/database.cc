@@ -148,7 +148,107 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
     KIMDB_RETURN_IF_ERROR(db->PersistMeta());
     KIMDB_RETURN_IF_ERROR(db->bp_->FlushAll());
   }
+  db->WireMetrics();
   return db;
+}
+
+void Database::WireMetrics() {
+  obs::MetricsRegistry& m = metrics_;
+
+  BufferPool* bp = bp_.get();
+  m.RegisterCollector("bufferpool.hits", [bp] { return bp->stats().hits; });
+  m.RegisterCollector("bufferpool.misses",
+                      [bp] { return bp->stats().misses; });
+  m.RegisterCollector("bufferpool.evictions",
+                      [bp] { return bp->stats().evictions; });
+  m.RegisterCollector("bufferpool.disk_reads",
+                      [bp] { return bp->stats().disk_reads; });
+  m.RegisterCollector("bufferpool.disk_writes",
+                      [bp] { return bp->stats().disk_writes; });
+
+  if (wal_ != nullptr) {
+    Wal* wal = wal_.get();
+    m.RegisterCollector("wal.appends",
+                        [wal] { return wal->appended_records(); });
+    m.RegisterCollector("wal.fsyncs",
+                        [wal] { return wal->fdatasync_count(); });
+    m.RegisterCollector("wal.file_bytes",
+                        [wal] { return wal->file_bytes(); });
+    wal->AttachMetrics(m.GetHistogram("wal.append_ns"),
+                       m.GetHistogram("wal.fsync_ns"),
+                       m.GetHistogram("wal.group_commit_batch"));
+  }
+
+  LockManager* locks = &locks_;
+  m.RegisterCollector("lock.acquired",
+                      [locks] { return locks->stats().acquired; });
+  m.RegisterCollector("lock.waits", [locks] { return locks->stats().waits; });
+  m.RegisterCollector("lock.deadlocks",
+                      [locks] { return locks->stats().deadlocks; });
+  m.RegisterCollector("lock.upgrades",
+                      [locks] { return locks->stats().upgrades; });
+  locks->AttachMetrics(m.GetHistogram("lock.wait_ns"));
+
+  TxnManager* txns = txns_.get();
+  m.RegisterCollector("txn.begun", [txns] { return txns->stats().begun; });
+  m.RegisterCollector("txn.committed",
+                      [txns] { return txns->stats().committed; });
+  m.RegisterCollector("txn.aborted",
+                      [txns] { return txns->stats().aborted; });
+  txns->AttachMetrics(m.GetHistogram("txn.commit_ns"),
+                      m.GetHistogram("txn.abort_ns"));
+
+  IndexManager* indexes = indexes_.get();
+  m.RegisterCollector("index.maintenance_ops",
+                      [indexes] { return indexes->stats().maintenance_ops; });
+  m.RegisterCollector("index.key_recomputations", [indexes] {
+    return indexes->stats().key_recomputations;
+  });
+
+  // Recovery ran once during Open; its phase timings are levels, not rates.
+  m.GetGauge("recovery.analysis_ns")
+      ->Set(static_cast<int64_t>(recovery_stats_.analysis_ns));
+  m.GetGauge("recovery.redo_ns")
+      ->Set(static_cast<int64_t>(recovery_stats_.redo_ns));
+  m.GetGauge("recovery.undo_ns")
+      ->Set(static_cast<int64_t>(recovery_stats_.undo_ns));
+  m.GetGauge("recovery.redone")
+      ->Set(static_cast<int64_t>(recovery_stats_.redone));
+  m.GetGauge("recovery.undone")
+      ->Set(static_cast<int64_t>(recovery_stats_.undone));
+
+  // Query-layer metrics are pushed per execution (FlushQueryMetrics);
+  // registering them here makes them visible in snapshots from the start.
+  query_exec_ns_ = m.GetHistogram("query.exec_ns");
+  m.GetCounter("query.executed");
+  m.GetCounter("query.objects_scanned");
+  m.GetCounter("query.objects_fetched");
+  m.GetCounter("query.index_probes");
+  m.GetCounter("query.index_candidates");
+  m.GetCounter("query.predicates_evaluated");
+  m.GetCounter("query.ref_fetches");
+  m.GetCounter("query.pages_hit");
+  m.GetCounter("query.pages_missed");
+  m.GetCounter("query.trace_dropped");
+}
+
+void Database::FlushQueryMetrics(const exec::ExecContext& ctx) {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  obs::MetricsRegistry& m = metrics_;
+  m.GetCounter("query.executed")->Inc();
+  m.GetCounter("query.objects_scanned")
+      ->Inc(ctx.objects_scanned.load(kRelaxed));
+  m.GetCounter("query.objects_fetched")
+      ->Inc(ctx.objects_fetched.load(kRelaxed));
+  m.GetCounter("query.index_probes")->Inc(ctx.index_probes.load(kRelaxed));
+  m.GetCounter("query.index_candidates")
+      ->Inc(ctx.index_candidates.load(kRelaxed));
+  m.GetCounter("query.predicates_evaluated")
+      ->Inc(ctx.predicates_evaluated.load(kRelaxed));
+  m.GetCounter("query.ref_fetches")->Inc(ctx.ref_fetches.load(kRelaxed));
+  m.GetCounter("query.pages_hit")->Inc(ctx.pages_hit());
+  m.GetCounter("query.pages_missed")->Inc(ctx.pages_missed());
+  m.GetCounter("query.trace_dropped")->Inc(ctx.trace_dropped());
 }
 
 Database::~Database() {
@@ -357,7 +457,14 @@ Result<Value> Database::Send(uint64_t txn, Oid oid, std::string_view method,
 
 Result<std::vector<Oid>> Database::ExecuteQuery(const Query& q,
                                                 QueryStats* stats) {
-  return query_->Execute(q, stats);
+  exec::ExecContext ctx(bp_.get());
+  Result<std::vector<Oid>> result = [&] {
+    obs::Timer timer(query_exec_ns_);
+    return query_->Execute(q, &ctx);
+  }();
+  FlushQueryMetrics(ctx);
+  if (stats != nullptr) *stats = StatsFromExecContext(ctx);
+  return result;
 }
 
 Result<std::vector<Oid>> Database::ExecuteOql(std::string_view oql,
@@ -365,15 +472,30 @@ Result<std::vector<Oid>> Database::ExecuteOql(std::string_view oql,
   KIMDB_ASSIGN_OR_RETURN(lang::Statement stmt, parser_->ParseStatement(oql));
   if (stmt.explain) {
     return Status::InvalidArgument(
-        "EXPLAIN statements produce a plan, not rows; use ExplainOql");
+        stmt.analyze
+            ? "EXPLAIN ANALYZE produces an annotated plan, not rows; use "
+              "ExplainAnalyzeOql"
+            : "EXPLAIN statements produce a plan, not rows; use ExplainOql");
   }
-  return query_->Execute(stmt.query, stats);
+  return ExecuteQuery(stmt.query, stats);
 }
 
 Result<QueryPlan> Database::ExplainOql(std::string_view oql) {
   // Accepts both `select ...` and `explain select ...`.
   KIMDB_ASSIGN_OR_RETURN(lang::Statement stmt, parser_->ParseStatement(oql));
   return query_->Plan(stmt.query);
+}
+
+Result<std::string> Database::ExplainAnalyzeOql(std::string_view oql) {
+  // Accepts `select ...`, `explain analyze select ...`, etc.
+  KIMDB_ASSIGN_OR_RETURN(lang::Statement stmt, parser_->ParseStatement(oql));
+  exec::ExecContext ctx(bp_.get());
+  Result<std::string> rendered = [&] {
+    obs::Timer timer(query_exec_ns_);
+    return query_->ExplainAnalyze(stmt.query, &ctx);
+  }();
+  FlushQueryMetrics(ctx);
+  return rendered;
 }
 
 }  // namespace kimdb

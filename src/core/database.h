@@ -16,6 +16,7 @@
 #include "object/object_store.h"
 #include "object/recovery.h"
 #include "object/versions.h"
+#include "obs/metrics.h"
 #include "query/query_engine.h"
 #include "query/views.h"
 #include "rules/datalog.h"
@@ -107,6 +108,24 @@ class Database : public MethodEnv {
                                       QueryStats* stats = nullptr);
   Result<QueryPlan> ExplainOql(std::string_view oql);
 
+  /// Runs `explain analyze select ...` (the bare `select ...` is accepted
+  /// too) and returns the executed operator tree annotated with
+  /// per-operator rows / loops / time / buffer-pool pages.
+  Result<std::string> ExplainAnalyzeOql(std::string_view oql);
+
+  // --- observability --------------------------------------------------------
+
+  /// The process-wide registry every subsystem is wired into at Open():
+  /// counters (bufferpool.*, wal.*, lock.*, txn.*, index.*, query.*),
+  /// latency histograms (wal.append_ns, wal.fsync_ns, lock.wait_ns,
+  /// txn.commit_ns, txn.abort_ns, query.exec_ns) and recovery phase
+  /// gauges. See DESIGN.md §10 for the naming scheme.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Snapshot of every registered metric as a flat JSON object.
+  std::string MetricsJson() const { return metrics_.TakeSnapshot().ToJson(); }
+  /// Snapshot as one `name value` line per metric.
+  std::string MetricsText() const { return metrics_.TakeSnapshot().ToText(); }
+
   // --- subsystem access -----------------------------------------------------------
 
   Catalog& catalog() { return *catalog_; }
@@ -140,6 +159,12 @@ class Database : public MethodEnv {
  private:
   Database() = default;
 
+  /// Registers every subsystem's collectors/histograms on metrics_ (end of
+  /// Open, once all subsystems exist).
+  void WireMetrics();
+  /// Folds one finished query's ExecContext counters into the registry.
+  void FlushQueryMetrics(const exec::ExecContext& ctx);
+
   Status PersistMeta();
   Result<std::string> EncodeMeta() const;
   Status DecodeMeta(std::string_view bytes);
@@ -169,6 +194,8 @@ class Database : public MethodEnv {
   std::optional<HeapFile> meta_heap_;
   RecordId meta_rid_{};
   RecoveryStats recovery_stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Histogram* query_exec_ns_ = nullptr;
   bool closed_ = false;
 };
 

@@ -22,9 +22,9 @@ namespace exec {
 /// benchmarks all report physical and logical work the same way.
 ///
 /// Also carries the cross-cutting execution controls: a wall-clock budget /
-/// cancellation flag that long scans poll, and an optional trace buffer
-/// operators append lifecycle events to (the raw material of EXPLAIN
-/// ANALYZE-style output).
+/// cancellation flag that long scans poll, an optional trace buffer
+/// operators append lifecycle events to, and the EXPLAIN ANALYZE switch
+/// that arms per-operator span accounting (see Operator::stats()).
 class ExecContext {
  public:
   ExecContext() = default;
@@ -75,12 +75,30 @@ class ExecContext {
     return bp_ == nullptr ? 0 : bp_->stats().misses - baseline_.misses;
   }
 
+  /// Live hit/miss reading for per-operator deltas (EXPLAIN ANALYZE spans
+  /// subtract two of these around each lifecycle call). Zeros without an
+  /// attached pool.
+  struct PageCounts {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  PageCounts PageCountsNow() const {
+    if (bp_ == nullptr) return PageCounts{};
+    BufferPoolStats s = bp_->stats();
+    return PageCounts{s.hits, s.misses};
+  }
+
   // --- budget / cancellation ----------------------------------------------
 
   /// Arms a wall-clock budget measured from now. A zero duration makes the
-  /// very next CheckBudget() fail (useful for cancellation tests).
+  /// very next CheckBudget() fail (useful for cancellation tests). May be
+  /// called again to re-arm while workers poll CheckBudget concurrently:
+  /// the deadline itself is atomic, so readers see either the old or the
+  /// new deadline, never a torn time_point.
   void set_budget(std::chrono::nanoseconds budget) {
-    deadline_ = std::chrono::steady_clock::now() + budget;
+    auto deadline = std::chrono::steady_clock::now() + budget;
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
     has_deadline_.store(true, std::memory_order_release);
   }
 
@@ -96,9 +114,13 @@ class ExecContext {
     if (cancelled_.load(std::memory_order_acquire)) {
       return Status::DeadlineExceeded("query cancelled");
     }
-    if (has_deadline_.load(std::memory_order_acquire) &&
-        std::chrono::steady_clock::now() > deadline_) {
-      return Status::DeadlineExceeded("query budget exceeded");
+    if (has_deadline_.load(std::memory_order_acquire)) {
+      auto deadline = std::chrono::steady_clock::time_point(
+          std::chrono::steady_clock::duration(
+              deadline_ns_.load(std::memory_order_relaxed)));
+      if (std::chrono::steady_clock::now() > deadline) {
+        return Status::DeadlineExceeded("query budget exceeded");
+      }
     }
     return Status::OK();
   }
@@ -110,21 +132,45 @@ class ExecContext {
   void set_scan_parallelism(size_t n) { scan_parallelism_ = n == 0 ? 1 : n; }
   size_t scan_parallelism() const { return scan_parallelism_; }
 
+  // --- EXPLAIN ANALYZE spans ----------------------------------------------
+
+  /// Arms per-operator span accounting (rows/loops/time/pages in
+  /// Operator::stats()). Off by default: the un-armed overhead in each
+  /// Next call is a single relaxed load.
+  void EnableAnalyze() {
+    analyze_enabled_.store(true, std::memory_order_relaxed);
+  }
+  bool analyze_enabled() const {
+    return analyze_enabled_.load(std::memory_order_relaxed);
+  }
+
   // --- per-query trace buffer ---------------------------------------------
+
+  /// Hard cap on buffered trace events: tracing a 100k-object scan must
+  /// not balloon memory. Overflow increments trace_dropped() instead.
+  static constexpr size_t kMaxTraceEvents = 1024;
 
   void EnableTrace() { trace_enabled_.store(true, std::memory_order_release); }
   bool trace_enabled() const {
     return trace_enabled_.load(std::memory_order_acquire);
   }
-  /// Appends one event line; no-op unless tracing is enabled.
+  /// Appends one event line; no-op unless tracing is enabled. Events past
+  /// kMaxTraceEvents are counted, not stored.
   void Trace(std::string line) {
     if (!trace_enabled()) return;
     std::lock_guard<std::mutex> lock(trace_mu_);
+    if (trace_.size() >= kMaxTraceEvents) {
+      trace_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     trace_.push_back(std::move(line));
   }
   std::vector<std::string> TraceLines() const {
     std::lock_guard<std::mutex> lock(trace_mu_);
     return trace_;
+  }
+  uint64_t trace_dropped() const {
+    return trace_dropped_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -132,9 +178,13 @@ class ExecContext {
   BufferPoolStats baseline_{};
   size_t scan_parallelism_ = 1;
   std::atomic<bool> has_deadline_{false};
-  std::chrono::steady_clock::time_point deadline_{};
+  // steady_clock ticks since epoch; atomic because set_budget may re-arm
+  // while parallel scan workers read it through CheckBudget.
+  std::atomic<std::chrono::steady_clock::rep> deadline_ns_{0};
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> analyze_enabled_{false};
   std::atomic<bool> trace_enabled_{false};
+  std::atomic<uint64_t> trace_dropped_{0};
   mutable std::mutex trace_mu_;
   std::vector<std::string> trace_;
 };

@@ -1,26 +1,49 @@
 #include "exec/operator.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace kimdb {
 namespace exec {
 
 namespace {
 
-void RenderTree(const Operator& op, size_t depth, std::string* out) {
+void RenderTree(const Operator& op, size_t depth, bool analyze,
+                std::string* out) {
   out->append(depth * 2, ' ');
   out->append(op.Describe());
+  if (analyze) {
+    const OpStats& s = op.stats();
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  " (rows=%" PRIu64 " loops=%" PRIu64
+                  " time=%.2fms pages=%" PRIu64 "+%" PRIu64 ")",
+                  s.rows, s.loops,
+                  static_cast<double>(s.time_ns) / 1e6, s.pages_hit,
+                  s.pages_missed);
+    out->append(buf);
+  }
   out->push_back('\n');
   for (const Operator* child : op.children()) {
-    RenderTree(*child, depth + 1, out);
+    RenderTree(*child, depth + 1, analyze, out);
   }
+}
+
+std::string Render(const Operator& root, bool analyze) {
+  std::string out;
+  RenderTree(root, 0, analyze, &out);
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
 }
 
 }  // namespace
 
 std::string ExplainTree(const Operator& root) {
-  std::string out;
-  RenderTree(root, 0, &out);
-  if (!out.empty() && out.back() == '\n') out.pop_back();
-  return out;
+  return Render(root, /*analyze=*/false);
+}
+
+std::string ExplainAnalyzeTree(const Operator& root) {
+  return Render(root, /*analyze=*/true);
 }
 
 Status ForEachRow(Operator& root, ExecContext* ctx,

@@ -1,6 +1,7 @@
 #ifndef KIMDB_EXEC_OPERATOR_H_
 #define KIMDB_EXEC_OPERATOR_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -26,6 +27,21 @@ struct Row {
   std::vector<Value> tuple;         // set by relational operators
 };
 
+/// Per-operator EXPLAIN ANALYZE span, filled only while the context's
+/// analyze flag is armed. Time and pages are *inclusive* of children (a
+/// parent's Next drives its child's Next inside the measured window), like
+/// the "actual time" column of the classical EXPLAIN ANALYZE renderers.
+/// Plain fields: every wrapper call happens on the tree's consumer thread
+/// (parallel scan workers communicate through the row queue and never call
+/// operator methods), so no atomics are needed.
+struct OpStats {
+  uint64_t rows = 0;         // rows this operator produced
+  uint64_t loops = 0;        // Next calls, including the end-of-stream one
+  uint64_t time_ns = 0;      // wall time inside Open+Next+Close
+  uint64_t pages_hit = 0;    // buffer-pool hits during those calls
+  uint64_t pages_missed = 0; // buffer-pool misses during those calls
+};
+
 /// Pull-based (Volcano) operator: Open prepares state, Next produces rows
 /// one at a time until it returns false, Close releases resources. The
 /// same ExecContext is threaded through all three calls and shared by the
@@ -34,19 +50,81 @@ struct Row {
 /// Lifecycle contract: Open exactly once, Next until false/error, Close
 /// exactly once (also after an error -- drivers must always Close so
 /// parallel operators can join their workers).
+///
+/// The public lifecycle methods are non-virtual instrumentation shells
+/// around the virtual *Impl hooks subclasses provide: when the context has
+/// EXPLAIN ANALYZE armed they account rows/loops/time/pages into stats(),
+/// and when it does not they cost one relaxed atomic load.
 class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual Status Open(ExecContext* ctx) = 0;
+  Status Open(ExecContext* ctx) {
+    if (!ctx->analyze_enabled()) return OpenImpl(ctx);
+    Span span(this, ctx);
+    return OpenImpl(ctx);
+  }
+
   /// Fills *row and returns true, or returns false at end of stream.
-  virtual Result<bool> Next(ExecContext* ctx, Row* row) = 0;
-  virtual void Close(ExecContext* ctx) = 0;
+  Result<bool> Next(ExecContext* ctx, Row* row) {
+    if (!ctx->analyze_enabled()) return NextImpl(ctx, row);
+    Span span(this, ctx);
+    Result<bool> more = NextImpl(ctx, row);
+    ++stats_.loops;
+    if (more.ok() && *more) ++stats_.rows;
+    return more;
+  }
+
+  void Close(ExecContext* ctx) {
+    if (!ctx->analyze_enabled()) {
+      CloseImpl(ctx);
+      return;
+    }
+    Span span(this, ctx);
+    CloseImpl(ctx);
+  }
 
   /// One-line self-description for EXPLAIN ("ExtentScan(Vehicle)").
   virtual std::string Describe() const = 0;
   /// Child operators, for EXPLAIN tree rendering.
   virtual std::vector<const Operator*> children() const { return {}; }
+
+  /// Span accounted so far; all zeros unless the tree ran with
+  /// ExecContext::EnableAnalyze().
+  const OpStats& stats() const { return stats_; }
+
+ protected:
+  virtual Status OpenImpl(ExecContext* ctx) = 0;
+  virtual Result<bool> NextImpl(ExecContext* ctx, Row* row) = 0;
+  virtual void CloseImpl(ExecContext* ctx) = 0;
+
+ private:
+  /// Accumulates wall time and the buffer-pool delta of one lifecycle call.
+  class Span {
+   public:
+    Span(Operator* op, ExecContext* ctx)
+        : op_(op),
+          ctx_(ctx),
+          pages_(ctx->PageCountsNow()),
+          start_(std::chrono::steady_clock::now()) {}
+    ~Span() {
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+      if (ns > 0) op_->stats_.time_ns += static_cast<uint64_t>(ns);
+      ExecContext::PageCounts now = ctx_->PageCountsNow();
+      op_->stats_.pages_hit += now.hits - pages_.hits;
+      op_->stats_.pages_missed += now.misses - pages_.misses;
+    }
+
+   private:
+    Operator* op_;
+    ExecContext* ctx_;
+    ExecContext::PageCounts pages_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  OpStats stats_;
 };
 
 /// Renders the operator tree rooted at `root` with two-space indentation:
@@ -56,6 +134,15 @@ class Operator {
 ///       ExtentScan(Vehicle)
 ///       ExtentScan(Truck)
 std::string ExplainTree(const Operator& root);
+
+/// Renders the tree with each operator's ANALYZE span appended:
+///
+///   Filter(Weight > 7500) (rows=2 loops=3 time=0.41ms pages=12+0)
+///     ...
+///
+/// `pages=H+M` is hits+misses. Meaningful only after the tree executed
+/// under a context with EnableAnalyze().
+std::string ExplainAnalyzeTree(const Operator& root);
 
 /// Drives a tree to completion, handing every row to `fn`. Always Closes,
 /// including on error paths.

@@ -7,7 +7,7 @@ namespace exec {
 
 // --- ExtentScan -------------------------------------------------------------
 
-Status ExtentScan::Open(ExecContext* ctx) {
+Status ExtentScan::OpenImpl(ExecContext* ctx) {
   KIMDB_ASSIGN_OR_RETURN(pages_, store_->ExtentPages(cls_));
   page_idx_ = 0;
   buf_.clear();
@@ -17,7 +17,7 @@ Status ExtentScan::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> ExtentScan::Next(ExecContext* ctx, Row* row) {
+Result<bool> ExtentScan::NextImpl(ExecContext* ctx, Row* row) {
   while (buf_pos_ >= buf_.size()) {
     if (page_idx_ >= pages_.size()) return false;
     KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
@@ -37,14 +37,14 @@ Result<bool> ExtentScan::Next(ExecContext* ctx, Row* row) {
   return true;
 }
 
-void ExtentScan::Close(ExecContext*) {
+void ExtentScan::CloseImpl(ExecContext*) {
   pages_.clear();
   buf_.clear();
 }
 
 // --- HierarchyScan ----------------------------------------------------------
 
-Status HierarchyScan::Open(ExecContext* ctx) {
+Status HierarchyScan::OpenImpl(ExecContext* ctx) {
   cur_ = 0;
   for (auto& scan : extents_) {
     KIMDB_RETURN_IF_ERROR(scan->Open(ctx));
@@ -52,7 +52,7 @@ Status HierarchyScan::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> HierarchyScan::Next(ExecContext* ctx, Row* row) {
+Result<bool> HierarchyScan::NextImpl(ExecContext* ctx, Row* row) {
   while (cur_ < extents_.size()) {
     KIMDB_ASSIGN_OR_RETURN(bool more, extents_[cur_]->Next(ctx, row));
     if (more) return true;
@@ -61,7 +61,7 @@ Result<bool> HierarchyScan::Next(ExecContext* ctx, Row* row) {
   return false;
 }
 
-void HierarchyScan::Close(ExecContext* ctx) {
+void HierarchyScan::CloseImpl(ExecContext* ctx) {
   for (auto& scan : extents_) scan->Close(ctx);
 }
 
@@ -74,7 +74,7 @@ std::vector<const Operator*> HierarchyScan::children() const {
 
 // --- IndexScan --------------------------------------------------------------
 
-Status IndexScan::Open(ExecContext* ctx) {
+Status IndexScan::OpenImpl(ExecContext* ctx) {
   candidates_.clear();
   pos_ = 0;
   KIMDB_ASSIGN_OR_RETURN(const IndexInfo* info,
@@ -102,7 +102,7 @@ Status IndexScan::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> IndexScan::Next(ExecContext* ctx, Row* row) {
+Result<bool> IndexScan::NextImpl(ExecContext* ctx, Row* row) {
   if (pos_ >= candidates_.size()) return false;
   KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
   row->oid = candidates_[pos_++];
@@ -111,7 +111,7 @@ Result<bool> IndexScan::Next(ExecContext* ctx, Row* row) {
   return true;
 }
 
-void IndexScan::Close(ExecContext*) { candidates_.clear(); }
+void IndexScan::CloseImpl(ExecContext*) { candidates_.clear(); }
 
 std::string IndexScan::Describe() const {
   std::string path;
@@ -138,9 +138,9 @@ std::string IndexScan::Describe() const {
 
 // --- Filter -----------------------------------------------------------------
 
-Status Filter::Open(ExecContext* ctx) { return child_->Open(ctx); }
+Status Filter::OpenImpl(ExecContext* ctx) { return child_->Open(ctx); }
 
-Result<bool> Filter::Next(ExecContext* ctx, Row* row) {
+Result<bool> Filter::NextImpl(ExecContext* ctx, Row* row) {
   while (true) {
     KIMDB_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, row));
     if (!more) return false;
@@ -155,11 +155,11 @@ Result<bool> Filter::Next(ExecContext* ctx, Row* row) {
   }
 }
 
-void Filter::Close(ExecContext* ctx) { child_->Close(ctx); }
+void Filter::CloseImpl(ExecContext* ctx) { child_->Close(ctx); }
 
 // --- ParallelExtentScan -----------------------------------------------------
 
-Status ParallelExtentScan::Open(ExecContext* ctx) {
+Status ParallelExtentScan::OpenImpl(ExecContext* ctx) {
   Shutdown();  // re-open support: tear down any previous run
   units_.clear();
   queue_.clear();
@@ -246,7 +246,7 @@ bool ParallelExtentScan::PushBatch(std::vector<Oid>* batch) {
   return true;
 }
 
-Result<bool> ParallelExtentScan::Next(ExecContext*, Row* row) {
+Result<bool> ParallelExtentScan::NextImpl(ExecContext*, Row* row) {
   if (out_pos_ >= out_buf_.size()) {
     // Drain everything queued in one lock acquisition; the consumer then
     // serves rows lock-free until the buffer runs dry.
@@ -268,7 +268,7 @@ Result<bool> ParallelExtentScan::Next(ExecContext*, Row* row) {
   return true;
 }
 
-void ParallelExtentScan::Close(ExecContext* ctx) {
+void ParallelExtentScan::CloseImpl(ExecContext* ctx) {
   Shutdown();
   ctx->Trace(Describe() + ": close");
 }

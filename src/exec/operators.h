@@ -34,9 +34,9 @@ class ExtentScan : public Operator {
   ExtentScan(const ObjectStore* store, ClassId cls, std::string class_name)
       : store_(store), cls_(cls), name_(std::move(class_name)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* row) override;
-  void Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override { return "ExtentScan(" + name_ + ")"; }
 
  private:
@@ -58,9 +58,9 @@ class HierarchyScan : public Operator {
                 std::vector<std::unique_ptr<ExtentScan>> extents)
       : root_name_(std::move(root_name)), extents_(std::move(extents)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* row) override;
-  void Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override {
     return "HierarchyScan(" + root_name_ + ")";
   }
@@ -90,9 +90,9 @@ class IndexScan : public Operator {
   IndexScan(const IndexManager* indexes, Spec spec)
       : indexes_(indexes), spec_(std::move(spec)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* row) override;
-  void Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override;
 
  private:
@@ -115,9 +115,9 @@ class Filter : public Operator {
         pred_(std::move(pred)),
         pred_text_(std::move(pred_text)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* row) override;
-  void Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override {
     return "Filter(" + pred_text_ + ")";
   }
@@ -154,9 +154,9 @@ class ParallelExtentScan : public Operator {
 
   ~ParallelExtentScan() override { Shutdown(); }
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* row) override;
-  void Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override;
 
  private:

@@ -18,6 +18,7 @@ std::string ToLower(std::string_view s) {
 const std::unordered_map<std::string, TokenType>& Keywords() {
   static const auto* kMap = new std::unordered_map<std::string, TokenType>{
       {"explain", TokenType::kExplain},
+      {"analyze", TokenType::kAnalyze},
       {"select", TokenType::kSelect}, {"where", TokenType::kWhere},
       {"only", TokenType::kOnly},     {"and", TokenType::kAnd},
       {"or", TokenType::kOr},         {"not", TokenType::kNot},
@@ -42,6 +43,8 @@ std::string_view TokenTypeName(TokenType t) {
       return "string";
     case TokenType::kExplain:
       return "'explain'";
+    case TokenType::kAnalyze:
+      return "'analyze'";
     case TokenType::kSelect:
       return "'select'";
     case TokenType::kWhere:

@@ -17,6 +17,7 @@ enum class TokenType {
   kString,
   // keywords (case-insensitive)
   kExplain,
+  kAnalyze,
   kSelect,
   kWhere,
   kOnly,

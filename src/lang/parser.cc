@@ -166,6 +166,7 @@ Result<Statement> Parser::ParseStatement(std::string_view text) const {
   Impl p(std::move(tokens));
   Statement stmt;
   stmt.explain = p.Accept(TokenType::kExplain);
+  if (stmt.explain) stmt.analyze = p.Accept(TokenType::kAnalyze);
   KIMDB_ASSIGN_OR_RETURN(stmt.query, ParseQueryImpl(p));
   return stmt;
 }

@@ -30,9 +30,12 @@ namespace lang {
 ///                    and Manufacturer.Location = 'Detroit'
 /// A parsed top-level statement: a query, optionally prefixed with EXPLAIN
 /// (`explain select ...`), which asks for the lowered operator tree instead
-/// of results.
+/// of results, or EXPLAIN ANALYZE (`explain analyze select ...`), which
+/// executes the query and renders the tree with per-operator spans
+/// (rows / loops / time / buffer-pool pages).
 struct Statement {
   bool explain = false;
+  bool analyze = false;  // only meaningful when explain is set
   Query query;
 };
 
@@ -43,7 +46,7 @@ class Parser {
   /// Parses a full query; resolves the target class against the catalog.
   Result<Query> ParseQuery(std::string_view text) const;
 
-  /// Parses `[EXPLAIN] SELECT ...`.
+  /// Parses `[EXPLAIN [ANALYZE]] SELECT ...`.
   Result<Statement> ParseStatement(std::string_view text) const;
 
   /// Parses just a predicate (used for view filters and rule conditions).

@@ -1,5 +1,6 @@
 #include "object/recovery.h"
 
+#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -24,10 +25,18 @@ Result<bool> ApplyInverse(ObjectStore* store, const WalRecord& rec) {
   }
 }
 
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - since)
+                .count();
+  return ns > 0 ? static_cast<uint64_t>(ns) : 0;
+}
+
 }  // namespace
 
 Result<RecoveryStats> RecoveryManager::Recover(ObjectStore* store, Wal* wal) {
   RecoveryStats stats;
+  auto phase_start = std::chrono::steady_clock::now();
   KIMDB_ASSIGN_OR_RETURN(std::vector<WalRecord> log, wal->ReadAll());
 
   // Analysis: committed / aborted / in-flight per transaction.
@@ -45,6 +54,9 @@ Result<RecoveryStats> RecoveryManager::Recover(ObjectStore* store, Wal* wal) {
     ++stats.losing_txns;
     if (aborted.count(t)) ++stats.aborted_txns;
   }
+
+  stats.analysis_ns = ElapsedNs(phase_start);
+  phase_start = std::chrono::steady_clock::now();
 
   // History replay in LSN order. Committed work is redone where it sits in
   // the log; an aborted transaction's pending operations are inverted at
@@ -86,6 +98,9 @@ Result<RecoveryStats> RecoveryManager::Recover(ObjectStore* store, Wal* wal) {
     pending[rec.txn_id].push_back(&rec);
   }
 
+  stats.redo_ns = ElapsedNs(phase_start);
+  phase_start = std::chrono::steady_clock::now();
+
   // Undo in-flight transactions in reverse LSN order across the whole log.
   for (auto it = log.rbegin(); it != log.rend(); ++it) {
     const WalRecord& rec = *it;
@@ -94,6 +109,7 @@ Result<RecoveryStats> RecoveryManager::Recover(ObjectStore* store, Wal* wal) {
     KIMDB_ASSIGN_OR_RETURN(bool applied, ApplyInverse(store, rec));
     if (applied) ++stats.undone;
   }
+  stats.undo_ns = ElapsedNs(phase_start);
   return stats;
 }
 

@@ -13,6 +13,10 @@ struct RecoveryStats {
   uint64_t losing_txns = 0;   // aborted + in-flight at the crash
   uint64_t redone = 0;
   uint64_t undone = 0;
+  // Phase wall-clock timings (includes the log read in analysis_ns).
+  uint64_t analysis_ns = 0;
+  uint64_t redo_ns = 0;
+  uint64_t undo_ns = 0;
 };
 
 /// Crash recovery over the logical (object-level) WAL.

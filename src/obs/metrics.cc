@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace kimdb {
+namespace obs {
+
+uint64_t HistogramData::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Nearest-rank: the 1-based rank of the p-quantile observation is
+  // ceil(p * count) (so p95 of two samples is the larger one); walk the
+  // cumulative bucket counts until we reach it.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Bucket 0 holds only the value 0; bucket i>=1 spans [2^(i-1), 2^i).
+      if (i == 0) return 0;
+      uint64_t upper = (i >= 64) ? UINT64_MAX : ((uint64_t{1} << i) - 1);
+      // Never report a bound above the true maximum.
+      return upper < max ? upper : max;
+    }
+  }
+  return max;
+}
+
+namespace {
+
+void AppendHistText(std::string* out, const HistogramData& h) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "count=%" PRIu64 " mean=%.0f p50=%" PRIu64 " p95=%" PRIu64
+                " p99=%" PRIu64 " max=%" PRIu64,
+                h.count, h.Mean(), h.Percentile(0.50), h.Percentile(0.95),
+                h.Percentile(0.99), h.max);
+  out->append(buf);
+}
+
+void AppendHistJson(std::string* out, const HistogramData& h) {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                ",\"mean\":%.1f,\"p50\":%" PRIu64 ",\"p95\":%" PRIu64
+                ",\"p99\":%" PRIu64 ",\"max\":%" PRIu64 "}",
+                h.count, h.sum, h.Mean(), h.Percentile(0.50),
+                h.Percentile(0.95), h.Percentile(0.99), h.max);
+  out->append(buf);
+}
+
+}  // namespace
+
+int64_t MetricsSnapshot::Value(const std::string& name, int64_t def) const {
+  auto it = metrics.find(name);
+  if (it == metrics.end()) return def;
+  if (it->second.kind == MetricValue::Kind::kHistogram) {
+    return static_cast<int64_t>(it->second.hist.count);
+  }
+  return it->second.num;
+}
+
+HistogramData MetricsSnapshot::Hist(const std::string& name) const {
+  auto it = metrics.find(name);
+  if (it == metrics.end() || it->second.kind != MetricValue::Kind::kHistogram) {
+    return HistogramData{};
+  }
+  return it->second.hist;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, v] : metrics) {
+    out += name;
+    out += ' ';
+    if (v.kind == MetricValue::Kind::kHistogram) {
+      AppendHistText(&out, v.hist);
+    } else {
+      out += std::to_string(v.num);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, v] : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;  // metric names are identifier-like; no escaping needed
+    out += "\":";
+    if (v.kind == MetricValue::Kind::kHistogram) {
+      AppendHistJson(&out, v.hist);
+    } else {
+      out += std::to_string(v.num);
+    }
+  }
+  out += '}';
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterCollector(std::string name,
+                                        std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.emplace_back(std::move(name), std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::kCounter;
+    v.num = static_cast<int64_t>(c->value());
+    snap.metrics.emplace(name, std::move(v));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::kGauge;
+    v.num = g->value();
+    snap.metrics.emplace(name, std::move(v));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.hist = h->data();
+    snap.metrics.emplace(name, std::move(v));
+  }
+  for (const auto& [name, fn] : collectors_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::kCounter;
+    v.num = static_cast<int64_t>(fn());
+    snap.metrics.emplace(name, std::move(v));
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::Diff(const MetricsSnapshot& before,
+                                      const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  for (const auto& [name, a] : after.metrics) {
+    MetricValue d = a;
+    auto it = before.metrics.find(name);
+    if (it != before.metrics.end() && it->second.kind == a.kind) {
+      const MetricValue& b = it->second;
+      switch (a.kind) {
+        case MetricValue::Kind::kCounter:
+          d.num = a.num > b.num ? a.num - b.num : 0;
+          break;
+        case MetricValue::Kind::kGauge:
+          break;  // gauges are levels: report the "after" reading
+        case MetricValue::Kind::kHistogram:
+          d.hist.count =
+              a.hist.count > b.hist.count ? a.hist.count - b.hist.count : 0;
+          d.hist.sum = a.hist.sum > b.hist.sum ? a.hist.sum - b.hist.sum : 0;
+          for (size_t i = 0; i < HistogramData::kBuckets; ++i) {
+            d.hist.buckets[i] = a.hist.buckets[i] > b.hist.buckets[i]
+                                    ? a.hist.buckets[i] - b.hist.buckets[i]
+                                    : 0;
+          }
+          // max does not subtract; keep the "after" max as the best bound.
+          break;
+      }
+    }
+    out.metrics.emplace(name, std::move(d));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace kimdb

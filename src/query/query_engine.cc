@@ -394,6 +394,23 @@ Result<std::string> QueryEngine::Explain(const Query& q) const {
   return exec::ExplainTree(*root);
 }
 
+Result<std::string> QueryEngine::ExplainAnalyze(const Query& q,
+                                                exec::ExecContext* ctx) const {
+  ctx->EnableAnalyze();
+  KIMDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(q));
+  KIMDB_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> root,
+                         Lower(q, plan, ctx->scan_parallelism()));
+  KIMDB_ASSIGN_OR_RETURN(std::vector<Oid> rows, exec::CollectOids(*root, ctx));
+  std::string out = exec::ExplainAnalyzeTree(*root);
+  out += "\nResult: " + std::to_string(rows.size()) + " rows";
+  return out;
+}
+
+Result<std::string> QueryEngine::ExplainAnalyze(const Query& q) const {
+  exec::ExecContext ctx(store_->buffer_pool());
+  return ExplainAnalyze(q, &ctx);
+}
+
 Result<bool> QueryEngine::Matches(const Object& obj, const ExprPtr& pred,
                                   QueryStats* stats) const {
   if (!pred) return true;

@@ -97,6 +97,16 @@ class QueryEngine {
   /// Plans, lowers, and renders the operator tree (EXPLAIN).
   Result<std::string> Explain(const Query& q) const;
 
+  /// EXPLAIN ANALYZE: arms per-operator spans on `ctx`, executes the query
+  /// to completion (counters accumulate on `ctx` exactly as in Execute),
+  /// and renders the tree annotated with each operator's rows / loops /
+  /// time / buffer-pool pages, plus a result-cardinality footer.
+  Result<std::string> ExplainAnalyze(const Query& q,
+                                     exec::ExecContext* ctx) const;
+
+  /// ExplainAnalyze under a fresh context attached to the store's pool.
+  Result<std::string> ExplainAnalyze(const Query& q) const;
+
   /// Evaluates a predicate against one object (exposed for the rules
   /// engine and view system).
   Result<bool> Matches(const Object& obj, const ExprPtr& pred,

@@ -25,7 +25,7 @@ void Concat(const Tuple& left, const Tuple& right, Tuple* out) {
 
 // --- RelScan ---------------------------------------------------------------
 
-Status RelScan::Open(exec::ExecContext* ctx) {
+Status RelScan::OpenImpl(exec::ExecContext* ctx) {
   KIMDB_ASSIGN_OR_RETURN(pages_, rel_->Pages());
   page_idx_ = 0;
   buf_.clear();
@@ -37,7 +37,7 @@ Status RelScan::Open(exec::ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> RelScan::Next(exec::ExecContext* ctx, exec::Row* row) {
+Result<bool> RelScan::NextImpl(exec::ExecContext* ctx, exec::Row* row) {
   while (buf_pos_ >= buf_.size()) {
     if (page_idx_ >= pages_.size()) return false;
     KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
@@ -65,7 +65,7 @@ Result<bool> RelScan::Next(exec::ExecContext* ctx, exec::Row* row) {
   return true;
 }
 
-void RelScan::Close(exec::ExecContext*) {
+void RelScan::CloseImpl(exec::ExecContext*) {
   pages_.clear();
   buf_.clear();
   page_idx_ = 0;
@@ -80,7 +80,7 @@ std::string RelScan::Describe() const {
 
 // --- RelIndexLookup --------------------------------------------------------
 
-Status RelIndexLookup::Open(exec::ExecContext* ctx) {
+Status RelIndexLookup::OpenImpl(exec::ExecContext* ctx) {
   ctx->used_index.store(true, std::memory_order_relaxed);
   ctx->index_probes.fetch_add(1, std::memory_order_relaxed);
   rids_ = index_->LookupEq(key_);
@@ -93,7 +93,7 @@ Status RelIndexLookup::Open(exec::ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> RelIndexLookup::Next(exec::ExecContext* ctx, exec::Row* row) {
+Result<bool> RelIndexLookup::NextImpl(exec::ExecContext* ctx, exec::Row* row) {
   if (pos_ >= rids_.size()) return false;
   KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
   KIMDB_ASSIGN_OR_RETURN(Tuple t, rel_->Get(rids_[pos_++]));
@@ -104,21 +104,21 @@ Result<bool> RelIndexLookup::Next(exec::ExecContext* ctx, exec::Row* row) {
   return true;
 }
 
-void RelIndexLookup::Close(exec::ExecContext*) {
+void RelIndexLookup::CloseImpl(exec::ExecContext*) {
   rids_.clear();
   pos_ = 0;
 }
 
 // --- NestedLoopJoinOp --------------------------------------------------------
 
-Status NestedLoopJoinOp::Open(exec::ExecContext* ctx) {
+Status NestedLoopJoinOp::OpenImpl(exec::ExecContext* ctx) {
   matches_.clear();
   match_pos_ = 0;
   left_done_ = false;
   return left_->Open(ctx);
 }
 
-Result<bool> NestedLoopJoinOp::Next(exec::ExecContext* ctx, exec::Row* row) {
+Result<bool> NestedLoopJoinOp::NextImpl(exec::ExecContext* ctx, exec::Row* row) {
   for (;;) {
     if (match_pos_ < matches_.size()) {
       Concat(left_row_, matches_[match_pos_++], &row->tuple);
@@ -153,7 +153,7 @@ Result<bool> NestedLoopJoinOp::Next(exec::ExecContext* ctx, exec::Row* row) {
   }
 }
 
-void NestedLoopJoinOp::Close(exec::ExecContext* ctx) {
+void NestedLoopJoinOp::CloseImpl(exec::ExecContext* ctx) {
   left_->Close(ctx);
   matches_.clear();
   match_pos_ = 0;
@@ -161,7 +161,7 @@ void NestedLoopJoinOp::Close(exec::ExecContext* ctx) {
 
 // --- HashJoinOp --------------------------------------------------------------
 
-Status HashJoinOp::Open(exec::ExecContext* ctx) {
+Status HashJoinOp::OpenImpl(exec::ExecContext* ctx) {
   table_.clear();
   matches_ = nullptr;
   match_pos_ = 0;
@@ -180,7 +180,7 @@ Status HashJoinOp::Open(exec::ExecContext* ctx) {
   return left_->Open(ctx);
 }
 
-Result<bool> HashJoinOp::Next(exec::ExecContext* ctx, exec::Row* row) {
+Result<bool> HashJoinOp::NextImpl(exec::ExecContext* ctx, exec::Row* row) {
   for (;;) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
       Concat(left_row_, (*matches_)[match_pos_++], &row->tuple);
@@ -202,7 +202,7 @@ Result<bool> HashJoinOp::Next(exec::ExecContext* ctx, exec::Row* row) {
   }
 }
 
-void HashJoinOp::Close(exec::ExecContext* ctx) {
+void HashJoinOp::CloseImpl(exec::ExecContext* ctx) {
   left_->Close(ctx);
   table_.clear();
   matches_ = nullptr;
@@ -211,14 +211,14 @@ void HashJoinOp::Close(exec::ExecContext* ctx) {
 
 // --- IndexJoinOp -------------------------------------------------------------
 
-Status IndexJoinOp::Open(exec::ExecContext* ctx) {
+Status IndexJoinOp::OpenImpl(exec::ExecContext* ctx) {
   ctx->used_index.store(true, std::memory_order_relaxed);
   rids_.clear();
   rid_pos_ = 0;
   return left_->Open(ctx);
 }
 
-Result<bool> IndexJoinOp::Next(exec::ExecContext* ctx, exec::Row* row) {
+Result<bool> IndexJoinOp::NextImpl(exec::ExecContext* ctx, exec::Row* row) {
   for (;;) {
     if (rid_pos_ < rids_.size()) {
       KIMDB_ASSIGN_OR_RETURN(Tuple rt, right_->Get(rids_[rid_pos_++]));
@@ -242,7 +242,7 @@ Result<bool> IndexJoinOp::Next(exec::ExecContext* ctx, exec::Row* row) {
   }
 }
 
-void IndexJoinOp::Close(exec::ExecContext* ctx) {
+void IndexJoinOp::CloseImpl(exec::ExecContext* ctx) {
   left_->Close(ctx);
   rids_.clear();
   rid_pos_ = 0;

@@ -32,9 +32,9 @@ class RelScan : public exec::Operator {
   RelScan(const Relation* rel, const TuplePredicate* pred)
       : rel_(rel), pred_(pred) {}
 
-  Status Open(exec::ExecContext* ctx) override;
-  Result<bool> Next(exec::ExecContext* ctx, exec::Row* row) override;
-  void Close(exec::ExecContext* ctx) override;
+  Status OpenImpl(exec::ExecContext* ctx) override;
+  Result<bool> NextImpl(exec::ExecContext* ctx, exec::Row* row) override;
+  void CloseImpl(exec::ExecContext* ctx) override;
   std::string Describe() const override;
 
  private:
@@ -56,9 +56,9 @@ class RelIndexLookup : public exec::Operator {
         key_(std::move(key)),
         column_name_(std::move(column_name)) {}
 
-  Status Open(exec::ExecContext* ctx) override;
-  Result<bool> Next(exec::ExecContext* ctx, exec::Row* row) override;
-  void Close(exec::ExecContext* ctx) override;
+  Status OpenImpl(exec::ExecContext* ctx) override;
+  Result<bool> NextImpl(exec::ExecContext* ctx, exec::Row* row) override;
+  void CloseImpl(exec::ExecContext* ctx) override;
   std::string Describe() const override {
     return "RelIndexLookup(" + rel_->name() + "." + column_name_ +
            " = " + key_.ToString() + ")";
@@ -85,9 +85,9 @@ class NestedLoopJoinOp : public exec::Operator {
         right_col_(right_col),
         label_(std::move(label)) {}
 
-  Status Open(exec::ExecContext* ctx) override;
-  Result<bool> Next(exec::ExecContext* ctx, exec::Row* row) override;
-  void Close(exec::ExecContext* ctx) override;
+  Status OpenImpl(exec::ExecContext* ctx) override;
+  Result<bool> NextImpl(exec::ExecContext* ctx, exec::Row* row) override;
+  void CloseImpl(exec::ExecContext* ctx) override;
   std::string Describe() const override {
     return "NestedLoopJoinOp(" + label_ + ")";
   }
@@ -119,9 +119,9 @@ class HashJoinOp : public exec::Operator {
         right_col_(right_col),
         label_(std::move(label)) {}
 
-  Status Open(exec::ExecContext* ctx) override;
-  Result<bool> Next(exec::ExecContext* ctx, exec::Row* row) override;
-  void Close(exec::ExecContext* ctx) override;
+  Status OpenImpl(exec::ExecContext* ctx) override;
+  Result<bool> NextImpl(exec::ExecContext* ctx, exec::Row* row) override;
+  void CloseImpl(exec::ExecContext* ctx) override;
   std::string Describe() const override { return "HashJoinOp(" + label_ + ")"; }
   std::vector<const exec::Operator*> children() const override {
     return {left_.get()};
@@ -151,9 +151,9 @@ class IndexJoinOp : public exec::Operator {
         left_col_(left_col),
         label_(std::move(label)) {}
 
-  Status Open(exec::ExecContext* ctx) override;
-  Result<bool> Next(exec::ExecContext* ctx, exec::Row* row) override;
-  void Close(exec::ExecContext* ctx) override;
+  Status OpenImpl(exec::ExecContext* ctx) override;
+  Result<bool> NextImpl(exec::ExecContext* ctx, exec::Row* row) override;
+  void CloseImpl(exec::ExecContext* ctx) override;
   std::string Describe() const override { return "IndexJoinOp(" + label_ + ")"; }
   std::vector<const exec::Operator*> children() const override {
     return {left_.get()};

@@ -100,6 +100,7 @@ Wal::~Wal() {
 }
 
 Result<uint64_t> Wal::Append(WalRecord rec) {
+  obs::Timer timer(append_ns_);  // includes mu_ contention, by design
   std::lock_guard<std::mutex> lock(mu_);
   rec.lsn = next_lsn_;  // consumed only if the append fully succeeds
   std::string bytes = EncodeRecord(rec);
@@ -144,7 +145,7 @@ Result<uint64_t> Wal::Append(WalRecord rec) {
   }
   file_end_.store(base + bytes.size(), std::memory_order_release);
   next_lsn_ = rec.lsn + 1;
-  ++appended_;
+  appended_.fetch_add(1, std::memory_order_relaxed);
   return rec.lsn;
 }
 
@@ -162,6 +163,7 @@ Status Wal::Sync() {
   // Group commit: the leader's fdatasync covers every record appended
   // before this point, including followers that arrived after `target`.
   const uint64_t cover = file_end_.load(std::memory_order_acquire);
+  const uint64_t cover_records = appended_.load(std::memory_order_relaxed);
   lock.unlock();
 
   Status st;
@@ -171,6 +173,7 @@ Status Wal::Sync() {
   }
   if (st.ok()) {
     fdatasyncs_.fetch_add(1, std::memory_order_relaxed);
+    obs::Timer timer(fsync_ns_);
     if (::fdatasync(fd_) != 0) {
       st = Status::IOError("wal fdatasync failed: " +
                            std::string(std::strerror(errno)));
@@ -179,7 +182,16 @@ Status Wal::Sync() {
 
   lock.lock();
   sync_active_ = false;
-  if (st.ok()) durable_end_ = std::max(durable_end_, cover);
+  if (st.ok()) {
+    if (cover_records > durable_records_) {
+      // Records this flush newly made durable = the leader's batch.
+      if (batch_records_ != nullptr) {
+        batch_records_->Record(cover_records - durable_records_);
+      }
+      durable_records_ = cover_records;
+    }
+    durable_end_ = std::max(durable_end_, cover);
+  }
   sync_cv_.notify_all();
   return st;
 }

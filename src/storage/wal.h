@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -79,7 +80,9 @@ class Wal {
 
   /// Number of successful Append calls since open (test/bench
   /// introspection).
-  uint64_t appended_records() const { return appended_; }
+  uint64_t appended_records() const {
+    return appended_.load(std::memory_order_relaxed);
+  }
 
   /// Number of fdatasync calls issued (group-commit coalescing shows up as
   /// fdatasync_count() < number of Sync() calls).
@@ -95,6 +98,16 @@ class Wal {
   /// Routes append/sync I/O through `fi` (crash injection; nullptr to
   /// detach). Not thread-safe against in-flight operations.
   void set_fault_injector(FaultInjector* fi) { fault_ = fi; }
+
+  /// Points the WAL at its latency/batch histograms (`wal.append_ns`,
+  /// `wal.fsync_ns`, `wal.group_commit_batch`); any may be null. Not
+  /// thread-safe against in-flight operations -- attach before use.
+  void AttachMetrics(obs::Histogram* append_ns, obs::Histogram* fsync_ns,
+                     obs::Histogram* batch_records) {
+    append_ns_ = append_ns;
+    fsync_ns_ = fsync_ns;
+    batch_records_ = batch_records;
+  }
 
  private:
   Wal(int fd, std::string path, uint64_t next_lsn, uint64_t file_end)
@@ -116,13 +129,19 @@ class Wal {
   // Byte offset of the first incomplete/absent record. Atomic so Sync can
   // sample it without mu_.
   std::atomic<uint64_t> file_end_;
-  uint64_t appended_ = 0;
+  // Successful appends; atomic so Sync's leader and snapshot collectors
+  // can read it without mu_.
+  std::atomic<uint64_t> appended_{0};
   FaultInjector* fault_ = nullptr;
+  obs::Histogram* append_ns_ = nullptr;
+  obs::Histogram* fsync_ns_ = nullptr;
+  obs::Histogram* batch_records_ = nullptr;
 
   std::mutex sync_mu_;
   std::condition_variable sync_cv_;
-  bool sync_active_ = false;   // a leader's fdatasync is in flight
-  uint64_t durable_end_ = 0;   // bytes known durable (under sync_mu_)
+  bool sync_active_ = false;      // a leader's fdatasync is in flight
+  uint64_t durable_end_ = 0;      // bytes known durable (under sync_mu_)
+  uint64_t durable_records_ = 0;  // records known durable (under sync_mu_)
   std::atomic<uint64_t> fdatasyncs_{0};
 };
 

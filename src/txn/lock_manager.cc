@@ -83,6 +83,18 @@ Status LockManager::LockInternal(uint64_t txn, const LockResource& res,
     }
   }
 
+  // Wall-clock time this request spends blocked (zero for the common
+  // uncontended grant); recorded on every exit path once a wait began.
+  std::chrono::steady_clock::time_point wait_start;
+  bool waited = false;
+  auto record_wait = [&] {
+    if (!waited || wait_ns_ == nullptr) return;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - wait_start)
+                  .count();
+    wait_ns_->Record(ns > 0 ? static_cast<uint64_t>(ns) : 0);
+  };
+
   while (true) {
     ResourceState& state = table_[res];
     if (Grantable(state, txn, needed)) break;
@@ -93,14 +105,20 @@ Status LockManager::LockInternal(uint64_t txn, const LockResource& res,
     }
     if (WouldDeadlock(txn, blockers)) {
       ++stats_.deadlocks;
+      record_wait();
       return Status::Aborted("deadlock detected; transaction chosen as "
                              "victim");
     }
     waits_for_[txn] = {blockers.begin(), blockers.end()};
     ++stats_.waits;
+    if (!waited) {
+      waited = true;
+      wait_start = std::chrono::steady_clock::now();
+    }
     cv_.wait(lock);
     waits_for_.erase(txn);
   }
+  record_wait();
   table_[res].holders[txn] = needed;
   ++stats_.acquired;
   return Status::OK();

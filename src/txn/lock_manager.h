@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "model/oid.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -81,6 +82,12 @@ class LockManager {
   LockManagerStats stats() const;
   void ResetStats();
 
+  /// Points the lock manager at its `lock.wait_ns` histogram (time a
+  /// request spent blocked, recorded whether it was finally granted or
+  /// aborted as a deadlock victim). Null detaches. Not thread-safe against
+  /// in-flight Lock calls -- attach before use.
+  void AttachMetrics(obs::Histogram* wait_ns) { wait_ns_ = wait_ns; }
+
  private:
   struct ResourceState {
     // txn -> granted mode.
@@ -108,6 +115,7 @@ class LockManager {
   // waits-for edges of currently blocked transactions.
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> waits_for_;
   LockManagerStats stats_;
+  obs::Histogram* wait_ns_ = nullptr;
 };
 
 }  // namespace kimdb

@@ -33,6 +33,7 @@ Status TxnManager::LogControl(uint64_t txn, WalRecordType type) {
 }
 
 Status TxnManager::Commit(uint64_t txn) {
+  obs::Timer timer(commit_ns_);
   KIMDB_RETURN_IF_ERROR(CheckActive(txn));
   KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kCommit));
   if (store_->wal() != nullptr) {
@@ -48,6 +49,7 @@ Status TxnManager::Commit(uint64_t txn) {
 }
 
 Status TxnManager::Abort(uint64_t txn) {
+  obs::Timer timer(abort_ns_);
   std::vector<UndoRecord> undo;
   {
     std::lock_guard<std::mutex> lock(mu_);

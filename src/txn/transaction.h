@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "object/object_store.h"
+#include "obs/metrics.h"
 #include "txn/lock_manager.h"
 
 namespace kimdb {
@@ -58,8 +59,20 @@ class TxnManager {
   /// Lock classes exclusively (schema evolution).
   Status LockSchemaChange(uint64_t txn, ClassId cls);
 
-  const TxnStats& stats() const { return stats_; }
+  TxnStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   LockManager* lock_manager() const { return locks_; }
+
+  /// Points the manager at its commit/abort latency histograms
+  /// (`txn.commit_ns` spans the WAL commit record + group-commit fsync;
+  /// `txn.abort_ns` spans undo + the abort record). Null detaches. Not
+  /// thread-safe against in-flight transactions -- attach before use.
+  void AttachMetrics(obs::Histogram* commit_ns, obs::Histogram* abort_ns) {
+    commit_ns_ = commit_ns;
+    abort_ns_ = abort_ns;
+  }
 
  private:
   enum class UndoKind { kInsert, kUpdate, kDelete };
@@ -85,6 +98,8 @@ class TxnManager {
   uint64_t next_txn_ = 1;
   std::unordered_map<uint64_t, TxnState> active_;
   TxnStats stats_;
+  obs::Histogram* commit_ns_ = nullptr;
+  obs::Histogram* abort_ns_ = nullptr;
 };
 
 }  // namespace kimdb
