@@ -31,6 +31,8 @@ m1, m2 = snaps["METRICS1"], snaps["METRICS2"]
 required = [
     "bufferpool.hits", "bufferpool.misses", "bufferpool.evictions",
     "bufferpool.disk_reads", "bufferpool.disk_writes",
+    "bufferpool.readahead_issued", "bufferpool.readahead_hits",
+    "bufferpool.shard_lock_waits", "bufferpool.shard_wait_ns",
     "lock.acquired", "lock.waits", "lock.deadlocks", "lock.wait_ns",
     "txn.begun", "txn.committed", "txn.aborted",
     "txn.commit_ns", "txn.abort_ns",

@@ -48,10 +48,11 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
     // Page 0: the meta page.
     PageId meta_pid;
     {
-      Result<char*> page = db->bp_->NewPage(&meta_pid);
-      KIMDB_RETURN_IF_ERROR(page.status());
-      std::memcpy(*page, kMagic, sizeof(kMagic));
-      db->bp_->Unpin(meta_pid, /*dirty=*/true);
+      PageGuard g = PageGuard::NewPage(db->bp_.get());
+      KIMDB_RETURN_IF_ERROR(g.status());
+      meta_pid = g.page_id();
+      std::memcpy(g.data(), kMagic, sizeof(kMagic));
+      g.MarkDirty();
     }
     if (meta_pid != 0) return Status::Internal("meta page must be page 0");
     db->catalog_ = std::make_unique<Catalog>();
@@ -61,16 +62,17 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
     KIMDB_ASSIGN_OR_RETURN(db->meta_rid_, db->meta_heap_->Insert(meta));
   } else {
     // Read the meta page.
-    Result<char*> page = db->bp_->FetchPage(0);
-    KIMDB_RETURN_IF_ERROR(page.status());
-    bool magic_ok = std::memcmp(*page, kMagic, sizeof(kMagic)) == 0;
-    PageId meta_head = DecodeFixed32(*page + 8);
-    PageId rid_page = DecodeFixed32(*page + 12);
+    PageGuard g(db->bp_.get(), 0);
+    KIMDB_RETURN_IF_ERROR(g.status());
+    const char* page = g.data();
+    bool magic_ok = std::memcmp(page, kMagic, sizeof(kMagic)) == 0;
+    PageId meta_head = DecodeFixed32(page + 8);
+    PageId rid_page = DecodeFixed32(page + 12);
     uint16_t rid_slot = static_cast<uint16_t>(
-        static_cast<unsigned char>((*page)[16]) |
-        (static_cast<uint16_t>(static_cast<unsigned char>((*page)[17]))
+        static_cast<unsigned char>(page[16]) |
+        (static_cast<uint16_t>(static_cast<unsigned char>(page[17]))
          << 8));
-    db->bp_->Unpin(0, false);
+    g.Release();
     if (!magic_ok) return Status::Corruption("bad database magic");
     KIMDB_ASSIGN_OR_RETURN(HeapFile heap,
                            HeapFile::Open(db->bp_.get(), meta_head));
@@ -165,6 +167,13 @@ void Database::WireMetrics() {
                       [bp] { return bp->stats().disk_reads; });
   m.RegisterCollector("bufferpool.disk_writes",
                       [bp] { return bp->stats().disk_writes; });
+  m.RegisterCollector("bufferpool.readahead_issued",
+                      [bp] { return bp->stats().readahead_issued; });
+  m.RegisterCollector("bufferpool.readahead_hits",
+                      [bp] { return bp->stats().readahead_hits; });
+  m.RegisterCollector("bufferpool.shard_lock_waits",
+                      [bp] { return bp->stats().shard_lock_waits; });
+  bp->AttachMetrics(m.GetHistogram("bufferpool.shard_wait_ns"));
 
   if (wal_ != nullptr) {
     Wal* wal = wal_.get();
@@ -309,14 +318,15 @@ Status Database::PersistMeta() {
                          meta_heap_->Update(meta_rid_, meta));
   meta_rid_ = rid;
   // Refresh the meta page pointer.
-  Result<char*> page = bp_->FetchPage(0);
-  KIMDB_RETURN_IF_ERROR(page.status());
-  std::memcpy(*page, kMagic, sizeof(kMagic));
-  EncodeFixed32(*page + 8, meta_heap_->head());
-  EncodeFixed32(*page + 12, meta_rid_.page_id);
-  (*page)[16] = static_cast<char>(meta_rid_.slot & 0xff);
-  (*page)[17] = static_cast<char>((meta_rid_.slot >> 8) & 0xff);
-  bp_->Unpin(0, /*dirty=*/true);
+  PageGuard g(bp_.get(), 0);
+  KIMDB_RETURN_IF_ERROR(g.status());
+  char* page = g.data();
+  std::memcpy(page, kMagic, sizeof(kMagic));
+  EncodeFixed32(page + 8, meta_heap_->head());
+  EncodeFixed32(page + 12, meta_rid_.page_id);
+  page[16] = static_cast<char>(meta_rid_.slot & 0xff);
+  page[17] = static_cast<char>((meta_rid_.slot >> 8) & 0xff);
+  g.MarkDirty();
   return Status::OK();
 }
 

@@ -74,6 +74,11 @@ class ExecContext {
   uint64_t pages_missed() const {
     return bp_ == nullptr ? 0 : bp_->stats().misses - baseline_.misses;
   }
+  uint64_t pages_readahead() const {
+    return bp_ == nullptr
+               ? 0
+               : bp_->stats().readahead_hits - baseline_.readahead_hits;
+  }
 
   /// Live hit/miss reading for per-operator deltas (EXPLAIN ANALYZE spans
   /// subtract two of these around each lifecycle call). Zeros without an
@@ -81,11 +86,12 @@ class ExecContext {
   struct PageCounts {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t readahead_hits = 0;
   };
   PageCounts PageCountsNow() const {
     if (bp_ == nullptr) return PageCounts{};
     BufferPoolStats s = bp_->stats();
-    return PageCounts{s.hits, s.misses};
+    return PageCounts{s.hits, s.misses, s.readahead_hits};
   }
 
   // --- budget / cancellation ----------------------------------------------

@@ -14,13 +14,23 @@ void RenderTree(const Operator& op, size_t depth, bool analyze,
   out->append(op.Describe());
   if (analyze) {
     const OpStats& s = op.stats();
-    char buf[128];
-    std::snprintf(buf, sizeof(buf),
-                  " (rows=%" PRIu64 " loops=%" PRIu64
-                  " time=%.2fms pages=%" PRIu64 "+%" PRIu64 ")",
-                  s.rows, s.loops,
-                  static_cast<double>(s.time_ns) / 1e6, s.pages_hit,
-                  s.pages_missed);
+    char buf[160];
+    if (s.pages_readahead > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    " (rows=%" PRIu64 " loops=%" PRIu64
+                    " time=%.2fms pages=%" PRIu64 "+%" PRIu64 " ra=%" PRIu64
+                    ")",
+                    s.rows, s.loops,
+                    static_cast<double>(s.time_ns) / 1e6, s.pages_hit,
+                    s.pages_missed, s.pages_readahead);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    " (rows=%" PRIu64 " loops=%" PRIu64
+                    " time=%.2fms pages=%" PRIu64 "+%" PRIu64 ")",
+                    s.rows, s.loops,
+                    static_cast<double>(s.time_ns) / 1e6, s.pages_hit,
+                    s.pages_missed);
+    }
     out->append(buf);
   }
   out->push_back('\n');

@@ -40,6 +40,7 @@ struct OpStats {
   uint64_t time_ns = 0;      // wall time inside Open+Next+Close
   uint64_t pages_hit = 0;    // buffer-pool hits during those calls
   uint64_t pages_missed = 0; // buffer-pool misses during those calls
+  uint64_t pages_readahead = 0;  // hits served from a prefetched frame
 };
 
 /// Pull-based (Volcano) operator: Open prepares state, Next produces rows
@@ -115,6 +116,7 @@ class Operator {
       ExecContext::PageCounts now = ctx_->PageCountsNow();
       op_->stats_.pages_hit += now.hits - pages_.hits;
       op_->stats_.pages_missed += now.misses - pages_.misses;
+      op_->stats_.pages_readahead += now.readahead_hits - pages_.readahead_hits;
     }
 
    private:

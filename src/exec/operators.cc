@@ -10,6 +10,7 @@ namespace exec {
 Status ExtentScan::OpenImpl(ExecContext* ctx) {
   KIMDB_ASSIGN_OR_RETURN(pages_, store_->ExtentPages(cls_));
   page_idx_ = 0;
+  ra_pos_ = 0;
   buf_.clear();
   buf_pos_ = 0;
   ctx->Trace("ExtentScan(" + name_ + "): open, " +
@@ -21,6 +22,15 @@ Result<bool> ExtentScan::NextImpl(ExecContext* ctx, Row* row) {
   while (buf_pos_ >= buf_.size()) {
     if (page_idx_ >= pages_.size()) return false;
     KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
+    if (page_idx_ >= ra_pos_) {
+      // Stage the next window of extent pages before pinning them.
+      BufferPool* bp = store_->buffer_pool();
+      size_t ra_end =
+          std::min(pages_.size(), page_idx_ + bp->readahead_window());
+      bp->ReadAhead(std::span<const PageId>(pages_.data() + page_idx_,
+                                            ra_end - page_idx_));
+      ra_pos_ = ra_end;
+    }
     buf_.clear();
     buf_pos_ = 0;
     KIMDB_RETURN_IF_ERROR(store_->ForEachInClassOnPage(
@@ -198,11 +208,23 @@ void ParallelExtentScan::WorkerLoop(ExecContext* ctx, size_t begin,
   // Budget / cancellation state stays on the real context.
   ExecContext shadow;
   std::vector<Oid> batch;
+  BufferPool* bp = store_->buffer_pool();
+  const size_t window = bp->readahead_window();
+  size_t ra_pos = begin;  // first unit of this range not yet staged
+  std::vector<PageId> ahead;
   Status st;
   for (size_t i = begin; i < end && st.ok(); ++i) {
     const Unit& unit = units_[i];
     st = ctx->CheckBudget();
     if (!st.ok()) break;
+    if (i >= ra_pos) {
+      // Each worker stages the next window of its own page range.
+      size_t ra_end = std::min(end, i + window);
+      ahead.clear();
+      for (size_t j = i; j < ra_end; ++j) ahead.push_back(units_[j].page);
+      bp->ReadAhead(ahead);
+      ra_pos = ra_end;
+    }
     batch.clear();
     st = store_->ForEachInClassOnPage(
         unit.cls, unit.page, [&](const Object& obj) -> Status {

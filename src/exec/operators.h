@@ -45,6 +45,7 @@ class ExtentScan : public Operator {
   std::string name_;
   std::vector<PageId> pages_;
   size_t page_idx_ = 0;
+  size_t ra_pos_ = 0;  // first extent page not yet staged via ReadAhead
   std::vector<Object> buf_;  // decoded objects of the current page
   size_t buf_pos_ = 0;
 };

@@ -1,119 +1,375 @@
 #include "storage/buffer_pool.h"
 
+#include <bit>
 #include <cstring>
+#include <thread>
 
 namespace kimdb {
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
-  frames_.resize(capacity);
-  for (auto& f : frames_) {
-    f.data = std::make_unique<char[]>(kPageSize);
+namespace {
+
+// Below this many frames a shard's CLOCK degenerates (every sweep evicts
+// its only candidates), so tiny pools collapse to fewer shards.
+constexpr size_t kMinFramesPerShard = 8;
+
+size_t PickShardCount(size_t capacity, size_t requested) {
+  size_t n = requested;
+  if (n == 0) {
+    unsigned hc = std::thread::hardware_concurrency();
+    if (hc == 0) hc = 1;
+    n = std::min<size_t>(16, 2 * static_cast<size_t>(hc));
+  }
+  if (n < 1) n = 1;
+  n = std::bit_floor(n);
+  while (n > 1 && capacity / n < kMinFramesPerShard) n /= 2;
+  return n;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t n_shards)
+    : disk_(disk), capacity_(capacity) {
+  size_t n = PickShardCount(capacity, n_shards);
+  shard_mask_ = n - 1;
+  shards_ = std::vector<Shard>(n);
+  for (size_t s = 0; s < n; ++s) {
+    size_t frames = capacity / n + (s < capacity % n ? 1 : 0);
+    shards_[s].frames = std::vector<Frame>(frames);
+    for (Frame& f : shards_[s].frames) {
+      f.data = std::make_unique<char[]>(kPageSize);
+    }
   }
 }
 
-Result<size_t> BufferPool::Evict() {
-  // CLOCK: sweep at most 2 full rotations looking for an unpinned,
-  // unreferenced frame; clear reference bits as we pass.
-  size_t n = frames_.size();
-  for (size_t sweep = 0; sweep < 2 * n; ++sweep) {
-    Frame& f = frames_[clock_hand_];
-    size_t idx = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % n;
-    if (f.page_id == kInvalidPageId) return idx;  // free frame
-    if (f.pin_count > 0) continue;
-    if (f.referenced) {
+std::unique_lock<std::mutex> BufferPool::LockShard(Shard& sh) {
+  std::unique_lock<std::mutex> lock(sh.mu, std::try_to_lock);
+  if (lock.owns_lock()) return lock;
+  shard_lock_waits_.fetch_add(1, std::memory_order_relaxed);
+  obs::Timer timer(shard_wait_ns_);  // null-safe; records on scope exit
+  lock.lock();
+  return lock;
+}
+
+Result<uint32_t> BufferPool::ClaimFrame(Shard& sh,
+                                        std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    // CLOCK: sweep at most 2 full rotations looking for a free frame or
+    // an unpinned, unreferenced resident victim; clear reference bits as
+    // we pass. Frames with I/O in flight are not candidates.
+    size_t n = sh.frames.size();
+    bool saw_io = false;
+    bool found = false;
+    uint32_t victim = 0;
+    for (size_t sweep = 0; sweep < 2 * n && !found; ++sweep) {
+      uint32_t idx = static_cast<uint32_t>(sh.clock_hand);
+      Frame& f = sh.frames[idx];
+      sh.clock_hand = (sh.clock_hand + 1) % n;
+      if (f.state == FrameState::kFree) return idx;
+      if (f.state != FrameState::kResident) {
+        saw_io = true;
+        continue;
+      }
+      // Acquire pairs with the release decrement in Unpin, so the
+      // victim's final page writes and dirty bit are visible.
+      if (f.pin_count.load(std::memory_order_acquire) > 0) continue;
+      if (f.referenced) {
+        f.referenced = false;
+        continue;
+      }
+      victim = idx;
+      found = true;
+    }
+    if (!found) {
+      if (saw_io) {
+        // Everything unpinned is mid-I/O; one of those frames will settle.
+        sh.io_cv.wait(lock);
+        continue;
+      }
+      return Status::ResourceExhausted("all buffer frames pinned");
+    }
+
+    Frame& f = sh.frames[victim];
+    if (!f.dirty.load(std::memory_order_relaxed)) {
+      sh.page_table.erase(f.page_id);
+      f.page_id = kInvalidPageId;
+      f.state = FrameState::kFree;
       f.referenced = false;
-      continue;
+      f.prefetched = false;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      return victim;
     }
-    if (f.dirty) {
-      KIMDB_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.get()));
-      disk_writes_.fetch_add(1, std::memory_order_relaxed);
-      f.dirty = false;
+
+    // Dirty victim: write it back off the lock. The victim stays mapped in
+    // kIoWrite so a concurrent fetch of its page waits for the write
+    // instead of reading a stale image from disk. Nobody can pin or claim
+    // a frame in kIoWrite, so the image is stable during the write.
+    f.state = FrameState::kIoWrite;
+    PageId old_pid = f.page_id;
+    lock.unlock();
+    Status write = disk_->WritePage(old_pid, f.data.get());
+    lock.lock();
+    if (!write.ok()) {
+      // Restore the victim fully: resident, dirty, unpinned, evictable
+      // later. A failed write never strands a half-claimed frame.
+      f.state = FrameState::kResident;
+      sh.io_cv.notify_all();
+      return write;
     }
-    page_table_.erase(f.page_id);
+    disk_writes_.fetch_add(1, std::memory_order_relaxed);
+    f.dirty.store(false, std::memory_order_relaxed);
+    sh.page_table.erase(old_pid);
     f.page_id = kInvalidPageId;
+    f.state = FrameState::kFree;
+    f.referenced = false;
+    f.prefetched = false;
     evictions_.fetch_add(1, std::memory_order_relaxed);
-    return idx;
+    sh.io_cv.notify_all();
+    return victim;
   }
-  return Status::ResourceExhausted("all buffer frames pinned");
 }
 
-Result<char*> BufferPool::FetchPage(PageId pid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(pid);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    ++f.pin_count;
-    f.referenced = true;
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return f.data.get();
+Result<uint32_t> BufferPool::LoadPage(Shard& sh,
+                                      std::unique_lock<std::mutex>& lock,
+                                      PageId pid, int pin, bool prefetched) {
+  KIMDB_ASSIGN_OR_RETURN(uint32_t idx, ClaimFrame(sh, lock));
+  // ClaimFrame may have bounced the lock for a write-back; a concurrent
+  // fetcher could have staged `pid` meanwhile. The claimed frame simply
+  // stays free for the next caller.
+  if (sh.page_table.find(pid) != sh.page_table.end()) {
+    return Status::AlreadyExists("page staged by a concurrent fetcher");
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  KIMDB_ASSIGN_OR_RETURN(size_t idx, Evict());
-  Frame& f = frames_[idx];
+  Frame& f = sh.frames[idx];
+  f.page_id = pid;
+  f.state = FrameState::kIoRead;
+  f.pin_count.store(pin, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.referenced = true;
+  f.prefetched = prefetched;
+  sh.page_table[pid] = idx;
+
+  lock.unlock();
   Status read = disk_->ReadPage(pid, f.data.get());
+  lock.lock();
   if (!read.ok()) {
-    // The victim was already evicted (written back if dirty); leave the
-    // frame explicitly free and clean so a failed read can never strand a
-    // half-claimed frame (pinned, stale-dirty, or mapped to `pid`).
+    // Free the frame completely: no stuck pin, no stale mapping, no
+    // leftover dirty bit. Waiters re-check the table and issue their own
+    // read (which surfaces the same error unless the fault was transient).
+    sh.page_table.erase(pid);
     f.page_id = kInvalidPageId;
-    f.pin_count = 0;
-    f.dirty = false;
+    f.state = FrameState::kFree;
+    f.pin_count.store(0, std::memory_order_relaxed);
     f.referenced = false;
+    f.prefetched = false;
+    sh.io_cv.notify_all();
     return read;
   }
   disk_reads_.fetch_add(1, std::memory_order_relaxed);
-  f.page_id = pid;
-  f.pin_count = 1;
-  f.dirty = false;
-  f.referenced = true;
-  page_table_[pid] = idx;
-  return f.data.get();
+  f.state = FrameState::kResident;
+  sh.io_cv.notify_all();
+  return idx;
 }
 
-Result<char*> BufferPool::NewPage(PageId* out_pid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(size_t idx, Evict());
+Result<char*> BufferPool::FetchPage(PageId pid, FrameRef* ref) {
+  size_t si = ShardOf(pid);
+  Shard& sh = shards_[si];
+  std::unique_lock<std::mutex> lock = LockShard(sh);
+  bool counted_miss = false;
+  for (;;) {
+    auto it = sh.page_table.find(pid);
+    if (it != sh.page_table.end()) {
+      Frame& f = sh.frames[it->second];
+      if (f.state != FrameState::kResident) {
+        // A read or write-back of this page is in flight; wait for it to
+        // settle rather than double-reading (or reading stale bytes).
+        sh.io_cv.wait(lock);
+        continue;
+      }
+      f.pin_count.fetch_add(1, std::memory_order_relaxed);
+      f.referenced = true;
+      if (f.prefetched) {
+        f.prefetched = false;
+        readahead_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // A fetch that lost the load race to a concurrent fetcher already
+      // counted its miss; don't double-count it as a hit.
+      if (!counted_miss) hits_.fetch_add(1, std::memory_order_relaxed);
+      ref->shard = static_cast<uint32_t>(si);
+      ref->frame = it->second;
+      return f.data.get();
+    }
+    if (!counted_miss) {
+      counted_miss = true;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Result<uint32_t> idx = LoadPage(sh, lock, pid, /*pin=*/1,
+                                    /*prefetched=*/false);
+    if (!idx.ok()) {
+      if (idx.status().IsAlreadyExists()) continue;  // pin the staged frame
+      return idx.status();
+    }
+    ref->shard = static_cast<uint32_t>(si);
+    ref->frame = *idx;
+    return sh.frames[*idx].data.get();
+  }
+}
+
+Result<char*> BufferPool::NewPage(PageId* out_pid, FrameRef* ref) {
+  // Allocate before taking any shard lock: AllocatePage is a disk-level
+  // operation with its own synchronization, and holding a shard lock
+  // across it would stall every reader hashing to the shard.
   KIMDB_ASSIGN_OR_RETURN(PageId pid, disk_->AllocatePage());
-  Frame& f = frames_[idx];
+  size_t si = ShardOf(pid);
+  Shard& sh = shards_[si];
+  std::unique_lock<std::mutex> lock = LockShard(sh);
+  // The fresh pid is known only to this caller, so no fetch race exists;
+  // on claim failure the pid is abandoned (reads back zeroed).
+  KIMDB_ASSIGN_OR_RETURN(uint32_t idx, ClaimFrame(sh, lock));
+  Frame& f = sh.frames[idx];
   std::memset(f.data.get(), 0, kPageSize);
   f.page_id = pid;
-  f.pin_count = 1;
-  f.dirty = true;
+  f.state = FrameState::kResident;
+  f.pin_count.store(1, std::memory_order_relaxed);
+  f.dirty.store(true, std::memory_order_relaxed);
   f.referenced = true;
-  page_table_[pid] = idx;
+  f.prefetched = false;
+  sh.page_table[pid] = idx;
   *out_pid = pid;
+  ref->shard = static_cast<uint32_t>(si);
+  ref->frame = idx;
   return f.data.get();
 }
 
-void BufferPool::Unpin(PageId pid, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(pid);
-  if (it == page_table_.end()) return;
-  Frame& f = frames_[it->second];
-  if (f.pin_count > 0) --f.pin_count;
-  f.dirty = f.dirty || dirty;
+void BufferPool::Unpin(FrameRef ref, bool dirty) {
+  if (!ref.valid()) return;
+  Frame& f = shards_[ref.shard].frames[ref.frame];
+  if (dirty) f.dirty.store(true, std::memory_order_relaxed);
+  // Release pairs with the acquire load in ClaimFrame/flush paths, making
+  // the caller's page writes (and the dirty bit) visible to the evictor
+  // that observes pin_count == 0.
+  f.pin_count.fetch_sub(1, std::memory_order_release);
+}
+
+void BufferPool::MarkDirty(FrameRef ref) {
+  if (!ref.valid()) return;
+  shards_[ref.shard].frames[ref.frame].dirty.store(
+      true, std::memory_order_relaxed);
+}
+
+size_t BufferPool::ReadAhead(std::span<const PageId> pids) {
+  size_t staged = 0;
+  for (PageId pid : pids) {
+    if (pid == kInvalidPageId) continue;
+    Shard& sh = shards_[ShardOf(pid)];
+    std::unique_lock<std::mutex> lock = LockShard(sh);
+    if (sh.page_table.find(pid) != sh.page_table.end()) continue;
+    Result<uint32_t> idx = LoadPage(sh, lock, pid, /*pin=*/0,
+                                    /*prefetched=*/true);
+    if (!idx.ok()) {
+      if (idx.status().IsAlreadyExists()) continue;
+      // Best-effort: frame exhaustion or a read error ends the batch; the
+      // demand fetch that follows will surface any persistent error.
+      break;
+    }
+    readahead_issued_.fetch_add(1, std::memory_order_relaxed);
+    ++staged;
+  }
+  return staged;
 }
 
 Status BufferPool::FlushPage(PageId pid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(pid);
-  if (it == page_table_.end()) return Status::OK();
-  Frame& f = frames_[it->second];
-  if (!f.dirty) return Status::OK();
-  KIMDB_RETURN_IF_ERROR(disk_->WritePage(pid, f.data.get()));
+  Shard& sh = shards_[ShardOf(pid)];
+  auto snapshot = std::make_unique<char[]>(kPageSize);
+  uint32_t idx = 0;
+  {
+    std::unique_lock<std::mutex> lock = LockShard(sh);
+    for (;;) {
+      auto it = sh.page_table.find(pid);
+      if (it == sh.page_table.end()) return Status::OK();
+      Frame& f = sh.frames[it->second];
+      if (f.state == FrameState::kResident) {
+        idx = it->second;
+        break;
+      }
+      sh.io_cv.wait(lock);  // settle an in-flight read/write-back first
+    }
+    Frame& f = sh.frames[idx];
+    if (!f.dirty.load(std::memory_order_acquire)) return Status::OK();
+    std::memcpy(snapshot.get(), f.data.get(), kPageSize);
+    f.dirty.store(false, std::memory_order_relaxed);
+  }
+  Status write = disk_->WritePage(pid, snapshot.get());
+  if (!write.ok()) {
+    // Restore the dirty bit if the frame still caches this page so the
+    // data is not lost to a later clean eviction.
+    std::unique_lock<std::mutex> lock = LockShard(sh);
+    auto it = sh.page_table.find(pid);
+    if (it != sh.page_table.end() &&
+        sh.frames[it->second].state == FrameState::kResident) {
+      sh.frames[it->second].dirty.store(true, std::memory_order_relaxed);
+    }
+    return write;
+  }
   disk_writes_.fetch_add(1, std::memory_order_relaxed);
-  f.dirty = false;
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.dirty) {
-      KIMDB_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.get()));
+  struct DirtySnapshot {
+    PageId pid;
+    uint32_t frame;
+    std::unique_ptr<char[]> data;
+  };
+  for (Shard& sh : shards_) {
+    // Collect-then-write: snapshot dirty page images under the shard lock,
+    // write them outside it, so a checkpoint never stalls the shard's
+    // readers behind a chain of page writes.
+    std::vector<DirtySnapshot> dirty;
+    {
+      std::unique_lock<std::mutex> lock = LockShard(sh);
+      for (;;) {
+        // An eviction write-back in flight is a dirty page this pass can't
+        // see; wait it out so a fetched-then-failed write can't slip a
+        // dirty page past a "successful" checkpoint.
+        bool writing = false;
+        for (Frame& f : sh.frames) {
+          if (f.state == FrameState::kIoWrite) {
+            writing = true;
+            break;
+          }
+        }
+        if (!writing) break;
+        sh.io_cv.wait(lock);
+      }
+      for (uint32_t i = 0; i < sh.frames.size(); ++i) {
+        Frame& f = sh.frames[i];
+        if (f.state != FrameState::kResident ||
+            !f.dirty.load(std::memory_order_acquire)) {
+          continue;
+        }
+        DirtySnapshot snap;
+        snap.pid = f.page_id;
+        snap.frame = i;
+        snap.data = std::make_unique<char[]>(kPageSize);
+        std::memcpy(snap.data.get(), f.data.get(), kPageSize);
+        // Cleared now so writes racing in after the snapshot re-dirty the
+        // frame and are picked up by the next checkpoint.
+        f.dirty.store(false, std::memory_order_relaxed);
+        dirty.push_back(std::move(snap));
+      }
+    }
+    for (DirtySnapshot& snap : dirty) {
+      Status write = disk_->WritePage(snap.pid, snap.data.get());
+      if (!write.ok()) {
+        // Checkpoint aborted (the caller must not truncate the WAL). If
+        // the frame still caches the page, restore its dirty bit.
+        std::unique_lock<std::mutex> lock = LockShard(sh);
+        Frame& f = sh.frames[snap.frame];
+        if (f.page_id == snap.pid && f.state == FrameState::kResident) {
+          f.dirty.store(true, std::memory_order_relaxed);
+        }
+        return write;
+      }
       disk_writes_.fetch_add(1, std::memory_order_relaxed);
-      f.dirty = false;
     }
   }
   return disk_->Sync();

@@ -2,12 +2,15 @@
 #define KIMDB_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 #include "util/result.h"
@@ -15,91 +18,221 @@
 
 namespace kimdb {
 
-/// A pinned buffer-pool frame. `data` points at kPageSize bytes.
+/// Frame lifecycle (DESIGN.md §11): a frame is free, has a read or a
+/// write-back in flight, or caches a page. All transitions happen under
+/// the owning shard's mutex; the I/O itself does not.
+///
+///   kFree ──claim──▶ kIoRead ──read ok──▶ kResident
+///     ▲                 │ read failed          │ victim chosen, dirty
+///     └─────────────────┘                      ▼
+///     ▲                              kIoWrite (still mapped)
+///     │ write ok (unmap)                       │ write failed
+///     └────────────────────────────────────────┴──▶ back to kResident
+enum class FrameState : uint8_t {
+  kFree = 0,     // unmapped, claimable
+  kIoRead,       // mapped, a fetcher's disk read is in flight
+  kIoWrite,      // mapped, eviction write-back of the old page in flight
+  kResident,     // mapped, data valid
+};
+
+/// A buffer-pool frame. `data` points at kPageSize bytes. `pin_count` and
+/// `dirty` are atomics because Unpin/MarkDirty adjust them without taking
+/// the shard mutex (the O(1) frame-handle fast path); every other field is
+/// protected by the owning shard's mutex.
 struct Frame {
   PageId page_id = kInvalidPageId;
-  int pin_count = 0;
-  bool dirty = false;
-  bool referenced = false;  // clock bit
+  FrameState state = FrameState::kFree;
+  std::atomic<int> pin_count{0};
+  std::atomic<bool> dirty{false};
+  bool referenced = false;   // clock bit
+  bool prefetched = false;   // loaded by ReadAhead, not yet demanded
   std::unique_ptr<char[]> data;
+};
+
+/// Stable handle to a pinned frame: shard number + frame index within the
+/// shard. Unpin/MarkDirty through a FrameRef are O(1) array operations --
+/// no mutex, no page-table hash lookup. A FrameRef is only meaningful
+/// while its pin is held (PageGuard enforces this).
+struct FrameRef {
+  static constexpr uint32_t kInvalidShard = UINT32_MAX;
+  uint32_t shard = kInvalidShard;
+  uint32_t frame = 0;
+  bool valid() const { return shard != kInvalidShard; }
 };
 
 /// Counters exposed so benchmarks can report physical behaviour
 /// (experiment E8 measures clustering through miss/IO counts). This is a
 /// plain snapshot struct; the pool keeps the live counters in atomics so
 /// concurrent readers (parallel scans, ExecContext deltas) never race
-/// writers.
+/// writers. `misses` counts demand misses only; pages staged by ReadAhead
+/// appear in `readahead_issued` and `disk_reads` instead.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
+  uint64_t readahead_issued = 0;  // pages staged by ReadAhead
+  uint64_t readahead_hits = 0;    // demand fetches served by a staged page
+  uint64_t shard_lock_waits = 0;  // contended shard-mutex acquisitions
 };
 
-/// Fixed-capacity page cache over a DiskManager with CLOCK replacement.
-/// All public methods are thread-safe (single internal mutex).
+/// Fixed-capacity page cache over a DiskManager, sharded for concurrency:
+/// pages hash to one of N shards (N a power of two, default
+/// min(16, 2*hardware_concurrency), clamped so each shard keeps a useful
+/// number of frames), each owning its frame arena, page table and CLOCK
+/// hand under its own mutex. All public methods are thread-safe.
+///
+/// Disk I/O never happens under a shard lock. On a miss the claimed frame
+/// is published in kIoRead state and the lock dropped for the read;
+/// concurrent fetchers of the same page wait on the shard condvar instead
+/// of double-reading (a same-page miss storm costs exactly one disk
+/// read). Eviction write-back of a dirty victim likewise runs off-lock in
+/// kIoWrite state with the victim still mapped, so a concurrent fetch of
+/// the victim page waits for the write instead of reading a stale image
+/// from disk; a failed write restores the victim to resident+dirty, so no
+/// frame is ever stranded half-claimed (the PR 2 invariant).
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, size_t capacity);
+  /// `n_shards` == 0 picks the default; any other value is rounded down
+  /// to a power of two (and clamped against `capacity`).
+  BufferPool(DiskManager* disk, size_t capacity, size_t n_shards = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Fetches and pins a page. Callers must Unpin exactly once per fetch.
-  Result<char*> FetchPage(PageId pid);
+  /// Fetches and pins a page; `*ref` receives the frame handle the caller
+  /// must pass to Unpin exactly once per fetch.
+  Result<char*> FetchPage(PageId pid, FrameRef* ref);
 
-  /// Allocates a new page on disk, pins a zeroed frame for it.
-  Result<char*> NewPage(PageId* out_pid);
+  /// Allocates a new page on disk, pins a zeroed frame for it. The disk
+  /// allocation happens before any shard lock is taken; if no frame can
+  /// be claimed the allocated page id is abandoned (it reads back zeroed,
+  /// which every chain walker treats as end-of-chain).
+  Result<char*> NewPage(PageId* out_pid, FrameRef* ref);
 
-  /// Drops a pin; `dirty` marks the frame as modified.
-  void Unpin(PageId pid, bool dirty);
+  /// Drops a pin; `dirty` marks the frame as modified. O(1), lock-free.
+  void Unpin(FrameRef ref, bool dirty);
+
+  /// Marks a pinned frame modified without releasing the pin. O(1).
+  void MarkDirty(FrameRef ref);
+
+  /// Best-effort batch prefetch: stages the given pages into the pool
+  /// (unpinned) so the fetches that follow are hits. Pages already
+  /// resident or in flight are skipped; read failures and frame
+  /// exhaustion quietly end the batch (the demand fetch will surface any
+  /// real error). Returns the number of pages actually staged.
+  size_t ReadAhead(std::span<const PageId> pids);
 
   /// Writes a (cached) page back to disk; no-op if not cached or clean.
+  /// The write happens outside the shard lock against a snapshot copy.
   Status FlushPage(PageId pid);
 
-  /// Writes all dirty cached pages back and syncs the device.
+  /// Writes all dirty cached pages back and syncs the device. Dirty page
+  /// images are snapshotted under each shard lock and written outside it,
+  /// so a checkpoint does not stall concurrent readers of the shard.
   Status FlushAll();
 
   /// Consistent-enough snapshot of the counters. Safe to call while other
   /// threads fetch/flush pages (each counter is read atomically).
   BufferPoolStats stats() const {
+    constexpr auto kRelaxed = std::memory_order_relaxed;
     BufferPoolStats out;
-    out.hits = hits_.load(std::memory_order_relaxed);
-    out.misses = misses_.load(std::memory_order_relaxed);
-    out.evictions = evictions_.load(std::memory_order_relaxed);
-    out.disk_reads = disk_reads_.load(std::memory_order_relaxed);
-    out.disk_writes = disk_writes_.load(std::memory_order_relaxed);
+    out.hits = hits_.load(kRelaxed);
+    out.misses = misses_.load(kRelaxed);
+    out.evictions = evictions_.load(kRelaxed);
+    out.disk_reads = disk_reads_.load(kRelaxed);
+    out.disk_writes = disk_writes_.load(kRelaxed);
+    out.readahead_issued = readahead_issued_.load(kRelaxed);
+    out.readahead_hits = readahead_hits_.load(kRelaxed);
+    out.shard_lock_waits = shard_lock_waits_.load(kRelaxed);
     return out;
   }
   void ResetStats() {
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
-    evictions_.store(0, std::memory_order_relaxed);
-    disk_reads_.store(0, std::memory_order_relaxed);
-    disk_writes_.store(0, std::memory_order_relaxed);
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    hits_.store(0, kRelaxed);
+    misses_.store(0, kRelaxed);
+    evictions_.store(0, kRelaxed);
+    disk_reads_.store(0, kRelaxed);
+    disk_writes_.store(0, kRelaxed);
+    readahead_issued_.store(0, kRelaxed);
+    readahead_hits_.store(0, kRelaxed);
+    shard_lock_waits_.store(0, kRelaxed);
   }
-  size_t capacity() const { return frames_.size(); }
+
+  size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
   DiskManager* disk() const { return disk_; }
 
- private:
-  /// Picks a victim frame via CLOCK; writes it back if dirty.
-  /// Requires mu_ held. Returns ResourceExhausted if all frames are pinned.
-  Result<size_t> Evict();
+  /// Readahead batch the scan layers should use against this pool: large
+  /// enough to batch I/O, small enough that staging cannot evict the
+  /// batch's own earlier pages out of a tiny pool.
+  size_t readahead_window() const {
+    size_t w = capacity_ / 4;
+    if (w < 1) w = 1;
+    return w > kMaxReadAheadWindow ? kMaxReadAheadWindow : w;
+  }
+  static constexpr size_t kMaxReadAheadWindow = 8;
 
-  mutable std::mutex mu_;
+  /// Wires the contended-shard-lock wait histogram (nanoseconds). Called
+  /// once at Database::Open, before concurrent use; null detaches.
+  void AttachMetrics(obs::Histogram* shard_wait_ns) {
+    shard_wait_ns_ = shard_wait_ns;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Fetchers wait here for in-flight reads/write-backs of their page.
+    std::condition_variable io_cv;
+    std::vector<Frame> frames;
+    std::unordered_map<PageId, uint32_t> page_table;
+    size_t clock_hand = 0;
+  };
+
+  size_t ShardOf(PageId pid) const {
+    // Extent chains allocate roughly consecutive page ids; the low bits
+    // round-robin them across shards, spreading a scan's locks.
+    return static_cast<size_t>(pid) & shard_mask_;
+  }
+
+  /// Acquires the shard mutex, recording contended acquisitions in the
+  /// attached wait histogram (uncontended acquisitions cost no clock read).
+  std::unique_lock<std::mutex> LockShard(Shard& sh);
+
+  /// Returns the index of a frame in kFree state (unmapped, unpinned),
+  /// evicting a victim if needed. Requires `lock` held on entry; may
+  /// release and reacquire it to write back a dirty victim (the victim
+  /// stays mapped in kIoWrite so fetchers of its page wait). Returns
+  /// ResourceExhausted only when every frame is pinned; frames with I/O
+  /// in flight are waited for instead.
+  Result<uint32_t> ClaimFrame(Shard& sh, std::unique_lock<std::mutex>& lock);
+
+  /// Claims a frame, publishes `pid` in kIoRead state, reads the page off
+  /// the lock and finalizes the frame. On success the frame is resident
+  /// with pin_count == `pin` and `prefetched` set as given. Requires
+  /// `lock` held; holds it again on return.
+  Result<uint32_t> LoadPage(Shard& sh, std::unique_lock<std::mutex>& lock,
+                            PageId pid, int pin, bool prefetched);
+
   DiskManager* disk_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  size_t clock_hand_ = 0;
+  std::vector<Shard> shards_;
+  size_t shard_mask_ = 0;
+  size_t capacity_ = 0;
+  obs::Histogram* shard_wait_ns_ = nullptr;
+
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> disk_reads_{0};
   std::atomic<uint64_t> disk_writes_{0};
+  std::atomic<uint64_t> readahead_issued_{0};
+  std::atomic<uint64_t> readahead_hits_{0};
+  std::atomic<uint64_t> shard_lock_waits_{0};
 };
 
-/// RAII pin guard: fetches on construction, unpins on destruction.
+/// RAII pin guard: fetches on construction, unpins on destruction. The
+/// guard carries the FrameRef, so release is an O(1) frame operation.
 ///
 ///   PageGuard g(bp, pid);
 ///   KIMDB_RETURN_IF_ERROR(g.status());
@@ -108,7 +241,7 @@ class BufferPool {
 class PageGuard {
  public:
   PageGuard(BufferPool* bp, PageId pid) : bp_(bp), pid_(pid) {
-    Result<char*> r = bp->FetchPage(pid);
+    Result<char*> r = bp->FetchPage(pid, &ref_);
     if (r.ok()) {
       data_ = *r;
     } else {
@@ -120,7 +253,7 @@ class PageGuard {
   static PageGuard NewPage(BufferPool* bp) {
     PageGuard g;
     g.bp_ = bp;
-    Result<char*> r = bp->NewPage(&g.pid_);
+    Result<char*> r = bp->NewPage(&g.pid_, &g.ref_);
     if (r.ok()) {
       g.data_ = *r;
     } else {
@@ -134,6 +267,7 @@ class PageGuard {
     Release();
     bp_ = other.bp_;
     pid_ = other.pid_;
+    ref_ = other.ref_;
     data_ = other.data_;
     dirty_ = other.dirty_;
     status_ = std::move(other.status_);
@@ -149,11 +283,12 @@ class PageGuard {
   bool ok() const { return status_.ok(); }
   char* data() const { return data_; }
   PageId page_id() const { return pid_; }
+  const FrameRef& frame_ref() const { return ref_; }
   void MarkDirty() { dirty_ = true; }
 
   void Release() {
     if (data_ != nullptr) {
-      bp_->Unpin(pid_, dirty_);
+      bp_->Unpin(ref_, dirty_);
       data_ = nullptr;
     }
   }
@@ -163,6 +298,7 @@ class PageGuard {
 
   BufferPool* bp_ = nullptr;
   PageId pid_ = kInvalidPageId;
+  FrameRef ref_;
   char* data_ = nullptr;
   bool dirty_ = false;
   Status status_;

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -17,9 +18,12 @@ class FileDiskManager final : public DiskManager {
     if (fd_ >= 0) ::close(fd_);
   }
 
+  // Page reads/writes deliberately take no lock: pread/pwrite are atomic
+  // positioned I/O, and the sharded buffer pool issues them concurrently
+  // from several threads (off-lock miss reads and eviction write-backs).
+  // Only the page count / file extension needs serialization.
   Status ReadPage(PageId pid, char* buf) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (pid >= num_pages_) {
+    if (pid >= num_pages_.load(std::memory_order_acquire)) {
       return Status::InvalidArgument("read past end of file");
     }
     ssize_t n = ::pread(fd_, buf, kPageSize,
@@ -32,8 +36,7 @@ class FileDiskManager final : public DiskManager {
   }
 
   Status WritePage(PageId pid, const char* buf) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (pid >= num_pages_) {
+    if (pid >= num_pages_.load(std::memory_order_acquire)) {
       return Status::InvalidArgument("write past end of file");
     }
     ssize_t n = ::pwrite(fd_, buf, kPageSize,
@@ -47,7 +50,7 @@ class FileDiskManager final : public DiskManager {
 
   Result<PageId> AllocatePage() override {
     std::lock_guard<std::mutex> lock(mu_);
-    PageId pid = num_pages_;
+    PageId pid = num_pages_.load(std::memory_order_relaxed);
     char zeros[kPageSize] = {0};
     ssize_t n = ::pwrite(fd_, zeros, kPageSize,
                          static_cast<off_t>(pid) * kPageSize);
@@ -55,7 +58,8 @@ class FileDiskManager final : public DiskManager {
       return Status::IOError("extend failed: " +
                              std::string(std::strerror(errno)));
     }
-    ++num_pages_;
+    // Release: a reader that sees the new count also sees the zeroed page.
+    num_pages_.store(pid + 1, std::memory_order_release);
     return pid;
   }
 
@@ -67,12 +71,14 @@ class FileDiskManager final : public DiskManager {
     return Status::OK();
   }
 
-  uint32_t num_pages() const override { return num_pages_; }
+  uint32_t num_pages() const override {
+    return num_pages_.load(std::memory_order_acquire);
+  }
 
  private:
-  mutable std::mutex mu_;
+  mutable std::mutex mu_;  // serializes file extension only
   int fd_;
-  uint32_t num_pages_;
+  std::atomic<uint32_t> num_pages_;
 };
 
 class MemDiskManager final : public DiskManager {

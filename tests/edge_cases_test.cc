@@ -112,10 +112,11 @@ TEST(BufferPoolEdgeTest, ConcurrentReadersThrashSafely) {
   std::vector<PageId> pids;
   for (int i = 0; i < kPages; ++i) {
     PageId pid;
-    auto d = bp.NewPage(&pid);
+    FrameRef ref;
+    auto d = bp.NewPage(&pid, &ref);
     ASSERT_TRUE(d.ok());
     (*d)[0] = static_cast<char>(i);
-    bp.Unpin(pid, true);
+    bp.Unpin(ref, true);
     pids.push_back(pid);
   }
   std::vector<std::thread> threads;
@@ -125,7 +126,8 @@ TEST(BufferPoolEdgeTest, ConcurrentReadersThrashSafely) {
       Random rng(static_cast<uint64_t>(t) + 1);
       for (int i = 0; i < 500; ++i) {
         size_t idx = rng.Uniform(pids.size());
-        auto d = bp.FetchPage(pids[idx]);
+        FrameRef ref;
+        auto d = bp.FetchPage(pids[idx], &ref);
         if (!d.ok()) {
           // All-pinned transient exhaustion is legal under contention,
           // anything else is not.
@@ -135,7 +137,7 @@ TEST(BufferPoolEdgeTest, ConcurrentReadersThrashSafely) {
           continue;
         }
         if ((*d)[0] != static_cast<char>(idx)) ++errors;
-        bp.Unpin(pids[idx], false);
+        bp.Unpin(ref, false);
       }
     });
   }
