@@ -39,6 +39,16 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t n_shards)
       f.data = std::make_unique<char[]>(kPageSize);
     }
   }
+  ra_thread_ = std::thread(&BufferPool::ReadAheadWorker, this);
+}
+
+BufferPool::~BufferPool() {
+  {
+    std::lock_guard<std::mutex> qlock(ra_mu_);
+    ra_stop_ = true;
+  }
+  ra_cv_.notify_all();
+  if (ra_thread_.joinable()) ra_thread_.join();
 }
 
 std::unique_lock<std::mutex> BufferPool::LockShard(Shard& sh) {
@@ -66,6 +76,14 @@ Result<uint32_t> BufferPool::ClaimFrame(Shard& sh,
       sh.clock_hand = (sh.clock_hand + 1) % n;
       if (f.state == FrameState::kFree) return idx;
       if (f.state != FrameState::kResident) {
+        saw_io = true;
+        continue;
+      }
+      if (f.flush_in_flight) {
+        // A checkpoint write of this page is mid-flight off-lock. Evicting
+        // the now-clean frame would let a re-fetch read the pre-flush
+        // image from disk (and an eviction write-back would race the
+        // flush write); treat the frame like any other in-flight I/O.
         saw_io = true;
         continue;
       }
@@ -242,38 +260,75 @@ Result<char*> BufferPool::NewPage(PageId* out_pid, FrameRef* ref) {
 void BufferPool::Unpin(FrameRef ref, bool dirty) {
   if (!ref.valid()) return;
   Frame& f = shards_[ref.shard].frames[ref.frame];
-  if (dirty) f.dirty.store(true, std::memory_order_relaxed);
-  // Release pairs with the acquire load in ClaimFrame/flush paths, making
-  // the caller's page writes (and the dirty bit) visible to the evictor
+  // The dirty store uses release so the flush paths' acquire load of
+  // `dirty` (which never reads pin_count) also synchronizes with the
+  // caller's page-byte writes; without it a flush could snapshot stale
+  // bytes on weakly-ordered hardware and then clear the dirty bit.
+  if (dirty) f.dirty.store(true, std::memory_order_release);
+  // Release pairs with the acquire load in ClaimFrame, making the
+  // caller's page writes (and the dirty bit) visible to the evictor
   // that observes pin_count == 0.
   f.pin_count.fetch_sub(1, std::memory_order_release);
 }
 
 void BufferPool::MarkDirty(FrameRef ref) {
   if (!ref.valid()) return;
+  // Release for the same reason as in Unpin: the flush paths' acquire
+  // load of `dirty` must see the page bytes written before this call.
   shards_[ref.shard].frames[ref.frame].dirty.store(
-      true, std::memory_order_relaxed);
+      true, std::memory_order_release);
 }
 
 size_t BufferPool::ReadAhead(std::span<const PageId> pids) {
-  size_t staged = 0;
+  size_t enqueued = 0;
   for (PageId pid : pids) {
     if (pid == kInvalidPageId) continue;
-    Shard& sh = shards_[ShardOf(pid)];
-    std::unique_lock<std::mutex> lock = LockShard(sh);
-    if (sh.page_table.find(pid) != sh.page_table.end()) continue;
-    Result<uint32_t> idx = LoadPage(sh, lock, pid, /*pin=*/0,
-                                    /*prefetched=*/true);
-    if (!idx.ok()) {
-      if (idx.status().IsAlreadyExists()) continue;
-      // Best-effort: frame exhaustion or a read error ends the batch; the
-      // demand fetch that follows will surface any persistent error.
-      break;
+    {
+      // Cheap residency pre-check so hit-heavy scans don't flood the
+      // worker with no-op requests (it re-checks under the lock anyway).
+      Shard& sh = shards_[ShardOf(pid)];
+      std::unique_lock<std::mutex> lock = LockShard(sh);
+      if (sh.page_table.find(pid) != sh.page_table.end()) continue;
     }
-    readahead_issued_.fetch_add(1, std::memory_order_relaxed);
-    ++staged;
+    std::lock_guard<std::mutex> qlock(ra_mu_);
+    if (ra_queue_.size() >= kMaxReadAheadQueue) break;
+    ra_queue_.push_back(pid);
+    ++enqueued;
   }
-  return staged;
+  if (enqueued > 0) ra_cv_.notify_one();
+  return enqueued;
+}
+
+void BufferPool::StagePage(PageId pid) {
+  Shard& sh = shards_[ShardOf(pid)];
+  std::unique_lock<std::mutex> lock = LockShard(sh);
+  if (sh.page_table.find(pid) != sh.page_table.end()) return;
+  Result<uint32_t> idx = LoadPage(sh, lock, pid, /*pin=*/0,
+                                  /*prefetched=*/true);
+  // Best-effort: a lost race, frame exhaustion or a read error is simply
+  // dropped; the demand fetch will surface any persistent error.
+  if (idx.ok()) readahead_issued_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BufferPool::ReadAheadWorker() {
+  std::unique_lock<std::mutex> qlock(ra_mu_);
+  for (;;) {
+    ra_cv_.wait(qlock, [&] { return ra_stop_ || !ra_queue_.empty(); });
+    if (ra_stop_) return;
+    PageId pid = ra_queue_.front();
+    ra_queue_.pop_front();
+    ra_staging_ = true;
+    qlock.unlock();
+    StagePage(pid);
+    qlock.lock();
+    ra_staging_ = false;
+    if (ra_queue_.empty()) ra_idle_cv_.notify_all();
+  }
+}
+
+void BufferPool::DrainReadAhead() {
+  std::unique_lock<std::mutex> qlock(ra_mu_);
+  ra_idle_cv_.wait(qlock, [&] { return ra_queue_.empty() && !ra_staging_; });
 }
 
 Status BufferPool::FlushPage(PageId pid) {
@@ -286,29 +341,36 @@ Status BufferPool::FlushPage(PageId pid) {
       auto it = sh.page_table.find(pid);
       if (it == sh.page_table.end()) return Status::OK();
       Frame& f = sh.frames[it->second];
-      if (f.state == FrameState::kResident) {
+      if (f.state == FrameState::kResident && !f.flush_in_flight) {
         idx = it->second;
         break;
       }
-      sh.io_cv.wait(lock);  // settle an in-flight read/write-back first
+      sh.io_cv.wait(lock);  // settle in-flight reads/write-backs/flushes
     }
     Frame& f = sh.frames[idx];
+    // Acquire pairs with the release dirty store in Unpin/MarkDirty: if
+    // the dirty bit is visible, so are the page bytes written before it.
     if (!f.dirty.load(std::memory_order_acquire)) return Status::OK();
     std::memcpy(snapshot.get(), f.data.get(), kPageSize);
     f.dirty.store(false, std::memory_order_relaxed);
+    // Marked for the duration of the off-lock write. Eviction treats the
+    // flagged frame as mid-I/O, so the now-clean frame cannot be dropped
+    // (a re-fetch would read pre-flush bytes from disk) and no eviction
+    // write-back of a re-dirtied copy can race this write on the device.
+    f.flush_in_flight = true;
   }
   Status write = disk_->WritePage(pid, snapshot.get());
-  if (!write.ok()) {
-    // Restore the dirty bit if the frame still caches this page so the
-    // data is not lost to a later clean eviction.
+  {
     std::unique_lock<std::mutex> lock = LockShard(sh);
-    auto it = sh.page_table.find(pid);
-    if (it != sh.page_table.end() &&
-        sh.frames[it->second].state == FrameState::kResident) {
-      sh.frames[it->second].dirty.store(true, std::memory_order_relaxed);
-    }
-    return write;
+    // flush_in_flight pinned the mapping: the frame still caches `pid`.
+    Frame& f = sh.frames[idx];
+    f.flush_in_flight = false;
+    // On failure, restore the dirty bit so the update is not lost to a
+    // later clean eviction.
+    if (!write.ok()) f.dirty.store(true, std::memory_order_relaxed);
+    sh.io_cv.notify_all();
   }
+  if (!write.ok()) return write;
   disk_writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -327,12 +389,12 @@ Status BufferPool::FlushAll() {
     {
       std::unique_lock<std::mutex> lock = LockShard(sh);
       for (;;) {
-        // An eviction write-back in flight is a dirty page this pass can't
-        // see; wait it out so a fetched-then-failed write can't slip a
-        // dirty page past a "successful" checkpoint.
+        // An eviction write-back or another thread's flush in flight is a
+        // dirty page this pass can't see; wait it out so a failed write
+        // can't slip a dirty page past a "successful" checkpoint.
         bool writing = false;
         for (Frame& f : sh.frames) {
-          if (f.state == FrameState::kIoWrite) {
+          if (f.state == FrameState::kIoWrite || f.flush_in_flight) {
             writing = true;
             break;
           }
@@ -352,23 +414,36 @@ Status BufferPool::FlushAll() {
         snap.data = std::make_unique<char[]>(kPageSize);
         std::memcpy(snap.data.get(), f.data.get(), kPageSize);
         // Cleared now so writes racing in after the snapshot re-dirty the
-        // frame and are picked up by the next checkpoint.
+        // frame and are picked up by the next checkpoint; flush_in_flight
+        // keeps the now-clean frame unevictable (and its mapping frozen)
+        // until its snapshot is on disk.
         f.dirty.store(false, std::memory_order_relaxed);
+        f.flush_in_flight = true;
         dirty.push_back(std::move(snap));
       }
     }
-    for (DirtySnapshot& snap : dirty) {
-      Status write = disk_->WritePage(snap.pid, snap.data.get());
+    for (size_t k = 0; k < dirty.size(); ++k) {
+      Status write = disk_->WritePage(dirty[k].pid, dirty[k].data.get());
+      std::unique_lock<std::mutex> lock = LockShard(sh);
+      Frame& f = sh.frames[dirty[k].frame];
+      f.flush_in_flight = false;
       if (!write.ok()) {
-        // Checkpoint aborted (the caller must not truncate the WAL). If
-        // the frame still caches the page, restore its dirty bit.
-        std::unique_lock<std::mutex> lock = LockShard(sh);
-        Frame& f = sh.frames[snap.frame];
-        if (f.page_id == snap.pid && f.state == FrameState::kResident) {
-          f.dirty.store(true, std::memory_order_relaxed);
+        // Checkpoint aborted (the caller must not truncate the WAL).
+        // Restore the dirty bit on this frame and on every frame of the
+        // batch whose snapshot never reached disk — their bits were
+        // cleared at collection time and the pages were not written, so
+        // leaving them clean would lose the updates to clean evictions.
+        f.dirty.store(true, std::memory_order_relaxed);
+        for (size_t j = k + 1; j < dirty.size(); ++j) {
+          Frame& g = sh.frames[dirty[j].frame];
+          g.flush_in_flight = false;
+          g.dirty.store(true, std::memory_order_relaxed);
         }
+        sh.io_cv.notify_all();
         return write;
       }
+      sh.io_cv.notify_all();
+      lock.unlock();
       disk_writes_.fetch_add(1, std::memory_order_relaxed);
     }
   }

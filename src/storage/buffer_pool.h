@@ -4,9 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +30,11 @@ namespace kimdb {
 ///     ▲                              kIoWrite (still mapped)
 ///     │ write ok (unmap)                       │ write failed
 ///     └────────────────────────────────────────┴──▶ back to kResident
+///
+/// A checkpoint flush is not a state: the frame stays kResident (readers
+/// may still pin it) but carries `flush_in_flight` while its snapshot is
+/// being written off-lock. Eviction treats a flagged frame as mid-I/O,
+/// so the mapping cannot change until the flush write lands.
 enum class FrameState : uint8_t {
   kFree = 0,     // unmapped, claimable
   kIoRead,       // mapped, a fetcher's disk read is in flight
@@ -46,6 +53,12 @@ struct Frame {
   std::atomic<bool> dirty{false};
   bool referenced = false;   // clock bit
   bool prefetched = false;   // loaded by ReadAhead, not yet demanded
+  /// A FlushPage/FlushAll snapshot of this frame is being written to disk
+  /// off-lock. The frame stays pinnable, but it must not be evicted or
+  /// remapped: evicting the (now clean) frame would let a re-fetch read
+  /// the pre-flush image from disk, and an eviction write-back would race
+  /// the flush write for ordering on the device.
+  bool flush_in_flight = false;
   std::unique_ptr<char[]> data;
 };
 
@@ -98,6 +111,10 @@ class BufferPool {
   /// to a power of two (and clamped against `capacity`).
   BufferPool(DiskManager* disk, size_t capacity, size_t n_shards = 0);
 
+  /// Stops and joins the readahead worker. The caller must have quiesced
+  /// all other threads using the pool, as with any destruction.
+  ~BufferPool();
+
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -117,20 +134,34 @@ class BufferPool {
   /// Marks a pinned frame modified without releasing the pin. O(1).
   void MarkDirty(FrameRef ref);
 
-  /// Best-effort batch prefetch: stages the given pages into the pool
-  /// (unpinned) so the fetches that follow are hits. Pages already
-  /// resident or in flight are skipped; read failures and frame
-  /// exhaustion quietly end the batch (the demand fetch will surface any
-  /// real error). Returns the number of pages actually staged.
+  /// Best-effort asynchronous prefetch: hands the given pages to the
+  /// pool's background readahead worker, which stages them (unpinned,
+  /// flagged prefetched) while the caller keeps working — the staging
+  /// read overlaps the caller's compute instead of blocking it. Pages
+  /// already resident or in flight are skipped; staging failures are
+  /// dropped (the demand fetch will surface any real error). Returns the
+  /// number of pages accepted for staging. A demand fetch racing the
+  /// worker is safe: whoever claims the frame first reads, the other
+  /// waits or hits.
   size_t ReadAhead(std::span<const PageId> pids);
 
+  /// Blocks until the readahead worker's queue is empty and no stage is
+  /// in flight. For tests and benchmarks that assert on counters.
+  void DrainReadAhead();
+
   /// Writes a (cached) page back to disk; no-op if not cached or clean.
-  /// The write happens outside the shard lock against a snapshot copy.
+  /// The write happens outside the shard lock against a snapshot copy;
+  /// the frame carries `flush_in_flight` for the duration, so it cannot
+  /// be evicted or remapped until the snapshot is on disk (readers may
+  /// still pin it). A failed write restores the dirty bit.
   Status FlushPage(PageId pid);
 
   /// Writes all dirty cached pages back and syncs the device. Dirty page
   /// images are snapshotted under each shard lock and written outside it,
-  /// so a checkpoint does not stall concurrent readers of the shard.
+  /// so a checkpoint does not stall concurrent readers of the shard; the
+  /// snapshotted frames carry `flush_in_flight` until their writes land.
+  /// On a failed write, every not-yet-written page of the batch gets its
+  /// dirty bit restored, so an aborted checkpoint loses nothing.
   Status FlushAll();
 
   /// Consistent-enough snapshot of the counters. Safe to call while other
@@ -215,6 +246,15 @@ class BufferPool {
   Result<uint32_t> LoadPage(Shard& sh, std::unique_lock<std::mutex>& lock,
                             PageId pid, int pin, bool prefetched);
 
+  /// Readahead worker body: stages one queued page (unpinned, flagged
+  /// prefetched) unless it became resident meanwhile; errors are dropped.
+  void StagePage(PageId pid);
+  void ReadAheadWorker();
+
+  /// Queue bound; beyond it ReadAhead drops the rest of the batch (the
+  /// scan is outrunning the worker anyway, demand fetches take over).
+  static constexpr size_t kMaxReadAheadQueue = 64;
+
   DiskManager* disk_;
   std::vector<Shard> shards_;
   size_t shard_mask_ = 0;
@@ -229,6 +269,17 @@ class BufferPool {
   std::atomic<uint64_t> readahead_issued_{0};
   std::atomic<uint64_t> readahead_hits_{0};
   std::atomic<uint64_t> shard_lock_waits_{0};
+
+  // Background readahead worker. The queue has its own mutex, never held
+  // together with a shard mutex (ReadAhead drops the shard lock before
+  // enqueuing; the worker takes the shard lock only after popping).
+  std::mutex ra_mu_;
+  std::condition_variable ra_cv_;       // worker wakeup
+  std::condition_variable ra_idle_cv_;  // DrainReadAhead waiters
+  std::deque<PageId> ra_queue_;
+  bool ra_stop_ = false;
+  bool ra_staging_ = false;  // worker is mid-stage (off both mutexes)
+  std::thread ra_thread_;
 };
 
 /// RAII pin guard: fetches on construction, unpins on destruction. The

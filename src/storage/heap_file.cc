@@ -160,35 +160,23 @@ Status HeapFile::ForEachOnPage(
   return Status::OK();
 }
 
-PageId HeapFile::StageChain(PageId from, size_t n) const {
-  PageId pid = from;
-  size_t staged = 0;
-  while (pid != kInvalidPageId && staged < n) {
-    PageId batch[1] = {pid};
-    bp_->ReadAhead(std::span<const PageId>(batch, 1));
-    // The chain pointer lives in the page itself, so advancing the frontier
-    // needs a (cheap, now-resident) pinned read of the staged page.
-    PageGuard g(bp_, pid);
-    if (!g.status().ok()) break;
-    SlottedPage page(g.data());
-    if (!page.initialized()) break;
-    ++staged;
-    pid = page.next_page();
-  }
-  return pid;
-}
-
 Status HeapFile::ForEach(
     const std::function<Status(RecordId, std::string_view)>& fn) const {
-  const size_t window = bp_->readahead_window();
-  PageId frontier = head_;  // first chain page not yet staged
   PageId pid = head_;
   while (pid != kInvalidPageId) {
-    if (pid == frontier) frontier = StageChain(frontier, window);
     PageGuard g(bp_, pid);
     KIMDB_RETURN_IF_ERROR(g.status());
     SlottedPage page(g.data());
     if (!page.initialized()) break;  // crash-zeroed page: chain ends here
+    // The chain pointer lives in the page itself, so the walk can only
+    // ever see one page ahead. Hand the successor to the pool's prefetch
+    // worker now: its disk read overlaps the record callbacks below
+    // instead of blocking the scan thread at the next pin.
+    PageId next = page.next_page();
+    if (next != kInvalidPageId) {
+      PageId ahead[1] = {next};
+      bp_->ReadAhead(std::span<const PageId>(ahead, 1));
+    }
     for (uint16_t s = 0; s < page.num_slots(); ++s) {
       Result<std::string_view> raw = page.Get(s);
       if (!raw.ok()) continue;  // deleted slot
@@ -200,7 +188,7 @@ Status HeapFile::ForEach(
         KIMDB_RETURN_IF_ERROR(fn(RecordId{pid, s}, full));
       }
     }
-    pid = page.next_page();
+    pid = next;
   }
   return Status::OK();
 }

@@ -87,11 +87,6 @@ class HeapFile {
   /// Inserts pre-encoded record bytes (tag already applied).
   Result<RecordId> InsertRaw(std::string_view raw, PageId hint);
 
-  /// Stages up to `n` chain pages starting at `from` into the buffer pool
-  /// (unpinned) so the subsequent demand fetches of a sequential scan hit.
-  /// Returns the first page id NOT staged (the new readahead frontier).
-  PageId StageChain(PageId from, size_t n) const;
-
   BufferPool* bp_;
   PageId head_;
   // Last page an untargeted insert landed on; new pages are linked after it.

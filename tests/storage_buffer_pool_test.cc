@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -296,6 +299,141 @@ TEST_F(BufferPoolTest, FailedWriteBackKeepsVictimCachedAndDirty) {
   bp.Unpin(ref, false);
 }
 
+// DiskManager decorator that blocks the write of one chosen page until
+// released, simulating a slow checkpoint write so tests can hold a flush
+// mid-flight deterministically.
+class GateDiskManager final : public DiskManager {
+ public:
+  explicit GateDiskManager(DiskManager* inner) : inner_(inner) {}
+
+  Status ReadPage(PageId pid, char* buf) override {
+    return inner_->ReadPage(pid, buf);
+  }
+  Status WritePage(PageId pid, const char* buf) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (gated_ && pid == gate_pid_) {
+        entered_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return !gated_; });
+      }
+    }
+    return inner_->WritePage(pid, buf);
+  }
+  Result<PageId> AllocatePage() override { return inner_->AllocatePage(); }
+  Status Sync() override { return inner_->Sync(); }
+  uint32_t num_pages() const override { return inner_->num_pages(); }
+
+  void Gate(PageId pid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gated_ = true;
+    gate_pid_ = pid;
+    entered_ = false;
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entered_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    gated_ = false;
+    cv_.notify_all();
+  }
+
+ private:
+  DiskManager* inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool gated_ = false;
+  bool entered_ = false;
+  PageId gate_pid_ = kInvalidPageId;
+};
+
+// While a FlushPage write is in flight off the shard lock, the flushed
+// frame must not be evictable: eviction would drop the (now clean) frame
+// and a re-fetch would read the pre-flush image from disk, caching stale
+// data that a later write-back could make permanent.
+TEST_F(BufferPoolTest, FlushInFlightBlocksEvictionOfFlushedFrame) {
+  GateDiskManager gated(disk_.get());
+  BufferPool bp(&gated, 1);  // one frame: fetching anything else evicts
+  PageId a;
+  FrameRef ref;
+  auto d = bp.NewPage(&a, &ref);
+  ASSERT_TRUE(d.ok());
+  (*d)[0] = 1;
+  bp.Unpin(ref, /*dirty=*/true);
+  ASSERT_TRUE(bp.FlushPage(a).ok());  // disk now holds version 1
+
+  d = bp.FetchPage(a, &ref);
+  ASSERT_TRUE(d.ok());
+  (*d)[0] = 2;
+  bp.Unpin(ref, /*dirty=*/true);
+
+  // Allocate b behind the pool's back so fetching it needs a's frame.
+  auto pb = disk_->AllocatePage();
+  ASSERT_TRUE(pb.ok());
+
+  gated.Gate(a);
+  std::thread flusher([&] { EXPECT_TRUE(bp.FlushPage(a).ok()); });
+  gated.AwaitEntered();  // the flush write of version 2 is now mid-flight
+
+  char seen = 0;
+  std::thread fetcher([&] {
+    FrameRef r2;
+    auto db = bp.FetchPage(*pb, &r2);  // must evict a's frame
+    EXPECT_TRUE(db.ok());
+    if (db.ok()) bp.Unpin(r2, false);
+    auto da = bp.FetchPage(a, &r2);  // re-reads a from disk
+    EXPECT_TRUE(da.ok());
+    if (da.ok()) {
+      seen = (*da)[0];
+      bp.Unpin(r2, false);
+    }
+  });
+  // Give the fetcher time to reach the eviction path, then let the flush
+  // land. If eviction did not wait out the in-flight flush, the fetcher
+  // re-read a's pre-flush image (version 1) from disk.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gated.Release();
+  flusher.join();
+  fetcher.join();
+  EXPECT_EQ(seen, 2);
+
+  char raw[kPageSize];
+  ASSERT_TRUE(disk_->ReadPage(a, raw).ok());
+  EXPECT_EQ(raw[0], 2);
+}
+
+// A failed checkpoint write must restore the dirty bit on every page of
+// the batch that has not reached disk yet — not just the failing one —
+// or the remaining updates are silently lost to later clean evictions.
+TEST_F(BufferPoolTest, FlushAllFailureKeepsUnwrittenPagesDirty) {
+  FaultInjector fi;
+  FaultInjectingDiskManager faulty(disk_.get(), &fi);
+  BufferPool bp(&faulty, 8, 1);  // one shard: one collect-then-write batch
+  std::vector<PageId> pids;
+  for (int i = 0; i < 4; ++i) {
+    PageId pid;
+    FrameRef ref;
+    auto d = bp.NewPage(&pid, &ref);
+    ASSERT_TRUE(d.ok());
+    (*d)[0] = static_cast<char>(10 + i);
+    bp.Unpin(ref, /*dirty=*/true);
+    pids.push_back(pid);
+  }
+  fi.Arm(FaultOp::kPageWrite, FaultMode::kFail, 1);  // first write fails
+  ASSERT_FALSE(bp.FlushAll().ok());
+  fi.Disarm();
+  // The retry must write all four pages: every dirty bit survived the
+  // aborted checkpoint, including on pages whose writes never started.
+  ASSERT_TRUE(bp.FlushAll().ok());
+  for (int i = 0; i < 4; ++i) {
+    char raw[kPageSize];
+    ASSERT_TRUE(disk_->ReadPage(pids[i], raw).ok());
+    EXPECT_EQ(raw[0], 10 + i);
+  }
+}
+
 TEST_F(BufferPoolTest, StressManyPagesSmallPool) {
   BufferPool bp(disk_.get(), 8);
   constexpr int kPages = 200;
@@ -370,16 +508,19 @@ TEST_F(BufferPoolTest, ReadAheadStagesPagesWithoutCountingMisses) {
     ASSERT_TRUE(writer.FlushAll().ok());
   }
   BufferPool bp(disk_.get(), 32);
-  size_t staged = bp.ReadAhead(pids);
-  EXPECT_EQ(staged, pids.size());
+  size_t accepted = bp.ReadAhead(pids);
+  EXPECT_EQ(accepted, pids.size());
+  bp.DrainReadAhead();  // staging is asynchronous; settle it for counters
   BufferPoolStats s = bp.stats();
   EXPECT_EQ(s.readahead_issued, pids.size());
   EXPECT_EQ(s.disk_reads, pids.size());
   EXPECT_EQ(s.misses, 0u);  // staging is not a demand miss
   EXPECT_EQ(s.readahead_hits, 0u);
 
-  // Staging an already-staged batch is a no-op.
+  // Staging an already-staged batch is a no-op (resident pages are
+  // skipped before they ever reach the worker).
   EXPECT_EQ(bp.ReadAhead(pids), 0u);
+  bp.DrainReadAhead();
   EXPECT_EQ(bp.stats().readahead_issued, pids.size());
 
   // Every demand fetch is now a hit served from a prefetched frame.
