@@ -39,8 +39,9 @@ struct E4Fixture {
   std::vector<Oid> oids;
   Oo1Rel rel;
 
-  explicit E4Fixture(size_t n) {
-    env = Env::Create(32768);
+  explicit E4Fixture(size_t n,
+                     size_t cache_bytes = ObjectStore::kDefaultCacheBytes) {
+    env = Env::Create(32768, cache_bytes);
     schema = CreateOo1Schema(env->catalog.get());
     graph = Oo1Graph::Generate(n, 2024);
     BENCH_ASSIGN(loaded, LoadOo1(env->store.get(), schema, graph));
@@ -146,6 +147,129 @@ void BM_Traversal_OidLookup(benchmark::State& state) {
   }
   state.counters["visits_per_iter"] =
       static_cast<double>(visits) / static_cast<double>(state.iterations());
+  const ObjectCacheStats cs = f.env->store->object_cache().stats();
+  uint64_t lookups = cs.hits + cs.misses;
+  state.counters["oc_hit_rate"] =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cs.hits) / static_cast<double>(lookups);
+}
+
+// Same traversal with the object cache disabled: every hop pays directory
+// hash + page fetch + decode + materialize. The gap against
+// BM_Traversal_OidLookup is what the resident-object table buys the
+// un-swizzled path.
+void BM_Traversal_OidLookup_Uncached(benchmark::State& state) {
+  E4Fixture f(static_cast<size_t>(state.range(0)), /*cache_bytes=*/0);
+  Random rng(5);
+  size_t visits = 0;
+  for (auto _ : state) {
+    Oid root = f.oids[rng.Uniform(f.oids.size())];
+    visits += TraverseOidLookup(*f.env->store, f.schema, root, kDepth);
+  }
+  state.counters["visits_per_iter"] =
+      static_cast<double>(visits) / static_cast<double>(state.iterations());
+}
+
+// ---------------------------------------------------------------------------
+// Point gets: warm object-cache hit vs decode-per-read (cache disabled).
+// The cache is sized to hold the whole working set, so after one warmup
+// pass every BM_PointGet_Cached read is a hit; BM_PointGet_Uncached pays
+// the full heap + decode path each time. Buffer pool is warm in both, so
+// the delta isolates the deserialization + directory cost.
+
+void PointGetLoop(benchmark::State& state, size_t cache_bytes) {
+  E4Fixture f(static_cast<size_t>(state.range(0)), cache_bytes);
+  // Warm both the buffer pool and (when enabled) the object cache.
+  for (Oid oid : f.oids) BENCH_OK(f.env->store->GetShared(oid).status());
+  Random rng(7);
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    Oid oid = f.oids[rng.Uniform(f.oids.size())];
+    Result<std::shared_ptr<const Object>> obj = f.env->store->GetShared(oid);
+    if (!obj.ok()) {
+      state.SkipWithError(obj.status().ToString().c_str());
+      break;
+    }
+    checksum += static_cast<uint64_t>((*obj)->oid().raw());
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations());
+  const ObjectCacheStats cs = f.env->store->object_cache().stats();
+  uint64_t lookups = cs.hits + cs.misses;
+  state.counters["oc_hit_rate"] =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cs.hits) / static_cast<double>(lookups);
+}
+
+void BM_PointGet_Cached(benchmark::State& state) {
+  PointGetLoop(state, /*cache_bytes=*/64u << 20);
+}
+void BM_PointGet_Uncached(benchmark::State& state) {
+  PointGetLoop(state, /*cache_bytes=*/0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent point gets: N threads hammer Get over a shared store. With
+// the reader/writer store lock the read path takes only a shared lock
+// (and on a cache hit, no store lock at all), so throughput should hold
+// or scale with threads instead of serializing behind the old global
+// recursive mutex. Shared fixture across threads, bench_buffer_pool
+// pattern: thread 0 builds before the start barrier and tears down after
+// the stop barrier.
+
+struct E4ConcurrentFixture {
+  std::unique_ptr<E4Fixture> fix;
+
+  void Build(size_t n, size_t cache_bytes) {
+    fix = std::make_unique<E4Fixture>(n, cache_bytes);
+    // Warm the buffer pool (and object cache when enabled).
+    for (Oid oid : fix->oids) {
+      BENCH_OK(fix->env->store->GetShared(oid).status());
+    }
+  }
+  void Teardown() { fix.reset(); }
+};
+E4ConcurrentFixture g_e4;
+
+void ConcurrentGetLoop(benchmark::State& state, size_t cache_bytes) {
+  constexpr size_t kParts = 4000;
+  if (state.thread_index() == 0) {
+    g_e4.Build(kParts, cache_bytes);
+  }
+  // Thread-specific co-prime stride so threads collide on objects (cache
+  // shard and store lock contention) without marching in lockstep.
+  const size_t stride = 2 * static_cast<size_t>(state.thread_index()) + 3;
+  size_t pos = static_cast<size_t>(state.thread_index()) * 17;
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    Oid oid = g_e4.fix->oids[pos % g_e4.fix->oids.size()];
+    pos += stride;
+    Result<std::shared_ptr<const Object>> obj =
+        g_e4.fix->env->store->GetShared(oid);
+    if (!obj.ok()) {
+      state.SkipWithError(obj.status().ToString().c_str());
+      break;
+    }
+    checksum += static_cast<uint64_t>((*obj)->oid().raw());
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const ObjectCacheStats cs = g_e4.fix->env->store->object_cache().stats();
+    uint64_t lookups = cs.hits + cs.misses;
+    state.counters["oc_hit_rate"] =
+        lookups == 0
+            ? 0.0
+            : static_cast<double>(cs.hits) / static_cast<double>(lookups);
+    g_e4.Teardown();
+  }
+}
+
+void BM_ConcurrentGet_Cached(benchmark::State& state) {
+  ConcurrentGetLoop(state, /*cache_bytes=*/64u << 20);
+}
+void BM_ConcurrentGet_Uncached(benchmark::State& state) {
+  ConcurrentGetLoop(state, /*cache_bytes=*/0);
 }
 
 void BM_Traversal_RelationalJoin(benchmark::State& state) {
@@ -166,6 +290,16 @@ BENCHMARK(BM_Traversal_SwizzledWarm)->Arg(1000)->Arg(20000)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Traversal_OidLookup)->Arg(1000)->Arg(20000)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Traversal_OidLookup_Uncached)->Arg(1000)->Arg(20000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PointGet_Cached)->Arg(1000)->Arg(20000);
+BENCHMARK(BM_PointGet_Uncached)->Arg(1000)->Arg(20000);
+BENCHMARK(BM_ConcurrentGet_Cached)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_ConcurrentGet_Uncached)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
 BENCHMARK(BM_Traversal_RelationalJoin)->Arg(1000)->Arg(20000)
     ->Unit(benchmark::kMicrosecond);
 

@@ -21,13 +21,17 @@ struct Env {
   std::unique_ptr<Catalog> catalog;
   std::unique_ptr<ObjectStore> store;
 
-  static std::unique_ptr<Env> Create(size_t pool_pages = 8192) {
+  static std::unique_ptr<Env> Create(
+      size_t pool_pages = 8192,
+      size_t object_cache_bytes = ObjectStore::kDefaultCacheBytes) {
     auto env = std::make_unique<Env>();
     env->disk = DiskManager::OpenInMemory();
     env->bp = std::make_unique<BufferPool>(env->disk.get(), pool_pages);
     env->catalog = std::make_unique<Catalog>();
     auto store = ObjectStore::Open(env->bp.get(), env->catalog.get(),
-                                   /*wal=*/nullptr);
+                                   /*wal=*/nullptr,
+                                   /*attach_to_catalog=*/true,
+                                   object_cache_bytes);
     if (!store.ok()) {
       std::fprintf(stderr, "Env::Create failed: %s\n",
                    store.status().ToString().c_str());

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: runs the key benchmarks with JSON output and
+# consolidates them into one machine-readable file at the repo root
+# (BENCH_pr5.json) so future PRs can diff against a recorded baseline
+# instead of prose numbers in commit messages.
+#
+# Covered surfaces: E1 extent scan (query model), E4 traversal / cached
+# point gets (object cache A/B), E5 durable commit throughput, and the
+# buffer-pool hit/miss/readahead sweep.
+#
+# Usage: scripts/bench_trajectory.sh [build-dir] [out-file]
+#   build-dir defaults to build; out-file to BENCH_pr5.json.
+# Benchmarks not built in the tree are skipped with a warning, and the
+# consolidated file records which ran. Filters keep the wall time sane;
+# pass KIMDB_BENCH_FILTER_<NAME>= to override one benchmark's filter.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_pr5.json}"
+
+TMPDIR_BENCH="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_BENCH"' EXIT
+
+run_bench() {
+  local name="$1" filter="$2"
+  local bin="$BUILD_DIR/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "WARN: $bin not built; skipping" >&2
+    return 0
+  fi
+  echo "== $name (filter: ${filter:-all})" >&2
+  local args=(--benchmark_format=json)
+  [[ -n "$filter" ]] && args+=("--benchmark_filter=$filter")
+  if ! "$bin" "${args[@]}" > "$TMPDIR_BENCH/$name.json" 2> "$TMPDIR_BENCH/$name.err"; then
+    echo "WARN: $name failed:" >&2
+    cat "$TMPDIR_BENCH/$name.err" >&2
+    rm -f "$TMPDIR_BENCH/$name.json"
+  fi
+}
+
+run_bench bench_e1_query_model    "${KIMDB_BENCH_FILTER_E1:-(BM_SingleClassScope_Simple|BM_ParallelScan_PaperQuery)}"
+run_bench bench_e4_swizzling      "${KIMDB_BENCH_FILTER_E4:-(BM_PointGet|BM_Traversal_OidLookup|BM_ConcurrentGet)}"
+run_bench bench_e5_oo1            "${KIMDB_BENCH_FILTER_E5:-BM_Oo1DurableCommit}"
+run_bench bench_buffer_pool       "${KIMDB_BENCH_FILTER_BP:-(BM_Fetch_HitHeavy|BM_SequentialSweep)}"
+
+python3 - "$OUT" "$TMPDIR_BENCH" <<'EOF'
+import json
+import os
+import sys
+
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+consolidated = {"schema": "kimdb-bench-trajectory-v1", "suites": {}}
+for fname in sorted(os.listdir(tmpdir)):
+    if not fname.endswith(".json"):
+        continue
+    suite = fname[: -len(".json")]
+    with open(os.path.join(tmpdir, fname)) as f:
+        data = json.load(f)
+    consolidated["suites"][suite] = {
+        "context": data.get("context", {}),
+        "benchmarks": data.get("benchmarks", []),
+    }
+if not consolidated["suites"]:
+    print("ERROR: no benchmark produced output", file=sys.stderr)
+    sys.exit(1)
+with open(out_path, "w") as f:
+    json.dump(consolidated, f, indent=1, sort_keys=True)
+    f.write("\n")
+n = sum(len(s["benchmarks"]) for s in consolidated["suites"].values())
+print(f"bench_trajectory OK: {len(consolidated['suites'])} suite(s), "
+      f"{n} benchmark(s) -> {out_path}")
+EOF

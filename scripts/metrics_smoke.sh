@@ -37,6 +37,9 @@ required = [
     "txn.begun", "txn.committed", "txn.aborted",
     "txn.commit_ns", "txn.abort_ns",
     "index.maintenance_ops", "index.key_recomputations",
+    "objectstore.cache_hits", "objectstore.cache_misses",
+    "objectstore.cache_evictions", "objectstore.cache_invalidations",
+    "objectstore.get_ns",
     "query.executed", "query.objects_scanned", "query.index_probes",
     "query.predicates_evaluated", "query.pages_hit", "query.trace_dropped",
     "query.exec_ns",
@@ -47,9 +50,11 @@ for name in required:
     assert name in m2, f"metric {name} missing from METRICS2"
 
 # Counters (and histogram counts) are monotonic between the snapshots;
-# recovery.* are gauges of the last recovery run and exempt.
+# recovery.* are gauges of the last recovery run, and the object-cache
+# resident_* collectors are occupancy levels (evictions shrink them) --
+# both exempt.
 for name, v1 in m1.items():
-    if name.startswith("recovery."):
+    if name.startswith("recovery.") or ".cache_resident_" in name:
         continue
     v2 = m2[name]
     if isinstance(v1, dict):

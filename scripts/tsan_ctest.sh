@@ -3,9 +3,11 @@
 # KIMDB_SANITIZE=thread) and runs the multi-threaded tests -- the lock
 # manager / transaction suite, the parallel extent-scan operator tests,
 # the sharded buffer-pool stress/miss-storm tests (off-lock I/O and the
-# per-shard condvar choreography), and the crash-recovery harness (whose
-# group-commit Sync path is the most contended lock choreography in the
-# engine) -- so the concurrent paths are race-checked on every build.
+# per-shard condvar choreography), the ObjectStore reader/writer +
+# object-cache stress (shared/exclusive store lock, cache invalidation),
+# and the crash-recovery harness (whose group-commit Sync path is the most
+# contended lock choreography in the engine) -- so the concurrent paths
+# are race-checked on every build.
 #
 # Usage: scripts/tsan_ctest.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -13,9 +15,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DKIMDB_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target concurrency_test exec_operator_test crash_recovery_test obs_metrics_test storage_buffer_pool_test edge_cases_test
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target concurrency_test exec_operator_test crash_recovery_test obs_metrics_test storage_buffer_pool_test edge_cases_test object_store_test
 # TSan slows the exhaustive matrix ~10-20x; thin it to every 7th crash
 # point (coverage still spans the whole workload, offset varies by run
 # count in plain CI which stays exhaustive).
 (cd "$BUILD_DIR" && KIMDB_CRASH_MATRIX_STRIDE=7 \
-  ctest --output-on-failure -R 'ConcurrencyTest|ExecOperatorTest|CrashRecoveryTest|ObsMetrics|BufferPool')
+  ctest --output-on-failure -R 'ConcurrencyTest|ObjectCacheStress|ObjectStoreTest|ExecOperatorTest|CrashRecoveryTest|ObsMetrics|BufferPool')

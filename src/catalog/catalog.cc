@@ -13,6 +13,21 @@ Catalog::Catalog() {
   by_name_["Object"] = kRootClassId;
 }
 
+Catalog::Catalog(Catalog&& other) noexcept { *this = std::move(other); }
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  classes_ = std::move(other.classes_);
+  by_name_ = std::move(other.by_name_);
+  next_class_id_ = other.next_class_id_;
+  next_attr_id_ = other.next_attr_id_;
+  schema_version_.store(other.schema_version_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  // Drop (rather than move) the resolved views; they are rebuilt lazily.
+  resolved_cache_.clear();
+  other.resolved_cache_.clear();
+  return *this;
+}
+
 Result<ClassId> Catalog::CreateClass(
     std::string_view name, const std::vector<ClassId>& supers,
     const std::vector<AttributeSpec>& attrs,
@@ -184,6 +199,11 @@ std::vector<ClassId> Catalog::Subtree(ClassId cls) const {
 }
 
 const Catalog::Resolved& Catalog::ResolvedFor(ClassId cls) const {
+  // Concurrent readers (parallel scan workers, shared-lock point reads)
+  // race to fill the view; the leaf mutex makes the find-or-build atomic.
+  // Map references are node-stable, so the returned reference outlives the
+  // lock (entries die only on schema mutation, which requires quiescence).
+  std::lock_guard<std::mutex> lock(resolved_mu_);
   auto it = resolved_cache_.find(cls);
   if (it != resolved_cache_.end()) return it->second;
 
@@ -212,8 +232,13 @@ const Catalog::Resolved& Catalog::ResolvedFor(ClassId cls) const {
     auto cit = classes_.find(c);
     if (cit == classes_.end()) continue;
     for (const auto& a : cit->second.own_attrs) {
-      if (names.insert(a.name).second) r.attrs.push_back(&a);
+      if (names.insert(a.name).second) r.schema.attrs.push_back(&a);
     }
+  }
+  r.schema.by_id.reserve(r.schema.attrs.size());
+  for (const AttributeDef* a : r.schema.attrs) {
+    r.schema.by_id.emplace(a->id, a);
+    if (!a->default_value.is_null()) r.schema.defaulted.push_back(a);
   }
   return resolved_cache_.emplace(cls, std::move(r)).first->second;
 }
@@ -225,13 +250,19 @@ std::vector<ClassId> Catalog::Linearize(ClassId cls) const {
 Result<std::vector<const AttributeDef*>> Catalog::EffectiveAttrs(
     ClassId cls) const {
   if (!classes_.count(cls)) return Status::NotFound("no such class");
-  return ResolvedFor(cls).attrs;
+  return ResolvedFor(cls).schema.attrs;
+}
+
+Result<const Catalog::EffectiveSchema*> Catalog::EffectiveSchemaFor(
+    ClassId cls) const {
+  if (!classes_.count(cls)) return Status::NotFound("no such class");
+  return &ResolvedFor(cls).schema;
 }
 
 Result<const AttributeDef*> Catalog::ResolveAttr(
     ClassId cls, std::string_view name) const {
   if (!classes_.count(cls)) return Status::NotFound("no such class");
-  for (const AttributeDef* a : ResolvedFor(cls).attrs) {
+  for (const AttributeDef* a : ResolvedFor(cls).schema.attrs) {
     if (a->name == name) return a;
   }
   return Status::NotFound("attribute '" + std::string(name) +

@@ -1,7 +1,9 @@
 #ifndef KIMDB_CATALOG_CATALOG_H_
 #define KIMDB_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -51,8 +53,10 @@ class Catalog {
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
-  Catalog(Catalog&&) = default;
-  Catalog& operator=(Catalog&&) = default;
+  // Moves are setup-time only (Database::Open, Decode); they are not
+  // thread-safe against concurrent readers of either catalog.
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
 
   // --- class definition ----------------------------------------------------
 
@@ -88,8 +92,23 @@ class Catalog {
 
   // --- resolved (inherited) schema ----------------------------------------
 
+  /// Precomputed per-class view of the effective schema, cached until the
+  /// next schema mutation. `by_id` makes membership tests O(1) (the read
+  /// path's default-fill and dropped-attr elision used to be O(A²) per
+  /// object); `defaulted` lists just the attributes with non-null defaults
+  /// so materialization skips the rest.
+  struct EffectiveSchema {
+    std::vector<const AttributeDef*> attrs;  // precedence order
+    std::unordered_map<AttrId, const AttributeDef*> by_id;
+    std::vector<const AttributeDef*> defaulted;
+  };
+
   /// All attributes visible on `cls` (own + inherited, conflicts resolved).
   Result<std::vector<const AttributeDef*>> EffectiveAttrs(ClassId cls) const;
+  /// The cached effective-schema view. The pointer stays valid until the
+  /// next schema mutation (same lifetime as the AttributeDef pointers all
+  /// resolution APIs hand out).
+  Result<const EffectiveSchema*> EffectiveSchemaFor(ClassId cls) const;
   /// Resolves an attribute by name with inheritance.
   Result<const AttributeDef*> ResolveAttr(ClassId cls,
                                           std::string_view name) const;
@@ -121,7 +140,9 @@ class Catalog {
   /// becomes the superclass (the DAG stays rooted).
   Status RemoveSuperclass(ClassId cls, ClassId super);
 
-  uint64_t schema_version() const { return schema_version_; }
+  uint64_t schema_version() const {
+    return schema_version_.load(std::memory_order_relaxed);
+  }
 
   // --- persistence ----------------------------------------------------------
 
@@ -131,13 +152,14 @@ class Catalog {
  private:
   Status CheckAcyclic(ClassId cls, ClassId new_super) const;
   void Bump() {
-    ++schema_version_;
+    schema_version_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(resolved_mu_);
     resolved_cache_.clear();
   }
 
   struct Resolved {
     std::vector<ClassId> linearization;
-    std::vector<const AttributeDef*> attrs;
+    EffectiveSchema schema;
   };
   const Resolved& ResolvedFor(ClassId cls) const;
 
@@ -145,7 +167,13 @@ class Catalog {
   std::unordered_map<std::string, ClassId> by_name_;
   ClassId next_class_id_ = 1;  // 0 is the root
   AttrId next_attr_id_ = 1;
-  uint64_t schema_version_ = 0;
+  std::atomic<uint64_t> schema_version_{0};
+  /// Leaf lock for the lazily-built resolved views: concurrent readers
+  /// (parallel scan workers, shared-lock Gets) race to fill
+  /// resolved_cache_. Schema *mutation* concurrent with readers is not
+  /// supported (pointer-stability contract above), only reads racing
+  /// reads.
+  mutable std::mutex resolved_mu_;
   mutable std::unordered_map<ClassId, Resolved> resolved_cache_;
 };
 

@@ -112,7 +112,9 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
 
   KIMDB_ASSIGN_OR_RETURN(
       db->store_,
-      ObjectStore::Open(db->bp_.get(), db->catalog_.get(), db->wal_.get()));
+      ObjectStore::Open(db->bp_.get(), db->catalog_.get(), db->wal_.get(),
+                        /*attach_to_catalog=*/true,
+                        opts.object_cache_bytes));
   if (db->wal_ != nullptr) {
     KIMDB_ASSIGN_OR_RETURN(db->recovery_stats_,
                            RecoveryManager::Recover(db->store_.get(),
@@ -175,6 +177,27 @@ void Database::WireMetrics() {
                       [bp] { return bp->stats().shard_lock_waits; });
   bp->AttachMetrics(m.GetHistogram("bufferpool.shard_wait_ns"));
 
+  ObjectStore* store = store_.get();
+  m.RegisterCollector("objectstore.cache_hits", [store] {
+    return store->object_cache().stats().hits;
+  });
+  m.RegisterCollector("objectstore.cache_misses", [store] {
+    return store->object_cache().stats().misses;
+  });
+  m.RegisterCollector("objectstore.cache_evictions", [store] {
+    return store->object_cache().stats().evictions;
+  });
+  m.RegisterCollector("objectstore.cache_invalidations", [store] {
+    return store->object_cache().stats().invalidations;
+  });
+  m.RegisterCollector("objectstore.cache_resident_objects", [store] {
+    return store->object_cache().stats().resident_objects;
+  });
+  m.RegisterCollector("objectstore.cache_resident_bytes", [store] {
+    return store->object_cache().stats().resident_bytes;
+  });
+  store->AttachMetrics(m.GetHistogram("objectstore.get_ns"));
+
   if (wal_ != nullptr) {
     Wal* wal = wal_.get();
     m.RegisterCollector("wal.appends",
@@ -236,6 +259,8 @@ void Database::WireMetrics() {
   m.GetCounter("query.index_candidates");
   m.GetCounter("query.predicates_evaluated");
   m.GetCounter("query.ref_fetches");
+  m.GetCounter("query.obj_cache_hits");
+  m.GetCounter("query.obj_cache_misses");
   m.GetCounter("query.pages_hit");
   m.GetCounter("query.pages_missed");
   m.GetCounter("query.trace_dropped");
@@ -255,6 +280,10 @@ void Database::FlushQueryMetrics(const exec::ExecContext& ctx) {
   m.GetCounter("query.predicates_evaluated")
       ->Inc(ctx.predicates_evaluated.load(kRelaxed));
   m.GetCounter("query.ref_fetches")->Inc(ctx.ref_fetches.load(kRelaxed));
+  m.GetCounter("query.obj_cache_hits")
+      ->Inc(ctx.obj_cache_hits.load(kRelaxed));
+  m.GetCounter("query.obj_cache_misses")
+      ->Inc(ctx.obj_cache_misses.load(kRelaxed));
   m.GetCounter("query.pages_hit")->Inc(ctx.pages_hit());
   m.GetCounter("query.pages_missed")->Inc(ctx.pages_missed());
   m.GetCounter("query.trace_dropped")->Inc(ctx.trace_dropped());

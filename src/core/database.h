@@ -32,6 +32,9 @@ struct DatabaseOptions {
   std::string path;
   bool in_memory = false;
   size_t buffer_pool_pages = 1024;
+  /// Byte budget of the deserialized-object cache (DESIGN.md §12);
+  /// 0 disables it (every Get decodes from the heap).
+  size_t object_cache_bytes = ObjectStore::kDefaultCacheBytes;
 };
 
 /// The KIMDB public facade: one object binds the whole system the paper

@@ -46,6 +46,8 @@ class ExecContext {
   std::atomic<uint64_t> predicates_evaluated{0}; // top-level Matches calls
   std::atomic<uint64_t> ref_fetches{0};          // path-expression derefs
   std::atomic<uint64_t> tuples_scanned{0};       // relational rows read
+  std::atomic<uint64_t> obj_cache_hits{0};       // Gets served by the cache
+  std::atomic<uint64_t> obj_cache_misses{0};     // Gets that hit the heap
   std::atomic<bool> used_index{false};
 
   /// Adds this context's logical counters into `dst`. Parallel workers
@@ -63,6 +65,8 @@ class ExecContext {
                                         kRelaxed);
     dst->ref_fetches.fetch_add(ref_fetches.load(kRelaxed), kRelaxed);
     dst->tuples_scanned.fetch_add(tuples_scanned.load(kRelaxed), kRelaxed);
+    dst->obj_cache_hits.fetch_add(obj_cache_hits.load(kRelaxed), kRelaxed);
+    dst->obj_cache_misses.fetch_add(obj_cache_misses.load(kRelaxed), kRelaxed);
     if (used_index.load(kRelaxed)) dst->used_index.store(true, kRelaxed);
   }
 

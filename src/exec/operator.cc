@@ -14,22 +14,26 @@ void RenderTree(const Operator& op, size_t depth, bool analyze,
   out->append(op.Describe());
   if (analyze) {
     const OpStats& s = op.stats();
-    char buf[160];
-    if (s.pages_readahead > 0) {
-      std::snprintf(buf, sizeof(buf),
-                    " (rows=%" PRIu64 " loops=%" PRIu64
-                    " time=%.2fms pages=%" PRIu64 "+%" PRIu64 " ra=%" PRIu64
-                    ")",
-                    s.rows, s.loops,
-                    static_cast<double>(s.time_ns) / 1e6, s.pages_hit,
-                    s.pages_missed, s.pages_readahead);
-    } else {
-      std::snprintf(buf, sizeof(buf),
-                    " (rows=%" PRIu64 " loops=%" PRIu64
-                    " time=%.2fms pages=%" PRIu64 "+%" PRIu64 ")",
-                    s.rows, s.loops,
-                    static_cast<double>(s.time_ns) / 1e6, s.pages_hit,
-                    s.pages_missed);
+    char buf[224];
+    int n = std::snprintf(buf, sizeof(buf),
+                          " (rows=%" PRIu64 " loops=%" PRIu64
+                          " time=%.2fms pages=%" PRIu64 "+%" PRIu64,
+                          s.rows, s.loops,
+                          static_cast<double>(s.time_ns) / 1e6, s.pages_hit,
+                          s.pages_missed);
+    if (s.pages_readahead > 0 && n > 0 &&
+        static_cast<size_t>(n) < sizeof(buf)) {
+      n += std::snprintf(buf + n, sizeof(buf) - n, " ra=%" PRIu64,
+                         s.pages_readahead);
+    }
+    // Object-cache accounting, shown only where an operator point-fetched.
+    if (s.obj_cache_hits + s.obj_cache_misses > 0 && n > 0 &&
+        static_cast<size_t>(n) < sizeof(buf)) {
+      n += std::snprintf(buf + n, sizeof(buf) - n, " oc=%" PRIu64 "+%" PRIu64,
+                         s.obj_cache_hits, s.obj_cache_misses);
+    }
+    if (n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
+      std::snprintf(buf + n, sizeof(buf) - n, ")");
     }
     out->append(buf);
   }

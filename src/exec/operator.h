@@ -41,6 +41,8 @@ struct OpStats {
   uint64_t pages_hit = 0;    // buffer-pool hits during those calls
   uint64_t pages_missed = 0; // buffer-pool misses during those calls
   uint64_t pages_readahead = 0;  // hits served from a prefetched frame
+  uint64_t obj_cache_hits = 0;   // Gets served by the object cache
+  uint64_t obj_cache_misses = 0; // Gets that decoded from the heap
 };
 
 /// Pull-based (Volcano) operator: Open prepares state, Next produces rows
@@ -107,6 +109,8 @@ class Operator {
         : op_(op),
           ctx_(ctx),
           pages_(ctx->PageCountsNow()),
+          oc_hits_(ctx->obj_cache_hits.load(std::memory_order_relaxed)),
+          oc_misses_(ctx->obj_cache_misses.load(std::memory_order_relaxed)),
           start_(std::chrono::steady_clock::now()) {}
     ~Span() {
       auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -117,12 +121,18 @@ class Operator {
       op_->stats_.pages_hit += now.hits - pages_.hits;
       op_->stats_.pages_missed += now.misses - pages_.misses;
       op_->stats_.pages_readahead += now.readahead_hits - pages_.readahead_hits;
+      op_->stats_.obj_cache_hits +=
+          ctx_->obj_cache_hits.load(std::memory_order_relaxed) - oc_hits_;
+      op_->stats_.obj_cache_misses +=
+          ctx_->obj_cache_misses.load(std::memory_order_relaxed) - oc_misses_;
     }
 
    private:
     Operator* op_;
     ExecContext* ctx_;
     ExecContext::PageCounts pages_;
+    uint64_t oc_hits_;
+    uint64_t oc_misses_;
     std::chrono::steady_clock::time_point start_;
   };
 

@@ -156,8 +156,17 @@ Result<bool> Filter::NextImpl(ExecContext* ctx, Row* row) {
     if (!more) return false;
     if (!row->obj.has_value()) {
       ctx->objects_fetched.fetch_add(1, std::memory_order_relaxed);
-      Result<Object> obj = store_->Get(row->oid);
-      if (!obj.ok()) continue;  // vanished candidate: skip
+      bool cache_hit = false;
+      Result<Object> obj = store_->Get(row->oid, &cache_hit);
+      (cache_hit ? ctx->obj_cache_hits : ctx->obj_cache_misses)
+          .fetch_add(1, std::memory_order_relaxed);
+      if (!obj.ok()) {
+        // An index candidate deleted since the probe is expected churn;
+        // anything else (I/O failure, corruption) must surface, not
+        // silently drop result rows.
+        if (obj.status().IsNotFound()) continue;
+        return obj.status();
+      }
       row->obj = std::move(*obj);
     }
     KIMDB_ASSIGN_OR_RETURN(bool match, pred_(*row->obj, ctx));

@@ -1,0 +1,160 @@
+#include "object/object_cache.h"
+
+#include "model/value.h"
+
+namespace kimdb {
+
+namespace {
+
+size_t ValueBytes(const Value& v) {
+  size_t b = sizeof(Value);
+  switch (v.kind()) {
+    case Value::Kind::kString:
+      b += v.as_string().capacity();
+      break;
+    case Value::Kind::kSet:
+    case Value::Kind::kList:
+      for (const Value& e : v.elements()) b += ValueBytes(e);
+      break;
+    default:
+      break;
+  }
+  return b;
+}
+
+}  // namespace
+
+size_t ObjectCache::ApproxBytes(const Object& obj) {
+  size_t b = sizeof(Object) + sizeof(Entry);
+  for (const auto& [attr, value] : obj.attrs()) {
+    b += sizeof(AttrId) + ValueBytes(value);
+  }
+  return b;
+}
+
+ObjectCache::ObjectCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      shard_capacity_(capacity_bytes / kShards) {}
+
+std::shared_ptr<const Object> ObjectCache::Lookup(Oid oid,
+                                                  uint64_t schema_version) {
+  if (!enabled()) return nullptr;
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  Shard& sh = ShardFor(oid);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.map.find(oid);
+  if (it == sh.map.end()) {
+    misses_.fetch_add(1, kRelaxed);
+    return nullptr;
+  }
+  if (it->second.schema_version != schema_version) {
+    // Materialized against an older schema: self-invalidate.
+    EraseLocked(sh, it);
+    invalidations_.fetch_add(1, kRelaxed);
+    misses_.fetch_add(1, kRelaxed);
+    return nullptr;
+  }
+  it->second.ref = true;
+  hits_.fetch_add(1, kRelaxed);
+  return it->second.obj;
+}
+
+void ObjectCache::Insert(Oid oid, const Object& obj,
+                         uint64_t schema_version) {
+  if (!enabled()) return;
+  Insert(oid, std::make_shared<const Object>(obj), schema_version);
+}
+
+void ObjectCache::Insert(Oid oid, std::shared_ptr<const Object> obj,
+                         uint64_t schema_version) {
+  if (!enabled()) return;
+  size_t bytes = ApproxBytes(*obj);
+  // An entry that would monopolize its shard is not worth the sweep.
+  if (bytes > shard_capacity_ / 2) return;
+  Shard& sh = ShardFor(oid);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.map.find(oid);
+  if (it != sh.map.end()) EraseLocked(sh, it);
+  EvictForLocked(sh, bytes);
+  // New entries go in behind the hand, granting one full sweep of grace.
+  auto ring_it = sh.ring.insert(sh.hand, oid);
+  Entry e;
+  e.obj = std::move(obj);
+  e.schema_version = schema_version;
+  e.bytes = bytes;
+  e.ring_it = ring_it;
+  sh.map.emplace(oid, std::move(e));
+  sh.bytes += bytes;
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  resident_objects_.fetch_add(1, kRelaxed);
+  resident_bytes_.fetch_add(bytes, kRelaxed);
+}
+
+void ObjectCache::Invalidate(Oid oid) {
+  if (!enabled()) return;
+  Shard& sh = ShardFor(oid);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.map.find(oid);
+  if (it == sh.map.end()) return;
+  EraseLocked(sh, it);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ObjectCache::Clear() {
+  if (!enabled()) return;
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    invalidations_.fetch_add(sh.map.size(), kRelaxed);
+    resident_objects_.fetch_sub(sh.map.size(), kRelaxed);
+    resident_bytes_.fetch_sub(sh.bytes, kRelaxed);
+    sh.map.clear();
+    sh.ring.clear();
+    sh.hand = sh.ring.end();
+    sh.bytes = 0;
+  }
+}
+
+void ObjectCache::EraseLocked(Shard& sh,
+                              std::unordered_map<Oid, Entry>::iterator it) {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  if (sh.hand == it->second.ring_it) ++sh.hand;
+  sh.ring.erase(it->second.ring_it);
+  sh.bytes -= it->second.bytes;
+  resident_objects_.fetch_sub(1, kRelaxed);
+  resident_bytes_.fetch_sub(it->second.bytes, kRelaxed);
+  sh.map.erase(it);
+}
+
+void ObjectCache::EvictForLocked(Shard& sh, size_t need) {
+  while (sh.bytes + need > shard_capacity_ && !sh.ring.empty()) {
+    if (sh.hand == sh.ring.end()) sh.hand = sh.ring.begin();
+    auto it = sh.map.find(*sh.hand);
+    if (it == sh.map.end()) {
+      // Should not happen (ring and map are kept in sync); self-heal.
+      sh.hand = sh.ring.erase(sh.hand);
+      continue;
+    }
+    if (it->second.ref) {
+      it->second.ref = false;
+      ++sh.hand;
+      continue;
+    }
+    EraseLocked(sh, it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ObjectCacheStats ObjectCache::stats() const {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  ObjectCacheStats s;
+  s.hits = hits_.load(kRelaxed);
+  s.misses = misses_.load(kRelaxed);
+  s.evictions = evictions_.load(kRelaxed);
+  s.invalidations = invalidations_.load(kRelaxed);
+  s.resident_objects = resident_objects_.load(kRelaxed);
+  s.resident_bytes = resident_bytes_.load(kRelaxed);
+  return s;
+}
+
+}  // namespace kimdb

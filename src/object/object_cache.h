@@ -1,0 +1,141 @@
+#ifndef KIMDB_OBJECT_OBJECT_CACHE_H_
+#define KIMDB_OBJECT_OBJECT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "model/object.h"
+#include "model/oid.h"
+
+namespace kimdb {
+
+/// Point-in-time counters of one ObjectCache (all monotonic except the
+/// resident_* levels). Read via ObjectCache::stats(); the obs registry
+/// pulls them through collectors (`objectstore.cache_*`).
+struct ObjectCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+  uint64_t resident_objects = 0;
+  uint64_t resident_bytes = 0;
+};
+
+/// Bounded, sharded OID -> deserialized-Object cache: the ORION-style
+/// resident-object table of paper §3.3. A hit hands back a shared
+/// reference to the *materialized*, immutable resident image (schema
+/// defaults filled, dropped attrs elided) without touching the heap file
+/// or the decoder -- the repeated-traversal object faults that dominate
+/// OODB workloads (OO1/OCB) become map lookups plus one refcount bump.
+/// Invalidation and eviction only drop the table's reference; a reader
+/// still holding the pointer keeps a consistent (by-then-stale) snapshot
+/// alive, which is exactly the read-your-lookup semantics a by-value Get
+/// already had.
+///
+/// Consistency rules (enforced by ObjectStore, documented in DESIGN.md
+/// §12): every committed-path and undo/redo-path mutation invalidates the
+/// OID before listeners run; entries are tagged with the catalog schema
+/// version at insert time so lazy schema evolution can never serve an
+/// image materialized against a stale schema (a version-mismatched hit is
+/// self-invalidating). Entries are only inserted while the reader holds
+/// the store's shared lock, so an insert can never race a writer's
+/// invalidation and resurrect a stale image.
+///
+/// Eviction is per-shard CLOCK over a byte budget: a hit sets the entry's
+/// reference bit; the sweep hand clears bits until it finds a cold entry.
+/// A capacity of 0 disables the cache entirely (Lookup always misses and
+/// records nothing, Insert is a no-op) -- the A/B "decode per read"
+/// baseline.
+///
+/// Thread safety: fully internally synchronized (per-shard mutex, atomic
+/// counters); safe to call from any number of reader and writer threads.
+class ObjectCache {
+ public:
+  explicit ObjectCache(size_t capacity_bytes);
+
+  ObjectCache(const ObjectCache&) = delete;
+  ObjectCache& operator=(const ObjectCache&) = delete;
+
+  bool enabled() const { return capacity_bytes_ > 0; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Returns a shared reference to the cached image if present and
+  /// materialized against `schema_version`, nullptr otherwise; a version
+  /// mismatch erases the entry and misses. Counts one hit or one miss
+  /// (disabled caches count nothing).
+  std::shared_ptr<const Object> Lookup(Oid oid, uint64_t schema_version);
+
+  /// Inserts (or replaces) the materialized image, evicting cold entries
+  /// until the shard fits its byte budget. Objects larger than half a
+  /// shard's budget are not cached (they would wipe the whole shard for
+  /// one entry). The by-value overload copies; the shared overload
+  /// adopts the caller's (immutable) instance without a copy.
+  void Insert(Oid oid, const Object& obj, uint64_t schema_version);
+  void Insert(Oid oid, std::shared_ptr<const Object> obj,
+              uint64_t schema_version);
+
+  /// Drops the entry (mutation, undo, redo). Counts an invalidation only
+  /// if the OID was resident.
+  void Invalidate(Oid oid);
+
+  /// Drops everything (extent rewrite, recovery).
+  void Clear();
+
+  ObjectCacheStats stats() const;
+
+  /// Rough resident size of an object: struct overhead plus per-attribute
+  /// payload (string capacities, collection elements). Used for the byte
+  /// budget; exactness is not required, only monotonicity in object size.
+  static size_t ApproxBytes(const Object& obj);
+
+ private:
+  static constexpr size_t kShards = 8;  // power of two
+
+  struct Entry {
+    std::shared_ptr<const Object> obj;
+    uint64_t schema_version = 0;
+    size_t bytes = 0;
+    bool ref = false;  // CLOCK reference bit
+    std::list<Oid>::iterator ring_it;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Oid, Entry> map;
+    std::list<Oid> ring;  // CLOCK order; hand_ sweeps this
+    std::list<Oid>::iterator hand;
+    size_t bytes = 0;
+    Shard() : hand(ring.end()) {}
+  };
+
+  Shard& ShardFor(Oid oid) {
+    return shards_[std::hash<Oid>{}(oid) & (kShards - 1)];
+  }
+
+  /// Removes one entry; advances the hand past it first if necessary.
+  /// Caller holds the shard mutex.
+  void EraseLocked(Shard& sh, std::unordered_map<Oid, Entry>::iterator it);
+
+  /// CLOCK sweep until `need` more bytes fit in the shard budget.
+  /// Caller holds the shard mutex.
+  void EvictForLocked(Shard& sh, size_t need);
+
+  const size_t capacity_bytes_;
+  const size_t shard_capacity_;
+  Shard shards_[kShards];
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> resident_objects_{0};
+  std::atomic<uint64_t> resident_bytes_{0};
+};
+
+}  // namespace kimdb
+
+#endif  // KIMDB_OBJECT_OBJECT_CACHE_H_

@@ -17,12 +17,11 @@ Result<Object> BuildObject(
   return obj;
 }
 
-Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(BufferPool* bp,
-                                                       Catalog* catalog,
-                                                       Wal* wal,
-                                                       bool attach_to_catalog) {
-  auto store = std::unique_ptr<ObjectStore>(
-      new ObjectStore(bp, catalog, wal, attach_to_catalog));
+Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
+    BufferPool* bp, Catalog* catalog, Wal* wal, bool attach_to_catalog,
+    size_t object_cache_bytes) {
+  auto store = std::unique_ptr<ObjectStore>(new ObjectStore(
+      bp, catalog, wal, attach_to_catalog, object_cache_bytes));
   // Create extents for classes that lack one; rebuild the directory and the
   // per-class serial high-water marks from the extents that exist.
   for (ClassId cls : catalog->AllClasses()) {
@@ -43,7 +42,7 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(BufferPool* bp,
   return store;
 }
 
-Result<PageId> ObjectStore::ExtentHeadOf(ClassId cls) const {
+Result<PageId> ObjectStore::ExtentHeadOfLocked(ClassId cls) const {
   if (attach_to_catalog_) {
     KIMDB_ASSIGN_OR_RETURN(const ClassDef* def, catalog_->GetClass(cls));
     return def->extent_head;
@@ -53,8 +52,8 @@ Result<PageId> ObjectStore::ExtentHeadOf(ClassId cls) const {
 }
 
 Status ObjectStore::EnsureExtent(ClassId cls) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(PageId head, ExtentHeadOf(cls));
+  std::lock_guard<std::mutex> lock(extents_mu_);
+  KIMDB_ASSIGN_OR_RETURN(PageId head, ExtentHeadOfLocked(cls));
   if (head != kInvalidPageId) return Status::OK();
   KIMDB_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(bp_));
   if (attach_to_catalog_) {
@@ -68,9 +67,10 @@ Status ObjectStore::EnsureExtent(ClassId cls) {
 }
 
 Result<HeapFile*> ObjectStore::ExtentOf(ClassId cls) const {
+  std::lock_guard<std::mutex> lock(extents_mu_);
   auto it = extents_.find(cls);
   if (it != extents_.end()) return &it->second;
-  KIMDB_ASSIGN_OR_RETURN(PageId head, ExtentHeadOf(cls));
+  KIMDB_ASSIGN_OR_RETURN(PageId head, ExtentHeadOfLocked(cls));
   if (head == kInvalidPageId) {
     return Status::FailedPrecondition("class has no extent (EnsureExtent)");
   }
@@ -80,22 +80,17 @@ Result<HeapFile*> ObjectStore::ExtentOf(ClassId cls) const {
 
 Status ObjectStore::ValidateContents(ClassId cls,
                                      const Object& contents) const {
-  KIMDB_ASSIGN_OR_RETURN(auto effective, catalog_->EffectiveAttrs(cls));
+  KIMDB_ASSIGN_OR_RETURN(const Catalog::EffectiveSchema* schema,
+                         catalog_->EffectiveSchemaFor(cls));
   for (const auto& [attr, value] : contents.attrs()) {
     if (attr >= kSysAttrBase) continue;  // system attributes are untyped
-    const AttributeDef* def = nullptr;
-    for (const AttributeDef* a : effective) {
-      if (a->id == attr) {
-        def = a;
-        break;
-      }
-    }
-    if (def == nullptr) {
+    auto it = schema->by_id.find(attr);
+    if (it == schema->by_id.end()) {
       return Status::InvalidArgument(
           "attribute id " + std::to_string(attr) +
           " is not in the class's effective schema");
     }
-    KIMDB_RETURN_IF_ERROR(catalog_->CheckValue(def->domain, value));
+    KIMDB_RETURN_IF_ERROR(catalog_->CheckValue(it->second->domain, value));
   }
   return Status::OK();
 }
@@ -116,7 +111,7 @@ Status ObjectStore::LogOp(uint64_t txn, WalRecordType type, Oid oid,
 
 Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
                                 Oid cluster_hint) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<StoreMutex> lock(mu_);
   KIMDB_RETURN_IF_ERROR(ValidateContents(cls, contents));
   KIMDB_ASSIGN_OR_RETURN(ClassDef * def, catalog_->GetClassMutable(cls));
   Oid oid = Oid::Make(cls, def->next_serial++);
@@ -131,7 +126,7 @@ Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
   // record in a foreign extent and hide it from its own class scans
   // (cross-class hints degrade to normal placement).
   if (!cluster_hint.is_nil() && cluster_hint.class_id() == cls) {
-    Result<RecordId> rid = DirectoryLookup(cluster_hint);
+    Result<RecordId> rid = DirectoryLookupLocked(cluster_hint);
     if (rid.ok()) hint = rid->page_id;
   }
 
@@ -148,8 +143,8 @@ Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
 }
 
 Status ObjectStore::Update(uint64_t txn, const Object& obj) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(Object before, GetRaw(obj.oid()));
+  std::lock_guard<StoreMutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(Object before, GetRawLocked(obj.oid()));
   KIMDB_RETURN_IF_ERROR(ValidateContents(obj.class_id(), obj));
   KIMDB_RETURN_IF_ERROR(
       LogOp(txn, WalRecordType::kUpdate, obj.oid(), &before, &obj));
@@ -161,28 +156,31 @@ Status ObjectStore::Update(uint64_t txn, const Object& obj) {
   KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(rid, bytes));
   directory_[obj.oid()] = new_rid;
 
+  // Drop the cached image before listeners run, so a listener reading the
+  // OID back observes the new state, never the stale cache entry.
+  cache_.Invalidate(obj.oid());
   for (auto* l : listeners_) l->OnUpdate(before, obj);
   return Status::OK();
 }
 
 Status ObjectStore::SetAttr(uint64_t txn, Oid oid, std::string_view attr_name,
                             Value value) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<StoreMutex> lock(mu_);
   KIMDB_ASSIGN_OR_RETURN(const AttributeDef* def,
                          catalog_->ResolveAttr(oid.class_id(), attr_name));
   KIMDB_RETURN_IF_ERROR(catalog_->CheckValue(def->domain, value));
-  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRaw(oid));
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
   obj.Set(def->id, std::move(value));
   return Update(txn, obj);
 }
 
 Status ObjectStore::SetAttrSystem(uint64_t txn, Oid oid, AttrId attr,
                                   Value value) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<StoreMutex> lock(mu_);
   if (attr < kSysAttrBase) {
     return Status::InvalidArgument("not a system attribute");
   }
-  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRaw(oid));
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
   if (value.is_null()) {
     obj.Unset(attr);
   } else {
@@ -192,22 +190,24 @@ Status ObjectStore::SetAttrSystem(uint64_t txn, Oid oid, AttrId attr,
 }
 
 Status ObjectStore::Delete(uint64_t txn, Oid oid) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(Object before, GetRaw(oid));
+  std::lock_guard<StoreMutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(Object before, GetRawLocked(oid));
   KIMDB_RETURN_IF_ERROR(
       LogOp(txn, WalRecordType::kDelete, oid, &before, nullptr));
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
   KIMDB_RETURN_IF_ERROR(heap->Delete(directory_.at(oid)));
   directory_.erase(oid);
+  cache_.Invalidate(oid);
   for (auto* l : listeners_) l->OnDelete(before);
   return Status::OK();
 }
 
 bool ObjectStore::Exists(Oid oid) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_); return directory_.count(oid) > 0; }
+  std::shared_lock<StoreMutex> lock(mu_);
+  return directory_.count(oid) > 0;
+}
 
-Result<RecordId> ObjectStore::DirectoryLookup(Oid oid) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+Result<RecordId> ObjectStore::DirectoryLookupLocked(Oid oid) const {
   auto it = directory_.find(oid);
   if (it == directory_.end()) {
     return Status::NotFound("object " + oid.ToString() + " not found");
@@ -215,69 +215,118 @@ Result<RecordId> ObjectStore::DirectoryLookup(Oid oid) const {
   return it->second;
 }
 
-Result<Object> ObjectStore::GetRaw(Oid oid) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(RecordId rid, DirectoryLookup(oid));
+Result<RecordId> ObjectStore::DirectoryLookup(Oid oid) const {
+  std::shared_lock<StoreMutex> lock(mu_);
+  return DirectoryLookupLocked(oid);
+}
+
+Result<Object> ObjectStore::GetRawLocked(Oid oid) const {
+  KIMDB_ASSIGN_OR_RETURN(RecordId rid, DirectoryLookupLocked(oid));
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
   KIMDB_ASSIGN_OR_RETURN(std::string bytes, heap->Get(rid));
   return Object::Decode(bytes);
 }
 
+Result<Object> ObjectStore::GetRaw(Oid oid) const {
+  std::shared_lock<StoreMutex> lock(mu_);
+  return GetRawLocked(oid);
+}
+
 Status ObjectStore::MaterializeInPlace(Object* obj) const {
-  KIMDB_ASSIGN_OR_RETURN(auto effective,
-                         catalog_->EffectiveAttrs(obj->class_id()));
+  KIMDB_ASSIGN_OR_RETURN(const Catalog::EffectiveSchema* schema,
+                         catalog_->EffectiveSchemaFor(obj->class_id()));
   // Fill defaults for attributes the stored image lacks.
-  for (const AttributeDef* a : effective) {
-    if (!obj->Has(a->id) && !a->default_value.is_null()) {
-      obj->Set(a->id, a->default_value);
-    }
+  for (const AttributeDef* a : schema->defaulted) {
+    if (!obj->Has(a->id)) obj->Set(a->id, a->default_value);
   }
   // Elide values of attributes no longer in the schema.
   std::vector<AttrId> drop;
   for (const auto& [attr, value] : obj->attrs()) {
     if (attr >= kSysAttrBase) continue;
-    bool known = std::any_of(
-        effective.begin(), effective.end(),
-        [&, attr = attr](const AttributeDef* a) { return a->id == attr; });
-    if (!known) drop.push_back(attr);
+    if (schema->by_id.count(attr) == 0) drop.push_back(attr);
   }
   for (AttrId a : drop) obj->Unset(a);
   return Status::OK();
 }
 
 Result<Object> ObjectStore::Get(Oid oid) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRaw(oid));
+  bool unused;
+  return Get(oid, &unused);
+}
+
+Result<Object> ObjectStore::Get(Oid oid, bool* cache_hit) const {
+  obs::Timer timer(get_ns_);
+  *cache_hit = false;
+  // Lock-free fast path: a hit never needs the store lock. The entry's
+  // schema-version tag guarantees it matches the current schema, and any
+  // completed mutation already invalidated it (happens-before via the
+  // cache's shard mutex).
+  uint64_t schema_version = catalog_->schema_version();
+  if (std::shared_ptr<const Object> hit = cache_.Lookup(oid, schema_version)) {
+    *cache_hit = true;
+    return *hit;
+  }
+  std::shared_lock<StoreMutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
   KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
+  // Fill while still holding the shared lock: no exclusive mutation can be
+  // in flight, so this image is current and its invalidation (if any) must
+  // come from a *later* writer -- a stale image can never be resurrected.
+  // Tag with the version read *before* materialization: if the schema
+  // evolved in between, the tag is stale versus the new version and the
+  // entry self-invalidates on next lookup instead of masquerading as
+  // current.
+  cache_.Insert(oid, obj, schema_version);
   return obj;
+}
+
+Result<std::shared_ptr<const Object>> ObjectStore::GetShared(Oid oid) const {
+  bool unused;
+  return GetShared(oid, &unused);
+}
+
+Result<std::shared_ptr<const Object>> ObjectStore::GetShared(
+    Oid oid, bool* cache_hit) const {
+  obs::Timer timer(get_ns_);
+  *cache_hit = false;
+  // Same protocol as Get (lock-free hit, fill under the shared lock with
+  // the pre-materialization version tag), minus the defensive copy: hit
+  // and miss both return the exact instance the cache holds.
+  uint64_t schema_version = catalog_->schema_version();
+  if (std::shared_ptr<const Object> hit = cache_.Lookup(oid, schema_version)) {
+    *cache_hit = true;
+    return hit;
+  }
+  std::shared_lock<StoreMutex> lock(mu_);
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
+  KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
+  auto shared = std::make_shared<const Object>(std::move(obj));
+  cache_.Insert(oid, shared, schema_version);
+  return shared;
 }
 
 Status ObjectStore::ForEachInClass(
     ClassId cls, const std::function<Status(const Object&)>& fn) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto call = [&fn](Object& obj) -> Status { return fn(obj); };
+  KIMDB_ASSIGN_OR_RETURN(std::vector<PageId> pages, ExtentPages(cls));
+  for (PageId page : pages) {
+    KIMDB_RETURN_IF_ERROR(ForEachInClassOnPage(cls, page, call));
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::ForEachRawInClass(
+    ClassId cls,
+    const std::function<Status(RecordId, const Object&)>& fn) const {
   Result<HeapFile*> heap_r = ExtentOf(cls);
   if (!heap_r.ok()) {
     // A class whose extent was never created has an empty extent.
     if (heap_r.status().IsFailedPrecondition()) return Status::OK();
     return heap_r.status();
   }
-  HeapFile* heap = *heap_r;
-  return heap->ForEach([&](RecordId, std::string_view bytes) {
-    KIMDB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
-    KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
-    return fn(obj);
-  });
-}
-
-Status ObjectStore::ForEachRawInClass(
-    ClassId cls,
-    const std::function<Status(RecordId, const Object&)>& fn) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  Result<HeapFile*> heap_r = ExtentOf(cls);
-  if (!heap_r.ok()) {
-    if (heap_r.status().IsFailedPrecondition()) return Status::OK();
-    return heap_r.status();
-  }
+  // Off-lock like every extent scan: page reads go through the thread-safe
+  // buffer pool and the HeapFile slot is node-stable (see
+  // ForEachInClassOnPage).
   return (*heap_r)->ForEach([&](RecordId rid, std::string_view bytes) {
     KIMDB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
     return fn(rid, obj);
@@ -286,7 +335,7 @@ Status ObjectStore::ForEachRawInClass(
 
 std::vector<std::pair<Oid, RecordId>> ObjectStore::DirectorySnapshot()
     const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<StoreMutex> lock(mu_);
   std::vector<std::pair<Oid, RecordId>> out;
   out.reserve(directory_.size());
   for (const auto& [oid, rid] : directory_) out.push_back({oid, rid});
@@ -294,34 +343,25 @@ std::vector<std::pair<Oid, RecordId>> ObjectStore::DirectorySnapshot()
 }
 
 Result<std::vector<PageId>> ObjectStore::ExtentPages(ClassId cls) const {
-  HeapFile* heap = nullptr;
-  {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    Result<HeapFile*> heap_r = ExtentOf(cls);
-    if (!heap_r.ok()) {
-      if (heap_r.status().IsFailedPrecondition()) {
-        return std::vector<PageId>{};  // never-created extent: empty
-      }
-      return heap_r.status();
+  Result<HeapFile*> heap_r = ExtentOf(cls);
+  if (!heap_r.ok()) {
+    if (heap_r.status().IsFailedPrecondition()) {
+      return std::vector<PageId>{};  // never-created extent: empty
     }
-    heap = *heap_r;
+    return heap_r.status();
   }
-  return heap->Pages();
+  return (*heap_r)->Pages();
 }
 
 Status ObjectStore::ForEachInClassOnPage(
     ClassId cls, PageId page,
     const std::function<Status(Object&)>& fn) const {
-  HeapFile* heap = nullptr;
-  {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    Result<HeapFile*> heap_r = ExtentOf(cls);
-    if (!heap_r.ok()) {
-      if (heap_r.status().IsFailedPrecondition()) return Status::OK();
-      return heap_r.status();
-    }
-    heap = *heap_r;
+  Result<HeapFile*> heap_r = ExtentOf(cls);
+  if (!heap_r.ok()) {
+    if (heap_r.status().IsFailedPrecondition()) return Status::OK();
+    return heap_r.status();
   }
+  HeapFile* heap = *heap_r;
   // Deliberately scans without mu_: page reads go through the thread-safe
   // buffer pool, MaterializeInPlace only reads the catalog, and the
   // HeapFile slot in extents_ is node-stable. Isolation against concurrent
@@ -353,7 +393,6 @@ Status ObjectStore::ForEachInClassPartitioned(
 
 Status ObjectStore::ForEachInHierarchy(
     ClassId cls, const std::function<Status(const Object&)>& fn) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (ClassId c : catalog_->Subtree(cls)) {
     KIMDB_RETURN_IF_ERROR(ForEachInClass(c, fn));
   }
@@ -361,7 +400,6 @@ Status ObjectStore::ForEachInHierarchy(
 }
 
 Result<uint64_t> ObjectStore::CountClass(ClassId cls) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint64_t n = 0;
   KIMDB_RETURN_IF_ERROR(ForEachInClass(cls, [&](const Object&) {
     ++n;
@@ -371,7 +409,7 @@ Result<uint64_t> ObjectStore::CountClass(ClassId cls) const {
 }
 
 Status ObjectStore::ApplyInsert(const Object& obj) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<StoreMutex> lock(mu_);
   if (directory_.count(obj.oid())) {
     // Idempotent redo: overwrite the existing image.
     return ApplyUpdate(obj);
@@ -382,6 +420,10 @@ Status ObjectStore::ApplyInsert(const Object& obj) {
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(obj.class_id()));
   KIMDB_ASSIGN_OR_RETURN(RecordId rid, heap->Insert(bytes));
   directory_[obj.oid()] = rid;
+  // A redo of an insert whose delete was cached as NotFound can't happen
+  // (negative results are not cached), but a resurrecting undo must still
+  // clear whatever image preceded the delete.
+  cache_.Invalidate(obj.oid());
   // Keep the serial allocator ahead of replayed OIDs.
   KIMDB_ASSIGN_OR_RETURN(ClassDef * def,
                          catalog_->GetClassMutable(obj.class_id()));
@@ -391,15 +433,18 @@ Status ObjectStore::ApplyInsert(const Object& obj) {
 }
 
 Status ObjectStore::ApplyUpdate(const Object& obj) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<StoreMutex> lock(mu_);
   auto it = directory_.find(obj.oid());
   if (it == directory_.end()) return ApplyInsert(obj);
-  Result<Object> before = GetRaw(obj.oid());
+  Result<Object> before = GetRawLocked(obj.oid());
   std::string bytes;
   obj.EncodeTo(&bytes);
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(obj.class_id()));
   KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(it->second, bytes));
   it->second = new_rid;
+  // Undo (txn abort) and redo (recovery) both land here: the cached image
+  // of the clobbered version must go before listeners re-read.
+  cache_.Invalidate(obj.oid());
   if (before.ok()) {
     for (auto* l : listeners_) l->OnUpdate(*before, obj);
   }
@@ -407,13 +452,14 @@ Status ObjectStore::ApplyUpdate(const Object& obj) {
 }
 
 Status ObjectStore::ApplyDelete(Oid oid) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<StoreMutex> lock(mu_);
   auto it = directory_.find(oid);
   if (it == directory_.end()) return Status::OK();  // idempotent
-  Result<Object> before = GetRaw(oid);
+  Result<Object> before = GetRawLocked(oid);
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
   KIMDB_RETURN_IF_ERROR(heap->Delete(it->second));
   directory_.erase(it);
+  cache_.Invalidate(oid);
   if (before.ok()) {
     for (auto* l : listeners_) l->OnDelete(*before);
   }
@@ -421,7 +467,7 @@ Status ObjectStore::ApplyDelete(Oid oid) {
 }
 
 Status ObjectStore::RewriteExtent(ClassId cls) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<StoreMutex> lock(mu_);
   std::vector<Object> materialized;
   KIMDB_RETURN_IF_ERROR(ForEachInClass(cls, [&](const Object& obj) {
     materialized.push_back(obj);
@@ -435,16 +481,19 @@ Status ObjectStore::RewriteExtent(ClassId cls) {
     KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(rid, bytes));
     directory_[obj.oid()] = new_rid;
   }
+  // Every record moved; start the cache over rather than invalidating
+  // one OID at a time.
+  cache_.Clear();
   return Status::OK();
 }
 
 void ObjectStore::AddListener(ObjectStoreListener* listener) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<StoreMutex> lock(mu_);
   listeners_.push_back(listener);
 }
 
 void ObjectStore::RemoveListener(ObjectStoreListener* listener) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<StoreMutex> lock(mu_);
   listeners_.erase(
       std::remove(listeners_.begin(), listeners_.end(), listener),
       listeners_.end());

@@ -1,16 +1,21 @@
 #ifndef KIMDB_OBJECT_OBJECT_STORE_H_
 #define KIMDB_OBJECT_OBJECT_STORE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "model/object.h"
+#include "object/object_cache.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
 #include "storage/wal.h"
@@ -44,8 +49,21 @@ Result<Object> BuildObject(
 /// single-class and class-hierarchy scans, physical clustering hints, and
 /// lazy schema evolution on read (missing attributes materialize as their
 /// declared defaults; values of dropped attributes are skipped).
+///
+/// Concurrency (DESIGN.md §12): the directory and heap mutations are
+/// guarded by a reader/writer lock -- point reads share it, mutators own
+/// it exclusively -- and extent scans snapshot the page list and iterate
+/// entirely off-lock, so concurrent scans and parallel-scan workers never
+/// serialize on the store. Get() is fronted by a bounded deserialized-
+/// object cache (`object_cache()`); a capacity of 0 restores the
+/// decode-per-read behavior. Fine-grained isolation stays the lock
+/// manager's job (logical locks); the store lock only protects physical
+/// structures.
 class ObjectStore {
  public:
+  /// Default byte budget of the deserialized-object cache.
+  static constexpr size_t kDefaultCacheBytes = 4u << 20;  // 4 MiB
+
   /// Opens the store: creates missing extents and rebuilds the object
   /// directory (and per-class OID serial high-water marks) by scanning.
   /// `wal` may be null for non-durable stores (private databases, tests).
@@ -54,9 +72,13 @@ class ObjectStore {
   /// records them in the catalog (persisted with it); a *private database*
   /// (checkout workspace, §3.3) passes false and keeps a volatile local
   /// map, so several stores can share one catalog without clashing.
+  ///
+  /// `object_cache_bytes` bounds the deserialized-object cache; 0 disables
+  /// it (every Get decodes from the heap, the pre-cache behavior).
   static Result<std::unique_ptr<ObjectStore>> Open(
       BufferPool* bp, Catalog* catalog, Wal* wal,
-      bool attach_to_catalog = true);
+      bool attach_to_catalog = true,
+      size_t object_cache_bytes = kDefaultCacheBytes);
 
   // --- transactional operations (logged) -----------------------------------
 
@@ -87,12 +109,29 @@ class ObjectStore {
   bool Exists(Oid oid) const;
   /// Materializes the object against the *current* schema: defaults filled
   /// in for attributes added since the object was written; dropped
-  /// attributes elided (system attributes always kept).
+  /// attributes elided (system attributes always kept). Served from the
+  /// deserialized-object cache when possible.
   Result<Object> Get(Oid oid) const;
-  /// The stored image, no schema adjustment.
+  /// As Get; additionally reports whether the read was served from the
+  /// object cache (per-operator accounting in EXPLAIN ANALYZE).
+  Result<Object> Get(Oid oid, bool* cache_hit) const;
+  /// As Get, but hands back a shared reference to the immutable resident
+  /// image instead of a copy -- the zero-copy read for traversal-style
+  /// consumers (path-expression hops) that only inspect the object. A hit
+  /// costs a map lookup plus one refcount bump; the instance stays valid
+  /// (and fixed at its lookup-time state) even if the entry is
+  /// invalidated or evicted afterwards.
+  Result<std::shared_ptr<const Object>> GetShared(Oid oid) const;
+  Result<std::shared_ptr<const Object>> GetShared(Oid oid,
+                                                  bool* cache_hit) const;
+  /// The stored image, no schema adjustment (never cached).
   Result<Object> GetRaw(Oid oid) const;
 
-  /// Scans the extent of exactly `cls` (single-class scope).
+  /// Scans the extent of exactly `cls` (single-class scope). The page
+  /// list is snapshotted up front and iterated without the store lock, so
+  /// concurrent scans proceed in parallel; records inserted after the
+  /// snapshot onto new pages are not visited (isolation against concurrent
+  /// writers is the lock manager's job).
   Status ForEachInClass(
       ClassId cls, const std::function<Status(const Object&)>& fn) const;
   /// Scans `cls` and all its subclasses (class-hierarchy scope, §3.2).
@@ -106,11 +145,11 @@ class ObjectStore {
   Result<std::vector<PageId>> ExtentPages(ClassId cls) const;
 
   /// Scans the records of `cls` stored on one extent page, with schema
-  /// materialization. Unlike ForEachInClass this does NOT hold the store
-  /// mutex across user callbacks, so disjoint partitions can be scanned
-  /// from several threads concurrently (ParallelExtentScan). The callback
-  /// receives a mutable reference to a freshly decoded Object it may move
-  /// from -- the decoded image is per-call scratch, not shared state.
+  /// materialization. No store lock is held across user callbacks, so
+  /// disjoint partitions can be scanned from several threads concurrently
+  /// (ParallelExtentScan). The callback receives a mutable reference to a
+  /// freshly decoded Object it may move from -- the decoded image is
+  /// per-call scratch, not shared state.
   Status ForEachInClassOnPage(ClassId cls, PageId page,
                               const std::function<Status(Object&)>& fn) const;
 
@@ -156,33 +195,110 @@ class ObjectStore {
   /// Creates the extent for a class added after Open.
   Status EnsureExtent(ClassId cls);
 
+  /// The deserialized-object cache (counters for tests / the obs layer).
+  const ObjectCache& object_cache() const { return cache_; }
+
+  /// Wires the Get() latency histogram (`objectstore.get_ns`); null
+  /// detaches. Call before concurrent use.
+  void AttachMetrics(obs::Histogram* get_ns) { get_ns_ = get_ns; }
+
  private:
-  ObjectStore(BufferPool* bp, Catalog* catalog, Wal* wal, bool attach)
-      : bp_(bp), catalog_(catalog), wal_(wal), attach_to_catalog_(attach) {}
+  /// Reader/writer lock over the directory and extent tables, *re-entrant
+  /// for the thread holding it exclusively*: mutators synchronously notify
+  /// listeners (index maintenance, composites) which read back -- and
+  /// sometimes write back -- through the store on the same thread. A
+  /// shared request from the exclusive owner is a no-op, so listener
+  /// callbacks never self-deadlock; genuine readers take the shared side
+  /// and scale with each other. Public read methods never nest shared
+  /// acquisitions (internal *Locked helpers assume the lock is held), so
+  /// a writer queued between two shared acquisitions cannot wedge a
+  /// reader against itself.
+  class StoreMutex {
+   public:
+    void lock() {
+      if (HeldExclusiveByMe()) {
+        ++depth_;
+        return;
+      }
+      mu_.lock();
+      owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+      depth_ = 1;
+    }
+    void unlock() {
+      if (--depth_ > 0) return;
+      owner_.store(std::thread::id(), std::memory_order_relaxed);
+      mu_.unlock();
+    }
+    void lock_shared() {
+      if (HeldExclusiveByMe()) return;
+      mu_.lock_shared();
+    }
+    void unlock_shared() {
+      if (HeldExclusiveByMe()) return;
+      mu_.unlock_shared();
+    }
 
-  Result<PageId> ExtentHeadOf(ClassId cls) const;
+   private:
+    bool HeldExclusiveByMe() const {
+      return owner_.load(std::memory_order_relaxed) ==
+             std::this_thread::get_id();
+    }
+    std::shared_mutex mu_;
+    std::atomic<std::thread::id> owner_{};
+    int depth_ = 0;  // touched only by the exclusive owner
+  };
 
+  ObjectStore(BufferPool* bp, Catalog* catalog, Wal* wal, bool attach,
+              size_t cache_bytes)
+      : bp_(bp),
+        catalog_(catalog),
+        wal_(wal),
+        attach_to_catalog_(attach),
+        cache_(cache_bytes) {}
+
+  /// Extent-head lookup; caller holds extents_mu_.
+  Result<PageId> ExtentHeadOfLocked(ClassId cls) const;
+
+  /// Resolves (lazily opening) the heap file of `cls`. Internally
+  /// synchronized by extents_mu_ (a leaf lock); the returned pointer is
+  /// node-stable for the store's lifetime.
   Result<HeapFile*> ExtentOf(ClassId cls) const;
+
+  /// Directory lookup; caller holds mu_ (either mode).
+  Result<RecordId> DirectoryLookupLocked(Oid oid) const;
+  /// Stored-image read; caller holds mu_ (either mode).
+  Result<Object> GetRawLocked(Oid oid) const;
+
   Status ValidateContents(ClassId cls, const Object& contents) const;
   /// Applies schema materialization to a decoded object.
   Status MaterializeInPlace(Object* obj) const;
   Status LogOp(uint64_t txn, WalRecordType type, Oid oid,
                const Object* before, const Object* after);
 
-  // Serializes store operations. Recursive because mutations synchronously
-  // notify listeners (index maintenance, composites) which read back
-  // through the store. Fine-grained concurrency is the lock manager's job
-  // (logical locks); this mutex only protects physical structures.
-  mutable std::recursive_mutex mu_;
   BufferPool* bp_;
   Catalog* catalog_;
   Wal* wal_;
   bool attach_to_catalog_;
+
+  /// Guards directory_ and listeners_, and orders heap mutations against
+  /// point reads (mutators write heap pages under the exclusive side;
+  /// GetRaw reads them under the shared side).
+  mutable StoreMutex mu_;
+  /// Leaf lock guarding the lazy extent tables (extents_, local extent
+  /// heads). Acquired under either side of mu_ or with no lock at all;
+  /// never held while acquiring mu_.
+  mutable std::mutex extents_mu_;
+
   // Extent heads for detached (private) stores.
   std::unordered_map<ClassId, PageId> local_extent_heads_;
   mutable std::unordered_map<ClassId, HeapFile> extents_;
   std::unordered_map<Oid, RecordId> directory_;
   std::vector<ObjectStoreListener*> listeners_;
+
+  /// OID -> materialized object. Mutators invalidate before notifying
+  /// listeners; readers fill it under the shared lock (see ObjectCache).
+  mutable ObjectCache cache_;
+  obs::Histogram* get_ns_ = nullptr;
 };
 
 }  // namespace kimdb

@@ -292,6 +292,8 @@ QueryStats StatsFromExecContext(const exec::ExecContext& ctx) {
   s.predicates_evaluated =
       ctx.predicates_evaluated.load(std::memory_order_relaxed);
   s.ref_fetches = ctx.ref_fetches.load(std::memory_order_relaxed);
+  s.obj_cache_hits = ctx.obj_cache_hits.load(std::memory_order_relaxed);
+  s.obj_cache_misses = ctx.obj_cache_misses.load(std::memory_order_relaxed);
   s.used_index = ctx.used_index.load(std::memory_order_relaxed);
   return s;
 }
@@ -308,6 +310,10 @@ exec::MatchFn QueryEngine::MatchFnFor(ExprPtr pred) const {
     ctx->predicates_evaluated.fetch_add(local.predicates_evaluated,
                                         std::memory_order_relaxed);
     ctx->ref_fetches.fetch_add(local.ref_fetches, std::memory_order_relaxed);
+    ctx->obj_cache_hits.fetch_add(local.obj_cache_hits,
+                                  std::memory_order_relaxed);
+    ctx->obj_cache_misses.fetch_add(local.obj_cache_misses,
+                                    std::memory_order_relaxed);
     return match;
   };
 }
@@ -427,12 +433,14 @@ Status QueryEngine::EvalPath(const Object& obj,
   const Catalog& cat = *store_->catalog();
   // The frontier borrows the root and owns fetched children: copying the
   // root object here would charge every scanned object one deep copy per
-  // predicate evaluation, which dominates extent-scan queries.
-  std::vector<Object> owned;
+  // predicate evaluation, which dominates extent-scan queries. Children
+  // come from GetShared, so a cache hit costs a refcount bump, not a
+  // deep copy per hop.
+  std::vector<std::shared_ptr<const Object>> owned;
   std::vector<const Object*> frontier{&obj};
   for (size_t step = 0; step < path.size(); ++step) {
     bool last = step + 1 == path.size();
-    std::vector<Object> next;
+    std::vector<std::shared_ptr<const Object>> next;
     for (const Object* cur_p : frontier) {
       const Object& cur = *cur_p;
       Result<const AttributeDef*> attr =
@@ -454,7 +462,14 @@ Status QueryEngine::EvalPath(const Object& obj,
       auto deref = [&](const Value& ref) {
         if (ref.kind() != Value::Kind::kRef || ref.as_ref().is_nil()) return;
         ++stats->ref_fetches;
-        Result<Object> child = store_->Get(ref.as_ref());
+        bool cache_hit = false;
+        Result<std::shared_ptr<const Object>> child =
+            store_->GetShared(ref.as_ref(), &cache_hit);
+        if (cache_hit) {
+          ++stats->obj_cache_hits;
+        } else {
+          ++stats->obj_cache_misses;
+        }
         if (child.ok()) next.push_back(std::move(*child));
       };
       if (v.is_collection()) {
@@ -467,7 +482,7 @@ Status QueryEngine::EvalPath(const Object& obj,
     owned = std::move(next);
     frontier.clear();
     frontier.reserve(owned.size());
-    for (const Object& o : owned) frontier.push_back(&o);
+    for (const auto& o : owned) frontier.push_back(o.get());
   }
   return Status::OK();
 }

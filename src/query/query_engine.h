@@ -35,6 +35,8 @@ struct QueryStats {
   uint64_t index_candidates = 0;   // candidates produced by an index
   uint64_t predicates_evaluated = 0;
   uint64_t ref_fetches = 0;        // object fetches during path evaluation
+  uint64_t obj_cache_hits = 0;     // point fetches served by the obj cache
+  uint64_t obj_cache_misses = 0;   // point fetches that decoded from heap
   bool used_index = false;
 };
 

@@ -212,5 +212,175 @@ TEST_F(ConcurrencyTest, HighContentionSingleObjectCounter) {
   EXPECT_EQ(TotalBalance(), kThreads * kIncrementsPerThread);
 }
 
+// --- ObjectStore read-path / object-cache stress --------------------------
+//
+// N reader threads doing Get + manual path traversal (Get the object, follow
+// its Ref attribute, Get the child) race M writer threads doing
+// Update/Delete/Insert against a deliberately tiny cache so eviction,
+// invalidation and refill all churn. Invariants:
+//
+//  * monotonic versions: each shared slot is owned by exactly one writer
+//    that bumps its Version attribute strictly upward, so a reader
+//    observing a decrease has read a stale (use-after-invalidate) image;
+//  * torn-read check: Version and Shadow are always written equal, so a
+//    reader seeing them differ has caught a half-applied update;
+//  * post-commit visibility: once writers join, every slot's stored
+//    Version must equal the writer's final value (no stale entry survives
+//    the last invalidation).
+//
+// Runs twice: small cache (entries evict and refill constantly) and cache
+// disabled (capacity 0), which must behave identically.
+class ObjectCacheStressTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ObjectCacheStressTest, ReadersNeverSeeStaleOrTornImages) {
+  const size_t cache_bytes = GetParam();
+  auto disk = DiskManager::OpenInMemory();
+  BufferPool bp(disk.get(), 1024);
+  Catalog cat;
+  ClassId node = *cat.CreateClass(
+      "Node", {},
+      {{"Version", Domain::Int()},
+       {"Shadow", Domain::Int()},
+       {"Next", Domain::Ref(kRootClassId)}});
+  AttrId version = (*cat.ResolveAttr(node, "Version"))->id;
+  AttrId shadow = (*cat.ResolveAttr(node, "Shadow"))->id;
+  AttrId next = (*cat.ResolveAttr(node, "Next"))->id;
+  auto store_r = ObjectStore::Open(&bp, &cat, nullptr,
+                                   /*attach_to_catalog=*/true, cache_bytes);
+  ASSERT_TRUE(store_r.ok());
+  ObjectStore& store = **store_r;
+
+  constexpr int kWriters = 2;
+  constexpr int kSlotsPerWriter = 4;
+  constexpr int kSlots = kWriters * kSlotsPerWriter;
+  constexpr int kReaders = 4;
+  constexpr int kWritesPerSlot = 300 / kIterScale;
+
+  // Shared slots, each pointing at the next (ring) for path traversal.
+  std::vector<Oid> slots;
+  for (int i = 0; i < kSlots; ++i) {
+    Object obj;
+    obj.Set(version, Value::Int(0));
+    obj.Set(shadow, Value::Int(0));
+    auto oid = store.Insert(0, node, std::move(obj));
+    ASSERT_TRUE(oid.ok());
+    slots.push_back(*oid);
+  }
+  for (int i = 0; i < kSlots; ++i) {
+    ASSERT_TRUE(store
+                    .SetAttr(0, slots[i], "Next",
+                             Value::Ref(slots[(i + 1) % kSlots]))
+                    .ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> stale_reads{0};
+  std::atomic<int> torn_reads{0};
+  std::atomic<int> hard_errors{0};
+  std::vector<int64_t> final_version(kSlots, 0);
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      Random rng(500 + static_cast<uint64_t>(w));
+      // Private churn object: deleted and re-inserted to exercise
+      // Delete/Insert invalidation without cross-thread OID handoff.
+      Oid churn = kNilOid;
+      for (int v = 1; v <= kWritesPerSlot; ++v) {
+        for (int s = 0; s < kSlotsPerWriter; ++s) {
+          int slot = w * kSlotsPerWriter + s;
+          auto obj = store.GetRaw(slots[slot]);
+          if (!obj.ok()) {
+            ++hard_errors;
+            continue;
+          }
+          obj->Set(version, Value::Int(v));
+          obj->Set(shadow, Value::Int(v));
+          if (!store.Update(0, *obj).ok()) ++hard_errors;
+          final_version[slot] = v;
+        }
+        if (!churn.is_nil() && rng.Uniform(2) == 0) {
+          if (!store.Delete(0, churn).ok()) ++hard_errors;
+          churn = kNilOid;
+        }
+        if (churn.is_nil()) {
+          Object obj;
+          obj.Set(version, Value::Int(v));
+          obj.Set(shadow, Value::Int(v));
+          auto oid = store.Insert(0, node, std::move(obj));
+          if (oid.ok()) {
+            churn = *oid;
+          } else {
+            ++hard_errors;
+          }
+        }
+      }
+      if (!churn.is_nil()) (void)store.Delete(0, churn);
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Random rng(900 + static_cast<uint64_t>(r));
+      std::vector<int64_t> last_seen(kSlots, 0);
+      auto check = [&](const Object& obj) {
+        int64_t v = obj.Get(version).as_int();
+        int64_t sh = obj.Get(shadow).as_int();
+        if (v != sh) ++torn_reads;
+        // Map the OID back to its slot for the monotonicity ledger.
+        for (int i = 0; i < kSlots; ++i) {
+          if (slots[i] == obj.oid()) {
+            if (v < last_seen[i]) ++stale_reads;
+            last_seen[i] = v;
+            break;
+          }
+        }
+      };
+      while (!stop.load(std::memory_order_acquire)) {
+        int slot = static_cast<int>(rng.Uniform(kSlots));
+        auto obj = store.Get(slots[slot]);
+        if (!obj.ok()) {
+          ++hard_errors;  // shared slots are never deleted
+          continue;
+        }
+        check(*obj);
+        // Path traversal: follow the Next ref like EvalPath does, via the
+        // zero-copy read -- races the shared-image handout against
+        // concurrent invalidation and eviction.
+        const Value& ref = obj->Get(next);
+        if (ref.kind() == Value::Kind::kRef && !ref.as_ref().is_nil()) {
+          auto child = store.GetShared(ref.as_ref());
+          if (child.ok()) check(**child);
+        }
+      }
+    });
+  }
+
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(stale_reads.load(), 0);
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_EQ(hard_errors.load(), 0);
+  // Post-commit visibility: the final committed image is what Get serves.
+  for (int i = 0; i < kSlots; ++i) {
+    auto obj = store.Get(slots[i]);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_EQ(obj->Get(version).as_int(), final_version[i]) << "slot " << i;
+    EXPECT_EQ(obj->Get(shadow).as_int(), final_version[i]) << "slot " << i;
+  }
+  if (cache_bytes > 0) {
+    // The workload must actually have exercised the cache.
+    ObjectCacheStats cs = store.object_cache().stats();
+    EXPECT_GT(cs.hits, 0u);
+    EXPECT_GT(cs.invalidations, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheModes, ObjectCacheStressTest,
+                         ::testing::Values(size_t{16 * 1024}, size_t{0}));
+
 }  // namespace
 }  // namespace kimdb

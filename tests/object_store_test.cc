@@ -265,5 +265,221 @@ TEST_F(ObjectStoreTest, ManyObjectsSurviveChurn) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Object-cache behavior (resident-object table, DESIGN.md §12). The
+// fixture's store runs with the default cache; tests that need a specific
+// budget (tiny or disabled) open their own store via CacheEnv.
+
+TEST_F(ObjectStoreTest, CacheHitFlagAndCorrectness) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")},
+                                  {"Location", Value::Str("Detroit")}});
+  AttrId name = (*cat_.ResolveAttr(company_, "Name"))->id;
+
+  bool hit = true;
+  auto first = store_->Get(oid, &hit);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(hit);  // cold: decoded from the heap
+  auto second = store_->Get(oid, &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);  // warm: served from the cache
+  EXPECT_EQ(second->Get(name).as_string(), "GM");
+  EXPECT_EQ(first->Get(name).as_string(), second->Get(name).as_string());
+
+  const ObjectCacheStats cs = store_->object_cache().stats();
+  EXPECT_GE(cs.hits, 1u);
+  EXPECT_GE(cs.misses, 1u);
+  EXPECT_GE(cs.resident_objects, 1u);
+}
+
+TEST_F(ObjectStoreTest, CacheReturnsIndependentCopies) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")}});
+  AttrId name = (*cat_.ResolveAttr(company_, "Name"))->id;
+  auto a = store_->Get(oid);
+  ASSERT_TRUE(a.ok());
+  a->Set(name, Value::Str("scribbled"));  // must not leak into the cache
+  auto b = store_->Get(oid);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->Get(name).as_string(), "GM");
+}
+
+TEST_F(ObjectStoreTest, GetSharedHitsAliasTheResidentImage) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")}});
+  AttrId name = (*cat_.ResolveAttr(company_, "Name"))->id;
+
+  auto a = store_->GetShared(oid);
+  ASSERT_TRUE(a.ok());
+  auto b = store_->GetShared(oid);
+  ASSERT_TRUE(b.ok());
+  // Both hits reference the single resident instance: zero-copy reads.
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ((*a)->Get(name).as_string(), "GM");
+
+  // A mutation drops the table's reference; the held pointer stays valid
+  // and frozen at its lookup-time state, while a fresh read sees the new
+  // value through a new instance.
+  ASSERT_TRUE(store_->SetAttr(1, oid, "Name", Value::Str("GMC")).ok());
+  EXPECT_EQ((*a)->Get(name).as_string(), "GM");
+  auto c = store_->GetShared(oid);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->get(), c->get());
+  EXPECT_EQ((*c)->Get(name).as_string(), "GMC");
+}
+
+TEST_F(ObjectStoreTest, UpdateInvalidatesCachedEntry) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("Ford")}});
+  AttrId name = (*cat_.ResolveAttr(company_, "Name"))->id;
+  ASSERT_TRUE(store_->Get(oid).ok());  // fill the cache
+
+  ASSERT_TRUE(store_->SetAttr(1, oid, "Name", Value::Str("Ford Motor")).ok());
+  bool hit = true;
+  auto obj = store_->Get(oid, &hit);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_FALSE(hit);  // the stale image was dropped by the update
+  EXPECT_EQ(obj->Get(name).as_string(), "Ford Motor");
+  EXPECT_GE(store_->object_cache().stats().invalidations, 1u);
+}
+
+TEST_F(ObjectStoreTest, DeleteInvalidatesCachedEntry) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("DeLorean")}});
+  ASSERT_TRUE(store_->Get(oid).ok());  // fill the cache
+  ASSERT_TRUE(store_->Delete(1, oid).ok());
+  auto obj = store_->Get(oid);
+  EXPECT_FALSE(obj.ok());  // a stale hit would wrongly resurrect it
+}
+
+TEST_F(ObjectStoreTest, ApplyPathsInvalidateCachedEntry) {
+  // Apply* is the undo/redo route (transaction abort, recovery); a cached
+  // image surviving it would serve aborted state.
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("new")}});
+  AttrId name = (*cat_.ResolveAttr(company_, "Name"))->id;
+  ASSERT_TRUE(store_->Get(oid).ok());  // fill the cache
+
+  auto before = store_->GetRaw(oid);
+  ASSERT_TRUE(before.ok());
+  before->Set(name, Value::Str("restored"));
+  ASSERT_TRUE(store_->ApplyUpdate(*before).ok());
+  bool hit = true;
+  auto obj = store_->Get(oid, &hit);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(obj->Get(name).as_string(), "restored");
+
+  ASSERT_TRUE(store_->Get(oid).ok());  // refill
+  ASSERT_TRUE(store_->ApplyDelete(oid).ok());
+  EXPECT_FALSE(store_->Get(oid).ok());
+}
+
+TEST_F(ObjectStoreTest, SchemaEvolutionInvalidatesCachedEntry) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")}});
+  ASSERT_TRUE(store_->Get(oid).ok());  // cached against the old schema
+  ASSERT_TRUE(cat_.AddAttribute(company_, {"Employees", Domain::Int(),
+                                           Value::Int(42)})
+                  .ok());
+  bool hit = true;
+  auto obj = store_->Get(oid, &hit);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_FALSE(hit);  // version tag mismatch forces re-materialization
+  AttrId emp = (*cat_.ResolveAttr(company_, "Employees"))->id;
+  EXPECT_EQ(obj->Get(emp).as_int(), 42);
+}
+
+TEST_F(ObjectStoreTest, RewriteExtentClearsCache) {
+  Oid oid = MustInsert(company_, {{"Name", Value::Str("GM")},
+                                  {"Location", Value::Str("Detroit")}});
+  ASSERT_TRUE(store_->Get(oid).ok());
+  ASSERT_TRUE(cat_.DropAttribute(company_, "Location").ok());
+  ASSERT_TRUE(store_->RewriteExtent(company_).ok());
+  bool hit = true;
+  auto obj = store_->Get(oid, &hit);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_FALSE(hit);
+  AttrId name = (*cat_.ResolveAttr(company_, "Name"))->id;
+  EXPECT_TRUE(obj->Has(name));
+}
+
+// Standalone engine with an explicit cache budget.
+struct CacheEnv {
+  std::unique_ptr<DiskManager> disk;
+  std::unique_ptr<BufferPool> bp;
+  Catalog cat;
+  std::unique_ptr<ObjectStore> store;
+  ClassId cls;
+
+  explicit CacheEnv(size_t cache_bytes)
+      : disk(DiskManager::OpenInMemory()),
+        bp(std::make_unique<BufferPool>(disk.get(), 256)) {
+    cls = *cat.CreateClass("Doc", {}, {{"Body", Domain::String()}});
+    auto s = ObjectStore::Open(bp.get(), &cat, /*wal=*/nullptr,
+                               /*attach_to_catalog=*/true, cache_bytes);
+    EXPECT_TRUE(s.ok());
+    store = std::move(*s);
+  }
+
+  Oid MustInsert(std::string body) {
+    Result<Object> obj =
+        BuildObject(cat, cls, {{"Body", Value::Str(std::move(body))}});
+    EXPECT_TRUE(obj.ok()) << obj.status().ToString();
+    Result<Oid> oid = store->Insert(1, cls, std::move(*obj), kNilOid);
+    EXPECT_TRUE(oid.ok()) << oid.status().ToString();
+    return *oid;
+  }
+};
+
+TEST(ObjectCacheModeTest, DisabledCachePreservesBehavior) {
+  CacheEnv env(/*cache_bytes=*/0);
+  EXPECT_FALSE(env.store->object_cache().enabled());
+  Oid oid = env.MustInsert("hello");
+  AttrId body = (*env.cat.ResolveAttr(env.cls, "Body"))->id;
+  bool hit = true;
+  for (int i = 0; i < 3; ++i) {
+    auto obj = env.store->Get(oid, &hit);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_FALSE(hit);  // never served from cache
+    EXPECT_EQ(obj->Get(body).as_string(), "hello");
+  }
+  ASSERT_TRUE(env.store->SetAttr(1, oid, "Body", Value::Str("bye")).ok());
+  auto obj = env.store->Get(oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->Get(body).as_string(), "bye");
+  // A disabled cache counts nothing and holds nothing.
+  const ObjectCacheStats cs = env.store->object_cache().stats();
+  EXPECT_EQ(cs.hits, 0u);
+  EXPECT_EQ(cs.misses, 0u);
+  EXPECT_EQ(cs.resident_objects, 0u);
+  EXPECT_EQ(cs.resident_bytes, 0u);
+}
+
+TEST(ObjectCacheModeTest, EvictionRespectsByteBudget) {
+  constexpr size_t kBudget = 16 * 1024;
+  CacheEnv env(kBudget);
+  // Far more payload than the budget: ~200 objects x ~512B strings.
+  std::vector<Oid> oids;
+  for (int i = 0; i < 200; ++i) {
+    oids.push_back(env.MustInsert(std::string(512, 'a' + (i % 26))));
+  }
+  for (Oid oid : oids) ASSERT_TRUE(env.store->Get(oid).ok());
+  const ObjectCacheStats cs = env.store->object_cache().stats();
+  EXPECT_GT(cs.evictions, 0u);
+  EXPECT_LE(cs.resident_bytes, kBudget);
+  EXPECT_LT(cs.resident_objects, oids.size());
+  // Evicted entries still read correctly (back through the heap).
+  AttrId body = (*env.cat.ResolveAttr(env.cls, "Body"))->id;
+  auto obj = env.store->Get(oids[0]);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->Get(body).as_string(), std::string(512, 'a'));
+}
+
+TEST(ObjectCacheModeTest, OversizedObjectsAreNotCached) {
+  constexpr size_t kBudget = 8 * 1024;  // shard budget 1 KiB; half = 512 B
+  CacheEnv env(kBudget);
+  Oid big = env.MustInsert(std::string(2048, 'x'));
+  bool hit = true;
+  ASSERT_TRUE(env.store->Get(big, &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(env.store->Get(big, &hit).ok());
+  EXPECT_FALSE(hit);  // never admitted: would wipe the whole shard
+  EXPECT_EQ(env.store->object_cache().stats().resident_objects, 0u);
+}
+
 }  // namespace
 }  // namespace kimdb
