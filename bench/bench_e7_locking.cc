@@ -15,6 +15,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "query/query_engine.h"
 #include "txn/transaction.h"
 #include "workloads/bench_env.h"
 #include "workloads/workloads.h"
@@ -123,6 +128,151 @@ BENCHMARK(BM_ClassGranuleLocking)
     ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
     ->Setup(SetupFixture)->Teardown(TeardownFixture)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// --- MVCC snapshot readers vs a full-speed writer ---------------------------
+//
+// The point of the snapshot read path: reader latency stays flat while a
+// background writer commits updates as fast as it can, because readers
+// resolve versions with zero lock-manager traffic. Both benchmarks report
+// reader latency percentiles plus the lock.wait_ns percentiles of the
+// whole run (all of which is writer-side waiting: the snapshot path never
+// enters the lock manager).
+
+struct WriterHarness {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> commits{0};
+  std::thread thread;
+  obs::Histogram reader_ns;
+  obs::Histogram lock_wait_ns;
+
+  void Start() {
+    g_fixture->locks.AttachMetrics(&lock_wait_ns);
+    stop.store(false, std::memory_order_relaxed);
+    thread = std::thread([this] {
+      E7Fixture& f = *g_fixture;
+      Random rng(99);
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<uint64_t> t = f.txns->Begin();
+        if (!t.ok()) continue;
+        Oid oid = f.oids[rng.Uniform(f.oids.size())];
+        Result<Object> obj = f.txns->Get(*t, oid);
+        Status st = obj.status();
+        if (obj.ok()) {
+          obj->Set(f.counter, Value::Int(obj->Get(f.counter).as_int() + 1));
+          st = f.txns->Update(*t, *obj);
+        }
+        if (st.ok() && f.txns->Commit(*t).ok()) {
+          commits.fetch_add(1, std::memory_order_relaxed);
+        } else if (!st.ok()) {
+          (void)f.txns->Abort(*t);
+        }
+      }
+    });
+  }
+
+  void Stop() {
+    stop.store(true, std::memory_order_relaxed);
+    if (thread.joinable()) thread.join();
+    g_fixture->locks.AttachMetrics(nullptr);
+  }
+};
+
+WriterHarness* g_writer = nullptr;
+
+void SetupWriter(const benchmark::State& state) {
+  SetupFixture(state);
+  if (g_writer == nullptr) {
+    g_writer = new WriterHarness();
+    g_writer->Start();
+  }
+}
+
+void TeardownWriter(const benchmark::State& state) {
+  if (g_writer != nullptr) {
+    g_writer->Stop();
+    delete g_writer;
+    g_writer = nullptr;
+  }
+  TeardownFixture(state);
+}
+
+void ReportReaderCounters(benchmark::State& state) {
+  // Every thread reads the same shared histograms, so average across
+  // threads reports the value itself.
+  constexpr auto kAvg = benchmark::Counter::kAvgThreads;
+  obs::HistogramData r = g_writer->reader_ns.data();
+  state.counters["reader_p50_ns"] =
+      benchmark::Counter(static_cast<double>(r.Percentile(0.50)), kAvg);
+  state.counters["reader_p95_ns"] =
+      benchmark::Counter(static_cast<double>(r.Percentile(0.95)), kAvg);
+  state.counters["reader_p99_ns"] =
+      benchmark::Counter(static_cast<double>(r.Percentile(0.99)), kAvg);
+  obs::HistogramData w = g_writer->lock_wait_ns.data();
+  state.counters["lock_wait_p99_ns"] =
+      benchmark::Counter(static_cast<double>(w.Percentile(0.99)), kAvg);
+  state.counters["writer_commits"] = benchmark::Counter(
+      static_cast<double>(
+          g_writer->commits.load(std::memory_order_relaxed)),
+      kAvg);
+}
+
+// Snapshot point reads racing the writer. Latency should match the
+// writer-less BM_ConcurrentGet_Cached class of results: no IS/S locks, no
+// shared store mutex on the version-resolution path.
+void BM_ConcurrentGet_WithWriter(benchmark::State& state) {
+  E7Fixture& f = *g_fixture;
+  MvccTable* mvcc = f.txns->mvcc();
+  Random rng(500 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    Snapshot snap = mvcc->AcquireSnapshot();
+    Oid oid = f.oids[rng.Uniform(f.oids.size())];
+    obs::Timer tm(&g_writer->reader_ns);
+    bool cache_hit = false;
+    Result<std::shared_ptr<const Object>> obj =
+        f.env->store->GetSharedSnapshot(oid, snap.read_ts(), &cache_hit);
+    tm.Stop();
+    if (!obj.ok()) {
+      state.SkipWithError(obj.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*obj);
+  }
+  ReportReaderCounters(state);
+}
+
+// A full snapshot extent scan racing the writer. The repeatable result
+// cardinality doubles as a correctness check: the writer only updates, so
+// every snapshot must see exactly kObjects objects.
+void BM_ScanUnderUpdate(benchmark::State& state) {
+  E7Fixture& f = *g_fixture;
+  QueryEngine qe(f.env->store.get(), /*indexes=*/nullptr);
+  Query q;
+  q.target = f.cls;
+  q.hierarchy_scope = false;
+  for (auto _ : state) {
+    obs::Timer tm(&g_writer->reader_ns);
+    Result<std::vector<Oid>> hits = qe.Execute(q);
+    tm.Stop();
+    if (!hits.ok()) {
+      state.SkipWithError(hits.status().ToString().c_str());
+      return;
+    }
+    if (hits->size() != kObjects) {
+      state.SkipWithError("snapshot scan saw a torn extent");
+      return;
+    }
+  }
+  state.counters["objects"] = static_cast<double>(kObjects);
+  ReportReaderCounters(state);
+}
+
+BENCHMARK(BM_ConcurrentGet_WithWriter)
+    ->Threads(1)->Threads(4)->Threads(8)
+    ->Setup(SetupWriter)->Teardown(TeardownWriter)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ScanUnderUpdate)
+    ->Setup(SetupWriter)->Teardown(TeardownWriter)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bench

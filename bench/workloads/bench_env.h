@@ -21,9 +21,24 @@ struct Env {
   std::unique_ptr<Catalog> catalog;
   std::unique_ptr<ObjectStore> store;
 
+  /// KIMDB_OBJECT_CACHE_BYTES overrides the object-cache budget for any
+  /// benchmark binary (experiment E8 sweeps it without recompiling);
+  /// callers that pass an explicit `object_cache_bytes` still win.
+  static size_t CacheBytesFromEnv(size_t fallback) {
+    const char* env = std::getenv("KIMDB_OBJECT_CACHE_BYTES");
+    if (env == nullptr || *env == '\0') return fallback;
+    char* end = nullptr;
+    unsigned long long bytes = std::strtoull(env, &end, 10);
+    return (end != nullptr && *end == '\0') ? static_cast<size_t>(bytes)
+                                            : fallback;
+  }
+
   static std::unique_ptr<Env> Create(
       size_t pool_pages = 8192,
       size_t object_cache_bytes = ObjectStore::kDefaultCacheBytes) {
+    if (object_cache_bytes == ObjectStore::kDefaultCacheBytes) {
+      object_cache_bytes = CacheBytesFromEnv(object_cache_bytes);
+    }
     auto env = std::make_unique<Env>();
     env->disk = DiskManager::OpenInMemory();
     env->bp = std::make_unique<BufferPool>(env->disk.get(), pool_pages);

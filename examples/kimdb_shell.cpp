@@ -19,6 +19,7 @@
 //   .check
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -145,6 +146,7 @@ constexpr const char* kHelp = R"(commands:
   .insert <Class> [attr=value ...]            insert (values: 7, 1.5,
                                               true, 'str', @c:s, null)
   .get @c:s | .set @c:s attr value | .delete @c:s
+  .set cache_bytes <N>                        resize the object cache
   .send @c:s method                           late-bound message (0 args)
   .index <ch|single|nested> <Class> <attr[.attr...]>
   .explain select ...                         show the chosen plan
@@ -317,6 +319,17 @@ void Shell::Dispatch(const std::string& line) {
       } else {
         std::printf("error: %s\n", obj.status().ToString().c_str());
       }
+    }
+  } else if (cmd == ".set" && args.size() == 3 && args[1] == "cache_bytes") {
+    // Runtime object-cache resize (experiment E8: working sets that
+    // thrash the default 4 MiB budget).
+    char* end = nullptr;
+    unsigned long long bytes = std::strtoull(args[2].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || args[2].empty()) {
+      std::printf("usage: .set cache_bytes <bytes>\n");
+    } else {
+      db_->store().ResizeObjectCache(static_cast<size_t>(bytes));
+      std::printf("object cache capacity = %llu bytes\n", bytes);
     }
   } else if (cmd == ".set" && args.size() == 4) {
     Result<Oid> oid = ParseOid(args[1]);

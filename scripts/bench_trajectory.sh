@@ -22,19 +22,21 @@ TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_BENCH"' EXIT
 
 run_bench() {
-  local name="$1" filter="$2"
+  # run_bench <binary> <filter> [suite-name]: suite-name lets one binary
+  # contribute several datapoints (e.g. E4 at two cache budgets).
+  local name="$1" filter="$2" suite="${3:-$1}"
   local bin="$BUILD_DIR/bench/$name"
   if [[ ! -x "$bin" ]]; then
     echo "WARN: $bin not built; skipping" >&2
     return 0
   fi
-  echo "== $name (filter: ${filter:-all})" >&2
+  echo "== $suite (filter: ${filter:-all})" >&2
   local args=(--benchmark_format=json)
   [[ -n "$filter" ]] && args+=("--benchmark_filter=$filter")
-  if ! "$bin" "${args[@]}" > "$TMPDIR_BENCH/$name.json" 2> "$TMPDIR_BENCH/$name.err"; then
-    echo "WARN: $name failed:" >&2
-    cat "$TMPDIR_BENCH/$name.err" >&2
-    rm -f "$TMPDIR_BENCH/$name.json"
+  if ! "$bin" "${args[@]}" > "$TMPDIR_BENCH/$suite.json" 2> "$TMPDIR_BENCH/$suite.err"; then
+    echo "WARN: $suite failed:" >&2
+    cat "$TMPDIR_BENCH/$suite.err" >&2
+    rm -f "$TMPDIR_BENCH/$suite.json"
   fi
 }
 
@@ -42,6 +44,11 @@ run_bench bench_e1_query_model    "${KIMDB_BENCH_FILTER_E1:-(BM_SingleClassScope
 run_bench bench_e4_swizzling      "${KIMDB_BENCH_FILTER_E4:-(BM_PointGet|BM_Traversal_OidLookup|BM_ConcurrentGet)}"
 run_bench bench_e5_oo1            "${KIMDB_BENCH_FILTER_E5:-BM_Oo1DurableCommit}"
 run_bench bench_buffer_pool       "${KIMDB_BENCH_FILTER_BP:-(BM_Fetch_HitHeavy|BM_SequentialSweep)}"
+# E8: object-cache capacity. The default 4 MiB budget thrashes a 20k-object
+# working set (oc-hit ratio ~0.716 on the cached-get workloads); the same
+# workloads at 32 MiB quantify what a right-sized cache buys.
+KIMDB_OBJECT_CACHE_BYTES="${KIMDB_BENCH_E8_CACHE_BYTES:-33554432}" \
+  run_bench bench_e4_swizzling "${KIMDB_BENCH_FILTER_E8:-(BM_PointGet|BM_ConcurrentGet)}" bench_e8_cache_32m
 
 python3 - "$OUT" "$TMPDIR_BENCH" <<'EOF'
 import json

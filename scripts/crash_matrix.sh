@@ -4,7 +4,10 @@
 # WAL append (fail-stop and torn-write) and every buffer-pool page write,
 # then reopens, recovers, and checks the durability invariants
 # (committed-durable, aborted/uncommitted-invisible, idempotent recovery,
-# index/extent agreement).
+# index/extent agreement). Targeted cells cover a crash mid-abort and a
+# crash in the window between MVCC commit-timestamp allocation and the
+# durable stamped kCommit append (the recovered commit clock must equal
+# the durable frontier, not the speculative in-memory one).
 #
 # Usage: scripts/crash_matrix.sh [build-dir]   (default: build)
 #

@@ -36,6 +36,10 @@ required = [
     "lock.acquired", "lock.waits", "lock.deadlocks", "lock.wait_ns",
     "txn.begun", "txn.committed", "txn.aborted",
     "txn.commit_ns", "txn.abort_ns",
+    "txn.snapshot_acquired", "txn.snapshot_live", "txn.snapshot_conflicts",
+    "txn.commit_ts",
+    "objectstore.versions_installed", "objectstore.versions_pruned",
+    "objectstore.versions_chains", "objectstore.versions_entries",
     "index.maintenance_ops", "index.key_recomputations",
     "objectstore.cache_hits", "objectstore.cache_misses",
     "objectstore.cache_evictions", "objectstore.cache_invalidations",
@@ -50,11 +54,14 @@ for name in required:
     assert name in m2, f"metric {name} missing from METRICS2"
 
 # Counters (and histogram counts) are monotonic between the snapshots;
-# recovery.* are gauges of the last recovery run, and the object-cache
-# resident_* collectors are occupancy levels (evictions shrink them) --
-# both exempt.
+# recovery.* are gauges of the last recovery run, and the occupancy
+# levels (object-cache resident_*, live snapshots, version-chain sizes)
+# legitimately shrink -- all exempt.
+levels = {"txn.snapshot_live", "objectstore.versions_chains",
+          "objectstore.versions_entries"}
 for name, v1 in m1.items():
-    if name.startswith("recovery.") or ".cache_resident_" in name:
+    if (name.startswith("recovery.") or ".cache_resident_" in name
+            or name in levels):
         continue
     v2 = m2[name]
     if isinstance(v1, dict):

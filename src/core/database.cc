@@ -144,6 +144,10 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
                          CompositeManager::Attach(db->store_.get()));
   db->notifier_ = std::make_unique<ChangeNotifier>(db->store_.get());
   db->txns_ = std::make_unique<TxnManager>(db->store_.get(), &db->locks_);
+  // Fast-forward the MVCC commit clock past every durably committed
+  // timestamp the recovery pass found, so post-recovery snapshots see
+  // exactly the durable commits and new commits allocate beyond them.
+  db->txns_->RestoreCommitClock(db->recovery_stats_.max_commit_ts);
   db->checkout_ = std::make_unique<CheckoutManager>(db->store_.get());
   db->authz_ = std::make_unique<AuthorizationManager>(db->catalog_.get());
   db->rules_ = std::make_unique<RuleEngine>(db->store_.get());
@@ -229,6 +233,27 @@ void Database::WireMetrics() {
                       [txns] { return txns->stats().aborted; });
   txns->AttachMetrics(m.GetHistogram("txn.commit_ns"),
                       m.GetHistogram("txn.abort_ns"));
+
+  // MVCC snapshot-read protocol (DESIGN.md §13).
+  MvccTable* mvcc = txns->mvcc();
+  m.RegisterCollector("txn.snapshot_acquired", [mvcc] {
+    return mvcc->stats().snapshots_acquired;
+  });
+  m.RegisterCollector("txn.snapshot_live",
+                      [mvcc] { return mvcc->stats().snapshots_live; });
+  m.RegisterCollector("txn.snapshot_conflicts",
+                      [mvcc] { return mvcc->stats().write_conflicts; });
+  m.RegisterCollector("txn.commit_ts",
+                      [mvcc] { return mvcc->stats().commit_ts; });
+  m.RegisterCollector("objectstore.versions_installed", [mvcc] {
+    return mvcc->stats().versions_installed;
+  });
+  m.RegisterCollector("objectstore.versions_pruned",
+                      [mvcc] { return mvcc->stats().versions_pruned; });
+  m.RegisterCollector("objectstore.versions_chains",
+                      [mvcc] { return mvcc->stats().versions_chains; });
+  m.RegisterCollector("objectstore.versions_entries",
+                      [mvcc] { return mvcc->stats().versions_entries; });
 
   IndexManager* indexes = indexes_.get();
   m.RegisterCollector("index.maintenance_ops",

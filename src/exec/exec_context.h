@@ -135,6 +135,26 @@ class ExecContext {
     return Status::OK();
   }
 
+  // --- MVCC snapshot --------------------------------------------------------
+
+  /// Arms multiversion visibility: every operator in the plan resolves each
+  /// OID to the newest committed version <= read_ts instead of trusting the
+  /// raw heap image. The caller (QueryEngine::Execute) owns the underlying
+  /// Snapshot pin; the context only carries the timestamp. Parallel scans
+  /// copy it onto their worker shadow contexts.
+  void set_snapshot(uint64_t read_ts) {
+    snapshot_ts_ = read_ts;
+    snapshot_active_ = true;
+  }
+  /// Disarms the snapshot -- call when the owning pin is released, so a
+  /// reused context cannot read through a retired (prunable) timestamp.
+  void clear_snapshot() {
+    snapshot_active_ = false;
+    snapshot_ts_ = 0;
+  }
+  bool snapshot_active() const { return snapshot_active_; }
+  uint64_t snapshot_ts() const { return snapshot_ts_; }
+
   // --- scan parallelism knob ----------------------------------------------
 
   /// Worker count the lowering uses for extent scans; 1 (default) lowers
@@ -187,6 +207,9 @@ class ExecContext {
   BufferPool* bp_ = nullptr;
   BufferPoolStats baseline_{};
   size_t scan_parallelism_ = 1;
+  // Set once before execution starts (no atomics needed: workers only read).
+  bool snapshot_active_ = false;
+  uint64_t snapshot_ts_ = 0;
   std::atomic<bool> has_deadline_{false};
   // steady_clock ticks since epoch; atomic because set_budget may re-arm
   // while parallel scan workers read it through CheckBudget.

@@ -1,6 +1,7 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace kimdb {
 namespace exec {
@@ -13,14 +14,40 @@ Status ExtentScan::OpenImpl(ExecContext* ctx) {
   ra_pos_ = 0;
   buf_.clear();
   buf_pos_ = 0;
+  seen_.clear();
+  ghosts_.clear();
+  ghost_pos_ = 0;
+  ghost_done_ = false;
   ctx->Trace("ExtentScan(" + name_ + "): open, " +
              std::to_string(pages_.size()) + " page(s)");
   return Status::OK();
 }
 
 Result<bool> ExtentScan::NextImpl(ExecContext* ctx, Row* row) {
+  const MvccTable* mvcc = store_->mvcc();
+  const bool snap = ctx->snapshot_active() && mvcc != nullptr;
+  const uint64_t read_ts = ctx->snapshot_ts();
   while (buf_pos_ >= buf_.size()) {
-    if (page_idx_ >= pages_.size()) return false;
+    if (page_idx_ >= pages_.size()) {
+      // Ghost pass: versions visible at the snapshot whose heap record was
+      // deleted, or moved to a page this scan had already passed. The
+      // seen-set keeps records the heap pass emitted from repeating.
+      if (snap && !ghost_done_) {
+        ghosts_ = mvcc->CollectVisible(cls_, read_ts);
+        ghost_pos_ = 0;
+        ghost_done_ = true;
+      }
+      while (ghost_pos_ < ghosts_.size()) {
+        auto& [oid, image] = ghosts_[ghost_pos_++];
+        if (seen_.count(oid) > 0) continue;
+        ctx->objects_scanned.fetch_add(1, std::memory_order_relaxed);
+        row->oid = oid;
+        row->obj = *image;
+        row->tuple.clear();
+        return true;
+      }
+      return false;
+    }
     KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
     if (page_idx_ >= ra_pos_) {
       // Stage the next window of extent pages before pinning them.
@@ -33,12 +60,32 @@ Result<bool> ExtentScan::NextImpl(ExecContext* ctx, Row* row) {
     }
     buf_.clear();
     buf_pos_ = 0;
+    size_t decoded = 0;
     KIMDB_RETURN_IF_ERROR(store_->ForEachInClassOnPage(
         cls_, pages_[page_idx_++], [&](Object& obj) {
+          ++decoded;
+          if (snap) {
+            // Decode-then-resolve: the heap image is authoritative only
+            // when no version chain exists; otherwise the chain decides
+            // what (if anything) this snapshot sees.
+            std::shared_ptr<const Object> image;
+            switch (mvcc->Resolve(obj.oid(), read_ts, &image)) {
+              case MvccLookup::kNoChain:
+                break;
+              case MvccLookup::kImage:
+                obj = *image;
+                break;
+              case MvccLookup::kInvisible:
+                return Status::OK();
+            }
+            // Also dedups a record decoded twice because it moved pages
+            // mid-scan.
+            if (!seen_.insert(obj.oid()).second) return Status::OK();
+          }
           buf_.push_back(std::move(obj));
           return Status::OK();
         }));
-    ctx->objects_scanned.fetch_add(buf_.size(), std::memory_order_relaxed);
+    ctx->objects_scanned.fetch_add(decoded, std::memory_order_relaxed);
   }
   Object& obj = buf_[buf_pos_++];
   row->oid = obj.oid();
@@ -50,6 +97,8 @@ Result<bool> ExtentScan::NextImpl(ExecContext* ctx, Row* row) {
 void ExtentScan::CloseImpl(ExecContext*) {
   pages_.clear();
   buf_.clear();
+  seen_.clear();
+  ghosts_.clear();
 }
 
 // --- HierarchyScan ----------------------------------------------------------
@@ -157,7 +206,13 @@ Result<bool> Filter::NextImpl(ExecContext* ctx, Row* row) {
     if (!row->obj.has_value()) {
       ctx->objects_fetched.fetch_add(1, std::memory_order_relaxed);
       bool cache_hit = false;
-      Result<Object> obj = store_->Get(row->oid, &cache_hit);
+      // Snapshot fetches resolve to the version visible at read_ts; an
+      // object invisible at the snapshot comes back NotFound and is
+      // skipped exactly like a deleted index candidate.
+      Result<Object> obj =
+          ctx->snapshot_active()
+              ? store_->GetSnapshot(row->oid, ctx->snapshot_ts(), &cache_hit)
+              : store_->Get(row->oid, &cache_hit);
       (cache_hit ? ctx->obj_cache_hits : ctx->obj_cache_misses)
           .fetch_add(1, std::memory_order_relaxed);
       if (!obj.ok()) {
@@ -184,6 +239,10 @@ Status ParallelExtentScan::OpenImpl(ExecContext* ctx) {
   queue_.clear();
   out_buf_.clear();
   out_pos_ = 0;
+  seen_.clear();
+  ghosts_.clear();
+  ghost_pos_ = 0;
+  ghost_done_ = false;
   worker_error_ = Status::OK();
   stop_.store(false, std::memory_order_release);
 
@@ -216,6 +275,12 @@ void ParallelExtentScan::WorkerLoop(ExecContext* ctx, size_t begin,
   // counter cache lines ping-pong between cores and eat the scan speedup.
   // Budget / cancellation state stays on the real context.
   ExecContext shadow;
+  const MvccTable* mvcc = store_->mvcc();
+  const bool snap = ctx->snapshot_active() && mvcc != nullptr;
+  const uint64_t read_ts = ctx->snapshot_ts();
+  // The predicate hook reads visibility off the context it evaluates
+  // under, so the shadow must carry the snapshot too (path hops).
+  if (snap) shadow.set_snapshot(read_ts);
   std::vector<Oid> batch;
   BufferPool* bp = store_->buffer_pool();
   const size_t window = bp->readahead_window();
@@ -241,11 +306,26 @@ void ParallelExtentScan::WorkerLoop(ExecContext* ctx, size_t begin,
             return Status::Aborted("scan closed");
           }
           shadow.objects_scanned.fetch_add(1, std::memory_order_relaxed);
+          // Decode-then-resolve (see ExtentScan): the version chain, not
+          // the heap image, decides what the snapshot sees.
+          const Object* eval_obj = &obj;
+          std::shared_ptr<const Object> image;
+          if (snap) {
+            switch (mvcc->Resolve(obj.oid(), read_ts, &image)) {
+              case MvccLookup::kNoChain:
+                break;
+              case MvccLookup::kImage:
+                eval_obj = image.get();
+                break;
+              case MvccLookup::kInvisible:
+                return Status::OK();
+            }
+          }
           bool match = true;
           if (pred_) {
-            KIMDB_ASSIGN_OR_RETURN(match, pred_(obj, &shadow));
+            KIMDB_ASSIGN_OR_RETURN(match, pred_(*eval_obj, &shadow));
           }
-          if (match) batch.push_back(obj.oid());
+          if (match) batch.push_back(eval_obj->oid());
           return Status::OK();
         });
     if (st.ok() && !batch.empty() && !PushBatch(&batch)) {
@@ -277,26 +357,63 @@ bool ParallelExtentScan::PushBatch(std::vector<Oid>* batch) {
   return true;
 }
 
-Result<bool> ParallelExtentScan::NextImpl(ExecContext*, Row* row) {
-  if (out_pos_ >= out_buf_.size()) {
-    // Drain everything queued in one lock acquisition; the consumer then
-    // serves rows lock-free until the buffer runs dry.
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_rows_.wait(lock, [&] {
-      return !queue_.empty() || active_workers_ == 0 || !worker_error_.ok();
-    });
-    if (!worker_error_.ok()) return worker_error_;
-    out_buf_.assign(queue_.begin(), queue_.end());
-    out_pos_ = 0;
-    queue_.clear();
-    lock.unlock();
-    cv_space_.notify_all();
-    if (out_buf_.empty()) return false;  // workers drained, queue empty
+Result<bool> ParallelExtentScan::NextImpl(ExecContext* ctx, Row* row) {
+  const MvccTable* mvcc = store_->mvcc();
+  const bool snap = ctx->snapshot_active() && mvcc != nullptr;
+  while (true) {
+    if (out_pos_ >= out_buf_.size()) {
+      // Drain everything queued in one lock acquisition; the consumer then
+      // serves rows lock-free until the buffer runs dry.
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_rows_.wait(lock, [&] {
+        return !queue_.empty() || active_workers_ == 0 || !worker_error_.ok();
+      });
+      if (!worker_error_.ok()) return worker_error_;
+      out_buf_.assign(queue_.begin(), queue_.end());
+      out_pos_ = 0;
+      queue_.clear();
+      lock.unlock();
+      cv_space_.notify_all();
+      if (out_buf_.empty()) {
+        // Workers drained. Under a snapshot, finish with the ghost pass:
+        // visible versions whose heap record moved or vanished mid-scan,
+        // deduplicated against everything already emitted and run through
+        // the same predicate the workers applied.
+        if (snap && !ghost_done_) {
+          for (const auto& [cls, name] : classes_) {
+            auto vis = mvcc->CollectVisible(cls, ctx->snapshot_ts());
+            ghosts_.insert(ghosts_.end(),
+                           std::make_move_iterator(vis.begin()),
+                           std::make_move_iterator(vis.end()));
+          }
+          ghost_pos_ = 0;
+          ghost_done_ = true;
+        }
+        while (ghost_pos_ < ghosts_.size()) {
+          auto& [oid, image] = ghosts_[ghost_pos_++];
+          if (seen_.count(oid) > 0) continue;
+          if (pred_) {
+            KIMDB_ASSIGN_OR_RETURN(bool match, pred_(*image, ctx));
+            if (!match) continue;
+          }
+          seen_.insert(oid);
+          row->oid = oid;
+          row->obj = *image;
+          row->tuple.clear();
+          return true;
+        }
+        return false;
+      }
+    }
+    Oid oid = out_buf_[out_pos_++];
+    // Dedup against a record decoded twice because it moved pages mid-scan
+    // (only possible -- and only tracked -- when a snapshot is armed).
+    if (snap && !seen_.insert(oid).second) continue;
+    row->oid = oid;
+    row->obj.reset();
+    row->tuple.clear();
+    return true;
   }
-  row->oid = out_buf_[out_pos_++];
-  row->obj.reset();
-  row->tuple.clear();
-  return true;
 }
 
 void ParallelExtentScan::CloseImpl(ExecContext* ctx) {
@@ -314,6 +431,10 @@ void ParallelExtentScan::Shutdown() {
   queue_.clear();
   out_buf_.clear();
   out_pos_ = 0;
+  seen_.clear();
+  ghosts_.clear();
+  ghost_pos_ = 0;
+  ghost_done_ = false;
 }
 
 std::string ParallelExtentScan::Describe() const {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -29,6 +30,13 @@ using MatchFn = std::function<Result<bool>(const Object&, ExecContext*)>;
 
 /// Scans the extent of exactly one class, page by page, producing
 /// materialized objects. Polls the budget at page granularity.
+///
+/// Under an armed snapshot (ExecContext::snapshot_active) every decoded
+/// record is resolved against the store's MVCC version table: records
+/// updated after the snapshot emit their visible version instead of the
+/// heap image, records born after (or deleted before) it are skipped, and
+/// an end-of-scan ghost pass emits visible versions whose heap record
+/// moved or vanished mid-scan (deduplicated through the seen-OID set).
 class ExtentScan : public Operator {
  public:
   ExtentScan(const ObjectStore* store, ClassId cls, std::string class_name)
@@ -48,6 +56,11 @@ class ExtentScan : public Operator {
   size_t ra_pos_ = 0;  // first extent page not yet staged via ReadAhead
   std::vector<Object> buf_;  // decoded objects of the current page
   size_t buf_pos_ = 0;
+  // Snapshot-mode state (unused when no snapshot is armed).
+  std::unordered_set<Oid> seen_;  // OIDs already emitted from heap pages
+  std::vector<std::pair<Oid, std::shared_ptr<const Object>>> ghosts_;
+  size_t ghost_pos_ = 0;
+  bool ghost_done_ = false;
 };
 
 /// Union of the extents of a class and its subclasses (the paper's
@@ -140,6 +153,11 @@ class Filter : public Operator {
 /// through a bounded queue; row order is therefore nondeterministic, but
 /// the produced *set* equals the serial scan's. Workers poll the budget at
 /// page granularity and the first real worker error is surfaced by Next.
+///
+/// Snapshot mode mirrors ExtentScan: workers resolve each decoded record
+/// against the MVCC table (evaluating the predicate on the visible version)
+/// and the consumer runs the seen-set-deduplicated ghost pass once the
+/// workers drain.
 class ParallelExtentScan : public Operator {
  public:
   /// `classes` are (id, name) pairs in scope order; `pred` may be null for
@@ -193,6 +211,11 @@ class ParallelExtentScan : public Operator {
   Status worker_error_;
   std::vector<Oid> out_buf_;  // consumer-side drain buffer (no lock needed)
   size_t out_pos_ = 0;
+  // Snapshot-mode state, consumer-side only (unused without a snapshot).
+  std::unordered_set<Oid> seen_;
+  std::vector<std::pair<Oid, std::shared_ptr<const Object>>> ghosts_;
+  size_t ghost_pos_ = 0;
+  bool ghost_done_ = false;
 };
 
 }  // namespace exec

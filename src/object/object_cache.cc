@@ -38,6 +38,11 @@ ObjectCache::ObjectCache(size_t capacity_bytes)
 
 std::shared_ptr<const Object> ObjectCache::Lookup(Oid oid,
                                                   uint64_t schema_version) {
+  return LookupSnapshot(oid, schema_version, UINT64_MAX);
+}
+
+std::shared_ptr<const Object> ObjectCache::LookupSnapshot(
+    Oid oid, uint64_t schema_version, uint64_t read_ts) {
   if (!enabled()) return nullptr;
   constexpr auto kRelaxed = std::memory_order_relaxed;
   Shard& sh = ShardFor(oid);
@@ -54,23 +59,29 @@ std::shared_ptr<const Object> ObjectCache::Lookup(Oid oid,
     misses_.fetch_add(1, kRelaxed);
     return nullptr;
   }
+  if (it->second.commit_ts > read_ts) {
+    // Too new for this snapshot; the visible version is in the MVCC chain.
+    // The entry stays (it is correct for current-time readers).
+    misses_.fetch_add(1, kRelaxed);
+    return nullptr;
+  }
   it->second.ref = true;
   hits_.fetch_add(1, kRelaxed);
   return it->second.obj;
 }
 
-void ObjectCache::Insert(Oid oid, const Object& obj,
-                         uint64_t schema_version) {
+void ObjectCache::Insert(Oid oid, const Object& obj, uint64_t schema_version,
+                         uint64_t commit_ts) {
   if (!enabled()) return;
-  Insert(oid, std::make_shared<const Object>(obj), schema_version);
+  Insert(oid, std::make_shared<const Object>(obj), schema_version, commit_ts);
 }
 
 void ObjectCache::Insert(Oid oid, std::shared_ptr<const Object> obj,
-                         uint64_t schema_version) {
+                         uint64_t schema_version, uint64_t commit_ts) {
   if (!enabled()) return;
   size_t bytes = ApproxBytes(*obj);
   // An entry that would monopolize its shard is not worth the sweep.
-  if (bytes > shard_capacity_ / 2) return;
+  if (bytes > shard_capacity_.load(std::memory_order_relaxed) / 2) return;
   Shard& sh = ShardFor(oid);
   std::lock_guard<std::mutex> lock(sh.mu);
   auto it = sh.map.find(oid);
@@ -81,6 +92,7 @@ void ObjectCache::Insert(Oid oid, std::shared_ptr<const Object> obj,
   Entry e;
   e.obj = std::move(obj);
   e.schema_version = schema_version;
+  e.commit_ts = commit_ts;
   e.bytes = bytes;
   e.ring_it = ring_it;
   sh.map.emplace(oid, std::move(e));
@@ -126,8 +138,20 @@ void ObjectCache::EraseLocked(Shard& sh,
   sh.map.erase(it);
 }
 
+void ObjectCache::Resize(size_t capacity_bytes) {
+  capacity_bytes_.store(capacity_bytes, std::memory_order_relaxed);
+  shard_capacity_.store(capacity_bytes / kShards, std::memory_order_relaxed);
+  // Shrinking (or disabling) takes effect immediately: sweep every shard
+  // down to its new budget.
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    EvictForLocked(sh, 0);
+  }
+}
+
 void ObjectCache::EvictForLocked(Shard& sh, size_t need) {
-  while (sh.bytes + need > shard_capacity_ && !sh.ring.empty()) {
+  const size_t cap = shard_capacity_.load(std::memory_order_relaxed);
+  while (sh.bytes + need > cap && !sh.ring.empty()) {
     if (sh.hand == sh.ring.end()) sh.hand = sh.ring.begin();
     auto it = sh.map.find(*sh.hand);
     if (it == sh.map.end()) {

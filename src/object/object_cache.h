@@ -60,8 +60,16 @@ class ObjectCache {
   ObjectCache(const ObjectCache&) = delete;
   ObjectCache& operator=(const ObjectCache&) = delete;
 
-  bool enabled() const { return capacity_bytes_ > 0; }
-  size_t capacity_bytes() const { return capacity_bytes_; }
+  bool enabled() const {
+    return capacity_bytes_.load(std::memory_order_relaxed) > 0;
+  }
+  size_t capacity_bytes() const {
+    return capacity_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Retargets the byte budget (shell `.set cache_bytes N`). Shrinking
+  /// evicts immediately; 0 disables the cache and drops everything.
+  void Resize(size_t capacity_bytes);
 
   /// Returns a shared reference to the cached image if present and
   /// materialized against `schema_version`, nullptr otherwise; a version
@@ -69,14 +77,27 @@ class ObjectCache {
   /// (disabled caches count nothing).
   std::shared_ptr<const Object> Lookup(Oid oid, uint64_t schema_version);
 
+  /// Snapshot-read variant: additionally requires the entry's commit-ts
+  /// tag to be <= read_ts. A live entry is always the *newest* committed
+  /// image (mutators invalidate at staging), so a tag at or below the
+  /// snapshot is exactly the version the snapshot must see; a tag above it
+  /// misses without invalidating (the older version lives in the MVCC
+  /// chain, not here).
+  std::shared_ptr<const Object> LookupSnapshot(Oid oid,
+                                               uint64_t schema_version,
+                                               uint64_t read_ts);
+
   /// Inserts (or replaces) the materialized image, evicting cold entries
   /// until the shard fits its byte budget. Objects larger than half a
   /// shard's budget are not cached (they would wipe the whole shard for
   /// one entry). The by-value overload copies; the shared overload
   /// adopts the caller's (immutable) instance without a copy.
-  void Insert(Oid oid, const Object& obj, uint64_t schema_version);
+  /// `commit_ts` tags the image with the commit timestamp it reflects
+  /// (0 when the store has no MVCC table or the object has no chain).
+  void Insert(Oid oid, const Object& obj, uint64_t schema_version,
+              uint64_t commit_ts = 0);
   void Insert(Oid oid, std::shared_ptr<const Object> obj,
-              uint64_t schema_version);
+              uint64_t schema_version, uint64_t commit_ts = 0);
 
   /// Drops the entry (mutation, undo, redo). Counts an invalidation only
   /// if the OID was resident.
@@ -98,6 +119,7 @@ class ObjectCache {
   struct Entry {
     std::shared_ptr<const Object> obj;
     uint64_t schema_version = 0;
+    uint64_t commit_ts = 0;  // commit timestamp the image reflects
     size_t bytes = 0;
     bool ref = false;  // CLOCK reference bit
     std::list<Oid>::iterator ring_it;
@@ -124,8 +146,8 @@ class ObjectCache {
   /// Caller holds the shard mutex.
   void EvictForLocked(Shard& sh, size_t need);
 
-  const size_t capacity_bytes_;
-  const size_t shard_capacity_;
+  std::atomic<size_t> capacity_bytes_;
+  std::atomic<size_t> shard_capacity_;
   Shard shards_[kShards];
 
   std::atomic<uint64_t> hits_{0};

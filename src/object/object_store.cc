@@ -138,6 +138,21 @@ Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
   KIMDB_ASSIGN_OR_RETURN(RecordId rid, heap->Insert(bytes, hint));
   directory_[oid] = rid;
 
+  if (mvcc_ != nullptr) {
+    // Chain base nullptr: the object did not exist before this transaction,
+    // so no snapshot older than the commit may see it. txn 0 is the
+    // non-transactional path (loaders, system writes): an instant commit,
+    // never a pending stage -- nothing would ever promote or discard it.
+    Object after = contents;
+    KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&after));
+    auto image = std::make_shared<const Object>(std::move(after));
+    if (txn == 0) {
+      mvcc_->CommitDirect(oid, nullptr, std::move(image));
+    } else {
+      mvcc_->StageWrite(txn, oid, nullptr, std::move(image));
+    }
+  }
+
   for (auto* l : listeners_) l->OnInsert(contents);
   return oid;
 }
@@ -155,6 +170,24 @@ Status ObjectStore::Update(uint64_t txn, const Object& obj) {
   RecordId rid = directory_.at(obj.oid());
   KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(rid, bytes));
   directory_[obj.oid()] = new_rid;
+
+  if (mvcc_ != nullptr) {
+    // Anchor the chain on the image committed before this writer touched
+    // the object (a no-op if the chain already exists -- in particular when
+    // `before` is this transaction's own earlier, uncommitted write).
+    Object base = before;
+    KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&base));
+    Object after = obj;
+    KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&after));
+    auto base_p = std::make_shared<const Object>(std::move(base));
+    auto after_p = std::make_shared<const Object>(std::move(after));
+    if (txn == 0) {
+      mvcc_->CommitDirect(obj.oid(), std::move(base_p), std::move(after_p));
+    } else {
+      mvcc_->StageWrite(txn, obj.oid(), std::move(base_p),
+                        std::move(after_p));
+    }
+  }
 
   // Drop the cached image before listeners run, so a listener reading the
   // OID back observes the new state, never the stale cache entry.
@@ -197,6 +230,17 @@ Status ObjectStore::Delete(uint64_t txn, Oid oid) {
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
   KIMDB_RETURN_IF_ERROR(heap->Delete(directory_.at(oid)));
   directory_.erase(oid);
+  if (mvcc_ != nullptr) {
+    Object base = before;
+    KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&base));
+    auto base_p = std::make_shared<const Object>(std::move(base));
+    if (txn == 0) {
+      mvcc_->CommitDirect(oid, std::move(base_p), nullptr);
+    } else {
+      mvcc_->StageWrite(txn, oid, std::move(base_p),
+                        nullptr);  // pending delete
+    }
+  }
   cache_.Invalidate(oid);
   for (auto* l : listeners_) l->OnDelete(before);
   return Status::OK();
@@ -276,7 +320,10 @@ Result<Object> ObjectStore::Get(Oid oid, bool* cache_hit) const {
   // evolved in between, the tag is stale versus the new version and the
   // entry self-invalidates on next lookup instead of masquerading as
   // current.
-  cache_.Insert(oid, obj, schema_version);
+  uint64_t commit_ts = 0;
+  if (mvcc_ == nullptr || mvcc_->CacheFillTs(oid, &commit_ts)) {
+    cache_.Insert(oid, obj, schema_version, commit_ts);
+  }
   return obj;
 }
 
@@ -301,8 +348,71 @@ Result<std::shared_ptr<const Object>> ObjectStore::GetShared(
   KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
   KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
   auto shared = std::make_shared<const Object>(std::move(obj));
-  cache_.Insert(oid, shared, schema_version);
+  uint64_t commit_ts = 0;
+  if (mvcc_ == nullptr || mvcc_->CacheFillTs(oid, &commit_ts)) {
+    cache_.Insert(oid, shared, schema_version, commit_ts);
+  }
   return shared;
+}
+
+Result<std::shared_ptr<const Object>> ObjectStore::GetSharedSnapshot(
+    Oid oid, uint64_t read_ts, bool* cache_hit) const {
+  if (mvcc_ == nullptr) return GetShared(oid, cache_hit);
+  obs::Timer timer(get_ns_);
+  *cache_hit = false;
+  // A live cache entry is always the newest committed image (mutators
+  // invalidate at staging, and fills are gated on "no pending write"), so
+  // a commit-ts tag at or below read_ts is exactly the version this
+  // snapshot must see. No store lock, no lock-manager traffic.
+  uint64_t schema_version = catalog_->schema_version();
+  if (std::shared_ptr<const Object> hit =
+          cache_.LookupSnapshot(oid, schema_version, read_ts)) {
+    *cache_hit = true;
+    return hit;
+  }
+  // Chain resolution off-lock: committed versions are immutable and the
+  // resolved shared_ptr stays valid past any concurrent prune.
+  std::shared_ptr<const Object> image;
+  switch (mvcc_->Resolve(oid, read_ts, &image)) {
+    case MvccLookup::kImage:
+      return image;
+    case MvccLookup::kInvisible:
+      return Status::NotFound("object " + oid.ToString() +
+                              " not visible at snapshot");
+    case MvccLookup::kNoChain:
+      break;
+  }
+  std::shared_lock<StoreMutex> lock(mu_);
+  // Re-resolve under the shared lock: a writer that staged a chain after
+  // the first check has already dirtied the heap, but staging happens
+  // under the exclusive side, so the chain is now guaranteed observable.
+  switch (mvcc_->Resolve(oid, read_ts, &image)) {
+    case MvccLookup::kImage:
+      return image;
+    case MvccLookup::kInvisible:
+      return Status::NotFound("object " + oid.ToString() +
+                              " not visible at snapshot");
+    case MvccLookup::kNoChain:
+      break;
+  }
+  // No chain while we hold the shared lock: the heap image is committed,
+  // and any chain it once had was pruned at or below the watermark -- which
+  // is at or below every live snapshot's read_ts, ours included.
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
+  KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
+  auto shared = std::make_shared<const Object>(std::move(obj));
+  uint64_t commit_ts = 0;
+  if (mvcc_->CacheFillTs(oid, &commit_ts)) {
+    cache_.Insert(oid, shared, schema_version, commit_ts);
+  }
+  return shared;
+}
+
+Result<Object> ObjectStore::GetSnapshot(Oid oid, uint64_t read_ts,
+                                        bool* cache_hit) const {
+  KIMDB_ASSIGN_OR_RETURN(std::shared_ptr<const Object> shared,
+                         GetSharedSnapshot(oid, read_ts, cache_hit));
+  return *shared;
 }
 
 Status ObjectStore::ForEachInClass(

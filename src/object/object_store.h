@@ -14,6 +14,7 @@
 
 #include "catalog/catalog.h"
 #include "model/object.h"
+#include "object/mvcc.h"
 #include "object/object_cache.h"
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
@@ -127,6 +128,21 @@ class ObjectStore {
   /// The stored image, no schema adjustment (never cached).
   Result<Object> GetRaw(Oid oid) const;
 
+  // --- snapshot reads (MVCC, DESIGN.md §13) ---------------------------------
+
+  /// Resolves `oid` to the newest version committed at or before `read_ts`
+  /// (which must belong to a live Snapshot). Takes no lock-manager locks;
+  /// version-chain hits and commit-ts-tagged cache hits bypass even the
+  /// shared store lock, so a full-speed writer cannot stall this path.
+  /// Returns NotFound when the object is deleted at (or born after) the
+  /// snapshot. Falls back to plain GetShared when no MVCC table is
+  /// attached.
+  Result<std::shared_ptr<const Object>> GetSharedSnapshot(
+      Oid oid, uint64_t read_ts, bool* cache_hit) const;
+  /// By-value convenience over GetSharedSnapshot.
+  Result<Object> GetSnapshot(Oid oid, uint64_t read_ts,
+                             bool* cache_hit) const;
+
   /// Scans the extent of exactly `cls` (single-class scope). The page
   /// list is snapshotted up front and iterated without the store lock, so
   /// concurrent scans proceed in parallel; records inserted after the
@@ -197,6 +213,16 @@ class ObjectStore {
 
   /// The deserialized-object cache (counters for tests / the obs layer).
   const ObjectCache& object_cache() const { return cache_; }
+
+  /// Retargets the object-cache byte budget at runtime (shell
+  /// `.set cache_bytes N`; experiment E8).
+  void ResizeObjectCache(size_t bytes) { cache_.Resize(bytes); }
+
+  /// Attaches the MVCC version table (owned by the TxnManager). Mutators
+  /// then stage copy-on-write version chains and the snapshot read paths
+  /// come alive. Attach before concurrent use; null detaches.
+  void AttachMvcc(MvccTable* mvcc) { mvcc_ = mvcc; }
+  MvccTable* mvcc() const { return mvcc_; }
 
   /// Wires the Get() latency histogram (`objectstore.get_ns`); null
   /// detaches. Call before concurrent use.
@@ -298,6 +324,11 @@ class ObjectStore {
   /// OID -> materialized object. Mutators invalidate before notifying
   /// listeners; readers fill it under the shared lock (see ObjectCache).
   mutable ObjectCache cache_;
+  /// Version table for MVCC snapshot reads (null for detached stores:
+  /// private databases, standalone tests -- they keep the pure 2PL
+  /// behavior). Mutators stage chains under the exclusive lock; snapshot
+  /// readers resolve against it without taking mu_.
+  MvccTable* mvcc_ = nullptr;
   obs::Histogram* get_ns_ = nullptr;
 };
 

@@ -1,5 +1,6 @@
 #include "object/recovery.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 #include <unordered_set>
@@ -45,7 +46,12 @@ Result<RecoveryStats> RecoveryManager::Recover(ObjectStore* store, Wal* wal) {
   std::unordered_set<uint64_t> seen;
   for (const WalRecord& rec : log) {
     seen.insert(rec.txn_id);
-    if (rec.type == WalRecordType::kCommit) committed.insert(rec.txn_id);
+    if (rec.type == WalRecordType::kCommit) {
+      committed.insert(rec.txn_id);
+      // Commit records carry the MVCC commit timestamp in their key field
+      // (0 for pre-MVCC logs and read-only commits).
+      stats.max_commit_ts = std::max(stats.max_commit_ts, rec.key);
+    }
     if (rec.type == WalRecordType::kAbort) aborted.insert(rec.txn_id);
   }
   stats.committed_txns = committed.size();

@@ -13,6 +13,10 @@ struct RecoveryStats {
   uint64_t losing_txns = 0;   // aborted + in-flight at the crash
   uint64_t redone = 0;
   uint64_t undone = 0;
+  /// Largest commit timestamp found in a durable kCommit record (its key
+  /// field); restores the MVCC commit clock so post-recovery snapshots see
+  /// exactly the durable commits. 0 when the log has no stamped commits.
+  uint64_t max_commit_ts = 0;
   // Phase wall-clock timings (includes the log read in analysis_ns).
   uint64_t analysis_ns = 0;
   uint64_t redo_ns = 0;

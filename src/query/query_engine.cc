@@ -304,9 +304,11 @@ exec::MatchFn QueryEngine::MatchFnFor(ExprPtr pred) const {
              const Object& obj, exec::ExecContext* ctx) -> Result<bool> {
     // Matches accumulates into a thread-local QueryStats, flushed to the
     // shared atomics afterwards, so parallel workers never contend on a
-    // plain struct.
+    // plain struct. Visibility comes off the evaluating context: snapshot
+    // queries must also hop path expressions at their read timestamp.
+    ReadView view{ctx->snapshot_active(), ctx->snapshot_ts()};
     QueryStats local;
-    Result<bool> match = Matches(obj, pred, &local);
+    Result<bool> match = Matches(obj, pred, &local, view);
     ctx->predicates_evaluated.fetch_add(local.predicates_evaluated,
                                         std::memory_order_relaxed);
     ctx->ref_fetches.fetch_add(local.ref_fetches, std::memory_order_relaxed);
@@ -319,8 +321,28 @@ exec::MatchFn QueryEngine::MatchFnFor(ExprPtr pred) const {
 }
 
 Result<std::unique_ptr<exec::Operator>> QueryEngine::Lower(
-    const Query& q, const QueryPlan& plan, size_t parallelism) const {
-  if (plan.index_scan) {
+    const Query& q, const QueryPlan& plan, size_t parallelism,
+    const exec::ExecContext* ctx) const {
+  bool use_index = plan.index_scan;
+  if (use_index && ctx != nullptr && ctx->snapshot_active() &&
+      store_->mvcc() != nullptr) {
+    // Indexes reflect write-time state: an entry committed after the
+    // snapshot (or removed since) would make an index plan see the wrong
+    // world. While any scope class may carry version chains, run the
+    // version-resolving scan instead; once the chains are pruned index
+    // plans come back for free.
+    const Catalog& cat = *store_->catalog();
+    std::vector<ClassId> scope = q.hierarchy_scope
+                                     ? cat.Subtree(q.target)
+                                     : std::vector<ClassId>{q.target};
+    for (ClassId c : scope) {
+      if (store_->mvcc()->MayHaveVersions(c)) {
+        use_index = false;
+        break;
+      }
+    }
+  }
+  if (use_index) {
     exec::IndexScan::Spec spec;
     spec.index_id = plan.index_id;
     spec.path = plan.index_path;
@@ -388,10 +410,28 @@ Result<std::vector<Oid>> QueryEngine::Execute(const Query& q,
 
 Result<std::vector<Oid>> QueryEngine::Execute(const Query& q,
                                               exec::ExecContext* ctx) const {
+  // Pin a snapshot for the duration of the query (when the store runs
+  // under a TxnManager): the whole plan -- scans, point fetches, path
+  // hops -- reads one transaction-consistent state with zero lock-manager
+  // traffic, however fast writers commit meanwhile. A caller that already
+  // armed the context (e.g. reading at a checkout's pinned timestamp)
+  // keeps its own pin.
+  Snapshot snap;
+  bool armed_here = false;
+  if (!ctx->snapshot_active() && store_->mvcc() != nullptr) {
+    snap = store_->mvcc()->AcquireSnapshot();
+    ctx->set_snapshot(snap.read_ts());
+    armed_here = true;
+  }
   KIMDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(q));
-  KIMDB_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> root,
-                         Lower(q, plan, ctx->scan_parallelism()));
-  return exec::CollectOids(*root, ctx);
+  Result<std::unique_ptr<exec::Operator>> root =
+      Lower(q, plan, ctx->scan_parallelism(), ctx);
+  Result<std::vector<Oid>> result =
+      root.ok() ? exec::CollectOids(**root, ctx) : root.status();
+  // Disarm before the pin dies so a reused context cannot read through a
+  // retired timestamp.
+  if (armed_here) ctx->clear_snapshot();
+  return result;
 }
 
 Result<std::string> QueryEngine::Explain(const Query& q) const {
@@ -403,12 +443,24 @@ Result<std::string> QueryEngine::Explain(const Query& q) const {
 Result<std::string> QueryEngine::ExplainAnalyze(const Query& q,
                                                 exec::ExecContext* ctx) const {
   ctx->EnableAnalyze();
+  // Same snapshot discipline as Execute: the analyzed run reads the same
+  // consistent state a real execution would.
+  Snapshot snap;
+  bool armed_here = false;
+  if (!ctx->snapshot_active() && store_->mvcc() != nullptr) {
+    snap = store_->mvcc()->AcquireSnapshot();
+    ctx->set_snapshot(snap.read_ts());
+    armed_here = true;
+  }
   KIMDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(q));
-  KIMDB_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> root,
-                         Lower(q, plan, ctx->scan_parallelism()));
-  KIMDB_ASSIGN_OR_RETURN(std::vector<Oid> rows, exec::CollectOids(*root, ctx));
-  std::string out = exec::ExplainAnalyzeTree(*root);
-  out += "\nResult: " + std::to_string(rows.size()) + " rows";
+  Result<std::unique_ptr<exec::Operator>> root =
+      Lower(q, plan, ctx->scan_parallelism(), ctx);
+  Result<std::vector<Oid>> rows =
+      root.ok() ? exec::CollectOids(**root, ctx) : root.status();
+  if (armed_here) ctx->clear_snapshot();
+  KIMDB_RETURN_IF_ERROR(rows.status());
+  std::string out = exec::ExplainAnalyzeTree(**root);
+  out += "\nResult: " + std::to_string(rows->size()) + " rows";
   return out;
 }
 
@@ -419,17 +471,23 @@ Result<std::string> QueryEngine::ExplainAnalyze(const Query& q) const {
 
 Result<bool> QueryEngine::Matches(const Object& obj, const ExprPtr& pred,
                                   QueryStats* stats) const {
+  return Matches(obj, pred, stats, ReadView{});
+}
+
+Result<bool> QueryEngine::Matches(const Object& obj, const ExprPtr& pred,
+                                  QueryStats* stats,
+                                  const ReadView& view) const {
   if (!pred) return true;
   QueryStats local;
   if (stats == nullptr) stats = &local;
   ++stats->predicates_evaluated;
-  return EvalBool(obj, *pred, stats);
+  return EvalBool(obj, *pred, stats, view);
 }
 
 Status QueryEngine::EvalPath(const Object& obj,
                              const std::vector<std::string>& path,
-                             std::vector<Value>* out,
-                             QueryStats* stats) const {
+                             std::vector<Value>* out, QueryStats* stats,
+                             const ReadView& view) const {
   const Catalog& cat = *store_->catalog();
   // The frontier borrows the root and owns fetched children: copying the
   // root object here would charge every scanned object one deep copy per
@@ -458,13 +516,17 @@ Status QueryEngine::EvalPath(const Object& obj,
         }
         continue;
       }
-      // Intermediate step: dereference (fan out over set values).
+      // Intermediate step: dereference (fan out over set values). Under a
+      // snapshot the hop lands on the version visible at read_ts, so a
+      // path expression never mixes two points in time.
       auto deref = [&](const Value& ref) {
         if (ref.kind() != Value::Kind::kRef || ref.as_ref().is_nil()) return;
         ++stats->ref_fetches;
         bool cache_hit = false;
         Result<std::shared_ptr<const Object>> child =
-            store_->GetShared(ref.as_ref(), &cache_hit);
+            view.snapshot ? store_->GetSharedSnapshot(ref.as_ref(),
+                                                      view.read_ts, &cache_hit)
+                          : store_->GetShared(ref.as_ref(), &cache_hit);
         if (cache_hit) {
           ++stats->obj_cache_hits;
         } else {
@@ -523,6 +585,12 @@ bool QueryEngine::CompareExists(Expr::Op op, const Value& lhs,
 
 Result<Value> QueryEngine::Eval(const Object& obj, const Expr& e,
                                 QueryStats* stats) const {
+  return Eval(obj, e, stats, ReadView{});
+}
+
+Result<Value> QueryEngine::Eval(const Object& obj, const Expr& e,
+                                QueryStats* stats,
+                                const ReadView& view) const {
   QueryStats local;
   if (stats == nullptr) stats = &local;
   switch (e.op) {
@@ -530,7 +598,7 @@ Result<Value> QueryEngine::Eval(const Object& obj, const Expr& e,
       return e.literal;
     case Expr::Op::kPath: {
       std::vector<Value> vals;
-      KIMDB_RETURN_IF_ERROR(EvalPath(obj, e.path, &vals, stats));
+      KIMDB_RETURN_IF_ERROR(EvalPath(obj, e.path, &vals, stats, view));
       if (vals.size() == 1) return vals[0];
       return Value::Set(std::move(vals));
     }
@@ -540,34 +608,38 @@ Result<Value> QueryEngine::Eval(const Object& obj, const Expr& e,
       }
       std::vector<Value> args;
       for (const ExprPtr& c : e.children) {
-        KIMDB_ASSIGN_OR_RETURN(Value v, Eval(obj, *c, stats));
+        KIMDB_ASSIGN_OR_RETURN(Value v, Eval(obj, *c, stats, view));
         args.push_back(std::move(v));
       }
       MethodContext ctx{&obj, env_};
       return methods_->Invoke(*store_->catalog(), ctx, e.method, args);
     }
     default: {
-      KIMDB_ASSIGN_OR_RETURN(bool b, EvalBool(obj, e, stats));
+      KIMDB_ASSIGN_OR_RETURN(bool b, EvalBool(obj, e, stats, view));
       return Value::Bool(b);
     }
   }
 }
 
 Result<bool> QueryEngine::EvalBool(const Object& obj, const Expr& e,
-                                   QueryStats* stats) const {
+                                   QueryStats* stats,
+                                   const ReadView& view) const {
   switch (e.op) {
     case Expr::Op::kAnd: {
-      KIMDB_ASSIGN_OR_RETURN(bool a, EvalBool(obj, *e.children[0], stats));
+      KIMDB_ASSIGN_OR_RETURN(bool a,
+                             EvalBool(obj, *e.children[0], stats, view));
       if (!a) return false;
-      return EvalBool(obj, *e.children[1], stats);
+      return EvalBool(obj, *e.children[1], stats, view);
     }
     case Expr::Op::kOr: {
-      KIMDB_ASSIGN_OR_RETURN(bool a, EvalBool(obj, *e.children[0], stats));
+      KIMDB_ASSIGN_OR_RETURN(bool a,
+                             EvalBool(obj, *e.children[0], stats, view));
       if (a) return true;
-      return EvalBool(obj, *e.children[1], stats);
+      return EvalBool(obj, *e.children[1], stats, view);
     }
     case Expr::Op::kNot: {
-      KIMDB_ASSIGN_OR_RETURN(bool a, EvalBool(obj, *e.children[0], stats));
+      KIMDB_ASSIGN_OR_RETURN(bool a,
+                             EvalBool(obj, *e.children[0], stats, view));
       return !a;
     }
     case Expr::Op::kEq:
@@ -577,8 +649,10 @@ Result<bool> QueryEngine::EvalBool(const Object& obj, const Expr& e,
     case Expr::Op::kGt:
     case Expr::Op::kGe:
     case Expr::Op::kContains: {
-      KIMDB_ASSIGN_OR_RETURN(Value lhs, Eval(obj, *e.children[0], stats));
-      KIMDB_ASSIGN_OR_RETURN(Value rhs, Eval(obj, *e.children[1], stats));
+      KIMDB_ASSIGN_OR_RETURN(Value lhs,
+                             Eval(obj, *e.children[0], stats, view));
+      KIMDB_ASSIGN_OR_RETURN(Value rhs,
+                             Eval(obj, *e.children[1], stats, view));
       if (e.op == Expr::Op::kContains) {
         return CompareExists(Expr::Op::kEq, lhs, rhs);
       }
@@ -589,7 +663,7 @@ Result<bool> QueryEngine::EvalBool(const Object& obj, const Expr& e,
              e.literal.kind() == Value::Kind::kBool && e.literal.as_bool();
     case Expr::Op::kPath:
     case Expr::Op::kMethod: {
-      KIMDB_ASSIGN_OR_RETURN(Value v, Eval(obj, e, stats));
+      KIMDB_ASSIGN_OR_RETURN(Value v, Eval(obj, e, stats, view));
       if (v.kind() == Value::Kind::kBool) return v.as_bool();
       if (v.is_collection()) return !v.elements().empty();
       return !v.is_null();

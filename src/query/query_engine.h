@@ -43,6 +43,15 @@ struct QueryStats {
 /// Projects the legacy QueryStats view out of the unified counters.
 QueryStats StatsFromExecContext(const exec::ExecContext& ctx);
 
+/// Visibility the expression evaluator reads the object graph under:
+/// current-time (default) or an MVCC snapshot, in which case path-
+/// expression hops resolve each referenced object to the version visible
+/// at read_ts (ObjectStore::GetSharedSnapshot).
+struct ReadView {
+  bool snapshot = false;
+  uint64_t read_ts = 0;
+};
+
 /// What the optimizer decided (exposed for tests, EXPLAIN, benches).
 /// ToString() renders the operator tree the plan lowers to -- the same
 /// shape Execute runs -- so EXPLAIN output is the executed pipeline.
@@ -82,10 +91,13 @@ class QueryEngine {
   Result<QueryPlan> Plan(const Query& q) const;
 
   /// Lowers a plan to its operator tree. `parallelism` > 1 lowers
-  /// non-index scans to ParallelExtentScan with that many workers.
-  Result<std::unique_ptr<exec::Operator>> Lower(const Query& q,
-                                                const QueryPlan& plan,
-                                                size_t parallelism = 1) const;
+  /// non-index scans to ParallelExtentScan with that many workers. When
+  /// `ctx` carries an armed snapshot and any scope class may hold version
+  /// chains, an index plan falls back to a (version-resolving) scan:
+  /// indexes reflect write-time state, not the snapshot.
+  Result<std::unique_ptr<exec::Operator>> Lower(
+      const Query& q, const QueryPlan& plan, size_t parallelism = 1,
+      const exec::ExecContext* ctx = nullptr) const;
 
   /// Runs the query; returns matching OIDs.
   Result<std::vector<Oid>> Execute(const Query& q,
@@ -113,11 +125,16 @@ class QueryEngine {
   /// engine and view system).
   Result<bool> Matches(const Object& obj, const ExprPtr& pred,
                        QueryStats* stats = nullptr) const;
+  /// As above, reading referenced objects under `view` (snapshot queries).
+  Result<bool> Matches(const Object& obj, const ExprPtr& pred,
+                       QueryStats* stats, const ReadView& view) const;
 
   /// Evaluates an expression on an object. Path expressions return the
   /// kSet of reachable terminal values (possibly empty).
   Result<Value> Eval(const Object& obj, const Expr& e,
                      QueryStats* stats = nullptr) const;
+  Result<Value> Eval(const Object& obj, const Expr& e, QueryStats* stats,
+                     const ReadView& view) const;
 
   ObjectStore* store() const { return store_; }
 
@@ -126,11 +143,13 @@ class QueryEngine {
   /// flushing the per-call counters into the shared context atomics.
   exec::MatchFn MatchFnFor(ExprPtr pred) const;
 
-  Result<bool> EvalBool(const Object& obj, const Expr& e,
-                        QueryStats* stats) const;
-  /// Collects terminal values of a path from `obj`.
+  Result<bool> EvalBool(const Object& obj, const Expr& e, QueryStats* stats,
+                        const ReadView& view) const;
+  /// Collects terminal values of a path from `obj`, dereferencing
+  /// intermediate objects under `view`.
   Status EvalPath(const Object& obj, const std::vector<std::string>& path,
-                  std::vector<Value>* out, QueryStats* stats) const;
+                  std::vector<Value>* out, QueryStats* stats,
+                  const ReadView& view) const;
   /// Existential comparison between two evaluated operands.
   static bool CompareExists(Expr::Op op, const Value& lhs, const Value& rhs);
 

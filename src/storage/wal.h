@@ -33,7 +33,9 @@ struct WalRecord {
   uint64_t lsn = 0;  // assigned by Append
   uint64_t txn_id = 0;
   WalRecordType type = WalRecordType::kBegin;
-  uint64_t key = 0;  // OID of the touched object (0 for txn control records)
+  uint64_t key = 0;  // OID of the touched object; for kCommit records the
+                     // MVCC commit timestamp (0 for kBegin/kAbort and
+                     // read-only commits)
   std::string before;
   std::string after;
 };

@@ -44,8 +44,13 @@ Status CheckoutManager::Checkout(uint64_t txn, PrivateDb* priv, Oid oid) {
   Object copy = obj;
   copy.Unset(kAttrCheckedOutBy);
   KIMDB_RETURN_IF_ERROR(priv->store()->ApplyInsert(copy));
-  return shared_->SetAttrSystem(txn, oid, kAttrCheckedOutBy,
-                                Value::Str(priv->name()));
+  KIMDB_RETURN_IF_ERROR(shared_->SetAttrSystem(txn, oid, kAttrCheckedOutBy,
+                                               Value::Str(priv->name())));
+  // First checkout pins a snapshot of the shared database: the workspace's
+  // long transaction reads one consistent shared state until the last
+  // checkin.
+  priv->NoteCheckout(shared_->mvcc());
+  return Status::OK();
 }
 
 Status CheckoutManager::Checkin(uint64_t txn, PrivateDb* priv, Oid oid) {
@@ -57,7 +62,9 @@ Status CheckoutManager::Checkin(uint64_t txn, PrivateDb* priv, Oid oid) {
   KIMDB_ASSIGN_OR_RETURN(Object modified, priv->store()->GetRaw(oid));
   modified.Unset(kAttrCheckedOutBy);
   KIMDB_RETURN_IF_ERROR(shared_->Update(txn, modified));
-  return priv->store()->ApplyDelete(oid);
+  KIMDB_RETURN_IF_ERROR(priv->store()->ApplyDelete(oid));
+  priv->NoteCheckin();
+  return Status::OK();
 }
 
 Status CheckoutManager::CancelCheckout(uint64_t txn, PrivateDb* priv,
@@ -68,7 +75,10 @@ Status CheckoutManager::CancelCheckout(uint64_t txn, PrivateDb* priv,
         "object is not checked out to this private database");
   }
   KIMDB_RETURN_IF_ERROR(priv->store()->ApplyDelete(oid));
-  return shared_->SetAttrSystem(txn, oid, kAttrCheckedOutBy, Value::Null());
+  KIMDB_RETURN_IF_ERROR(
+      shared_->SetAttrSystem(txn, oid, kAttrCheckedOutBy, Value::Null()));
+  priv->NoteCheckin();
+  return Status::OK();
 }
 
 }  // namespace kimdb

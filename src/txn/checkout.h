@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "object/mvcc.h"
 #include "object/object_store.h"
 
 namespace kimdb {
@@ -15,6 +16,13 @@ namespace kimdb {
 /// and private databases"). It is an in-memory object store sharing the
 /// shared database's catalog, so checked-out objects keep their OIDs and
 /// schema.
+///
+/// A private database with at least one checkout also pins an MVCC
+/// snapshot of the shared database (when MVCC is attached): the engineer's
+/// long-duration transaction reads one transaction-consistent shared state
+/// for its whole lifetime, however many short transactions commit
+/// meanwhile. The pin is taken at the first checkout and retired at the
+/// last checkin/cancel.
 class PrivateDb {
  public:
   static Result<std::unique_ptr<PrivateDb>> Create(std::string name,
@@ -23,13 +31,31 @@ class PrivateDb {
   const std::string& name() const { return name_; }
   ObjectStore* store() { return store_.get(); }
 
+  /// The pinned read timestamp into the shared database (0 when nothing is
+  /// checked out or the shared store has no MVCC table attached).
+  uint64_t shared_read_ts() const { return snapshot_.read_ts(); }
+  bool has_pinned_snapshot() const { return snapshot_.active(); }
+  size_t checked_out_count() const { return checked_out_; }
+
  private:
+  friend class CheckoutManager;
   PrivateDb() = default;
+
+  void NoteCheckout(MvccTable* mvcc) {
+    if (++checked_out_ == 1 && mvcc != nullptr) {
+      snapshot_ = mvcc->AcquireSnapshot();
+    }
+  }
+  void NoteCheckin() {
+    if (checked_out_ > 0 && --checked_out_ == 0) snapshot_.Release();
+  }
 
   std::string name_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> bp_;
   std::unique_ptr<ObjectStore> store_;
+  Snapshot snapshot_;        // pinned while checked_out_ > 0
+  size_t checked_out_ = 0;   // live checkouts held by this workspace
 };
 
 /// Long-duration design transactions via checkout/checkin. A checkout

@@ -48,10 +48,11 @@ bool LockManager::Grantable(const ResourceState& state, uint64_t txn,
   return true;
 }
 
-bool LockManager::WouldDeadlock(
+bool LockManager::WouldDeadlockLocked(
     uint64_t txn, const std::vector<uint64_t>& blockers) const {
   // DFS over waits_for_ starting from the blockers; a path back to `txn`
-  // means adding txn->blocker edges closes a cycle.
+  // means adding txn->blocker edges closes a cycle. The graph is global --
+  // cycles freely cross stripes.
   std::vector<uint64_t> stack(blockers);
   std::unordered_set<uint64_t> seen;
   while (!stack.empty()) {
@@ -68,18 +69,19 @@ bool LockManager::WouldDeadlock(
 
 Status LockManager::LockInternal(uint64_t txn, const LockResource& res,
                                  LockMode mode, bool wait) {
-  std::unique_lock<std::mutex> lock(mu_);
-  // NOTE: ReleaseAll may erase table_ entries while we sleep on cv_, so the
-  // resource state must be re-fetched after every wait -- never held by
-  // reference across a wait.
+  Stripe& stripe = StripeFor(res);
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  // NOTE: ReleaseAll may erase table entries while we sleep on the cv, so
+  // the resource state must be re-fetched after every wait -- never held
+  // by reference across a wait.
   LockMode needed = mode;
   {
-    ResourceState& state = table_[res];
+    ResourceState& state = stripe.table[res];
     auto mine = state.holders.find(txn);
     if (mine != state.holders.end()) {
       needed = Join(mine->second, mode);
       if (needed == mine->second) return Status::OK();  // already covered
-      ++stats_.upgrades;
+      upgrades_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -96,31 +98,38 @@ Status LockManager::LockInternal(uint64_t txn, const LockResource& res,
   };
 
   while (true) {
-    ResourceState& state = table_[res];
+    ResourceState& state = stripe.table[res];
     if (Grantable(state, txn, needed)) break;
     if (!wait) return Status::Busy("lock conflict");
     std::vector<uint64_t> blockers;
     for (const auto& [other, held] : state.holders) {
       if (other != txn && !Compatible(held, needed)) blockers.push_back(other);
     }
-    if (WouldDeadlock(txn, blockers)) {
-      ++stats_.deadlocks;
-      record_wait();
-      return Status::Aborted("deadlock detected; transaction chosen as "
-                             "victim");
+    {
+      // stripe -> graph lock order (see graph_mu_).
+      std::lock_guard<std::mutex> graph(graph_mu_);
+      if (WouldDeadlockLocked(txn, blockers)) {
+        deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        record_wait();
+        return Status::Aborted("deadlock detected; transaction chosen as "
+                               "victim");
+      }
+      waits_for_[txn] = {blockers.begin(), blockers.end()};
     }
-    waits_for_[txn] = {blockers.begin(), blockers.end()};
-    ++stats_.waits;
+    waits_.fetch_add(1, std::memory_order_relaxed);
     if (!waited) {
       waited = true;
       wait_start = std::chrono::steady_clock::now();
     }
-    cv_.wait(lock);
-    waits_for_.erase(txn);
+    stripe.cv.wait(lock);
+    {
+      std::lock_guard<std::mutex> graph(graph_mu_);
+      waits_for_.erase(txn);
+    }
   }
   record_wait();
-  table_[res].holders[txn] = needed;
-  ++stats_.acquired;
+  stripe.table[res].holders[txn] = needed;
+  acquired_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -135,37 +144,50 @@ Status LockManager::TryLock(uint64_t txn, const LockResource& res,
 }
 
 void LockManager::ReleaseAll(uint64_t txn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = table_.begin(); it != table_.end();) {
-    it->second.holders.erase(txn);
-    if (it->second.holders.empty()) {
-      it = table_.erase(it);
-    } else {
-      ++it;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    bool released = false;
+    for (auto it = stripe.table.begin(); it != stripe.table.end();) {
+      released |= it->second.holders.erase(txn) > 0;
+      if (it->second.holders.empty()) {
+        it = stripe.table.erase(it);
+      } else {
+        ++it;
+      }
     }
+    if (released) stripe.cv.notify_all();
   }
+  std::lock_guard<std::mutex> graph(graph_mu_);
   waits_for_.erase(txn);
-  cv_.notify_all();
 }
 
 std::optional<LockMode> LockManager::HeldMode(
     uint64_t txn, const LockResource& res) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = table_.find(res);
-  if (it == table_.end()) return std::nullopt;
+  Stripe& stripe = StripeFor(res);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.table.find(res);
+  if (it == stripe.table.end()) return std::nullopt;
   auto h = it->second.holders.find(txn);
   if (h == it->second.holders.end()) return std::nullopt;
   return h->second;
 }
 
 LockManagerStats LockManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  LockManagerStats s;
+  s.acquired = acquired_.load(kRelaxed);
+  s.waits = waits_.load(kRelaxed);
+  s.deadlocks = deadlocks_.load(kRelaxed);
+  s.upgrades = upgrades_.load(kRelaxed);
+  return s;
 }
 
 void LockManager::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = LockManagerStats{};
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  acquired_.store(0, kRelaxed);
+  waits_.store(0, kRelaxed);
+  deadlocks_.store(0, kRelaxed);
+  upgrades_.store(0, kRelaxed);
 }
 
 }  // namespace kimdb

@@ -1,6 +1,7 @@
 #ifndef KIMDB_TXN_LOCK_MANAGER_H_
 #define KIMDB_TXN_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -58,6 +59,14 @@ struct LockManagerStats {
 /// Blocking lock manager with strict 2PL support, lock upgrades, and
 /// waits-for-graph deadlock detection (the requester aborts with kAborted
 /// when its wait would close a cycle).
+///
+/// Writer serialization is striped per class: each class -- together with
+/// every object of that class (ORION OIDs embed the class id) -- maps to
+/// one of kStripes independent lock tables with their own mutex and
+/// condition variable, so writers of disjoint classes never contend on
+/// lock-manager internals. The waits-for graph stays global (deadlock
+/// cycles cross stripes); graph edges are only touched when a request
+/// actually blocks, which keeps the uncontended path stripe-local.
 class LockManager {
  public:
   LockManager() = default;
@@ -89,10 +98,28 @@ class LockManager {
   void AttachMetrics(obs::Histogram* wait_ns) { wait_ns_ = wait_ns; }
 
  private:
+  static constexpr size_t kStripes = 16;  // power of two
+
   struct ResourceState {
     // txn -> granted mode.
     std::unordered_map<uint64_t, LockMode> holders;
   };
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<LockResource, ResourceState, LockResourceHash> table;
+  };
+
+  /// Class locks stripe by class id; object locks stripe by the class id
+  /// embedded in the OID, so a class lock and the locks of its instances
+  /// share one stripe (the granularity protocol always touches both).
+  Stripe& StripeFor(const LockResource& res) const {
+    ClassId cls = res.kind == LockResource::Kind::kClass
+                      ? static_cast<ClassId>(res.id)
+                      : Oid(res.id).class_id();
+    return stripes_[cls & (kStripes - 1)];
+  }
 
   static bool Compatible(LockMode a, LockMode b);
   /// Least mode covering both (lattice join; IX vs S joins to X).
@@ -103,18 +130,24 @@ class LockManager {
                  LockMode mode) const;
 
   /// Deadlock check: would txn waiting on `blockers` close a cycle?
-  bool WouldDeadlock(uint64_t txn,
-                     const std::vector<uint64_t>& blockers) const;
+  /// Caller holds graph_mu_.
+  bool WouldDeadlockLocked(uint64_t txn,
+                           const std::vector<uint64_t>& blockers) const;
 
   Status LockInternal(uint64_t txn, const LockResource& res, LockMode mode,
                       bool wait);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<LockResource, ResourceState, LockResourceHash> table_;
+  mutable Stripe stripes_[kStripes];
+  /// Guards the global waits-for graph. Always acquired after a stripe
+  /// mutex (stripe -> graph), never the other way around.
+  mutable std::mutex graph_mu_;
   // waits-for edges of currently blocked transactions.
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> waits_for_;
-  LockManagerStats stats_;
+
+  std::atomic<uint64_t> acquired_{0};
+  std::atomic<uint64_t> waits_{0};
+  std::atomic<uint64_t> deadlocks_{0};
+  std::atomic<uint64_t> upgrades_{0};
   obs::Histogram* wait_ns_ = nullptr;
 };
 

@@ -23,25 +23,90 @@ Status TxnManager::CheckActive(uint64_t txn) const {
   return Status::OK();
 }
 
-Status TxnManager::LogControl(uint64_t txn, WalRecordType type) {
+Status TxnManager::LogControl(uint64_t txn, WalRecordType type,
+                              uint64_t key) {
   if (store_->wal() == nullptr) return Status::OK();
   WalRecord rec;
   rec.txn_id = txn;
   rec.type = type;
+  rec.key = key;  // commit records carry the commit timestamp
   KIMDB_RETURN_IF_ERROR(store_->wal()->Append(std::move(rec)).status());
+  return Status::OK();
+}
+
+Result<uint64_t> TxnManager::SnapshotTs(uint64_t txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  // Lazy pin: the snapshot is taken at the first read, not at Begin, so a
+  // transaction that writes before reading observes its 2PL lock waits the
+  // classic way and then reads the freshest possible state.
+  if (!it->second.snapshot.active()) {
+    it->second.snapshot = mvcc_->AcquireSnapshot();
+  }
+  return it->second.snapshot.read_ts();
+}
+
+Status TxnManager::CheckWriteConflict(uint64_t txn, Oid oid) {
+  uint64_t read_ts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::FailedPrecondition("transaction is not active");
+    }
+    // A transaction that never read has no snapshot to defend: it is a
+    // pure 2PL writer and the X lock alone serializes it correctly.
+    if (!it->second.snapshot.active()) return Status::OK();
+    read_ts = it->second.snapshot.read_ts();
+  }
+  // First-committer-wins: the X lock is already held, so the chain head is
+  // stable -- if someone committed this object after our snapshot, our
+  // write would silently overwrite state we never saw (lost update).
+  if (mvcc_->NewestCommittedTs(oid) > read_ts) {
+    mvcc_->CountConflict();
+    return Status::Aborted(
+        "write-write conflict: object " + oid.ToString() +
+        " was committed after this transaction's snapshot");
+  }
   return Status::OK();
 }
 
 Status TxnManager::Commit(uint64_t txn) {
   obs::Timer timer(commit_ns_);
   KIMDB_RETURN_IF_ERROR(CheckActive(txn));
-  KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kCommit));
-  if (store_->wal() != nullptr) {
-    KIMDB_RETURN_IF_ERROR(store_->wal()->Sync());  // force the log
+  if (mvcc_->HasWrites(txn)) {
+    uint64_t ts;
+    {
+      // commit_mu serializes timestamp allocation with the WAL append, so
+      // the log's commit-record order equals timestamp order: any sync
+      // that makes ts durable has made every smaller timestamp durable
+      // too. Promotion happens inside as well -- once any commit with a
+      // larger timestamp publishes, every version at or below it must
+      // already be in its chain or snapshots would read past it.
+      std::lock_guard<std::mutex> clk(mvcc_->commit_mu());
+      ts = mvcc_->AllocateCommitTs();
+      KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kCommit, ts));
+      mvcc_->Promote(txn, ts);
+    }
+    if (store_->wal() != nullptr) {
+      KIMDB_RETURN_IF_ERROR(store_->wal()->Sync());  // force the log
+    }
+    mvcc_->Publish(ts);
+    mvcc_->Prune();
+  } else {
+    // Read-only commit: no timestamp, no version traffic.
+    KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kCommit));
+    if (store_->wal() != nullptr) {
+      KIMDB_RETURN_IF_ERROR(store_->wal()->Sync());
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    active_.erase(txn);
+    active_.erase(txn);  // releases the snapshot pin
     ++stats_.committed;
   }
   locks_->ReleaseAll(txn);
@@ -58,7 +123,7 @@ Status TxnManager::Abort(uint64_t txn) {
       return Status::FailedPrecondition("transaction is not active");
     }
     undo = std::move(it->second.undo);
-    active_.erase(it);
+    active_.erase(it);  // releases the snapshot pin
     ++stats_.aborted;
   }
   // Roll back in reverse order through the unlogged apply path (recovery
@@ -77,6 +142,10 @@ Status TxnManager::Abort(uint64_t txn) {
     }
     if (!st.ok() && first_error.ok()) first_error = st;
   }
+  // Drop the staged versions only after the heap rollback: while the
+  // pending tags exist, snapshot readers keep resolving through the chain
+  // and never observe the half-rolled-back heap.
+  mvcc_->Discard(txn);
   KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kAbort));
   locks_->ReleaseAll(txn);
   return first_error;
@@ -116,6 +185,7 @@ Status TxnManager::PushUndo(uint64_t txn, UndoRecord rec) {
       (void)store_->ApplyUpdate(rec.before);
       break;
   }
+  mvcc_->Discard(txn);
   locks_->ReleaseAll(txn);
   return Status::FailedPrecondition(
       "transaction " + std::to_string(txn) +
@@ -139,13 +209,27 @@ Result<Oid> TxnManager::Insert(uint64_t txn, ClassId cls, Object contents,
   return oid;
 }
 
+Result<std::shared_ptr<const Object>> TxnManager::GetShared(uint64_t txn,
+                                                            Oid oid) {
+  KIMDB_ASSIGN_OR_RETURN(uint64_t read_ts, SnapshotTs(txn));
+  // Read-your-own-writes: the transaction's staged (uncommitted) image
+  // wins over the snapshot.
+  std::shared_ptr<const Object> pending;
+  if (mvcc_->PendingByTxn(txn, oid, &pending)) {
+    if (pending == nullptr) {
+      return Status::NotFound("object " + oid.ToString() +
+                              " deleted by this transaction");
+    }
+    return pending;
+  }
+  bool cache_hit = false;
+  return store_->GetSharedSnapshot(oid, read_ts, &cache_hit);
+}
+
 Result<Object> TxnManager::Get(uint64_t txn, Oid oid) {
-  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
-  KIMDB_RETURN_IF_ERROR(locks_->Lock(
-      txn, LockResource::Class(oid.class_id()), LockMode::kIS));
-  KIMDB_RETURN_IF_ERROR(
-      locks_->Lock(txn, LockResource::Object(oid), LockMode::kS));
-  return store_->Get(oid);
+  KIMDB_ASSIGN_OR_RETURN(std::shared_ptr<const Object> shared,
+                         GetShared(txn, oid));
+  return *shared;
 }
 
 Status TxnManager::Update(uint64_t txn, const Object& obj) {
@@ -154,6 +238,7 @@ Status TxnManager::Update(uint64_t txn, const Object& obj) {
       txn, LockResource::Class(obj.class_id()), LockMode::kIX));
   KIMDB_RETURN_IF_ERROR(
       locks_->Lock(txn, LockResource::Object(obj.oid()), LockMode::kX));
+  KIMDB_RETURN_IF_ERROR(CheckWriteConflict(txn, obj.oid()));
   KIMDB_ASSIGN_OR_RETURN(Object before, store_->GetRaw(obj.oid()));
   KIMDB_RETURN_IF_ERROR(store_->Update(txn, obj));
   return PushUndo(txn,
@@ -167,6 +252,7 @@ Status TxnManager::SetAttr(uint64_t txn, Oid oid, std::string_view attr,
       txn, LockResource::Class(oid.class_id()), LockMode::kIX));
   KIMDB_RETURN_IF_ERROR(
       locks_->Lock(txn, LockResource::Object(oid), LockMode::kX));
+  KIMDB_RETURN_IF_ERROR(CheckWriteConflict(txn, oid));
   KIMDB_ASSIGN_OR_RETURN(Object before, store_->GetRaw(oid));
   KIMDB_RETURN_IF_ERROR(store_->SetAttr(txn, oid, attr, std::move(value)));
   return PushUndo(txn, UndoRecord{UndoKind::kUpdate, oid, std::move(before)});
@@ -178,6 +264,7 @@ Status TxnManager::Delete(uint64_t txn, Oid oid) {
       txn, LockResource::Class(oid.class_id()), LockMode::kIX));
   KIMDB_RETURN_IF_ERROR(
       locks_->Lock(txn, LockResource::Object(oid), LockMode::kX));
+  KIMDB_RETURN_IF_ERROR(CheckWriteConflict(txn, oid));
   KIMDB_ASSIGN_OR_RETURN(Object before, store_->GetRaw(oid));
   KIMDB_RETURN_IF_ERROR(store_->Delete(txn, oid));
   return PushUndo(txn, UndoRecord{UndoKind::kDelete, oid, std::move(before)});

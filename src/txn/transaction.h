@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "object/mvcc.h"
 #include "object/object_store.h"
 #include "obs/metrics.h"
 #include "txn/lock_manager.h"
@@ -18,21 +19,39 @@ struct TxnStats {
   uint64_t aborted = 0;
 };
 
-/// Transaction manager: strict two-phase locking over the hierarchical
-/// lock manager, WAL begin/commit/abort records, and in-memory undo for
-/// rollback. All object mutations in a transactional application go
-/// through these wrappers so that
+/// Transaction manager: MVCC snapshot reads over 2PL writers (DESIGN.md
+/// §13). Writers keep strict two-phase locking (IX class + X object
+/// locks), WAL logging and in-memory undo; readers carry a Snapshot and
+/// resolve against commit-timestamped version chains with zero
+/// lock-manager traffic. Concretely:
 ///
-///  * reads take IS(class) + S(object), writes IX(class) + X(object),
-///  * extent scans take S(class) -- and hierarchy-scope scans lock the
-///    whole subtree of classes (GARZ88's class-hierarchy granule),
-///  * schema changes take X on every affected class,
-///  * abort rolls back via the inverse operations in reverse order,
-///  * commit forces the log (WAL commit record + fdatasync).
+///  * Get/GetShared pin a snapshot lazily on the transaction's first read
+///    and resolve every OID to the newest version <= read_ts -- no IS/S
+///    locks, no blocking behind writers, repeatable reads for free,
+///  * writes take IX(class) + X(object) and stage copy-on-write versions;
+///    a writer whose snapshot predates the newest committed version of the
+///    object aborts (first-committer-wins write-write conflict),
+///  * commit allocates a monotonically increasing commit timestamp under
+///    the table's commit mutex, stamps it into the WAL commit record,
+///    promotes the staged versions, forces the log, then publishes the
+///    timestamp for new snapshots,
+///  * abort rolls back via the inverse operations in reverse order and
+///    discards the staged versions,
+///  * extent scans / schema changes keep their 2PL entry points (LockScan,
+///    LockSchemaChange) for callers that need serializable writes; query
+///    reads use snapshots instead.
 class TxnManager {
  public:
+  /// Owns the MVCC version table and attaches it to `store` so the store's
+  /// mutators stage version chains. Detached stores (private databases)
+  /// simply never get a table attached and keep pure 2PL behavior.
   TxnManager(ObjectStore* store, LockManager* locks)
-      : store_(store), locks_(locks) {}
+      : store_(store), locks_(locks), mvcc_(std::make_unique<MvccTable>()) {
+    store_->AttachMvcc(mvcc_.get());
+  }
+  ~TxnManager() {
+    if (store_ != nullptr) store_->AttachMvcc(nullptr);
+  }
 
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
@@ -43,27 +62,45 @@ class TxnManager {
   bool IsActive(uint64_t txn) const;
   size_t active_count() const;
 
-  // --- lock-guarded object operations --------------------------------------
+  // --- object operations ----------------------------------------------------
 
   Result<Oid> Insert(uint64_t txn, ClassId cls, Object contents,
                      Oid cluster_hint = kNilOid);
+  /// Snapshot read: pins the transaction's snapshot on first use and
+  /// serves the newest version <= read_ts (the transaction's own staged
+  /// writes win). Lock-free -- never blocks behind a writer.
   Result<Object> Get(uint64_t txn, Oid oid);
+  /// As Get, without the defensive copy: a shared reference to the
+  /// immutable version image (cache entry or chain version).
+  Result<std::shared_ptr<const Object>> GetShared(uint64_t txn, Oid oid);
   Status Update(uint64_t txn, const Object& obj);
   Status SetAttr(uint64_t txn, Oid oid, std::string_view attr, Value value);
   Status Delete(uint64_t txn, Oid oid);
 
   /// Lock an extent for scanning (S on the class; with `hierarchy`, S on
-  /// every class of the subtree). Queries call this before evaluating.
+  /// every class of the subtree). 2PL-writer entry point; snapshot-backed
+  /// query reads no longer need it.
   Status LockScan(uint64_t txn, ClassId cls, bool hierarchy);
 
   /// Lock classes exclusively (schema evolution).
   Status LockSchemaChange(uint64_t txn, ClassId cls);
+
+  /// Pins a standalone snapshot (long-lived readers: checkout's private
+  /// database, query execution).
+  Snapshot AcquireSnapshot() { return mvcc_->AcquireSnapshot(); }
 
   TxnStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
   }
   LockManager* lock_manager() const { return locks_; }
+  MvccTable* mvcc() const { return mvcc_.get(); }
+
+  /// Restores the commit-timestamp clock after recovery (the next commit
+  /// gets max_commit_ts + 1; snapshots see everything replayed).
+  void RestoreCommitClock(uint64_t max_commit_ts) {
+    mvcc_->RestoreClock(max_commit_ts);
+  }
 
   /// Points the manager at its commit/abort latency histograms
   /// (`txn.commit_ns` spans the WAL commit record + group-commit fsync;
@@ -83,17 +120,25 @@ class TxnManager {
   };
   struct TxnState {
     std::vector<UndoRecord> undo;
+    Snapshot snapshot;  // pinned lazily on the first read
   };
 
   Status CheckActive(uint64_t txn) const;
-  Status LogControl(uint64_t txn, WalRecordType type);
+  Status LogControl(uint64_t txn, WalRecordType type, uint64_t key = 0);
   /// Records an undo entry for `txn`, or -- if the transaction completed
   /// concurrently -- rolls the orphaned store effect back and fails
   /// instead of resurrecting a phantom active-table entry.
   Status PushUndo(uint64_t txn, UndoRecord rec);
+  /// The transaction's snapshot read_ts, pinning one lazily on first use.
+  Result<uint64_t> SnapshotTs(uint64_t txn);
+  /// First-committer-wins: fails with Aborted if `txn` holds a snapshot
+  /// older than the newest committed version of `oid`. Call after the X
+  /// lock is granted (the chain head is then stable).
+  Status CheckWriteConflict(uint64_t txn, Oid oid);
 
   ObjectStore* store_;
   LockManager* locks_;
+  std::unique_ptr<MvccTable> mvcc_;
   mutable std::mutex mu_;
   uint64_t next_txn_ = 1;
   std::unordered_map<uint64_t, TxnState> active_;

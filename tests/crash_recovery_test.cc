@@ -354,5 +354,60 @@ TEST_F(CrashRecoveryTest, CrashDuringAbortRollsBackFromLog) {
   EXPECT_EQ(got->Get(name_).as_string(), "keep");
 }
 
+// A crash in the window between commit-timestamp allocation and the
+// durable kCommit append: Commit has already bumped the in-memory MVCC
+// clock (AllocateCommitTs runs before the WAL write of the stamped
+// record), then the append fails. The acknowledged history holds only the
+// first transaction, so recovery must report its timestamp as the commit
+// frontier -- the speculatively allocated timestamp must not survive the
+// crash -- and a post-recovery commit continues the clock densely from
+// the durable frontier.
+TEST_F(CrashRecoveryTest, CrashBetweenCommitTsStampAndWalAppend) {
+  FreshFiles();
+  ASSERT_TRUE(OpenStack(nullptr).ok());
+  auto t1 = txns_->Begin();
+  ASSERT_TRUE(t1.ok());
+  Object obj;
+  obj.Set(name_, Value::Str("durable"));
+  obj.Set(pad_, Value::Str("x"));
+  auto oid = txns_->Insert(*t1, part_, obj);
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_->Commit(*t1).ok());
+  const uint64_t durable_ts = txns_->mvcc()->stats().visible_ts;
+  ASSERT_EQ(durable_ts, 1u);
+
+  FaultInjector fi;
+  wal_->set_fault_injector(&fi);
+  auto t2 = txns_->Begin();
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(txns_->SetAttr(*t2, *oid, "Name", Value::Str("lost")).ok());
+  // Fail the very next WAL append: Commit allocates its timestamp, then
+  // dies writing the stamped kCommit record.
+  fi.Arm(FaultOp::kWalAppend, FaultMode::kFail, 1);
+  EXPECT_FALSE(txns_->Commit(*t2).ok());
+  // The in-memory clock really did run ahead of the log before the crash.
+  EXPECT_GT(txns_->mvcc()->stats().commit_ts, durable_ts);
+  CloseAll();
+
+  ASSERT_TRUE(OpenStack(nullptr).ok());
+  auto stats = RecoveryManager::Recover(store_.get(), wal_.get());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Only the acknowledged commit is in the log; the allocated-but-never-
+  // appended timestamp is gone.
+  EXPECT_EQ(stats->max_commit_ts, durable_ts);
+  auto got = store_->Get(*oid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->Get(name_).as_string(), "durable");
+
+  // The restored clock hands out the next timestamp densely.
+  txns_->RestoreCommitClock(stats->max_commit_ts);
+  auto t3 = txns_->Begin();
+  ASSERT_TRUE(t3.ok());
+  ASSERT_TRUE(
+      txns_->SetAttr(*t3, *oid, "Name", Value::Str("after")).ok());
+  ASSERT_TRUE(txns_->Commit(*t3).ok());
+  EXPECT_EQ(txns_->mvcc()->stats().visible_ts, durable_ts + 1);
+}
+
 }  // namespace
 }  // namespace kimdb
