@@ -129,6 +129,112 @@ BENCHMARK(BM_ClassGranuleLocking)
     ->Setup(SetupFixture)->Teardown(TeardownFixture)
     ->UseRealTime()->Unit(benchmark::kMicrosecond);
 
+// --- Per-class writer scaling (DESIGN.md §14) -------------------------------
+//
+// The store serializes physical mutation per *class* (write latch
+// stripe), not store-wide. Writers hitting 4 distinct classes should
+// scale with threads; the same-class variant isolates what remains when
+// all writers contend on one latch (plus object X locks / write-write
+// conflicts). `class_write_waits` is the store's contended-latch-acquire
+// counter: ~0 for distinct classes, growing with threads for same-class.
+
+constexpr int kWriterClasses = 4;
+
+struct MultiClassFixture {
+  std::unique_ptr<Env> env;
+  ClassId cls[kWriterClasses];
+  AttrId counter[kWriterClasses];
+  std::vector<Oid> oids[kWriterClasses];
+  LockManager locks;
+  std::unique_ptr<TxnManager> txns;
+
+  MultiClassFixture() {
+    env = Env::Create(16384);
+    for (int c = 0; c < kWriterClasses; ++c) {
+      cls[c] = *env->catalog->CreateClass("Counter" + std::to_string(c), {},
+                                          {{"N", Domain::Int()}});
+      counter[c] = (*env->catalog->ResolveAttr(cls[c], "N"))->id;
+      BENCH_OK(env->store->EnsureExtent(cls[c]));
+      for (size_t i = 0; i < kObjects / kWriterClasses; ++i) {
+        Object obj;
+        obj.Set(counter[c], Value::Int(0));
+        BENCH_ASSIGN(oid, env->store->Insert(0, cls[c], std::move(obj)));
+        oids[c].push_back(oid);
+      }
+    }
+    txns = std::make_unique<TxnManager>(env->store.get(), &locks);
+  }
+};
+
+MultiClassFixture* g_multi = nullptr;
+
+void SetupMulti(const benchmark::State&) {
+  if (g_multi == nullptr) g_multi = new MultiClassFixture();
+}
+
+void TeardownMulti(const benchmark::State&) {
+  delete g_multi;
+  g_multi = nullptr;
+}
+
+bool RunMultiTxn(MultiClassFixture& f, Random& rng, int c) {
+  Result<uint64_t> t = f.txns->Begin();
+  if (!t.ok()) return false;
+  Status st;
+  for (int i = 0; i < kOpsPerTxn && st.ok(); ++i) {
+    Oid oid = f.oids[c][rng.Uniform(f.oids[c].size())];
+    Result<Object> obj = f.txns->Get(*t, oid);
+    if (!obj.ok()) {
+      st = obj.status();
+      break;
+    }
+    obj->Set(f.counter[c], Value::Int(obj->Get(f.counter[c]).as_int() + 1));
+    st = f.txns->Update(*t, *obj);
+  }
+  if (st.ok()) {
+    return f.txns->Commit(*t).ok();
+  }
+  (void)f.txns->Abort(*t);
+  return false;
+}
+
+void MultiClassBench(benchmark::State& state, bool distinct) {
+  MultiClassFixture& f = *g_multi;
+  const int c = distinct ? state.thread_index() % kWriterClasses : 0;
+  Random rng(2000 + static_cast<uint64_t>(state.thread_index()));
+  const uint64_t waits_before = f.env->store->class_write_waits();
+  int64_t committed = 0, retries = 0;
+  for (auto _ : state) {
+    while (!RunMultiTxn(f, rng, c)) ++retries;
+    ++committed;
+  }
+  state.counters["committed"] =
+      benchmark::Counter(static_cast<double>(committed),
+                         benchmark::Counter::kIsRate);
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["class_write_waits"] = benchmark::Counter(
+      static_cast<double>(f.env->store->class_write_waits() - waits_before),
+      benchmark::Counter::kAvgThreads);
+  state.SetLabel(distinct ? "distinct-classes" : "same-class");
+}
+
+void BM_MultiClassWriters_DistinctClasses(benchmark::State& state) {
+  MultiClassBench(state, /*distinct=*/true);
+}
+
+void BM_MultiClassWriters_SameClass(benchmark::State& state) {
+  MultiClassBench(state, /*distinct=*/false);
+}
+
+BENCHMARK(BM_MultiClassWriters_DistinctClasses)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->Setup(SetupMulti)->Teardown(TeardownMulti)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MultiClassWriters_SameClass)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->Setup(SetupMulti)->Teardown(TeardownMulti)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
 // --- MVCC snapshot readers vs a full-speed writer ---------------------------
 //
 // The point of the snapshot read path: reader latency stays flat while a
@@ -218,7 +324,7 @@ void ReportReaderCounters(benchmark::State& state) {
 
 // Snapshot point reads racing the writer. Latency should match the
 // writer-less BM_ConcurrentGet_Cached class of results: no IS/S locks, no
-// shared store mutex on the version-resolution path.
+// class latch on the version-resolution path.
 void BM_ConcurrentGet_WithWriter(benchmark::State& state) {
   E7Fixture& f = *g_fixture;
   MvccTable* mvcc = f.txns->mvcc();

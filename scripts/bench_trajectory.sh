@@ -1,22 +1,26 @@
 #!/usr/bin/env bash
 # Perf-trajectory snapshot: runs the key benchmarks with JSON output and
 # consolidates them into one machine-readable file at the repo root
-# (BENCH_pr5.json) so future PRs can diff against a recorded baseline
+# (BENCH_pr<N>.json) so future PRs can diff against a recorded baseline
 # instead of prose numbers in commit messages.
 #
 # Covered surfaces: E1 extent scan (query model), E4 traversal / cached
-# point gets (object cache A/B), E5 durable commit throughput, and the
-# buffer-pool hit/miss/readahead sweep.
+# point gets (object cache A/B), E5 durable commit throughput, E7 lock
+# granularity / per-class writer scaling, and the buffer-pool
+# hit/miss/readahead sweep.
 #
 # Usage: scripts/bench_trajectory.sh [build-dir] [out-file]
-#   build-dir defaults to build; out-file to BENCH_pr5.json.
+#   build-dir defaults to build; out-file to $KIMDB_BENCH_OUT, falling
+#   back to BENCH_pr7.json (bump the default when a PR re-records the
+#   trajectory). Prior snapshots (BENCH_pr5.json, ...) stay in the tree
+#   for diffing.
 # Benchmarks not built in the tree are skipped with a warning, and the
 # consolidated file records which ran. Filters keep the wall time sane;
 # pass KIMDB_BENCH_FILTER_<NAME>= to override one benchmark's filter.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr5.json}"
+OUT="${2:-${KIMDB_BENCH_OUT:-BENCH_pr7.json}}"
 
 TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_BENCH"' EXIT
@@ -43,6 +47,9 @@ run_bench() {
 run_bench bench_e1_query_model    "${KIMDB_BENCH_FILTER_E1:-(BM_SingleClassScope_Simple|BM_ParallelScan_PaperQuery)}"
 run_bench bench_e4_swizzling      "${KIMDB_BENCH_FILTER_E4:-(BM_PointGet|BM_Traversal_OidLookup|BM_ConcurrentGet)}"
 run_bench bench_e5_oo1            "${KIMDB_BENCH_FILTER_E5:-BM_Oo1DurableCommit}"
+# E7: per-class writer scaling (distinct-class vs same-class writers) and
+# reader latency under a full-speed writer.
+run_bench bench_e7_locking        "${KIMDB_BENCH_FILTER_E7:-(BM_MultiClassWriters|BM_ConcurrentGet_WithWriter)}"
 run_bench bench_buffer_pool       "${KIMDB_BENCH_FILTER_BP:-(BM_Fetch_HitHeavy|BM_SequentialSweep)}"
 # E8: object-cache capacity. The default 4 MiB budget thrashes a 20k-object
 # working set (oc-hit ratio ~0.716 on the cached-get workloads); the same

@@ -4,10 +4,14 @@
 # WAL append (fail-stop and torn-write) and every buffer-pool page write,
 # then reopens, recovers, and checks the durability invariants
 # (committed-durable, aborted/uncommitted-invisible, idempotent recovery,
-# index/extent agreement). Targeted cells cover a crash mid-abort and a
-# crash in the window between MVCC commit-timestamp allocation and the
-# durable stamped kCommit append (the recovered commit clock must equal
-# the durable frontier, not the speculative in-memory one).
+# index/extent agreement). A fourth full sweep crashes in the gap between
+# commit-slot reservation (LSN handed out under the commit clock) and the
+# off-mutex append at EVERY writing commit -- the reserved slot becomes a
+# hole at the log tail and recovery must restore a dense commit-ts
+# frontier. Targeted cells cover a crash mid-abort and a crash in the
+# window between MVCC commit-timestamp allocation and the durable stamped
+# kCommit append (the recovered commit clock must equal the durable
+# frontier, not the speculative in-memory one).
 #
 # Usage: scripts/crash_matrix.sh [build-dir]   (default: build)
 #

@@ -43,7 +43,7 @@ required = [
     "index.maintenance_ops", "index.key_recomputations",
     "objectstore.cache_hits", "objectstore.cache_misses",
     "objectstore.cache_evictions", "objectstore.cache_invalidations",
-    "objectstore.get_ns",
+    "objectstore.get_ns", "objectstore.class_write_waits",
     "query.executed", "query.objects_scanned", "query.index_probes",
     "query.predicates_evaluated", "query.pages_hit", "query.trace_dropped",
     "query.exec_ns",

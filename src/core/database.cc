@@ -200,6 +200,8 @@ void Database::WireMetrics() {
   m.RegisterCollector("objectstore.cache_resident_bytes", [store] {
     return store->object_cache().stats().resident_bytes;
   });
+  m.RegisterCollector("objectstore.class_write_waits",
+                      [store] { return store->class_write_waits(); });
   store->AttachMetrics(m.GetHistogram("objectstore.get_ns"));
 
   if (wal_ != nullptr) {
@@ -212,7 +214,8 @@ void Database::WireMetrics() {
                         [wal] { return wal->file_bytes(); });
     wal->AttachMetrics(m.GetHistogram("wal.append_ns"),
                        m.GetHistogram("wal.fsync_ns"),
-                       m.GetHistogram("wal.group_commit_batch"));
+                       m.GetHistogram("wal.group_commit_batch"),
+                       m.GetHistogram("wal.reserve_ns"));
   }
 
   LockManager* locks = &locks_;

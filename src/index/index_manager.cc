@@ -1,6 +1,7 @@
 #include "index/index_manager.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace kimdb {
 
@@ -77,6 +78,11 @@ Result<IndexId> IndexManager::CreateIndex(IndexKind kind, ClassId target_class,
     }));
   }
 
+  // Publication is the only step needing the writer lock: the build above
+  // ran on a private IndexInfo no listener or lookup could reach. (Create
+  // is DDL -- concurrent writers may leave the fresh index missing their
+  // mutations; quiesce them via LockSchemaChange, as before.)
+  std::unique_lock<std::shared_mutex> lock(mu_);
   IndexId id = next_id_++;
   raw->id = id;
   indexes_[id] = std::move(info);
@@ -84,17 +90,20 @@ Result<IndexId> IndexManager::CreateIndex(IndexKind kind, ClassId target_class,
 }
 
 Status IndexManager::DropIndex(IndexId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (indexes_.erase(id) == 0) return Status::NotFound("no such index");
   return Status::OK();
 }
 
 Result<const IndexInfo*> IndexManager::GetIndex(IndexId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = indexes_.find(id);
   if (it == indexes_.end()) return Status::NotFound("no such index");
   return it->second.get();
 }
 
 std::vector<const IndexInfo*> IndexManager::AllIndexes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<const IndexInfo*> out;
   for (const auto& [id, info] : indexes_) out.push_back(info.get());
   return out;
@@ -103,6 +112,7 @@ std::vector<const IndexInfo*> IndexManager::AllIndexes() const {
 const IndexInfo* IndexManager::FindIndexFor(
     ClassId target, const std::vector<std::string>& path,
     bool hierarchy_scope) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const Catalog& cat = *store_->catalog();
   const IndexInfo* best = nullptr;
   for (const auto& [id, info] : indexes_) {
@@ -137,6 +147,7 @@ std::vector<ClassId> IndexManager::ScopeClasses(ClassId scope_class,
 Status IndexManager::LookupEq(const IndexInfo& info, const Value& key,
                               ClassId scope_class, bool hierarchy,
                               std::vector<Oid>* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const Posting* p = info.tree.Find(key);
   if (p == nullptr) return Status::OK();
   std::vector<ClassId> scope = ScopeClasses(scope_class, hierarchy);
@@ -151,6 +162,7 @@ Status IndexManager::LookupRange(const IndexInfo& info,
                                  bool hi_inclusive, ClassId scope_class,
                                  bool hierarchy,
                                  std::vector<Oid>* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<ClassId> scope = ScopeClasses(scope_class, hierarchy);
   return info.tree.Scan(lo, lo_inclusive, hi, hi_inclusive,
                         [&](const Value&, const Posting& p) {
@@ -182,7 +194,7 @@ std::vector<Oid> IndexManager::RefsThrough(const Object& obj, AttrId attr) {
 
 std::vector<Value> IndexManager::DeriveKeys(const IndexInfo& info,
                                             const Object& target) const {
-  ++const_cast<IndexManagerStats&>(stats_).key_recomputations;
+  key_recomputations_.fetch_add(1, std::memory_order_relaxed);
   // Breadth-first fan-out along the path.
   std::vector<Object> frontier{target};
   for (size_t step = 0; step + 1 < info.path_ids.size(); ++step) {
@@ -212,7 +224,7 @@ std::vector<Value> IndexManager::DeriveKeys(const IndexInfo& info,
 }
 
 void IndexManager::RefreshTarget(IndexInfo* info, Oid target) {
-  ++stats_.maintenance_ops;
+  maintenance_ops_.fetch_add(1, std::memory_order_relaxed);
   auto it = info->stored_keys.find(target);
   if (it != info->stored_keys.end()) {
     for (const Value& k : it->second) info->tree.Remove(k, target);
@@ -263,6 +275,9 @@ std::vector<Oid> IndexManager::AffectedTargets(const IndexInfo& info,
 }
 
 void IndexManager::OnInsert(const Object& obj) {
+  // Writer side: the caller holds its class's latch shared (downgrade
+  // phase), so maintenance of distinct classes arrives concurrently.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& [id, info] : indexes_) {
     // Maintain backward chains for intermediate levels.
     for (size_t level = 0; level + 1 < info->path_ids.size(); ++level) {
@@ -277,6 +292,7 @@ void IndexManager::OnInsert(const Object& obj) {
 }
 
 void IndexManager::OnUpdate(const Object& before, const Object& after) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& [id, info] : indexes_) {
     size_t n = info->path_ids.size();
     // Update backward chains where this object is an intermediate node.
@@ -301,6 +317,7 @@ void IndexManager::OnUpdate(const Object& before, const Object& after) {
 }
 
 void IndexManager::OnDelete(const Object& before) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& [id, info] : indexes_) {
     size_t n = info->path_ids.size();
     // Targets whose paths passed through the deleted object must be

@@ -1,7 +1,9 @@
 #ifndef KIMDB_INDEX_INDEX_MANAGER_H_
 #define KIMDB_INDEX_INDEX_MANAGER_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -60,6 +62,15 @@ struct IndexManagerStats {
 /// Owns all indexes and keeps them consistent with the object store by
 /// listening to committed mutations. Provides the lookup entry points the
 /// query evaluator and the planner use.
+///
+/// Thread safety: store mutations of distinct classes notify listeners
+/// concurrently (the per-class write latches, DESIGN.md §14), so index
+/// maintenance runs under an internal writer lock; lookups take the
+/// shared side. Maintenance reads objects back through the store while
+/// holding the writer lock -- safe, because lookup paths never touch the
+/// store, so the lock order (class latch before index lock) is acyclic.
+/// CreateIndex/DropIndex remain DDL: run them with writers quiesced
+/// (LockSchemaChange), as with every schema operation.
 class IndexManager : public ObjectStoreListener {
  public:
   explicit IndexManager(ObjectStore* store) : store_(store) {
@@ -99,8 +110,17 @@ class IndexManager : public ObjectStoreListener {
                      bool hi_inclusive, ClassId scope_class, bool hierarchy,
                      std::vector<Oid>* out) const;
 
-  const IndexManagerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IndexManagerStats{}; }
+  IndexManagerStats stats() const {
+    IndexManagerStats s;
+    s.maintenance_ops = maintenance_ops_.load(std::memory_order_relaxed);
+    s.key_recomputations =
+        key_recomputations_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    maintenance_ops_.store(0, std::memory_order_relaxed);
+    key_recomputations_.store(0, std::memory_order_relaxed);
+  }
 
   // ObjectStoreListener
   void OnInsert(const Object& obj) override;
@@ -132,9 +152,15 @@ class IndexManager : public ObjectStoreListener {
                                    Oid oid) const;
 
   ObjectStore* store_;
+  /// Exclusive: listener maintenance and DDL (index create/drop).
+  /// Shared: planner/evaluator lookups. IndexInfo nodes are pointer-
+  /// stable (unique_ptr values), so a lookup holding the shared side
+  /// reads a tree no maintainer is concurrently mutating.
+  mutable std::shared_mutex mu_;
   IndexId next_id_ = 1;
   std::unordered_map<IndexId, std::unique_ptr<IndexInfo>> indexes_;
-  IndexManagerStats stats_;
+  mutable std::atomic<uint64_t> maintenance_ops_{0};
+  mutable std::atomic<uint64_t> key_recomputations_{0};
 };
 
 }  // namespace kimdb

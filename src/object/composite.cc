@@ -24,10 +24,12 @@ Result<std::unique_ptr<CompositeManager>> CompositeManager::Attach(
 CompositeManager::~CompositeManager() { store_->RemoveListener(this); }
 
 void CompositeManager::Link(Oid child, Oid parent) {
+  std::lock_guard<std::mutex> lock(children_mu_);
   children_[parent].push_back(child);
 }
 
 void CompositeManager::Unlink(Oid child, Oid parent) {
+  std::lock_guard<std::mutex> lock(children_mu_);
   auto it = children_.find(parent);
   if (it == children_.end()) return;
   auto& v = it->second;
@@ -44,6 +46,7 @@ Oid CompositeManager::ParentOf(Oid oid) const {
 }
 
 std::vector<Oid> CompositeManager::ChildrenOf(Oid oid) const {
+  std::lock_guard<std::mutex> lock(children_mu_);
   auto it = children_.find(oid);
   return it == children_.end() ? std::vector<Oid>{} : it->second;
 }
@@ -205,6 +208,7 @@ void CompositeManager::OnDelete(const Object& before) {
   if (p.kind() == Value::Kind::kRef && !p.as_ref().is_nil()) {
     Unlink(before.oid(), p.as_ref());
   }
+  std::lock_guard<std::mutex> lock(children_mu_);
   children_.erase(before.oid());
 }
 

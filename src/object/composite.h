@@ -2,6 +2,7 @@
 #define KIMDB_OBJECT_COMPOSITE_H_
 
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -65,6 +66,10 @@ class CompositeManager : public ObjectStoreListener {
   void Unlink(Oid child, Oid parent);
 
   ObjectStore* store_;
+  /// Guards children_. On* callbacks run concurrently for distinct classes
+  /// (per-class write latches, DESIGN.md §14), and traversals may race
+  /// with them. Held only around map access -- never across store calls.
+  mutable std::mutex children_mu_;
   std::unordered_map<Oid, std::vector<Oid>> children_;
 };
 

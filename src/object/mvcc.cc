@@ -20,10 +20,34 @@ void MvccTable::Publish(uint64_t ts) {
   }
 }
 
+void MvccTable::FinishCommit(uint64_t ts) {
+  uint64_t frontier = 0;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    publish_done_.insert(ts);
+    // Advance the dense frontier over every contiguously finished ts.
+    auto it = publish_done_.begin();
+    while (it != publish_done_.end() && *it == publish_frontier_ + 1) {
+      ++publish_frontier_;
+      it = publish_done_.erase(it);
+    }
+    frontier = publish_frontier_;
+  }
+  Publish(frontier);
+}
+
 void MvccTable::RestoreClock(uint64_t max_commit_ts) {
   uint64_t next = next_ts_.load(std::memory_order_relaxed);
   if (next <= max_commit_ts) {
     next_ts_.store(max_commit_ts + 1, std::memory_order_relaxed);
+  }
+  {
+    // Jump the dense frontier: recovery replayed everything <= max_commit_ts
+    // and no concurrent committers exist at restore time.
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    if (publish_frontier_ < max_commit_ts) publish_frontier_ = max_commit_ts;
+    publish_done_.erase(publish_done_.begin(),
+                        publish_done_.upper_bound(publish_frontier_));
   }
   Publish(max_commit_ts);
 }
@@ -51,6 +75,24 @@ uint64_t MvccTable::Watermark() const {
   if (!live_.empty()) wm = std::min(wm, *live_.begin());
   return wm;
 }
+
+namespace {
+
+/// Inserts {ts, image} at its sorted position in a newest-first version
+/// list. Commits finish off the commit clock now, so a larger timestamp
+/// can reach a chain before a smaller one (e.g. a CommitDirect under
+/// commit_mu() racing a transactional Promote that already left it);
+/// unconditional front-insertion would break the descending order that
+/// Resolve/NewestCommittedTs/CacheFillTs scans rely on.
+template <typename Version>
+void InsertSorted(std::vector<Version>& versions, uint64_t ts,
+                  std::shared_ptr<const Object> image) {
+  auto pos = std::find_if(versions.begin(), versions.end(),
+                          [ts](const Version& v) { return v.ts < ts; });
+  versions.insert(pos, Version{ts, std::move(image)});
+}
+
+}  // namespace
 
 void MvccTable::StageWrite(uint64_t txn, Oid oid,
                            std::shared_ptr<const Object> committed_base,
@@ -105,8 +147,7 @@ void MvccTable::Promote(uint64_t txn, uint64_t commit_ts) {
     if (it == sh.chains.end()) continue;
     Chain& c = it->second;
     if (!c.has_pending || c.pending_txn != txn) continue;
-    c.versions.insert(c.versions.begin(),
-                      Version{commit_ts, std::move(c.pending_image)});
+    InsertSorted(c.versions, commit_ts, std::move(c.pending_image));
     c.has_pending = false;
     c.pending_txn = 0;
     c.pending_image = nullptr;
@@ -149,15 +190,17 @@ void MvccTable::CommitDirect(Oid oid,
       total_chains_.fetch_add(1, std::memory_order_relaxed);
       total_entries_.fetch_add(1, std::memory_order_relaxed);
     }
-    c.versions.insert(c.versions.begin(), Version{ts, std::move(image)});
+    InsertSorted(c.versions, ts, std::move(image));
     total_entries_.fetch_add(1, std::memory_order_relaxed);
     versions_installed_.fetch_add(1, std::memory_order_relaxed);
   }
   // The commit record for a direct write is its op record (already in the
   // WAL); no kCommit is stamped, so the recovered clock simply restarts
   // from the durable transactional frontier -- correct, because chains are
-  // volatile and rebuilt empty.
-  Publish(ts);
+  // volatile and rebuilt empty. FinishCommit (not Publish) because
+  // transactional committers may have allocated smaller timestamps that
+  // have not finished promoting yet.
+  FinishCommit(ts);
   Prune();
 }
 

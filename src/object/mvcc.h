@@ -119,9 +119,10 @@ class MvccTable {
     return visible_ts_.load(std::memory_order_acquire);
   }
 
-  /// Serializes commit-ts allocation with the WAL commit-record append so
+  /// Serializes commit-ts allocation with WAL log-slot *reservation* so
   /// the log's commit order equals timestamp order (recovery relies on a
-  /// durable log prefix covering every smaller timestamp).
+  /// durable log prefix covering every smaller timestamp). The append and
+  /// fdatasync themselves run outside this mutex (DESIGN.md §14).
   std::mutex& commit_mu() { return commit_mu_; }
 
   /// Next commit timestamp. Caller holds commit_mu().
@@ -129,10 +130,20 @@ class MvccTable {
     return next_ts_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Publishes `ts` as durable (CAS-max) -- called after the WAL sync.
-  /// Because appends are ordered by commit_mu(), a sync that covers `ts`
-  /// covers every smaller timestamp too.
+  /// Publishes `ts` as durable (CAS-max). Callers that allocate and finish
+  /// timestamps one at a time under commit_mu() (CommitDirect) may use it
+  /// directly; concurrent committers must go through FinishCommit().
   void Publish(uint64_t ts);
+
+  /// Reports that commit `ts` has finished (promoted its versions and
+  /// resolved its WAL append, successfully or not). Because appends happen
+  /// off commit_mu(), timestamps can finish out of order; this advances
+  /// visible_ts only along the *dense* frontier -- the largest ts such that
+  /// every timestamp <= ts has finished -- so a snapshot can never read
+  /// past a commit that is still promoting. EVERY allocated timestamp must
+  /// be reported exactly once, on success and failure paths alike, or the
+  /// frontier (and thus every future snapshot) wedges.
+  void FinishCommit(uint64_t ts);
 
   /// Fast-forwards the clock after recovery: the next allocation returns
   /// max_commit_ts + 1 and snapshots see everything replayed.
@@ -145,13 +156,14 @@ class MvccTable {
   /// never observe a chain pruned past its read_ts.
   Snapshot AcquireSnapshot();
 
-  // --- writer staging (store mutators, under the exclusive store lock) ------
+  // --- writer staging (store mutators, under the per-class write latch) -----
 
   /// Stages `txn`'s write of `oid`: creates the chain if absent (anchoring
   /// `committed_base`, the materialized image committed before this write;
   /// nullptr for a fresh insert) and installs/replaces the pending image
   /// (nullptr encodes delete). The caller serializes writers per object
-  /// (2PL X lock) and against readers' heap access (exclusive store lock).
+  /// (2PL X lock) and against readers' heap access (the object's class
+  /// write latch).
   void StageWrite(uint64_t txn, Oid oid,
                   std::shared_ptr<const Object> committed_base,
                   std::shared_ptr<const Object> image);
@@ -160,8 +172,12 @@ class MvccTable {
   bool HasWrites(uint64_t txn) const;
 
   /// Promotes every pending image staged by `txn` to a committed version
-  /// tagged `commit_ts`. Caller holds commit_mu() and has already appended
-  /// the WAL commit record carrying the same timestamp.
+  /// tagged `commit_ts`. Runs *outside* commit_mu(): the caller has
+  /// reserved (not necessarily appended) the WAL commit record carrying
+  /// the same timestamp. Versions are inserted at their ts-sorted chain
+  /// position because concurrent committers and CommitDirect can now
+  /// interleave per shard. The promoted images stay invisible until
+  /// FinishCommit(commit_ts) advances the dense frontier.
   void Promote(uint64_t txn, uint64_t commit_ts);
 
   /// Drops `txn`'s pending images (abort). Call *after* the heap rollback
@@ -270,6 +286,13 @@ class MvccTable {
   std::mutex commit_mu_;
   std::atomic<uint64_t> next_ts_{1};
   std::atomic<uint64_t> visible_ts_{0};
+
+  /// Dense-frontier publish state (FinishCommit). publish_frontier_ is the
+  /// largest ts such that every allocated ts <= it has finished;
+  /// publish_done_ holds finished timestamps above the frontier.
+  std::mutex publish_mu_;
+  uint64_t publish_frontier_ = 0;
+  std::set<uint64_t> publish_done_;
 
   mutable std::mutex snap_mu_;
   std::multiset<uint64_t> live_;  // read_ts of live snapshots

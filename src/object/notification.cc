@@ -8,6 +8,7 @@ ChangeNotifier::SubscriptionId ChangeNotifier::SubscribeObject(Oid oid,
   s.by_class = false;
   s.oid = oid;
   s.cb = std::move(cb);
+  std::lock_guard<std::mutex> lock(mu_);
   SubscriptionId id = next_id_++;
   subs_[id] = std::move(s);
   return id;
@@ -19,14 +20,19 @@ ChangeNotifier::SubscriptionId ChangeNotifier::SubscribeClass(ClassId cls,
   s.by_class = true;
   s.cls = cls;
   s.cb = std::move(cb);
+  std::lock_guard<std::mutex> lock(mu_);
   SubscriptionId id = next_id_++;
   subs_[id] = std::move(s);
   return id;
 }
 
-void ChangeNotifier::Unsubscribe(SubscriptionId id) { subs_.erase(id); }
+void ChangeNotifier::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subs_.erase(id);
+}
 
 std::vector<ChangeEvent> ChangeNotifier::Drain(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = subs_.find(id);
   if (it == subs_.end()) return {};
   std::vector<ChangeEvent> out = std::move(it->second.pending);
@@ -35,21 +41,30 @@ std::vector<ChangeEvent> ChangeNotifier::Drain(SubscriptionId id) {
 }
 
 bool ChangeNotifier::HasPending(SubscriptionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = subs_.find(id);
   return it != subs_.end() && !it->second.pending.empty();
 }
 
 void ChangeNotifier::Dispatch(const ChangeEvent& ev) {
-  for (auto& [id, sub] : subs_) {
-    bool match = sub.by_class ? sub.cls == ev.oid.class_id()
-                              : sub.oid == ev.oid;
-    if (!match) continue;
-    if (sub.cb) {
-      sub.cb(ev);
-    } else {
-      sub.pending.push_back(ev);
+  // Flag-based queues fill under the mutex; message callbacks are copied
+  // out and invoked after release so a callback may subscribe/unsubscribe
+  // without self-deadlocking.
+  std::vector<Callback> fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, sub] : subs_) {
+      bool match = sub.by_class ? sub.cls == ev.oid.class_id()
+                                : sub.oid == ev.oid;
+      if (!match) continue;
+      if (sub.cb) {
+        fire.push_back(sub.cb);
+      } else {
+        sub.pending.push_back(ev);
+      }
     }
   }
+  for (auto& cb : fire) cb(ev);
 }
 
 void ChangeNotifier::OnInsert(const Object& obj) {

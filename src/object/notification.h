@@ -2,6 +2,7 @@
 #define KIMDB_OBJECT_NOTIFICATION_H_
 
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -65,6 +66,12 @@ class ChangeNotifier : public ObjectStoreListener {
   void Dispatch(const ChangeEvent& ev);
 
   ObjectStore* store_;
+  /// Guards next_id_ and subs_: Dispatch runs from store listener
+  /// callbacks, which fire concurrently for distinct classes (per-class
+  /// write latches, DESIGN.md §14). Message-based callbacks are invoked
+  /// *outside* the mutex so they may call back into the notifier; a
+  /// callback can therefore still fire once after Unsubscribe returns.
+  mutable std::mutex mu_;
   SubscriptionId next_id_ = 1;
   std::unordered_map<SubscriptionId, Subscription> subs_;
 };

@@ -4,6 +4,91 @@
 
 namespace kimdb {
 
+namespace {
+/// Class latches (shared or exclusive) held by this thread. Non-zero
+/// means we are inside a store call already -- typically a listener
+/// reading back during a notify phase -- so nested shared acquisitions
+/// bypass the writer-fairness gate (see ClassLatch::lock_shared): they
+/// can only be blocked by an exclusive mutation phase, which always
+/// terminates, never by a writer that is itself waiting on us.
+thread_local int tls_class_latches_held = 0;
+}  // namespace
+
+void ObjectStore::ClassLatch::lock(std::atomic<uint64_t>* wait_counter) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (writer_held_ && writer_ == std::this_thread::get_id()) {
+    ++writer_depth_;
+    return;
+  }
+  ++writers_waiting_;
+  if (readers_ > 0 || writer_held_) {
+    if (wait_counter != nullptr) {
+      wait_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.wait(lk, [&] { return readers_ == 0 && !writer_held_; });
+  }
+  --writers_waiting_;
+  writer_held_ = true;
+  writer_depth_ = 1;
+  writer_ = std::this_thread::get_id();
+  ++tls_class_latches_held;
+}
+
+void ObjectStore::ClassLatch::unlock() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--writer_depth_ > 0) return;
+    writer_held_ = false;
+    writer_ = std::thread::id();
+    --tls_class_latches_held;
+  }
+  cv_.notify_all();
+}
+
+void ObjectStore::ClassLatch::downgrade() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Mutators never downgrade from a re-entrant depth: the protocol is
+    // one lock / one downgrade / one unlock_shared per public mutator.
+    writer_held_ = false;
+    writer_depth_ = 0;
+    writer_ = std::thread::id();
+    ++readers_;
+    // tls count unchanged: still holding this latch, now shared.
+  }
+  // Wake readers queued on the exclusive phase (and nested sharers);
+  // waiting writers keep waiting for our shared release.
+  cv_.notify_all();
+}
+
+void ObjectStore::ClassLatch::lock_shared() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (writer_held_ && writer_ == std::this_thread::get_id()) {
+    return;  // no-op under own exclusive: reads see the mutation in flight
+  }
+  const bool nested = tls_class_latches_held > 0;
+  cv_.wait(lk, [&] {
+    // Top-level readers queue behind waiting writers (writer preference);
+    // nested readers bypass that gate to keep the latch graph acyclic.
+    return !writer_held_ && (nested || writers_waiting_ == 0);
+  });
+  ++readers_;
+  ++tls_class_latches_held;
+}
+
+void ObjectStore::ClassLatch::unlock_shared() {
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (writer_held_ && writer_ == std::this_thread::get_id()) {
+      return;  // matching the lock_shared no-op
+    }
+    --tls_class_latches_held;
+    wake = (--readers_ == 0);
+  }
+  if (wake) cv_.notify_all();
+}
+
 Result<Object> BuildObject(
     const Catalog& catalog, ClassId cls,
     const std::vector<std::pair<std::string, Value>>& attrs) {
@@ -31,7 +116,7 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
     Status st = heap->ForEach([&](RecordId rid, std::string_view bytes) {
       Result<Object> obj = Object::Decode(bytes);
       if (!obj.ok()) return obj.status();
-      store->directory_[obj->oid()] = rid;
+      store->DirectoryPut(obj->oid(), rid);
       max_serial = std::max(max_serial, obj->oid().serial());
       return Status::OK();
     });
@@ -95,6 +180,33 @@ Status ObjectStore::ValidateContents(ClassId cls,
   return Status::OK();
 }
 
+Result<RecordId> ObjectStore::DirectoryGet(Oid oid) const {
+  DirShard& sh = DirShardFor(oid);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.map.find(oid);
+  if (it == sh.map.end()) {
+    return Status::NotFound("object " + oid.ToString() + " not found");
+  }
+  return it->second;
+}
+
+void ObjectStore::DirectoryPut(Oid oid, RecordId rid) {
+  DirShard& sh = DirShardFor(oid);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  sh.map[oid] = rid;
+}
+
+void ObjectStore::DirectoryErase(Oid oid) {
+  DirShard& sh = DirShardFor(oid);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  sh.map.erase(oid);
+}
+
+std::vector<ObjectStoreListener*> ObjectStore::ListenersSnapshot() const {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  return listeners_;
+}
+
 Status ObjectStore::LogOp(uint64_t txn, WalRecordType type, Oid oid,
                           const Object* before, const Object* after) {
   if (wal_ == nullptr) return Status::OK();
@@ -111,7 +223,7 @@ Status ObjectStore::LogOp(uint64_t txn, WalRecordType type, Oid oid,
 
 Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
                                 Oid cluster_hint) {
-  std::lock_guard<StoreMutex> lock(mu_);
+  WriteGuard g(LatchFor(cls), &class_write_waits_);
   KIMDB_RETURN_IF_ERROR(ValidateContents(cls, contents));
   KIMDB_ASSIGN_OR_RETURN(ClassDef * def, catalog_->GetClassMutable(cls));
   Oid oid = Oid::Make(cls, def->next_serial++);
@@ -124,9 +236,10 @@ Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
   // A placement hint is honored only within the same class: extents are
   // per-class page chains, so clustering across classes would store the
   // record in a foreign extent and hide it from its own class scans
-  // (cross-class hints degrade to normal placement).
+  // (cross-class hints degrade to normal placement). Same class == same
+  // latch, so the hint's record cannot move while we place near it.
   if (!cluster_hint.is_nil() && cluster_hint.class_id() == cls) {
-    Result<RecordId> rid = DirectoryLookupLocked(cluster_hint);
+    Result<RecordId> rid = DirectoryGet(cluster_hint);
     if (rid.ok()) hint = rid->page_id;
   }
 
@@ -136,7 +249,7 @@ Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
   KIMDB_RETURN_IF_ERROR(EnsureExtent(cls));
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(cls));
   KIMDB_ASSIGN_OR_RETURN(RecordId rid, heap->Insert(bytes, hint));
-  directory_[oid] = rid;
+  DirectoryPut(oid, rid);
 
   if (mvcc_ != nullptr) {
     // Chain base nullptr: the object did not exist before this transaction,
@@ -153,13 +266,14 @@ Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
     }
   }
 
-  for (auto* l : listeners_) l->OnInsert(contents);
+  g.Downgrade();
+  for (auto* l : ListenersSnapshot()) l->OnInsert(contents);
   return oid;
 }
 
-Status ObjectStore::Update(uint64_t txn, const Object& obj) {
-  std::lock_guard<StoreMutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(Object before, GetRawLocked(obj.oid()));
+Status ObjectStore::UpdateHeld(WriteGuard& g, uint64_t txn,
+                               const Object& obj) {
+  KIMDB_ASSIGN_OR_RETURN(Object before, GetRawHeld(obj.oid()));
   KIMDB_RETURN_IF_ERROR(ValidateContents(obj.class_id(), obj));
   KIMDB_RETURN_IF_ERROR(
       LogOp(txn, WalRecordType::kUpdate, obj.oid(), &before, &obj));
@@ -167,9 +281,9 @@ Status ObjectStore::Update(uint64_t txn, const Object& obj) {
   std::string bytes;
   obj.EncodeTo(&bytes);
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(obj.class_id()));
-  RecordId rid = directory_.at(obj.oid());
+  KIMDB_ASSIGN_OR_RETURN(RecordId rid, DirectoryGet(obj.oid()));
   KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(rid, bytes));
-  directory_[obj.oid()] = new_rid;
+  DirectoryPut(obj.oid(), new_rid);
 
   if (mvcc_ != nullptr) {
     // Anchor the chain on the image committed before this writer touched
@@ -189,47 +303,55 @@ Status ObjectStore::Update(uint64_t txn, const Object& obj) {
     }
   }
 
-  // Drop the cached image before listeners run, so a listener reading the
-  // OID back observes the new state, never the stale cache entry.
+  // Drop the cached image before the downgrade publishes the new state,
+  // so a listener (or any reader) reading the OID back observes the new
+  // state, never the stale cache entry.
   cache_.Invalidate(obj.oid());
-  for (auto* l : listeners_) l->OnUpdate(before, obj);
+  g.Downgrade();
+  for (auto* l : ListenersSnapshot()) l->OnUpdate(before, obj);
   return Status::OK();
+}
+
+Status ObjectStore::Update(uint64_t txn, const Object& obj) {
+  WriteGuard g(LatchFor(obj.class_id()), &class_write_waits_);
+  return UpdateHeld(g, txn, obj);
 }
 
 Status ObjectStore::SetAttr(uint64_t txn, Oid oid, std::string_view attr_name,
                             Value value) {
-  std::lock_guard<StoreMutex> lock(mu_);
+  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_);
   KIMDB_ASSIGN_OR_RETURN(const AttributeDef* def,
                          catalog_->ResolveAttr(oid.class_id(), attr_name));
   KIMDB_RETURN_IF_ERROR(catalog_->CheckValue(def->domain, value));
-  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawHeld(oid));
   obj.Set(def->id, std::move(value));
-  return Update(txn, obj);
+  return UpdateHeld(g, txn, obj);
 }
 
 Status ObjectStore::SetAttrSystem(uint64_t txn, Oid oid, AttrId attr,
                                   Value value) {
-  std::lock_guard<StoreMutex> lock(mu_);
+  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_);
   if (attr < kSysAttrBase) {
     return Status::InvalidArgument("not a system attribute");
   }
-  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawHeld(oid));
   if (value.is_null()) {
     obj.Unset(attr);
   } else {
     obj.Set(attr, std::move(value));
   }
-  return Update(txn, obj);
+  return UpdateHeld(g, txn, obj);
 }
 
 Status ObjectStore::Delete(uint64_t txn, Oid oid) {
-  std::lock_guard<StoreMutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(Object before, GetRawLocked(oid));
+  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_);
+  KIMDB_ASSIGN_OR_RETURN(Object before, GetRawHeld(oid));
   KIMDB_RETURN_IF_ERROR(
       LogOp(txn, WalRecordType::kDelete, oid, &before, nullptr));
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
-  KIMDB_RETURN_IF_ERROR(heap->Delete(directory_.at(oid)));
-  directory_.erase(oid);
+  KIMDB_ASSIGN_OR_RETURN(RecordId rid, DirectoryGet(oid));
+  KIMDB_RETURN_IF_ERROR(heap->Delete(rid));
+  DirectoryErase(oid);
   if (mvcc_ != nullptr) {
     Object base = before;
     KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&base));
@@ -242,38 +364,33 @@ Status ObjectStore::Delete(uint64_t txn, Oid oid) {
     }
   }
   cache_.Invalidate(oid);
-  for (auto* l : listeners_) l->OnDelete(before);
+  g.Downgrade();
+  for (auto* l : ListenersSnapshot()) l->OnDelete(before);
   return Status::OK();
 }
 
 bool ObjectStore::Exists(Oid oid) const {
-  std::shared_lock<StoreMutex> lock(mu_);
-  return directory_.count(oid) > 0;
-}
-
-Result<RecordId> ObjectStore::DirectoryLookupLocked(Oid oid) const {
-  auto it = directory_.find(oid);
-  if (it == directory_.end()) {
-    return Status::NotFound("object " + oid.ToString() + " not found");
-  }
-  return it->second;
+  // Shard mutex only: presence is a point-in-time fact, and the shard
+  // mutex alone makes the map read safe.
+  DirShard& sh = DirShardFor(oid);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.map.count(oid) > 0;
 }
 
 Result<RecordId> ObjectStore::DirectoryLookup(Oid oid) const {
-  std::shared_lock<StoreMutex> lock(mu_);
-  return DirectoryLookupLocked(oid);
+  return DirectoryGet(oid);
 }
 
-Result<Object> ObjectStore::GetRawLocked(Oid oid) const {
-  KIMDB_ASSIGN_OR_RETURN(RecordId rid, DirectoryLookupLocked(oid));
+Result<Object> ObjectStore::GetRawHeld(Oid oid) const {
+  KIMDB_ASSIGN_OR_RETURN(RecordId rid, DirectoryGet(oid));
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
   KIMDB_ASSIGN_OR_RETURN(std::string bytes, heap->Get(rid));
   return Object::Decode(bytes);
 }
 
 Result<Object> ObjectStore::GetRaw(Oid oid) const {
-  std::shared_lock<StoreMutex> lock(mu_);
-  return GetRawLocked(oid);
+  ReadGuard lock(LatchFor(oid.class_id()));
+  return GetRawHeld(oid);
 }
 
 Status ObjectStore::MaterializeInPlace(Object* obj) const {
@@ -301,7 +418,7 @@ Result<Object> ObjectStore::Get(Oid oid) const {
 Result<Object> ObjectStore::Get(Oid oid, bool* cache_hit) const {
   obs::Timer timer(get_ns_);
   *cache_hit = false;
-  // Lock-free fast path: a hit never needs the store lock. The entry's
+  // Lock-free fast path: a hit never needs the class latch. The entry's
   // schema-version tag guarantees it matches the current schema, and any
   // completed mutation already invalidated it (happens-before via the
   // cache's shard mutex).
@@ -310,16 +427,16 @@ Result<Object> ObjectStore::Get(Oid oid, bool* cache_hit) const {
     *cache_hit = true;
     return *hit;
   }
-  std::shared_lock<StoreMutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
+  ReadGuard lock(LatchFor(oid.class_id()));
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawHeld(oid));
   KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
-  // Fill while still holding the shared lock: no exclusive mutation can be
-  // in flight, so this image is current and its invalidation (if any) must
-  // come from a *later* writer -- a stale image can never be resurrected.
-  // Tag with the version read *before* materialization: if the schema
-  // evolved in between, the tag is stale versus the new version and the
-  // entry self-invalidates on next lookup instead of masquerading as
-  // current.
+  // Fill while still holding the class-shared latch: no exclusive
+  // mutation of this class can be in flight, so this image is current and
+  // its invalidation (if any) must come from a *later* writer -- a stale
+  // image can never be resurrected. Tag with the version read *before*
+  // materialization: if the schema evolved in between, the tag is stale
+  // versus the new version and the entry self-invalidates on next lookup
+  // instead of masquerading as current.
   uint64_t commit_ts = 0;
   if (mvcc_ == nullptr || mvcc_->CacheFillTs(oid, &commit_ts)) {
     cache_.Insert(oid, obj, schema_version, commit_ts);
@@ -336,16 +453,16 @@ Result<std::shared_ptr<const Object>> ObjectStore::GetShared(
     Oid oid, bool* cache_hit) const {
   obs::Timer timer(get_ns_);
   *cache_hit = false;
-  // Same protocol as Get (lock-free hit, fill under the shared lock with
-  // the pre-materialization version tag), minus the defensive copy: hit
-  // and miss both return the exact instance the cache holds.
+  // Same protocol as Get (lock-free hit, fill under the class-shared
+  // latch with the pre-materialization version tag), minus the defensive
+  // copy: hit and miss both return the exact instance the cache holds.
   uint64_t schema_version = catalog_->schema_version();
   if (std::shared_ptr<const Object> hit = cache_.Lookup(oid, schema_version)) {
     *cache_hit = true;
     return hit;
   }
-  std::shared_lock<StoreMutex> lock(mu_);
-  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
+  ReadGuard lock(LatchFor(oid.class_id()));
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawHeld(oid));
   KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
   auto shared = std::make_shared<const Object>(std::move(obj));
   uint64_t commit_ts = 0;
@@ -363,7 +480,7 @@ Result<std::shared_ptr<const Object>> ObjectStore::GetSharedSnapshot(
   // A live cache entry is always the newest committed image (mutators
   // invalidate at staging, and fills are gated on "no pending write"), so
   // a commit-ts tag at or below read_ts is exactly the version this
-  // snapshot must see. No store lock, no lock-manager traffic.
+  // snapshot must see. No class latch, no lock-manager traffic.
   uint64_t schema_version = catalog_->schema_version();
   if (std::shared_ptr<const Object> hit =
           cache_.LookupSnapshot(oid, schema_version, read_ts)) {
@@ -382,10 +499,11 @@ Result<std::shared_ptr<const Object>> ObjectStore::GetSharedSnapshot(
     case MvccLookup::kNoChain:
       break;
   }
-  std::shared_lock<StoreMutex> lock(mu_);
-  // Re-resolve under the shared lock: a writer that staged a chain after
-  // the first check has already dirtied the heap, but staging happens
-  // under the exclusive side, so the chain is now guaranteed observable.
+  ReadGuard lock(LatchFor(oid.class_id()));
+  // Re-resolve under the class-shared latch: a writer that staged a chain
+  // after the first check has already dirtied the heap, but staging
+  // happens under the class's exclusive latch, so the chain is now
+  // guaranteed observable.
   switch (mvcc_->Resolve(oid, read_ts, &image)) {
     case MvccLookup::kImage:
       return image;
@@ -395,10 +513,11 @@ Result<std::shared_ptr<const Object>> ObjectStore::GetSharedSnapshot(
     case MvccLookup::kNoChain:
       break;
   }
-  // No chain while we hold the shared lock: the heap image is committed,
-  // and any chain it once had was pruned at or below the watermark -- which
-  // is at or below every live snapshot's read_ts, ours included.
-  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawLocked(oid));
+  // No chain while we hold the class-shared latch: the heap image is
+  // committed, and any chain it once had was pruned at or below the
+  // watermark -- which is at or below every live snapshot's read_ts, ours
+  // included.
+  KIMDB_ASSIGN_OR_RETURN(Object obj, GetRawHeld(oid));
   KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
   auto shared = std::make_shared<const Object>(std::move(obj));
   uint64_t commit_ts = 0;
@@ -445,10 +564,13 @@ Status ObjectStore::ForEachRawInClass(
 
 std::vector<std::pair<Oid, RecordId>> ObjectStore::DirectorySnapshot()
     const {
-  std::shared_lock<StoreMutex> lock(mu_);
+  // Shard-by-shard copy: consistent within a shard, not across shards
+  // (tooling/checker use only -- the checker runs with writers quiesced).
   std::vector<std::pair<Oid, RecordId>> out;
-  out.reserve(directory_.size());
-  for (const auto& [oid, rid] : directory_) out.push_back({oid, rid});
+  for (const DirShard& sh : dir_shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [oid, rid] : sh.map) out.push_back({oid, rid});
+  }
   return out;
 }
 
@@ -518,18 +640,30 @@ Result<uint64_t> ObjectStore::CountClass(ClassId cls) const {
   return n;
 }
 
-Status ObjectStore::ApplyInsert(const Object& obj) {
-  std::lock_guard<StoreMutex> lock(mu_);
-  if (directory_.count(obj.oid())) {
-    // Idempotent redo: overwrite the existing image.
-    return ApplyUpdate(obj);
-  }
+Status ObjectStore::ApplyUpsertHeld(WriteGuard& g, const Object& obj) {
+  Result<RecordId> existing = DirectoryGet(obj.oid());
   std::string bytes;
   obj.EncodeTo(&bytes);
+  if (existing.ok()) {
+    // Idempotent redo / rollback undo: overwrite the existing image.
+    Result<Object> before = GetRawHeld(obj.oid());
+    KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(obj.class_id()));
+    KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(*existing, bytes));
+    DirectoryPut(obj.oid(), new_rid);
+    // Undo (txn abort) and redo (recovery) both land here: the cached
+    // image of the clobbered version must go before the downgrade
+    // publishes the new state.
+    cache_.Invalidate(obj.oid());
+    g.Downgrade();
+    if (before.ok()) {
+      for (auto* l : ListenersSnapshot()) l->OnUpdate(*before, obj);
+    }
+    return Status::OK();
+  }
   KIMDB_RETURN_IF_ERROR(EnsureExtent(obj.class_id()));
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(obj.class_id()));
   KIMDB_ASSIGN_OR_RETURN(RecordId rid, heap->Insert(bytes));
-  directory_[obj.oid()] = rid;
+  DirectoryPut(obj.oid(), rid);
   // A redo of an insert whose delete was cached as NotFound can't happen
   // (negative results are not cached), but a resurrecting undo must still
   // clear whatever image preceded the delete.
@@ -538,46 +672,41 @@ Status ObjectStore::ApplyInsert(const Object& obj) {
   KIMDB_ASSIGN_OR_RETURN(ClassDef * def,
                          catalog_->GetClassMutable(obj.class_id()));
   def->next_serial = std::max(def->next_serial, obj.oid().serial() + 1);
-  for (auto* l : listeners_) l->OnInsert(obj);
+  g.Downgrade();
+  for (auto* l : ListenersSnapshot()) l->OnInsert(obj);
   return Status::OK();
+}
+
+Status ObjectStore::ApplyInsert(const Object& obj) {
+  WriteGuard g(LatchFor(obj.class_id()), &class_write_waits_);
+  return ApplyUpsertHeld(g, obj);
 }
 
 Status ObjectStore::ApplyUpdate(const Object& obj) {
-  std::lock_guard<StoreMutex> lock(mu_);
-  auto it = directory_.find(obj.oid());
-  if (it == directory_.end()) return ApplyInsert(obj);
-  Result<Object> before = GetRawLocked(obj.oid());
-  std::string bytes;
-  obj.EncodeTo(&bytes);
-  KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(obj.class_id()));
-  KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(it->second, bytes));
-  it->second = new_rid;
-  // Undo (txn abort) and redo (recovery) both land here: the cached image
-  // of the clobbered version must go before listeners re-read.
-  cache_.Invalidate(obj.oid());
-  if (before.ok()) {
-    for (auto* l : listeners_) l->OnUpdate(*before, obj);
-  }
-  return Status::OK();
+  WriteGuard g(LatchFor(obj.class_id()), &class_write_waits_);
+  return ApplyUpsertHeld(g, obj);
 }
 
 Status ObjectStore::ApplyDelete(Oid oid) {
-  std::lock_guard<StoreMutex> lock(mu_);
-  auto it = directory_.find(oid);
-  if (it == directory_.end()) return Status::OK();  // idempotent
-  Result<Object> before = GetRawLocked(oid);
+  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_);
+  Result<RecordId> existing = DirectoryGet(oid);
+  if (!existing.ok()) return Status::OK();  // idempotent
+  Result<Object> before = GetRawHeld(oid);
   KIMDB_ASSIGN_OR_RETURN(HeapFile * heap, ExtentOf(oid.class_id()));
-  KIMDB_RETURN_IF_ERROR(heap->Delete(it->second));
-  directory_.erase(it);
+  KIMDB_RETURN_IF_ERROR(heap->Delete(*existing));
+  DirectoryErase(oid);
   cache_.Invalidate(oid);
+  g.Downgrade();
   if (before.ok()) {
-    for (auto* l : listeners_) l->OnDelete(*before);
+    for (auto* l : ListenersSnapshot()) l->OnDelete(*before);
   }
   return Status::OK();
 }
 
 Status ObjectStore::RewriteExtent(ClassId cls) {
-  std::lock_guard<StoreMutex> lock(mu_);
+  // Exclusive for the whole rewrite; no listener notification, so no
+  // downgrade phase (record identities don't change, only their bytes).
+  WriteGuard g(LatchFor(cls), &class_write_waits_);
   std::vector<Object> materialized;
   KIMDB_RETURN_IF_ERROR(ForEachInClass(cls, [&](const Object& obj) {
     materialized.push_back(obj);
@@ -587,9 +716,9 @@ Status ObjectStore::RewriteExtent(ClassId cls) {
   for (const Object& obj : materialized) {
     std::string bytes;
     obj.EncodeTo(&bytes);
-    RecordId rid = directory_.at(obj.oid());
+    KIMDB_ASSIGN_OR_RETURN(RecordId rid, DirectoryGet(obj.oid()));
     KIMDB_ASSIGN_OR_RETURN(RecordId new_rid, heap->Update(rid, bytes));
-    directory_[obj.oid()] = new_rid;
+    DirectoryPut(obj.oid(), new_rid);
   }
   // Every record moved; start the cache over rather than invalidating
   // one OID at a time.
@@ -598,12 +727,12 @@ Status ObjectStore::RewriteExtent(ClassId cls) {
 }
 
 void ObjectStore::AddListener(ObjectStoreListener* listener) {
-  std::lock_guard<StoreMutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.push_back(listener);
 }
 
 void ObjectStore::RemoveListener(ObjectStoreListener* listener) {
-  std::lock_guard<StoreMutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.erase(
       std::remove(listeners_.begin(), listeners_.end(), listener),
       listeners_.end());

@@ -2,11 +2,11 @@
 #define KIMDB_OBJECT_OBJECT_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -51,15 +51,22 @@ Result<Object> BuildObject(
 /// lazy schema evolution on read (missing attributes materialize as their
 /// declared defaults; values of dropped attributes are skipped).
 ///
-/// Concurrency (DESIGN.md §12): the directory and heap mutations are
-/// guarded by a reader/writer lock -- point reads share it, mutators own
-/// it exclusively -- and extent scans snapshot the page list and iterate
-/// entirely off-lock, so concurrent scans and parallel-scan workers never
-/// serialize on the store. Get() is fronted by a bounded deserialized-
-/// object cache (`object_cache()`); a capacity of 0 restores the
-/// decode-per-read behavior. Fine-grained isolation stays the lock
-/// manager's job (logical locks); the store lock only protects physical
-/// structures.
+/// Concurrency (DESIGN.md §12, §14): writer serialization is *per class*.
+/// Each class hashes to one of 64 write latches; a mutator owns its
+/// class's latch exclusively for the physical mutation (validate, WAL,
+/// heap, directory, version staging, cache invalidation), then DOWNGRADES
+/// to shared and notifies listeners -- so index maintenance on class A
+/// never blocks writers of class B, and a listener reading back through
+/// the store (even another class) can never deadlock against a concurrent
+/// writer (exclusive phases only ever take leaf locks and terminate).
+/// Point reads share the latch of their object's class; extent scans
+/// snapshot the page list and iterate entirely off-latch, so concurrent
+/// scans and parallel-scan workers never serialize on the store. The
+/// object directory is sharded by OID under its own leaf mutexes. Get()
+/// is fronted by a bounded deserialized-object cache (`object_cache()`);
+/// a capacity of 0 restores the decode-per-read behavior. Fine-grained
+/// isolation stays the lock manager's job (logical locks); the latches
+/// only protect physical structures.
 class ObjectStore {
  public:
   /// Default byte budget of the deserialized-object cache.
@@ -133,7 +140,7 @@ class ObjectStore {
   /// Resolves `oid` to the newest version committed at or before `read_ts`
   /// (which must belong to a live Snapshot). Takes no lock-manager locks;
   /// version-chain hits and commit-ts-tagged cache hits bypass even the
-  /// shared store lock, so a full-speed writer cannot stall this path.
+  /// shared class latch, so a full-speed writer cannot stall this path.
   /// Returns NotFound when the object is deleted at (or born after) the
   /// snapshot. Falls back to plain GetShared when no MVCC table is
   /// attached.
@@ -144,7 +151,7 @@ class ObjectStore {
                              bool* cache_hit) const;
 
   /// Scans the extent of exactly `cls` (single-class scope). The page
-  /// list is snapshotted up front and iterated without the store lock, so
+  /// list is snapshotted up front and iterated without the class latch, so
   /// concurrent scans proceed in parallel; records inserted after the
   /// snapshot onto new pages are not visited (isolation against concurrent
   /// writers is the lock manager's job).
@@ -161,7 +168,7 @@ class ObjectStore {
   Result<std::vector<PageId>> ExtentPages(ClassId cls) const;
 
   /// Scans the records of `cls` stored on one extent page, with schema
-  /// materialization. No store lock is held across user callbacks, so
+  /// materialization. No latch is held across user callbacks, so
   /// disjoint partitions can be scanned from several threads concurrently
   /// (ParallelExtentScan). The callback receives a mutable reference to a
   /// freshly decoded Object it may move from -- the decoded image is
@@ -228,50 +235,96 @@ class ObjectStore {
   /// detaches. Call before concurrent use.
   void AttachMetrics(obs::Histogram* get_ns) { get_ns_ = get_ns; }
 
+  /// Times a mutator found its class write latch contended
+  /// (`objectstore.class_write_waits`).
+  uint64_t class_write_waits() const {
+    return class_write_waits_.load(std::memory_order_relaxed);
+  }
+
  private:
-  /// Reader/writer lock over the directory and extent tables, *re-entrant
-  /// for the thread holding it exclusively*: mutators synchronously notify
-  /// listeners (index maintenance, composites) which read back -- and
-  /// sometimes write back -- through the store on the same thread. A
-  /// shared request from the exclusive owner is a no-op, so listener
-  /// callbacks never self-deadlock; genuine readers take the shared side
-  /// and scale with each other. Public read methods never nest shared
-  /// acquisitions (internal *Locked helpers assume the lock is held), so
-  /// a writer queued between two shared acquisitions cannot wedge a
-  /// reader against itself.
-  class StoreMutex {
+  /// Per-class reader/writer latch with an exclusive->shared DOWNGRADE.
+  /// One mutation follows the protocol
+  ///
+  ///   lock()            physical mutation: WAL, heap, directory, version
+  ///                     staging, cache invalidation (leaf locks only)
+  ///   downgrade()       atomically exchange exclusive for shared: the
+  ///                     mutated state is published, but no other writer
+  ///                     of this class can start yet
+  ///   ...notify...      listeners (index maintenance, composites,
+  ///                     notifications) run holding only the shared side,
+  ///                     so they may read back through the store -- same
+  ///                     or other classes -- without blocking writers of
+  ///                     other classes
+  ///   unlock_shared()   the next writer of this class may proceed
+  ///
+  /// Per-class notification order is preserved: the next writer's
+  /// exclusive acquisition waits for the previous writer's shared release.
+  /// Writers are favored over *top-level* readers (a reader arriving
+  /// while a writer waits queues behind it), but a reader that already
+  /// holds any class latch (a listener reading back) bypasses that
+  /// fairness gate -- it can only be blocked by an exclusive *mutation*
+  /// phase, which always terminates, so the latch graph has no
+  /// hold-and-wait cycle. Exclusive acquisition is re-entrant for its
+  /// owner; lock_shared by the exclusive owner is a no-op (listener
+  /// self-reads can never self-deadlock). Listeners must not call store
+  /// mutators synchronously (none do).
+  class ClassLatch {
    public:
-    void lock() {
-      if (HeldExclusiveByMe()) {
-        ++depth_;
-        return;
+    /// Exclusive acquisition; bumps `wait_counter` (if non-null) when the
+    /// latch was contended.
+    void lock(std::atomic<uint64_t>* wait_counter);
+    void unlock();
+    /// Exclusive -> shared, atomically (depth must be 1).
+    void downgrade();
+    void lock_shared();
+    void unlock_shared();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int readers_ = 0;
+    int writers_waiting_ = 0;
+    int writer_depth_ = 0;
+    bool writer_held_ = false;
+    std::thread::id writer_;
+  };
+
+  /// RAII driver of the mutator protocol above: constructs exclusive,
+  /// releases whichever mode is held (early error returns drop the
+  /// exclusive side without ever publishing to listeners).
+  class WriteGuard {
+   public:
+    WriteGuard(ClassLatch& latch, std::atomic<uint64_t>* wait_counter)
+        : latch_(latch) {
+      latch_.lock(wait_counter);
+    }
+    ~WriteGuard() {
+      if (shared_) {
+        latch_.unlock_shared();
+      } else {
+        latch_.unlock();
       }
-      mu_.lock();
-      owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
-      depth_ = 1;
     }
-    void unlock() {
-      if (--depth_ > 0) return;
-      owner_.store(std::thread::id(), std::memory_order_relaxed);
-      mu_.unlock();
-    }
-    void lock_shared() {
-      if (HeldExclusiveByMe()) return;
-      mu_.lock_shared();
-    }
-    void unlock_shared() {
-      if (HeldExclusiveByMe()) return;
-      mu_.unlock_shared();
+    void Downgrade() {
+      latch_.downgrade();
+      shared_ = true;
     }
 
    private:
-    bool HeldExclusiveByMe() const {
-      return owner_.load(std::memory_order_relaxed) ==
-             std::this_thread::get_id();
+    ClassLatch& latch_;
+    bool shared_ = false;
+  };
+
+  /// RAII shared acquisition for point readers.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(ClassLatch& latch) : latch_(latch) {
+      latch_.lock_shared();
     }
-    std::shared_mutex mu_;
-    std::atomic<std::thread::id> owner_{};
-    int depth_ = 0;  // touched only by the exclusive owner
+    ~ReadGuard() { latch_.unlock_shared(); }
+
+   private:
+    ClassLatch& latch_;
   };
 
   ObjectStore(BufferPool* bp, Catalog* catalog, Wal* wal, bool attach,
@@ -290,10 +343,26 @@ class ObjectStore {
   /// node-stable for the store's lifetime.
   Result<HeapFile*> ExtentOf(ClassId cls) const;
 
-  /// Directory lookup; caller holds mu_ (either mode).
-  Result<RecordId> DirectoryLookupLocked(Oid oid) const;
-  /// Stored-image read; caller holds mu_ (either mode).
-  Result<Object> GetRawLocked(Oid oid) const;
+  /// Directory lookup (internally takes the OID's shard mutex).
+  Result<RecordId> DirectoryGet(Oid oid) const;
+  void DirectoryPut(Oid oid, RecordId rid);
+  void DirectoryErase(Oid oid);
+
+  /// Stored-image read; caller holds the class latch of `oid` (either
+  /// mode) so the heap record cannot move underneath the read.
+  Result<Object> GetRawHeld(Oid oid) const;
+
+  /// Copy of the listener list (taken at notify time, under
+  /// listeners_mu_).
+  std::vector<ObjectStoreListener*> ListenersSnapshot() const;
+
+  /// Shared tail of Update/SetAttr/SetAttrSystem: physical update under
+  /// `g`'s exclusive latch, then downgrade + notify. `g` must hold the
+  /// latch of `obj`'s class exclusively.
+  Status UpdateHeld(WriteGuard& g, uint64_t txn, const Object& obj);
+  /// Shared body of ApplyInsert/ApplyUpdate (idempotent redo/undo
+  /// upsert). `g` as for UpdateHeld.
+  Status ApplyUpsertHeld(WriteGuard& g, const Object& obj);
 
   Status ValidateContents(ClassId cls, const Object& contents) const;
   /// Applies schema materialization to a decoded object.
@@ -306,30 +375,55 @@ class ObjectStore {
   Wal* wal_;
   bool attach_to_catalog_;
 
-  /// Guards directory_ and listeners_, and orders heap mutations against
-  /// point reads (mutators write heap pages under the exclusive side;
-  /// GetRaw reads them under the shared side).
-  mutable StoreMutex mu_;
+  static constexpr size_t kLatchStripes = 64;  // power of two
+  static constexpr size_t kDirShards = 16;     // power of two
+
+  ClassLatch& LatchFor(ClassId cls) const {
+    return latches_[cls & (kLatchStripes - 1)];
+  }
+
+  /// Per-class write latches: writer serialization and writer-vs-point-
+  /// reader ordering, striped so distinct classes almost never share one.
+  mutable ClassLatch latches_[kLatchStripes];
+
   /// Leaf lock guarding the lazy extent tables (extents_, local extent
-  /// heads). Acquired under either side of mu_ or with no lock at all;
-  /// never held while acquiring mu_.
+  /// heads). Acquired under any latch or with no latch at all; never held
+  /// while acquiring a latch.
   mutable std::mutex extents_mu_;
 
   // Extent heads for detached (private) stores.
   std::unordered_map<ClassId, PageId> local_extent_heads_;
   mutable std::unordered_map<ClassId, HeapFile> extents_;
-  std::unordered_map<Oid, RecordId> directory_;
+
+  /// Object directory, sharded by OID hash under leaf mutexes so writers
+  /// of distinct classes never contend on one map. Mutators touch it
+  /// under their class latch; Exists/DirectoryLookup need only the shard
+  /// mutex (they return a point-in-time fact either way).
+  struct DirShard {
+    mutable std::mutex mu;
+    std::unordered_map<Oid, RecordId> map;
+  };
+  DirShard& DirShardFor(Oid oid) const {
+    return dir_shards_[std::hash<Oid>{}(oid) & (kDirShards - 1)];
+  }
+  mutable DirShard dir_shards_[kDirShards];
+
+  /// Leaf lock over the listener list (registration is rare; notify
+  /// copies the list and runs callbacks outside it).
+  mutable std::mutex listeners_mu_;
   std::vector<ObjectStoreListener*> listeners_;
 
-  /// OID -> materialized object. Mutators invalidate before notifying
-  /// listeners; readers fill it under the shared lock (see ObjectCache).
+  /// OID -> materialized object. Mutators invalidate before downgrading;
+  /// readers fill it under their class-shared latch (see ObjectCache).
   mutable ObjectCache cache_;
   /// Version table for MVCC snapshot reads (null for detached stores:
   /// private databases, standalone tests -- they keep the pure 2PL
-  /// behavior). Mutators stage chains under the exclusive lock; snapshot
-  /// readers resolve against it without taking mu_.
+  /// behavior). Mutators stage chains under their class's exclusive
+  /// latch; snapshot readers resolve against it without any latch.
   MvccTable* mvcc_ = nullptr;
   obs::Histogram* get_ns_ = nullptr;
+  /// Contended class-latch acquisitions (`objectstore.class_write_waits`).
+  mutable std::atomic<uint64_t> class_write_waits_{0};
 };
 
 }  // namespace kimdb

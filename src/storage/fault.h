@@ -22,8 +22,14 @@ enum class FaultOp : uint8_t {
   kPageWrite,
   kPageRead,
   kDiskSync,
+  /// The write-out of a commit record whose log slot (LSN + file offset)
+  /// was reserved under the commit clock but whose bytes are written off
+  /// the clock mutex (Wal::AppendReserved). Firing here models a crash in
+  /// the reservation-to-append window: the timestamp and log slot were
+  /// consumed, but nothing reached the file.
+  kWalReserve,
 };
-inline constexpr size_t kNumFaultOps = 5;
+inline constexpr size_t kNumFaultOps = 6;
 
 /// What an armed failpoint does when it fires.
 enum class FaultMode : uint8_t {
@@ -92,7 +98,7 @@ class FaultInjector {
   FaultMode mode_ = FaultMode::kFail;
   uint64_t fire_at_ = 0;  // fires when counter reaches this value
   uint32_t seed_ = 1;
-  uint64_t counters_[kNumFaultOps] = {0, 0, 0, 0, 0};
+  uint64_t counters_[kNumFaultOps] = {};
 };
 
 /// DiskManager decorator that routes every page I/O through a

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -99,28 +100,30 @@ Wal::~Wal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<uint64_t> Wal::Append(WalRecord rec) {
-  obs::Timer timer(append_ns_);  // includes mu_ contention, by design
-  std::lock_guard<std::mutex> lock(mu_);
-  rec.lsn = next_lsn_;  // consumed only if the append fully succeeds
-  std::string bytes = EncodeRecord(rec);
-  const uint64_t base = file_end_.load(std::memory_order_relaxed);
+namespace {
+
+/// pwrite loop shared by Append and AppendReserved: writes `bytes` at
+/// absolute offset `base`, routing every chunk through the kWalAppend
+/// failpoint. Returns OK only once every byte reached the OS buffer; on
+/// failure a (possibly corrupted) prefix may remain on disk -- exactly
+/// what a crash mid-pwrite leaves.
+Status PwriteWithFaults(int fd, FaultInjector* fault,
+                        const std::string& bytes, uint64_t base) {
   size_t written = 0;
   while (written < bytes.size()) {
     size_t want = bytes.size() - written;
-    if (fault_ != nullptr) {
-      FaultInjector::Decision d =
-          fault_->Observe(FaultOp::kWalAppend, want);
+    if (fault != nullptr) {
+      FaultInjector::Decision d = fault->Observe(FaultOp::kWalAppend, want);
       if (d.fail) {
         if (d.torn_prefix > 0) {
           // Torn append: a corrupted prefix of the record reaches the file
-          // beyond file_end_, exactly what a crash mid-pwrite leaves.
+          // beyond the complete prefix.
           std::string torn = bytes.substr(written, d.torn_prefix);
           if (d.corrupt_seed != 0) {
             Random rng(d.corrupt_seed);
             torn.back() ^= static_cast<char>(1 + rng.Uniform(255));
           }
-          (void)::pwrite(fd_, torn.data(), torn.size(),
+          (void)::pwrite(fd, torn.data(), torn.size(),
                          static_cast<off_t>(base + written));
         }
         return FaultInjector::Error(FaultOp::kWalAppend);
@@ -130,11 +133,9 @@ Result<uint64_t> Wal::Append(WalRecord rec) {
         want = d.torn_prefix;
       }
     }
-    ssize_t n = ::pwrite(fd_, bytes.data() + written, want,
+    ssize_t n = ::pwrite(fd, bytes.data() + written, want,
                          static_cast<off_t>(base + written));
     if (n < 0) {
-      // errno is from this pwrite, not a stale value; file_end_ and
-      // next_lsn_ are untouched, so no LSN gap or phantom bytes remain.
       return Status::IOError("wal append failed: " +
                              std::string(std::strerror(errno)));
     }
@@ -143,14 +144,116 @@ Result<uint64_t> Wal::Append(WalRecord rec) {
     }
     written += static_cast<size_t>(n);  // short write: retry the remainder
   }
-  file_end_.store(base + bytes.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace
+
+void Wal::MarkCompletedLocked(uint64_t offset, uint64_t end) {
+  completed_[offset] = end;
+  // Slots are adjacent by construction (Reserve hands out back-to-back
+  // ranges), so the frontier advances by exact-offset matches.
+  uint64_t fe = file_end_.load(std::memory_order_relaxed);
+  auto it = completed_.begin();
+  while (it != completed_.end() && it->first == fe) {
+    fe = it->second;
+    it = completed_.erase(it);
+  }
+  file_end_.store(fe, std::memory_order_release);
+}
+
+void Wal::MarkFailed(uint64_t offset) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    failed_floor_ = std::min(failed_floor_, offset);
+  }
+  append_cv_.notify_all();
+}
+
+Result<uint64_t> Wal::Append(WalRecord rec) {
+  obs::Timer timer(append_ns_);  // includes mu_ contention, by design
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.lsn = next_lsn_;  // consumed only if the append fully succeeds
+  std::string bytes = EncodeRecord(rec);
+  // Claim the slot after every outstanding reservation; holding mu_ for
+  // the whole call means a failure can roll the claim back (reserved_end_
+  // is still newest), preserving the no-LSN-gap contract.
+  const uint64_t base = reserved_end_;
+  Status st = PwriteWithFaults(fd_, fault_, bytes, base);
+  if (!st.ok()) {
+    // file_end_, reserved_end_ and next_lsn_ are untouched, so no LSN gap
+    // or phantom bytes remain: the next append overwrites the prefix.
+    return st;
+  }
+  reserved_end_ = base + bytes.size();
+  MarkCompletedLocked(base, reserved_end_);
   next_lsn_ = rec.lsn + 1;
   appended_.fetch_add(1, std::memory_order_relaxed);
+  append_cv_.notify_all();
   return rec.lsn;
 }
 
+Wal::Reservation Wal::Reserve(WalRecord rec) {
+  obs::Timer timer(reserve_ns_);
+  std::lock_guard<std::mutex> lock(mu_);
+  Reservation r;
+  r.lsn = next_lsn_++;
+  rec.lsn = r.lsn;
+  r.bytes = EncodeRecord(rec);
+  r.offset = reserved_end_;
+  reserved_end_ += r.bytes.size();
+  return r;
+}
+
+Status Wal::AppendReserved(Reservation* resv) {
+  obs::Timer timer(append_ns_);
+  if (fault_ != nullptr) {
+    // The reservation-to-append window: the LSN and byte range are spoken
+    // for, but no bytes have reached the file yet. A kWalReserve fault
+    // here models a crash in that gap -- recovery must still restore a
+    // dense commit-ts frontier from the records before the hole.
+    FaultInjector::Decision d =
+        fault_->Observe(FaultOp::kWalReserve, resv->bytes.size());
+    if (d.fail || d.short_io) {
+      MarkFailed(resv->offset);
+      return FaultInjector::Error(FaultOp::kWalReserve);
+    }
+  }
+  // Off mu_: concurrent redemptions target disjoint ranges, and pwrite at
+  // explicit offsets is position-independent.
+  Status st = PwriteWithFaults(fd_, fault_, resv->bytes, resv->offset);
+  if (!st.ok()) {
+    MarkFailed(resv->offset);
+    return st;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MarkCompletedLocked(resv->offset, resv->end());
+    appended_.fetch_add(1, std::memory_order_relaxed);
+  }
+  append_cv_.notify_all();
+  return Status::OK();
+}
+
+Status Wal::SyncTo(uint64_t target) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    append_cv_.wait(lock, [&] {
+      return file_end_.load(std::memory_order_relaxed) >= target ||
+             failed_floor_ < target;
+    });
+    if (failed_floor_ < target) {
+      return Status::IOError("wal append hole below sync target");
+    }
+  }
+  return SyncInternal(target);
+}
+
 Status Wal::Sync() {
-  const uint64_t target = file_end_.load(std::memory_order_acquire);
+  return SyncInternal(file_end_.load(std::memory_order_acquire));
+}
+
+Status Wal::SyncInternal(uint64_t target) {
   std::unique_lock<std::mutex> lock(sync_mu_);
   for (;;) {
     if (durable_end_ >= target) return Status::OK();  // coalesced: no I/O
@@ -230,6 +333,9 @@ Status Wal::Truncate() {
       return Status::IOError("wal truncate failed");
     }
     file_end_.store(0, std::memory_order_release);
+    reserved_end_ = 0;
+    completed_.clear();
+    failed_floor_ = UINT64_MAX;
     if (::fdatasync(fd_) != 0) {
       return Status::IOError("wal fdatasync failed");
     }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -49,8 +50,26 @@ struct WalRecord {
 /// counter only advances when the record is fully in the OS buffer).
 /// Sync() is a group commit: concurrent callers coalesce onto one
 /// fdatasync that covers every record appended before the leader syncs.
+///
+/// Reserve()/AppendReserved() split an append in two so commit records can
+/// claim their log slot (LSN + byte offset) under the MVCC commit clock
+/// while the write-out and fdatasync run off it (DESIGN.md §14). Reserved
+/// slots that complete out of order are merged back into the contiguous
+/// complete prefix (file_end_); a crash while slots are still open leaves
+/// a hole whose successors fail their checksum parse, so Open() truncates
+/// recovery back to the dense prefix -- log order stays timestamp order.
 class Wal {
  public:
+  /// A claimed log slot: the encoded record plus the byte range it must be
+  /// written to. Obtained from Reserve() (under the commit clock),
+  /// redeemed by AppendReserved() (off it).
+  struct Reservation {
+    uint64_t lsn = 0;
+    uint64_t offset = 0;  // absolute file offset of the slot
+    std::string bytes;    // encoded record, written verbatim at `offset`
+    uint64_t end() const { return offset + bytes.size(); }
+  };
+
   ~Wal();
 
   Wal(const Wal&) = delete;
@@ -66,10 +85,31 @@ class Wal {
   /// next append transparently overwrites any partial bytes.
   Result<uint64_t> Append(WalRecord rec);
 
+  /// Claims the next LSN and the byte range right after every previously
+  /// claimed slot, without any I/O. Infallible and cheap (one mutex, one
+  /// encode) -- designed to run under the MVCC commit clock so reservation
+  /// order == LSN order == timestamp order. Every reservation MUST be
+  /// redeemed by exactly one AppendReserved call (even on error paths);
+  /// an abandoned slot is a permanent hole that stalls SyncTo forever.
+  Reservation Reserve(WalRecord rec);
+
+  /// Writes a reserved slot's bytes at its claimed offset (off the commit
+  /// clock; concurrent redemptions write disjoint ranges in parallel).
+  /// Completed slots merge back into the contiguous complete prefix once
+  /// every earlier slot has completed. On failure the slot is marked a
+  /// permanent hole: SyncTo calls whose target lies beyond it fail instead
+  /// of waiting (recovery truncates the log back to the dense prefix).
+  Status AppendReserved(Reservation* resv);
+
   /// Durably flushes all records appended so far (group commit: one
   /// fdatasync may cover many concurrent callers; a call whose records are
   /// already durable performs no I/O).
   Status Sync();
+
+  /// Waits until the contiguous complete prefix covers `target` (a
+  /// Reservation::end()), then group-commits it durable. Fails without
+  /// waiting forever if an append hole below `target` became permanent.
+  Status SyncTo(uint64_t target);
 
   /// Parses all complete records currently in the log.
   Result<std::vector<WalRecord>> ReadAll() const;
@@ -102,13 +142,16 @@ class Wal {
   void set_fault_injector(FaultInjector* fi) { fault_ = fi; }
 
   /// Points the WAL at its latency/batch histograms (`wal.append_ns`,
-  /// `wal.fsync_ns`, `wal.group_commit_batch`); any may be null. Not
-  /// thread-safe against in-flight operations -- attach before use.
+  /// `wal.fsync_ns`, `wal.group_commit_batch`, `wal.reserve_ns`); any may
+  /// be null. Not thread-safe against in-flight operations -- attach
+  /// before use.
   void AttachMetrics(obs::Histogram* append_ns, obs::Histogram* fsync_ns,
-                     obs::Histogram* batch_records) {
+                     obs::Histogram* batch_records,
+                     obs::Histogram* reserve_ns = nullptr) {
     append_ns_ = append_ns;
     fsync_ns_ = fsync_ns;
     batch_records_ = batch_records;
+    reserve_ns_ = reserve_ns;
   }
 
  private:
@@ -117,9 +160,22 @@ class Wal {
         path_(std::move(path)),
         next_lsn_(next_lsn),
         file_end_(file_end),
+        reserved_end_(file_end),
         durable_end_(file_end) {}
 
   static std::string EncodeRecord(const WalRecord& rec);
+
+  /// Merges a finished [offset, end) slot into the contiguous complete
+  /// prefix, advancing file_end_ across every adjacent completed slot.
+  /// Caller holds mu_ and notifies append_cv_ after releasing it.
+  void MarkCompletedLocked(uint64_t offset, uint64_t end);
+
+  /// Records a permanent hole at `offset` and wakes SyncTo waiters.
+  void MarkFailed(uint64_t offset);
+
+  /// Group-commit body shared by Sync/SyncTo: returns once `target` bytes
+  /// are durable (possibly via another leader's fdatasync).
+  Status SyncInternal(uint64_t target);
 
   // mu_ serializes appends and fd-repositioning ops; sync_mu_ coordinates
   // the group-commit leader/followers. Neither is ever held while taking
@@ -128,9 +184,20 @@ class Wal {
   int fd_;
   std::string path_;
   uint64_t next_lsn_;
-  // Byte offset of the first incomplete/absent record. Atomic so Sync can
-  // sample it without mu_.
+  // Byte offset of the first incomplete/absent record: the end of the
+  // contiguous prefix of *completed* slots. Atomic so Sync can sample it
+  // without mu_.
   std::atomic<uint64_t> file_end_;
+  // End of the last claimed slot (>= file_end_; equal when no reservation
+  // is in flight). Plain Append claims and completes in one mu_ hold.
+  uint64_t reserved_end_;  // under mu_
+  // Completed slots above file_end_ awaiting earlier slots: offset -> end.
+  std::map<uint64_t, uint64_t> completed_;  // under mu_
+  // Smallest offset of a permanently failed slot (no bytes will ever land
+  // there); SyncTo targets beyond it fail fast.
+  uint64_t failed_floor_ = UINT64_MAX;  // under mu_
+  // Signals file_end_ / failed_floor_ changes to SyncTo waiters.
+  std::condition_variable append_cv_;
   // Successful appends; atomic so Sync's leader and snapshot collectors
   // can read it without mu_.
   std::atomic<uint64_t> appended_{0};
@@ -138,6 +205,7 @@ class Wal {
   obs::Histogram* append_ns_ = nullptr;
   obs::Histogram* fsync_ns_ = nullptr;
   obs::Histogram* batch_records_ = nullptr;
+  obs::Histogram* reserve_ns_ = nullptr;
 
   std::mutex sync_mu_;
   std::condition_variable sync_cv_;

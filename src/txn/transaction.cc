@@ -79,24 +79,44 @@ Status TxnManager::Commit(uint64_t txn) {
   obs::Timer timer(commit_ns_);
   KIMDB_RETURN_IF_ERROR(CheckActive(txn));
   if (mvcc_->HasWrites(txn)) {
+    Wal* wal = store_->wal();
     uint64_t ts;
+    Wal::Reservation resv;
     {
-      // commit_mu serializes timestamp allocation with the WAL append, so
-      // the log's commit-record order equals timestamp order: any sync
-      // that makes ts durable has made every smaller timestamp durable
-      // too. Promotion happens inside as well -- once any commit with a
-      // larger timestamp publishes, every version at or below it must
-      // already be in its chain or snapshots would read past it.
+      // commit_mu covers ONLY timestamp allocation plus WAL log-slot
+      // reservation (no I/O): reservation order == LSN order == byte
+      // order == timestamp order, so any sync that makes ts's slot
+      // durable has made every smaller timestamp's slot durable too --
+      // the log-order == ts-order invariant recovery's commit-clock
+      // restore depends on. The append and group-commit fdatasync run
+      // below, off the mutex, so one slow commit no longer stalls every
+      // other committer's clock access (DESIGN.md §14).
       std::lock_guard<std::mutex> clk(mvcc_->commit_mu());
       ts = mvcc_->AllocateCommitTs();
-      KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kCommit, ts));
-      mvcc_->Promote(txn, ts);
+      if (wal != nullptr) {
+        WalRecord rec;
+        rec.txn_id = txn;
+        rec.type = WalRecordType::kCommit;
+        rec.key = ts;  // the commit timestamp rides in the key field
+        resv = wal->Reserve(std::move(rec));
+      }
     }
-    if (store_->wal() != nullptr) {
-      KIMDB_RETURN_IF_ERROR(store_->wal()->Sync());  // force the log
+    // Promote before the append: by the time FinishCommit can make ts
+    // visible, every version tagged <= ts is in its chain (promotion of
+    // smaller timestamps happens-before their FinishCommit, and the
+    // dense frontier never passes an unfinished timestamp).
+    mvcc_->Promote(txn, ts);
+    Status io;
+    if (wal != nullptr) {
+      io = wal->AppendReserved(&resv);
+      if (io.ok()) io = wal->SyncTo(resv.end());  // force the log
     }
-    mvcc_->Publish(ts);
+    // FinishCommit runs on the failure path too: the allocated timestamp
+    // is consumed either way, and an unreported one would wedge the
+    // dense frontier (and with it every future snapshot) forever.
+    mvcc_->FinishCommit(ts);
     mvcc_->Prune();
+    KIMDB_RETURN_IF_ERROR(io);
   } else {
     // Read-only commit: no timestamp, no version traffic.
     KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kCommit));

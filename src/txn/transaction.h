@@ -31,10 +31,13 @@ struct TxnStats {
 ///  * writes take IX(class) + X(object) and stage copy-on-write versions;
 ///    a writer whose snapshot predates the newest committed version of the
 ///    object aborts (first-committer-wins write-write conflict),
-///  * commit allocates a monotonically increasing commit timestamp under
-///    the table's commit mutex, stamps it into the WAL commit record,
-///    promotes the staged versions, forces the log, then publishes the
-///    timestamp for new snapshots,
+///  * commit holds the table's commit mutex only long enough to allocate
+///    a monotonically increasing commit timestamp and reserve the WAL
+///    commit record's log slot (timestamp order == log order); staged
+///    versions are promoted, the record is appended and the log forced
+///    off the mutex, and the timestamp is published for new snapshots
+///    along a dense frontier so out-of-order finishers never expose an
+///    unpromoted commit,
 ///  * abort rolls back via the inverse operations in reverse order and
 ///    discards the staged versions,
 ///  * extent scans / schema changes keep their 2PL entry points (LockScan,

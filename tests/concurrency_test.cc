@@ -1,6 +1,7 @@
 // Multi-threaded correctness: serializability-style invariants under
 // concurrent transactions with deadlock-retry, exercising the lock
-// manager, the transaction manager's undo, and the store mutex together.
+// manager, the transaction manager's undo, and the per-class write latches
+// together.
 
 #include <gtest/gtest.h>
 

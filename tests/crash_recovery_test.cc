@@ -274,6 +274,8 @@ TEST_F(CrashRecoveryTest, GoldenRunCompletes) {
   ASSERT_TRUE(st.ok()) << st.ToString();
   EXPECT_GT(model.size(), 20u);
   EXPECT_GT(fi.ops(FaultOp::kWalAppend), 100u);
+  EXPECT_GT(fi.ops(FaultOp::kWalReserve), 20u) << "no reservation "
+      "redemptions: every writing commit should redeem a reserved slot";
   EXPECT_GT(fi.ops(FaultOp::kPageWrite), 10u) << "no page-flush crash "
       "points: enlarge kPadBytes or shrink the pool";
   VerifyModel(model);
@@ -301,6 +303,28 @@ TEST_F(CrashRecoveryTest, MatrixEveryWalAppendTorn) {
   const uint64_t appends = fi.ops(FaultOp::kWalAppend);
   for (uint64_t i = 1; i <= appends; i += MatrixStride()) {
     RunOne(FaultOp::kWalAppend, FaultMode::kTornWrite, i);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Crash in the gap between commit-slot reservation and the off-mutex
+// append (DESIGN.md §14): the LSN and byte range were handed out under
+// the commit clock, but nothing reached the file. The reserved slot is a
+// hole at the log tail -- any later reservation that did append cannot
+// fdatasync past it, so its commit is never acknowledged either -- and
+// recovery's checksum scan stops at the hole, truncates the tail, and
+// restores a dense commit-ts frontier equal to the newest acknowledged
+// commit.
+TEST_F(CrashRecoveryTest, MatrixEveryCommitReserveGap) {
+  FreshFiles();
+  FaultInjector fi;
+  ASSERT_TRUE(OpenStack(&fi).ok());
+  Model model;
+  ASSERT_TRUE(RunWorkload(&model).ok());
+  const uint64_t reserves = fi.ops(FaultOp::kWalReserve);
+  ASSERT_GT(reserves, 0u);
+  for (uint64_t i = 1; i <= reserves; i += MatrixStride()) {
+    RunOne(FaultOp::kWalReserve, FaultMode::kFail, i);
     if (HasFatalFailure()) return;
   }
 }

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "exec/exec_context.h"
 #include "object/recovery.h"
@@ -269,6 +271,170 @@ TEST_F(MvccSnapshotTest, DirectWritesCommitInstantlyAndRespectSnapshots) {
   // Releasing the snapshot collapses the direct-write history too.
   snap.Release();
   EXPECT_EQ(txns_->mvcc()->stats().versions_chains, 0u);
+}
+
+// Regression for the off-clock commit protocol (DESIGN.md §14): a
+// transactional committer allocates its timestamp under commit_mu but
+// promotes *outside* it, so a txn-0 direct write (CommitDirect) can
+// allocate and install the next timestamp before the earlier one lands.
+// Two invariants must hold through that window: the publish frontier
+// stays dense (the later timestamp is not visible while the earlier one
+// is in flight), and the version chain stays sorted newest-first (naive
+// front-insertion at promote time would make the older version shadow
+// the newer one).
+TEST_F(MvccSnapshotTest, DirectWriteRacingInFlightCommitterStaysOrdered) {
+  Oid oid = Seed("base");
+  Snapshot keep = txns_->AcquireSnapshot();  // keeps version chains alive
+  MvccTable* mvcc = txns_->mvcc();
+
+  // Freeze an in-flight committer at the widest point of the window:
+  // write staged, timestamp allocated, promotion not yet run.
+  constexpr uint64_t kWriterTxn = 777;
+  auto base = store_->GetShared(oid);
+  ASSERT_TRUE(base.ok());
+  Object slow = Named("slow");
+  slow.set_oid(oid);
+  mvcc->StageWrite(kWriterTxn, oid, *base,
+                   std::make_shared<const Object>(std::move(slow)));
+  uint64_t slow_ts;
+  {
+    std::lock_guard<std::mutex> clk(mvcc->commit_mu());
+    slow_ts = mvcc->AllocateCommitTs();
+  }
+
+  // The direct write takes slow_ts + 1 and installs instantly...
+  ASSERT_TRUE(store_->SetAttr(0, oid, "Name", Value::Str("fast")).ok());
+  // ...but cannot publish past the hole the in-flight committer left.
+  EXPECT_LT(mvcc->visible_ts(), slow_ts);
+  bool cache_hit = false;
+  auto frozen = store_->GetSnapshot(oid, mvcc->visible_ts(), &cache_hit);
+  ASSERT_TRUE(frozen.ok());
+  EXPECT_EQ(frozen->Get(name_).as_string(), "base");
+
+  // The committer finishes out of order; the frontier jumps over both.
+  mvcc->Promote(kWriterTxn, slow_ts);
+  mvcc->FinishCommit(slow_ts);
+  EXPECT_GE(mvcc->visible_ts(), slow_ts + 1);
+
+  // Chain order: the newer direct write wins at the top, the promoted
+  // commit resolves exactly at its own timestamp.
+  auto newest = store_->GetSnapshot(oid, slow_ts + 1, &cache_hit);
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest->Get(name_).as_string(), "fast");
+  auto at_slow = store_->GetSnapshot(oid, slow_ts, &cache_hit);
+  ASSERT_TRUE(at_slow.ok());
+  EXPECT_EQ(at_slow->Get(name_).as_string(), "slow");
+  auto before = store_->GetSnapshot(oid, slow_ts - 1, &cache_hit);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->Get(name_).as_string(), "base");
+
+  keep.Release();
+  mvcc->Prune();
+}
+
+// TSan stress for the per-class write latches: one transactional writer
+// per class (distinct classes never share a latch, so these mutate the
+// store truly in parallel), a txn-0 direct writer on its own class
+// racing the commit clock, and snapshot readers verifying repeatable
+// reads across every class while the writers run.
+TEST_F(MvccSnapshotTest, ConcurrentPerClassWritersWithSnapshotReaders) {
+  constexpr int kClasses = 4;
+  constexpr int kObjectsPerClass = 8;
+  constexpr int kCommitsPerWriter = 150;
+  ClassId cls[kClasses];
+  AttrId attr[kClasses];
+  std::vector<Oid> oids[kClasses];
+  cls[0] = part_;
+  attr[0] = name_;
+  for (int c = 1; c < kClasses; ++c) {
+    cls[c] = *cat_.CreateClass("Part" + std::to_string(c), {},
+                               {{"Name", Domain::String()}});
+    attr[c] = (*cat_.ResolveAttr(cls[c], "Name"))->id;
+  }
+  ClassId direct_cls =
+      *cat_.CreateClass("DirectPart", {}, {{"Name", Domain::String()}});
+  AttrId direct_attr = (*cat_.ResolveAttr(direct_cls, "Name"))->id;
+  ASSERT_TRUE(store_->EnsureExtent(direct_cls).ok());
+  for (int c = 0; c < kClasses; ++c) {
+    for (int i = 0; i < kObjectsPerClass; ++i) {
+      auto t = txns_->Begin();
+      ASSERT_TRUE(t.ok());
+      Object o;
+      o.Set(attr[c], Value::Str("v0"));
+      auto oid = txns_->Insert(*t, cls[c], std::move(o));
+      ASSERT_TRUE(oid.ok());
+      ASSERT_TRUE(txns_->Commit(*t).ok());
+      oids[c].push_back(*oid);
+    }
+  }
+  Object direct_seed;
+  direct_seed.Set(direct_attr, Value::Str("v0"));
+  auto direct_oid = store_->Insert(0, direct_cls, std::move(direct_seed));
+  ASSERT_TRUE(direct_oid.ok()) << direct_oid.status().ToString();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClasses; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < kCommitsPerWriter; ++i) {
+        auto t = txns_->Begin();
+        if (!t.ok()) continue;
+        Oid oid = oids[c][i % kObjectsPerClass];
+        if (txns_->SetAttr(*t, oid, "Name",
+                           Value::Str("w" + std::to_string(i))).ok() &&
+            txns_->Commit(*t).ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          (void)txns_->Abort(*t);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    // txn-0 direct writes interleave CommitDirect with the committers'
+    // off-clock promotions on the shared timestamp frontier.
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!store_->SetAttr(0, *direct_oid, "Name", Value::Str("direct"))
+               .ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++i;
+    }
+  });
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Snapshot snap = txns_->AcquireSnapshot();
+        for (int c = 0; c < kClasses; ++c) {
+          for (const Oid& oid : oids[c]) {
+            bool hit = false;
+            auto r1 = store_->GetSnapshot(oid, snap.read_ts(), &hit);
+            auto r2 = store_->GetSnapshot(oid, snap.read_ts(), &hit);
+            if (!r1.ok() || !r2.ok() ||
+                r1->Get(attr[c]).as_string() !=
+                    r2->Get(attr[c]).as_string()) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        snap.Release();
+      }
+    });
+  }
+  for (int c = 0; c < kClasses; ++c) threads[c].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t i = kClasses; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(committed.load(),
+            static_cast<uint64_t>(kClasses) * kCommitsPerWriter);
+  // Every committer finished: the dense publish frontier caught up to
+  // the newest allocated timestamp.
+  MvccStats s = txns_->mvcc()->stats();
+  EXPECT_EQ(s.visible_ts, s.commit_ts);
 }
 
 // --- commit-clock recovery ---------------------------------------------------

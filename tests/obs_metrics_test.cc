@@ -314,6 +314,9 @@ TEST_F(ObsMetricsDbTest, DurableWorkloadPopulatesWalAndLockHistograms) {
   EXPECT_GT(diff.Value("wal.fsyncs"), 0);
   EXPECT_GT(diff.Value("wal.appends"), 0);
   EXPECT_GT(diff.Hist("wal.append_ns").count, 0u);
+  // Every transactional commit reserves its log slot under the commit
+  // clock (DESIGN.md §14): the reservation latency histogram moves too.
+  EXPECT_GT(diff.Hist("wal.reserve_ns").count, 0u);
   EXPECT_GT(diff.Hist("txn.commit_ns").count, 0u);
   EXPECT_GT(diff.Value("txn.committed"), 0);
   EXPECT_GT(diff.Value("lock.acquired"), 0);
