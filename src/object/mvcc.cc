@@ -131,12 +131,12 @@ bool MvccTable::HasWrites(uint64_t txn) const {
   return it != write_sets_.end() && !it->second.empty();
 }
 
-void MvccTable::Promote(uint64_t txn, uint64_t commit_ts) {
+std::vector<Oid> MvccTable::Promote(uint64_t txn, uint64_t commit_ts) {
   std::vector<Oid> oids;
   {
     std::lock_guard<std::mutex> lock(ws_mu_);
     auto it = write_sets_.find(txn);
-    if (it == write_sets_.end()) return;
+    if (it == write_sets_.end()) return oids;
     oids = std::move(it->second);
     write_sets_.erase(it);
   }
@@ -154,6 +154,40 @@ void MvccTable::Promote(uint64_t txn, uint64_t commit_ts) {
     total_entries_.fetch_add(1, std::memory_order_relaxed);
     versions_installed_.fetch_add(1, std::memory_order_relaxed);
   }
+  return oids;
+}
+
+void MvccTable::Demote(uint64_t txn, uint64_t commit_ts,
+                       const std::vector<Oid>& oids) {
+  std::vector<Oid> restaged;
+  restaged.reserve(oids.size());
+  for (Oid oid : oids) {
+    Shard& sh = ShardFor(oid);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.chains.find(oid);
+    if (it == sh.chains.end()) continue;
+    Chain& c = it->second;
+    auto pos = std::find_if(
+        c.versions.begin(), c.versions.end(),
+        [commit_ts](const Version& v) { return v.ts == commit_ts; });
+    if (pos == c.versions.end()) continue;
+    // The frontier has not passed commit_ts yet (FinishCommit runs after
+    // us), so no snapshot ever resolved this version: removing it cannot
+    // change what any reader already saw. The txn still holds its X lock,
+    // so the pending slot is necessarily free.
+    if (!c.has_pending) {
+      c.has_pending = true;
+      c.pending_txn = txn;
+      c.pending_image = std::move(pos->image);
+      restaged.push_back(oid);
+    }
+    c.versions.erase(pos);
+    total_entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (restaged.empty()) return;
+  std::lock_guard<std::mutex> lock(ws_mu_);
+  auto& ws = write_sets_[txn];
+  ws.insert(ws.end(), restaged.begin(), restaged.end());
 }
 
 void MvccTable::CommitDirect(Oid oid,

@@ -177,8 +177,20 @@ class MvccTable {
   /// the same timestamp. Versions are inserted at their ts-sorted chain
   /// position because concurrent committers and CommitDirect can now
   /// interleave per shard. The promoted images stay invisible until
-  /// FinishCommit(commit_ts) advances the dense frontier.
-  void Promote(uint64_t txn, uint64_t commit_ts);
+  /// FinishCommit(commit_ts) advances the dense frontier. Returns the
+  /// promoted OIDs so a failed commit can Demote() them.
+  std::vector<Oid> Promote(uint64_t txn, uint64_t commit_ts);
+
+  /// Reverses a Promote whose WAL commit record failed to become durable:
+  /// strips every version tagged `commit_ts` from the chains of `oids` and
+  /// re-stages it as `txn`'s pending image, re-arming the write set for
+  /// the Abort that must follow. MUST run before FinishCommit(commit_ts)
+  /// -- until then the dense frontier is below commit_ts, so no snapshot
+  /// can have observed the promoted versions; once demoted, the consumed
+  /// timestamp exposes nothing. Re-staging (rather than dropping) keeps
+  /// the chains alive and the cache-fill gate closed while the heap still
+  /// carries the failed transaction's writes.
+  void Demote(uint64_t txn, uint64_t commit_ts, const std::vector<Oid>& oids);
 
   /// Drops `txn`'s pending images (abort). Call *after* the heap rollback
   /// so the base image and the heap agree once the pending tag is gone.

@@ -5,13 +5,36 @@
 namespace kimdb {
 
 namespace {
-/// Class latches (shared or exclusive) held by this thread. Non-zero
-/// means we are inside a store call already -- typically a listener
-/// reading back during a notify phase -- so nested shared acquisitions
-/// bypass the writer-fairness gate (see ClassLatch::lock_shared): they
-/// can only be blocked by an exclusive mutation phase, which always
-/// terminates, never by a writer that is itself waiting on us.
-thread_local int tls_class_latches_held = 0;
+/// Class latches (shared or exclusive) held by this thread, counted per
+/// owning store. Non-zero for a store means we are inside one of its
+/// calls already -- typically a listener reading back during a notify
+/// phase -- so nested shared acquisitions of that store's latches bypass
+/// the writer-fairness gate (see ClassLatch::lock_shared): they can only
+/// be blocked by an exclusive mutation phase, which always terminates,
+/// never by a writer that is itself waiting on us. Scoping the count per
+/// store keeps the bypass from leaking across stores (a listener of store
+/// A reading store B is a top-level reader of B and must queue behind B's
+/// writers like anyone else).
+struct TlsLatchCounts {
+  static constexpr size_t kSlots = 8;
+  const void* owner[kSlots] = {};
+  int count[kSlots] = {};
+  /// Shared by stores beyond kSlots concurrently-latched-by-this-thread
+  /// distinct stores -- for them the bypass degrades to the old
+  /// process-wide behavior (weaker fairness, never a deadlock).
+  int overflow = 0;
+  int& For(const void* o) {
+    for (size_t i = 0; i < kSlots; ++i) {
+      if (owner[i] == o) return count[i];
+      if (owner[i] == nullptr) {
+        owner[i] = o;  // slot stays claimed for the thread's lifetime
+        return count[i];
+      }
+    }
+    return overflow;
+  }
+};
+thread_local TlsLatchCounts tls_class_latches;
 }  // namespace
 
 void ObjectStore::ClassLatch::lock(std::atomic<uint64_t>* wait_counter) {
@@ -31,7 +54,7 @@ void ObjectStore::ClassLatch::lock(std::atomic<uint64_t>* wait_counter) {
   writer_held_ = true;
   writer_depth_ = 1;
   writer_ = std::this_thread::get_id();
-  ++tls_class_latches_held;
+  ++tls_class_latches.For(owner_);
 }
 
 void ObjectStore::ClassLatch::unlock() {
@@ -40,7 +63,7 @@ void ObjectStore::ClassLatch::unlock() {
     if (--writer_depth_ > 0) return;
     writer_held_ = false;
     writer_ = std::thread::id();
-    --tls_class_latches_held;
+    --tls_class_latches.For(owner_);
   }
   cv_.notify_all();
 }
@@ -66,14 +89,14 @@ void ObjectStore::ClassLatch::lock_shared() {
   if (writer_held_ && writer_ == std::this_thread::get_id()) {
     return;  // no-op under own exclusive: reads see the mutation in flight
   }
-  const bool nested = tls_class_latches_held > 0;
+  const bool nested = tls_class_latches.For(owner_) > 0;
   cv_.wait(lk, [&] {
     // Top-level readers queue behind waiting writers (writer preference);
     // nested readers bypass that gate to keep the latch graph acyclic.
     return !writer_held_ && (nested || writers_waiting_ == 0);
   });
   ++readers_;
-  ++tls_class_latches_held;
+  ++tls_class_latches.For(owner_);
 }
 
 void ObjectStore::ClassLatch::unlock_shared() {
@@ -83,7 +106,7 @@ void ObjectStore::ClassLatch::unlock_shared() {
     if (writer_held_ && writer_ == std::this_thread::get_id()) {
       return;  // matching the lock_shared no-op
     }
-    --tls_class_latches_held;
+    --tls_class_latches.For(owner_);
     wake = (--readers_ == 0);
   }
   if (wake) cv_.notify_all();

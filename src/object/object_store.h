@@ -261,10 +261,11 @@ class ObjectStore {
   /// exclusive acquisition waits for the previous writer's shared release.
   /// Writers are favored over *top-level* readers (a reader arriving
   /// while a writer waits queues behind it), but a reader that already
-  /// holds any class latch (a listener reading back) bypasses that
-  /// fairness gate -- it can only be blocked by an exclusive *mutation*
-  /// phase, which always terminates, so the latch graph has no
-  /// hold-and-wait cycle. Exclusive acquisition is re-entrant for its
+  /// holds any class latch *of this store* (a listener reading back)
+  /// bypasses that fairness gate -- it can only be blocked by an exclusive
+  /// *mutation* phase, which always terminates, so the latch graph has no
+  /// hold-and-wait cycle. The held-latch count is kept per (thread, store),
+  /// so holding a latch in one store grants no bypass in another. Exclusive acquisition is re-entrant for its
   /// owner; lock_shared by the exclusive owner is a no-op (listener
   /// self-reads can never self-deadlock). Listeners must not call store
   /// mutators synchronously (none do).
@@ -278,6 +279,10 @@ class ObjectStore {
     void downgrade();
     void lock_shared();
     void unlock_shared();
+    /// Tags the latch with its owning store so the per-thread held-latch
+    /// count (the nested-reader fairness bypass) is scoped per store, not
+    /// process-wide. Set once, before any acquisition.
+    void set_owner(const void* owner) { owner_ = owner; }
 
    private:
     std::mutex mu_;
@@ -287,6 +292,7 @@ class ObjectStore {
     int writer_depth_ = 0;
     bool writer_held_ = false;
     std::thread::id writer_;
+    const void* owner_ = nullptr;
   };
 
   /// RAII driver of the mutator protocol above: constructs exclusive,
@@ -333,7 +339,9 @@ class ObjectStore {
         catalog_(catalog),
         wal_(wal),
         attach_to_catalog_(attach),
-        cache_(cache_bytes) {}
+        cache_(cache_bytes) {
+    for (ClassLatch& l : latches_) l.set_owner(this);
+  }
 
   /// Extent-head lookup; caller holds extents_mu_.
   Result<PageId> ExtentHeadOfLocked(ClassId cls) const;

@@ -173,6 +173,14 @@ void Wal::MarkFailed(uint64_t offset) {
 Result<uint64_t> Wal::Append(WalRecord rec) {
   obs::Timer timer(append_ns_);  // includes mu_ contention, by design
   std::lock_guard<std::mutex> lock(mu_);
+  if (failed_floor_ != UINT64_MAX) {
+    // A reserved slot permanently failed: recovery's checksum scan stops
+    // at the hole, so any record appended beyond it can never become
+    // durable. Acknowledging it would be silent loss -- fail loudly
+    // instead so callers learn the log is wedged.
+    return Status::IOError("wal wedged: permanent append hole at offset " +
+                           std::to_string(failed_floor_));
+  }
   rec.lsn = next_lsn_;  // consumed only if the append fully succeeds
   std::string bytes = EncodeRecord(rec);
   // Claim the slot after every outstanding reservation; holding mu_ for
@@ -250,7 +258,24 @@ Status Wal::SyncTo(uint64_t target) {
 }
 
 Status Wal::Sync() {
-  return SyncInternal(file_end_.load(std::memory_order_acquire));
+  uint64_t target;
+  bool lost_beyond_hole;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = file_end_.load(std::memory_order_relaxed);
+    // Completed slots stranded above a permanent hole can never merge into
+    // the contiguous prefix, so no fdatasync will ever cover them.
+    lost_beyond_hole = failed_floor_ != UINT64_MAX && !completed_.empty();
+  }
+  Status st = SyncInternal(target);
+  if (st.ok() && lost_beyond_hole) {
+    // The durable prefix stops at the hole: an OK here would read as "all
+    // appended records are durable" when some are unrecoverable.
+    return Status::IOError(
+        "wal wedged: completed records beyond a permanent append hole can "
+        "never become durable");
+  }
+  return st;
 }
 
 Status Wal::SyncInternal(uint64_t target) {

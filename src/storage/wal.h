@@ -82,7 +82,9 @@ class Wal {
   /// Assigns the record an LSN, appends it (buffered in the OS), and
   /// returns the LSN. Call Sync() to make appended records durable. On
   /// failure no LSN is consumed and the file end is not advanced, so the
-  /// next append transparently overwrites any partial bytes.
+  /// next append transparently overwrites any partial bytes. Fails
+  /// unconditionally once a reserved slot has permanently failed (the log
+  /// is wedged: bytes beyond the hole can never become durable).
   Result<uint64_t> Append(WalRecord rec);
 
   /// Claims the next LSN and the byte range right after every previously
@@ -103,7 +105,9 @@ class Wal {
 
   /// Durably flushes all records appended so far (group commit: one
   /// fdatasync may cover many concurrent callers; a call whose records are
-  /// already durable performs no I/O).
+  /// already durable performs no I/O). Fails when completed slots are
+  /// stranded beyond a permanent append hole -- the flush then covers only
+  /// the pre-hole prefix and OK would overstate what is durable.
   Status Sync();
 
   /// Waits until the contiguous complete prefix covers `target` (a

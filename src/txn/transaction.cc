@@ -10,7 +10,15 @@ Result<uint64_t> TxnManager::Begin() {
     active_[txn] = TxnState{};
     ++stats_.begun;
   }
-  KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kBegin));
+  Status st = LogControl(txn, WalRecordType::kBegin);
+  if (!st.ok()) {
+    // A failed begin record (e.g. a wedged WAL) must not leak a phantom
+    // entry that no Commit/Abort will ever erase.
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(txn);
+    --stats_.begun;
+    return st;
+  }
   return txn;
 }
 
@@ -77,7 +85,19 @@ Status TxnManager::CheckWriteConflict(uint64_t txn, Oid oid) {
 
 Status TxnManager::Commit(uint64_t txn) {
   obs::Timer timer(commit_ns_);
-  KIMDB_RETURN_IF_ERROR(CheckActive(txn));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                        " is not active");
+    }
+    if (it->second.poisoned) {
+      return Status::FailedPrecondition(
+          "transaction " + std::to_string(txn) +
+          " failed a commit attempt and is abort-only");
+    }
+  }
   if (mvcc_->HasWrites(txn)) {
     Wal* wal = store_->wal();
     uint64_t ts;
@@ -105,18 +125,33 @@ Status TxnManager::Commit(uint64_t txn) {
     // visible, every version tagged <= ts is in its chain (promotion of
     // smaller timestamps happens-before their FinishCommit, and the
     // dense frontier never passes an unfinished timestamp).
-    mvcc_->Promote(txn, ts);
+    std::vector<Oid> promoted = mvcc_->Promote(txn, ts);
     Status io;
     if (wal != nullptr) {
       io = wal->AppendReserved(&resv);
       if (io.ok()) io = wal->SyncTo(resv.end());  // force the log
     }
-    // FinishCommit runs on the failure path too: the allocated timestamp
-    // is consumed either way, and an unreported one would wedge the
-    // dense frontier (and with it every future snapshot) forever.
+    if (!io.ok()) {
+      // The commit record is not durable (recovery truncates at the hole),
+      // so the promoted versions must not outlive this failure: demote
+      // them back to pending images before FinishCommit can let the dense
+      // frontier pass ts. The chains stay alive and the cache-fill gate
+      // stays closed over the heap, which still carries the failed
+      // transaction's writes until its Abort rolls them back.
+      mvcc_->Demote(txn, ts, promoted);
+      // The timestamp is still consumed: an unreported allocation would
+      // wedge the frontier (and with it every future snapshot) forever.
+      // By the time the frontier passes ts, no version carries it.
+      mvcc_->FinishCommit(ts);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = active_.find(txn);
+        if (it != active_.end()) it->second.poisoned = true;
+      }
+      return io;
+    }
     mvcc_->FinishCommit(ts);
     mvcc_->Prune();
-    KIMDB_RETURN_IF_ERROR(io);
   } else {
     // Read-only commit: no timestamp, no version traffic.
     KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kCommit));
@@ -166,9 +201,13 @@ Status TxnManager::Abort(uint64_t txn) {
   // pending tags exist, snapshot readers keep resolving through the chain
   // and never observe the half-rolled-back heap.
   mvcc_->Discard(txn);
-  KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kAbort));
+  // Release the locks even when the abort record cannot be appended (a
+  // wedged WAL fails every append): the rollback already happened, and a
+  // leaked X lock would block every later writer of these objects forever.
+  Status log_st = LogControl(txn, WalRecordType::kAbort);
   locks_->ReleaseAll(txn);
-  return first_error;
+  if (!first_error.ok()) return first_error;
+  return log_st;
 }
 
 bool TxnManager::IsActive(uint64_t txn) const {

@@ -124,6 +124,13 @@ class TxnManager {
   struct TxnState {
     std::vector<UndoRecord> undo;
     Snapshot snapshot;  // pinned lazily on the first read
+    /// Set when a Commit attempt failed its WAL append/sync: the staged
+    /// writes were demoted back to pending and the transaction is
+    /// abort-only. A retried Commit must fail -- Promote consumed the
+    /// original write set, so without this flag the retry would take the
+    /// read-only branch and report a spurious success whose data is lost
+    /// at recovery.
+    bool poisoned = false;
   };
 
   Status CheckActive(uint64_t txn) const;

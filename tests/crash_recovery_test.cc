@@ -329,6 +329,67 @@ TEST_F(CrashRecoveryTest, MatrixEveryCommitReserveGap) {
   }
 }
 
+// A commit whose WAL append/sync fails after versions were promoted must
+// not expose those versions: they are demoted back to pending images (the
+// dense frontier consumes the timestamp but no version carries it), the
+// transaction becomes abort-only (a retried Commit must not take the
+// read-only branch and report a spurious success), and the abort restores
+// the committed image even though the wedged log rejects its kAbort record.
+TEST_F(CrashRecoveryTest, FailedCommitStaysInvisibleAndAbortOnly) {
+  FreshFiles();
+  FaultInjector fi;
+  ASSERT_TRUE(OpenStack(&fi).ok());
+
+  // Acknowledged baseline.
+  auto t0 = txns_->Begin();
+  ASSERT_TRUE(t0.ok());
+  Object obj;
+  obj.Set(name_, Value::Str("base"));
+  obj.Set(pad_, Value::Str("x"));
+  auto oid = txns_->Insert(*t0, part_, obj);
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_->Commit(*t0).ok());
+
+  // The doomed writer: its commit-record redemption permanently fails.
+  auto t1 = txns_->Begin();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(txns_->SetAttr(*t1, *oid, "Name", Value::Str("doomed")).ok());
+  fi.Arm(FaultOp::kWalReserve, FaultMode::kFail, 1);
+  ASSERT_FALSE(txns_->Commit(*t1).ok());
+  fi.Disarm();  // the device "recovers"; the log hole stays permanent
+
+  // Retrying the commit must fail: Promote consumed the staged write set,
+  // so without poisoning the retry would succeed as a read-only commit.
+  EXPECT_TRUE(txns_->Commit(*t1).IsFailedPrecondition());
+
+  // A fresh snapshot resolves to the committed image, not "doomed" -- the
+  // demoted chain keeps serving "base" over the still-dirty heap.
+  {
+    Snapshot snap = txns_->AcquireSnapshot();
+    bool cache_hit = false;
+    auto img = store_->GetSharedSnapshot(*oid, snap.read_ts(), &cache_hit);
+    ASSERT_TRUE(img.ok()) << img.status().ToString();
+    EXPECT_EQ((*img)->Get(name_).as_string(), "base");
+  }
+
+  // The abort record cannot reach the wedged log, but the heap rollback
+  // and lock release must happen regardless.
+  (void)txns_->Abort(*t1);
+  EXPECT_FALSE(txns_->IsActive(*t1));
+  auto raw = store_->GetRaw(*oid);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->Get(name_).as_string(), "base");
+
+  // Crash, reopen, recover: exactly the acknowledged state survives.
+  CloseAll();
+  ASSERT_TRUE(OpenStack(nullptr).ok());
+  auto stats = RecoveryManager::Recover(store_.get(), wal_.get());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  Model model;
+  model[oid->raw()] = "base";
+  VerifyModel(model);
+}
+
 TEST_F(CrashRecoveryTest, MatrixEveryPageWriteFailStop) {
   FreshFiles();
   FaultInjector fi;

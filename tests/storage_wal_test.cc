@@ -253,6 +253,31 @@ TEST_F(WalTest, FailedAppendConsumesNoLsnAndLeavesNoGap) {
   EXPECT_EQ((*records)[1].before, "c");
 }
 
+TEST_F(WalTest, WedgedLogFailsAppendAndSyncAfterPermanentHole) {
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  // Two reserved slots: r2 is redeemed first (a completed slot beyond the
+  // eventual hole), then r1's redemption permanently fails.
+  Wal::Reservation r1 = (*wal)->Reserve(MakeUpdate(1, 1, "a", "b"));
+  Wal::Reservation r2 = (*wal)->Reserve(MakeUpdate(2, 2, "c", "d"));
+  FaultInjector fi;
+  (*wal)->set_fault_injector(&fi);
+  fi.Arm(FaultOp::kWalReserve, FaultMode::kFail, 2);
+  ASSERT_TRUE((*wal)->AppendReserved(&r2).ok());  // redemption #1: survives
+  Status hole = (*wal)->AppendReserved(&r1);      // redemption #2: the hole
+  ASSERT_FALSE(hole.ok());
+  // The device "recovers" but the hole is permanent: the log must refuse
+  // further acks rather than silently lose everything beyond the hole.
+  (*wal)->set_fault_injector(nullptr);
+  EXPECT_FALSE((*wal)->Append(MakeUpdate(3, 3, "e", "f")).ok());
+  EXPECT_FALSE((*wal)->Sync().ok());  // r2 is stranded: OK would overstate
+  EXPECT_FALSE((*wal)->SyncTo(r2.end()).ok());
+  // Truncate (post-checkpoint) clears the wedge.
+  ASSERT_TRUE((*wal)->Truncate().ok());
+  EXPECT_TRUE((*wal)->Append(MakeUpdate(4, 4, "g", "h")).ok());
+  EXPECT_TRUE((*wal)->Sync().ok());
+}
+
 TEST_F(WalTest, SyncFastPathSkipsRedundantFdatasync) {
   auto wal = Wal::Open(path_);
   ASSERT_TRUE(wal.ok());
