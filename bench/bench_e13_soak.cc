@@ -1,0 +1,209 @@
+// E13 -- Soak monitor: a fixed wall-clock mixed workload (N committer
+// threads inserting durable transactions, M reader threads running
+// snapshot queries) against the full Database facade with the second
+// observability layer armed: the flight recorder traces every commit
+// pipeline, and a MetricsReporter thread rotates the histogram windows
+// every ~200ms and appends JSONL snapshots. The bench then *consumes its
+// own telemetry*: it parses the reporter file and reports the per-window
+// commit p99 trajectory -- the signal a soak run watches for drift,
+// stalls, or fsync-tail blowups.
+//
+// KIMDB_SOAK_SECONDS overrides the soak duration (default 4s; CI keeps it
+// short, a real soak sets 3600+).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+double SoakSeconds() {
+  const char* env = std::getenv("KIMDB_SOAK_SECONDS");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 4.0;
+}
+
+// Extracts the numeric field `key` from the flat JSON object starting at
+// `from` (the reporter's window objects are flat: no nesting before the
+// closing brace). Returns -1 when absent.
+double JsonNumber(const std::string& line, size_t from, size_t to,
+                  const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t at = line.find(needle, from);
+  if (at == std::string::npos || at >= to) return -1.0;
+  return std::atof(line.c_str() + at + needle.size());
+}
+
+struct WindowPoint {
+  double count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+// Pulls the `txn.commit_ns` window out of one reporter JSONL line.
+bool ParseCommitWindow(const std::string& line, WindowPoint* out) {
+  size_t at = line.find("\"txn.commit_ns\":{");
+  if (at == std::string::npos) return false;
+  size_t end = line.find('}', at);
+  if (end == std::string::npos) return false;
+  out->count = JsonNumber(line, at, end, "count");
+  out->p50 = JsonNumber(line, at, end, "p50");
+  out->p95 = JsonNumber(line, at, end, "p95");
+  out->p99 = JsonNumber(line, at, end, "p99");
+  return out->count >= 0 && out->p50 >= 0 && out->p95 >= 0 && out->p99 >= 0;
+}
+
+void BM_SoakCommitQuery_Kimdb(benchmark::State& state) {
+  const int kCommitters = static_cast<int>(state.range(0));
+  const int kReaders = static_cast<int>(state.range(1));
+  const double seconds = SoakSeconds();
+
+  std::string base = "/tmp/kimdb_bench_e13_soak_" +
+                     std::to_string(kCommitters) + "x" +
+                     std::to_string(kReaders);
+  std::string report_path = base + ".metrics.jsonl";
+  auto cleanup = [&] {
+    ::remove((base + ".db").c_str());
+    ::remove((base + ".wal").c_str());
+    ::remove(report_path.c_str());
+  };
+
+  uint64_t commits = 0, reads = 0;
+  uint64_t trace_events = 0, trace_dropped = 0;
+  for (auto _ : state) {
+    cleanup();
+    DatabaseOptions opts;
+    opts.path = base;
+    opts.trace_enabled = true;  // soak runs keep the recorder armed
+    opts.metrics_report_path = report_path;
+    opts.metrics_report_interval_ms = 200;
+    opts.slow_op_threshold_ns = 100'000'000;  // log >100ms outliers
+    auto db_or = Database::Open(opts);
+    if (!db_or.ok()) {
+      state.SkipWithError(db_or.status().ToString().c_str());
+      return;
+    }
+    std::unique_ptr<Database> db = std::move(*db_or);
+    auto cls = db->CreateClass("SoakItem", {}, {{"Weight", Domain::Int()}});
+    if (!cls.ok()) {
+      state.SkipWithError(cls.status().ToString().c_str());
+      return;
+    }
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(seconds);
+    std::atomic<uint64_t> committed{0}, read_queries{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kCommitters; ++t) {
+      threads.emplace_back([&, t] {
+        int64_t weight = t * 1'000'000;
+        while (std::chrono::steady_clock::now() < deadline &&
+               !failed.load(std::memory_order_relaxed)) {
+          auto txn = db->Begin();
+          if (!txn.ok()) { failed.store(true); return; }
+          if (!db->Insert(*txn, "SoakItem",
+                          {{"Weight", Value::Int(weight++)}})
+                   .ok() ||
+              !db->Commit(*txn).ok()) {
+            failed.store(true);
+            return;
+          }
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (int t = 0; t < kReaders; ++t) {
+      threads.emplace_back([&] {
+        while (std::chrono::steady_clock::now() < deadline &&
+               !failed.load(std::memory_order_relaxed)) {
+          if (!db->ExecuteOql("select SoakItem where Weight >= 0").ok()) {
+            failed.store(true);
+            return;
+          }
+          read_queries.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    if (failed.load()) {
+      state.SkipWithError("soak worker failed");
+      return;
+    }
+    commits += committed.load();
+    reads += read_queries.load();
+    trace_events = db->trace().recorded();
+    trace_dropped = db->trace().dropped();
+    if (!db->Close().ok()) {
+      state.SkipWithError("close failed");
+      return;
+    }
+  }
+
+  // Consume the reporter's JSONL: the per-window commit-latency
+  // trajectory. Windows before the first commit (or after the workload
+  // stopped) are legitimately empty and skipped.
+  std::vector<WindowPoint> points;
+  {
+    std::ifstream in(report_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      WindowPoint p;
+      if (ParseCommitWindow(line, &p) && p.count > 0) points.push_back(p);
+    }
+  }
+  state.counters["commits_per_sec"] = benchmark::Counter(
+      static_cast<double>(commits), benchmark::Counter::kIsRate);
+  state.counters["reads_per_sec"] = benchmark::Counter(
+      static_cast<double>(reads), benchmark::Counter::kIsRate);
+  state.counters["soak_windows"] = static_cast<double>(points.size());
+  state.counters["trace_events"] = static_cast<double>(trace_events);
+  state.counters["trace_dropped"] = static_cast<double>(trace_dropped);
+  if (!points.empty()) {
+    double p99_max = 0, p99_sum = 0, p50_sum = 0;
+    for (const WindowPoint& p : points) {
+      if (p.p99 > p99_max) p99_max = p.p99;
+      p99_sum += p.p99;
+      p50_sum += p.p50;
+    }
+    state.counters["commit_p50_us_mean"] =
+        p50_sum / static_cast<double>(points.size()) / 1000.0;
+    state.counters["commit_p99_us_mean"] =
+        p99_sum / static_cast<double>(points.size()) / 1000.0;
+    state.counters["commit_p99_us_max"] = p99_max / 1000.0;
+    // First windows of the trajectory, for the drift plot in BENCH json.
+    for (size_t i = 0; i < points.size() && i < 12; ++i) {
+      state.counters["p99_w" + std::to_string(i)] = points[i].p99 / 1000.0;
+    }
+  }
+  cleanup();
+}
+
+// committers x readers. The 4x2 shape is the soak default; 1x1 is the
+// minimal smoke variant.
+BENCHMARK(BM_SoakCommitQuery_Kimdb)
+    ->Args({4, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
+
+BENCHMARK_MAIN();

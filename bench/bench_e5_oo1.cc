@@ -18,6 +18,7 @@
 #include "index/index_manager.h"
 #include "object/object_manager.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/wal.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
@@ -228,11 +229,12 @@ void BM_Oo1Insert_Relational(benchmark::State& state) {
 // commit); with several concurrent committers Wal::Sync's group commit
 // coalesces their flushes, so `fsyncs_per_commit` drops below 1 while
 // every commit is still durable on return.
-void BM_Oo1DurableCommit_Kimdb(benchmark::State& state) {
+void Oo1DurableCommitBody(benchmark::State& state, bool traced) {
   const int kThreads = static_cast<int>(state.range(0));
   constexpr int kCommitsPerThread = 50;
-  std::string wal_path =
-      "/tmp/kimdb_bench_e5_commit_" + std::to_string(kThreads) + ".wal";
+  std::string wal_path = "/tmp/kimdb_bench_e5_commit_" +
+                         std::to_string(kThreads) +
+                         (traced ? "_traced" : "") + ".wal";
   ::remove(wal_path.c_str());
 
   std::unique_ptr<Env> env = Env::Create(4096);
@@ -255,6 +257,17 @@ void BM_Oo1DurableCommit_Kimdb(benchmark::State& state) {
   reg.RegisterCollector("lock.waits", [lm] { return lm->stats().waits; });
   reg.RegisterCollector("wal.fsyncs",
                         [&w = *wal] { return w.fdatasync_count(); });
+
+  // Traced variant: the flight recorder is armed across the run, so the
+  // commits_per_sec delta against the untraced run is exactly the
+  // recorder's overhead (acceptance: <= 5%).
+  obs::FlightRecorder recorder(4096);
+  if (traced) {
+    recorder.set_enabled(true);
+    txns.AttachTrace(&recorder, nullptr);
+    store->AttachTrace(&recorder);
+    wal->AttachTrace(&recorder);
+  }
   obs::MetricsSnapshot before = reg.TakeSnapshot();
 
   uint64_t commits = 0;
@@ -298,7 +311,21 @@ void BM_Oo1DurableCommit_Kimdb(benchmark::State& state) {
       diff.Hist("wal.group_commit_batch").Mean();
   state.counters["lock_waits"] =
       static_cast<double>(diff.Value("lock.waits"));
+  if (traced) {
+    state.counters["trace_events"] =
+        static_cast<double>(recorder.recorded());
+    state.counters["trace_dropped"] =
+        static_cast<double>(recorder.dropped());
+  }
   ::remove(wal_path.c_str());
+}
+
+void BM_Oo1DurableCommit_Kimdb(benchmark::State& state) {
+  Oo1DurableCommitBody(state, /*traced=*/false);
+}
+
+void BM_Oo1DurableCommitTraced_Kimdb(benchmark::State& state) {
+  Oo1DurableCommitBody(state, /*traced=*/true);
 }
 
 BENCHMARK(BM_Oo1Lookup_Kimdb)->Unit(benchmark::kMillisecond);
@@ -310,6 +337,13 @@ BENCHMARK(BM_Oo1Insert_Relational)->Unit(benchmark::kMillisecond);
 // Arg = concurrent committers: 1 is the fsync-per-commit baseline, >1
 // exercises group-commit coalescing.
 BENCHMARK(BM_Oo1DurableCommit_Kimdb)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+// Identical workload with the flight recorder armed: compare against the
+// untraced run for the tracing overhead (budget: <= 5%).
+BENCHMARK(BM_Oo1DurableCommitTraced_Kimdb)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)

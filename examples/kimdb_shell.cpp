@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -154,7 +155,13 @@ constexpr const char* kHelp = R"(commands:
   .views | .query-view <name>                 list / run views
   .begin | .commit | .abort                   explicit transaction
   .check                                      consistency check (fsck)
-  .checkpoint | .stats | .metrics [json] | .help | .quit)";
+  .checkpoint | .stats | .help | .quit
+  .metrics [json]                             registry snapshot
+  .metrics diff [json]                        delta since last .metrics
+  .trace [on|off|N]                           arm/disarm or dump the flight
+                                              recorder (newest N events)
+  .slowops                                    slow-operation log (stage
+                                              breakdowns over threshold))";
 
 class Shell {
  public:
@@ -212,6 +219,8 @@ class Shell {
   std::unique_ptr<Database> db_;
   uint64_t explicit_txn_ = 0;
   bool done_ = false;
+  // Previous `.metrics` snapshot, the baseline for `.metrics diff`.
+  std::optional<obs::MetricsSnapshot> last_metrics_;
 };
 
 void Shell::CmdCreate(const std::vector<std::string>& args) {
@@ -463,10 +472,39 @@ void Shell::Dispatch(const std::string& line) {
                 static_cast<unsigned long long>(s.disk_reads),
                 static_cast<unsigned long long>(s.disk_writes));
   } else if (cmd == ".metrics") {
-    // Full registry snapshot; `.metrics json` emits the machine shape.
+    // Full registry snapshot; `.metrics json` emits the machine shape and
+    // `.metrics diff` the delta since the previous `.metrics` call.
     bool json = line.find("json") != std::string::npos;
-    std::string out = json ? db_->MetricsJson() : db_->MetricsText();
+    bool diff = line.find("diff") != std::string::npos;
+    obs::MetricsSnapshot snap = db_->metrics().TakeSnapshot();
+    obs::MetricsSnapshot shown = snap;
+    if (diff) {
+      if (!last_metrics_.has_value()) {
+        std::printf("(no previous snapshot; showing absolute values)\n");
+      } else {
+        shown = obs::MetricsRegistry::Diff(*last_metrics_, snap);
+      }
+    }
+    last_metrics_ = std::move(snap);
+    std::string out = json ? shown.ToJson() : shown.ToText();
     std::printf("%s\n", out.c_str());
+  } else if (cmd == ".trace") {
+    // `.trace on|off` arms/disarms the flight recorder; `.trace [N]`
+    // dumps its newest N events (all when omitted) as JSON.
+    if (line.find(" on") != std::string::npos) {
+      db_->trace().set_enabled(true);
+      std::printf("flight recorder enabled\n");
+    } else if (line.find(" off") != std::string::npos) {
+      db_->trace().set_enabled(false);
+      std::printf("flight recorder disabled\n");
+    } else {
+      size_t max_events = 0;
+      std::istringstream in(line.substr(cmd.size()));
+      in >> max_events;  // stays 0 (= everything) on parse failure
+      std::printf("%s\n", db_->TraceJson(max_events).c_str());
+    }
+  } else if (cmd == ".slowops") {
+    std::printf("%s\n", db_->slow_ops().DumpJson().c_str());
   } else {
     std::printf("unknown command (try .help)\n");
   }

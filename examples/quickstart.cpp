@@ -4,7 +4,11 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "core/database.h"
 
@@ -30,9 +34,19 @@ using namespace kimdb;
   auto var = std::move(*var##_result);
 
 int main() {
-  // An in-memory database; pass opts.path for a durable one.
+  // An in-memory database; pass opts.path for a durable one. The second
+  // observability layer is armed too: the flight recorder traces the
+  // commit pipeline, every operation over 1ns lands in the slow-op log
+  // (i.e. all of them -- this is a demo), and a MetricsReporter appends
+  // JSONL registry snapshots that we tick explicitly below.
+  std::string report_path = "/tmp/kimdb_quickstart_metrics." +
+                            std::to_string(getpid()) + ".jsonl";
   DatabaseOptions opts;
   opts.in_memory = true;
+  opts.trace_enabled = true;
+  opts.slow_op_threshold_ns = 1;
+  opts.metrics_report_path = report_path;
+  opts.metrics_report_interval_ms = 3600 * 1000;  // ticked by hand below
   CHECK_ASSIGN(db, Database::Open(opts));
 
   // --- schema: a tiny slice of the paper's Figure 1 -------------------------
@@ -108,6 +122,34 @@ int main() {
   std::printf("METRICS1 %s\n", db->MetricsJson().c_str());
   CHECK_OK(db->ExecuteOql(oql).status());
   std::printf("METRICS2 %s\n", db->MetricsJson().c_str());
+
+  // --- flight recorder + reporter (DESIGN.md §15) -----------------------------
+  // Two explicit reporter ticks around one more round of work: each tick
+  // rotates the histogram windows and appends one JSONL snapshot, so the
+  // second line's windows cover exactly the commit+query between them.
+  CHECK_OK(db->reporter()->TickNow());
+  CHECK_ASSIGN(t3, db->Begin());
+  CHECK_OK(db->Insert(t3, "Truck",
+                      {{"Weight", Value::Int(12000)},
+                       {"Payload", Value::Int(7000)},
+                       {"Manufacturer", Value::Ref(gm)}})
+               .status());
+  CHECK_OK(db->Commit(t3));
+  CHECK_OK(db->ExecuteOql(oql).status());
+  CHECK_OK(db->reporter()->TickNow());
+
+  std::ifstream report(report_path);
+  std::string report_line;
+  while (std::getline(report, report_line)) {
+    std::printf("REPORTER %s\n", report_line.c_str());
+  }
+  report.close();
+  std::remove(report_path.c_str());
+
+  // The newest flight-recorder events (commit-pipeline stage spans of t3)
+  // and the slow-op breakdowns (threshold 1ns logs everything).
+  std::printf("TRACE %s\n", db->TraceJson(64).c_str());
+  std::printf("SLOWOPS %s\n", db->slow_ops().DumpJson().c_str());
 
   std::printf("quickstart OK\n");
   return 0;

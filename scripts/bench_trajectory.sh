@@ -5,13 +5,16 @@
 # instead of prose numbers in commit messages.
 #
 # Covered surfaces: E1 extent scan (query model), E4 traversal / cached
-# point gets (object cache A/B), E5 durable commit throughput, E7 lock
-# granularity / per-class writer scaling, and the buffer-pool
-# hit/miss/readahead sweep.
+# point gets (object cache A/B), E5 durable commit throughput (untraced
+# and with the flight recorder armed -- the delta is the tracing
+# overhead), E7 lock granularity / per-class writer scaling, the
+# buffer-pool hit/miss/readahead sweep, and the E13 soak monitor whose
+# per-window commit p99 trajectory (p99_w<i> counters, parsed from the
+# MetricsReporter JSONL) lands in the consolidated file.
 #
 # Usage: scripts/bench_trajectory.sh [build-dir] [out-file]
 #   build-dir defaults to build; out-file to $KIMDB_BENCH_OUT, falling
-#   back to BENCH_pr7.json (bump the default when a PR re-records the
+#   back to BENCH_pr8.json (bump the default when a PR re-records the
 #   trajectory). Prior snapshots (BENCH_pr5.json, ...) stay in the tree
 #   for diffing.
 # Benchmarks not built in the tree are skipped with a warning, and the
@@ -20,7 +23,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-${KIMDB_BENCH_OUT:-BENCH_pr7.json}}"
+OUT="${2:-${KIMDB_BENCH_OUT:-BENCH_pr8.json}}"
 
 TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_BENCH"' EXIT
@@ -50,6 +53,9 @@ run_bench bench_e5_oo1            "${KIMDB_BENCH_FILTER_E5:-BM_Oo1DurableCommit}
 # E7: per-class writer scaling (distinct-class vs same-class writers) and
 # reader latency under a full-speed writer.
 run_bench bench_e7_locking        "${KIMDB_BENCH_FILTER_E7:-(BM_MultiClassWriters|BM_ConcurrentGet_WithWriter)}"
+# E13: fixed-duration soak (KIMDB_SOAK_SECONDS, default 4s) emitting the
+# per-window commit p99s the reporter recorded.
+run_bench bench_e13_soak          "${KIMDB_BENCH_FILTER_E13:-BM_SoakCommitQuery}"
 run_bench bench_buffer_pool       "${KIMDB_BENCH_FILTER_BP:-(BM_Fetch_HitHeavy|BM_SequentialSweep)}"
 # E8: object-cache capacity. The default 4 MiB budget thrashes a 20k-object
 # working set (oc-hit ratio ~0.716 on the cached-get workloads); the same

@@ -75,7 +75,51 @@ assert m2["query.executed"] == m1["query.executed"] + 1
 assert m2["query.exec_ns"]["count"] == m1["query.exec_ns"]["count"] + 1
 assert m2["query.index_probes"] > m1["query.index_probes"]
 
+# Snapshot stamping (DESIGN.md §15): every exported snapshot carries a
+# monotonic sequence number and wall-clock stamp.
+for m in (m1, m2):
+    assert "obs.seq" in m and "obs.wall_ms" in m, "snapshot stamp missing"
+assert m2["obs.seq"] > m1["obs.seq"], "obs.seq not monotonic"
+assert m2["obs.wall_ms"] >= m1["obs.wall_ms"], "obs.wall_ms went backwards"
+
+# MetricsReporter JSONL: the quickstart ticks the reporter twice around a
+# commit+query and echoes the file as REPORTER lines. Each line must be a
+# self-describing snapshot, and the second tick's windows must carry the
+# rolling per-window percentiles of the work done between the ticks.
+reports = [json.loads(line[len("REPORTER "):])
+           for line in out.splitlines() if line.startswith("REPORTER ")]
+assert len(reports) >= 2, f"expected >=2 REPORTER lines, got {len(reports)}"
+for r in reports:
+    assert {"seq", "wall_ms", "windows", "metrics"} <= set(r), r.keys()
+seqs = [r["seq"] for r in reports]
+assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs), \
+    f"reporter seq not strictly monotonic: {seqs}"
+second = reports[1]["windows"]
+assert "txn.commit_ns" in second, "txn.commit_ns window missing"
+w = second["txn.commit_ns"]
+for key in ("wseq", "wall_ms", "count", "mean", "p50", "p95", "p99", "max"):
+    assert key in w, f"windowed percentile field {key} missing"
+assert w["count"] >= 1, "second window saw no commit"
+assert w["p99"] >= w["p50"] > 0, f"degenerate window percentiles: {w}"
+
+# Flight recorder + slow-op log: the trace dump must contain the commit
+# pipeline of the last transaction and the slow-op log (threshold 1ns in
+# the quickstart) its stage breakdown.
+trace = next(json.loads(line[len("TRACE "):])
+             for line in out.splitlines() if line.startswith("TRACE "))
+stages = [e["stage"] for e in trace["events"]]
+assert "commit_clock" in stages and "mvcc_publish" in stages, \
+    f"commit pipeline missing from trace dump: {stages}"
+assert trace["recorded"] > 0, "flight recorder recorded nothing"
+slow = next(json.loads(line[len("SLOWOPS "):])
+            for line in out.splitlines() if line.startswith("SLOWOPS "))
+kinds = {op["kind"] for op in slow}
+assert "commit" in kinds and "query" in kinds, f"slow-op kinds: {kinds}"
+assert any("mvcc_publish" in op.get("stages", {}) for op in slow
+           if op["kind"] == "commit"), "slow commit lost its breakdown"
+
 print("metrics_smoke OK "
       f"({len(m1)} metrics, query.executed {m1['query.executed']} -> "
-      f"{m2['query.executed']})")
+      f"{m2['query.executed']}, {len(reports)} reporter lines, "
+      f"{len(trace['events'])} trace events, {len(slow)} slow ops)")
 EOF

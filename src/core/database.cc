@@ -156,7 +156,28 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
     KIMDB_RETURN_IF_ERROR(db->PersistMeta());
     KIMDB_RETURN_IF_ERROR(db->bp_->FlushAll());
   }
+
+  // Second observability layer (DESIGN.md §15): flight recorder + slow-op
+  // log threaded through the commit pipeline, class latches, WAL and exec.
+  db->trace_ = std::make_unique<obs::FlightRecorder>(opts.trace_ring_events);
+  db->trace_->set_enabled(opts.trace_enabled);
+  db->slow_ops_ = std::make_unique<obs::SlowOpLog>();
+  db->slow_ops_->set_threshold_ns(opts.slow_op_threshold_ns);
+  db->txns_->AttachTrace(db->trace_.get(), db->slow_ops_.get());
+  db->store_->AttachTrace(db->trace_.get());
+  if (db->wal_ != nullptr) db->wal_->AttachTrace(db->trace_.get());
+
   db->WireMetrics();
+
+  if (!opts.metrics_report_path.empty()) {
+    obs::MetricsReporterOptions ropts;
+    ropts.path = opts.metrics_report_path;
+    ropts.interval =
+        std::chrono::milliseconds(opts.metrics_report_interval_ms);
+    db->reporter_ =
+        std::make_unique<obs::MetricsReporter>(&db->metrics_, ropts);
+    KIMDB_RETURN_IF_ERROR(db->reporter_->Start());
+  }
   return db;
 }
 
@@ -292,6 +313,20 @@ void Database::WireMetrics() {
   m.GetCounter("query.pages_hit");
   m.GetCounter("query.pages_missed");
   m.GetCounter("query.trace_dropped");
+
+  // Rotating time-series windows over the latency histograms the soak
+  // monitor plots (per-window p50/p95/p99 via the MetricsReporter).
+  m.EnableWindows("txn.commit_ns");
+  m.EnableWindows("txn.abort_ns");
+  m.EnableWindows("query.exec_ns");
+  m.EnableWindows("objectstore.get_ns");
+  m.EnableWindows("lock.wait_ns");
+  if (wal_ != nullptr) {
+    m.EnableWindows("wal.append_ns");
+    m.EnableWindows("wal.fsync_ns");
+    m.EnableWindows("wal.reserve_ns");
+    m.EnableWindows("wal.group_commit_batch");
+  }
 }
 
 void Database::FlushQueryMetrics(const exec::ExecContext& ctx) {
@@ -317,6 +352,37 @@ void Database::FlushQueryMetrics(const exec::ExecContext& ctx) {
   m.GetCounter("query.trace_dropped")->Inc(ctx.trace_dropped());
 }
 
+void Database::MaybeLogSlowQuery(std::chrono::steady_clock::time_point t0,
+                                 const exec::ExecContext& ctx) {
+  if (slow_ops_ == nullptr) return;
+  uint64_t threshold = slow_ops_->threshold_ns();
+  if (threshold == 0) return;
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  uint64_t total = ns > 0 ? static_cast<uint64_t>(ns) : 0;
+  if (total < threshold) return;
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  obs::SlowOp op;
+  op.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count();
+  op.txn = 0;
+  op.total_ns = total;
+  op.kind = "query";
+  op.stages.emplace_back(obs::TraceStage::kQuery, total);
+  op.detail = "scanned=" + std::to_string(ctx.objects_scanned.load(kRelaxed)) +
+              " fetched=" + std::to_string(ctx.objects_fetched.load(kRelaxed)) +
+              " index_probes=" + std::to_string(ctx.index_probes.load(kRelaxed)) +
+              " pages=" + std::to_string(ctx.pages_hit()) + "+" +
+              std::to_string(ctx.pages_missed());
+  slow_ops_->Add(std::move(op));
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Record(obs::TraceStage::kSlowOp, obs::TraceEventKind::kInstant, 0,
+                   total);
+  }
+}
+
 Database::~Database() {
   if (!closed_) {
     Status st = Close();
@@ -326,6 +392,9 @@ Database::~Database() {
 
 Status Database::Close() {
   if (closed_) return Status::OK();
+  // Stop the reporter before any teardown so its final line captures the
+  // full run and no tick races the checkpoint.
+  if (reporter_ != nullptr) reporter_->Stop();
   Status st = Checkpoint();
   if (st.IsFailedPrecondition()) {
     // Active transactions: persist what we can without truncating the log.
@@ -525,10 +594,15 @@ Result<Value> Database::Send(uint64_t txn, Oid oid, std::string_view method,
 Result<std::vector<Oid>> Database::ExecuteQuery(const Query& q,
                                                 QueryStats* stats) {
   exec::ExecContext ctx(bp_.get());
+  if (trace_ != nullptr && trace_->enabled()) ctx.set_recorder(trace_.get());
+  obs::StageScope query_span(trace_.get(), obs::TraceStage::kQuery, 0);
+  auto t0 = std::chrono::steady_clock::now();
   Result<std::vector<Oid>> result = [&] {
     obs::Timer timer(query_exec_ns_);
     return query_->Execute(q, &ctx);
   }();
+  query_span.End();
+  MaybeLogSlowQuery(t0, ctx);
   FlushQueryMetrics(ctx);
   if (stats != nullptr) *stats = StatsFromExecContext(ctx);
   return result;
@@ -557,6 +631,7 @@ Result<std::string> Database::ExplainAnalyzeOql(std::string_view oql) {
   // Accepts `select ...`, `explain analyze select ...`, etc.
   KIMDB_ASSIGN_OR_RETURN(lang::Statement stmt, parser_->ParseStatement(oql));
   exec::ExecContext ctx(bp_.get());
+  if (trace_ != nullptr && trace_->enabled()) ctx.set_recorder(trace_.get());
   Result<std::string> rendered = [&] {
     obs::Timer timer(query_exec_ns_);
     return query_->ExplainAnalyze(stmt.query, &ctx);

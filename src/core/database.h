@@ -1,6 +1,7 @@
 #ifndef KIMDB_CORE_DATABASE_H_
 #define KIMDB_CORE_DATABASE_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "object/recovery.h"
 #include "object/versions.h"
 #include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
 #include "query/query_engine.h"
 #include "query/views.h"
 #include "rules/datalog.h"
@@ -35,6 +38,25 @@ struct DatabaseOptions {
   /// Byte budget of the deserialized-object cache (DESIGN.md §12);
   /// 0 disables it (every Get decodes from the heap).
   size_t object_cache_bytes = ObjectStore::kDefaultCacheBytes;
+
+  // --- observability (DESIGN.md §15) ----------------------------------------
+
+  /// Per-thread capacity of the flight-recorder ring, in events (rounded
+  /// up to a power of two). The recorder is always constructed -- tests
+  /// and the shell can arm it at runtime -- but only records while
+  /// enabled.
+  size_t trace_ring_events = 4096;
+  /// Arms the flight recorder at Open (otherwise `db.trace().set_enabled`
+  /// or the shell's `.trace on` arm it later).
+  bool trace_enabled = false;
+  /// When non-empty, a MetricsReporter thread appends one JSON line of
+  /// registry state (plus the freshly closed histogram windows) to this
+  /// file every `metrics_report_interval_ms`.
+  std::string metrics_report_path;
+  uint32_t metrics_report_interval_ms = 1000;
+  /// Commits/queries slower than this log their per-stage breakdown into
+  /// the slow-operation log; 0 disables it.
+  uint64_t slow_op_threshold_ns = 0;
 };
 
 /// The KIMDB public facade: one object binds the whole system the paper
@@ -129,6 +151,21 @@ class Database : public MethodEnv {
   /// Snapshot as one `name value` line per metric.
   std::string MetricsText() const { return metrics_.TakeSnapshot().ToText(); }
 
+  /// The flight recorder wired through the commit pipeline, class latches,
+  /// WAL and exec operators (DESIGN.md §15). Always present; records only
+  /// while enabled.
+  obs::FlightRecorder& trace() { return *trace_; }
+  /// Trace dump as JSON (newest `max_events` events; 0 = whole rings).
+  std::string TraceJson(size_t max_events = 0) const {
+    return trace_->DumpJson(max_events);
+  }
+  /// Slow operations (commits/queries over the configured threshold) with
+  /// their per-stage breakdowns.
+  obs::SlowOpLog& slow_ops() { return *slow_ops_; }
+  /// The background JSONL metrics reporter, or nullptr when no
+  /// metrics_report_path was configured.
+  obs::MetricsReporter* reporter() { return reporter_.get(); }
+
   // --- subsystem access -----------------------------------------------------------
 
   Catalog& catalog() { return *catalog_; }
@@ -167,6 +204,10 @@ class Database : public MethodEnv {
   void WireMetrics();
   /// Folds one finished query's ExecContext counters into the registry.
   void FlushQueryMetrics(const exec::ExecContext& ctx);
+  /// Files the query into the slow-op log when its wall time crosses the
+  /// configured threshold (detail carries the ExecContext counters).
+  void MaybeLogSlowQuery(std::chrono::steady_clock::time_point t0,
+                         const exec::ExecContext& ctx);
 
   Status PersistMeta();
   Result<std::string> EncodeMeta() const;
@@ -199,6 +240,9 @@ class Database : public MethodEnv {
   RecoveryStats recovery_stats_;
   obs::MetricsRegistry metrics_;
   obs::Histogram* query_exec_ns_ = nullptr;
+  std::unique_ptr<obs::FlightRecorder> trace_;
+  std::unique_ptr<obs::SlowOpLog> slow_ops_;
+  std::unique_ptr<obs::MetricsReporter> reporter_;
   bool closed_ = false;
 };
 

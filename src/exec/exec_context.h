@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "util/status.h"
 
@@ -174,6 +175,16 @@ class ExecContext {
     return analyze_enabled_.load(std::memory_order_relaxed);
   }
 
+  // --- flight recorder ------------------------------------------------------
+
+  /// Wires the process-wide flight recorder: operator Open/Close emit
+  /// kExecOp begin/end events tagged with an operator identity, so a
+  /// trace dump shows which plan nodes were in flight around a slow
+  /// commit or a fault. Null (the default) keeps the path to a single
+  /// pointer compare.
+  void set_recorder(obs::FlightRecorder* r) { recorder_ = r; }
+  obs::FlightRecorder* recorder() const { return recorder_; }
+
   // --- per-query trace buffer ---------------------------------------------
 
   /// Hard cap on buffered trace events: tracing a 100k-object scan must
@@ -206,6 +217,7 @@ class ExecContext {
  private:
   BufferPool* bp_ = nullptr;
   BufferPoolStats baseline_{};
+  obs::FlightRecorder* recorder_ = nullptr;
   size_t scan_parallelism_ = 1;
   // Set once before execution starts (no atomics needed: workers only read).
   bool snapshot_active_ = false;

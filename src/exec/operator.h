@@ -2,6 +2,7 @@
 #define KIMDB_EXEC_OPERATOR_H_
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -63,6 +64,7 @@ class Operator {
   virtual ~Operator() = default;
 
   Status Open(ExecContext* ctx) {
+    RecordLifecycle(ctx, obs::TraceEventKind::kBegin);
     if (!ctx->analyze_enabled()) return OpenImpl(ctx);
     Span span(this, ctx);
     return OpenImpl(ctx);
@@ -81,10 +83,11 @@ class Operator {
   void Close(ExecContext* ctx) {
     if (!ctx->analyze_enabled()) {
       CloseImpl(ctx);
-      return;
+    } else {
+      Span span(this, ctx);
+      CloseImpl(ctx);
     }
-    Span span(this, ctx);
-    CloseImpl(ctx);
+    RecordLifecycle(ctx, obs::TraceEventKind::kEnd);
   }
 
   /// One-line self-description for EXPLAIN ("ExtentScan(Vehicle)").
@@ -102,6 +105,16 @@ class Operator {
   virtual void CloseImpl(ExecContext* ctx) = 0;
 
  private:
+  /// Emits the operator's open/close boundary into the flight recorder
+  /// (kExecOp; arg tags the operator so a dump can pair B/E events). Next
+  /// is deliberately not traced -- per-row events would flood the ring.
+  void RecordLifecycle(ExecContext* ctx, obs::TraceEventKind kind) {
+    obs::FlightRecorder* r = ctx->recorder();
+    if (r == nullptr) return;
+    r->Record(obs::TraceStage::kExecOp, kind, 0,
+              static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this)));
+  }
+
   /// Accumulates wall time and the buffer-pool delta of one lifecycle call.
   class Span {
    public:

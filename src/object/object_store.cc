@@ -37,7 +37,9 @@ struct TlsLatchCounts {
 thread_local TlsLatchCounts tls_class_latches;
 }  // namespace
 
-void ObjectStore::ClassLatch::lock(std::atomic<uint64_t>* wait_counter) {
+void ObjectStore::ClassLatch::lock(std::atomic<uint64_t>* wait_counter,
+                                   obs::FlightRecorder* trace,
+                                   uint64_t cls) {
   std::unique_lock<std::mutex> lk(mu_);
   if (writer_held_ && writer_ == std::this_thread::get_id()) {
     ++writer_depth_;
@@ -48,7 +50,16 @@ void ObjectStore::ClassLatch::lock(std::atomic<uint64_t>* wait_counter) {
     if (wait_counter != nullptr) {
       wait_counter->fetch_add(1, std::memory_order_relaxed);
     }
-    cv_.wait(lk, [&] { return readers_ == 0 && !writer_held_; });
+    if (trace != nullptr && trace->enabled()) {
+      uint64_t t0 = trace->NowNs();
+      trace->Record(obs::TraceStage::kLatchWait, obs::TraceEventKind::kBegin,
+                    0, cls);
+      cv_.wait(lk, [&] { return readers_ == 0 && !writer_held_; });
+      trace->Record(obs::TraceStage::kLatchWait, obs::TraceEventKind::kEnd,
+                    0, trace->NowNs() - t0);
+    } else {
+      cv_.wait(lk, [&] { return readers_ == 0 && !writer_held_; });
+    }
   }
   --writers_waiting_;
   writer_held_ = true;
@@ -246,7 +257,8 @@ Status ObjectStore::LogOp(uint64_t txn, WalRecordType type, Oid oid,
 
 Result<Oid> ObjectStore::Insert(uint64_t txn, ClassId cls, Object contents,
                                 Oid cluster_hint) {
-  WriteGuard g(LatchFor(cls), &class_write_waits_);
+  WriteGuard g(LatchFor(cls), &class_write_waits_, trace_,
+               cls);
   KIMDB_RETURN_IF_ERROR(ValidateContents(cls, contents));
   KIMDB_ASSIGN_OR_RETURN(ClassDef * def, catalog_->GetClassMutable(cls));
   Oid oid = Oid::Make(cls, def->next_serial++);
@@ -336,13 +348,15 @@ Status ObjectStore::UpdateHeld(WriteGuard& g, uint64_t txn,
 }
 
 Status ObjectStore::Update(uint64_t txn, const Object& obj) {
-  WriteGuard g(LatchFor(obj.class_id()), &class_write_waits_);
+  WriteGuard g(LatchFor(obj.class_id()), &class_write_waits_, trace_,
+               obj.class_id());
   return UpdateHeld(g, txn, obj);
 }
 
 Status ObjectStore::SetAttr(uint64_t txn, Oid oid, std::string_view attr_name,
                             Value value) {
-  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_);
+  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_, trace_,
+               oid.class_id());
   KIMDB_ASSIGN_OR_RETURN(const AttributeDef* def,
                          catalog_->ResolveAttr(oid.class_id(), attr_name));
   KIMDB_RETURN_IF_ERROR(catalog_->CheckValue(def->domain, value));
@@ -353,7 +367,8 @@ Status ObjectStore::SetAttr(uint64_t txn, Oid oid, std::string_view attr_name,
 
 Status ObjectStore::SetAttrSystem(uint64_t txn, Oid oid, AttrId attr,
                                   Value value) {
-  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_);
+  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_, trace_,
+               oid.class_id());
   if (attr < kSysAttrBase) {
     return Status::InvalidArgument("not a system attribute");
   }
@@ -367,7 +382,8 @@ Status ObjectStore::SetAttrSystem(uint64_t txn, Oid oid, AttrId attr,
 }
 
 Status ObjectStore::Delete(uint64_t txn, Oid oid) {
-  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_);
+  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_, trace_,
+               oid.class_id());
   KIMDB_ASSIGN_OR_RETURN(Object before, GetRawHeld(oid));
   KIMDB_RETURN_IF_ERROR(
       LogOp(txn, WalRecordType::kDelete, oid, &before, nullptr));
@@ -701,17 +717,20 @@ Status ObjectStore::ApplyUpsertHeld(WriteGuard& g, const Object& obj) {
 }
 
 Status ObjectStore::ApplyInsert(const Object& obj) {
-  WriteGuard g(LatchFor(obj.class_id()), &class_write_waits_);
+  WriteGuard g(LatchFor(obj.class_id()), &class_write_waits_, trace_,
+               obj.class_id());
   return ApplyUpsertHeld(g, obj);
 }
 
 Status ObjectStore::ApplyUpdate(const Object& obj) {
-  WriteGuard g(LatchFor(obj.class_id()), &class_write_waits_);
+  WriteGuard g(LatchFor(obj.class_id()), &class_write_waits_, trace_,
+               obj.class_id());
   return ApplyUpsertHeld(g, obj);
 }
 
 Status ObjectStore::ApplyDelete(Oid oid) {
-  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_);
+  WriteGuard g(LatchFor(oid.class_id()), &class_write_waits_, trace_,
+               oid.class_id());
   Result<RecordId> existing = DirectoryGet(oid);
   if (!existing.ok()) return Status::OK();  // idempotent
   Result<Object> before = GetRawHeld(oid);
@@ -729,7 +748,8 @@ Status ObjectStore::ApplyDelete(Oid oid) {
 Status ObjectStore::RewriteExtent(ClassId cls) {
   // Exclusive for the whole rewrite; no listener notification, so no
   // downgrade phase (record identities don't change, only their bytes).
-  WriteGuard g(LatchFor(cls), &class_write_waits_);
+  WriteGuard g(LatchFor(cls), &class_write_waits_, trace_,
+               cls);
   std::vector<Object> materialized;
   KIMDB_RETURN_IF_ERROR(ForEachInClass(cls, [&](const Object& obj) {
     materialized.push_back(obj);

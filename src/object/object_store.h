@@ -17,6 +17,7 @@
 #include "object/mvcc.h"
 #include "object/object_cache.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
 #include "storage/wal.h"
@@ -235,6 +236,11 @@ class ObjectStore {
   /// detaches. Call before concurrent use.
   void AttachMetrics(obs::Histogram* get_ns) { get_ns_ = get_ns; }
 
+  /// Wires the flight recorder: contended class-latch acquisitions emit
+  /// kLatchWait spans (begin arg = class id, end arg = wait ns). Null
+  /// detaches. Call before concurrent use.
+  void AttachTrace(obs::FlightRecorder* trace) { trace_ = trace; }
+
   /// Times a mutator found its class write latch contended
   /// (`objectstore.class_write_waits`).
   uint64_t class_write_waits() const {
@@ -272,8 +278,11 @@ class ObjectStore {
   class ClassLatch {
    public:
     /// Exclusive acquisition; bumps `wait_counter` (if non-null) when the
-    /// latch was contended.
-    void lock(std::atomic<uint64_t>* wait_counter);
+    /// latch was contended, and emits a kLatchWait span through `trace`
+    /// (if attached and enabled) covering the wait. `cls` tags the span
+    /// with the contended class.
+    void lock(std::atomic<uint64_t>* wait_counter,
+              obs::FlightRecorder* trace = nullptr, uint64_t cls = 0);
     void unlock();
     /// Exclusive -> shared, atomically (depth must be 1).
     void downgrade();
@@ -300,9 +309,10 @@ class ObjectStore {
   /// exclusive side without ever publishing to listeners).
   class WriteGuard {
    public:
-    WriteGuard(ClassLatch& latch, std::atomic<uint64_t>* wait_counter)
+    WriteGuard(ClassLatch& latch, std::atomic<uint64_t>* wait_counter,
+               obs::FlightRecorder* trace = nullptr, uint64_t cls = 0)
         : latch_(latch) {
-      latch_.lock(wait_counter);
+      latch_.lock(wait_counter, trace, cls);
     }
     ~WriteGuard() {
       if (shared_) {
@@ -430,6 +440,7 @@ class ObjectStore {
   /// latch; snapshot readers resolve against it without any latch.
   MvccTable* mvcc_ = nullptr;
   obs::Histogram* get_ns_ = nullptr;
+  obs::FlightRecorder* trace_ = nullptr;
   /// Contended class-latch acquisitions (`objectstore.class_write_waits`).
   mutable std::atomic<uint64_t> class_write_waits_{0};
 };

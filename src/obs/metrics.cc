@@ -32,7 +32,83 @@ uint64_t HistogramData::Percentile(double p) const {
   return max;
 }
 
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void WindowedHistogram::Rotate(int64_t wall_ms) {
+  HistogramData now = base_->data();
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramWindow w;
+  w.seq = ++seq_;
+  w.wall_ms = wall_ms;
+  w.data.count = now.count > last_.count ? now.count - last_.count : 0;
+  w.data.sum = now.sum > last_.sum ? now.sum - last_.sum : 0;
+  // The cumulative max is the best per-window bound available without a
+  // hot-path reset; an idle window reports 0 via the empty-count check.
+  w.data.max = w.data.count > 0 ? now.max : 0;
+  for (size_t i = 0; i < HistogramData::kBuckets; ++i) {
+    w.data.buckets[i] = now.buckets[i] > last_.buckets[i]
+                            ? now.buckets[i] - last_.buckets[i]
+                            : 0;
+  }
+  last_ = now;
+  windows_.push_back(std::move(w));
+  while (windows_.size() > max_windows_) windows_.pop_front();
+}
+
+std::vector<HistogramWindow> WindowedHistogram::Windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<HistogramWindow>(windows_.begin(), windows_.end());
+}
+
+HistogramWindow WindowedHistogram::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return windows_.empty() ? HistogramWindow{} : windows_.back();
+}
+
 namespace {
+
+int64_t WallNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
 
 void AppendHistText(std::string* out, const HistogramData& h) {
   char buf[192];
@@ -76,6 +152,8 @@ HistogramData MetricsSnapshot::Hist(const std::string& name) const {
 
 std::string MetricsSnapshot::ToText() const {
   std::string out;
+  out += "obs.seq " + std::to_string(seq) + '\n';
+  out += "obs.wall_ms " + std::to_string(wall_ms) + '\n';
   for (const auto& [name, v] : metrics) {
     out += name;
     out += ' ';
@@ -91,12 +169,14 @@ std::string MetricsSnapshot::ToText() const {
 
 std::string MetricsSnapshot::ToJson() const {
   std::string out = "{";
-  bool first = true;
+  out += "\"obs.seq\":" + std::to_string(seq);
+  out += ",\"obs.wall_ms\":" + std::to_string(wall_ms);
+  bool first = false;
   for (const auto& [name, v] : metrics) {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += name;  // metric names are identifier-like; no escaping needed
+    out += JsonEscape(name);
     out += "\":";
     if (v.kind == MetricValue::Kind::kHistogram) {
       AppendHistJson(&out, v.hist);
@@ -135,8 +215,41 @@ void MetricsRegistry::RegisterCollector(std::string name,
   collectors_.emplace_back(std::move(name), std::move(fn));
 }
 
+WindowedHistogram* MetricsRegistry::EnableWindows(const std::string& name,
+                                                  size_t max_windows) {
+  Histogram* base = GetHistogram(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windows_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<WindowedHistogram>(base, max_windows);
+  }
+  return slot.get();
+}
+
+WindowedHistogram* MetricsRegistry::GetWindows(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windows_.find(name);
+  return it == windows_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::RotateWindows() {
+  int64_t now_ms = WallNowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, w] : windows_) w->Rotate(now_ms);
+}
+
+std::vector<std::string> MetricsRegistry::WindowedNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(windows_.size());
+  for (const auto& [name, w] : windows_) names.push_back(name);
+  return names;
+}
+
 MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
   MetricsSnapshot snap;
+  snap.seq = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap.wall_ms = WallNowMs();
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) {
     MetricValue v;
@@ -168,6 +281,8 @@ MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
 MetricsSnapshot MetricsRegistry::Diff(const MetricsSnapshot& before,
                                       const MetricsSnapshot& after) {
   MetricsSnapshot out;
+  out.seq = after.seq;
+  out.wall_ms = after.wall_ms;
   for (const auto& [name, a] : after.metrics) {
     MetricValue d = a;
     auto it = before.metrics.find(name);

@@ -6,11 +6,13 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -130,6 +132,50 @@ class Timer {
   std::chrono::steady_clock::time_point start_{};
 };
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Metric names are identifier-like in
+/// practice, but exposition formats must not trust that.
+std::string JsonEscape(std::string_view s);
+
+/// One closed window of a WindowedHistogram: the work recorded between
+/// two consecutive Rotate() calls, as a self-contained HistogramData
+/// delta stamped with the rotation sequence number and wall-clock close
+/// time.
+struct HistogramWindow {
+  uint64_t seq = 0;     // rotation sequence (1 = first closed window)
+  int64_t wall_ms = 0;  // wall-clock ms (unix epoch) when the window closed
+  HistogramData data;   // values recorded within the window only
+};
+
+/// Fixed-interval rotating view over a cumulative Histogram: Rotate()
+/// closes the current window by diffing the base histogram against the
+/// reading taken at the previous rotation, so per-window p50/p95/p99 are
+/// queryable without touching the record hot path at all. Rotation and
+/// reads are internally synchronized; the reporter thread rotates, any
+/// thread may read.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(const Histogram* base, size_t max_windows = 64)
+      : base_(base), max_windows_(max_windows) {}
+
+  /// Closes the current window at wall-clock time `wall_ms`, appending it
+  /// to the retained window list (oldest evicted past max_windows).
+  void Rotate(int64_t wall_ms);
+
+  /// Retained closed windows, oldest first.
+  std::vector<HistogramWindow> Windows() const;
+  /// The most recently closed window; an empty zero-seq window if none.
+  HistogramWindow Latest() const;
+
+ private:
+  const Histogram* base_;
+  const size_t max_windows_;
+  mutable std::mutex mu_;
+  HistogramData last_;               // base reading at the last rotation
+  uint64_t seq_ = 0;                 // windows closed so far
+  std::deque<HistogramWindow> windows_;  // under mu_
+};
+
 /// One metric's value at snapshot time.
 struct MetricValue {
   enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
@@ -142,6 +188,12 @@ struct MetricValue {
 /// ordered by name (stable text/JSON output, diffable).
 struct MetricsSnapshot {
   std::map<std::string, MetricValue> metrics;
+  /// Monotonic per-registry sequence number and wall-clock stamp assigned
+  /// at TakeSnapshot time, so exported snapshots (reporter JSONL lines)
+  /// are self-describing. Emitted by ToText/ToJson as the synthetic
+  /// `obs.seq` / `obs.wall_ms` metrics; a Diff keeps the `after` stamp.
+  uint64_t seq = 0;
+  int64_t wall_ms = 0;
 
   /// Counter/gauge value (or histogram count) by name; `def` if absent.
   int64_t Value(const std::string& name, int64_t def = 0) const;
@@ -176,6 +228,19 @@ class MetricsRegistry {
   /// user's last TakeSnapshot call.
   void RegisterCollector(std::string name, std::function<uint64_t()> fn);
 
+  /// Layers a rotating-window view over the named histogram (registering
+  /// the histogram on first use, like GetHistogram). Idempotent; returns
+  /// a stable pointer.
+  WindowedHistogram* EnableWindows(const std::string& name,
+                                   size_t max_windows = 64);
+  /// The windowed view for `name`, or nullptr when none was enabled.
+  WindowedHistogram* GetWindows(const std::string& name) const;
+  /// Closes the current window of every windowed histogram at one common
+  /// wall-clock stamp (the reporter's tick body).
+  void RotateWindows();
+  /// Names with a windowed view enabled, sorted.
+  std::vector<std::string> WindowedNames() const;
+
   MetricsSnapshot TakeSnapshot() const;
 
   /// Work done between two snapshots: counters and histograms subtract
@@ -190,7 +255,9 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windows_;
   std::vector<std::pair<std::string, std::function<uint64_t()>>> collectors_;
+  mutable std::atomic<uint64_t> snapshot_seq_{0};
 };
 
 }  // namespace obs

@@ -1,0 +1,112 @@
+#include "obs/reporter.h"
+
+#include <cinttypes>
+
+namespace kimdb {
+namespace obs {
+
+Status MetricsReporter::Start() {
+  if (started_) return Status::OK();
+  if (opts_.path.empty()) {
+    return Status::InvalidArgument("metrics reporter: empty output path");
+  }
+  std::FILE* f = std::fopen(opts_.path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::IOError("metrics reporter: cannot open " + opts_.path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    out_ = f;
+  }
+  stopping_ = false;
+  thread_ = std::thread([this] { Loop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void MetricsReporter::Stop() {
+  if (started_) {
+    {
+      std::lock_guard<std::mutex> lock(stop_mu_);
+      stopping_ = true;
+    }
+    stop_cv_.notify_all();
+    thread_.join();
+    started_ = false;
+    // One final line so short runs still export their last window.
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (out_ != nullptr) WriteLineLocked();
+  }
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+}
+
+Status MetricsReporter::TickNow() {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (out_ == nullptr) {
+    return Status::FailedPrecondition("metrics reporter not started");
+  }
+  WriteLineLocked();
+  return Status::OK();
+}
+
+void MetricsReporter::Loop() {
+  std::unique_lock<std::mutex> stop_lock(stop_mu_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(stop_lock, opts_.interval,
+                          [this] { return stopping_; })) {
+      break;
+    }
+    stop_lock.unlock();
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      if (out_ != nullptr) WriteLineLocked();
+    }
+    stop_lock.lock();
+  }
+}
+
+void MetricsReporter::WriteLineLocked() {
+  registry_->RotateWindows();
+  MetricsSnapshot snap = registry_->TakeSnapshot();
+
+  std::string line;
+  line.reserve(4096);
+  line += "{\"seq\":" + std::to_string(snap.seq);
+  line += ",\"wall_ms\":" + std::to_string(snap.wall_ms);
+  line += ",\"windows\":{";
+  bool first = true;
+  char buf[256];
+  for (const std::string& name : registry_->WindowedNames()) {
+    WindowedHistogram* wh = registry_->GetWindows(name);
+    if (wh == nullptr) continue;
+    HistogramWindow w = wh->Latest();
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += JsonEscape(name);
+    line += "\":";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"wseq\":%" PRIu64 ",\"wall_ms\":%" PRId64
+                  ",\"count\":%" PRIu64 ",\"mean\":%.1f,\"p50\":%" PRIu64
+                  ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64 ",\"max\":%" PRIu64
+                  "}",
+                  w.seq, w.wall_ms, w.data.count, w.data.Mean(),
+                  w.data.Percentile(0.50), w.data.Percentile(0.95),
+                  w.data.Percentile(0.99), w.data.max);
+    line += buf;
+  }
+  line += "},\"metrics\":";
+  line += snap.ToJson();
+  line += "}\n";
+
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace kimdb

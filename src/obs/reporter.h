@@ -1,0 +1,78 @@
+#ifndef KIMDB_OBS_REPORTER_H_
+#define KIMDB_OBS_REPORTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace kimdb {
+namespace obs {
+
+struct MetricsReporterOptions {
+  std::string path;  // JSONL output file, appended to
+  std::chrono::milliseconds interval{1000};
+};
+
+/// Background time-series exporter: every `interval` it rotates the
+/// registry's histogram windows and appends one JSON line to `path`
+/// carrying the full snapshot plus the freshly closed window of every
+/// windowed histogram (count/mean/p50/p95/p99/max). Lines are
+/// self-describing -- the snapshot's monotonic `seq` and `wall_ms` stamps
+/// ride along -- so a soak monitor can tail the file and plot "p99 over
+/// time" without any state of its own.
+class MetricsReporter {
+ public:
+  MetricsReporter(MetricsRegistry* registry, MetricsReporterOptions opts)
+      : registry_(registry), opts_(std::move(opts)) {}
+  ~MetricsReporter() { Stop(); }
+
+  MetricsReporter(const MetricsReporter&) = delete;
+  MetricsReporter& operator=(const MetricsReporter&) = delete;
+
+  /// Opens the output file and starts the ticker thread. Idempotent.
+  Status Start();
+
+  /// Final tick, then joins the thread and closes the file. Idempotent;
+  /// also run by the destructor.
+  void Stop();
+
+  /// Rotates windows and writes one line immediately (tests, shutdown
+  /// flushes, and interval-free deterministic use). Works whether or not
+  /// the background thread is running, but requires a successful Start().
+  Status TickNow();
+
+  uint64_t lines_written() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+  const std::string& path() const { return opts_.path; }
+
+ private:
+  void Loop();
+  void WriteLineLocked();  // caller holds io_mu_
+
+  MetricsRegistry* const registry_;
+  const MetricsReporterOptions opts_;
+
+  std::mutex io_mu_;         // serializes TickNow vs the ticker thread
+  std::FILE* out_ = nullptr;  // under io_mu_ after Start
+  std::atomic<uint64_t> lines_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;  // under stop_mu_
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace obs
+}  // namespace kimdb
+
+#endif  // KIMDB_OBS_REPORTER_H_

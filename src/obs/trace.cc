@@ -1,0 +1,359 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "obs/metrics.h"
+
+namespace kimdb {
+namespace obs {
+
+namespace {
+
+/// Process-wide registry of live recorders, keyed by their unique id. A
+/// thread's TLS cache holds raw ring pointers; when the thread exits it
+/// must hand each ring back to its recorder -- but only if that recorder
+/// is still alive. The registry is the liveness oracle: recorders insert
+/// themselves on construction and remove themselves on destruction, and a
+/// TLS destructor only dereferences a recorder it found here, under the
+/// same lock the destructor removes it with.
+std::mutex g_recorders_mu;
+std::map<uint64_t, FlightRecorder*>& Recorders() {
+  static auto* m = new std::map<uint64_t, FlightRecorder*>();
+  return *m;
+}
+
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t WallNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr size_t kWordsPerEvent = 4;
+
+const char* KindLetter(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kBegin:
+      return "B";
+    case TraceEventKind::kEnd:
+      return "E";
+    case TraceEventKind::kInstant:
+      return "I";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* TraceStageName(TraceStage s) {
+  switch (s) {
+    case TraceStage::kNone:
+      return "none";
+    case TraceStage::kCommit:
+      return "commit";
+    case TraceStage::kCommitClock:
+      return "commit_clock";
+    case TraceStage::kCommitTs:
+      return "commit_ts";
+    case TraceStage::kMvccPromote:
+      return "mvcc_promote";
+    case TraceStage::kWalAppend:
+      return "wal_append";
+    case TraceStage::kWalSyncWait:
+      return "wal_sync_wait";
+    case TraceStage::kMvccPublish:
+      return "mvcc_publish";
+    case TraceStage::kMvccPrune:
+      return "mvcc_prune";
+    case TraceStage::kCommitFail:
+      return "commit_fail";
+    case TraceStage::kTxnAbort:
+      return "txn_abort";
+    case TraceStage::kLatchWait:
+      return "latch_wait";
+    case TraceStage::kWalFsync:
+      return "wal_fsync";
+    case TraceStage::kQuery:
+      return "query";
+    case TraceStage::kExecOp:
+      return "exec_op";
+    case TraceStage::kSlowOp:
+      return "slow_op";
+    case TraceStage::kFaultTrip:
+      return "fault_trip";
+  }
+  return "unknown";
+}
+
+/// One thread's event ring: `capacity` events of kWordsPerEvent atomic
+/// words each, written only by the owning thread, read by any thread via
+/// Snapshot(). `head` is the count of events ever written; slot layout is
+/// event e at words [(e % capacity) * kWordsPerEvent, +kWordsPerEvent).
+struct TraceThreadRing {
+  explicit TraceThreadRing(size_t capacity, uint32_t tid)
+      : capacity(capacity),
+        tid(tid),
+        words(new std::atomic<uint64_t>[capacity * kWordsPerEvent]()) {}
+
+  const size_t capacity;
+  uint32_t tid;
+  std::unique_ptr<std::atomic<uint64_t>[]> words;
+  std::atomic<uint64_t> head{0};  // events ever written (release on store)
+};
+
+/// Per-thread cache mapping recorder id -> that thread's ring. The last
+/// lookup is memoized so the hot path is one compare. On thread exit the
+/// destructor retires every cached ring back to its (still live)
+/// recorder so the ring can be reused by a later thread instead of
+/// leaking one ring per short-lived committer.
+struct TraceTls {
+  struct Entry {
+    uint64_t recorder_id;
+    TraceThreadRing* ring;
+  };
+
+  uint64_t last_id = 0;
+  TraceThreadRing* last_ring = nullptr;
+  std::vector<Entry> entries;
+
+  ~TraceTls() {
+    std::lock_guard<std::mutex> lock(g_recorders_mu);
+    for (const auto& e : entries) {
+      auto it = Recorders().find(e.recorder_id);
+      if (it != Recorders().end()) it->second->RetireRing(e.ring);
+    }
+  }
+};
+
+namespace {
+TraceTls& Tls() {
+  thread_local TraceTls tls;
+  return tls;
+}
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t ring_events)
+    : ring_capacity_(std::bit_ceil(std::max<size_t>(ring_events, 16))),
+      id_(NextRecorderId()),
+      start_(std::chrono::steady_clock::now()),
+      wall_anchor_ms_(WallNowMs()) {
+  std::lock_guard<std::mutex> lock(g_recorders_mu);
+  Recorders().emplace(id_, this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  std::lock_guard<std::mutex> lock(g_recorders_mu);
+  Recorders().erase(id_);
+  // Rings die with rings_; stale TLS entries keyed by id_ can no longer
+  // resolve this recorder, so the dangling ring pointers are never used.
+}
+
+uint64_t FlightRecorder::NowNs() const {
+  auto d = std::chrono::steady_clock::now() - start_;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+TraceThreadRing* FlightRecorder::RingForThisThread() {
+  TraceTls& tls = Tls();
+  if (tls.last_id == id_) return tls.last_ring;
+  for (const auto& e : tls.entries) {
+    if (e.recorder_id == id_) {
+      tls.last_id = id_;
+      tls.last_ring = e.ring;
+      return e.ring;
+    }
+  }
+  TraceThreadRing* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    if (!free_rings_.empty()) {
+      // Reuse keeps the retired owner's head and events: they are real
+      // history, and head doubles as the recorded/dropped accounting. The
+      // tid stays too -- it names the ring, not the OS thread.
+      ring = free_rings_.back();
+      free_rings_.pop_back();
+    } else {
+      rings_.push_back(std::make_unique<TraceThreadRing>(
+          ring_capacity_, static_cast<uint32_t>(rings_.size())));
+      ring = rings_.back().get();
+    }
+  }
+  tls.entries.push_back({id_, ring});
+  tls.last_id = id_;
+  tls.last_ring = ring;
+  return ring;
+}
+
+void FlightRecorder::RetireRing(TraceThreadRing* ring) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  free_rings_.push_back(ring);
+}
+
+void FlightRecorder::RecordSlow(TraceStage stage, TraceEventKind kind,
+                                uint64_t txn, uint64_t arg) {
+  TraceThreadRing* ring = RingForThisThread();
+  uint64_t e = ring->head.load(std::memory_order_relaxed);
+  std::atomic<uint64_t>* w =
+      ring->words.get() + (e & (ring->capacity - 1)) * kWordsPerEvent;
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  w[0].store(NowNs(), kRelaxed);
+  w[1].store(txn, kRelaxed);
+  w[2].store(arg, kRelaxed);
+  w[3].store(static_cast<uint64_t>(stage) |
+                 (static_cast<uint64_t>(kind) << 8) |
+                 (static_cast<uint64_t>(ring->tid) << 32),
+             kRelaxed);
+  // The release pairs with Snapshot's acquire load of head: an observed
+  // head covers fully written slots (modulo the one slot a concurrent
+  // writer may be overwriting, which Snapshot discards by index margin).
+  ring->head.store(e + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot(size_t max_events) const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    for (const auto& ring : rings_) {
+      uint64_t h = ring->head.load(std::memory_order_acquire);
+      uint64_t n = std::min<uint64_t>(h, ring->capacity);
+      std::vector<TraceEvent> local;
+      local.reserve(n);
+      std::vector<uint64_t> idx;
+      idx.reserve(n);
+      constexpr auto kRelaxed = std::memory_order_relaxed;
+      for (uint64_t e = h - n; e < h; ++e) {
+        const std::atomic<uint64_t>* w =
+            ring->words.get() + (e & (ring->capacity - 1)) * kWordsPerEvent;
+        TraceEvent ev;
+        ev.ts_ns = w[0].load(kRelaxed);
+        ev.txn = w[1].load(kRelaxed);
+        ev.arg = w[2].load(kRelaxed);
+        uint64_t packed = w[3].load(kRelaxed);
+        ev.stage = static_cast<TraceStage>(packed & 0xff);
+        ev.kind = static_cast<TraceEventKind>((packed >> 8) & 0xff);
+        ev.tid = static_cast<uint32_t>(packed >> 32);
+        local.push_back(ev);
+        idx.push_back(e);
+      }
+      // Any slot the writer overwrote (or may be mid-overwrite on, for
+      // the next event h2) while we read is torn: discard events whose
+      // index the re-read head has lapped.
+      uint64_t h2 = ring->head.load(std::memory_order_acquire);
+      uint64_t floor =
+          h2 >= ring->capacity ? h2 - ring->capacity + 1 : 0;
+      for (size_t i = 0; i < local.size(); ++i) {
+        if (idx[i] >= floor) out.push_back(local[i]);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  if (max_events > 0 && out.size() > max_events) {
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    uint64_t h = ring->head.load(std::memory_order_relaxed);
+    if (h > ring->capacity) total += h - ring->capacity;
+  }
+  return total;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t FlightRecorder::ring_count() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  return rings_.size();
+}
+
+std::string FlightRecorder::DumpJson(size_t max_events) const {
+  std::vector<TraceEvent> events = Snapshot(max_events);
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"anchor_wall_ms\":%" PRId64 ",\"ring_capacity\":%zu"
+                ",\"recorded\":%" PRIu64 ",\"dropped\":%" PRIu64
+                ",\"events\":[",
+                wall_anchor_ms_, ring_capacity_, recorded(), dropped());
+  out += buf;
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ts_ns\":%" PRIu64 ",\"tid\":%u,\"txn\":%" PRIu64
+                  ",\"stage\":\"%s\",\"kind\":\"%s\",\"arg\":%" PRIu64 "}",
+                  ev.ts_ns, ev.tid, ev.txn, TraceStageName(ev.stage),
+                  KindLetter(ev.kind), ev.arg);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void SlowOpLog::Add(SlowOp op) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_.push_back(std::move(op));
+  while (ops_.size() > capacity_) ops_.pop_front();
+}
+
+std::vector<SlowOp> SlowOpLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowOp>(ops_.begin(), ops_.end());
+}
+
+std::string SlowOpLog::DumpJson() const {
+  std::vector<SlowOp> ops = Entries();
+  std::string out = "[";
+  char buf[192];
+  bool first = true;
+  for (const SlowOp& op : ops) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"wall_ms\":%" PRId64 ",\"kind\":\"%s\",\"txn\":%" PRIu64
+                  ",\"total_ns\":%" PRIu64 ",\"stages\":{",
+                  op.wall_ms, op.kind.c_str(), op.txn, op.total_ns);
+    out += buf;
+    bool sfirst = true;
+    for (const auto& [stage, ns] : op.stages) {
+      if (!sfirst) out += ',';
+      sfirst = false;
+      std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64,
+                    TraceStageName(stage), ns);
+      out += buf;
+    }
+    out += "},\"detail\":\"";
+    out += JsonEscape(op.detail);
+    out += "\"}";
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace obs
+}  // namespace kimdb

@@ -1,0 +1,232 @@
+#ifndef KIMDB_OBS_TRACE_H_
+#define KIMDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kimdb {
+namespace obs {
+
+/// Second observability layer (DESIGN.md §15): where the metrics registry
+/// answers "how much work, how slow on average", the flight recorder
+/// answers "what did *this* commit do, in what order, and where did its
+/// 40ms go". Each thread records compact binary events into its own
+/// lock-free ring; a dump merges the newest events of every ring into one
+/// timestamp-ordered JSON trace -- cheap enough to leave armed in soak
+/// runs and crash-injection matrices.
+
+/// Pipeline stage identifiers carried by every trace event. Values are
+/// stable across a run (they are dumped numerically into slow-op records)
+/// but not across versions -- dumps name them symbolically.
+enum class TraceStage : uint8_t {
+  kNone = 0,
+  // Commit pipeline (TxnManager::Commit, in order).
+  kCommit = 1,       // whole commit; end arg = total ns
+  kCommitClock = 2,  // commit_mu hold: ts allocation + WAL slot reserve
+  kCommitTs = 3,     // instant; arg = allocated commit timestamp
+  kMvccPromote = 4,  // version-chain promotion to the commit ts
+  kWalAppend = 5,    // AppendReserved: slot write-out off the clock
+  kWalSyncWait = 6,  // SyncTo: frontier wait + group commit
+  kMvccPublish = 7,  // FinishCommit: dense commit-frontier publish
+  kMvccPrune = 8,    // post-publish version pruning
+  kCommitFail = 9,   // instant; arg = commit ts whose WAL slot failed
+  kTxnAbort = 10,    // whole abort; end arg = total ns
+  // Object store.
+  kLatchWait = 11,  // contended ClassLatch acquire; begin arg = class id
+  // WAL internals (leader only).
+  kWalFsync = 12,  // the group-commit leader's own fdatasync
+  // Exec layer.
+  kQuery = 13,   // whole query execution; end arg = total ns
+  kExecOp = 14,  // one operator's open..close window; arg = operator tag
+  // Markers.
+  kSlowOp = 15,     // instant; arg = total ns of the logged slow operation
+  kFaultTrip = 16,  // instant; arg = FaultOp that fired
+};
+
+/// Symbolic name for a stage ("wal_sync_wait"); never nullptr.
+const char* TraceStageName(TraceStage s);
+
+enum class TraceEventKind : uint8_t {
+  kBegin = 0,    // arg = stage-specific payload (class id, operator tag)
+  kEnd = 1,      // arg = elapsed nanoseconds of the span
+  kInstant = 2,  // arg = stage-specific payload
+};
+
+/// One decoded trace event. `ts_ns` is steady-clock time relative to the
+/// recorder's construction; `wall_anchor_ms` on the recorder converts it
+/// to wall-clock time.
+struct TraceEvent {
+  uint64_t ts_ns = 0;
+  uint64_t txn = 0;  // transaction id, or 0 for non-transactional events
+  uint64_t arg = 0;
+  TraceStage stage = TraceStage::kNone;
+  TraceEventKind kind = TraceEventKind::kInstant;
+  uint32_t tid = 0;  // recorder-local thread slot (not an OS thread id)
+};
+
+struct TraceThreadRing;  // internal: one thread's event ring (trace.cc)
+
+/// Lock-free flight recorder: one single-writer ring of packed events per
+/// recording thread, overwritten oldest-first on wrap (the newest events
+/// always survive; overwrites are counted as drops). Record() is wait-free
+/// for the owning thread -- four relaxed stores plus one release store of
+/// the ring head -- and a single relaxed load when the recorder is
+/// disabled. Snapshot() may run concurrently with recording: it reads each
+/// ring's head with acquire ordering and discards the one slot the writer
+/// may be overwriting mid-read, so it never reports a torn event.
+class FlightRecorder {
+ public:
+  /// `ring_events` is the per-thread capacity, rounded up to a power of
+  /// two (minimum 16). The rings themselves are allocated lazily, one per
+  /// thread that actually records.
+  explicit FlightRecorder(size_t ring_events = 4096);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one event to the calling thread's ring. No-op when disabled.
+  void Record(TraceStage stage, TraceEventKind kind, uint64_t txn,
+              uint64_t arg) {
+    if (!enabled()) return;
+    RecordSlow(stage, kind, txn, arg);
+  }
+
+  /// Steady-clock nanoseconds since recorder construction (the event
+  /// timestamp domain).
+  uint64_t NowNs() const;
+
+  /// The newest events across all rings, merged and sorted by timestamp.
+  /// `max_events` > 0 keeps only the newest that many.
+  std::vector<TraceEvent> Snapshot(size_t max_events = 0) const;
+
+  /// Snapshot() rendered as a JSON object: recorder metadata plus an
+  /// `events` array sorted by timestamp.
+  std::string DumpJson(size_t max_events = 0) const;
+
+  /// Events overwritten before any snapshot could read them (wraparound),
+  /// summed across rings.
+  uint64_t dropped() const;
+  /// Events ever recorded, summed across rings.
+  uint64_t recorded() const;
+  /// Rings allocated so far (== distinct recording threads, minus reuse).
+  size_t ring_count() const;
+
+  size_t ring_capacity() const { return ring_capacity_; }
+  /// Wall-clock milliseconds (unix epoch) at ts_ns == 0.
+  int64_t wall_anchor_ms() const { return wall_anchor_ms_; }
+
+ private:
+  friend struct TraceTls;
+
+  void RecordSlow(TraceStage stage, TraceEventKind kind, uint64_t txn,
+                  uint64_t arg);
+  TraceThreadRing* RingForThisThread();
+  void RetireRing(TraceThreadRing* ring);
+
+  const size_t ring_capacity_;  // power of two
+  const uint64_t id_;           // process-unique recorder id (TLS cache key)
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point start_;
+  int64_t wall_anchor_ms_ = 0;
+
+  mutable std::mutex reg_mu_;  // guards rings_ / free_rings_
+  std::vector<std::unique_ptr<TraceThreadRing>> rings_;
+  std::vector<TraceThreadRing*> free_rings_;  // retired by exited threads
+};
+
+/// RAII begin/end span: records a kBegin on construction and a kEnd
+/// carrying the elapsed nanoseconds on destruction. Free when the
+/// recorder is null or disabled (one relaxed load at construction).
+class StageScope {
+ public:
+  StageScope(FlightRecorder* r, TraceStage stage, uint64_t txn,
+             uint64_t arg = 0)
+      : r_(r != nullptr && r->enabled() ? r : nullptr),
+        stage_(stage),
+        txn_(txn) {
+    if (r_ != nullptr) {
+      begin_ns_ = r_->NowNs();
+      r_->Record(stage_, TraceEventKind::kBegin, txn_, arg);
+    }
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+  ~StageScope() { End(); }
+
+  /// Records the kEnd now and disarms; elapsed nanoseconds are returned
+  /// (0 when the scope was never armed).
+  uint64_t End() {
+    if (r_ == nullptr) return 0;
+    uint64_t dur = r_->NowNs() - begin_ns_;
+    r_->Record(stage_, TraceEventKind::kEnd, txn_, dur);
+    r_ = nullptr;
+    return dur;
+  }
+
+ private:
+  FlightRecorder* r_;
+  TraceStage stage_;
+  uint64_t txn_;
+  uint64_t begin_ns_ = 0;
+};
+
+/// One record in the slow-operation log: an operation that exceeded the
+/// configured threshold, with its complete per-stage breakdown.
+struct SlowOp {
+  int64_t wall_ms = 0;  // wall-clock time the operation finished
+  uint64_t txn = 0;     // transaction id (0 for queries)
+  uint64_t total_ns = 0;
+  std::string kind;  // "commit" | "query"
+  // Stage -> nanoseconds spent, in pipeline order. Stages that did not run
+  // (e.g. read-only commits skip promote/publish) are absent.
+  std::vector<std::pair<TraceStage, uint64_t>> stages;
+  std::string detail;  // free-form context ("objects_scanned=120 ...")
+};
+
+/// Bounded, thread-safe log of the most recent slow operations. The
+/// threshold is a relaxed atomic so the commit path can poll it for one
+/// load; 0 disables logging entirely.
+class SlowOpLog {
+ public:
+  explicit SlowOpLog(size_t capacity = 128) : capacity_(capacity) {}
+
+  void set_threshold_ns(uint64_t ns) {
+    threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t threshold_ns() const {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  void Add(SlowOp op);
+  std::vector<SlowOp> Entries() const;  // oldest -> newest
+  uint64_t total_logged() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  /// JSON array of entries, oldest first.
+  std::string DumpJson() const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> threshold_ns_{0};
+  std::atomic<uint64_t> total_{0};
+  mutable std::mutex mu_;
+  std::deque<SlowOp> ops_;  // under mu_
+};
+
+}  // namespace obs
+}  // namespace kimdb
+
+#endif  // KIMDB_OBS_TRACE_H_

@@ -35,36 +35,47 @@ uint64_t FaultInjector::ops(FaultOp op) const {
   return counters_[static_cast<size_t>(op)];
 }
 
-FaultInjector::Decision FaultInjector::Observe(FaultOp op, size_t size) {
+void FaultInjector::SetTripHook(std::function<void(FaultOp)> hook) {
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t n = ++counters_[static_cast<size_t>(op)];
+  trip_hook_ = std::move(hook);
+}
+
+FaultInjector::Decision FaultInjector::Observe(FaultOp op, size_t size) {
   Decision d;
-  if (crashed_.load(std::memory_order_relaxed)) {
-    d.fail = true;  // dead processes perform no further I/O
-    return d;
-  }
-  if (!armed_ || op != armed_op_ || n != fire_at_) return d;
-  switch (mode_) {
-    case FaultMode::kFail:
-      d.fail = true;
-      crashed_.store(true, std::memory_order_release);
-      break;
-    case FaultMode::kShortWrite:
-    case FaultMode::kTornWrite: {
-      // A strict prefix: at least 1 byte short, possibly everything short.
-      Random rng(seed_);
-      d.torn_prefix = size > 1 ? rng.Uniform(size) : 0;
-      if (mode_ == FaultMode::kShortWrite) {
-        d.short_io = true;
-        armed_ = false;  // transient: one short count, then healthy again
-      } else {
-        d.fail = true;
-        d.corrupt_seed = seed_;
-        crashed_.store(true, std::memory_order_release);
-      }
-      break;
+  std::function<void(FaultOp)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t n = ++counters_[static_cast<size_t>(op)];
+    if (crashed_.load(std::memory_order_relaxed)) {
+      d.fail = true;  // dead processes perform no further I/O
+      return d;
     }
+    if (!armed_ || op != armed_op_ || n != fire_at_) return d;
+    switch (mode_) {
+      case FaultMode::kFail:
+        d.fail = true;
+        crashed_.store(true, std::memory_order_release);
+        break;
+      case FaultMode::kShortWrite:
+      case FaultMode::kTornWrite: {
+        // A strict prefix: at least 1 byte short, possibly everything
+        // short.
+        Random rng(seed_);
+        d.torn_prefix = size > 1 ? rng.Uniform(size) : 0;
+        if (mode_ == FaultMode::kShortWrite) {
+          d.short_io = true;
+          armed_ = false;  // transient: one short count, then healthy again
+        } else {
+          d.fail = true;
+          d.corrupt_seed = seed_;
+          crashed_.store(true, std::memory_order_release);
+        }
+        break;
+      }
+    }
+    hook = trip_hook_;  // the armed fault fired: notify the crash harness
   }
+  if (hook) hook(op);
   return d;
 }
 
@@ -80,6 +91,8 @@ Status FaultInjector::Error(FaultOp op) {
       return Status::IOError("injected fault: page read");
     case FaultOp::kDiskSync:
       return Status::IOError("injected fault: disk sync");
+    case FaultOp::kWalReserve:
+      return Status::IOError("injected fault: wal reserved append");
   }
   return Status::IOError("injected fault");
 }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -86,6 +87,14 @@ class FaultInjector {
   /// Reports an imminent I/O of `size` bytes and returns its fate.
   Decision Observe(FaultOp op, size_t size);
 
+  /// Invoked (outside the injector's lock) at the moment an *armed* fault
+  /// fires -- once per arming, not for the follow-on failures of the
+  /// crashed state. The crash harness uses it to dump the flight recorder
+  /// at the instant of the simulated crash, so the last ~ring of events
+  /// leading into the fault is captured before recovery overwrites
+  /// anything. Replaces any previous hook; nullptr clears.
+  void SetTripHook(std::function<void(FaultOp)> hook);
+
   /// Convenience for hooks: turns a Decision into the error the device
   /// reports (callers perform partial writes themselves first).
   static Status Error(FaultOp op);
@@ -99,6 +108,7 @@ class FaultInjector {
   uint64_t fire_at_ = 0;  // fires when counter reaches this value
   uint32_t seed_ = 1;
   uint64_t counters_[kNumFaultOps] = {};
+  std::function<void(FaultOp)> trip_hook_;  // under mu_; called unlocked
 };
 
 /// DiskManager decorator that routes every page I/O through a

@@ -302,6 +302,7 @@ Status Wal::SyncInternal(uint64_t target) {
   if (st.ok()) {
     fdatasyncs_.fetch_add(1, std::memory_order_relaxed);
     obs::Timer timer(fsync_ns_);
+    obs::StageScope fsync_span(trace_, obs::TraceStage::kWalFsync, 0, cover);
     if (::fdatasync(fd_) != 0) {
       st = Status::IOError("wal fdatasync failed: " +
                            std::string(std::strerror(errno)));

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -158,6 +159,12 @@ class Wal {
     reserve_ns_ = reserve_ns;
   }
 
+  /// Points the WAL at the flight recorder (kWalFsync spans from the
+  /// group-commit leader, so a trace can tell "waiting on another
+  /// leader's fsync" apart from "running my own"). Nullptr detaches. Not
+  /// thread-safe against in-flight operations -- attach before use.
+  void AttachTrace(obs::FlightRecorder* trace) { trace_ = trace; }
+
  private:
   Wal(int fd, std::string path, uint64_t next_lsn, uint64_t file_end)
       : fd_(fd),
@@ -210,6 +217,7 @@ class Wal {
   obs::Histogram* fsync_ns_ = nullptr;
   obs::Histogram* batch_records_ = nullptr;
   obs::Histogram* reserve_ns_ = nullptr;
+  obs::FlightRecorder* trace_ = nullptr;
 
   std::mutex sync_mu_;
   std::condition_variable sync_cv_;

@@ -1,6 +1,101 @@
 #include "txn/transaction.h"
 
+#include <chrono>
+
 namespace kimdb {
+
+namespace {
+
+/// Per-stage accounting for one commit/abort: emits begin/end events
+/// through the flight recorder and accumulates each stage's duration so an
+/// operation that crosses the slow-op threshold can log its complete
+/// breakdown -- even when the recorder itself is disabled. When neither
+/// sink is armed every method is a couple of null checks.
+class CommitTracer {
+ public:
+  CommitTracer(obs::FlightRecorder* trace, obs::SlowOpLog* slow,
+               uint64_t txn, obs::TraceStage top)
+      : txn_(txn), top_(top) {
+    if (trace != nullptr && trace->enabled()) trace_ = trace;
+    if (slow != nullptr && slow->threshold_ns() > 0) slow_ = slow;
+    if (!active()) return;
+    t0_ = Now();
+    if (trace_ != nullptr) {
+      trace_->Record(top_, obs::TraceEventKind::kBegin, txn_, 0);
+    }
+  }
+
+  bool active() const { return trace_ != nullptr || slow_ != nullptr; }
+
+  void BeginStage(obs::TraceStage s, uint64_t arg = 0) {
+    if (!active()) return;
+    cur_ = s;
+    cur_t0_ = Now();
+    if (trace_ != nullptr) {
+      trace_->Record(s, obs::TraceEventKind::kBegin, txn_, arg);
+    }
+  }
+
+  void EndStage() {
+    if (!active() || cur_ == obs::TraceStage::kNone) return;
+    uint64_t dur = Now() - cur_t0_;
+    stages_.emplace_back(cur_, dur);
+    if (trace_ != nullptr) {
+      trace_->Record(cur_, obs::TraceEventKind::kEnd, txn_, dur);
+    }
+    cur_ = obs::TraceStage::kNone;
+  }
+
+  void Instant(obs::TraceStage s, uint64_t arg) {
+    if (trace_ != nullptr) {
+      trace_->Record(s, obs::TraceEventKind::kInstant, txn_, arg);
+    }
+  }
+
+  /// Closes the top-level span; a total at or above the slow-op threshold
+  /// files the stage breakdown into the log (and drops a kSlowOp marker
+  /// into the trace so dumps flag it). Idempotent.
+  void Finish(const char* kind) {
+    if (!active()) return;
+    uint64_t total = Now() - t0_;
+    if (trace_ != nullptr) {
+      trace_->Record(top_, obs::TraceEventKind::kEnd, txn_, total);
+    }
+    if (slow_ != nullptr && total >= slow_->threshold_ns()) {
+      Instant(obs::TraceStage::kSlowOp, total);
+      obs::SlowOp op;
+      op.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+      op.txn = txn_;
+      op.total_ns = total;
+      op.kind = kind;
+      op.stages = std::move(stages_);
+      slow_->Add(std::move(op));
+    }
+    trace_ = nullptr;
+    slow_ = nullptr;
+  }
+
+ private:
+  static uint64_t Now() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  obs::FlightRecorder* trace_ = nullptr;
+  obs::SlowOpLog* slow_ = nullptr;
+  uint64_t txn_;
+  obs::TraceStage top_;
+  uint64_t t0_ = 0;
+  obs::TraceStage cur_ = obs::TraceStage::kNone;
+  uint64_t cur_t0_ = 0;
+  std::vector<std::pair<obs::TraceStage, uint64_t>> stages_;
+};
+
+}  // namespace
 
 Result<uint64_t> TxnManager::Begin() {
   uint64_t txn;
@@ -85,6 +180,7 @@ Status TxnManager::CheckWriteConflict(uint64_t txn, Oid oid) {
 
 Status TxnManager::Commit(uint64_t txn) {
   obs::Timer timer(commit_ns_);
+  CommitTracer tr(trace_, slow_ops_, txn, obs::TraceStage::kCommit);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = active_.find(txn);
@@ -111,6 +207,7 @@ Status TxnManager::Commit(uint64_t txn) {
       // restore depends on. The append and group-commit fdatasync run
       // below, off the mutex, so one slow commit no longer stalls every
       // other committer's clock access (DESIGN.md §14).
+      tr.BeginStage(obs::TraceStage::kCommitClock);
       std::lock_guard<std::mutex> clk(mvcc_->commit_mu());
       ts = mvcc_->AllocateCommitTs();
       if (wal != nullptr) {
@@ -121,17 +218,28 @@ Status TxnManager::Commit(uint64_t txn) {
         resv = wal->Reserve(std::move(rec));
       }
     }
+    tr.EndStage();
+    tr.Instant(obs::TraceStage::kCommitTs, ts);
     // Promote before the append: by the time FinishCommit can make ts
     // visible, every version tagged <= ts is in its chain (promotion of
     // smaller timestamps happens-before their FinishCommit, and the
     // dense frontier never passes an unfinished timestamp).
+    tr.BeginStage(obs::TraceStage::kMvccPromote);
     std::vector<Oid> promoted = mvcc_->Promote(txn, ts);
+    tr.EndStage();
     Status io;
     if (wal != nullptr) {
+      tr.BeginStage(obs::TraceStage::kWalAppend);
       io = wal->AppendReserved(&resv);
-      if (io.ok()) io = wal->SyncTo(resv.end());  // force the log
+      tr.EndStage();
+      if (io.ok()) {
+        tr.BeginStage(obs::TraceStage::kWalSyncWait);
+        io = wal->SyncTo(resv.end());  // force the log
+        tr.EndStage();
+      }
     }
     if (!io.ok()) {
+      tr.Instant(obs::TraceStage::kCommitFail, ts);
       // The commit record is not durable (recovery truncates at the hole),
       // so the promoted versions must not outlive this failure: demote
       // them back to pending images before FinishCommit can let the dense
@@ -148,15 +256,28 @@ Status TxnManager::Commit(uint64_t txn) {
         auto it = active_.find(txn);
         if (it != active_.end()) it->second.poisoned = true;
       }
+      tr.Finish("commit");
       return io;
     }
+    tr.BeginStage(obs::TraceStage::kMvccPublish);
     mvcc_->FinishCommit(ts);
+    tr.EndStage();
+    tr.BeginStage(obs::TraceStage::kMvccPrune);
     mvcc_->Prune();
+    tr.EndStage();
   } else {
     // Read-only commit: no timestamp, no version traffic.
-    KIMDB_RETURN_IF_ERROR(LogControl(txn, WalRecordType::kCommit));
-    if (store_->wal() != nullptr) {
-      KIMDB_RETURN_IF_ERROR(store_->wal()->Sync());
+    tr.BeginStage(obs::TraceStage::kWalAppend);
+    Status st = LogControl(txn, WalRecordType::kCommit);
+    tr.EndStage();
+    if (st.ok() && store_->wal() != nullptr) {
+      tr.BeginStage(obs::TraceStage::kWalSyncWait);
+      st = store_->wal()->Sync();
+      tr.EndStage();
+    }
+    if (!st.ok()) {
+      tr.Finish("commit");
+      return st;
     }
   }
   {
@@ -165,11 +286,13 @@ Status TxnManager::Commit(uint64_t txn) {
     ++stats_.committed;
   }
   locks_->ReleaseAll(txn);
+  tr.Finish("commit");
   return Status::OK();
 }
 
 Status TxnManager::Abort(uint64_t txn) {
   obs::Timer timer(abort_ns_);
+  obs::StageScope abort_span(trace_, obs::TraceStage::kTxnAbort, txn);
   std::vector<UndoRecord> undo;
   {
     std::lock_guard<std::mutex> lock(mu_);

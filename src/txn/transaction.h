@@ -9,6 +9,7 @@
 #include "object/mvcc.h"
 #include "object/object_store.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "txn/lock_manager.h"
 
 namespace kimdb {
@@ -114,6 +115,17 @@ class TxnManager {
     abort_ns_ = abort_ns;
   }
 
+  /// Wires the flight recorder and slow-operation log: Commit then emits
+  /// per-stage spans (clock hold, promote, WAL append, sync wait, publish,
+  /// prune) under the transaction id, and a commit whose total crosses the
+  /// slow-op threshold logs its complete stage breakdown. Either may be
+  /// null. Not thread-safe against in-flight transactions -- attach
+  /// before use.
+  void AttachTrace(obs::FlightRecorder* trace, obs::SlowOpLog* slow_ops) {
+    trace_ = trace;
+    slow_ops_ = slow_ops;
+  }
+
  private:
   enum class UndoKind { kInsert, kUpdate, kDelete };
   struct UndoRecord {
@@ -155,6 +167,8 @@ class TxnManager {
   TxnStats stats_;
   obs::Histogram* commit_ns_ = nullptr;
   obs::Histogram* abort_ns_ = nullptr;
+  obs::FlightRecorder* trace_ = nullptr;
+  obs::SlowOpLog* slow_ops_ = nullptr;
 };
 
 }  // namespace kimdb

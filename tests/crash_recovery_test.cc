@@ -32,6 +32,7 @@
 #include "index/index_manager.h"
 #include "object/object_store.h"
 #include "object/recovery.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/fault.h"
@@ -492,6 +493,84 @@ TEST_F(CrashRecoveryTest, CrashBetweenCommitTsStampAndWalAppend) {
       txns_->SetAttr(*t3, *oid, "Name", Value::Str("after")).ok());
   ASSERT_TRUE(txns_->Commit(*t3).ok());
   EXPECT_EQ(txns_->mvcc()->stats().visible_ts, durable_ts + 1);
+}
+
+// A tripping failpoint auto-dumps the flight recorder (the trip hook is
+// what a soak harness installs to write the trace next to the core): the
+// dump must reconstruct the failing commit's complete pipeline stage
+// sequence, in order, up to the exact I/O that died.
+TEST_F(CrashRecoveryTest, FaultTripDumpsFailingCommitPipeline) {
+  FreshFiles();
+  FaultInjector fi;
+  ASSERT_TRUE(OpenStack(&fi).ok());
+
+  obs::FlightRecorder rec(4096);
+  rec.set_enabled(true);
+  txns_->AttachTrace(&rec, nullptr);
+  store_->AttachTrace(&rec);
+  wal_->AttachTrace(&rec);
+
+  std::string dump;
+  int trips = 0;
+  fi.SetTripHook([&](FaultOp op) {
+    ++trips;
+    rec.Record(obs::TraceStage::kFaultTrip, obs::TraceEventKind::kInstant, 0,
+               static_cast<uint64_t>(op));
+    dump = rec.DumpJson();
+  });
+
+  auto t1 = txns_->Begin();
+  ASSERT_TRUE(t1.ok());
+  Object obj;
+  obj.Set(name_, Value::Str("doomed"));
+  obj.Set(pad_, Value::Str("x"));
+  ASSERT_TRUE(txns_->Insert(*t1, part_, obj).ok());
+  // Fail the commit record's reserved-slot write-out: the pipeline dies
+  // inside its wal_append stage.
+  fi.Arm(FaultOp::kWalReserve, FaultMode::kFail, 1);
+  ASSERT_FALSE(txns_->Commit(*t1).ok());
+
+  // The hook fired exactly once (crashed-state follow-on I/O never
+  // re-invokes it) and captured a dump at the moment of the trip.
+  EXPECT_EQ(trips, 1);
+  ASSERT_FALSE(dump.empty());
+
+  // The dump's events are timestamp-sorted, so the first occurrence of
+  // each stage name reconstructs the failing commit's pipeline order:
+  // commit -> clock hold -> promote -> WAL append -> the trip itself.
+  size_t p_commit = dump.find("\"stage\":\"commit\"");
+  size_t p_clock = dump.find("\"stage\":\"commit_clock\"");
+  size_t p_promote = dump.find("\"stage\":\"mvcc_promote\"");
+  size_t p_append = dump.find("\"stage\":\"wal_append\"");
+  size_t p_trip = dump.find("\"stage\":\"fault_trip\"");
+  ASSERT_NE(p_commit, std::string::npos);
+  ASSERT_NE(p_clock, std::string::npos);
+  ASSERT_NE(p_promote, std::string::npos);
+  ASSERT_NE(p_append, std::string::npos);
+  ASSERT_NE(p_trip, std::string::npos);
+  EXPECT_LT(p_commit, p_clock);
+  EXPECT_LT(p_clock, p_promote);
+  EXPECT_LT(p_promote, p_append);
+  EXPECT_LT(p_append, p_trip);
+  // The stages that never ran must be absent from the dump.
+  EXPECT_EQ(dump.find("\"stage\":\"mvcc_publish\""), std::string::npos);
+  EXPECT_EQ(dump.find("\"stage\":\"wal_sync_wait\""), std::string::npos);
+
+  // After the hook returned, the commit path recorded its failure marker
+  // with the consumed timestamp.
+  bool saw_fail = false;
+  for (const obs::TraceEvent& e : rec.Snapshot()) {
+    if (e.stage == obs::TraceStage::kCommitFail) {
+      saw_fail = true;
+      EXPECT_EQ(e.txn, *t1);
+      EXPECT_GT(e.arg, 0u);  // the orphaned commit timestamp
+    }
+  }
+  EXPECT_TRUE(saw_fail);
+
+  txns_->AttachTrace(nullptr, nullptr);
+  store_->AttachTrace(nullptr);
+  wal_->AttachTrace(nullptr);
 }
 
 }  // namespace
