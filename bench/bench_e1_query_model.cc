@@ -163,6 +163,26 @@ void BM_ParallelScan_PaperQuery(benchmark::State& state) {
       static_cast<double>(diff.Value("bufferpool.disk_reads"));
 }
 
+// Batch-at-a-time vs row-at-a-time on the 100k hierarchy scan: the same
+// serial pipeline, with NextBatch moving ~256 rows per operator call
+// instead of one. range(0) = fleet size, range(1) = batch size (1 == the
+// row-at-a-time baseline).
+void BM_Scan_BatchSize(benchmark::State& state) {
+  E1Fixture f(static_cast<size_t>(state.range(0)));
+  Query q = f.SimpleQuery(true);
+  size_t batch = static_cast<size_t>(state.range(1));
+  size_t results = 0;
+  for (auto _ : state) {
+    exec::ExecContext ctx(f.env->bp.get());
+    ctx.set_batch_size(batch);
+    BENCH_ASSIGN(hits, f.engine->Execute(q, &ctx));
+    results = hits.size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["batch"] = static_cast<double>(batch);
+}
+
 BENCHMARK(BM_SingleClassScope_Simple)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_HierarchyScope_Simple)->Arg(1000)->Arg(10000)
@@ -175,6 +195,10 @@ BENCHMARK(BM_ParallelScan_PaperQuery)
     ->Args({100000, 1})
     ->Args({100000, 2})
     ->Args({100000, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Scan_BatchSize)
+    ->Args({100000, 1})
+    ->Args({100000, 256})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -141,6 +141,7 @@ constexpr const char* kHelp = R"(commands:
   select ...                                  run an OQL query
   explain select ...                          print the lowered operator tree
   explain analyze select ...                  execute + per-operator spans
+  analyze <Class>                             collect optimizer statistics
   .create <Class> [under <Super,...>] [n:type ...]   define a class
        types: int real bool string ref(Class) set(type)
   .classes                                    list classes

@@ -106,6 +106,10 @@ int main() {
   CHECK_OK(db->indexes()
                .CreateIndex(IndexKind::kClassHierarchy, vehicle, {"Weight"})
                .status());
+  // `analyze` collects cardinality stats (live counts, extent pages, key
+  // histograms), so the planner prices scan vs index from data and the
+  // plan below carries est_rows/est_cost annotations.
+  CHECK_OK(db->ExecuteOql("analyze Vehicle").status());
   CHECK_ASSIGN(plan, db->ExplainOql(oql));
   std::printf("plan with class-hierarchy index: %s\n",
               plan.ToString().c_str());

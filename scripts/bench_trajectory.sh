@@ -4,17 +4,20 @@
 # (BENCH_pr<N>.json) so future PRs can diff against a recorded baseline
 # instead of prose numbers in commit messages.
 #
-# Covered surfaces: E1 extent scan (query model), E4 traversal / cached
+# Covered surfaces: E1 extent scan (query model) plus the batch-at-a-time
+# vs row-at-a-time scan pair, E2 class-hierarchy index lookups, E3 nested
+# index / residual-fetch batched-vs-row pair, E4 traversal / cached
 # point gets (object cache A/B), E5 durable commit throughput (untraced
 # and with the flight recorder armed -- the delta is the tracing
-# overhead), E7 lock granularity / per-class writer scaling, the
-# buffer-pool hit/miss/readahead sweep, and the E13 soak monitor whose
-# per-window commit p99 trajectory (p99_w<i> counters, parsed from the
-# MetricsReporter JSONL) lands in the consolidated file.
+# overhead), E7 lock granularity / per-class writer scaling, E12 OQL vs
+# relational join plans (the shape the cost-based optimizer must rank),
+# the buffer-pool hit/miss/readahead sweep, and the E13 soak monitor
+# whose per-window commit p99 trajectory (p99_w<i> counters, parsed from
+# the MetricsReporter JSONL) lands in the consolidated file.
 #
 # Usage: scripts/bench_trajectory.sh [build-dir] [out-file]
 #   build-dir defaults to build; out-file to $KIMDB_BENCH_OUT, falling
-#   back to BENCH_pr8.json (bump the default when a PR re-records the
+#   back to BENCH_pr9.json (bump the default when a PR re-records the
 #   trajectory). Prior snapshots (BENCH_pr5.json, ...) stay in the tree
 #   for diffing.
 # Benchmarks not built in the tree are skipped with a warning, and the
@@ -23,22 +26,24 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-${KIMDB_BENCH_OUT:-BENCH_pr8.json}}"
+OUT="${2:-${KIMDB_BENCH_OUT:-BENCH_pr9.json}}"
 
 TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_BENCH"' EXIT
 
 run_bench() {
-  # run_bench <binary> <filter> [suite-name]: suite-name lets one binary
-  # contribute several datapoints (e.g. E4 at two cache budgets).
+  # run_bench <binary> <filter> [suite-name] [extra-args...]: suite-name
+  # lets one binary contribute several datapoints (e.g. E4 at two cache
+  # budgets); extra-args pass straight to the benchmark binary.
   local name="$1" filter="$2" suite="${3:-$1}"
+  shift; shift; [[ $# -gt 0 ]] && shift
   local bin="$BUILD_DIR/bench/$name"
   if [[ ! -x "$bin" ]]; then
     echo "WARN: $bin not built; skipping" >&2
     return 0
   fi
   echo "== $suite (filter: ${filter:-all})" >&2
-  local args=(--benchmark_format=json)
+  local args=(--benchmark_format=json "$@")
   [[ -n "$filter" ]] && args+=("--benchmark_filter=$filter")
   if ! "$bin" "${args[@]}" > "$TMPDIR_BENCH/$suite.json" 2> "$TMPDIR_BENCH/$suite.err"; then
     echo "WARN: $suite failed:" >&2
@@ -48,6 +53,21 @@ run_bench() {
 }
 
 run_bench bench_e1_query_model    "${KIMDB_BENCH_FILTER_E1:-(BM_SingleClassScope_Simple|BM_ParallelScan_PaperQuery)}"
+# Batched-vs-row pairs (E1 scan, E3 residual fetch): recorded with
+# repetitions + random interleaving so a noisy host cannot flip the
+# comparison -- the medians are the numbers DESIGN.md §16 quotes.
+PAIR_ARGS=(--benchmark_repetitions=5 --benchmark_enable_random_interleaving=true
+           --benchmark_report_aggregates_only=true)
+run_bench bench_e1_query_model    "BM_Scan_BatchSize" bench_e1_batch_pair "${PAIR_ARGS[@]}"
+# E2/E3: the plan shapes the cost-based optimizer pins (class-hierarchy
+# index lookup, nested index + residual), with the E3 batched-vs-row
+# residual-fetch pair quantifying the NextBatch protocol.
+run_bench bench_e2_ch_index       "${KIMDB_BENCH_FILTER_E2:-BM_Lookup_ClassHierarchyIndex}"
+run_bench bench_e3_nested_index   "${KIMDB_BENCH_FILTER_E3:-BM_NestedIndex/}"
+run_bench bench_e3_nested_index   "BM_NestedIndexResidual_BatchSize" bench_e3_batch_pair "${PAIR_ARGS[@]}"
+# E12: OQL against its relational equivalents -- the optimizer's eq-vs-
+# range and index-vs-scan pricing plays out on this fleet.
+run_bench bench_e12_oql_vs_rel    "${KIMDB_BENCH_FILTER_E12:-(BM_OqlWithIndexes|BM_OqlExtentScan|BM_RelIndexedJoinPlan)}"
 run_bench bench_e4_swizzling      "${KIMDB_BENCH_FILTER_E4:-(BM_PointGet|BM_Traversal_OidLookup|BM_ConcurrentGet)}"
 run_bench bench_e5_oo1            "${KIMDB_BENCH_FILTER_E5:-BM_Oo1DurableCommit}"
 # E7: per-class writer scaling (distinct-class vs same-class writers) and

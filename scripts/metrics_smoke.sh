@@ -47,6 +47,9 @@ required = [
     "query.executed", "query.objects_scanned", "query.index_probes",
     "query.predicates_evaluated", "query.pages_hit", "query.trace_dropped",
     "query.exec_ns",
+    "optimizer.plans_considered", "optimizer.index_plans_chosen",
+    "optimizer.cost_based_plans", "optimizer.analyze_runs",
+    "optimizer.est_rows_error_pct",
     "recovery.analysis_ns", "recovery.redo_ns", "recovery.undo_ns",
 ]
 for name in required:
@@ -74,6 +77,13 @@ for name, v1 in m1.items():
 assert m2["query.executed"] == m1["query.executed"] + 1
 assert m2["query.exec_ns"]["count"] == m1["query.exec_ns"]["count"] + 1
 assert m2["query.index_probes"] > m1["query.index_probes"]
+
+# The optimizer ran cost-based (the quickstart analyzes Vehicle before
+# the first snapshot) and the extra execution priced one more plan.
+assert m1["optimizer.analyze_runs"] >= 1, "analyze did not run"
+assert m2["optimizer.plans_considered"] > m1["optimizer.plans_considered"]
+assert m2["optimizer.cost_based_plans"] > m1["optimizer.cost_based_plans"]
+assert m2["optimizer.est_rows_error_pct"]["count"] >= 1
 
 # Snapshot stamping (DESIGN.md §15): every exported snapshot carries a
 # monotonic sequence number and wall-clock stamp.

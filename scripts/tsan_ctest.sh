@@ -16,9 +16,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DKIMDB_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target concurrency_test exec_operator_test crash_recovery_test obs_metrics_test obs_trace_test storage_buffer_pool_test edge_cases_test object_store_test mvcc_snapshot_test
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target concurrency_test exec_operator_test crash_recovery_test obs_metrics_test obs_trace_test storage_buffer_pool_test edge_cases_test object_store_test mvcc_snapshot_test query_optimizer_test
 # TSan slows the exhaustive matrix ~10-20x; thin it to every 7th crash
 # point (coverage still spans the whole workload, offset varies by run
 # count in plain CI which stays exhaustive).
 (cd "$BUILD_DIR" && KIMDB_CRASH_MATRIX_STRIDE=7 \
-  ctest --output-on-failure -R 'ConcurrencyTest|ObjectCacheStress|ObjectStoreTest|ExecOperatorTest|CrashRecoveryTest|ObsMetrics|FlightRecorder|WindowedHistogram|ReporterTest|TracedDatabase|BufferPool|MvccSnapshot|MvccRecovery')
+  ctest --output-on-failure -R 'ConcurrencyTest|ObjectCacheStress|ObjectStoreTest|ExecOperatorTest|CrashRecoveryTest|ObsMetrics|FlightRecorder|WindowedHistogram|ReporterTest|TracedDatabase|BufferPool|MvccSnapshot|MvccRecovery|QueryOptimizerTest')

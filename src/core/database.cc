@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace kimdb {
@@ -107,6 +108,11 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
                                dec.ReadLengthPrefixed());
         view_texts.emplace_back(text);
       }
+      // Cardinality statistics ride at the tail of the meta record; a
+      // database written before they existed simply ends here.
+      if (!dec.empty()) {
+        KIMDB_RETURN_IF_ERROR(db->stats_.DecodeFrom(&dec));
+      }
     }
   }
 
@@ -129,6 +135,9 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
   db->query_ = std::make_unique<QueryEngine>(db->store_.get(),
                                              db->indexes_.get(),
                                              &db->methods_, db.get());
+  db->query_->AttachStats(&db->stats_);
+  db->stats_listener_ = std::make_unique<StatsListener>(&db->stats_);
+  db->store_->AddListener(db->stats_listener_.get());
   db->views_ = std::make_unique<ViewManager>(db->query_.get());
   db->parser_ = std::make_unique<lang::Parser>(db->catalog_.get());
   for (const std::string& text : view_texts) {
@@ -314,6 +323,15 @@ void Database::WireMetrics() {
   m.GetCounter("query.pages_missed");
   m.GetCounter("query.trace_dropped");
 
+  // Optimizer outcomes, pushed per execution like the query.* counters.
+  // est_rows_error_pct records |estimated - actual| / actual per cost-based
+  // plan, so the soak monitor can watch estimation quality drift.
+  m.GetCounter("optimizer.plans_considered");
+  m.GetCounter("optimizer.index_plans_chosen");
+  m.GetCounter("optimizer.cost_based_plans");
+  m.GetCounter("optimizer.analyze_runs");
+  m.GetHistogram("optimizer.est_rows_error_pct");
+
   // Rotating time-series windows over the latency histograms the soak
   // monitor plots (per-window p50/p95/p99 via the MetricsReporter).
   m.EnableWindows("txn.commit_ns");
@@ -350,6 +368,19 @@ void Database::FlushQueryMetrics(const exec::ExecContext& ctx) {
   m.GetCounter("query.pages_hit")->Inc(ctx.pages_hit());
   m.GetCounter("query.pages_missed")->Inc(ctx.pages_missed());
   m.GetCounter("query.trace_dropped")->Inc(ctx.trace_dropped());
+  m.GetCounter("optimizer.plans_considered")
+      ->Inc(ctx.plans_considered.load(kRelaxed));
+  m.GetCounter("optimizer.index_plans_chosen")
+      ->Inc(ctx.index_plans_chosen.load(kRelaxed));
+  m.GetCounter("optimizer.cost_based_plans")
+      ->Inc(ctx.cost_based_plans.load(kRelaxed));
+  if (ctx.plan_has_estimate.load(kRelaxed)) {
+    uint64_t est = ctx.plan_est_rows.load(kRelaxed);
+    uint64_t actual = ctx.result_rows.load(kRelaxed);
+    uint64_t diff = est > actual ? est - actual : actual - est;
+    uint64_t err_pct = diff * 100 / std::max<uint64_t>(1, actual);
+    m.GetHistogram("optimizer.est_rows_error_pct")->Record(err_pct);
+  }
 }
 
 void Database::MaybeLogSlowQuery(std::chrono::steady_clock::time_point t0,
@@ -387,6 +418,9 @@ Database::~Database() {
   if (!closed_) {
     Status st = Close();
     (void)st;  // best-effort on destruction
+  }
+  if (store_ != nullptr && stats_listener_ != nullptr) {
+    store_->RemoveListener(stats_listener_.get());
   }
 }
 
@@ -435,6 +469,9 @@ Result<std::string> Database::EncodeMeta() const {
   }
   PutVarint32(&out, static_cast<uint32_t>(encoded_views.size()));
   for (const std::string& v : encoded_views) PutLengthPrefixed(&out, v);
+
+  // Cardinality statistics (tail section; see the reader in Open()).
+  stats_.EncodeTo(&out);
   return out;
 }
 
@@ -611,6 +648,10 @@ Result<std::vector<Oid>> Database::ExecuteQuery(const Query& q,
 Result<std::vector<Oid>> Database::ExecuteOql(std::string_view oql,
                                               QueryStats* stats) {
   KIMDB_ASSIGN_OR_RETURN(lang::Statement stmt, parser_->ParseStatement(oql));
+  if (stmt.analyze_stmt) {
+    KIMDB_RETURN_IF_ERROR(AnalyzeClass(stmt.analyze_class));
+    return std::vector<Oid>{};
+  }
   if (stmt.explain) {
     return Status::InvalidArgument(
         stmt.analyze
@@ -624,12 +665,20 @@ Result<std::vector<Oid>> Database::ExecuteOql(std::string_view oql,
 Result<QueryPlan> Database::ExplainOql(std::string_view oql) {
   // Accepts both `select ...` and `explain select ...`.
   KIMDB_ASSIGN_OR_RETURN(lang::Statement stmt, parser_->ParseStatement(oql));
+  if (stmt.analyze_stmt) {
+    return Status::InvalidArgument(
+        "analyze statements collect statistics, not a plan; use ExecuteOql");
+  }
   return query_->Plan(stmt.query);
 }
 
 Result<std::string> Database::ExplainAnalyzeOql(std::string_view oql) {
   // Accepts `select ...`, `explain analyze select ...`, etc.
   KIMDB_ASSIGN_OR_RETURN(lang::Statement stmt, parser_->ParseStatement(oql));
+  if (stmt.analyze_stmt) {
+    return Status::InvalidArgument(
+        "analyze statements collect statistics, not a plan; use ExecuteOql");
+  }
   exec::ExecContext ctx(bp_.get());
   if (trace_ != nullptr && trace_->enabled()) ctx.set_recorder(trace_.get());
   Result<std::string> rendered = [&] {
@@ -638,6 +687,34 @@ Result<std::string> Database::ExplainAnalyzeOql(std::string_view oql) {
   }();
   FlushQueryMetrics(ctx);
   return rendered;
+}
+
+Status Database::AnalyzeClass(std::string_view class_name) {
+  KIMDB_ASSIGN_OR_RETURN(ClassId root, catalog_->FindClass(class_name));
+  constexpr size_t kHistogramBuckets = 16;
+  for (ClassId c : catalog_->Subtree(root)) {
+    ClassStats cs;
+    cs.live_objects = store_->LiveCount(c);
+    Result<std::vector<PageId>> pages = store_->ExtentPages(c);
+    cs.extent_pages = pages.ok() ? pages->size() : 0;
+    // One equi-depth histogram per index whose targets are this class,
+    // keyed by the index's joined attribute path.
+    for (const IndexInfo* idx : indexes_->AllIndexes()) {
+      if (idx->target_class != c) continue;
+      Result<EquiDepthHistogram> h =
+          indexes_->BuildHistogram(idx->id, kHistogramBuckets);
+      if (!h.ok() || h->empty()) continue;
+      std::string key;
+      for (size_t i = 0; i < idx->path.size(); ++i) {
+        if (i > 0) key += ".";
+        key += idx->path[i];
+      }
+      cs.path_hists[std::move(key)] = std::move(*h);
+    }
+    stats_.Install(c, std::move(cs));
+  }
+  metrics_.GetCounter("optimizer.analyze_runs")->Inc();
+  return PersistMeta();
 }
 
 }  // namespace kimdb

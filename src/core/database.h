@@ -9,6 +9,7 @@
 #include "authz/authorization.h"
 #include "catalog/catalog.h"
 #include "catalog/method_registry.h"
+#include "catalog/stats.h"
 #include "index/index_manager.h"
 #include "lang/parser.h"
 #include "object/composite.h"
@@ -138,6 +139,16 @@ class Database : public MethodEnv {
   /// per-operator rows / loops / time / buffer-pool pages.
   Result<std::string> ExplainAnalyzeOql(std::string_view oql);
 
+  /// The `analyze <Class>` verb: rebuilds the cardinality statistics of
+  /// the class and every subclass (live counts, extent pages, one
+  /// equi-depth histogram per index targeting the class) and persists them
+  /// with the catalog. The cost-based planner prices plans from these
+  /// until mutation drift retires them (ClassStats::Fresh).
+  Status AnalyzeClass(std::string_view class_name);
+
+  /// Cardinality statistics the planner reads (exposed for tests/tools).
+  const StatsRegistry& stats() const { return stats_; }
+
   // --- observability --------------------------------------------------------
 
   /// The process-wide registry every subsystem is wired into at Open():
@@ -199,6 +210,25 @@ class Database : public MethodEnv {
  private:
   Database() = default;
 
+  /// Forwards every store mutation to the stats registry as drift, so the
+  /// planner demotes to rule-based choice once statistics go stale.
+  class StatsListener : public ObjectStoreListener {
+   public:
+    explicit StatsListener(StatsRegistry* stats) : stats_(stats) {}
+    void OnInsert(const Object& obj) override {
+      stats_->RecordMutation(obj.class_id());
+    }
+    void OnUpdate(const Object&, const Object& after) override {
+      stats_->RecordMutation(after.class_id());
+    }
+    void OnDelete(const Object& before) override {
+      stats_->RecordMutation(before.class_id());
+    }
+
+   private:
+    StatsRegistry* stats_;
+  };
+
   /// Registers every subsystem's collectors/histograms on metrics_ (end of
   /// Open, once all subsystems exist).
   void WireMetrics();
@@ -232,6 +262,8 @@ class Database : public MethodEnv {
   std::unique_ptr<AuthorizationManager> authz_;
   std::unique_ptr<RuleEngine> rules_;
   std::unique_ptr<lang::Parser> parser_;
+  StatsRegistry stats_;
+  std::unique_ptr<StatsListener> stats_listener_;
 
   // Meta storage: page 0 holds [magic][meta heap head][meta rid]; the meta
   // heap's single record carries the encoded catalog + index + view defs.

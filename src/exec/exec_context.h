@@ -4,10 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "model/object.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "util/status.h"
@@ -50,6 +53,16 @@ class ExecContext {
   std::atomic<uint64_t> obj_cache_hits{0};       // Gets served by the cache
   std::atomic<uint64_t> obj_cache_misses{0};     // Gets that hit the heap
   std::atomic<bool> used_index{false};
+
+  // --- optimizer outcome (set once by QueryEngine::Execute, read by the
+  // metrics flush; never touched by workers) --------------------------------
+
+  std::atomic<uint64_t> plans_considered{0};  // candidates Plan() enumerated
+  std::atomic<uint64_t> index_plans_chosen{0};
+  std::atomic<uint64_t> cost_based_plans{0};  // plans priced from stats
+  std::atomic<uint64_t> plan_est_rows{0};     // winning plan's estimate
+  std::atomic<bool> plan_has_estimate{false};
+  std::atomic<uint64_t> result_rows{0};       // actual result cardinality
 
   /// Adds this context's logical counters into `dst`. Parallel workers
   /// accumulate on a private shadow context and flush once on exit --
@@ -163,6 +176,39 @@ class ExecContext {
   void set_scan_parallelism(size_t n) { scan_parallelism_ = n == 0 ? 1 : n; }
   size_t scan_parallelism() const { return scan_parallelism_; }
 
+  // --- batch size knob ------------------------------------------------------
+
+  /// Rows exchanged per Operator::NextBatch call. The default (256) is
+  /// small enough that a batch of decoded objects stays cache-resident and
+  /// large enough to amortize virtual dispatch, span accounting, and
+  /// budget polling. 1 degrades to row-at-a-time (the bench baseline).
+  static constexpr size_t kDefaultBatchSize = 256;
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+  size_t batch_size() const { return batch_size_; }
+
+  // --- per-batch path-hop memo ----------------------------------------------
+
+  /// Batch-scoped memo for path-expression hops (ref Oid -> resident
+  /// image). A 256-row batch of Vehicles typically dereferences only a
+  /// handful of distinct Companies, so memoizing within the batch turns
+  /// ~256 shared-cache lookups into ~10. Armed only in batch mode
+  /// (batch_size > 1); the Filter clears it at every batch boundary, so
+  /// an entry lives for one slab and row-at-a-time reads stay untouched.
+  /// Not thread-safe by design: parallel-scan workers evaluate predicates
+  /// on private shadow contexts, each with its own memo (capped, since
+  /// workers have no batch boundary to clear at).
+  static constexpr size_t kMaxHopMemo = 1024;
+  bool hop_memo_active() const { return batch_size_ > 1; }
+  const std::shared_ptr<const Object>* LookupHop(Oid oid) const {
+    auto it = hop_memo_.find(oid);
+    return it == hop_memo_.end() ? nullptr : &it->second;
+  }
+  void MemoizeHop(Oid oid, std::shared_ptr<const Object> obj) {
+    if (hop_memo_.size() >= kMaxHopMemo) hop_memo_.clear();
+    hop_memo_.emplace(oid, std::move(obj));
+  }
+  void ClearHopMemo() { hop_memo_.clear(); }
+
   // --- EXPLAIN ANALYZE spans ----------------------------------------------
 
   /// Arms per-operator span accounting (rows/loops/time/pages in
@@ -219,6 +265,8 @@ class ExecContext {
   BufferPoolStats baseline_{};
   obs::FlightRecorder* recorder_ = nullptr;
   size_t scan_parallelism_ = 1;
+  size_t batch_size_ = kDefaultBatchSize;
+  std::unordered_map<Oid, std::shared_ptr<const Object>> hop_memo_;
   // Set once before execution starts (no atomics needed: workers only read).
   bool snapshot_active_ = false;
   uint64_t snapshot_ts_ = 0;

@@ -12,13 +12,32 @@ void RenderTree(const Operator& op, size_t depth, bool analyze,
                 std::string* out) {
   out->append(depth * 2, ' ');
   out->append(op.Describe());
+  // Planner estimates (cost-based plans only). In EXPLAIN they are the
+  // whole annotation; in EXPLAIN ANALYZE they lead the span so estimated
+  // and actual cardinality sit side by side.
+  if (op.has_estimates()) {
+    char ebuf[96];
+    int en;
+    if (op.est_cost() >= 0) {
+      en = std::snprintf(ebuf, sizeof(ebuf), " (est_rows=%" PRIu64
+                         " est_cost=%.1f",
+                         op.est_rows(), op.est_cost());
+    } else {
+      en = std::snprintf(ebuf, sizeof(ebuf), " (est_rows=%" PRIu64,
+                         op.est_rows());
+    }
+    if (en > 0 && static_cast<size_t>(en) < sizeof(ebuf)) {
+      std::snprintf(ebuf + en, sizeof(ebuf) - en, analyze ? "" : ")");
+    }
+    out->append(ebuf);
+  }
   if (analyze) {
     const OpStats& s = op.stats();
     char buf[224];
     int n = std::snprintf(buf, sizeof(buf),
-                          " (rows=%" PRIu64 " loops=%" PRIu64
+                          "%s" "rows=%" PRIu64 " loops=%" PRIu64
                           " time=%.2fms pages=%" PRIu64 "+%" PRIu64,
-                          s.rows, s.loops,
+                          op.has_estimates() ? " " : " (", s.rows, s.loops,
                           static_cast<double>(s.time_ns) / 1e6, s.pages_hit,
                           s.pages_missed);
     if (s.pages_readahead > 0 && n > 0 &&
@@ -80,9 +99,34 @@ Status ForEachRow(Operator& root, ExecContext* ctx,
   return st;
 }
 
+Status ForEachRowBatched(Operator& root, ExecContext* ctx,
+                         const std::function<Status(Row&)>& fn) {
+  if (ctx->batch_size() <= 1) return ForEachRow(root, ctx, fn);
+  Status st = root.Open(ctx);
+  if (st.ok()) {
+    std::vector<Row> batch;
+    batch.reserve(ctx->batch_size());
+    while (true) {
+      Result<size_t> n = root.NextBatch(ctx, &batch);
+      if (!n.ok()) {
+        st = n.status();
+        break;
+      }
+      if (*n == 0) break;
+      for (Row& row : batch) {
+        st = fn(row);
+        if (!st.ok()) break;
+      }
+      if (!st.ok()) break;
+    }
+  }
+  root.Close(ctx);
+  return st;
+}
+
 Result<std::vector<Oid>> CollectOids(Operator& root, ExecContext* ctx) {
   std::vector<Oid> out;
-  KIMDB_RETURN_IF_ERROR(ForEachRow(root, ctx, [&](Row& row) {
+  KIMDB_RETURN_IF_ERROR(ForEachRowBatched(root, ctx, [&](Row& row) {
     out.push_back(row.oid);
     return Status::OK();
   }));

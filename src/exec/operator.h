@@ -22,11 +22,25 @@ namespace exec {
 /// `oid` (and `obj` when the producer already materialized the object, so
 /// consumers never re-fetch what a scan just decoded); relational operators
 /// fill `tuple`. A Row is cheap to move, never to copy implicitly.
+///
+/// Batched execution late-materializes: a batched Filter over index
+/// candidates evaluates its predicate against the shared resident image
+/// and emits the row with `obj` still empty (batch consumers read OIDs).
+/// The row-at-a-time path keeps its materialize-on-pass contract.
 struct Row {
   Oid oid = kNilOid;
   std::optional<Object> obj;        // set by extent scans, not index scans
   std::vector<Value> tuple;         // set by relational operators
 };
+
+/// Predicate hook the query layer injects into Filter / scans.
+/// Implemented by QueryEngine::Matches (path semantics, late-bound method
+/// calls); kept as a std::function so the exec layer does not depend on
+/// the query layer. Must be thread-safe: parallel scans evaluate it from
+/// several workers at once, each accounting on a private shadow
+/// ExecContext that is flushed into the query's context when the worker
+/// finishes (see ExecContext::FlushCountersInto).
+using MatchFn = std::function<Result<bool>(const Object&, ExecContext*)>;
 
 /// Per-operator EXPLAIN ANALYZE span, filled only while the context's
 /// analyze flag is armed. Time and pages are *inclusive* of children (a
@@ -80,6 +94,22 @@ class Operator {
     return more;
   }
 
+  /// Batch-at-a-time pull: clears `*out`, fills it with up to
+  /// ctx->batch_size() rows, and returns the count -- 0 means end of
+  /// stream (a non-empty batch may be short of the target; only 0 ends
+  /// the stream). One NextBatch call pays the virtual dispatch, span
+  /// accounting and budget poll that row-at-a-time pays per row.
+  Result<size_t> NextBatch(ExecContext* ctx, std::vector<Row>* out) {
+    out->clear();
+    const size_t max = ctx->batch_size();
+    if (!ctx->analyze_enabled()) return NextBatchImpl(ctx, out, max);
+    Span span(this, ctx);
+    Result<size_t> n = NextBatchImpl(ctx, out, max);
+    ++stats_.loops;  // loops counts NextBatch calls in batch mode
+    if (n.ok()) stats_.rows += *n;
+    return n;
+  }
+
   void Close(ExecContext* ctx) {
     if (!ctx->analyze_enabled()) {
       CloseImpl(ctx);
@@ -88,6 +118,18 @@ class Operator {
       CloseImpl(ctx);
     }
     RecordLifecycle(ctx, obs::TraceEventKind::kEnd);
+  }
+
+  /// Batched scan+filter fusion: a parent Filter offers its predicate so
+  /// the scan can apply it inside NextBatchImpl, before a non-matching
+  /// object is ever moved out of the decoded page buffer (the batched
+  /// sibling of ParallelExtentScan's constructor-time pushdown). Returns
+  /// true iff this operator -- and, for composites, every child -- will
+  /// filter the rows it emits from NextBatchImpl. Row-at-a-time Next is
+  /// never affected; `pred` must outlive the operator's open lifecycle.
+  virtual bool AcceptBatchResidual(const MatchFn* pred) {
+    (void)pred;
+    return false;
   }
 
   /// One-line self-description for EXPLAIN ("ExtentScan(Vehicle)").
@@ -99,10 +141,37 @@ class Operator {
   /// ExecContext::EnableAnalyze().
   const OpStats& stats() const { return stats_; }
 
+  /// Planner estimates for EXPLAIN (est_rows next to actual rows). Set by
+  /// QueryEngine::Lower only when the plan was cost-based; `est_cost` < 0
+  /// means "rows only" (non-root operators).
+  void SetEstimates(uint64_t est_rows, double est_cost = -1.0) {
+    has_estimates_ = true;
+    est_rows_ = est_rows;
+    est_cost_ = est_cost;
+  }
+  bool has_estimates() const { return has_estimates_; }
+  uint64_t est_rows() const { return est_rows_; }
+  double est_cost() const { return est_cost_; }
+
  protected:
   virtual Status OpenImpl(ExecContext* ctx) = 0;
   virtual Result<bool> NextImpl(ExecContext* ctx, Row* row) = 0;
   virtual void CloseImpl(ExecContext* ctx) = 0;
+
+  /// Default batching: drain NextImpl row by row. Operators with cheaper
+  /// bulk paths (page buffers, candidate vectors, drain queues) override.
+  /// `out` arrives empty; implementations append at most `max` rows.
+  virtual Result<size_t> NextBatchImpl(ExecContext* ctx, std::vector<Row>* out,
+                                       size_t max) {
+    Row row;
+    while (out->size() < max) {
+      KIMDB_ASSIGN_OR_RETURN(bool more, NextImpl(ctx, &row));
+      if (!more) break;
+      out->push_back(std::move(row));
+      row = Row{};
+    }
+    return out->size();
+  }
 
  private:
   /// Emits the operator's open/close boundary into the flight recorder
@@ -150,6 +219,9 @@ class Operator {
   };
 
   OpStats stats_;
+  bool has_estimates_ = false;
+  uint64_t est_rows_ = 0;
+  double est_cost_ = -1.0;
 };
 
 /// Renders the operator tree rooted at `root` with two-space indentation:
@@ -173,6 +245,12 @@ std::string ExplainAnalyzeTree(const Operator& root);
 /// including on error paths.
 Status ForEachRow(Operator& root, ExecContext* ctx,
                   const std::function<Status(Row&)>& fn);
+
+/// Batch-at-a-time driver: pulls ctx->batch_size() rows per NextBatch and
+/// hands them to `fn` one by one. Degrades to ForEachRow when the batch
+/// size is 1. Always Closes, including on error paths.
+Status ForEachRowBatched(Operator& root, ExecContext* ctx,
+                         const std::function<Status(Row&)>& fn);
 
 /// Drives a tree to completion collecting the OIDs it produces (the
 /// object-model result shape).

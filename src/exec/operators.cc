@@ -9,6 +9,7 @@ namespace exec {
 // --- ExtentScan -------------------------------------------------------------
 
 Status ExtentScan::OpenImpl(ExecContext* ctx) {
+  residual_ = nullptr;  // a fusing parent re-offers its predicate after Open
   KIMDB_ASSIGN_OR_RETURN(pages_, store_->ExtentPages(cls_));
   page_idx_ = 0;
   ra_pos_ = 0;
@@ -94,6 +95,47 @@ Result<bool> ExtentScan::NextImpl(ExecContext* ctx, Row* row) {
   return true;
 }
 
+Result<size_t> ExtentScan::NextBatchImpl(ExecContext* ctx,
+                                         std::vector<Row>* out, size_t max) {
+  while (out->size() < max) {
+    if (buf_pos_ < buf_.size()) {
+      // Bulk-move the rest of the decoded page buffer: one NextImpl call
+      // paid the page pin + MVCC resolution for all of these rows already.
+      // A fused predicate runs here, against the buffer entry, so a
+      // non-matching object is never moved into the batch at all.
+      size_t take = std::min(max - out->size(), buf_.size() - buf_pos_);
+      for (size_t i = 0; i < take; ++i) {
+        Object& obj = buf_[buf_pos_++];
+        if (residual_ != nullptr) {
+          KIMDB_ASSIGN_OR_RETURN(bool match, (*residual_)(obj, ctx));
+          if (!match) continue;
+          // Fused consumers read OIDs (late materialization): the match
+          // stays in the page buffer instead of moving into the batch.
+          out->emplace_back().oid = obj.oid();
+          continue;
+        }
+        Row& row = out->emplace_back();
+        row.oid = obj.oid();
+        row.obj = std::move(obj);
+      }
+      continue;
+    }
+    // Page advance / ghost pass: NextImpl refills the buffer (or emits one
+    // ghost row) with the full snapshot-resolution discipline.
+    Row row;
+    KIMDB_ASSIGN_OR_RETURN(bool more, NextImpl(ctx, &row));
+    if (!more) break;
+    if (residual_ != nullptr) {
+      KIMDB_ASSIGN_OR_RETURN(bool match, (*residual_)(*row.obj, ctx));
+      if (!match) continue;
+      out->emplace_back().oid = row.oid;
+      continue;
+    }
+    out->push_back(std::move(row));
+  }
+  return out->size();
+}
+
 void ExtentScan::CloseImpl(ExecContext*) {
   pages_.clear();
   buf_.clear();
@@ -120,8 +162,29 @@ Result<bool> HierarchyScan::NextImpl(ExecContext* ctx, Row* row) {
   return false;
 }
 
+Result<size_t> HierarchyScan::NextBatchImpl(ExecContext* ctx,
+                                            std::vector<Row>* out,
+                                            size_t max) {
+  (void)max;  // children read the batch size off the context
+  while (cur_ < extents_.size()) {
+    KIMDB_ASSIGN_OR_RETURN(size_t n, extents_[cur_]->NextBatch(ctx, out));
+    if (n > 0) return n;
+    ++cur_;
+  }
+  return 0;
+}
+
 void HierarchyScan::CloseImpl(ExecContext* ctx) {
   for (auto& scan : extents_) scan->Close(ctx);
+}
+
+bool HierarchyScan::AcceptBatchResidual(const MatchFn* pred) {
+  // Every child is an ExtentScan and accepts; fold defensively anyway --
+  // a partially-fused hierarchy would still be correct (the Filter above
+  // re-checks whatever reaches it when fusion is off) but never fast.
+  bool all = true;
+  for (auto& scan : extents_) all = scan->AcceptBatchResidual(pred) && all;
+  return all;
 }
 
 std::vector<const Operator*> HierarchyScan::children() const {
@@ -170,66 +233,185 @@ Result<bool> IndexScan::NextImpl(ExecContext* ctx, Row* row) {
   return true;
 }
 
+Result<size_t> IndexScan::NextBatchImpl(ExecContext* ctx,
+                                        std::vector<Row>* out, size_t max) {
+  if (pos_ >= candidates_.size()) return 0;
+  // One budget poll covers the whole slice of the candidate vector.
+  KIMDB_RETURN_IF_ERROR(ctx->CheckBudget());
+  size_t take = std::min(max, candidates_.size() - pos_);
+  for (size_t i = 0; i < take; ++i) {
+    out->emplace_back().oid = candidates_[pos_++];
+  }
+  return out->size();
+}
+
 void IndexScan::CloseImpl(ExecContext*) { candidates_.clear(); }
 
-std::string IndexScan::Describe() const {
+std::string IndexScan::DescribeSpec(const Spec& spec) {
   std::string path;
-  for (size_t i = 0; i < spec_.path.size(); ++i) {
+  for (size_t i = 0; i < spec.path.size(); ++i) {
     if (i > 0) path += ".";
-    path += spec_.path[i];
+    path += spec.path[i];
   }
   std::string out = "IndexScan(path=" + path;
-  if (spec_.eq_key.has_value()) {
-    out += ", key=" + spec_.eq_key->ToString();
+  if (spec.eq_key.has_value()) {
+    out += ", key=" + spec.eq_key->ToString();
   } else {
     out += ", range=";
-    out += spec_.lo.has_value()
-               ? (spec_.lo_inclusive ? "[" : "(") + spec_.lo->ToString()
+    out += spec.lo.has_value()
+               ? (spec.lo_inclusive ? "[" : "(") + spec.lo->ToString()
                : "(-inf";
     out += ", ";
-    out += spec_.hi.has_value()
-               ? spec_.hi->ToString() + (spec_.hi_inclusive ? "]" : ")")
+    out += spec.hi.has_value()
+               ? spec.hi->ToString() + (spec.hi_inclusive ? "]" : ")")
                : "+inf)";
   }
-  out += spec_.hierarchy_scope ? ", scope=hierarchy" : ", scope=class";
+  out += spec.hierarchy_scope ? ", scope=hierarchy" : ", scope=class";
   return out + ")";
 }
 
+std::string IndexScan::Describe() const { return DescribeSpec(spec_); }
+
 // --- Filter -----------------------------------------------------------------
 
-Status Filter::OpenImpl(ExecContext* ctx) { return child_->Open(ctx); }
+Status Filter::OpenImpl(ExecContext* ctx) {
+  prefetch_armed_ = false;
+  KIMDB_RETURN_IF_ERROR(child_->Open(ctx));
+  // Fuse the predicate into a batched scan child: rows then arrive
+  // pre-filtered and NextBatchImpl just relays slabs. Off under EXPLAIN
+  // ANALYZE so per-operator row counts keep their unfused meaning (the
+  // scan's span reports objects scanned, this one's rows that passed).
+  fused_ = ctx->batch_size() > 1 && !ctx->analyze_enabled() &&
+           child_->AcceptBatchResidual(&pred_);
+  return Status::OK();
+}
+
+Status Filter::MaterializeRow(ExecContext* ctx, Row* row, bool* skip) {
+  *skip = false;
+  if (row->obj.has_value()) return Status::OK();
+  ctx->objects_fetched.fetch_add(1, std::memory_order_relaxed);
+  bool cache_hit = false;
+  // Snapshot fetches resolve to the version visible at read_ts; an
+  // object invisible at the snapshot comes back NotFound and is
+  // skipped exactly like a deleted index candidate.
+  Result<Object> obj =
+      ctx->snapshot_active()
+          ? store_->GetSnapshot(row->oid, ctx->snapshot_ts(), &cache_hit)
+          : store_->Get(row->oid, &cache_hit);
+  (cache_hit ? ctx->obj_cache_hits : ctx->obj_cache_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (!obj.ok()) {
+    // An index candidate deleted since the probe is expected churn;
+    // anything else (I/O failure, corruption) must surface, not
+    // silently drop result rows.
+    if (obj.status().IsNotFound()) {
+      *skip = true;
+      return Status::OK();
+    }
+    return obj.status();
+  }
+  row->obj = std::move(*obj);
+  return Status::OK();
+}
 
 Result<bool> Filter::NextImpl(ExecContext* ctx, Row* row) {
   while (true) {
     KIMDB_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, row));
     if (!more) return false;
-    if (!row->obj.has_value()) {
-      ctx->objects_fetched.fetch_add(1, std::memory_order_relaxed);
-      bool cache_hit = false;
-      // Snapshot fetches resolve to the version visible at read_ts; an
-      // object invisible at the snapshot comes back NotFound and is
-      // skipped exactly like a deleted index candidate.
-      Result<Object> obj =
-          ctx->snapshot_active()
-              ? store_->GetSnapshot(row->oid, ctx->snapshot_ts(), &cache_hit)
-              : store_->Get(row->oid, &cache_hit);
-      (cache_hit ? ctx->obj_cache_hits : ctx->obj_cache_misses)
-          .fetch_add(1, std::memory_order_relaxed);
-      if (!obj.ok()) {
-        // An index candidate deleted since the probe is expected churn;
-        // anything else (I/O failure, corruption) must surface, not
-        // silently drop result rows.
-        if (obj.status().IsNotFound()) continue;
-        return obj.status();
-      }
-      row->obj = std::move(*obj);
-    }
+    bool skip = false;
+    KIMDB_RETURN_IF_ERROR(MaterializeRow(ctx, row, &skip));
+    if (skip) continue;
     KIMDB_ASSIGN_OR_RETURN(bool match, pred_(*row->obj, ctx));
     if (match) return true;
   }
 }
 
-void Filter::CloseImpl(ExecContext* ctx) { child_->Close(ctx); }
+Result<size_t> Filter::NextBatchImpl(ExecContext* ctx, std::vector<Row>* out,
+                                     size_t max) {
+  (void)max;  // bounded by the child's batch size
+  if (fused_) {
+    // The scan applied pred_ before a row ever left its page buffer. The
+    // hop memo's batch scope is this relay call.
+    ctx->ClearHopMemo();
+    return child_->NextBatch(ctx, out);
+  }
+  while (true) {
+    ctx->ClearHopMemo();
+    // The child fills `out` directly and survivors compact toward the
+    // front, so a matching row moves at most once -- and a batch where
+    // everything matches not at all. Staging through a side buffer would
+    // move every row twice, which dominates a warm scan (Row carries an
+    // inline Object).
+    KIMDB_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(ctx, out));
+    if (n == 0) return 0;
+    // Residual-fetch prefetch: index candidates arrive as bare OIDs whose
+    // heap pages the scan never touched. Stage every page of the batch
+    // through one ReadAhead before the first point fetch, so the fetches
+    // hit staged frames instead of paying a synchronous miss each. On a
+    // warm object cache the fetches never reach a page at all, so staging
+    // stays armed only while batches keep missing the cache.
+    if (prefetch_armed_) {
+      prefetch_.clear();
+      for (const Row& row : *out) {
+        if (row.obj.has_value()) continue;
+        Result<RecordId> rid = store_->DirectoryLookup(row.oid);
+        if (rid.ok()) prefetch_.push_back(rid->page_id);
+      }
+      if (prefetch_.size() > 1) {
+        std::sort(prefetch_.begin(), prefetch_.end());
+        prefetch_.erase(std::unique(prefetch_.begin(), prefetch_.end()),
+                        prefetch_.end());
+        store_->buffer_pool()->ReadAhead(prefetch_);
+      }
+    }
+    const uint64_t misses_before =
+        ctx->obj_cache_misses.load(std::memory_order_relaxed);
+    size_t keep = 0;
+    for (size_t i = 0; i < out->size(); ++i) {
+      Row& row = (*out)[i];
+      bool match = false;
+      if (row.obj.has_value()) {
+        KIMDB_ASSIGN_OR_RETURN(match, pred_(*row.obj, ctx));
+      } else {
+        // Late materialization: evaluate an index candidate against the
+        // shared resident image -- no per-row Object copy; the row passes
+        // downstream as a bare OID (see the Row contract in operator.h).
+        ctx->objects_fetched.fetch_add(1, std::memory_order_relaxed);
+        bool cache_hit = false;
+        Result<std::shared_ptr<const Object>> shared =
+            ctx->snapshot_active()
+                ? store_->GetSharedSnapshot(row.oid, ctx->snapshot_ts(),
+                                            &cache_hit)
+                : store_->GetShared(row.oid, &cache_hit);
+        (cache_hit ? ctx->obj_cache_hits : ctx->obj_cache_misses)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (!shared.ok()) {
+          // Deleted since the index probe: expected churn, like NextImpl.
+          if (shared.status().IsNotFound()) continue;
+          return shared.status();
+        }
+        KIMDB_ASSIGN_OR_RETURN(match, pred_(**shared, ctx));
+      }
+      if (!match) continue;
+      if (keep != i) (*out)[keep] = std::move(row);
+      ++keep;
+    }
+    prefetch_armed_ =
+        ctx->obj_cache_misses.load(std::memory_order_relaxed) !=
+        misses_before;
+    if (keep > 0) {
+      out->resize(keep);
+      return keep;
+    }
+    // Whole batch filtered out: loop for the next one (the child's
+    // NextBatch shell clears `out` again).
+  }
+}
+
+void Filter::CloseImpl(ExecContext* ctx) {
+  prefetch_.clear();
+  child_->Close(ctx);
+}
 
 // --- ParallelExtentScan -----------------------------------------------------
 
@@ -414,6 +596,41 @@ Result<bool> ParallelExtentScan::NextImpl(ExecContext* ctx, Row* row) {
     row->tuple.clear();
     return true;
   }
+}
+
+Result<size_t> ParallelExtentScan::NextBatchImpl(ExecContext* ctx,
+                                                 std::vector<Row>* out,
+                                                 size_t max) {
+  const bool snap = ctx->snapshot_active() && store_->mvcc() != nullptr;
+  if (snap) {
+    // Snapshot mode interleaves seen-set dedup and the ghost pass; the
+    // row-at-a-time path already implements that discipline exactly.
+    return Operator::NextBatchImpl(ctx, out, max);
+  }
+  while (out->size() < max) {
+    if (out_pos_ >= out_buf_.size()) {
+      // Never block on the workers while rows are already in hand: a
+      // short batch keeps the consumer busy instead of idling on the
+      // condvar until a full one accumulates.
+      if (!out->empty()) break;
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_rows_.wait(lock, [&] {
+        return !queue_.empty() || active_workers_ == 0 || !worker_error_.ok();
+      });
+      if (!worker_error_.ok()) return worker_error_;
+      out_buf_.assign(queue_.begin(), queue_.end());
+      out_pos_ = 0;
+      queue_.clear();
+      lock.unlock();
+      cv_space_.notify_all();
+      if (out_buf_.empty()) break;  // workers drained; no ghosts without snap
+    }
+    size_t take = std::min(max - out->size(), out_buf_.size() - out_pos_);
+    for (size_t i = 0; i < take; ++i) {
+      out->emplace_back().oid = out_buf_[out_pos_++];
+    }
+  }
+  return out->size();
 }
 
 void ParallelExtentScan::CloseImpl(ExecContext* ctx) {

@@ -19,14 +19,8 @@
 namespace kimdb {
 namespace exec {
 
-/// Predicate hook the query layer injects into Filter / ParallelExtentScan.
-/// Implemented by QueryEngine::Matches (path semantics, late-bound method
-/// calls); kept as a std::function so the exec layer does not depend on
-/// the query layer. Must be thread-safe: parallel scans evaluate it from
-/// several workers at once, each accounting on a private shadow
-/// ExecContext that is flushed into the query's context when the worker
-/// finishes (see ExecContext::FlushCountersInto).
-using MatchFn = std::function<Result<bool>(const Object&, ExecContext*)>;
+// MatchFn (the query layer's predicate hook) lives in exec/operator.h next
+// to the AcceptBatchResidual fusion hook it parameterizes.
 
 /// Scans the extent of exactly one class, page by page, producing
 /// materialized objects. Polls the budget at page granularity.
@@ -44,13 +38,20 @@ class ExtentScan : public Operator {
 
   Status OpenImpl(ExecContext* ctx) override;
   Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  Result<size_t> NextBatchImpl(ExecContext* ctx, std::vector<Row>* out,
+                               size_t max) override;
   void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override { return "ExtentScan(" + name_ + ")"; }
+  bool AcceptBatchResidual(const MatchFn* pred) override {
+    residual_ = pred;
+    return true;
+  }
 
  private:
   const ObjectStore* store_;
   ClassId cls_;
   std::string name_;
+  const MatchFn* residual_ = nullptr;  // fused predicate (batch mode only)
   std::vector<PageId> pages_;
   size_t page_idx_ = 0;
   size_t ra_pos_ = 0;  // first extent page not yet staged via ReadAhead
@@ -74,10 +75,13 @@ class HierarchyScan : public Operator {
 
   Status OpenImpl(ExecContext* ctx) override;
   Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  Result<size_t> NextBatchImpl(ExecContext* ctx, std::vector<Row>* out,
+                               size_t max) override;
   void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override {
     return "HierarchyScan(" + root_name_ + ")";
   }
+  bool AcceptBatchResidual(const MatchFn* pred) override;
   std::vector<const Operator*> children() const override;
 
  private:
@@ -106,8 +110,14 @@ class IndexScan : public Operator {
 
   Status OpenImpl(ExecContext* ctx) override;
   Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  Result<size_t> NextBatchImpl(ExecContext* ctx, std::vector<Row>* out,
+                               size_t max) override;
   void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override;
+
+  /// Renders the one-line EXPLAIN form of `spec` without an operator
+  /// instance (QueryPlan::ToString shares the exact executed-tree shape).
+  static std::string DescribeSpec(const Spec& spec);
 
  private:
   const IndexManager* indexes_;
@@ -116,10 +126,16 @@ class IndexScan : public Operator {
   size_t pos_ = 0;
 };
 
-/// Applies a residual predicate. Rows that arrive without a materialized
-/// object (index candidates) are point-fetched first; rows a scan already
-/// decoded are evaluated in place. OIDs whose objects vanished between
-/// index read and fetch are skipped, matching the serial engine.
+/// Applies a residual predicate. In the row-at-a-time path, rows that
+/// arrive without a materialized object (index candidates) are
+/// point-fetched first; rows a scan already decoded are evaluated in
+/// place. The batched path is leaner twice over: a scan child that
+/// accepts AcceptBatchResidual evaluates the predicate inside its own
+/// page buffer (fusion -- NextBatch then just relays slabs), and index
+/// candidates are checked against the shared resident image without ever
+/// copying the object into the row (late materialization). OIDs whose
+/// objects vanished between index read and fetch are skipped either way,
+/// matching the serial engine.
 class Filter : public Operator {
  public:
   Filter(std::unique_ptr<Operator> child, const ObjectStore* store,
@@ -131,6 +147,8 @@ class Filter : public Operator {
 
   Status OpenImpl(ExecContext* ctx) override;
   Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  Result<size_t> NextBatchImpl(ExecContext* ctx, std::vector<Row>* out,
+                               size_t max) override;
   void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override {
     return "Filter(" + pred_text_ + ")";
@@ -140,10 +158,25 @@ class Filter : public Operator {
   }
 
  private:
+  /// Fetches the row's object if the child delivered only an OID; sets
+  /// `*skip` for candidates that vanished since the index probe (expected
+  /// churn) instead of failing the query.
+  Status MaterializeRow(ExecContext* ctx, Row* row, bool* skip);
+
   std::unique_ptr<Operator> child_;
   const ObjectStore* store_;
   MatchFn pred_;
   std::string pred_text_;
+  std::vector<PageId> prefetch_;   // scratch: pages of unmaterialized rows
+  // Stage candidate pages for the next batch? Armed only after a batch
+  // missed the object cache: a warm query then never pays the per-row
+  // directory lookups (there is nothing to hide them behind), while a cold
+  // one pays synchronous misses for its first batch only -- exactly what
+  // row-at-a-time execution pays for every row.
+  bool prefetch_armed_ = false;
+  // Did the child accept pred_ for in-scan evaluation at Open? Batches
+  // then arrive pre-filtered and NextBatchImpl just relays them.
+  bool fused_ = false;
 };
 
 /// Partitions the extent pages of the classes in scope into contiguous
@@ -175,6 +208,8 @@ class ParallelExtentScan : public Operator {
 
   Status OpenImpl(ExecContext* ctx) override;
   Result<bool> NextImpl(ExecContext* ctx, Row* row) override;
+  Result<size_t> NextBatchImpl(ExecContext* ctx, std::vector<Row>* out,
+                               size_t max) override;
   void CloseImpl(ExecContext* ctx) override;
   std::string Describe() const override;
 

@@ -109,6 +109,55 @@ std::vector<const IndexInfo*> IndexManager::AllIndexes() const {
   return out;
 }
 
+IndexManager::TreeStats IndexManager::StatsFor(IndexId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  TreeStats s;
+  auto it = indexes_.find(id);
+  if (it == indexes_.end()) return s;
+  const BPlusTree& tree = it->second->tree;
+  s.keys = tree.num_keys();
+  s.entries = tree.num_entries();
+  s.height = tree.height();
+  return s;
+}
+
+Result<EquiDepthHistogram> IndexManager::BuildHistogram(IndexId id,
+                                                        size_t buckets) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = indexes_.find(id);
+  if (it == indexes_.end()) return Status::NotFound("no such index");
+  const BPlusTree& tree = it->second->tree;
+
+  EquiDepthHistogram h;
+  h.total_entries = tree.num_entries();
+  h.distinct_keys = tree.num_keys();
+  if (h.total_entries == 0) return h;
+
+  const uint64_t depth =
+      std::max<uint64_t>(1, (h.total_entries + buckets - 1) / buckets);
+  uint64_t in_bucket = 0;
+  const Value* last_key = nullptr;
+  Status st = tree.Scan(
+      std::nullopt, true, std::nullopt, true,
+      [&](const Value& key, const Posting& posting) {
+        in_bucket += posting.size();
+        last_key = &key;
+        if (in_bucket >= depth) {
+          h.bounds.push_back(key);
+          h.counts.push_back(in_bucket);
+          in_bucket = 0;
+          last_key = nullptr;
+        }
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  if (last_key != nullptr && in_bucket > 0) {
+    h.bounds.push_back(*last_key);
+    h.counts.push_back(in_bucket);
+  }
+  return h;
+}
+
 const IndexInfo* IndexManager::FindIndexFor(
     ClassId target, const std::vector<std::string>& path,
     bool hierarchy_scope) const {

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "catalog/stats.h"
 #include "index/btree.h"
 #include "object/object_store.h"
 
@@ -109,6 +110,20 @@ class IndexManager : public ObjectStoreListener {
                      bool lo_inclusive, const std::optional<Value>& hi,
                      bool hi_inclusive, ClassId scope_class, bool hierarchy,
                      std::vector<Oid>* out) const;
+
+  /// B+-tree shape of one index (key count, entry count, height) for the
+  /// cost model; zeros if the index does not exist.
+  struct TreeStats {
+    uint64_t keys = 0;
+    uint64_t entries = 0;
+    int height = 0;
+  };
+  TreeStats StatsFor(IndexId id) const;
+
+  /// Builds an equi-depth histogram over the index's key domain with one
+  /// leaf walk (at most `buckets` buckets; fewer when there are fewer
+  /// distinct keys). `analyze <class>` calls this per covering index.
+  Result<EquiDepthHistogram> BuildHistogram(IndexId id, size_t buckets) const;
 
   IndexManagerStats stats() const {
     IndexManagerStats s;

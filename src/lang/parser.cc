@@ -165,6 +165,16 @@ Result<Statement> Parser::ParseStatement(std::string_view text) const {
   KIMDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   Impl p(std::move(tokens));
   Statement stmt;
+  // `analyze <Class>` (no preceding EXPLAIN) is the stats-collection verb.
+  if (p.Accept(TokenType::kAnalyze)) {
+    if (!p.Check(TokenType::kIdent)) {
+      return Status::InvalidArgument("expected a class name after 'analyze'");
+    }
+    stmt.analyze_stmt = true;
+    stmt.analyze_class = p.Next().text;
+    KIMDB_RETURN_IF_ERROR(p.Expect(TokenType::kEnd));
+    return stmt;
+  }
   stmt.explain = p.Accept(TokenType::kExplain);
   if (stmt.explain) stmt.analyze = p.Accept(TokenType::kAnalyze);
   KIMDB_ASSIGN_OR_RETURN(stmt.query, ParseQueryImpl(p));

@@ -32,10 +32,15 @@ namespace lang {
 /// (`explain select ...`), which asks for the lowered operator tree instead
 /// of results, or EXPLAIN ANALYZE (`explain analyze select ...`), which
 /// executes the query and renders the tree with per-operator spans
-/// (rows / loops / time / buffer-pool pages).
+/// (rows / loops / time / buffer-pool pages). `analyze <Class>` is the
+/// statistics verb: it rebuilds the cardinality stats (live counts, extent
+/// pages, per-index key histograms) the cost-based planner prices plans
+/// from; `query` is unset for it.
 struct Statement {
   bool explain = false;
   bool analyze = false;  // only meaningful when explain is set
+  bool analyze_stmt = false;  // `analyze <Class>`: collect optimizer stats
+  std::string analyze_class;  // class named by an analyze statement
   Query query;
 };
 

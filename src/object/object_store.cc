@@ -227,13 +227,30 @@ Result<RecordId> ObjectStore::DirectoryGet(Oid oid) const {
 void ObjectStore::DirectoryPut(Oid oid, RecordId rid) {
   DirShard& sh = DirShardFor(oid);
   std::lock_guard<std::mutex> lock(sh.mu);
-  sh.map[oid] = rid;
+  auto [it, inserted] = sh.map.insert_or_assign(oid, rid);
+  (void)it;
+  if (inserted) ++sh.class_counts[oid.class_id()];
 }
 
 void ObjectStore::DirectoryErase(Oid oid) {
   DirShard& sh = DirShardFor(oid);
   std::lock_guard<std::mutex> lock(sh.mu);
-  sh.map.erase(oid);
+  if (sh.map.erase(oid) > 0) {
+    auto it = sh.class_counts.find(oid.class_id());
+    if (it != sh.class_counts.end() && --it->second == 0) {
+      sh.class_counts.erase(it);
+    }
+  }
+}
+
+uint64_t ObjectStore::LiveCount(ClassId cls) const {
+  uint64_t n = 0;
+  for (const DirShard& sh : dir_shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.class_counts.find(cls);
+    if (it != sh.class_counts.end()) n += it->second;
+  }
+  return n;
 }
 
 std::vector<ObjectStoreListener*> ObjectStore::ListenersSnapshot() const {

@@ -164,6 +164,11 @@ class ObjectStore {
 
   Result<uint64_t> CountClass(ClassId cls) const;
 
+  /// Exact live-object count of `cls`'s extent (this class only, not the
+  /// hierarchy), maintained by the object directory on every insert and
+  /// delete. O(shards), no I/O -- safe to call per query plan.
+  uint64_t LiveCount(ClassId cls) const;
+
   /// Page ids of `cls`'s extent in chain order (empty if the extent was
   /// never created). The page list is the unit of scan partitioning.
   Result<std::vector<PageId>> ExtentPages(ClassId cls) const;
@@ -420,6 +425,10 @@ class ObjectStore {
   struct DirShard {
     mutable std::mutex mu;
     std::unordered_map<Oid, RecordId> map;
+    /// Live objects per class in this shard (OIDs embed the class, so the
+    /// directory is the one choke point every mutation path crosses --
+    /// Insert, Delete, recovery Apply*, Open's rebuild, RewriteExtent).
+    std::unordered_map<ClassId, uint64_t> class_counts;
   };
   DirShard& DirShardFor(Oid oid) const {
     return dir_shards_[std::hash<Oid>{}(oid) & (kDirShards - 1)];

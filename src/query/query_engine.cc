@@ -1,6 +1,8 @@
 #include "query/query_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 namespace kimdb {
 
@@ -82,9 +84,18 @@ void AppendIndented(const std::string& tree, std::string* out) {
 }  // namespace
 
 std::string QueryPlan::ToString() const {
-  // Renders the same tree Lower() builds (operator Describe format), so
+  // Renders the same tree Lower() builds (operator Describe format plus
+  // the same est_* annotations SetEstimates puts on the operators), so
   // EXPLAIN output is the executed pipeline shape.
-  std::string leaf;
+  std::string root_ann, leaf_ann;
+  if (cost_based) {
+    char cbuf[48];
+    std::snprintf(cbuf, sizeof(cbuf), " est_cost=%.1f)", est_cost);
+    root_ann = " (est_rows=" + std::to_string(est_rows) + cbuf;
+    leaf_ann = " (est_rows=" + std::to_string(est_input_rows) + ")";
+  }
+  std::string leaf;       // the access path's own line
+  std::string leaf_kids;  // indented ExtentScan children (hierarchy only)
   if (index_scan) {
     exec::IndexScan::Spec spec;
     spec.index_id = index_id;
@@ -96,18 +107,18 @@ std::string QueryPlan::ToString() const {
     spec.hi_inclusive = hi_inclusive;
     spec.scope_class = target;
     spec.hierarchy_scope = hierarchy_scope;
-    leaf = exec::IndexScan(nullptr, std::move(spec)).Describe();
+    leaf = exec::IndexScan::DescribeSpec(spec);
   } else if (hierarchy_scope) {
     leaf = "HierarchyScan(" + target_name + ")";
     for (const std::string& name : scope_class_names) {
-      leaf += "\n  ExtentScan(" + name + ")";
+      leaf_kids += "\n  ExtentScan(" + name + ")";
     }
   } else {
     leaf = "ExtentScan(" + target_name + ")";
   }
-  if (!residual) return leaf;
-  std::string out = "Filter(" + residual->ToString() + ")";
-  AppendIndented(leaf, &out);
+  if (!residual) return leaf + root_ann + leaf_kids;
+  std::string out = "Filter(" + residual->ToString() + ")" + root_ann;
+  AppendIndented(leaf + leaf_ann + leaf_kids, &out);
   return out;
 }
 
@@ -175,6 +186,25 @@ ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
   return acc;
 }
 
+// --- cost model ------------------------------------------------------------
+// Abstract units: reading one heap page costs kPageCost, decoding a row and
+// evaluating a residual conjunct on it costs kRowCost, descending one B-tree
+// level costs kProbeCost, point-fetching a candidate object costs kFetchCost
+// when it misses the resident-object cache and kCachedFetchCost when it
+// hits, and emitting a covered candidate (no fetch, no residual) costs
+// kEmitCost. The ratios, not the absolute numbers, drive plan choice.
+constexpr double kPageCost = 8.0;
+constexpr double kRowCost = 1.0;
+constexpr double kProbeCost = 2.0;
+constexpr double kFetchCost = 6.0;
+constexpr double kCachedFetchCost = 1.0;
+constexpr double kEmitCost = 0.1;
+// Fallback selectivities when no histogram covers a conjunct.
+constexpr double kDefaultEqSelectivity = 0.1;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+constexpr double kDefaultResidualSelectivity = 0.5;
+constexpr double kDefaultRowsPerPage = 16.0;
+
 }  // namespace
 
 Result<QueryPlan> QueryEngine::Plan(const Query& q) const {
@@ -194,27 +224,193 @@ Result<QueryPlan> QueryEngine::Plan(const Query& q) const {
     plan.scope_class_names.push_back(target_def->name);
   }
   plan.residual = q.predicate;
-  if (!q.predicate || indexes_ == nullptr) return plan;
 
   std::vector<ExprPtr> conjuncts;
   FlattenConjuncts(q.predicate, &conjuncts);
 
-  // Choose the first sargable conjunct with a usable index, preferring
-  // equality matches over ranges.
-  const IndexInfo* chosen = nullptr;
-  std::vector<std::string> chosen_path;
-  bool chosen_is_eq = false;
+  // Every sargable conjunct with a usable index is a candidate access path;
+  // the sequential scan is always the (plans_considered-th) last candidate.
+  struct Candidate {
+    Sargable s;
+    const IndexInfo* idx;
+  };
+  std::vector<Candidate> candidates;
   for (const ExprPtr& c : conjuncts) {
     auto s = MatchSargable(*c);
     if (!s) continue;
     const IndexInfo* idx =
-        indexes_->FindIndexFor(q.target, s->path, q.hierarchy_scope);
+        indexes_ == nullptr
+            ? nullptr
+            : indexes_->FindIndexFor(q.target, s->path, q.hierarchy_scope);
     if (idx == nullptr) continue;
-    bool is_eq = s->op == Expr::Op::kEq;
-    if (chosen == nullptr || (is_eq && !chosen_is_eq)) {
-      chosen = idx;
-      chosen_path = s->path;
-      chosen_is_eq = is_eq;
+    candidates.push_back(Candidate{*s, idx});
+  }
+  plan.plans_considered = static_cast<uint32_t>(1 + candidates.size());
+
+  // Cost-based pricing needs fresh statistics for the target class (the
+  // `analyze <class>` verb installs them; enough mutation drift retires
+  // them, see ClassStats::Fresh). Without them the rule-based fallback
+  // below decides.
+  std::optional<ClassStats> tstats =
+      stats_ == nullptr ? std::nullopt : stats_->Get(q.target);
+  const bool have_stats = tstats.has_value() && tstats->Fresh();
+
+  const IndexInfo* chosen = nullptr;
+  std::vector<std::string> chosen_path;
+
+  if (have_stats) {
+    // Exact scope cardinality off the directory's per-class live counters.
+    std::vector<ClassId> scope_ids = q.hierarchy_scope
+                                         ? cat.Subtree(q.target)
+                                         : std::vector<ClassId>{q.target};
+    uint64_t scope_rows = 0;
+    for (ClassId c : scope_ids) scope_rows += store_->LiveCount(c);
+
+    // Estimated heap pages in scope: analyze-time page counts scaled by
+    // the live-count ratio (HeapFile::Pages() would do I/O at plan time).
+    double est_pages = 0.0;
+    for (ClassId c : scope_ids) {
+      uint64_t rows_c = store_->LiveCount(c);
+      if (rows_c == 0) continue;
+      std::optional<ClassStats> cs =
+          c == q.target ? tstats : stats_->Get(c);
+      if (cs.has_value() && cs->analyzed && cs->extent_pages > 0 &&
+          cs->live_objects > 0) {
+        est_pages += static_cast<double>(cs->extent_pages) *
+                     static_cast<double>(rows_c) /
+                     static_cast<double>(cs->live_objects);
+      } else {
+        est_pages += std::max(
+            1.0, static_cast<double>(rows_c) / kDefaultRowsPerPage);
+      }
+    }
+
+    // Point-fetch discount: candidates resident in the object cache skip
+    // the heap entirely, so the fetch leg of an index plan shrinks with
+    // the measured hit rate (clamped -- a cold cache still pays full).
+    ObjectCacheStats oc = store_->object_cache().stats();
+    double hit_rate =
+        oc.hits + oc.misses > 0
+            ? static_cast<double>(oc.hits) /
+                  static_cast<double>(oc.hits + oc.misses)
+            : 0.5;
+    hit_rate = std::clamp(hit_rate, 0.0, 0.95);
+    const double fetch_cost =
+        hit_rate * kCachedFetchCost + (1.0 - hit_rate) * kFetchCost;
+
+    // Selectivity of one sargable conjunct: histogram when the analyzed
+    // class carries one for the path, else 1/keys for equality on an
+    // indexed path, else the textbook defaults.
+    auto selectivity = [&](const Sargable& s,
+                           const IndexInfo* idx) -> double {
+      const std::string key = JoinPath(s.path);
+      const ClassStats* src = nullptr;
+      std::optional<ClassStats> other;
+      if (idx != nullptr && idx->target_class != q.target) {
+        other = stats_->Get(idx->target_class);
+        if (other.has_value() && other->Fresh()) src = &*other;
+      } else {
+        src = &*tstats;
+      }
+      if (src != nullptr) {
+        auto hit = src->path_hists.find(key);
+        if (hit != src->path_hists.end() && !hit->second.empty()) {
+          const EquiDepthHistogram& h = hit->second;
+          switch (s.op) {
+            case Expr::Op::kEq:
+              return h.SelectivityEq(s.key);
+            case Expr::Op::kLt:
+              return h.SelectivityRange(std::nullopt, true, s.key, false);
+            case Expr::Op::kLe:
+              return h.SelectivityRange(std::nullopt, true, s.key, true);
+            case Expr::Op::kGt:
+              return h.SelectivityRange(s.key, false, std::nullopt, true);
+            case Expr::Op::kGe:
+              return h.SelectivityRange(s.key, true, std::nullopt, true);
+            default:
+              break;
+          }
+        }
+      }
+      if (s.op == Expr::Op::kEq) {
+        if (idx != nullptr) {
+          IndexManager::TreeStats t = indexes_->StatsFor(idx->id);
+          if (t.keys > 0) {
+            return std::min(1.0, 1.0 / static_cast<double>(t.keys));
+          }
+        }
+        return kDefaultEqSelectivity;
+      }
+      return kDefaultRangeSelectivity;
+    };
+
+    // Overall predicate selectivity -> estimated result cardinality.
+    double pred_sel = 1.0;
+    double deref_steps = 0.0;  // path hops a scan pays per scoped object
+    for (const ExprPtr& c : conjuncts) {
+      auto s = MatchSargable(*c);
+      if (s.has_value()) {
+        const IndexInfo* idx = nullptr;
+        for (const Candidate& cand : candidates) {
+          if (cand.s.path == s->path && cand.s.op == s->op) {
+            idx = cand.idx;
+            break;
+          }
+        }
+        pred_sel *= selectivity(*s, idx);
+        if (s->path.size() > 1) deref_steps += s->path.size() - 1;
+      } else {
+        pred_sel *= kDefaultResidualSelectivity;
+      }
+    }
+    pred_sel = std::clamp(pred_sel, 0.0, 1.0);
+
+    // Price the sequential scan: every scope page + every scoped row, plus
+    // the dereference fetches multi-segment predicate paths cost per row.
+    const double scan_cost = est_pages * kPageCost +
+                             static_cast<double>(scope_rows) *
+                                 (kRowCost + deref_steps * fetch_cost);
+
+    // Price each index candidate: a root-to-leaf probe plus the per-match
+    // cost -- a covered equality emits OIDs, anything else point-fetches
+    // the candidate and re-checks the residual.
+    double best_cost = scan_cost;
+    double best_matches = static_cast<double>(scope_rows);
+    const Candidate* winner = nullptr;
+    for (const Candidate& cand : candidates) {
+      double sel = selectivity(cand.s, cand.idx);
+      double est_matches = sel * static_cast<double>(scope_rows);
+      IndexManager::TreeStats t = indexes_->StatsFor(cand.idx->id);
+      bool covered = cand.s.op == Expr::Op::kEq && conjuncts.size() == 1;
+      double per_match = covered ? kEmitCost : fetch_cost + kRowCost;
+      double cost = kProbeCost * std::max(1, t.height) +
+                    est_matches * per_match;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_matches = est_matches;
+        winner = &cand;
+      }
+    }
+
+    plan.cost_based = true;
+    plan.est_cost = best_cost;
+    plan.est_rows = static_cast<uint64_t>(
+        std::llround(pred_sel * static_cast<double>(scope_rows)));
+    plan.est_input_rows = static_cast<uint64_t>(std::llround(best_matches));
+    if (winner == nullptr) return plan;  // sequential scan priced cheapest
+    chosen = winner->idx;
+    chosen_path = winner->s.path;
+  } else {
+    // Rule-based fallback: first sargable conjunct with a usable index,
+    // preferring equality matches over ranges.
+    bool chosen_is_eq = false;
+    for (const Candidate& cand : candidates) {
+      bool is_eq = cand.s.op == Expr::Op::kEq;
+      if (chosen == nullptr || (is_eq && !chosen_is_eq)) {
+        chosen = cand.idx;
+        chosen_path = cand.s.path;
+        chosen_is_eq = is_eq;
+      }
     }
   }
   if (chosen == nullptr) return plan;
@@ -306,7 +502,8 @@ exec::MatchFn QueryEngine::MatchFnFor(ExprPtr pred) const {
     // shared atomics afterwards, so parallel workers never contend on a
     // plain struct. Visibility comes off the evaluating context: snapshot
     // queries must also hop path expressions at their read timestamp.
-    ReadView view{ctx->snapshot_active(), ctx->snapshot_ts()};
+    ReadView view{ctx->snapshot_active(), ctx->snapshot_ts(),
+                  ctx->hop_memo_active() ? ctx : nullptr};
     QueryStats local;
     Result<bool> match = Matches(obj, pred, &local, view);
     ctx->predicates_evaluated.fetch_add(local.predicates_evaluated,
@@ -342,6 +539,10 @@ Result<std::unique_ptr<exec::Operator>> QueryEngine::Lower(
       }
     }
   }
+  // Planner estimates surface in EXPLAIN only when the cost model priced
+  // this exact shape: a snapshot-forced scan fallback executes a different
+  // tree than the one costed, so it carries no annotations.
+  const bool annotate = plan.cost_based && use_index == plan.index_scan;
   if (use_index) {
     exec::IndexScan::Spec spec;
     spec.index_id = plan.index_id;
@@ -355,10 +556,16 @@ Result<std::unique_ptr<exec::Operator>> QueryEngine::Lower(
     spec.hierarchy_scope = q.hierarchy_scope;
     std::unique_ptr<exec::Operator> scan =
         std::make_unique<exec::IndexScan>(indexes_, std::move(spec));
-    if (!plan.residual) return scan;  // covered query: no fetch, no filter
-    return std::unique_ptr<exec::Operator>(std::make_unique<exec::Filter>(
+    if (!plan.residual) {  // covered query: no fetch, no filter
+      if (annotate) scan->SetEstimates(plan.est_rows, plan.est_cost);
+      return scan;
+    }
+    if (annotate) scan->SetEstimates(plan.est_input_rows);
+    std::unique_ptr<exec::Operator> filter = std::make_unique<exec::Filter>(
         std::move(scan), store_, MatchFnFor(plan.residual),
-        plan.residual->ToString()));
+        plan.residual->ToString());
+    if (annotate) filter->SetEstimates(plan.est_rows, plan.est_cost);
+    return filter;
   }
 
   const Catalog& cat = *store_->catalog();
@@ -375,10 +582,12 @@ Result<std::unique_ptr<exec::Operator>> QueryEngine::Lower(
     std::vector<std::pair<ClassId, std::string>> classes;
     classes.reserve(scope.size());
     for (ClassId c : scope) classes.emplace_back(c, name_of(c));
-    return std::unique_ptr<exec::Operator>(
+    std::unique_ptr<exec::Operator> pscan =
         std::make_unique<exec::ParallelExtentScan>(
             store_, std::move(classes), parallelism, MatchFnFor(q.predicate),
-            q.predicate ? q.predicate->ToString() : ""));
+            q.predicate ? q.predicate->ToString() : "");
+    if (annotate) pscan->SetEstimates(plan.est_rows, plan.est_cost);
+    return pscan;
   }
   std::unique_ptr<exec::Operator> scan;
   if (q.hierarchy_scope) {
@@ -394,11 +603,34 @@ Result<std::unique_ptr<exec::Operator>> QueryEngine::Lower(
     scan = std::make_unique<exec::ExtentScan>(store_, q.target,
                                               name_of(q.target));
   }
-  if (!q.predicate) return scan;
-  return std::unique_ptr<exec::Operator>(std::make_unique<exec::Filter>(
+  if (!q.predicate) {
+    if (annotate) scan->SetEstimates(plan.est_rows, plan.est_cost);
+    return scan;
+  }
+  if (annotate) scan->SetEstimates(plan.est_input_rows);
+  std::unique_ptr<exec::Operator> filter = std::make_unique<exec::Filter>(
       std::move(scan), store_, MatchFnFor(q.predicate),
-      q.predicate->ToString()));
+      q.predicate->ToString());
+  if (annotate) filter->SetEstimates(plan.est_rows, plan.est_cost);
+  return filter;
 }
+
+namespace {
+
+/// Publishes what the planner decided onto the context's optimizer
+/// counters (flushed into the obs registry by Database::FlushQueryMetrics).
+void RecordPlanOutcome(const QueryPlan& plan, exec::ExecContext* ctx) {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  ctx->plans_considered.fetch_add(plan.plans_considered, kRelaxed);
+  if (plan.index_scan) ctx->index_plans_chosen.fetch_add(1, kRelaxed);
+  if (plan.cost_based) {
+    ctx->cost_based_plans.fetch_add(1, kRelaxed);
+    ctx->plan_est_rows.store(plan.est_rows, kRelaxed);
+    ctx->plan_has_estimate.store(true, kRelaxed);
+  }
+}
+
+}  // namespace
 
 Result<std::vector<Oid>> QueryEngine::Execute(const Query& q,
                                               QueryStats* stats) const {
@@ -424,10 +656,14 @@ Result<std::vector<Oid>> QueryEngine::Execute(const Query& q,
     armed_here = true;
   }
   KIMDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(q));
+  RecordPlanOutcome(plan, ctx);
   Result<std::unique_ptr<exec::Operator>> root =
       Lower(q, plan, ctx->scan_parallelism(), ctx);
   Result<std::vector<Oid>> result =
       root.ok() ? exec::CollectOids(**root, ctx) : root.status();
+  if (result.ok()) {
+    ctx->result_rows.store(result->size(), std::memory_order_relaxed);
+  }
   // Disarm before the pin dies so a reused context cannot read through a
   // retired timestamp.
   if (armed_here) ctx->clear_snapshot();
@@ -453,10 +689,14 @@ Result<std::string> QueryEngine::ExplainAnalyze(const Query& q,
     armed_here = true;
   }
   KIMDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(q));
+  RecordPlanOutcome(plan, ctx);
   Result<std::unique_ptr<exec::Operator>> root =
       Lower(q, plan, ctx->scan_parallelism(), ctx);
   Result<std::vector<Oid>> rows =
       root.ok() ? exec::CollectOids(**root, ctx) : root.status();
+  if (rows.ok()) {
+    ctx->result_rows.store(rows->size(), std::memory_order_relaxed);
+  }
   if (armed_here) ctx->clear_snapshot();
   KIMDB_RETURN_IF_ERROR(rows.status());
   std::string out = exec::ExplainAnalyzeTree(**root);
@@ -522,6 +762,16 @@ Status QueryEngine::EvalPath(const Object& obj,
       auto deref = [&](const Value& ref) {
         if (ref.kind() != Value::Kind::kRef || ref.as_ref().is_nil()) return;
         ++stats->ref_fetches;
+        // Batch mode: a slab of rows usually hops to few distinct targets
+        // (many Vehicles, one Company), so the batch-scoped memo answers
+        // repeats without another shared-cache lookup.
+        if (view.hop_memo != nullptr) {
+          if (const auto* memo = view.hop_memo->LookupHop(ref.as_ref())) {
+            ++stats->obj_cache_hits;
+            next.push_back(*memo);
+            return;
+          }
+        }
         bool cache_hit = false;
         Result<std::shared_ptr<const Object>> child =
             view.snapshot ? store_->GetSharedSnapshot(ref.as_ref(),
@@ -532,7 +782,12 @@ Status QueryEngine::EvalPath(const Object& obj,
         } else {
           ++stats->obj_cache_misses;
         }
-        if (child.ok()) next.push_back(std::move(*child));
+        if (child.ok()) {
+          if (view.hop_memo != nullptr) {
+            view.hop_memo->MemoizeHop(ref.as_ref(), *child);
+          }
+          next.push_back(std::move(*child));
+        }
       };
       if (v.is_collection()) {
         for (const Value& e : v.elements()) deref(e);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/method_registry.h"
+#include "catalog/stats.h"
 #include "exec/exec_context.h"
 #include "exec/operators.h"
 #include "index/index_manager.h"
@@ -46,10 +47,13 @@ QueryStats StatsFromExecContext(const exec::ExecContext& ctx);
 /// Visibility the expression evaluator reads the object graph under:
 /// current-time (default) or an MVCC snapshot, in which case path-
 /// expression hops resolve each referenced object to the version visible
-/// at read_ts (ObjectStore::GetSharedSnapshot).
+/// at read_ts (ObjectStore::GetSharedSnapshot). `hop_memo`, when set,
+/// points at the batch-scoped dereference memo of the evaluating context
+/// (batch mode only -- see ExecContext::LookupHop).
 struct ReadView {
   bool snapshot = false;
   uint64_t read_ts = 0;
+  exec::ExecContext* hop_memo = nullptr;
 };
 
 /// What the optimizer decided (exposed for tests, EXPLAIN, benches).
@@ -70,6 +74,15 @@ struct QueryPlan {
   std::string target_name;
   std::vector<std::string> scope_class_names;  // extents in Subtree order
 
+  // Cost-model outcome. `cost_based` is true only when fresh catalog stats
+  // priced the candidates; rule-based fallback plans leave the estimates
+  // zero and EXPLAIN renders no est_* annotations.
+  bool cost_based = false;
+  double est_cost = 0.0;        // winning plan's cost in abstract page units
+  uint64_t est_rows = 0;        // estimated result cardinality
+  uint64_t est_input_rows = 0;  // estimated rows out of the access path
+  uint32_t plans_considered = 0;  // candidates enumerated (scan + indexes)
+
   std::string ToString() const;
 };
 
@@ -86,6 +99,14 @@ class QueryEngine {
               const MethodRegistry* methods = nullptr,
               MethodEnv* env = nullptr)
       : store_(store), indexes_(indexes), methods_(methods), env_(env) {}
+
+  /// Wires the catalog's cardinality statistics into the planner. With
+  /// fresh stats for the target class Plan() prices every candidate access
+  /// path (sequential scan + one per usable index) from cardinalities,
+  /// histogram selectivities and the object-cache hit rate, and picks the
+  /// cheapest; without them it falls back to the rule-based preference
+  /// (first usable index, equality over range).
+  void AttachStats(const StatsRegistry* stats) { stats_ = stats; }
 
   /// Plans without executing (EXPLAIN).
   Result<QueryPlan> Plan(const Query& q) const;
@@ -157,6 +178,7 @@ class QueryEngine {
   IndexManager* indexes_;
   const MethodRegistry* methods_;
   MethodEnv* env_;
+  const StatsRegistry* stats_ = nullptr;
 };
 
 }  // namespace kimdb
