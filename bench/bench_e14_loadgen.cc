@@ -1,0 +1,260 @@
+// E14 -- Served multi-client loadgen: N pipelined wire-protocol
+// connections of mixed OO1-style traffic (point reads, queries, durable
+// commits) against an in-process epoll kimdb_server.
+//
+// The perf thesis (ISSUE 10): PR 2's WAL group commit was measured at
+// ~0.43 fsyncs/commit with only 4 in-process committers (1/0.43 ~ 2.3
+// records per fdatasync). Independent *connections* feed the same leader/
+// follower Sync through the server's worker pool, so the mean
+// `wal.group_commit_batch` must grow past that in-process baseline once
+// >= 8 pipelined clients commit concurrently. Latency (p50/p95/p99) and
+// pipeline depth are read from the database's own metrics registry diff --
+// the same surface the METRICS verb serves.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "workloads/bench_env.h"
+
+namespace kimdb {
+namespace bench {
+namespace {
+
+constexpr int kParts = 2000;
+constexpr int kRoundsPerConn = 30;
+
+struct ServedDb {
+  std::string path;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<net::Server> server;
+  std::vector<uint64_t> oids;  // raw OID bits of the preloaded parts
+
+  explicit ServedDb(const std::string& tag, size_t workers) {
+    path = "/tmp/kimdb_bench_e14_" + tag;
+    ::remove((path + ".db").c_str());
+    ::remove((path + ".wal").c_str());
+    DatabaseOptions opts;
+    opts.path = path;
+    BENCH_ASSIGN(opened, Database::Open(opts));
+    db = std::move(opened);
+    BENCH_OK(db->CreateClass("Part", {},
+                             {{"PartId", Domain::Int()},
+                              {"X", Domain::Int()},
+                              {"Y", Domain::Int()}})
+                 .status());
+    BENCH_ASSIGN(txn, db->Begin());
+    for (int i = 0; i < kParts; ++i) {
+      BENCH_ASSIGN(oid, db->Insert(txn, "Part",
+                                   {{"PartId", Value::Int(i)},
+                                    {"X", Value::Int(i % 97)},
+                                    {"Y", Value::Int(i % 89)}}));
+      oids.push_back(oid.raw());
+    }
+    BENCH_OK(db->Commit(txn));
+    net::ServerOptions sopts;
+    sopts.workers = workers;
+    BENCH_ASSIGN(srv, net::Server::Start(db.get(), sopts));
+    server = std::move(srv);
+  }
+
+  ~ServedDb() {
+    server.reset();
+    if (db) {
+      Status st = db->Close();
+      (void)st;
+    }
+    ::remove((path + ".db").c_str());
+    ::remove((path + ".wal").c_str());
+  }
+};
+
+// One connection's round: a BEGIN round-trip, then one pipelined burst of
+// OO1-style traffic -- 6 point GETs, 2 queries, 1 SET + 1 COMMIT riding at
+// the tail. The commit is acknowledged durable inside the burst, so with
+// many connections in flight the commits meet in the WAL group commit.
+bool RunRound(net::Client* client, const std::vector<uint64_t>& oids,
+              uint64_t rng_state) {
+  auto txn = client->Begin();
+  if (!txn.ok()) return false;
+  std::vector<net::Request> batch;
+  uint64_t r = rng_state;
+  auto next = [&r] {
+    r = r * 6364136223846793005ull + 1442695040888963407ull;
+    return r >> 33;
+  };
+  for (int g = 0; g < 6; ++g) {
+    net::Request get;
+    get.type = net::MsgType::kGet;
+    get.oid = oids[next() % oids.size()];
+    batch.push_back(std::move(get));
+  }
+  for (int q = 0; q < 2; ++q) {
+    net::Request query;
+    query.type = net::MsgType::kQuery;
+    query.text =
+        "select Part where PartId = " + std::to_string(next() % kParts);
+    batch.push_back(std::move(query));
+  }
+  net::Request set;
+  set.type = net::MsgType::kTxnSet;
+  set.txn = *txn;
+  set.oid = oids[next() % oids.size()];
+  set.text = "X";
+  set.value = Value::Int(static_cast<int64_t>(next() % 100000));
+  batch.push_back(std::move(set));
+  net::Request commit;
+  commit.type = net::MsgType::kTxnCommit;
+  commit.txn = *txn;
+  batch.push_back(std::move(commit));
+
+  auto resps = client->Pipeline(batch);
+  if (!resps.ok()) return false;
+  for (const net::Response& resp : *resps) {
+    if (resp.status != StatusCode::kOk) return false;
+  }
+  return true;
+}
+
+// Arg(0) = client connections. 1 is the no-concurrency floor; >= 8 must
+// push the mean group-commit batch past the in-process 4-committer
+// baseline (~2.3 records/fdatasync, E5).
+void BM_ServedMixedLoad(benchmark::State& state) {
+  const int kConns = static_cast<int>(state.range(0));
+  ServedDb f("mixed_" + std::to_string(kConns), /*workers=*/8);
+  obs::MetricsSnapshot before = f.db->metrics().TakeSnapshot();
+
+  uint64_t rounds_done = 0;
+  std::atomic<uint64_t> failures{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(kConns));
+    for (int c = 0; c < kConns; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = net::Client::Connect("127.0.0.1", f.server->port());
+        if (!client.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (int round = 0; round < kRoundsPerConn; ++round) {
+          if (!RunRound(client->get(), f.oids,
+                        static_cast<uint64_t>(c) * 7919 + round + 1)) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    rounds_done += static_cast<uint64_t>(kConns) * kRoundsPerConn;
+  }
+  if (failures.load() > 0) {
+    state.SkipWithError("loadgen connection failures");
+    return;
+  }
+
+  obs::MetricsSnapshot diff =
+      obs::MetricsRegistry::Diff(before, f.db->metrics().TakeSnapshot());
+  // Each round is 11 requests (1 begin + 10 pipelined) and 1 durable commit.
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      static_cast<double>(diff.Value("net.requests")),
+      benchmark::Counter::kIsRate);
+  state.counters["commits_per_sec"] = benchmark::Counter(
+      static_cast<double>(rounds_done), benchmark::Counter::kIsRate);
+  state.counters["connections"] = kConns;
+  state.counters["group_commit_batch_mean"] =
+      diff.Hist("wal.group_commit_batch").Mean();
+  state.counters["fsyncs_per_commit"] =
+      rounds_done > 0 ? static_cast<double>(diff.Value("wal.fsyncs")) /
+                            static_cast<double>(rounds_done)
+                      : 0.0;
+  state.counters["req_p50_us"] =
+      static_cast<double>(diff.Hist("net.request_ns").Percentile(0.50)) /
+      1000.0;
+  state.counters["req_p95_us"] =
+      static_cast<double>(diff.Hist("net.request_ns").Percentile(0.95)) /
+      1000.0;
+  state.counters["req_p99_us"] =
+      static_cast<double>(diff.Hist("net.request_ns").Percentile(0.99)) /
+      1000.0;
+  state.counters["pipeline_depth_mean"] =
+      diff.Hist("net.pipeline_depth").Mean();
+}
+
+// Pure pipelined point-read throughput per connection count: how much the
+// parse-many-respond-in-order loop amortizes per-request socket overhead.
+void BM_ServedPipelinedGets(benchmark::State& state) {
+  const int kConns = static_cast<int>(state.range(0));
+  ServedDb f("gets_" + std::to_string(kConns), /*workers=*/8);
+  obs::MetricsSnapshot before = f.db->metrics().TakeSnapshot();
+
+  uint64_t gets = 0;
+  std::atomic<uint64_t> failures{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kConns; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = net::Client::Connect("127.0.0.1", f.server->port());
+        if (!client.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (int round = 0; round < 20; ++round) {
+          std::vector<net::Request> batch(64);
+          for (size_t i = 0; i < batch.size(); ++i) {
+            batch[i].type = net::MsgType::kGet;
+            batch[i].oid =
+                f.oids[(static_cast<size_t>(c) * 131 + round * 37 + i * 11) %
+                       f.oids.size()];
+          }
+          auto resps = (*client)->Pipeline(batch);
+          if (!resps.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    gets += static_cast<uint64_t>(kConns) * 20 * 64;
+  }
+  if (failures.load() > 0) {
+    state.SkipWithError("loadgen connection failures");
+    return;
+  }
+  obs::MetricsSnapshot diff =
+      obs::MetricsRegistry::Diff(before, f.db->metrics().TakeSnapshot());
+  state.counters["gets_per_sec"] = benchmark::Counter(
+      static_cast<double>(gets), benchmark::Counter::kIsRate);
+  state.counters["req_p99_us"] =
+      static_cast<double>(diff.Hist("net.request_ns").Percentile(0.99)) /
+      1000.0;
+  state.counters["pipeline_depth_mean"] =
+      diff.Hist("net.pipeline_depth").Mean();
+}
+
+BENCHMARK(BM_ServedMixedLoad)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ServedPipelinedGets)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace kimdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// kimdb_cli: interactive client for a running kimdb_server.
+//
+//   ./build/examples/kimdb_cli [host] [port]
+//
+// Commands (one per line):
+//   ping
+//   get <oid>                       point read (raw OID bits)
+//   query <oql>                     e.g. query select Vehicle where Weight > 100
+//   explain <oql>
+//   begin                           -> txn id
+//   set <txn> <oid> <attr> <value>  value: 123, 1.5, true, 'text'
+//   commit <txn> | abort <txn>
+//   metrics
+//   quit
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "model/object.h"
+#include "net/client.h"
+
+using namespace kimdb;
+
+namespace {
+
+Value ParseValue(const std::string& tok) {
+  if (tok.size() >= 2 && tok.front() == '\'' && tok.back() == '\'') {
+    return Value::Str(tok.substr(1, tok.size() - 2));
+  }
+  if (tok == "true") return Value::Bool(true);
+  if (tok == "false") return Value::Bool(false);
+  if (tok.find('.') != std::string::npos) {
+    return Value::Real(std::strtod(tok.c_str(), nullptr));
+  }
+  return Value::Int(std::strtoll(tok.c_str(), nullptr, 10));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = argc > 1 ? argv[1] : "127.0.0.1";
+  uint16_t port =
+      argc > 2 ? static_cast<uint16_t>(std::atoi(argv[2])) : 4466;
+  auto client_result = net::Client::Connect(host, port);
+  if (!client_result.ok()) {
+    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+                 client_result.status().ToString().c_str());
+    return 1;
+  }
+  auto client = std::move(*client_result);
+  auto banner = client->Hello("kimdb_cli");
+  if (!banner.ok()) {
+    std::fprintf(stderr, "hello: %s\n", banner.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected: %s\n", banner->c_str());
+
+  std::string line;
+  while (std::printf("kimdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "ping") {
+      Status st = client->Ping();
+      std::printf("%s\n", st.ok() ? "pong" : st.ToString().c_str());
+    } else if (cmd == "get") {
+      uint64_t oid;
+      in >> oid;
+      auto bytes = client->Get(oid);
+      if (!bytes.ok()) {
+        std::printf("%s\n", bytes.status().ToString().c_str());
+        continue;
+      }
+      auto obj = Object::Decode(*bytes);
+      if (!obj.ok()) {
+        std::printf("%s\n", obj.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s class=%u\n", obj->oid().ToString().c_str(),
+                  obj->class_id());
+      for (const auto& [attr, value] : obj->attrs()) {
+        std::printf("  attr %u = %s\n", attr, value.ToString().c_str());
+      }
+    } else if (cmd == "query" || cmd == "explain") {
+      std::string oql;
+      std::getline(in, oql);
+      if (cmd == "explain") {
+        auto plan = client->Explain(oql);
+        std::printf("%s\n", plan.ok() ? plan->c_str()
+                                      : plan.status().ToString().c_str());
+        continue;
+      }
+      auto oids = client->Query(oql);
+      if (!oids.ok()) {
+        std::printf("%s\n", oids.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%zu match(es)\n", oids->size());
+      for (uint64_t oid : *oids) {
+        std::printf("  %s (%llu)\n", Oid(oid).ToString().c_str(),
+                    static_cast<unsigned long long>(oid));
+      }
+    } else if (cmd == "begin") {
+      auto txn = client->Begin();
+      if (txn.ok()) {
+        std::printf("txn %llu\n", static_cast<unsigned long long>(*txn));
+      } else {
+        std::printf("%s\n", txn.status().ToString().c_str());
+      }
+    } else if (cmd == "set") {
+      uint64_t txn, oid;
+      std::string attr, tok;
+      in >> txn >> oid >> attr;
+      std::getline(in, tok);
+      // Trim the leading space the stream left before the value token.
+      size_t start = tok.find_first_not_of(' ');
+      tok = start == std::string::npos ? "" : tok.substr(start);
+      Status st = client->Set(txn, oid, attr, ParseValue(tok));
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    } else if (cmd == "commit" || cmd == "abort") {
+      uint64_t txn;
+      in >> txn;
+      Status st = cmd == "commit" ? client->Commit(txn) : client->Abort(txn);
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    } else if (cmd == "metrics") {
+      auto json = client->Metrics();
+      std::printf("%s\n", json.ok() ? json->c_str()
+                                    : json.status().ToString().c_str());
+    } else {
+      std::printf("unknown command: %s\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -11,6 +11,8 @@
 #include <string>
 
 #include "core/database.h"
+#include "net/client.h"
+#include "net/server.h"
 
 using namespace kimdb;
 
@@ -120,11 +122,23 @@ int main() {
                db->ExplainAnalyzeOql(std::string("explain analyze ") + oql));
   std::printf("explain analyze:\n%s\n", analyzed.c_str());
 
+  // --- the wire protocol (DESIGN.md §17) --------------------------------------
+  // The same database served over TCP: an epoll server on an ephemeral
+  // port, a blocking client running the paper's query remotely. This also
+  // lights up the net.* metrics that metrics_smoke.sh asserts below.
+  CHECK_ASSIGN(server, net::Server::Start(db.get(), net::ServerOptions{}));
+  CHECK_ASSIGN(client, net::Client::Connect("127.0.0.1", server->port()));
+  CHECK_ASSIGN(banner, client->Hello("quickstart"));
+  CHECK_ASSIGN(remote_hits, client->Query(oql));
+  std::printf("served by %s on port %u: %zu match(es) over the wire\n",
+              banner.c_str(), server->port(), remote_hits.size());
+
   // Two registry snapshots around one more execution; scripts/
   // metrics_smoke.sh parses these lines and asserts every registered
   // metric is present and counters stay monotonic.
   std::printf("METRICS1 %s\n", db->MetricsJson().c_str());
   CHECK_OK(db->ExecuteOql(oql).status());
+  CHECK_OK(client->Ping());
   std::printf("METRICS2 %s\n", db->MetricsJson().c_str());
 
   // --- flight recorder + reporter (DESIGN.md §15) -----------------------------

@@ -11,13 +11,16 @@
 # and with the flight recorder armed -- the delta is the tracing
 # overhead), E7 lock granularity / per-class writer scaling, E12 OQL vs
 # relational join plans (the shape the cost-based optimizer must rank),
-# the buffer-pool hit/miss/readahead sweep, and the E13 soak monitor
+# the buffer-pool hit/miss/readahead sweep, the E13 soak monitor
 # whose per-window commit p99 trajectory (p99_w<i> counters, parsed from
-# the MetricsReporter JSONL) lands in the consolidated file.
+# the MetricsReporter JSONL) lands in the consolidated file, and the E14
+# served loadgen (N pipelined wire connections of mixed traffic against
+# kimdb_server -- its group_commit_batch_mean at >= 8 connections is the
+# ISSUE 10 acceptance number, with request p50/p95/p99).
 #
 # Usage: scripts/bench_trajectory.sh [build-dir] [out-file]
 #   build-dir defaults to build; out-file to $KIMDB_BENCH_OUT, falling
-#   back to BENCH_pr9.json (bump the default when a PR re-records the
+#   back to BENCH_pr10.json (bump the default when a PR re-records the
 #   trajectory). Prior snapshots (BENCH_pr5.json, ...) stay in the tree
 #   for diffing.
 # Benchmarks not built in the tree are skipped with a warning, and the
@@ -26,7 +29,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-${KIMDB_BENCH_OUT:-BENCH_pr9.json}}"
+OUT="${2:-${KIMDB_BENCH_OUT:-BENCH_pr10.json}}"
 
 TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_BENCH"' EXIT
@@ -76,6 +79,10 @@ run_bench bench_e7_locking        "${KIMDB_BENCH_FILTER_E7:-(BM_MultiClassWriter
 # E13: fixed-duration soak (KIMDB_SOAK_SECONDS, default 4s) emitting the
 # per-window commit p99s the reporter recorded.
 run_bench bench_e13_soak          "${KIMDB_BENCH_FILTER_E13:-BM_SoakCommitQuery}"
+# E14: served multi-client loadgen over the wire protocol. The /8 and /16
+# rows carry group_commit_batch_mean + fsyncs_per_commit (the WAL group
+# commit fed by independent connections) and req_p50/p95/p99_us.
+run_bench bench_e14_loadgen       "${KIMDB_BENCH_FILTER_E14:-(BM_ServedMixedLoad|BM_ServedPipelinedGets)}"
 run_bench bench_buffer_pool       "${KIMDB_BENCH_FILTER_BP:-(BM_Fetch_HitHeavy|BM_SequentialSweep)}"
 # E8: object-cache capacity. The default 4 MiB budget thrashes a 20k-object
 # working set (oc-hit ratio ~0.716 on the cached-get workloads); the same

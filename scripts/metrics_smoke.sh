@@ -49,8 +49,13 @@ required = [
     "query.exec_ns",
     "optimizer.plans_considered", "optimizer.index_plans_chosen",
     "optimizer.cost_based_plans", "optimizer.analyze_runs",
-    "optimizer.est_rows_error_pct",
+    "optimizer.est_rows_error_pct", "optimizer.auto_analyze_runs",
     "recovery.analysis_ns", "recovery.redo_ns", "recovery.undo_ns",
+    # Wire-protocol front-end (the quickstart serves one query + a ping
+    # over a real socket before the first snapshot).
+    "net.connections", "net.accepted", "net.requests",
+    "net.bytes_in", "net.bytes_out", "net.protocol_errors",
+    "net.pipeline_depth", "net.request_ns",
 ]
 for name in required:
     assert name in m1, f"metric {name} missing from METRICS1"
@@ -61,7 +66,7 @@ for name in required:
 # levels (object-cache resident_*, live snapshots, version-chain sizes)
 # legitimately shrink -- all exempt.
 levels = {"txn.snapshot_live", "objectstore.versions_chains",
-          "objectstore.versions_entries"}
+          "objectstore.versions_entries", "net.connections"}
 for name, v1 in m1.items():
     if (name.startswith("recovery.") or ".cache_resident_" in name
             or name in levels):
@@ -77,6 +82,16 @@ for name, v1 in m1.items():
 assert m2["query.executed"] == m1["query.executed"] + 1
 assert m2["query.exec_ns"]["count"] == m1["query.exec_ns"]["count"] + 1
 assert m2["query.index_probes"] > m1["query.index_probes"]
+
+# The wire round-trips moved the net.* counters: the served HELLO + query
+# land before METRICS1, the PING between the snapshots.
+assert m1["net.accepted"] >= 1, "server accepted no connection"
+assert m1["net.requests"] >= 2, "served HELLO+query missing from METRICS1"
+assert m2["net.requests"] == m1["net.requests"] + 1, "PING not counted"
+assert m2["net.request_ns"]["count"] == m1["net.request_ns"]["count"] + 1
+assert m2["net.bytes_in"] > 0 and m2["net.bytes_out"] > 0
+assert m2["net.protocol_errors"] == 0, "clean client tripped protocol errors"
+assert m1["net.connections"] >= 1, "live connection missing from gauge"
 
 # The optimizer ran cost-based (the quickstart analyzes Vehicle before
 # the first snapshot) and the extra execution priced one more plan.

@@ -136,6 +136,9 @@ Result<std::unique_ptr<Database>> Database::Open(const DatabaseOptions& opts) {
                                              db->indexes_.get(),
                                              &db->methods_, db.get());
   db->query_->AttachStats(&db->stats_);
+  Database* raw_db = db.get();
+  db->query_->SetStaleStatsHook(
+      [raw_db](ClassId cls) { raw_db->ScheduleAutoAnalyze(cls); });
   db->stats_listener_ = std::make_unique<StatsListener>(&db->stats_);
   db->store_->AddListener(db->stats_listener_.get());
   db->views_ = std::make_unique<ViewManager>(db->query_.get());
@@ -330,6 +333,7 @@ void Database::WireMetrics() {
   m.GetCounter("optimizer.index_plans_chosen");
   m.GetCounter("optimizer.cost_based_plans");
   m.GetCounter("optimizer.analyze_runs");
+  m.GetCounter("optimizer.auto_analyze_runs");
   m.GetHistogram("optimizer.est_rows_error_pct");
 
   // Rotating time-series windows over the latency histograms the soak
@@ -426,6 +430,16 @@ Database::~Database() {
 
 Status Database::Close() {
   if (closed_) return Status::OK();
+  // Stop the front-end first: a wire server must drain its in-flight
+  // requests (commits included) while the engine is still fully alive.
+  std::function<void()> stop_frontend;
+  {
+    std::lock_guard<std::mutex> lock(frontend_mu_);
+    stop_frontend = frontend_stop_hook_;
+  }
+  if (stop_frontend) stop_frontend();
+  // Then the background analyzer: its PersistMeta must not race teardown.
+  StopAutoAnalyze();
   // Stop the reporter before any teardown so its final line captures the
   // full run and no tick races the checkpoint.
   if (reporter_ != nullptr) reporter_->Stop();
@@ -476,6 +490,9 @@ Result<std::string> Database::EncodeMeta() const {
 }
 
 Status Database::PersistMeta() {
+  // Serialized: the auto-analyze thread persists refreshed stats while the
+  // foreground runs DDL or checkpoints, and meta_rid_ is single-slot state.
+  std::lock_guard<std::mutex> lock(meta_mu_);
   KIMDB_ASSIGN_OR_RETURN(std::string meta, EncodeMeta());
   KIMDB_ASSIGN_OR_RETURN(RecordId rid,
                          meta_heap_->Update(meta_rid_, meta));
@@ -691,6 +708,10 @@ Result<std::string> Database::ExplainAnalyzeOql(std::string_view oql) {
 
 Status Database::AnalyzeClass(std::string_view class_name) {
   KIMDB_ASSIGN_OR_RETURN(ClassId root, catalog_->FindClass(class_name));
+  return AnalyzeClassTree(root);
+}
+
+Status Database::AnalyzeClassTree(ClassId root) {
   constexpr size_t kHistogramBuckets = 16;
   for (ClassId c : catalog_->Subtree(root)) {
     ClassStats cs;
@@ -715,6 +736,67 @@ Status Database::AnalyzeClass(std::string_view class_name) {
   }
   metrics_.GetCounter("optimizer.analyze_runs")->Inc();
   return PersistMeta();
+}
+
+// --- automatic re-analyze (ROADMAP item 3 remainder) ----------------------
+
+void Database::ScheduleAutoAnalyze(ClassId root) {
+  {
+    std::lock_guard<std::mutex> lock(analyzer_mu_);
+    if (analyzer_stop_) return;
+    if (!analyzer_pending_.insert(root).second) return;  // already queued
+    analyzer_queue_.push_back(root);
+    if (!analyzer_thread_.joinable()) {
+      analyzer_thread_ = std::thread([this] { AutoAnalyzeLoop(); });
+    }
+  }
+  analyzer_cv_.notify_one();
+}
+
+void Database::AutoAnalyzeLoop() {
+  while (true) {
+    ClassId root;
+    {
+      std::unique_lock<std::mutex> lock(analyzer_mu_);
+      analyzer_cv_.wait(lock, [this] {
+        return analyzer_stop_ || !analyzer_queue_.empty();
+      });
+      if (analyzer_queue_.empty()) return;  // stop requested and drained
+      root = analyzer_queue_.front();
+      analyzer_queue_.pop_front();
+      analyzer_pending_.erase(root);
+      analyzer_busy_ = true;
+    }
+    Status st = AnalyzeClassTree(root);
+    (void)st;  // e.g. class dropped since the signal fired: nothing to do
+    metrics_.GetCounter("optimizer.auto_analyze_runs")->Inc();
+    {
+      std::lock_guard<std::mutex> lock(analyzer_mu_);
+      analyzer_busy_ = false;
+    }
+    analyzer_cv_.notify_all();  // DrainAutoAnalyze waiters
+  }
+}
+
+void Database::DrainAutoAnalyze() {
+  std::unique_lock<std::mutex> lock(analyzer_mu_);
+  analyzer_cv_.wait(lock, [this] {
+    return analyzer_queue_.empty() && !analyzer_busy_;
+  });
+}
+
+void Database::StopAutoAnalyze() {
+  {
+    std::lock_guard<std::mutex> lock(analyzer_mu_);
+    analyzer_stop_ = true;
+  }
+  analyzer_cv_.notify_all();
+  if (analyzer_thread_.joinable()) analyzer_thread_.join();
+}
+
+void Database::SetFrontendStopHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(frontend_mu_);
+  frontend_stop_hook_ = std::move(hook);
 }
 
 }  // namespace kimdb

@@ -2,8 +2,14 @@
 #define KIMDB_CORE_DATABASE_H_
 
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "authz/authorization.h"
@@ -149,6 +155,21 @@ class Database : public MethodEnv {
   /// Cardinality statistics the planner reads (exposed for tests/tools).
   const StatsRegistry& stats() const { return stats_; }
 
+  /// Automatic re-analyze: the planner fires this whenever it meets a class
+  /// whose statistics drifted stale (ClassStats::Fresh() false); a
+  /// background thread re-runs AnalyzeClass so the next plans price
+  /// cost-based again instead of waiting for a manual `analyze` verb.
+  /// Deduplicated per class; runs are counted as
+  /// `optimizer.auto_analyze_runs`. Exposed so tests can enqueue directly.
+  void ScheduleAutoAnalyze(ClassId root);
+  /// Blocks until the auto-analyze queue is empty and idle (tests).
+  void DrainAutoAnalyze();
+
+  /// Registers a hook Close() invokes before engine teardown begins. The
+  /// wire-protocol server installs its Stop() here so closing the database
+  /// first drains in-flight network requests; pass nullptr to clear.
+  void SetFrontendStopHook(std::function<void()> hook);
+
   // --- observability --------------------------------------------------------
 
   /// The process-wide registry every subsystem is wired into at Open():
@@ -243,6 +264,14 @@ class Database : public MethodEnv {
   Result<std::string> EncodeMeta() const;
   Status DecodeMeta(std::string_view bytes);
 
+  /// The body of the `analyze` verb for one class subtree (thread-safe:
+  /// called from AnalyzeClass and from the auto-analyze thread).
+  Status AnalyzeClassTree(ClassId root);
+  /// The auto-analyze worker: pops drifted classes and re-analyzes them.
+  void AutoAnalyzeLoop();
+  /// Stops and joins the auto-analyze thread (Close / destructor).
+  void StopAutoAnalyze();
+
   DatabaseOptions opts_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> bp_;
@@ -267,8 +296,24 @@ class Database : public MethodEnv {
 
   // Meta storage: page 0 holds [magic][meta heap head][meta rid]; the meta
   // heap's single record carries the encoded catalog + index + view defs.
+  // meta_mu_ serializes PersistMeta: the auto-analyze thread persists stats
+  // concurrently with foreground DDL / checkpoints.
+  std::mutex meta_mu_;
   std::optional<HeapFile> meta_heap_;
   RecordId meta_rid_{};
+
+  // Auto-analyze machinery (lazy-started on the first stale-stats signal).
+  std::mutex analyzer_mu_;
+  std::condition_variable analyzer_cv_;
+  std::deque<ClassId> analyzer_queue_;       // under analyzer_mu_
+  std::unordered_set<ClassId> analyzer_pending_;  // dedup, under analyzer_mu_
+  bool analyzer_busy_ = false;               // under analyzer_mu_
+  bool analyzer_stop_ = false;               // under analyzer_mu_
+  std::thread analyzer_thread_;              // started/joined under no lock
+
+  // Frontend (wire server) stop hook, invoked first by Close().
+  std::mutex frontend_mu_;
+  std::function<void()> frontend_stop_hook_;
   RecoveryStats recovery_stats_;
   obs::MetricsRegistry metrics_;
   obs::Histogram* query_exec_ns_ = nullptr;

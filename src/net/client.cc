@@ -1,0 +1,199 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kimdb {
+namespace net {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable IPv4 host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st =
+        Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto client = std::unique_ptr<Client>(new Client());
+  client->fd_ = fd;
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Response> Client::ReceiveResponse() {
+  std::string payload;
+  while (true) {
+    KIMDB_ASSIGN_OR_RETURN(bool got, reader_.Next(&payload));
+    if (got) break;
+    char buf[16 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    reader_.Feed(buf, static_cast<size_t>(n));
+  }
+  return DecodeResponse(payload);
+}
+
+Result<Response> Client::RoundTrip(const Request& req) {
+  std::string frame;
+  EncodeRequest(req, &frame);
+  KIMDB_RETURN_IF_ERROR(SendRaw(frame));
+  KIMDB_ASSIGN_OR_RETURN(Response resp, ReceiveResponse());
+  if (resp.type != req.type) {
+    return Status::Corruption("response type mismatch");
+  }
+  return resp;
+}
+
+Result<std::vector<Response>> Client::Pipeline(
+    const std::vector<Request>& reqs) {
+  std::string frames;
+  for (const Request& req : reqs) EncodeRequest(req, &frames);
+  KIMDB_RETURN_IF_ERROR(SendRaw(frames));
+  std::vector<Response> out;
+  out.reserve(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    KIMDB_ASSIGN_OR_RETURN(Response resp, ReceiveResponse());
+    if (resp.type != reqs[i].type) {
+      return Status::Corruption("pipelined response out of order");
+    }
+    out.push_back(std::move(resp));
+  }
+  return out;
+}
+
+namespace {
+Status ToStatus(const Response& resp) {
+  if (resp.status == StatusCode::kOk) return Status::OK();
+  return Status(resp.status, resp.message);
+}
+}  // namespace
+
+Result<std::string> Client::Hello(const std::string& client_name) {
+  Request req;
+  req.type = MsgType::kHello;
+  req.text = client_name;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  KIMDB_RETURN_IF_ERROR(ToStatus(resp));
+  return resp.text;
+}
+
+Status Client::Ping() {
+  Request req;
+  req.type = MsgType::kPing;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  return ToStatus(resp);
+}
+
+Result<std::string> Client::Get(uint64_t oid) {
+  Request req;
+  req.type = MsgType::kGet;
+  req.oid = oid;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  KIMDB_RETURN_IF_ERROR(ToStatus(resp));
+  return resp.object_bytes;
+}
+
+Result<std::vector<uint64_t>> Client::Query(const std::string& oql) {
+  Request req;
+  req.type = MsgType::kQuery;
+  req.text = oql;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  KIMDB_RETURN_IF_ERROR(ToStatus(resp));
+  return resp.oids;
+}
+
+Result<std::string> Client::Explain(const std::string& oql) {
+  Request req;
+  req.type = MsgType::kExplain;
+  req.text = oql;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  KIMDB_RETURN_IF_ERROR(ToStatus(resp));
+  return resp.text;
+}
+
+Result<uint64_t> Client::Begin() {
+  Request req;
+  req.type = MsgType::kTxnBegin;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  KIMDB_RETURN_IF_ERROR(ToStatus(resp));
+  return resp.u64;
+}
+
+Status Client::Set(uint64_t txn, uint64_t oid, const std::string& attr,
+                   const Value& value) {
+  Request req;
+  req.type = MsgType::kTxnSet;
+  req.txn = txn;
+  req.oid = oid;
+  req.text = attr;
+  req.value = value;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  return ToStatus(resp);
+}
+
+Status Client::Commit(uint64_t txn) {
+  Request req;
+  req.type = MsgType::kTxnCommit;
+  req.txn = txn;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  return ToStatus(resp);
+}
+
+Status Client::Abort(uint64_t txn) {
+  Request req;
+  req.type = MsgType::kTxnAbort;
+  req.txn = txn;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  return ToStatus(resp);
+}
+
+Result<std::string> Client::Metrics() {
+  Request req;
+  req.type = MsgType::kMetrics;
+  KIMDB_ASSIGN_OR_RETURN(Response resp, RoundTrip(req));
+  KIMDB_RETURN_IF_ERROR(ToStatus(resp));
+  return resp.text;
+}
+
+}  // namespace net
+}  // namespace kimdb

@@ -1,0 +1,234 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace kimdb {
+namespace net {
+
+namespace {
+
+/// Frames `payload` (type byte already included) into `dst`.
+void PutFrame(std::string* dst, std::string_view payload) {
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  dst->append(payload);
+}
+
+}  // namespace
+
+bool IsValidMsgType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MsgType::kHello) &&
+         t <= static_cast<uint8_t>(MsgType::kMetrics);
+}
+
+void EncodeRequest(const Request& req, std::string* dst) {
+  std::string payload;
+  PutFixed8(&payload, static_cast<uint8_t>(req.type));
+  switch (req.type) {
+    case MsgType::kHello:
+      PutLengthPrefixed(&payload, req.text);
+      PutFixed32(&payload, kProtocolVersion);
+      break;
+    case MsgType::kPing:
+    case MsgType::kTxnBegin:
+    case MsgType::kMetrics:
+      break;
+    case MsgType::kGet:
+      PutFixed64(&payload, req.oid);
+      break;
+    case MsgType::kQuery:
+    case MsgType::kExplain:
+      PutLengthPrefixed(&payload, req.text);
+      break;
+    case MsgType::kTxnSet:
+      PutFixed64(&payload, req.txn);
+      PutFixed64(&payload, req.oid);
+      PutLengthPrefixed(&payload, req.text);
+      req.value.EncodeTo(&payload);
+      break;
+    case MsgType::kTxnCommit:
+    case MsgType::kTxnAbort:
+      PutFixed64(&payload, req.txn);
+      break;
+  }
+  PutFrame(dst, payload);
+}
+
+void EncodeResponse(const Response& resp, std::string* dst) {
+  std::string payload;
+  PutFixed8(&payload, static_cast<uint8_t>(resp.type));
+  PutFixed8(&payload, static_cast<uint8_t>(resp.status));
+  if (resp.status != StatusCode::kOk) {
+    PutLengthPrefixed(&payload, resp.message);
+    PutFrame(dst, payload);
+    return;
+  }
+  switch (resp.type) {
+    case MsgType::kHello:
+      PutLengthPrefixed(&payload, resp.text);
+      PutFixed32(&payload, kProtocolVersion);
+      break;
+    case MsgType::kPing:
+    case MsgType::kTxnSet:
+    case MsgType::kTxnCommit:
+    case MsgType::kTxnAbort:
+      break;
+    case MsgType::kGet:
+      PutLengthPrefixed(&payload, resp.object_bytes);
+      break;
+    case MsgType::kQuery:
+      PutVarint32(&payload, static_cast<uint32_t>(resp.oids.size()));
+      for (uint64_t oid : resp.oids) PutFixed64(&payload, oid);
+      break;
+    case MsgType::kExplain:
+    case MsgType::kMetrics:
+      PutLengthPrefixed(&payload, resp.text);
+      break;
+    case MsgType::kTxnBegin:
+      PutFixed64(&payload, resp.u64);
+      break;
+  }
+  PutFrame(dst, payload);
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  Decoder dec(payload);
+  KIMDB_ASSIGN_OR_RETURN(uint8_t type, dec.ReadFixed8());
+  if (!IsValidMsgType(type)) {
+    return Status::Corruption("unknown request type " + std::to_string(type));
+  }
+  Request req;
+  req.type = static_cast<MsgType>(type);
+  switch (req.type) {
+    case MsgType::kHello: {
+      KIMDB_ASSIGN_OR_RETURN(std::string_view name, dec.ReadLengthPrefixed());
+      req.text.assign(name);
+      // The client's protocol version rides after the name; v1 servers
+      // accept any (the banner echoes the server's own version back).
+      KIMDB_RETURN_IF_ERROR(dec.ReadFixed32().status());
+      break;
+    }
+    case MsgType::kPing:
+    case MsgType::kTxnBegin:
+    case MsgType::kMetrics:
+      break;
+    case MsgType::kGet: {
+      KIMDB_ASSIGN_OR_RETURN(req.oid, dec.ReadFixed64());
+      break;
+    }
+    case MsgType::kQuery:
+    case MsgType::kExplain: {
+      KIMDB_ASSIGN_OR_RETURN(std::string_view oql, dec.ReadLengthPrefixed());
+      req.text.assign(oql);
+      break;
+    }
+    case MsgType::kTxnSet: {
+      KIMDB_ASSIGN_OR_RETURN(req.txn, dec.ReadFixed64());
+      KIMDB_ASSIGN_OR_RETURN(req.oid, dec.ReadFixed64());
+      KIMDB_ASSIGN_OR_RETURN(std::string_view attr, dec.ReadLengthPrefixed());
+      req.text.assign(attr);
+      KIMDB_ASSIGN_OR_RETURN(req.value, Value::DecodeFrom(&dec));
+      break;
+    }
+    case MsgType::kTxnCommit:
+    case MsgType::kTxnAbort: {
+      KIMDB_ASSIGN_OR_RETURN(req.txn, dec.ReadFixed64());
+      break;
+    }
+  }
+  if (!dec.empty()) {
+    return Status::Corruption("trailing bytes in request frame");
+  }
+  return req;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  Decoder dec(payload);
+  KIMDB_ASSIGN_OR_RETURN(uint8_t type, dec.ReadFixed8());
+  if (!IsValidMsgType(type)) {
+    return Status::Corruption("unknown response type " + std::to_string(type));
+  }
+  Response resp;
+  resp.type = static_cast<MsgType>(type);
+  KIMDB_ASSIGN_OR_RETURN(uint8_t code, dec.ReadFixed8());
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("unknown status code " + std::to_string(code));
+  }
+  resp.status = static_cast<StatusCode>(code);
+  if (resp.status != StatusCode::kOk) {
+    KIMDB_ASSIGN_OR_RETURN(std::string_view msg, dec.ReadLengthPrefixed());
+    resp.message.assign(msg);
+    if (!dec.empty()) {
+      return Status::Corruption("trailing bytes in error response");
+    }
+    return resp;
+  }
+  switch (resp.type) {
+    case MsgType::kHello: {
+      KIMDB_ASSIGN_OR_RETURN(std::string_view banner,
+                             dec.ReadLengthPrefixed());
+      resp.text.assign(banner);
+      KIMDB_RETURN_IF_ERROR(dec.ReadFixed32().status());
+      break;
+    }
+    case MsgType::kPing:
+    case MsgType::kTxnSet:
+    case MsgType::kTxnCommit:
+    case MsgType::kTxnAbort:
+      break;
+    case MsgType::kGet: {
+      KIMDB_ASSIGN_OR_RETURN(std::string_view obj, dec.ReadLengthPrefixed());
+      resp.object_bytes.assign(obj);
+      break;
+    }
+    case MsgType::kQuery: {
+      KIMDB_ASSIGN_OR_RETURN(uint32_t n, dec.ReadVarint32());
+      resp.oids.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        KIMDB_ASSIGN_OR_RETURN(uint64_t oid, dec.ReadFixed64());
+        resp.oids.push_back(oid);
+      }
+      break;
+    }
+    case MsgType::kExplain:
+    case MsgType::kMetrics: {
+      KIMDB_ASSIGN_OR_RETURN(std::string_view text, dec.ReadLengthPrefixed());
+      resp.text.assign(text);
+      break;
+    }
+    case MsgType::kTxnBegin: {
+      KIMDB_ASSIGN_OR_RETURN(resp.u64, dec.ReadFixed64());
+      break;
+    }
+  }
+  if (!dec.empty()) {
+    return Status::Corruption("trailing bytes in response frame");
+  }
+  return resp;
+}
+
+Result<bool> FrameReader::Next(std::string* out) {
+  if (poisoned_) {
+    return Status::Corruption("frame stream poisoned by a protocol error");
+  }
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived pipelined connection doesn't grow its read buffer forever.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return false;
+  uint32_t len = DecodeFixed32(buf_.data() + pos_);
+  if (len == 0 || len > max_frame_) {
+    poisoned_ = true;
+    return Status::Corruption("frame length " + std::to_string(len) +
+                              " outside (0, " + std::to_string(max_frame_) +
+                              "]");
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + len) return false;
+  out->assign(buf_, pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  return true;
+}
+
+}  // namespace net
+}  // namespace kimdb

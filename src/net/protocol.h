@@ -1,0 +1,120 @@
+#ifndef KIMDB_NET_PROTOCOL_H_
+#define KIMDB_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/oid.h"
+#include "model/value.h"
+#include "util/coding.h"
+#include "util/result.h"
+
+namespace kimdb {
+namespace net {
+
+/// KIMDB wire protocol (DESIGN.md §17): compact length-prefixed binary
+/// frames over a byte stream.
+///
+///   frame := [u32 len (LE)] [u8 type] [body: len-1 bytes]
+///
+/// `len` counts the type byte plus the body, so an empty-bodied message
+/// has len == 1. Requests and responses share the framing; a response
+/// echoes its request's type byte and leads with a status code, so a
+/// pipelining client matches responses to requests purely by order.
+/// Frames larger than the negotiated maximum are a protocol error: the
+/// peer closes the connection rather than buffering unbounded input.
+
+inline constexpr uint32_t kProtocolVersion = 1;
+/// Frame header: u32 length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+/// Default cap on len (type + body). Large enough for a metrics dump or a
+/// wide query result, small enough that one rogue frame cannot OOM the
+/// server.
+inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+
+enum class MsgType : uint8_t {
+  kHello = 1,      // client name + proto version -> server banner
+  kPing = 2,       // liveness no-op
+  kGet = 3,        // point read by OID -> encoded object
+  kQuery = 4,      // OQL text -> OID list
+  kExplain = 5,    // OQL text -> rendered plan
+  kTxnBegin = 6,   // -> txn id
+  kTxnSet = 7,     // txn, oid, attr name, value
+  kTxnCommit = 8,  // txn (durable on OK response)
+  kTxnAbort = 9,   // txn
+  kMetrics = 10,   // -> registry snapshot JSON
+};
+
+/// True for the type bytes the server accepts; anything else in a frame
+/// header is a protocol error.
+bool IsValidMsgType(uint8_t t);
+
+/// One parsed request. A single struct (rather than one per verb) keeps
+/// the server's dispatch and the pipelining queues simple; unused fields
+/// stay default for any given type.
+struct Request {
+  MsgType type = MsgType::kPing;
+  std::string text;   // kHello: client name; kQuery/kExplain: OQL;
+                      // kTxnSet: attribute name
+  uint64_t txn = 0;   // kTxnSet / kTxnCommit / kTxnAbort
+  uint64_t oid = 0;   // kGet / kTxnSet (raw OID bits)
+  Value value;        // kTxnSet
+};
+
+/// One response. `status` is the engine's StatusCode; on failure `message`
+/// carries the error text and the payload fields are empty.
+struct Response {
+  MsgType type = MsgType::kPing;  // echoes the request
+  StatusCode status = StatusCode::kOk;
+  std::string message;        // error text (empty on OK)
+  std::string text;           // kHello banner / kExplain plan / kMetrics JSON
+  std::string object_bytes;   // kGet: Object::EncodeTo image
+  std::vector<uint64_t> oids; // kQuery result (raw OID bits)
+  uint64_t u64 = 0;           // kTxnBegin: txn id
+};
+
+/// Appends one complete frame (header + type + body) for `req` to `dst`.
+void EncodeRequest(const Request& req, std::string* dst);
+/// Appends one complete frame for `resp` to `dst`.
+void EncodeResponse(const Response& resp, std::string* dst);
+
+/// Decodes a request frame's payload (the bytes after the length prefix:
+/// type byte + body). Corruption on malformed bodies or unknown types.
+Result<Request> DecodeRequest(std::string_view payload);
+/// Decodes a response frame's payload.
+Result<Response> DecodeResponse(std::string_view payload);
+
+/// Incremental frame assembler shared by the server's per-connection read
+/// path and the blocking client: Feed() raw bytes in whatever chunks the
+/// socket delivers (torn headers and frames spanning reads are fine), then
+/// pull complete frames with Next(). A frame whose length prefix is zero
+/// or exceeds `max_frame_bytes` poisons the reader (protocol error): Next
+/// returns Corruption from then on and the connection must be closed.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_(max_frame_bytes) {}
+
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// Moves the next complete frame payload (type byte + body) into `out`.
+  /// Returns true when a frame was produced, false when more bytes are
+  /// needed, Corruption once the stream is poisoned.
+  Result<bool> Next(std::string* out);
+
+  bool poisoned() const { return poisoned_; }
+  /// Bytes buffered but not yet consumed (tests).
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_frame_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace net
+}  // namespace kimdb
+
+#endif  // KIMDB_NET_PROTOCOL_H_

@@ -650,15 +650,30 @@ Status ObjectStore::ForEachInClassOnPage(
     return heap_r.status();
   }
   HeapFile* heap = *heap_r;
-  // Deliberately scans without mu_: page reads go through the thread-safe
-  // buffer pool, MaterializeInPlace only reads the catalog, and the
-  // HeapFile slot in extents_ is node-stable. Isolation against concurrent
-  // writers is the lock manager's job, exactly as for ForEachInClass.
-  return heap->ForEachOnPage(page, [&](RecordId, std::string_view bytes) {
+  // Writers rewrite records in place on the buffer frame under the
+  // class-exclusive latch, so an unlatched decode can observe a torn
+  // image. Copy this page's record bytes under the class-SHARED latch --
+  // held only for the memcpy, so concurrent scans still never serialize
+  // on each other -- then decode and run callbacks off-latch, preserving
+  // the invariant that a callback may re-enter the store (even this
+  // class) without recursive-latch deadlock. MaterializeInPlace only
+  // reads the catalog and the HeapFile slot in extents_ is node-stable,
+  // so everything past the copy is latch-free.
+  std::vector<std::string> records;
+  {
+    ReadGuard lock(LatchFor(cls));
+    KIMDB_RETURN_IF_ERROR(
+        heap->ForEachOnPage(page, [&](RecordId, std::string_view bytes) {
+          records.emplace_back(bytes);
+          return Status::OK();
+        }));
+  }
+  for (const std::string& bytes : records) {
     KIMDB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
     KIMDB_RETURN_IF_ERROR(MaterializeInPlace(&obj));
-    return fn(obj);
-  });
+    KIMDB_RETURN_IF_ERROR(fn(obj));
+  }
+  return Status::OK();
 }
 
 Status ObjectStore::ForEachInClassPartitioned(

@@ -61,8 +61,11 @@ Result<Object> BuildObject(
 /// the store (even another class) can never deadlock against a concurrent
 /// writer (exclusive phases only ever take leaf locks and terminate).
 /// Point reads share the latch of their object's class; extent scans
-/// snapshot the page list and iterate entirely off-latch, so concurrent
-/// scans and parallel-scan workers never serialize on the store. The
+/// snapshot the page list and take the class-SHARED latch only for the
+/// per-page byte copy (writers rewrite records in place on the buffer
+/// frame, so an unlatched decode could tear) -- decode and callbacks run
+/// off-latch, so concurrent scans and parallel-scan workers never
+/// serialize on the store. The
 /// object directory is sharded by OID under its own leaf mutexes. Get()
 /// is fronted by a bounded deserialized-object cache (`object_cache()`);
 /// a capacity of 0 restores the decode-per-read behavior. Fine-grained

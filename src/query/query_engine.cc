@@ -254,6 +254,12 @@ Result<QueryPlan> QueryEngine::Plan(const Query& q) const {
   std::optional<ClassStats> tstats =
       stats_ == nullptr ? std::nullopt : stats_->Get(q.target);
   const bool have_stats = tstats.has_value() && tstats->Fresh();
+  if (stale_stats_hook_ && tstats.has_value() && tstats->analyzed &&
+      !tstats->Fresh()) {
+    // Drift just retired this class's snapshot: hand it to the background
+    // re-analyzer so a later plan prices cost-based again.
+    stale_stats_hook_(q.target);
+  }
 
   const IndexInfo* chosen = nullptr;
   std::vector<std::string> chosen_path;

@@ -1,6 +1,7 @@
 #ifndef KIMDB_QUERY_QUERY_ENGINE_H_
 #define KIMDB_QUERY_QUERY_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -108,6 +109,16 @@ class QueryEngine {
   /// (first usable index, equality over range).
   void AttachStats(const StatsRegistry* stats) { stats_ = stats; }
 
+  /// Fired by Plan() when the target class *had* statistics but mutation
+  /// drift retired them (analyzed && !Fresh()) -- the moment the planner
+  /// demotes to rule-based choice. The Database wires its background
+  /// auto-analyzer here so stats refresh without a manual `analyze` verb.
+  /// Must be thread-safe and cheap (called on the planning path); set once
+  /// before queries run.
+  void SetStaleStatsHook(std::function<void(ClassId)> hook) {
+    stale_stats_hook_ = std::move(hook);
+  }
+
   /// Plans without executing (EXPLAIN).
   Result<QueryPlan> Plan(const Query& q) const;
 
@@ -179,6 +190,7 @@ class QueryEngine {
   const MethodRegistry* methods_;
   MethodEnv* env_;
   const StatsRegistry* stats_ = nullptr;
+  std::function<void(ClassId)> stale_stats_hook_;
 };
 
 }  // namespace kimdb

@@ -195,6 +195,51 @@ TEST_F(QueryOptimizerTest, MutationDriftRetiresStats) {
   EXPECT_TRUE(fresh->cost_based);
 }
 
+TEST_F(QueryOptimizerTest, StaleStatsScheduleAutomaticReanalyze) {
+  BuildHierarchy();
+  ClassId part = *db_->FindClass("Part");
+  ASSERT_TRUE(
+      db_->indexes().CreateIndex(IndexKind::kClassHierarchy, part, {"Key"})
+          .ok());
+  auto t = db_->Begin();
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 100; ++i) {
+    MustInsert(*t, "Part", {{"Key", Value::Int(i)}});
+  }
+  ASSERT_TRUE(db_->Commit(*t).ok());
+  ASSERT_TRUE(MustRun("analyze Part").empty());
+  ASSERT_TRUE(db_->stats().Get(part)->Fresh());
+  uint64_t auto_runs_before =
+      db_->metrics().GetCounter("optimizer.auto_analyze_runs")->value();
+
+  // Drift past the freshness threshold, then plan: the stale snapshot
+  // demotes this plan to rule-based AND hands the class to the background
+  // re-analyzer.
+  auto t2 = db_->Begin();
+  ASSERT_TRUE(t2.ok());
+  for (int i = 0; i < 80; ++i) {
+    MustInsert(*t2, "Part", {{"Key", Value::Int(1000 + i)}});
+  }
+  ASSERT_TRUE(db_->Commit(*t2).ok());
+  ASSERT_FALSE(db_->stats().Get(part)->Fresh());
+  auto stale = db_->ExplainOql("select Part where Key = 5");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(stale->cost_based);
+
+  // Without any manual `analyze` verb, the stats come back fresh and the
+  // next plan prices cost-based again.
+  db_->DrainAutoAnalyze();
+  EXPECT_GE(db_->metrics().GetCounter("optimizer.auto_analyze_runs")->value(),
+            auto_runs_before + 1);
+  auto cs = db_->stats().Get(part);
+  ASSERT_TRUE(cs.has_value());
+  EXPECT_TRUE(cs->Fresh());
+  EXPECT_EQ(cs->live_objects, 180u);
+  auto replanned = db_->ExplainOql("select Part where Key = 5");
+  ASSERT_TRUE(replanned.ok());
+  EXPECT_TRUE(replanned->cost_based);
+}
+
 TEST_F(QueryOptimizerTest, StatsSurviveReopen) {
   BuildHierarchy();
   ASSERT_TRUE(db_->indexes()
